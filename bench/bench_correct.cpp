@@ -1,0 +1,85 @@
+// Ablation A7 — document correction cost (the paper's §7 future work,
+// implemented in core/corrector.h): how does repairing a document to the
+// target schema scale with document size and with the number of
+// violations?
+//
+//   * CorrectClean      — correction of an already-valid document (pure
+//     verification overhead of the corrector's traversal; subsumed
+//     subtrees are skipped exactly as in cast validation).
+//   * CorrectQuantities — N of 500 quantities violate the target facet;
+//     each needs one text rewrite.
+//   * CorrectMissing    — the billTo block is absent; one minimal-subtree
+//     insertion (13 nodes) repairs it regardless of document size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/corrector.h"
+#include "workload/po_generator.h"
+#include "xml/label_index.h"
+
+namespace {
+
+using namespace xmlreval;
+
+void BM_CorrectClean(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::DocumentCorrector corrector(pair.relations.get());
+  workload::PoGeneratorOptions options;
+  options.item_count = state.range(0);
+  options.quantity_max = 99;
+  for (auto _ : state) {
+    state.PauseTiming();
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    state.ResumeTiming();
+    auto report = corrector.Correct(&doc);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+
+void BM_CorrectQuantities(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::DocumentCorrector corrector(pair.relations.get());
+  size_t violations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // state.range(0) of the 500 items violate maxExclusive=100.
+    workload::PoGeneratorOptions options;
+    options.item_count = 500;
+    options.quantity_max = 99;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    xml::LabelIndex index = xml::LabelIndex::Build(doc);
+    for (long i = 0; i < state.range(0); ++i) {
+      xml::NodeId q = index.Instances("quantity")[(i * 13) % 500];
+      (void)doc.SetText(doc.first_child(q), "150");
+    }
+    state.ResumeTiming();
+    auto report = corrector.Correct(&doc);
+    benchmark::DoNotOptimize(report.ok());
+    violations = report->steps.size();
+  }
+  state.counters["repairs"] = static_cast<double>(violations);
+}
+
+void BM_CorrectMissingBillTo(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  core::DocumentCorrector corrector(pair.relations.get());
+  workload::PoGeneratorOptions options;
+  options.item_count = state.range(0);
+  options.include_bill_to = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    state.ResumeTiming();
+    auto report = corrector.Correct(&doc);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+
+BENCHMARK(BM_CorrectClean)->Arg(50)->Arg(500);
+BENCHMARK(BM_CorrectQuantities)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_CorrectMissingBillTo)->Arg(50)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

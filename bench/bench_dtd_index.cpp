@@ -1,0 +1,93 @@
+// Ablation A5 — the §3.4 DTD optimization: when every label has one type
+// and the document offers direct label access (xml::LabelIndex), cast
+// validation can jump straight to the instances of the few labels whose
+// type pairs are neither subsumed nor disjoint.
+//
+// Compared on the experiment-2 pair (both PO schemas are label-determined):
+//   * DtdIndexValidator with a prebuilt index (the paper's assumption),
+//   * DtdIndexValidator including index construction (the honest total),
+//   * top-down CastValidator (§3.2, no index),
+//   * FullValidator (baseline).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/cast_validator.h"
+#include "core/dtd_index_validator.h"
+#include "core/full_validator.h"
+#include "workload/po_generator.h"
+#include "xml/label_index.h"
+
+namespace {
+
+using namespace xmlreval;
+
+xml::Document MakeDoc(size_t items) {
+  workload::PoGeneratorOptions options;
+  options.item_count = items;
+  options.quantity_max = 99;
+  return workload::GeneratePurchaseOrder(options);
+}
+
+void BM_DtdIndex_Prebuilt(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  auto validator = core::DtdIndexValidator::Create(pair.relations.get());
+  if (!validator.ok()) std::abort();
+  xml::Document doc = MakeDoc(state.range(0));
+  xml::LabelIndex index = xml::LabelIndex::Build(doc);
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator->Validate(doc, index);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+void BM_DtdIndex_IncludingBuild(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  auto validator = core::DtdIndexValidator::Create(pair.relations.get());
+  if (!validator.ok()) std::abort();
+  xml::Document doc = MakeDoc(state.range(0));
+  for (auto _ : state) {
+    xml::LabelIndex index = xml::LabelIndex::Build(doc);
+    core::ValidationReport report = validator->Validate(doc, index);
+    benchmark::DoNotOptimize(report.valid);
+  }
+}
+
+void BM_TopDownCast(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::CastValidator validator(pair.relations.get());
+  xml::Document doc = MakeDoc(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+void BM_FullBaseline(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::FullValidator validator(pair.target.get());
+  xml::Document doc = MakeDoc(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+#define GRID ->Arg(50)->Arg(200)->Arg(1000)
+BENCHMARK(BM_DtdIndex_Prebuilt) GRID;
+BENCHMARK(BM_DtdIndex_IncludingBuild) GRID;
+BENCHMARK(BM_TopDownCast) GRID;
+BENCHMARK(BM_FullBaseline) GRID;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Figure 3a — Experiment 1: validation time vs. item count when casting
+// from the Figure 1a schema (billTo optional) to the Figure 2 schema
+// (billTo required).
+//
+// Paper's claim: the schema-cast validator's time is CONSTANT in the
+// document size (it decides at the root's content model and skips every
+// subsumed subtree), while the Xerces baseline (full validation, here
+// FullValidator) grows linearly. Expect the SchemaCast/* series to be flat
+// and Baseline/* to scale with the argument.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "workload/po_generator.h"
+
+namespace {
+
+using namespace xmlreval;
+
+xml::Document MakeDoc(size_t items) {
+  workload::PoGeneratorOptions options;
+  options.item_count = items;
+  return workload::GeneratePurchaseOrder(options);
+}
+
+void BM_Fig3a_SchemaCast(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  core::CastValidator validator(pair.relations.get());
+  xml::Document doc = MakeDoc(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+void BM_Fig3a_Baseline(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  core::FullValidator validator(pair.target.get());
+  xml::Document doc = MakeDoc(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+void ItemGrid(benchmark::internal::Benchmark* b) {
+  for (size_t items : bench::kItemGrid) b->Arg(static_cast<long>(items));
+}
+
+BENCHMARK(BM_Fig3a_SchemaCast)->Apply(ItemGrid);
+BENCHMARK(BM_Fig3a_Baseline)->Apply(ItemGrid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

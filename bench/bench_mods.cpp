@@ -1,0 +1,93 @@
+// Ablation A4 — schema cast WITH modifications (§3.3) vs the alternatives,
+// varying the number of edits applied to a 500-item purchase order.
+//
+// Compared mechanisms, after k random text edits (quantity rewrites):
+//   * ModValidator     — the §3.3 algorithm: cast shortcuts off the edit
+//     spine, content re-checks on it.
+//   * FullValidator    — revalidate the edited document from scratch
+//     against the target schema (what a system without update tracking
+//     must do).
+//
+// The schema pair is the SINGLE-SCHEMA one (source == target == Figure 2),
+// i.e. the update problem: untouched subtrees are subsumption-skipped, so
+// the incremental validator's cost is governed by the edit count (each
+// edit contributes its root-to-leaf spine plus sibling lookups), while
+// full revalidation is flat at O(document). The crossover as k grows is
+// the paper's stated boundary for when incremental validation pays off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/full_validator.h"
+#include "core/mod_validator.h"
+#include "workload/po_generator.h"
+#include "xml/editor.h"
+#include "xml/label_index.h"
+
+namespace {
+
+using namespace xmlreval;
+
+constexpr size_t kItems = 500;
+
+// Applies k quantity text edits (all staying within the facet) and returns
+// the sealed index.
+xml::ModificationIndex ApplyEdits(xml::Document* doc, size_t k) {
+  xml::LabelIndex index = xml::LabelIndex::Build(*doc);
+  const auto& quantities = index.Instances("quantity");
+  xml::DocumentEditor editor(doc);
+  for (size_t i = 0; i < k; ++i) {
+    xml::NodeId q = quantities[(i * 37) % quantities.size()];
+    if (!editor.UpdateText(doc->first_child(q),
+                           std::to_string(1 + (i * 7) % 98))
+             .ok()) {
+      std::abort();
+    }
+  }
+  return editor.Seal();
+}
+
+void BM_IncrementalModValidator(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::SingleSchemaPair();
+  core::ModValidator validator(pair.relations.get());
+  workload::PoGeneratorOptions options;
+  options.item_count = kItems;
+  options.quantity_max = 99;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  xml::ModificationIndex mods =
+      ApplyEdits(&doc, static_cast<size_t>(state.range(0)));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc, mods);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+void BM_FullRevalidation(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::SingleSchemaPair();
+  core::FullValidator validator(pair.target.get());
+  workload::PoGeneratorOptions options;
+  options.item_count = kItems;
+  options.quantity_max = 99;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  xml::ModificationIndex mods =
+      ApplyEdits(&doc, static_cast<size_t>(state.range(0)));
+  (void)mods;  // text edits are applied in place; full validation reads them
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    core::ValidationReport report = validator.Validate(doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = report.counters.nodes_visited;
+  }
+  state.counters["nodes_visited"] = static_cast<double>(nodes);
+}
+
+#define EDIT_GRID ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+BENCHMARK(BM_IncrementalModValidator) EDIT_GRID;
+BENCHMARK(BM_FullRevalidation) EDIT_GRID;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation A3 — static preprocessing cost: time to compute TypeRelations
+// (R_sub + R_nondis fixpoints + the §4 immediate automata) as the schema
+// pair grows.
+//
+// The paper's memory/latency argument rests on preprocessing depending only
+// on the SCHEMAS, never the documents; this bench quantifies that cost.
+// Synthetic pair: a chain of N complex types t_i with content
+// (leaf_i, child_{i+1}?), where the target narrows every leaf's numeric
+// facet — so no pair is subsumed and the fixpoints run to full depth.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/relations.h"
+#include "schema/abstract_schema.h"
+
+namespace {
+
+using namespace xmlreval;
+using schema::Alphabet;
+using schema::Schema;
+using schema::SchemaBuilder;
+using schema::SimpleType;
+using schema::TypeId;
+
+// Builds a chain schema with `depth` complex types. `max_value` controls
+// the leaf facet (different values between source/target keep every pair
+// out of R_sub, maximizing fixpoint work).
+std::unique_ptr<Schema> BuildChain(const std::shared_ptr<Alphabet>& alphabet,
+                                   int depth, int64_t max_value,
+                                   const std::string& prefix) {
+  SchemaBuilder builder(alphabet);
+  SimpleType leaf{schema::AtomicKind::kInteger, {}};
+  leaf.facets.max_inclusive = max_value * 1000000000;
+  TypeId leaf_type = *builder.DeclareSimpleType(prefix + "Leaf", leaf);
+
+  std::vector<TypeId> types(depth);
+  for (int i = 0; i < depth; ++i) {
+    types[i] = *builder.DeclareComplexType(prefix + "T" + std::to_string(i));
+  }
+  for (int i = 0; i < depth; ++i) {
+    std::string leaf_label = "leaf" + std::to_string(i);
+    automata::RegexPtr content;
+    automata::RegexPtr leaf_sym =
+        automata::Regex::Sym(alphabet->Intern(leaf_label));
+    if (i + 1 < depth) {
+      std::string child_label = "child" + std::to_string(i + 1);
+      content = automata::Regex::Concat(
+          {leaf_sym, automata::Regex::Optional(automata::Regex::Sym(
+                         alphabet->Intern(child_label)))});
+      (void)builder.MapChild(types[i], child_label, types[i + 1]);
+    } else {
+      content = leaf_sym;
+    }
+    (void)builder.SetContentModel(types[i], content);
+    (void)builder.MapChild(types[i], leaf_label, leaf_type);
+  }
+  (void)builder.AddRoot("root", types[0]);
+  auto schema = builder.Build();
+  if (!schema.ok()) std::abort();
+  return std::make_unique<Schema>(std::move(schema).value());
+}
+
+void BM_ComputeRelations(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto alphabet = std::make_shared<Alphabet>();
+  auto source = BuildChain(alphabet, depth, 200, "S");
+  auto target = BuildChain(alphabet, depth, 100, "T");
+  size_t subsumed = 0, nondisjoint = 0;
+  for (auto _ : state) {
+    auto relations = core::TypeRelations::Compute(source.get(), target.get());
+    benchmark::DoNotOptimize(relations.ok());
+    subsumed = relations->CountSubsumed();
+    nondisjoint = relations->CountNonDisjoint();
+  }
+  state.counters["types_per_schema"] = depth + 1;
+  state.counters["subsumed_pairs"] = static_cast<double>(subsumed);
+  state.counters["nondisjoint_pairs"] = static_cast<double>(nondisjoint);
+}
+
+void BM_ComputeRelationsNoAutomata(benchmark::State& state) {
+  // Relations only — without prebuilding the §4 pair/single automata —
+  // isolates the fixpoint cost.
+  int depth = static_cast<int>(state.range(0));
+  auto alphabet = std::make_shared<Alphabet>();
+  auto source = BuildChain(alphabet, depth, 200, "S");
+  auto target = BuildChain(alphabet, depth, 100, "T");
+  core::TypeRelations::Options options;
+  options.build_pair_automata = false;
+  options.build_single_automata = false;
+  for (auto _ : state) {
+    auto relations =
+        core::TypeRelations::Compute(source.get(), target.get(), options);
+    benchmark::DoNotOptimize(relations.ok());
+  }
+  state.counters["types_per_schema"] = depth + 1;
+}
+
+BENCHMARK(BM_ComputeRelations)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_ComputeRelationsNoAutomata)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

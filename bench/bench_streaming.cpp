@@ -1,0 +1,98 @@
+// Ablation A6 — streaming vs DOM validation: the paper's memory argument
+// (§7: memory depends on the schemas, not the document) quantified.
+//
+// Pipelines compared, from XML TEXT to a verdict (experiment-1 pair, so
+// the cast skips everything under the root):
+//   * StreamingCastValidate      — SAX events, O(depth) live frames
+//   * StreamingValidate          — SAX full validation (baseline)
+//   * DOM parse + CastValidator  — what a DOM-based system pays end to end
+//   * DOM parse + FullValidator
+//
+// The live-memory metric is reported as a counter: live_frames for the
+// streaming validators (peak open-element stack) vs dom_nodes for the DOM
+// pipelines (every node is materialized before validation starts).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/streaming_validator.h"
+#include "workload/po_generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xmlreval;
+
+std::string MakeText(size_t items) {
+  workload::PoGeneratorOptions options;
+  options.item_count = items;
+  return xml::Serialize(workload::GeneratePurchaseOrder(options));
+}
+
+void BM_StreamingCast(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  std::string text = MakeText(state.range(0));
+  uint64_t frames = 0;
+  for (auto _ : state) {
+    core::StreamingReport report =
+        core::StreamingCastValidate(text, *pair.relations);
+    benchmark::DoNotOptimize(report.valid);
+    frames = report.max_live_frames;
+  }
+  state.counters["live_frames"] = static_cast<double>(frames);
+  state.counters["input_bytes"] = static_cast<double>(text.size());
+}
+
+void BM_StreamingFull(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  std::string text = MakeText(state.range(0));
+  uint64_t frames = 0;
+  for (auto _ : state) {
+    core::StreamingReport report =
+        core::StreamingValidate(text, *pair.target);
+    benchmark::DoNotOptimize(report.valid);
+    frames = report.max_live_frames;
+  }
+  state.counters["live_frames"] = static_cast<double>(frames);
+}
+
+void BM_DomCast(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  core::CastValidator validator(pair.relations.get());
+  std::string text = MakeText(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(text);
+    core::ValidationReport report = validator.Validate(*doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = doc->NodeCount();
+  }
+  state.counters["dom_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_DomFull(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment1Pair();
+  core::FullValidator validator(pair.target.get());
+  std::string text = MakeText(state.range(0));
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(text);
+    core::ValidationReport report = validator.Validate(*doc);
+    benchmark::DoNotOptimize(report.valid);
+    nodes = doc->NodeCount();
+  }
+  state.counters["dom_nodes"] = static_cast<double>(nodes);
+}
+
+#define GRID ->Arg(50)->Arg(500)->Arg(5000)
+BENCHMARK(BM_StreamingCast) GRID;
+BENCHMARK(BM_StreamingFull) GRID;
+BENCHMARK(BM_DomCast) GRID;
+BENCHMARK(BM_DomFull) GRID;
+
+}  // namespace
+
+BENCHMARK_MAIN();

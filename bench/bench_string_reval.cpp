@@ -1,0 +1,136 @@
+// Ablation A1 — string revalidation (§4.2): how much scanning does the
+// immediate decision automaton c_immed save over (a) checking the string
+// fresh with b_immed and (b) a plain DFA scan, as a function of string
+// length and of WHERE the languages force a decision?
+//
+// Three scenarios over strings s ∈ L(a) of length n:
+//   * EqualLanguages:   b == a                → c_immed accepts after 0
+//     symbols (the subsumption fast path); the others scan O(n).
+//   * EarlyDivergence:  a = (p?, m*), b = (p, m*) → decided by symbol 1.
+//   * LateDivergence:   a = (m*, (e|f)), b = (m*, e) → the verdict depends
+//     on the last symbol; even the optimal automaton scans O(n), so all
+//     three mechanisms converge — the paper's "no free lunch" case.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "automata/regex_parser.h"
+#include "core/string_revalidator.h"
+
+namespace {
+
+using namespace xmlreval;
+using automata::Alphabet;
+using automata::Symbol;
+
+struct Scenario {
+  Alphabet alphabet;
+  std::unique_ptr<core::StringRevalidator> reval;
+  std::unique_ptr<automata::Dfa> target;
+  std::vector<Symbol> input;
+};
+
+std::unique_ptr<Scenario> MakeScenario(const char* regex_a,
+                                       const char* regex_b, size_t length,
+                                       const char* head, const char* tail) {
+  auto s = std::make_unique<Scenario>();
+  for (const char* n : {"p", "m", "e", "f"}) s->alphabet.Intern(n);
+  auto ra = automata::ParseRegex(regex_a, &s->alphabet);
+  auto rb = automata::ParseRegex(regex_b, &s->alphabet);
+  auto a = automata::CompileRegex(*ra, s->alphabet.size());
+  auto b = automata::CompileRegex(*rb, s->alphabet.size());
+  s->target = std::make_unique<automata::Dfa>(*b);
+  auto reval = core::StringRevalidator::Create(*a, *b);
+  s->reval =
+      std::make_unique<core::StringRevalidator>(std::move(reval).value());
+  if (head[0] != '\0') s->input.push_back(*s->alphabet.Find(head));
+  Symbol m = *s->alphabet.Find("m");
+  while (s->input.size() + (tail[0] != '\0' ? 1 : 0) < length) {
+    s->input.push_back(m);
+  }
+  if (tail[0] != '\0') s->input.push_back(*s->alphabet.Find(tail));
+  return s;
+}
+
+void Run(benchmark::State& state, Scenario* s, int mode) {
+  size_t scanned = 0;
+  for (auto _ : state) {
+    switch (mode) {
+      case 0: {  // c_immed (knows input ∈ L(a))
+        core::RevalidationResult r = s->reval->Revalidate(s->input);
+        benchmark::DoNotOptimize(r.accepted);
+        scanned = r.symbols_scanned;
+        break;
+      }
+      case 1: {  // b_immed (no source knowledge)
+        core::RevalidationResult r = s->reval->ValidateFresh(s->input);
+        benchmark::DoNotOptimize(r.accepted);
+        scanned = r.symbols_scanned;
+        break;
+      }
+      case 2: {  // plain DFA scan, no immediate states
+        bool ok = s->target->Accepts(s->input);
+        benchmark::DoNotOptimize(ok);
+        scanned = s->input.size();
+        break;
+      }
+    }
+  }
+  state.counters["symbols_scanned"] = static_cast<double>(scanned);
+  state.counters["length"] = static_cast<double>(s->input.size());
+}
+
+void BM_EqualLanguages_CImmed(benchmark::State& state) {
+  auto s = MakeScenario("(p,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 0);
+}
+void BM_EqualLanguages_BImmed(benchmark::State& state) {
+  auto s = MakeScenario("(p,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 1);
+}
+void BM_EqualLanguages_PlainDfa(benchmark::State& state) {
+  auto s = MakeScenario("(p,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 2);
+}
+
+void BM_EarlyDivergence_CImmed(benchmark::State& state) {
+  auto s = MakeScenario("(p?,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 0);
+}
+void BM_EarlyDivergence_BImmed(benchmark::State& state) {
+  auto s = MakeScenario("(p?,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 1);
+}
+void BM_EarlyDivergence_PlainDfa(benchmark::State& state) {
+  auto s = MakeScenario("(p?,m*)", "(p,m*)", state.range(0), "p", "");
+  Run(state, s.get(), 2);
+}
+
+void BM_LateDivergence_CImmed(benchmark::State& state) {
+  auto s = MakeScenario("(m*,(e|f))", "(m*,e)", state.range(0), "", "e");
+  Run(state, s.get(), 0);
+}
+void BM_LateDivergence_BImmed(benchmark::State& state) {
+  auto s = MakeScenario("(m*,(e|f))", "(m*,e)", state.range(0), "", "e");
+  Run(state, s.get(), 1);
+}
+void BM_LateDivergence_PlainDfa(benchmark::State& state) {
+  auto s = MakeScenario("(m*,(e|f))", "(m*,e)", state.range(0), "", "e");
+  Run(state, s.get(), 2);
+}
+
+#define GRID ->Arg(16)->Arg(256)->Arg(4096)->Arg(65536)
+BENCHMARK(BM_EqualLanguages_CImmed) GRID;
+BENCHMARK(BM_EqualLanguages_BImmed) GRID;
+BENCHMARK(BM_EqualLanguages_PlainDfa) GRID;
+BENCHMARK(BM_EarlyDivergence_CImmed) GRID;
+BENCHMARK(BM_EarlyDivergence_BImmed) GRID;
+BENCHMARK(BM_EarlyDivergence_PlainDfa) GRID;
+BENCHMARK(BM_LateDivergence_CImmed) GRID;
+BENCHMARK(BM_LateDivergence_BImmed) GRID;
+BENCHMARK(BM_LateDivergence_PlainDfa) GRID;
+
+}  // namespace
+
+BENCHMARK_MAIN();

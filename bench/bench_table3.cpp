@@ -1,0 +1,60 @@
+// Table 3 — "Number of nodes traversed during validation in Experiment 2."
+//
+// Counts — not times — so this binary prints the table directly next to
+// the paper's numbers. Absolute counts differ from the paper's (their DOM
+// retains indentation text nodes and counts Xerces-internal visits; our
+// corpus also differs in the optional shipDate mix), but the paper's shape
+// must hold: both columns linear in the item count, schema-cast visiting
+// ~20-40% fewer nodes than the baseline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "workload/po_generator.h"
+
+int main() {
+  using namespace xmlreval;
+
+  struct PaperRow {
+    size_t items, cast, xerces;
+  };
+  constexpr PaperRow kPaper[] = {
+      {2, 35, 74},         {50, 611, 794},     {100, 1211, 1544},
+      {200, 2411, 3044},   {500, 6011, 7544},  {1000, 12011, 15044},
+  };
+
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::CastValidator cast(pair.relations.get());
+  core::FullValidator full(pair.target.get());
+
+  std::printf("Table 3: nodes traversed during validation in experiment 2\n");
+  std::printf("%-8s | %-12s %-12s %-8s | %-12s %-12s %-8s\n", "# items",
+              "cast(ours)", "full(ours)", "ratio", "cast(paper)",
+              "xerces(paper)", "ratio");
+  for (const PaperRow& row : kPaper) {
+    workload::PoGeneratorOptions options;
+    options.item_count = row.items;
+    options.quantity_max = 99;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    core::ValidationReport cast_report = cast.Validate(doc);
+    core::ValidationReport full_report = full.Validate(doc);
+    if (!cast_report.valid || !full_report.valid) {
+      std::fprintf(stderr, "unexpected invalid document\n");
+      return 1;
+    }
+    std::printf("%-8zu | %-12llu %-12llu %-8.2f | %-12zu %-12zu %-8.2f\n",
+                row.items,
+                (unsigned long long)cast_report.counters.nodes_visited,
+                (unsigned long long)full_report.counters.nodes_visited,
+                double(cast_report.counters.nodes_visited) /
+                    double(full_report.counters.nodes_visited),
+                row.cast, row.xerces, double(row.cast) / double(row.xerces));
+  }
+  std::printf(
+      "\n(both implementations: linear in items; cast visits a constant "
+      "fraction fewer nodes — the paper reports ~0.80, our stricter "
+      "skip-the-subtree counting yields a smaller ratio)\n");
+  return 0;
+}

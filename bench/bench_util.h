@@ -1,0 +1,78 @@
+// Shared fixtures for the benchmark binaries: the paper's schema pairs,
+// preprocessed once per process.
+
+#ifndef XMLREVAL_BENCH_BENCH_UTIL_H_
+#define XMLREVAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/relations.h"
+#include "schema/xsd_parser.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::bench {
+
+struct SchemaPair {
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::unique_ptr<core::TypeRelations> relations;
+};
+
+inline SchemaPair LoadPair(const char* source_xsd, const char* target_xsd) {
+  SchemaPair pair;
+  pair.alphabet = std::make_shared<automata::Alphabet>();
+  auto source = schema::ParseXsd(source_xsd, pair.alphabet);
+  if (!source.ok()) {
+    std::fprintf(stderr, "source schema: %s\n",
+                 source.status().ToString().c_str());
+    std::abort();
+  }
+  pair.source = std::make_unique<schema::Schema>(std::move(source).value());
+  auto target = schema::ParseXsd(target_xsd, pair.alphabet);
+  if (!target.ok()) {
+    std::fprintf(stderr, "target schema: %s\n",
+                 target.status().ToString().c_str());
+    std::abort();
+  }
+  pair.target = std::make_unique<schema::Schema>(std::move(target).value());
+  auto relations =
+      core::TypeRelations::Compute(pair.source.get(), pair.target.get());
+  if (!relations.ok()) {
+    std::fprintf(stderr, "relations: %s\n",
+                 relations.status().ToString().c_str());
+    std::abort();
+  }
+  pair.relations =
+      std::make_unique<core::TypeRelations>(std::move(relations).value());
+  return pair;
+}
+
+/// Experiment 1 pair: Figure 1a (billTo optional) → Figure 2.
+inline SchemaPair& Experiment1Pair() {
+  static SchemaPair pair =
+      LoadPair(workload::kSourceXsd, workload::kTargetXsd);
+  return pair;
+}
+
+/// Experiment 2 pair: Figure 2 with quantity<200 → Figure 2 (quantity<100).
+inline SchemaPair& Experiment2Pair() {
+  static SchemaPair pair =
+      LoadPair(workload::kRelaxedQuantityXsd, workload::kTargetXsd);
+  return pair;
+}
+
+/// Single-schema pair (source == target == Figure 2): the update problem.
+inline SchemaPair& SingleSchemaPair() {
+  static SchemaPair pair = LoadPair(workload::kTargetXsd, workload::kTargetXsd);
+  return pair;
+}
+
+/// The item-count grid of the paper's Table 2 / Figure 3.
+inline constexpr size_t kItemGrid[] = {2, 50, 100, 200, 500, 1000};
+
+}  // namespace xmlreval::bench
+
+#endif  // XMLREVAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,156 @@
+// Message broker — the paper's "documents are not available a priori"
+// deployment (§2): a broker receives a stream of XML messages, each
+// guaranteed by its producer to conform to the producer's DTD, and must
+// decide per message whether it satisfies each consumer's DTD. Schemas are
+// preprocessed once at subscription time; messages are validated as they
+// arrive with no per-document preprocessing or annotation.
+//
+// Here: one producer ships order records; two consumers subscribed with
+// stricter contracts (one needs the optional priority field, one bounds
+// the item count). The broker routes each message to the consumers whose
+// contract it satisfies.
+//
+// Build & run:  ./build/examples/message_broker
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/relations.h"
+#include "schema/dtd_parser.h"
+#include "xml/parser.h"
+
+using namespace xmlreval;
+
+namespace {
+
+constexpr const char* kProducerDtd = R"(
+<!ELEMENT message (header, priority?, body)>
+<!ELEMENT header (sender, timestamp)>
+<!ELEMENT sender (#PCDATA)>
+<!ELEMENT timestamp (#PCDATA)>
+<!ELEMENT priority (#PCDATA)>
+<!ELEMENT body (entry*)>
+<!ELEMENT entry (#PCDATA)>
+)";
+
+// Consumer A: priority is mandatory.
+constexpr const char* kConsumerA = R"(
+<!ELEMENT message (header, priority, body)>
+<!ELEMENT header (sender, timestamp)>
+<!ELEMENT sender (#PCDATA)>
+<!ELEMENT timestamp (#PCDATA)>
+<!ELEMENT priority (#PCDATA)>
+<!ELEMENT body (entry*)>
+<!ELEMENT entry (#PCDATA)>
+)";
+
+// Consumer B: accepts at most three entries. Note the nested-optional
+// encoding — the flat (entry?, entry?, entry?) is not 1-unambiguous and
+// XML's determinism rule (and this library) rejects it.
+constexpr const char* kConsumerB = R"(
+<!ELEMENT message (header, priority?, body)>
+<!ELEMENT header (sender, timestamp)>
+<!ELEMENT sender (#PCDATA)>
+<!ELEMENT timestamp (#PCDATA)>
+<!ELEMENT priority (#PCDATA)>
+<!ELEMENT body (entry, (entry, (entry)?)?)?>
+<!ELEMENT entry (#PCDATA)>
+)";
+
+std::string Message(bool priority, int entries) {
+  std::string m =
+      "<message><header><sender>svc-42</sender>"
+      "<timestamp>2026-07-05T12:00:00</timestamp></header>";
+  if (priority) m += "<priority>high</priority>";
+  m += "<body>";
+  for (int i = 0; i < entries; ++i) {
+    m += "<entry>e" + std::to_string(i) + "</entry>";
+  }
+  m += "</body></message>";
+  return m;
+}
+
+struct Subscription {
+  std::string name;
+  std::unique_ptr<schema::Schema> contract;
+  std::unique_ptr<core::TypeRelations> relations;
+  std::unique_ptr<core::CastValidator> validator;
+};
+
+}  // namespace
+
+int main() {
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  schema::DtdParseOptions dtd_options;
+  dtd_options.roots = {"message"};
+  auto producer = schema::ParseDtd(kProducerDtd, alphabet, dtd_options);
+  if (!producer.ok()) {
+    std::fprintf(stderr, "%s\n", producer.status().ToString().c_str());
+    return 1;
+  }
+
+  // Subscription time: preprocess (producer, consumer) once per consumer.
+  std::vector<Subscription> subscriptions;
+  for (auto [name, dtd] : {std::pair{"consumer-A", kConsumerA},
+                           std::pair{"consumer-B", kConsumerB}}) {
+    Subscription sub;
+    sub.name = name;
+    auto contract = schema::ParseDtd(dtd, alphabet, dtd_options);
+    if (!contract.ok()) {
+      std::fprintf(stderr, "%s\n", contract.status().ToString().c_str());
+      return 1;
+    }
+    sub.contract = std::make_unique<schema::Schema>(std::move(contract).value());
+    auto relations = core::TypeRelations::Compute(&*producer, sub.contract.get());
+    if (!relations.ok()) {
+      std::fprintf(stderr, "%s\n", relations.status().ToString().c_str());
+      return 1;
+    }
+    sub.relations =
+        std::make_unique<core::TypeRelations>(std::move(relations).value());
+    sub.validator = std::make_unique<core::CastValidator>(sub.relations.get());
+    subscriptions.push_back(std::move(sub));
+  }
+
+  // Message loop: each arriving message is producer-valid by contract; the
+  // broker only pays for the schema differences.
+  core::FullValidator producer_check(&*producer);
+  struct Stats {
+    int delivered = 0;
+    unsigned long long nodes = 0;
+  };
+  std::vector<Stats> stats(subscriptions.size());
+
+  std::vector<std::string> wire = {
+      Message(true, 2),  Message(false, 1), Message(true, 5),
+      Message(false, 8), Message(true, 0),  Message(true, 3),
+  };
+  for (const std::string& text : wire) {
+    auto doc = xml::ParseXml(text);
+    if (!doc.ok() || !producer_check.Validate(*doc).valid) {
+      std::printf("REJECTED at ingress (producer contract violated)\n");
+      continue;
+    }
+    std::printf("message (%zu bytes):", text.size());
+    for (size_t i = 0; i < subscriptions.size(); ++i) {
+      core::ValidationReport report = subscriptions[i].validator->Validate(*doc);
+      stats[i].nodes += report.counters.nodes_visited;
+      if (report.valid) {
+        ++stats[i].delivered;
+        std::printf("  -> %s", subscriptions[i].name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nrouting summary:\n");
+  for (size_t i = 0; i < subscriptions.size(); ++i) {
+    std::printf("  %s: %d/%zu delivered, %llu nodes examined in total\n",
+                subscriptions[i].name.c_str(), stats[i].delivered, wire.size(),
+                stats[i].nodes);
+  }
+  return 0;
+}

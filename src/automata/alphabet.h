@@ -1,0 +1,62 @@
+// Symbol interning shared by schemas, automata, and documents.
+//
+// The paper assumes both schemas range over the same alphabet Σ of element
+// labels. An Alphabet interns label strings to dense uint32 ids so that
+// DFAs can use flat transition tables and validators can compare labels by
+// id. One Alphabet instance is shared by a source/target schema pair.
+
+#ifndef XMLREVAL_AUTOMATA_ALPHABET_H_
+#define XMLREVAL_AUTOMATA_ALPHABET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xmlreval::automata {
+
+using Symbol = uint32_t;
+inline constexpr Symbol kInvalidSymbol = 0xFFFFFFFFu;
+
+class Alphabet {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  Symbol Intern(std::string_view name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    Symbol id = static_cast<Symbol>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or nullopt if it was never interned.
+  /// Document labels outside Σ can never satisfy any content model, so
+  /// validators treat a nullopt as an immediate mismatch. Heterogeneous
+  /// lookup: no temporary std::string on this hot path.
+  std::optional<Symbol> Find(std::string_view name) const {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& Name(Symbol id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, Symbol, StringHash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_ALPHABET_H_

@@ -1,0 +1,335 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "automata/glushkov.h"
+#include "common/macros.h"
+
+namespace xmlreval::automata {
+
+bool Dfa::IsEmptyLanguage() const {
+  std::vector<bool> reachable = ReachableStates();
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (reachable[q] && accepting_[q]) return false;
+  }
+  return true;
+}
+
+bool Dfa::IsUniversalLanguage() const {
+  std::vector<bool> reachable = ReachableStates();
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (reachable[q] && !accepting_[q]) return false;
+  }
+  return true;
+}
+
+std::vector<bool> Dfa::ReachableStates() const {
+  std::vector<bool> reachable(num_states(), false);
+  std::deque<StateId> queue{start_};
+  reachable[start_] = true;
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (Symbol s = 0; s < alphabet_size_; ++s) {
+      StateId next = Next(q, s);
+      if (!reachable[next]) {
+        reachable[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return reachable;
+}
+
+namespace {
+
+// Backward closure: marks all states from which some seed state is
+// reachable. Linear in the transition table.
+std::vector<bool> BackwardClosure(const Dfa& dfa,
+                                  const std::vector<bool>& seeds) {
+  size_t n = dfa.num_states();
+  // Build reverse adjacency once.
+  std::vector<std::vector<StateId>> rev(n);
+  for (StateId q = 0; q < n; ++q) {
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      rev[dfa.Next(q, s)].push_back(q);
+    }
+  }
+  std::vector<bool> marked(n, false);
+  std::deque<StateId> queue;
+  for (StateId q = 0; q < n; ++q) {
+    if (seeds[q]) {
+      marked[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (StateId p : rev[q]) {
+      if (!marked[p]) {
+        marked[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return marked;
+}
+
+}  // namespace
+
+std::vector<bool> Dfa::CoDeadStates() const {
+  std::vector<bool> accepting_seed(num_states());
+  for (StateId q = 0; q < num_states(); ++q) accepting_seed[q] = accepting_[q];
+  std::vector<bool> can_accept = BackwardClosure(*this, accepting_seed);
+  std::vector<bool> dead(num_states());
+  for (StateId q = 0; q < num_states(); ++q) dead[q] = !can_accept[q];
+  return dead;
+}
+
+std::vector<bool> Dfa::UniversalStates() const {
+  // q is universal iff no rejecting state is reachable from q, i.e. q is
+  // NOT in the backward closure of the rejecting states.
+  std::vector<bool> rejecting(num_states());
+  for (StateId q = 0; q < num_states(); ++q) rejecting[q] = !accepting_[q];
+  std::vector<bool> can_reject = BackwardClosure(*this, rejecting);
+  std::vector<bool> universal(num_states());
+  for (StateId q = 0; q < num_states(); ++q) universal[q] = !can_reject[q];
+  return universal;
+}
+
+Nfa Dfa::Reverse() const {
+  Nfa nfa(alphabet_size_);
+  for (StateId q = 0; q < num_states(); ++q) nfa.AddState();
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (Symbol s = 0; s < alphabet_size_; ++s) {
+      nfa.AddTransition(Next(q, s), s, q);  // reversed edge
+    }
+    if (accepting_[q]) nfa.AddStartState(q);
+  }
+  nfa.SetAccepting(start_);
+  return nfa;
+}
+
+size_t Dfa::CountAccepting() const {
+  size_t n = 0;
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (accepting_[q]) ++n;
+  }
+  return n;
+}
+
+Dfa DeterminizeNfa(const Nfa& nfa) {
+  size_t k = nfa.alphabet_size();
+  // Subsets as sorted vectors; map subset -> DFA state id.
+  std::map<std::vector<StateId>, StateId> subset_ids;
+  std::vector<std::vector<StateId>> subsets;
+  auto intern = [&](std::vector<StateId> subset) -> StateId {
+    std::sort(subset.begin(), subset.end());
+    subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    StateId id = static_cast<StateId>(subsets.size());
+    subset_ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+
+  std::vector<StateId> start(nfa.start_states().begin(),
+                             nfa.start_states().end());
+  StateId start_id = intern(std::move(start));
+
+  // Transition rows, built as we discover subsets.
+  std::vector<std::vector<StateId>> rows;
+  for (size_t explored = 0; explored < subsets.size(); ++explored) {
+    std::vector<StateId> row(k);
+    for (Symbol s = 0; s < k; ++s) {
+      std::vector<StateId> next;
+      // NOTE: subsets may reallocate inside intern(); copy the source
+      // subset before computing targets.
+      std::vector<StateId> current = subsets[explored];
+      for (StateId q : current) {
+        const std::vector<StateId>& targets = nfa.Targets(q, s);
+        next.insert(next.end(), targets.begin(), targets.end());
+      }
+      row[s] = intern(std::move(next));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa dfa(subsets.size(), k);
+  dfa.set_start_state(start_id);
+  for (StateId q = 0; q < subsets.size(); ++q) {
+    for (Symbol s = 0; s < k; ++s) dfa.SetTransition(q, s, rows[q][s]);
+    bool accepting = false;
+    for (StateId n : subsets[q]) {
+      if (nfa.IsAccepting(n)) {
+        accepting = true;
+        break;
+      }
+    }
+    dfa.SetAccepting(q, accepting);
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  size_t n = num_states();
+  size_t k = alphabet_size_;
+
+  // Restrict to reachable states first (Hopcroft assumes all states
+  // relevant; unreachable states would pollute the partition).
+  std::vector<bool> reachable = ReachableStates();
+  std::vector<StateId> old_to_compact(n, kInvalidSymbol);
+  std::vector<StateId> compact_to_old;
+  for (StateId q = 0; q < n; ++q) {
+    if (reachable[q]) {
+      old_to_compact[q] = static_cast<StateId>(compact_to_old.size());
+      compact_to_old.push_back(q);
+    }
+  }
+  size_t m = compact_to_old.size();
+
+  // Reverse adjacency on the compact automaton.
+  std::vector<std::vector<std::vector<StateId>>> rev(
+      m, std::vector<std::vector<StateId>>(k));
+  for (StateId cq = 0; cq < m; ++cq) {
+    StateId q = compact_to_old[cq];
+    for (Symbol s = 0; s < k; ++s) {
+      StateId target = old_to_compact[Next(q, s)];
+      rev[target][s].push_back(cq);
+    }
+  }
+
+  // Hopcroft partition refinement.
+  std::vector<int> block_of(m, 0);
+  std::vector<std::vector<StateId>> blocks;
+  {
+    std::vector<StateId> acc, rej;
+    for (StateId cq = 0; cq < m; ++cq) {
+      (accepting_[compact_to_old[cq]] ? acc : rej).push_back(cq);
+    }
+    if (!acc.empty()) {
+      for (StateId q : acc) block_of[q] = static_cast<int>(blocks.size());
+      blocks.push_back(std::move(acc));
+    }
+    if (!rej.empty()) {
+      for (StateId q : rej) block_of[q] = static_cast<int>(blocks.size());
+      blocks.push_back(std::move(rej));
+    }
+  }
+
+  // Worklist of (block index, symbol) splitters.
+  std::deque<std::pair<int, Symbol>> worklist;
+  std::set<std::pair<int, Symbol>> in_worklist;
+  auto push_splitter = [&](int block, Symbol s) {
+    if (in_worklist.insert({block, s}).second) worklist.push_back({block, s});
+  };
+  for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+    for (Symbol s = 0; s < k; ++s) push_splitter(b, s);
+  }
+
+  while (!worklist.empty()) {
+    auto [splitter, s] = worklist.front();
+    worklist.pop_front();
+    in_worklist.erase({splitter, s});
+
+    // pre = states with a transition on s into the splitter block.
+    std::vector<StateId> pre;
+    for (StateId q : blocks[splitter]) {
+      for (StateId p : rev[q][s]) pre.push_back(p);
+    }
+    if (pre.empty()) continue;
+
+    // Group pre by current block; split blocks that are partially hit.
+    std::unordered_map<int, std::vector<StateId>> hits;
+    for (StateId p : pre) hits[block_of[p]].push_back(p);
+
+    for (auto& [b, hit_states] : hits) {
+      if (hit_states.size() == blocks[b].size()) continue;  // fully hit
+      // Deduplicate (a state can appear in pre multiple times).
+      std::sort(hit_states.begin(), hit_states.end());
+      hit_states.erase(std::unique(hit_states.begin(), hit_states.end()),
+                       hit_states.end());
+      if (hit_states.size() == blocks[b].size()) continue;
+
+      // New block = hit part; old block keeps the rest.
+      int nb = static_cast<int>(blocks.size());
+      std::vector<StateId> rest;
+      {
+        std::unordered_set<StateId> hit_set(hit_states.begin(),
+                                            hit_states.end());
+        for (StateId q : blocks[b]) {
+          if (!hit_set.count(q)) rest.push_back(q);
+        }
+      }
+      if (rest.empty()) continue;  // everything hit after dedup
+      for (StateId q : hit_states) block_of[q] = nb;
+      blocks.push_back(std::move(hit_states));
+      blocks[b] = std::move(rest);
+
+      // Hopcroft: enqueue the smaller of the two parts for every symbol;
+      // if (b, s') already queued, the new block must be queued too.
+      for (Symbol s2 = 0; s2 < k; ++s2) {
+        if (in_worklist.count({b, s2})) {
+          push_splitter(nb, s2);
+        } else {
+          int smaller = blocks[nb].size() < blocks[b].size() ? nb : b;
+          push_splitter(smaller, s2);
+        }
+      }
+    }
+  }
+
+  // Emit the quotient automaton.
+  Dfa out(blocks.size(), k);
+  out.set_start_state(block_of[old_to_compact[start_]]);
+  for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+    StateId representative = blocks[b][0];
+    StateId old_rep = compact_to_old[representative];
+    for (Symbol s = 0; s < k; ++s) {
+      out.SetTransition(b, s, block_of[old_to_compact[Next(old_rep, s)]]);
+    }
+    out.SetAccepting(b, accepting_[old_rep]);
+  }
+  return out;
+}
+
+Dfa Dfa::PaddedTo(size_t alphabet_size) const {
+  XMLREVAL_CHECK(alphabet_size >= alphabet_size_,
+                 "PaddedTo cannot shrink the alphabet");
+  if (alphabet_size == alphabet_size_) return *this;
+  size_t n = num_states();
+  StateId sink = static_cast<StateId>(n);
+  Dfa out(n + 1, alphabet_size);
+  out.set_start_state(start_);
+  for (StateId q = 0; q < n; ++q) {
+    out.SetAccepting(q, accepting_[q]);
+    for (Symbol s = 0; s < alphabet_size; ++s) {
+      out.SetTransition(q, s, s < alphabet_size_ ? Next(q, s) : sink);
+    }
+  }
+  for (Symbol s = 0; s < alphabet_size; ++s) out.SetTransition(sink, s, sink);
+  return out;
+}
+
+Result<Dfa> CompileRegex(const RegexPtr& regex, size_t alphabet_size,
+                         bool require_deterministic) {
+  ASSIGN_OR_RETURN(RegexPtr expanded, ExpandRepeats(regex));
+  ASSIGN_OR_RETURN(GlushkovResult glushkov,
+                   BuildGlushkov(expanded, alphabet_size));
+  if (require_deterministic && !glushkov.one_unambiguous) {
+    return Status::InvalidSchema(
+        "content model is not deterministic (violates unique particle "
+        "attribution)");
+  }
+  Dfa dfa = DeterminizeNfa(glushkov.nfa);
+  return dfa.Minimize();
+}
+
+}  // namespace xmlreval::automata

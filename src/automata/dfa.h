@@ -1,0 +1,129 @@
+// Complete deterministic finite automata over an interned alphabet.
+//
+// Every Dfa in xmlreval is COMPLETE: δ(q, σ) is defined for all q, σ —
+// missing transitions are routed to an explicit sink during construction,
+// matching the paper's "without loss of generality" assumption in §4.1.
+// Transitions are a flat row-major table (num_states × alphabet_size), so
+// stepping is one multiply and one load.
+//
+// Besides subset construction and Hopcroft minimization, this header hosts
+// the state analyses the paper's algorithms need:
+//   * dead states (§4.1: unreachable, or no final state reachable),
+//   * universal states (L(q) = Σ*, the IA set of Definition 6),
+//   * reversal to an NFA (§4.3's reverse-scan optimization).
+
+#ifndef XMLREVAL_AUTOMATA_DFA_H_
+#define XMLREVAL_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/regex.h"
+#include "common/result.h"
+
+namespace xmlreval::automata {
+
+class Dfa {
+ public:
+  /// Creates a DFA with `num_states` states over `alphabet_size` symbols.
+  /// All transitions initially point to state 0; callers must set every row
+  /// (construction helpers below always do).
+  Dfa(size_t num_states, size_t alphabet_size)
+      : alphabet_size_(alphabet_size),
+        transitions_(num_states * alphabet_size, 0),
+        accepting_(num_states, false) {}
+
+  size_t num_states() const { return accepting_.size(); }
+  size_t alphabet_size() const { return alphabet_size_; }
+
+  StateId start_state() const { return start_; }
+  void set_start_state(StateId s) { start_ = s; }
+
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  void SetAccepting(StateId s, bool accepting = true) {
+    accepting_[s] = accepting;
+  }
+
+  StateId Next(StateId state, Symbol symbol) const {
+    return transitions_[state * alphabet_size_ + symbol];
+  }
+  void SetTransition(StateId state, Symbol symbol, StateId target) {
+    transitions_[state * alphabet_size_ + symbol] = target;
+  }
+
+  /// Runs the DFA on a symbol string from `from` (default: start state).
+  StateId Run(std::span<const Symbol> input, StateId from) const {
+    StateId q = from;
+    for (Symbol s : input) q = Next(q, s);
+    return q;
+  }
+  StateId Run(std::span<const Symbol> input) const {
+    return Run(input, start_);
+  }
+
+  bool Accepts(std::span<const Symbol> input) const {
+    return IsAccepting(Run(input));
+  }
+
+  /// True iff ε ∈ L (the start state is accepting).
+  bool AcceptsEmpty() const { return IsAccepting(start_); }
+
+  /// L(dfa) == ∅ — no accepting state reachable from the start.
+  bool IsEmptyLanguage() const;
+
+  /// L(dfa) == Σ* — no rejecting state reachable from the start.
+  bool IsUniversalLanguage() const;
+
+  /// dead[q] = true iff no accepting state is reachable FROM q. (The other
+  /// half of the paper's dead-state definition — unreachable from the start
+  /// — is irrelevant at runtime and available via ReachableStates.)
+  std::vector<bool> CoDeadStates() const;
+
+  /// universal[q] = true iff L(q) = Σ*: every state reachable from q is
+  /// accepting. These are the IA states of Definition 6.
+  std::vector<bool> UniversalStates() const;
+
+  /// reachable[q] = true iff q is reachable from the start state.
+  std::vector<bool> ReachableStates() const;
+
+  /// Reverses the automaton: L(reverse) = { reverse(s) | s ∈ L }. The
+  /// result is an NFA (footnote 3 of the paper); determinize with
+  /// DeterminizeNfa for reverse scanning.
+  Nfa Reverse() const;
+
+  /// Hopcroft minimization. The result is complete, with unreachable states
+  /// removed and equivalent states merged.
+  Dfa Minimize() const;
+
+  /// Widens the alphabet to `alphabet_size` symbols: new symbols lead every
+  /// state to a fresh rejecting sink. Needed when a shared Alphabet grew
+  /// after this DFA was compiled (e.g. the cast's other schema interned
+  /// more labels) so that product constructions line up. No-op copy when
+  /// the size already matches.
+  Dfa PaddedTo(size_t alphabet_size) const;
+
+  /// Number of accepting states (diagnostics / tests).
+  size_t CountAccepting() const;
+
+ private:
+  size_t alphabet_size_;
+  StateId start_ = 0;
+  std::vector<StateId> transitions_;  // row-major [state][symbol]
+  std::vector<bool> accepting_;
+};
+
+/// Subset construction; the result is complete (the empty subset acts as
+/// the sink) and contains only subsets reachable from the start set.
+Dfa DeterminizeNfa(const Nfa& nfa);
+
+/// Convenience pipeline: ExpandRepeats → Glushkov → determinize → minimize.
+/// `require_deterministic`: fail with kInvalidSchema when the expression is
+/// not 1-unambiguous (XML's Unique Particle Attribution rule).
+Result<Dfa> CompileRegex(const RegexPtr& regex, size_t alphabet_size,
+                         bool require_deterministic = false);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_DFA_H_

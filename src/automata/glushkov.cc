@@ -1,0 +1,156 @@
+#include "automata/glushkov.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace xmlreval::automata {
+namespace {
+
+// A position is an occurrence of a symbol in the expression, numbered from
+// 1 (position 0 is the Glushkov start state).
+struct Positions {
+  std::vector<Symbol> symbol_of;  // symbol_of[p] for p >= 1; [0] unused
+};
+
+struct NodeFacts {
+  bool nullable = false;
+  std::vector<uint32_t> first;
+  std::vector<uint32_t> last;
+};
+
+class Builder {
+ public:
+  explicit Builder(size_t alphabet_size) : alphabet_size_(alphabet_size) {
+    positions_.symbol_of.push_back(kInvalidSymbol);  // position 0 = start
+  }
+
+  Result<GlushkovResult> Build(const RegexPtr& regex) {
+    ASSIGN_OR_RETURN(NodeFacts root, Visit(regex));
+
+    size_t n = positions_.symbol_of.size();  // states 0..n-1
+    follow_.resize(n);
+    // Recompute follow via the visit (already filled in Visit).
+
+    Nfa nfa(alphabet_size_);
+    for (size_t i = 0; i < n; ++i) nfa.AddState();
+    nfa.AddStartState(0);
+    if (root.nullable) nfa.SetAccepting(0);
+    for (uint32_t p : root.last) nfa.SetAccepting(p);
+
+    bool deterministic = true;
+    Symbol conflict = kInvalidSymbol;
+
+    auto add_edges = [&](StateId from, const std::vector<uint32_t>& targets) {
+      std::unordered_map<Symbol, uint32_t> seen;
+      for (uint32_t p : targets) {
+        Symbol s = positions_.symbol_of[p];
+        auto [it, fresh] = seen.emplace(s, p);
+        if (!fresh && it->second != p) {
+          deterministic = false;
+          conflict = s;
+        }
+        nfa.AddTransition(from, s, p);
+      }
+    };
+
+    add_edges(0, root.first);
+    for (size_t p = 1; p < n; ++p) {
+      add_edges(static_cast<StateId>(p), follow_[p]);
+    }
+
+    return GlushkovResult{std::move(nfa), deterministic, conflict};
+  }
+
+ private:
+  // Appends `src` into `dst` (sets are small; duplicates are avoided by
+  // construction since positions are unique per occurrence).
+  static void Union(std::vector<uint32_t>* dst, const std::vector<uint32_t>& src) {
+    dst->insert(dst->end(), src.begin(), src.end());
+  }
+
+  void AddFollow(const std::vector<uint32_t>& from,
+                 const std::vector<uint32_t>& to) {
+    for (uint32_t p : from) Union(&follow_[p], to);
+  }
+
+  Result<NodeFacts> Visit(const RegexPtr& r) {
+    switch (r->kind()) {
+      case RegexKind::kEmptySet: {
+        return NodeFacts{false, {}, {}};
+      }
+      case RegexKind::kEpsilon: {
+        return NodeFacts{true, {}, {}};
+      }
+      case RegexKind::kSymbol: {
+        uint32_t p = static_cast<uint32_t>(positions_.symbol_of.size());
+        positions_.symbol_of.push_back(r->symbol());
+        follow_.emplace_back();  // keep follow_ sized with positions
+        return NodeFacts{false, {p}, {p}};
+      }
+      case RegexKind::kConcat: {
+        NodeFacts acc{true, {}, {}};
+        bool first_open = true;  // all children so far nullable
+        for (const RegexPtr& c : r->children()) {
+          ASSIGN_OR_RETURN(NodeFacts f, Visit(c));
+          AddFollow(acc.last, f.first);
+          if (first_open) Union(&acc.first, f.first);
+          if (f.nullable) {
+            Union(&acc.last, f.last);
+          } else {
+            acc.last = f.last;
+          }
+          first_open = first_open && f.nullable;
+          acc.nullable = acc.nullable && f.nullable;
+        }
+        return acc;
+      }
+      case RegexKind::kAlternate: {
+        NodeFacts acc{false, {}, {}};
+        for (const RegexPtr& c : r->children()) {
+          ASSIGN_OR_RETURN(NodeFacts f, Visit(c));
+          acc.nullable = acc.nullable || f.nullable;
+          Union(&acc.first, f.first);
+          Union(&acc.last, f.last);
+        }
+        return acc;
+      }
+      case RegexKind::kStar: {
+        ASSIGN_OR_RETURN(NodeFacts f, Visit(r->child()));
+        AddFollow(f.last, f.first);
+        f.nullable = true;
+        return f;
+      }
+      case RegexKind::kPlus: {
+        ASSIGN_OR_RETURN(NodeFacts f, Visit(r->child()));
+        AddFollow(f.last, f.first);
+        return f;
+      }
+      case RegexKind::kOptional: {
+        ASSIGN_OR_RETURN(NodeFacts f, Visit(r->child()));
+        f.nullable = true;
+        return f;
+      }
+      case RegexKind::kRepeat:
+        return Status::FailedPrecondition(
+            "BuildGlushkov requires a repeat-free expression; call "
+            "ExpandRepeats first");
+    }
+    return Status::Internal("unknown regex kind");
+  }
+
+  size_t alphabet_size_;
+  Positions positions_;
+  // follow_[p] for positions p >= 1; slot 0 (the start state) is unused.
+  std::vector<std::vector<uint32_t>> follow_ =
+      std::vector<std::vector<uint32_t>>(1);
+};
+
+}  // namespace
+
+Result<GlushkovResult> BuildGlushkov(const RegexPtr& regex,
+                                     size_t alphabet_size) {
+  return Builder(alphabet_size).Build(regex);
+}
+
+}  // namespace xmlreval::automata

@@ -1,0 +1,39 @@
+// Glushkov (position) automaton construction and the 1-unambiguity test.
+//
+// XML requires content models to be deterministic ("1-unambiguous" in the
+// sense of Brüggemann-Klein & Wood, cited as [6] by the paper): in the
+// Glushkov automaton of the expression, no state may have two outgoing
+// transitions on the same symbol to different positions. The paper's
+// optimality result for content-model revalidation (Section 5) leans on
+// this determinism.
+//
+// BuildGlushkov computes nullable/first/last/follow over the position-
+// annotated expression and returns the position NFA (which is in fact
+// deterministic exactly when the expression is 1-unambiguous).
+
+#ifndef XMLREVAL_AUTOMATA_GLUSHKOV_H_
+#define XMLREVAL_AUTOMATA_GLUSHKOV_H_
+
+#include "automata/nfa.h"
+#include "automata/regex.h"
+#include "common/result.h"
+
+namespace xmlreval::automata {
+
+struct GlushkovResult {
+  Nfa nfa;
+  /// True iff the expression is 1-unambiguous (deterministic content model).
+  bool one_unambiguous;
+  /// When not 1-unambiguous, the symbol witnessing the conflict.
+  Symbol conflict_symbol;
+};
+
+/// Builds the Glushkov automaton of `regex`, which must be repeat-free
+/// (run ExpandRepeats first). The NFA has one start state (state 0) and one
+/// state per symbol position.
+Result<GlushkovResult> BuildGlushkov(const RegexPtr& regex,
+                                     size_t alphabet_size);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_GLUSHKOV_H_

@@ -1,0 +1,65 @@
+// Nondeterministic finite automata (no epsilon transitions).
+//
+// NFAs appear in two places: as the output of the Glushkov construction
+// (glushkov.h) and as reversals of DFAs (§4.3's reverse-scan optimization).
+// Subset construction to a complete DFA lives in dfa.h.
+
+#ifndef XMLREVAL_AUTOMATA_NFA_H_
+#define XMLREVAL_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace xmlreval::automata {
+
+using StateId = uint32_t;
+
+class Nfa {
+ public:
+  explicit Nfa(size_t alphabet_size) : alphabet_size_(alphabet_size) {}
+
+  StateId AddState() {
+    transitions_.emplace_back();
+    accepting_.push_back(false);
+    return static_cast<StateId>(transitions_.size() - 1);
+  }
+
+  void AddTransition(StateId from, Symbol symbol, StateId to) {
+    transitions_[from][symbol].push_back(to);
+  }
+
+  void SetAccepting(StateId state, bool accepting = true) {
+    accepting_[state] = accepting;
+  }
+  void AddStartState(StateId state) { start_states_.push_back(state); }
+
+  size_t num_states() const { return transitions_.size(); }
+  size_t alphabet_size() const { return alphabet_size_; }
+  bool IsAccepting(StateId state) const { return accepting_[state]; }
+  const std::vector<StateId>& start_states() const { return start_states_; }
+
+  /// Targets of (state, symbol); empty when none.
+  const std::vector<StateId>& Targets(StateId state, Symbol symbol) const {
+    static const std::vector<StateId> kEmpty;
+    auto it = transitions_[state].find(symbol);
+    return it == transitions_[state].end() ? kEmpty : it->second;
+  }
+
+  const std::unordered_map<Symbol, std::vector<StateId>>& TransitionsFrom(
+      StateId state) const {
+    return transitions_[state];
+  }
+
+ private:
+  size_t alphabet_size_;
+  std::vector<std::unordered_map<Symbol, std::vector<StateId>>> transitions_;
+  std::vector<bool> accepting_;
+  std::vector<StateId> start_states_;
+};
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_NFA_H_

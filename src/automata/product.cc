@@ -1,0 +1,155 @@
+#include "automata/product.h"
+
+#include <deque>
+
+#include "common/macros.h"
+
+namespace xmlreval::automata {
+
+Dfa ProductOf(const Dfa& a, const Dfa& b) {
+  XMLREVAL_CHECK(a.alphabet_size() == b.alphabet_size(),
+                 "product requires a shared alphabet");
+  PairEncoding enc{b.num_states()};
+  size_t n = a.num_states() * b.num_states();
+  size_t k = a.alphabet_size();
+  Dfa c(n, k);
+  c.set_start_state(enc.Encode(a.start_state(), b.start_state()));
+  for (StateId qa = 0; qa < a.num_states(); ++qa) {
+    for (StateId qb = 0; qb < b.num_states(); ++qb) {
+      StateId q = enc.Encode(qa, qb);
+      c.SetAccepting(q, a.IsAccepting(qa) && b.IsAccepting(qb));
+      for (Symbol s = 0; s < k; ++s) {
+        c.SetTransition(q, s, enc.Encode(a.Next(qa, s), b.Next(qb, s)));
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+// BFS over the implicit product from the start pair, restricted to symbols
+// with allowed[s] (or all symbols when allowed is empty). Returns true iff
+// `stop(qa, qb)` holds for some reachable pair.
+template <typename StopFn>
+bool ReachableInProduct(const Dfa& a, const Dfa& b,
+                        const std::vector<bool>& allowed, StopFn stop) {
+  PairEncoding enc{b.num_states()};
+  std::vector<bool> visited(a.num_states() * b.num_states(), false);
+  std::deque<std::pair<StateId, StateId>> queue;
+  queue.emplace_back(a.start_state(), b.start_state());
+  visited[enc.Encode(a.start_state(), b.start_state())] = true;
+  size_t k = a.alphabet_size();
+  while (!queue.empty()) {
+    auto [qa, qb] = queue.front();
+    queue.pop_front();
+    if (stop(qa, qb)) return true;
+    for (Symbol s = 0; s < k; ++s) {
+      if (!allowed.empty() && !allowed[s]) continue;
+      StateId na = a.Next(qa, s);
+      StateId nb = b.Next(qb, s);
+      StateId code = enc.Encode(na, nb);
+      if (!visited[code]) {
+        visited[code] = true;
+        queue.emplace_back(na, nb);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LanguageContains(const Dfa& a, const Dfa& b) {
+  XMLREVAL_CHECK(a.alphabet_size() == b.alphabet_size(),
+                 "containment requires a shared alphabet");
+  return !ReachableInProduct(a, b, {}, [&](StateId qa, StateId qb) {
+    return a.IsAccepting(qa) && !b.IsAccepting(qb);
+  });
+}
+
+bool LanguageEquals(const Dfa& a, const Dfa& b) {
+  return LanguageContains(a, b) && LanguageContains(b, a);
+}
+
+bool IntersectionNonEmptyFiltered(const Dfa& a, const Dfa& b,
+                                  const std::vector<bool>& allowed) {
+  XMLREVAL_CHECK(a.alphabet_size() == b.alphabet_size(),
+                 "intersection requires a shared alphabet");
+  XMLREVAL_CHECK(allowed.size() == a.alphabet_size(),
+                 "allowed mask must cover the alphabet");
+  return ReachableInProduct(a, b, allowed, [&](StateId qa, StateId qb) {
+    return a.IsAccepting(qa) && b.IsAccepting(qb);
+  });
+}
+
+bool LanguageNonEmptyFiltered(const Dfa& a, const std::vector<bool>& allowed) {
+  XMLREVAL_CHECK(allowed.size() == a.alphabet_size(),
+                 "allowed mask must cover the alphabet");
+  std::vector<bool> visited(a.num_states(), false);
+  std::deque<StateId> queue{a.start_state()};
+  visited[a.start_state()] = true;
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    if (a.IsAccepting(q)) return true;
+    for (Symbol s = 0; s < a.alphabet_size(); ++s) {
+      if (!allowed[s]) continue;
+      StateId next = a.Next(q, s);
+      if (!visited[next]) {
+        visited[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<bool> StateContainmentTable(const Dfa& a, const Dfa& b) {
+  XMLREVAL_CHECK(a.alphabet_size() == b.alphabet_size(),
+                 "containment table requires a shared alphabet");
+  // (qa, qb) fails containment iff some "bad" pair — qa' accepting in a,
+  // qb' rejecting in b — is reachable from it in the product. Compute the
+  // backward closure of the bad pairs over reversed product edges.
+  PairEncoding enc{b.num_states()};
+  size_t n = a.num_states() * b.num_states();
+  size_t k = a.alphabet_size();
+
+  std::vector<std::vector<StateId>> rev(n);
+  for (StateId qa = 0; qa < a.num_states(); ++qa) {
+    for (StateId qb = 0; qb < b.num_states(); ++qb) {
+      StateId from = enc.Encode(qa, qb);
+      for (Symbol s = 0; s < k; ++s) {
+        rev[enc.Encode(a.Next(qa, s), b.Next(qb, s))].push_back(from);
+      }
+    }
+  }
+
+  std::vector<bool> bad(n, false);
+  std::deque<StateId> queue;
+  for (StateId qa = 0; qa < a.num_states(); ++qa) {
+    for (StateId qb = 0; qb < b.num_states(); ++qb) {
+      if (a.IsAccepting(qa) && !b.IsAccepting(qb)) {
+        StateId q = enc.Encode(qa, qb);
+        bad[q] = true;
+        queue.push_back(q);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (StateId p : rev[q]) {
+      if (!bad[p]) {
+        bad[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+
+  std::vector<bool> contains(n);
+  for (StateId q = 0; q < n; ++q) contains[q] = !bad[q];
+  return contains;
+}
+
+}  // namespace xmlreval::automata

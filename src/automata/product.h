@@ -1,0 +1,56 @@
+// Product (intersection) automata and language-relation tests (§4.1).
+//
+// Content-model DFAs are small (tens of states), so products are built
+// eagerly over the full Qa × Qb state space with the flat encoding
+// q = qa * |Qb| + qb. The relation tests used by the R_sub / R_nondis
+// fixpoints (§3.2) — containment and filtered-intersection emptiness — are
+// plain reachability over this product.
+
+#ifndef XMLREVAL_AUTOMATA_PRODUCT_H_
+#define XMLREVAL_AUTOMATA_PRODUCT_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace xmlreval::automata {
+
+/// Flat encoding of Qa × Qb state pairs.
+struct PairEncoding {
+  size_t nb;  // |Qb|
+  StateId Encode(StateId qa, StateId qb) const {
+    return static_cast<StateId>(qa * nb + qb);
+  }
+  StateId A(StateId pair) const { return static_cast<StateId>(pair / nb); }
+  StateId B(StateId pair) const { return static_cast<StateId>(pair % nb); }
+};
+
+/// The intersection automaton c of a and b (Definition in §4.1):
+/// L(c) = L(a) ∩ L(b). States are all pairs, accepting = Fa × Fb.
+/// The two automata must share an alphabet size.
+Dfa ProductOf(const Dfa& a, const Dfa& b);
+
+/// L(a) ⊆ L(b): no product state (accepting-in-a, rejecting-in-b) is
+/// reachable from (q0a, q0b). O(|Qa|·|Qb|·|Σ|).
+bool LanguageContains(const Dfa& a, const Dfa& b);
+
+/// L(a) == L(b).
+bool LanguageEquals(const Dfa& a, const Dfa& b);
+
+/// L(a) ∩ L(b) ∩ P* ≠ ∅ where P = { σ | allowed[σ] } (the test at the heart
+/// of the R_nondis fixpoint, Definition 5).
+bool IntersectionNonEmptyFiltered(const Dfa& a, const Dfa& b,
+                                  const std::vector<bool>& allowed);
+
+/// L(a) ∩ P* ≠ ∅ — used by the productivity analysis (§3):
+/// ProdLabels* ∩ L(regexp) ≠ ∅.
+bool LanguageNonEmptyFiltered(const Dfa& a, const std::vector<bool>& allowed);
+
+/// State-level containment table: contains[(qa,qb)] = (L_a(qa) ⊆ L_b(qb)),
+/// for all pairs, computed in linear time via the backward closure of the
+/// "bad" pairs (Definition 8 / Theorem 4). This is the IA_c set.
+std::vector<bool> StateContainmentTable(const Dfa& a, const Dfa& b);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_PRODUCT_H_

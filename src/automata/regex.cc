@@ -1,0 +1,238 @@
+#include "automata/regex.h"
+
+#include <algorithm>
+
+namespace xmlreval::automata {
+
+RegexPtr Regex::EmptySet() {
+  static const RegexPtr instance(new Regex(RegexKind::kEmptySet));
+  return instance;
+}
+
+RegexPtr Regex::Epsilon() {
+  static const RegexPtr instance(new Regex(RegexKind::kEpsilon));
+  return instance;
+}
+
+RegexPtr Regex::Sym(Symbol symbol) {
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kSymbol));
+  r->symbol_ = symbol;
+  return r;
+}
+
+RegexPtr Regex::Concat(std::vector<RegexPtr> children) {
+  if (children.empty()) return Epsilon();
+  if (children.size() == 1) return children[0];
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kConcat));
+  // Flatten nested concatenations for cleaner printing and positions.
+  for (RegexPtr& c : children) {
+    if (c->kind() == RegexKind::kConcat) {
+      for (const RegexPtr& g : c->children()) r->children_.push_back(g);
+    } else {
+      r->children_.push_back(std::move(c));
+    }
+  }
+  return r;
+}
+
+RegexPtr Regex::Alternate(std::vector<RegexPtr> children) {
+  if (children.empty()) return EmptySet();
+  if (children.size() == 1) return children[0];
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kAlternate));
+  for (RegexPtr& c : children) {
+    if (c->kind() == RegexKind::kAlternate) {
+      for (const RegexPtr& g : c->children()) r->children_.push_back(g);
+    } else {
+      r->children_.push_back(std::move(c));
+    }
+  }
+  return r;
+}
+
+RegexPtr Regex::Star(RegexPtr child) {
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kStar));
+  r->children_.push_back(std::move(child));
+  return r;
+}
+
+RegexPtr Regex::Plus(RegexPtr child) {
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kPlus));
+  r->children_.push_back(std::move(child));
+  return r;
+}
+
+RegexPtr Regex::Optional(RegexPtr child) {
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kOptional));
+  r->children_.push_back(std::move(child));
+  return r;
+}
+
+RegexPtr Regex::Repeat(RegexPtr child, uint32_t min, uint32_t max) {
+  auto r = std::shared_ptr<Regex>(new Regex(RegexKind::kRepeat));
+  r->children_.push_back(std::move(child));
+  r->min_ = min;
+  r->max_ = max;
+  return r;
+}
+
+uint64_t Regex::ExpandedSize() const {
+  constexpr uint64_t kCap = 1ull << 40;  // avoid overflow on nested repeats
+  switch (kind_) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      return 0;
+    case RegexKind::kSymbol:
+      return 1;
+    case RegexKind::kConcat:
+    case RegexKind::kAlternate: {
+      uint64_t total = 0;
+      for (const RegexPtr& c : children_) {
+        total += c->ExpandedSize();
+        if (total > kCap) return kCap;
+      }
+      return total;
+    }
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional:
+      return children_[0]->ExpandedSize();
+    case RegexKind::kRepeat: {
+      uint64_t inner = children_[0]->ExpandedSize();
+      uint64_t copies = (max_ == kUnbounded)
+                            ? std::max<uint64_t>(min_, 1)
+                            : std::max<uint64_t>(max_, 1);
+      if (inner != 0 && copies > kCap / inner) return kCap;
+      return inner * copies;
+    }
+  }
+  return 0;
+}
+
+std::string Regex::ToString(const Alphabet& alphabet) const {
+  switch (kind_) {
+    case RegexKind::kEmptySet:
+      return "∅";
+    case RegexKind::kEpsilon:
+      return "ε";
+    case RegexKind::kSymbol:
+      return alphabet.Name(symbol_);
+    case RegexKind::kConcat: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += children_[i]->ToString(alphabet);
+      }
+      return out + ")";
+    }
+    case RegexKind::kAlternate: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += "|";
+        out += children_[i]->ToString(alphabet);
+      }
+      return out + ")";
+    }
+    case RegexKind::kStar:
+      return children_[0]->ToString(alphabet) + "*";
+    case RegexKind::kPlus:
+      return children_[0]->ToString(alphabet) + "+";
+    case RegexKind::kOptional:
+      return children_[0]->ToString(alphabet) + "?";
+    case RegexKind::kRepeat: {
+      std::string out = children_[0]->ToString(alphabet) + "{" +
+                        std::to_string(min_) + ",";
+      out += (max_ == kUnbounded) ? "∞" : std::to_string(max_);
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+namespace {
+void CollectSymbols(const Regex& r, std::vector<Symbol>* out) {
+  if (r.kind() == RegexKind::kSymbol) {
+    out->push_back(r.symbol());
+    return;
+  }
+  for (const RegexPtr& c : r.children()) CollectSymbols(*c, out);
+}
+}  // namespace
+
+std::vector<Symbol> Regex::SymbolsUsed() const {
+  std::vector<Symbol> out;
+  CollectSymbols(*this, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+RegexPtr ExpandNode(const RegexPtr& r);
+
+// E{min,max} with the determinism-preserving encoding:
+//   E{3,∞}  = E·E·E·E*        E{0,∞} = E*
+//   E{2,4}  = E·E·(E·(E)?)?   E{0,3} = (E·(E·(E)?)?)?
+RegexPtr ExpandRepeat(const RegexPtr& child, uint32_t min, uint32_t max) {
+  RegexPtr e = ExpandNode(child);
+  if (max == kUnbounded) {
+    if (min == 0) return Regex::Star(e);
+    std::vector<RegexPtr> parts;
+    for (uint32_t i = 0; i + 1 < min; ++i) parts.push_back(e);
+    parts.push_back(Regex::Plus(e));
+    return Regex::Concat(std::move(parts));
+  }
+  if (max == 0) return Regex::Epsilon();
+  // Nested optional tail for the (max - min) allowed extras.
+  RegexPtr tail;  // null means no tail
+  for (uint32_t i = min; i < max; ++i) {
+    tail = Regex::Optional(tail ? Regex::Concat({e, tail}) : e);
+  }
+  std::vector<RegexPtr> parts;
+  for (uint32_t i = 0; i < min; ++i) parts.push_back(e);
+  if (tail) parts.push_back(tail);
+  return Regex::Concat(std::move(parts));
+}
+
+RegexPtr ExpandNode(const RegexPtr& r) {
+  switch (r->kind()) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+    case RegexKind::kSymbol:
+      return r;
+    case RegexKind::kConcat: {
+      std::vector<RegexPtr> children;
+      children.reserve(r->children().size());
+      for (const RegexPtr& c : r->children()) children.push_back(ExpandNode(c));
+      return Regex::Concat(std::move(children));
+    }
+    case RegexKind::kAlternate: {
+      std::vector<RegexPtr> children;
+      children.reserve(r->children().size());
+      for (const RegexPtr& c : r->children()) children.push_back(ExpandNode(c));
+      return Regex::Alternate(std::move(children));
+    }
+    case RegexKind::kStar:
+      return Regex::Star(ExpandNode(r->child()));
+    case RegexKind::kPlus:
+      return Regex::Plus(ExpandNode(r->child()));
+    case RegexKind::kOptional:
+      return Regex::Optional(ExpandNode(r->child()));
+    case RegexKind::kRepeat:
+      return ExpandRepeat(r->child(), r->min(), r->max());
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<RegexPtr> ExpandRepeats(const RegexPtr& regex, uint64_t max_positions) {
+  if (regex->ExpandedSize() > max_positions) {
+    return Status::Unsupported(
+        "content model expands to too many positions (minOccurs/maxOccurs "
+        "too large)");
+  }
+  return ExpandNode(regex);
+}
+
+}  // namespace xmlreval::automata

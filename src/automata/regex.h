@@ -1,0 +1,91 @@
+// Regular expressions over interned symbols — the content models regexp_τ
+// of abstract XML Schema types (Section 3 of the paper).
+//
+// The AST supports the DTD operators (sequence, choice, ?, *, +) plus
+// bounded repetition {m,n} for XML Schema minOccurs/maxOccurs. Repeats are
+// rewritten into the core operators by ExpandRepeats() before automaton
+// construction, using the nesting E{0,k} = (E (E (...)?)?)? that preserves
+// 1-unambiguity.
+
+#ifndef XMLREVAL_AUTOMATA_REGEX_H_
+#define XMLREVAL_AUTOMATA_REGEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+
+namespace xmlreval::automata {
+
+/// "unbounded" in a Repeat node (XSD maxOccurs="unbounded").
+inline constexpr uint32_t kUnbounded = std::numeric_limits<uint32_t>::max();
+
+enum class RegexKind : uint8_t {
+  kEmptySet,  // ∅ — matches nothing
+  kEpsilon,   // ε — matches only the empty string
+  kSymbol,    // a single element label
+  kConcat,    // sequence
+  kAlternate, // choice
+  kStar,      // zero or more
+  kPlus,      // one or more
+  kOptional,  // zero or one
+  kRepeat,    // {min,max} bounded/unbounded repetition
+};
+
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Immutable regex node. Shared subtrees are fine (the tree is never
+/// mutated), which keeps ExpandRepeats cheap.
+class Regex {
+ public:
+  static RegexPtr EmptySet();
+  static RegexPtr Epsilon();
+  static RegexPtr Sym(Symbol symbol);
+  static RegexPtr Concat(std::vector<RegexPtr> children);
+  static RegexPtr Alternate(std::vector<RegexPtr> children);
+  static RegexPtr Star(RegexPtr child);
+  static RegexPtr Plus(RegexPtr child);
+  static RegexPtr Optional(RegexPtr child);
+  static RegexPtr Repeat(RegexPtr child, uint32_t min, uint32_t max);
+
+  RegexKind kind() const { return kind_; }
+  Symbol symbol() const { return symbol_; }
+  const std::vector<RegexPtr>& children() const { return children_; }
+  const RegexPtr& child() const { return children_[0]; }
+  uint32_t min() const { return min_; }
+  uint32_t max() const { return max_; }
+
+  /// Number of symbol occurrences (Glushkov positions) after repeat
+  /// expansion; used to guard against pathological {m,n} blowup.
+  uint64_t ExpandedSize() const;
+
+  /// Human-readable rendering using `alphabet` for symbol names.
+  std::string ToString(const Alphabet& alphabet) const;
+
+  /// The set of symbols occurring in the expression (the paper's Σ_τ).
+  std::vector<Symbol> SymbolsUsed() const;
+
+ private:
+  explicit Regex(RegexKind kind) : kind_(kind) {}
+
+  RegexKind kind_;
+  Symbol symbol_ = kInvalidSymbol;
+  std::vector<RegexPtr> children_;
+  uint32_t min_ = 0;
+  uint32_t max_ = 0;
+};
+
+/// Rewrites every Repeat node into Concat/Optional/Star/Plus form.
+/// Fails with kUnsupported when the expansion would exceed `max_positions`
+/// Glushkov positions.
+Result<RegexPtr> ExpandRepeats(const RegexPtr& regex,
+                               uint64_t max_positions = 100000);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_REGEX_H_

@@ -1,0 +1,148 @@
+#include "automata/regex_parser.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::automata {
+namespace {
+
+class RegexParser {
+ public:
+  RegexParser(std::string_view input, Alphabet* alphabet)
+      : input_(input), alphabet_(alphabet) {}
+
+  Result<RegexPtr> Parse() {
+    ASSIGN_OR_RETURN(RegexPtr r, ParseAlt());
+    SkipWs();
+    if (pos_ != input_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return r;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+  }
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(char c) {
+    SkipWs();
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(std::string_view msg) const {
+    return Status::ParseError("regex parse error at offset " +
+                              std::to_string(pos_) + ": " + std::string(msg) +
+                              " in '" + std::string(input_) + "'");
+  }
+
+  Result<RegexPtr> ParseAlt() {
+    ASSIGN_OR_RETURN(RegexPtr first, ParseSeq());
+    std::vector<RegexPtr> branches{first};
+    while (Match('|')) {
+      ASSIGN_OR_RETURN(RegexPtr next, ParseSeq());
+      branches.push_back(next);
+    }
+    return Regex::Alternate(std::move(branches));
+  }
+
+  Result<RegexPtr> ParseSeq() {
+    ASSIGN_OR_RETURN(RegexPtr first, ParsePostfix());
+    std::vector<RegexPtr> parts{first};
+    while (Match(',')) {
+      ASSIGN_OR_RETURN(RegexPtr next, ParsePostfix());
+      parts.push_back(next);
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    ASSIGN_OR_RETURN(RegexPtr r, ParsePrimary());
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return r;
+      char c = Peek();
+      if (c == '?') {
+        ++pos_;
+        r = Regex::Optional(std::move(r));
+      } else if (c == '*') {
+        ++pos_;
+        r = Regex::Star(std::move(r));
+      } else if (c == '+') {
+        ++pos_;
+        r = Regex::Plus(std::move(r));
+      } else if (c == '{') {
+        ++pos_;
+        ASSIGN_OR_RETURN(uint32_t min, ParseNumber());
+        uint32_t max = min;
+        if (Match(',')) {
+          SkipWs();
+          if (!AtEnd() && Peek() == '*') {
+            ++pos_;
+            max = kUnbounded;
+          } else {
+            ASSIGN_OR_RETURN(max, ParseNumber());
+          }
+        }
+        if (!Match('}')) return Error("expected '}'");
+        if (max != kUnbounded && max < min) {
+          return Error("repeat with max < min");
+        }
+        r = Regex::Repeat(std::move(r), min, max);
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<uint32_t> ParseNumber() {
+    SkipWs();
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Error("expected number");
+    }
+    uint64_t value = 0;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      value = value * 10 + (input_[pos_++] - '0');
+      if (value > 1000000) return Error("repeat bound too large");
+    }
+    return static_cast<uint32_t>(value);
+  }
+
+  Result<RegexPtr> ParsePrimary() {
+    SkipWs();
+    if (AtEnd()) return Error("expected expression");
+    if (Peek() == '(') {
+      ++pos_;
+      SkipWs();
+      if (!AtEnd() && Peek() == ')') {  // '()' = ε
+        ++pos_;
+        return Regex::Epsilon();
+      }
+      ASSIGN_OR_RETURN(RegexPtr inner, ParseAlt());
+      if (!Match(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (!IsNameStartChar(Peek())) {
+      return Error("expected name or '('");
+    }
+    size_t begin = pos_;
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    Symbol sym = alphabet_->Intern(input_.substr(begin, pos_ - begin));
+    return Regex::Sym(sym);
+  }
+
+  std::string_view input_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view input, Alphabet* alphabet) {
+  return RegexParser(input, alphabet).Parse();
+}
+
+}  // namespace xmlreval::automata

@@ -1,0 +1,28 @@
+// Textual syntax for content-model regular expressions.
+//
+// Grammar (DTD-flavoured; ',' = sequence, '|' = choice):
+//
+//   alt     := seq ('|' seq)*
+//   seq     := postfix (',' postfix)*
+//   postfix := primary ('?' | '*' | '+' | '{' m (',' (n | '*'))? '}')*
+//   primary := NAME | '(' alt ')' | '()'          ('()' denotes ε)
+//
+// Symbol names are interned into the supplied Alphabet. Used directly by
+// tests and the DTD front end; the XSD front end builds regexes
+// programmatically from particles.
+
+#ifndef XMLREVAL_AUTOMATA_REGEX_PARSER_H_
+#define XMLREVAL_AUTOMATA_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "automata/regex.h"
+#include "common/result.h"
+
+namespace xmlreval::automata {
+
+Result<RegexPtr> ParseRegex(std::string_view input, Alphabet* alphabet);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_REGEX_PARSER_H_

@@ -1,0 +1,42 @@
+// Error-propagation and invariant macros shared across xmlreval.
+
+#ifndef XMLREVAL_COMMON_MACROS_H_
+#define XMLREVAL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+#define XMLREVAL_CONCAT_IMPL(a, b) a##b
+#define XMLREVAL_CONCAT(a, b) XMLREVAL_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status from the current function.
+#define RETURN_IF_ERROR(expr)                             \
+  do {                                                    \
+    ::xmlreval::Status _st = (expr);                      \
+    if (!_st.ok()) return _st;                            \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(XMLREVAL_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value()
+
+/// Fatal invariant check, active in all build modes. Validation hot paths
+/// avoid it; it guards structural invariants whose violation means a bug.
+#define XMLREVAL_CHECK(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, msg);                                        \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // XMLREVAL_COMMON_MACROS_H_

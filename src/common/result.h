@@ -1,0 +1,73 @@
+// Result<T>: a value or an error Status.
+//
+// The ASSIGN_OR_RETURN / RETURN_IF_ERROR macros in macros.h give the usual
+// ergonomic propagation style.
+
+#ifndef XMLREVAL_COMMON_RESULT_H_
+#define XMLREVAL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xmlreval {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, so `return value;` works in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace xmlreval
+
+#endif  // XMLREVAL_COMMON_RESULT_H_

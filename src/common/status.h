@@ -1,0 +1,116 @@
+// Status: error propagation without exceptions.
+//
+// xmlreval follows the Arrow/RocksDB idiom for database-grade C++: fallible
+// library operations return a Status (or a Result<T>, see result.h) rather
+// than throwing. A Status is cheap to copy in the OK case (no allocation)
+// and carries a code plus a human-readable, position-annotated message in
+// the error case.
+
+#ifndef XMLREVAL_COMMON_STATUS_H_
+#define XMLREVAL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xmlreval {
+
+/// Error category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed input to a parser (XML, DTD, XSD, regex).
+  kParseError = 1,
+  /// Structurally well-formed input that violates a semantic rule
+  /// (e.g. a content model that is not 1-unambiguous).
+  kInvalidSchema = 2,
+  /// An argument outside the function's contract.
+  kInvalidArgument = 3,
+  /// A lookup that found nothing (unknown type name, unknown element).
+  kNotFound = 4,
+  /// An operation applied in a state that does not permit it.
+  kFailedPrecondition = 5,
+  /// Feature intentionally outside the supported subset.
+  kUnsupported = 6,
+  /// Internal invariant violation; indicates a bug in xmlreval itself.
+  kInternal = 7,
+};
+
+/// Returns the canonical lowercase name of a status code ("parse-error"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: OK, or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidSchema(std::string msg) {
+    return Status(StatusCode::kInvalidSchema, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with `context` prepended to the message, for layering
+  /// location information as an error propagates upward. No-op on OK.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so copies are cheap; null means OK.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace xmlreval
+
+#endif  // XMLREVAL_COMMON_STATUS_H_

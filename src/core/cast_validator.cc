@@ -1,0 +1,235 @@
+#include "core/cast_validator.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::core {
+
+using automata::Symbol;
+using automata::Verdict;
+using schema::kInvalidType;
+
+CastValidator::CastValidator(const TypeRelations* relations,
+                             const Options& options)
+    : relations_(relations), options_(options) {
+  XMLREVAL_CHECK(relations != nullptr, "CastValidator requires relations");
+}
+
+struct CastValidator::Walk {
+  const TypeRelations& rel;
+  const Schema& source;
+  const Schema& target;
+  const xml::Document& doc;
+  bool use_immediate;
+  ValidationReport report;
+  std::vector<uint32_t> path;
+
+  void Fail(std::string message) {
+    report.valid = false;
+    report.violation = std::move(message);
+    report.violation_path = xml::DeweyPath(path);
+  }
+
+  // validate(τ, τ', e) from §3.2's pseudocode. Counting discipline: a node
+  // is visited once, at entry — including nodes whose subtree is then
+  // skipped via subsumption (their label and type pair were consulted).
+  bool ValidateNode(xml::NodeId node, TypeId s_type, TypeId t_type) {
+    ++report.counters.nodes_visited;
+    ++report.counters.elements_visited;
+
+    // if τ ≤ τ' return true — the whole subtree is guaranteed valid.
+    if (rel.Subsumed(s_type, t_type)) {
+      ++report.counters.subtrees_skipped;
+      return true;
+    }
+    // if τ ⊘ τ' return false — no tree valid for τ can be valid for τ'.
+    if (rel.Disjoint(s_type, t_type)) {
+      ++report.counters.disjoint_rejects;
+      Fail("element '" + doc.label(node) + "': source type '" +
+           source.TypeName(s_type) + "' is disjoint from target type '" +
+           target.TypeName(t_type) + "'");
+      return false;
+    }
+
+    if (target.IsSimple(t_type)) {
+      // Source validity rules out element children (a complex source type
+      // would be disjoint from the simple target and caught above; a simple
+      // source type has no element children). Check the χ value.
+      std::string value;
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (doc.IsText(c)) {
+          ++report.counters.nodes_visited;
+          ++report.counters.text_nodes_visited;
+          value += doc.text(c);
+        }
+      }
+      ++report.counters.simple_checks;
+      Status check =
+          schema::ValidateSimpleValue(target.simple_type(t_type), value);
+      if (!check.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(check.message()));
+        return false;
+      }
+      return true;
+    }
+
+    // Complex target (and complex source, else the pair would be disjoint).
+    // Attribute constraints of τ' are re-checked here: the source's
+    // guarantees about attributes do not transfer (the pair was neither
+    // subsumed nor disjoint).
+    const schema::ComplexType& t_decl = target.complex_type(t_type);
+    if (!t_decl.open_attributes) {
+      ++report.counters.attr_checks;
+      Status attrs =
+          schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
+      if (!attrs.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(attrs.message()));
+        return false;
+      }
+    }
+
+    // Per §3.2's pseudocode: first decide the content-model membership,
+    // then recurse into the children. Both passes stream over the sibling
+    // list with no per-node allocation; when c_immed classifies the START
+    // state as immediate-accept — the common case when the two content
+    // models coincide — the content pass is skipped outright.
+    const automata::ImmediateDfa* pair =
+        use_immediate ? rel.PairAutomaton(s_type, t_type) : nullptr;
+    const automata::Dfa* tdfa = rel.TargetDfa(t_type);
+
+    auto content_fail = [&]() {
+      Fail("children of '" + doc.label(node) +
+           "' do not match the content model of target type '" +
+           target.TypeName(t_type) + "'");
+      return false;
+    };
+
+    // Content pass (the paper's "constructstring(children(e)) ∈ L?").
+    bool decided = false;
+    if (pair != nullptr &&
+        pair->Class(pair->dfa().start_state()) ==
+            automata::StateClass::kImmediateAccept) {
+      ++report.counters.immediate_decisions;
+      decided = true;
+    }
+    if (!decided) {
+      automata::StateId q =
+          pair ? pair->dfa().start_state() : tdfa->start_state();
+      if (pair != nullptr &&
+          pair->Class(q) == automata::StateClass::kImmediateReject) {
+        ++report.counters.immediate_decisions;
+        return content_fail();
+      }
+      for (xml::NodeId c = doc.first_child(node);
+           c != xml::kInvalidNode && !decided; c = doc.next_sibling(c)) {
+        if (!doc.IsElement(c)) continue;  // whitespace guaranteed by source
+        std::optional<Symbol> sym = source.alphabet()->Find(doc.label(c));
+        if (!sym) {
+          Fail("element '" + doc.label(c) +
+               "' is outside the schemas' alphabet");
+          return false;
+        }
+        if (pair != nullptr) {
+          q = pair->dfa().Next(q, *sym);
+          ++report.counters.dfa_steps;
+          automata::StateClass cls = pair->Class(q);
+          if (cls == automata::StateClass::kImmediateAccept) {
+            ++report.counters.immediate_decisions;
+            decided = true;
+          } else if (cls == automata::StateClass::kImmediateReject) {
+            ++report.counters.immediate_decisions;
+            return content_fail();
+          }
+        } else {
+          if (*sym >= tdfa->alphabet_size()) return content_fail();
+          q = tdfa->Next(q, *sym);
+          ++report.counters.dfa_steps;
+        }
+      }
+      if (!decided) {
+        // End of string: for c_immed, acceptance of the product is
+        // F_a × F_b, and the source component accepts by the precondition.
+        bool accepted =
+            pair ? pair->dfa().IsAccepting(q) : tdfa->IsAccepting(q);
+        if (!accepted) return content_fail();
+      }
+    }
+
+    // Recursion pass, with (types_τ(λ), types_τ'(λ)) per child.
+    uint32_t ordinal = 0;
+    for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+         c = doc.next_sibling(c), ++ordinal) {
+      if (!doc.IsElement(c)) continue;
+      std::optional<Symbol> sym = source.alphabet()->Find(doc.label(c));
+      if (!sym) {
+        Fail("element '" + doc.label(c) +
+             "' is outside the schemas' alphabet");
+        return false;
+      }
+      TypeId child_t = target.ChildType(t_type, *sym);
+      if (child_t == kInvalidType) {
+        // Reachable only when the content pass accepted EARLY: an IA state
+        // guarantees string membership, but a label beyond the decision
+        // point may still fall outside Σ_τ'... which would contradict
+        // membership, so treat it as a content-model failure.
+        return content_fail();
+      }
+      TypeId child_s = source.ChildType(s_type, *sym);
+      if (child_s == kInvalidType) {
+        Fail("precondition violated: source type '" + source.TypeName(s_type) +
+             "' does not type child label '" + doc.label(c) + "'");
+        return false;
+      }
+      path.push_back(ordinal);
+      bool ok = ValidateNode(c, child_s, child_t);
+      path.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  }
+};
+
+ValidationReport CastValidator::Validate(const xml::Document& doc) const {
+  Walk walk{*relations_,        relations_->source(), relations_->target(),
+            doc,                options_.use_immediate_content,
+            {},                 {}};
+  if (!doc.has_root()) {
+    walk.Fail("document has no root element");
+    return std::move(walk.report);
+  }
+  const Schema& source = relations_->source();
+  const Schema& target = relations_->target();
+  std::optional<Symbol> sym = source.alphabet()->Find(doc.label(doc.root()));
+  TypeId s_root = sym ? source.RootType(*sym) : kInvalidType;
+  TypeId t_root = sym ? target.RootType(*sym) : kInvalidType;
+  if (s_root == kInvalidType) {
+    walk.Fail("precondition violated: root '" + doc.label(doc.root()) +
+              "' is not declared by the source schema");
+    return std::move(walk.report);
+  }
+  if (t_root == kInvalidType) {
+    ++walk.report.counters.nodes_visited;
+    ++walk.report.counters.elements_visited;
+    walk.Fail("root element '" + doc.label(doc.root()) +
+              "' is not declared by the target schema");
+    return std::move(walk.report);
+  }
+  walk.ValidateNode(doc.root(), s_root, t_root);
+  return std::move(walk.report);
+}
+
+ValidationReport CastValidator::ValidateSubtree(const xml::Document& doc,
+                                                xml::NodeId node,
+                                                TypeId source_type,
+                                                TypeId target_type) const {
+  Walk walk{*relations_,        relations_->source(), relations_->target(),
+            doc,                options_.use_immediate_content,
+            {},                 {}};
+  walk.ValidateNode(node, source_type, target_type);
+  return std::move(walk.report);
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,58 @@
+// Schema cast validation — §3.2 of the paper.
+//
+// Validates a document KNOWN to be valid with respect to the source schema
+// against the target schema, validating "with respect to S and S' in
+// parallel" and using the precomputed R_sub / R_dis relations to skip
+// subtrees (subsumed pairs) or reject immediately (disjoint pairs).
+// Content models are checked with the pair immediate-decision automata of
+// §4.2 when available, so each child-label string is scanned only as far
+// as a verdict requires.
+//
+// PRECONDITION: the document is valid with respect to relations->source().
+// Feeding a source-invalid document is library misuse; the validator may
+// then return either verdict (exactly like the paper's algorithm, whose
+// correctness theorem assumes s ∈ L(a)).
+
+#ifndef XMLREVAL_CORE_CAST_VALIDATOR_H_
+#define XMLREVAL_CORE_CAST_VALIDATOR_H_
+
+#include "core/relations.h"
+#include "core/report.h"
+#include "xml/tree.h"
+
+namespace xmlreval::core {
+
+class CastValidator {
+ public:
+  struct Options {
+    /// Check content models with c_immed (§4.2) instead of running the
+    /// target DFA over all children. The paper's Xerces experiments turn
+    /// this OFF ("we do not use the algorithms of Section 4 ... to perform
+    /// a fair comparison"); bench A1 measures its effect.
+    bool use_immediate_content = true;
+  };
+
+  /// `relations` must outlive the validator.
+  explicit CastValidator(const TypeRelations* relations)
+      : CastValidator(relations, Options{}) {}
+  CastValidator(const TypeRelations* relations, const Options& options);
+
+  /// doValidate(S, S', T).
+  ValidationReport Validate(const xml::Document& doc) const;
+
+  /// validate(τ, τ', e) on a subtree: `source_type` is the type the subtree
+  /// has under the source schema, `target_type` the type to check.
+  ValidationReport ValidateSubtree(const xml::Document& doc, xml::NodeId node,
+                                   TypeId source_type,
+                                   TypeId target_type) const;
+
+ private:
+  struct Walk;
+
+  const TypeRelations* relations_;
+  Options options_;
+};
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_CAST_VALIDATOR_H_

@@ -1,0 +1,552 @@
+#include "core/corrector.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "xml/dewey.h"
+
+namespace xmlreval::core {
+
+using automata::Dfa;
+using automata::StateId;
+using automata::Symbol;
+using schema::kInvalidType;
+
+namespace {
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+}
+
+// ---------------------------------------------------------------------------
+// Minimum-operation string repair: 0-1 BFS over (position, state).
+// ---------------------------------------------------------------------------
+
+Result<std::vector<StringEditOp>> MinimalStringRepair(
+    const Dfa& dfa, std::span<const Symbol> word,
+    const std::vector<bool>& insertable, size_t max_states) {
+  if (insertable.size() != dfa.alphabet_size()) {
+    return Status::InvalidArgument(
+        "insertable mask must cover the DFA alphabet");
+  }
+  size_t n = word.size();
+  size_t num_states = dfa.num_states();
+  size_t total = (n + 1) * num_states;
+  if (total > max_states) {
+    return Status::FailedPrecondition("string repair search space too large");
+  }
+  // Skip inserts into states from which nothing accepts — pure waste.
+  std::vector<bool> dead = dfa.CoDeadStates();
+
+  auto encode = [num_states](size_t pos, StateId q) {
+    return pos * num_states + q;
+  };
+
+  struct Step {
+    uint32_t prev;
+    StringEditOp op;
+  };
+  std::vector<uint64_t> dist(total, kInf);
+  std::vector<Step> steps(total);
+  std::deque<uint32_t> queue;  // 0-1 BFS
+
+  uint32_t start = static_cast<uint32_t>(encode(0, dfa.start_state()));
+  dist[start] = 0;
+  queue.push_back(start);
+
+  auto relax = [&](uint32_t from, size_t pos, StateId q, uint64_t cost,
+                   const StringEditOp& op) {
+    uint32_t code = static_cast<uint32_t>(encode(pos, q));
+    if (cost < dist[code]) {
+      dist[code] = cost;
+      steps[code] = Step{from, op};
+      if (cost == dist[from]) {
+        queue.push_front(code);  // 0-cost edge
+      } else {
+        queue.push_back(code);
+      }
+    }
+  };
+
+  uint32_t goal = std::numeric_limits<uint32_t>::max();
+  while (!queue.empty()) {
+    uint32_t code = queue.front();
+    queue.pop_front();
+    size_t pos = code / num_states;
+    StateId q = static_cast<StateId>(code % num_states);
+    uint64_t d = dist[code];
+    // 0-1 BFS can enqueue a node twice; skip stale entries.
+    if (pos == n && dfa.IsAccepting(q)) {
+      goal = code;
+      break;
+    }
+    if (pos < n) {
+      // Keep the original symbol (free).
+      relax(code, pos + 1, dfa.Next(q, word[pos]), d,
+            StringEditOp{StringEditOp::Kind::kKeep, pos, word[pos]});
+      // Delete it (cost 1).
+      relax(code, pos + 1, q, d + 1,
+            StringEditOp{StringEditOp::Kind::kDelete, pos, 0});
+    }
+    // Insert any allowed symbol before position pos (cost 1).
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      if (!insertable[s]) continue;
+      StateId next = dfa.Next(q, s);
+      if (dead[next]) continue;
+      relax(code, pos, next, d + 1,
+            StringEditOp{StringEditOp::Kind::kInsert, pos, s});
+    }
+  }
+  if (goal == std::numeric_limits<uint32_t>::max()) {
+    return Status::FailedPrecondition(
+        "content model admits no repair (empty language over the allowed "
+        "labels)");
+  }
+
+  // Reconstruct, then reverse into document order.
+  std::vector<StringEditOp> ops;
+  uint32_t code = goal;
+  while (code != start) {
+    ops.push_back(steps[code].op);
+    code = steps[code].prev;
+  }
+  std::reverse(ops.begin(), ops.end());
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// DocumentCorrector
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Min cost (node count) of an accepting path through `dfa` where stepping
+// on symbol s costs child_cost(s); kInf when unreachable. Dijkstra.
+uint64_t MinAcceptCost(const Dfa& dfa,
+                       const std::vector<uint64_t>& symbol_cost) {
+  std::vector<uint64_t> dist(dfa.num_states(), kInf);
+  using Entry = std::pair<uint64_t, StateId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[dfa.start_state()] = 0;
+  heap.emplace(0, dfa.start_state());
+  while (!heap.empty()) {
+    auto [d, q] = heap.top();
+    heap.pop();
+    if (d != dist[q]) continue;
+    if (dfa.IsAccepting(q)) return d;
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      if (symbol_cost[s] == kInf) continue;
+      uint64_t nd = d + symbol_cost[s];
+      StateId next = dfa.Next(q, s);
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        heap.emplace(nd, next);
+      }
+    }
+  }
+  return kInf;
+}
+
+// As MinAcceptCost but reconstructs the symbol sequence of one cheapest
+// accepting path.
+std::vector<Symbol> MinAcceptPath(const Dfa& dfa,
+                                  const std::vector<uint64_t>& symbol_cost) {
+  size_t n = dfa.num_states();
+  std::vector<uint64_t> dist(n, kInf);
+  std::vector<std::pair<StateId, Symbol>> parent(n, {0, 0});
+  std::vector<bool> has_parent(n, false);
+  using Entry = std::pair<uint64_t, StateId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[dfa.start_state()] = 0;
+  heap.emplace(0, dfa.start_state());
+  StateId goal = dfa.start_state();
+  bool found = false;
+  while (!heap.empty()) {
+    auto [d, q] = heap.top();
+    heap.pop();
+    if (d != dist[q]) continue;
+    if (dfa.IsAccepting(q)) {
+      goal = q;
+      found = true;
+      break;
+    }
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      if (symbol_cost[s] == kInf) continue;
+      uint64_t nd = d + symbol_cost[s];
+      StateId next = dfa.Next(q, s);
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        parent[next] = {q, s};
+        has_parent[next] = true;
+        heap.emplace(nd, next);
+      }
+    }
+  }
+  XMLREVAL_CHECK(found, "MinAcceptPath called on an unreachable DFA");
+  std::vector<Symbol> path;
+  StateId q = goal;
+  while (has_parent[q]) {
+    path.push_back(parent[q].second);
+    q = parent[q].first;
+  }
+  XMLREVAL_CHECK(q == dfa.start_state(), "path reconstruction broke");
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+DocumentCorrector::DocumentCorrector(const TypeRelations* relations,
+                                     const Options& options)
+    : relations_(relations), options_(options) {
+  XMLREVAL_CHECK(relations != nullptr, "DocumentCorrector requires relations");
+  // Fixpoint: min node count of a valid subtree per TARGET type.
+  const Schema& target = relations->target();
+  size_t n = target.num_types();
+  size_t alphabet_size = target.alphabet()->size();
+  min_tree_cost_.assign(n, kInf);
+  for (TypeId t = 0; t < n; ++t) {
+    if (target.IsSimple(t)) min_tree_cost_[t] = 2;  // element + χ leaf
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TypeId t = 0; t < n; ++t) {
+      if (!target.IsComplex(t)) continue;
+      std::vector<uint64_t> symbol_cost(alphabet_size, kInf);
+      for (const auto& [sym, child] : target.complex_type(t).child_types) {
+        symbol_cost[sym] = min_tree_cost_[child];
+      }
+      uint64_t best = MinAcceptCost(*relations->TargetDfa(t), symbol_cost);
+      if (best == kInf) continue;
+      uint64_t cost = best + 1;  // the element node itself
+      if (cost < min_tree_cost_[t]) {
+        min_tree_cost_[t] = cost;
+        changed = true;
+      }
+    }
+  }
+}
+
+std::optional<uint64_t> DocumentCorrector::MinimalSubtreeSize(TypeId t) const {
+  if (t >= min_tree_cost_.size() || min_tree_cost_[t] == kInf) {
+    return std::nullopt;
+  }
+  return min_tree_cost_[t];
+}
+
+struct DocumentCorrector::Walk {
+  const DocumentCorrector& corrector;
+  const TypeRelations& rel;
+  const Schema& source;
+  const Schema& target;
+  xml::Document* doc;
+  xml::DocumentEditor* editor;
+  CorrectionReport report;
+
+  void Record(CorrectionStep::Kind kind, xml::NodeId node,
+              std::string detail) {
+    report.steps.push_back(CorrectionStep{
+        kind, xml::DeweyPath::Of(*doc, node).ToString(), std::move(detail)});
+  }
+
+  // Deletes the whole subtree under `node` (inclusive), bottom-up.
+  Status DeleteSubtree(xml::NodeId node) {
+    for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
+         c = doc->next_sibling(c)) {
+      if (!editor->IsDeleted(c)) RETURN_IF_ERROR(DeleteSubtree(c));
+    }
+    return editor->DeleteLeaf(node);
+  }
+
+  // Adds every required attribute of `t` (with minimal values) to a
+  // freshly inserted element.
+  Status AddRequiredAttributes(xml::NodeId node, TypeId t) {
+    const schema::ComplexType& decl = target.complex_type(t);
+    for (const auto& [name, attr] : decl.attributes) {
+      if (!attr.required) continue;
+      std::string value;
+      if (attr.fixed) {
+        value = *attr.fixed;
+      } else {
+        ASSIGN_OR_RETURN(value, schema::MinimalValidValue(attr.type));
+      }
+      RETURN_IF_ERROR(doc->SetAttribute(node, name, value));
+    }
+    return Status::OK();
+  }
+
+  // Repairs the attribute set of an EXISTING element against a closed
+  // complex target type: drop undeclared attributes, rewrite invalid
+  // values, add missing required ones.
+  Status RepairAttributes(xml::NodeId node, TypeId t) {
+    const schema::ComplexType& decl = target.complex_type(t);
+    if (decl.open_attributes) return Status::OK();
+    // Collect fixes first; mutating while iterating is undefined.
+    std::vector<std::string> to_remove;
+    std::vector<std::pair<std::string, std::string>> to_set;
+    for (const xml::Attribute& attr : doc->attributes(node)) {
+      auto it = decl.attributes.find(attr.name);
+      if (it == decl.attributes.end()) {
+        to_remove.push_back(attr.name);
+        continue;
+      }
+      const schema::AttributeDecl& d = it->second;
+      bool value_ok = schema::ValidateSimpleValue(d.type, attr.value).ok() &&
+                      (!d.fixed || TrimWhitespace(attr.value) ==
+                                       TrimWhitespace(*d.fixed));
+      if (!value_ok) {
+        std::string repaired;
+        if (d.fixed) {
+          repaired = *d.fixed;
+        } else {
+          ASSIGN_OR_RETURN(repaired, schema::MinimalValidValue(d.type));
+        }
+        to_set.emplace_back(attr.name, std::move(repaired));
+      }
+    }
+    for (const auto& [name, attr] : decl.attributes) {
+      if (attr.required && doc->FindAttribute(node, name) == nullptr) {
+        std::string value;
+        if (attr.fixed) {
+          value = *attr.fixed;
+        } else {
+          ASSIGN_OR_RETURN(value, schema::MinimalValidValue(attr.type));
+        }
+        to_set.emplace_back(name, std::move(value));
+      }
+    }
+    for (const std::string& name : to_remove) {
+      RETURN_IF_ERROR(doc->RemoveAttribute(node, name));
+      Record(CorrectionStep::Kind::kRemoveAttribute, node,
+             "drop undeclared attribute '" + name + "'");
+    }
+    for (const auto& [name, value] : to_set) {
+      RETURN_IF_ERROR(doc->SetAttribute(node, name, value));
+      Record(CorrectionStep::Kind::kSetAttribute, node,
+             "set attribute " + name + "=\"" + value + "\"");
+    }
+    return Status::OK();
+  }
+
+  // Fills a freshly inserted EMPTY element `node` with a minimum-size valid
+  // body for target type `t`.
+  Status FillMinimal(xml::NodeId node, TypeId t) {
+    if (target.IsSimple(t)) {
+      ASSIGN_OR_RETURN(std::string value,
+                       schema::MinimalValidValue(target.simple_type(t)));
+      return editor->InsertTextFirstChild(node, value).status();
+    }
+    RETURN_IF_ERROR(AddRequiredAttributes(node, t));
+    std::vector<uint64_t> symbol_cost(target.alphabet()->size(), kInf);
+    for (const auto& [sym, child] : target.complex_type(t).child_types) {
+      symbol_cost[sym] = corrector.min_tree_cost_[child];
+    }
+    std::vector<Symbol> labels =
+        MinAcceptPath(*rel.TargetDfa(t), symbol_cost);
+    xml::NodeId previous = xml::kInvalidNode;
+    for (Symbol sym : labels) {
+      const std::string& label = target.alphabet()->Name(sym);
+      Result<xml::NodeId> child =
+          previous == xml::kInvalidNode
+              ? editor->InsertElementFirstChild(node, label)
+              : editor->InsertElementAfter(previous, label);
+      RETURN_IF_ERROR(child.status());
+      RETURN_IF_ERROR(FillMinimal(*child, target.ChildType(t, sym)));
+      previous = *child;
+    }
+    return Status::OK();
+  }
+
+  // Inserts a minimal subtree for `t` labeled `label` before `before`
+  // (or as the last child of `parent` when before == kInvalidNode).
+  Result<xml::NodeId> InsertMinimal(xml::NodeId parent, xml::NodeId before,
+                                    const std::string& label, TypeId t) {
+    if (corrector.min_tree_cost_[t] == kInf) {
+      return Status::FailedPrecondition("target type '" + target.TypeName(t) +
+                                        "' is not productive");
+    }
+    Result<xml::NodeId> node =
+        before != xml::kInvalidNode
+            ? editor->InsertElementBefore(before, label)
+            : (doc->HasChildren(parent)
+                   ? editor->InsertElementAfter(doc->last_child(parent), label)
+                   : editor->InsertElementFirstChild(parent, label));
+    RETURN_IF_ERROR(node.status());
+    RETURN_IF_ERROR(FillMinimal(*node, t));
+    Record(CorrectionStep::Kind::kInsertElement, *node,
+           "insert minimal '" + label + "' (" + target.TypeName(t) + ")");
+    return node;
+  }
+
+  // correct(τ, τ', e): makes the subtree valid for τ', knowing it is valid
+  // for τ. Mirrors CastValidator::ValidateNode with repairs instead of
+  // failures.
+  Status CorrectNode(xml::NodeId node, TypeId s_type, TypeId t_type) {
+    if (rel.Subsumed(s_type, t_type)) return Status::OK();
+
+    if (target.IsSimple(t_type)) {
+      if (source.IsComplex(s_type)) {
+        // Complex → simple: no information to salvage; wipe the children
+        // and write a minimal value.
+        for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
+             c = doc->next_sibling(c)) {
+          if (!editor->IsDeleted(c)) RETURN_IF_ERROR(DeleteSubtree(c));
+        }
+        ASSIGN_OR_RETURN(std::string value, schema::MinimalValidValue(
+                                                target.simple_type(t_type)));
+        RETURN_IF_ERROR(editor->InsertTextFirstChild(node, value).status());
+        Record(CorrectionStep::Kind::kRewriteText, node,
+               "replace content with minimal " +
+                   std::string(schema::AtomicKindName(
+                       target.simple_type(t_type).kind)));
+        return Status::OK();
+      }
+      // Simple → simple: re-check the value, rewrite when needed.
+      std::string value = doc->SimpleContent(node);
+      if (schema::ValidateSimpleValue(target.simple_type(t_type), value)
+              .ok()) {
+        return Status::OK();
+      }
+      ASSIGN_OR_RETURN(std::string fixed, schema::MinimalValidValue(
+                                              target.simple_type(t_type)));
+      // Rewrite the first text child; create one if the element was empty.
+      xml::NodeId text = xml::kInvalidNode;
+      for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
+           c = doc->next_sibling(c)) {
+        if (doc->IsText(c)) {
+          if (text == xml::kInvalidNode) {
+            text = c;
+          } else {
+            RETURN_IF_ERROR(editor->DeleteLeaf(c));
+          }
+        }
+      }
+      if (text != xml::kInvalidNode) {
+        RETURN_IF_ERROR(editor->UpdateText(text, fixed));
+      } else {
+        RETURN_IF_ERROR(editor->InsertTextFirstChild(node, fixed).status());
+      }
+      Record(CorrectionStep::Kind::kRewriteText, node,
+             "'" + value + "' -> '" + fixed + "'");
+      return Status::OK();
+    }
+
+    if (source.IsSimple(s_type)) {
+      // Simple → complex: drop the text and build minimal content.
+      for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
+           c = doc->next_sibling(c)) {
+        if (!editor->IsDeleted(c)) RETURN_IF_ERROR(DeleteSubtree(c));
+      }
+      if (corrector.min_tree_cost_[t_type] == kInf) {
+        return Status::FailedPrecondition("target type '" +
+                                          target.TypeName(t_type) +
+                                          "' is not productive");
+      }
+      RETURN_IF_ERROR(FillMinimal(node, t_type));
+      Record(CorrectionStep::Kind::kInsertElement, node,
+             "rebuild content as minimal " + target.TypeName(t_type));
+      return Status::OK();
+    }
+
+    // Complex → complex: fix the attribute set, repair the child-label
+    // string minimally, then recurse into the kept children.
+    RETURN_IF_ERROR(RepairAttributes(node, t_type));
+    std::vector<xml::NodeId> children;
+    std::vector<Symbol> word;
+    for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
+         c = doc->next_sibling(c)) {
+      if (!doc->IsElement(c)) continue;
+      std::optional<Symbol> sym = source.alphabet()->Find(doc->label(c));
+      if (!sym) {
+        return Status::FailedPrecondition("label '" + doc->label(c) +
+                                          "' outside the shared alphabet");
+      }
+      children.push_back(c);
+      word.push_back(*sym);
+    }
+
+    const Dfa* tdfa = rel.TargetDfa(t_type);
+    std::vector<bool> insertable(tdfa->alphabet_size(), false);
+    for (const auto& [sym, child] : target.complex_type(t_type).child_types) {
+      if (corrector.min_tree_cost_[child] != kInf) insertable[sym] = true;
+    }
+    ASSIGN_OR_RETURN(std::vector<StringEditOp> ops,
+                     MinimalStringRepair(*tdfa, word, insertable,
+                                         corrector.options_.max_search_states));
+
+    for (const StringEditOp& op : ops) {
+      switch (op.kind) {
+        case StringEditOp::Kind::kKeep: {
+          xml::NodeId child = children[op.position];
+          TypeId child_s = source.ChildType(s_type, word[op.position]);
+          TypeId child_t = target.ChildType(t_type, word[op.position]);
+          if (child_s == kInvalidType || child_t == kInvalidType) {
+            return Status::Internal("kept child lost its typing");
+          }
+          RETURN_IF_ERROR(CorrectNode(child, child_s, child_t));
+          break;
+        }
+        case StringEditOp::Kind::kDelete: {
+          xml::NodeId child = children[op.position];
+          Record(CorrectionStep::Kind::kDeleteSubtree, child,
+                 "remove '" + doc->label(child) + "'");
+          RETURN_IF_ERROR(DeleteSubtree(child));
+          break;
+        }
+        case StringEditOp::Kind::kInsert: {
+          xml::NodeId before = op.position < children.size()
+                                   ? children[op.position]
+                                   : xml::kInvalidNode;
+          TypeId child_t = target.ChildType(t_type, op.symbol);
+          RETURN_IF_ERROR(
+              InsertMinimal(node, before,
+                            target.alphabet()->Name(op.symbol), child_t)
+                  .status());
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+Result<CorrectionReport> DocumentCorrector::CorrectWithEditor(
+    xml::Document* doc, xml::DocumentEditor* editor) const {
+  if (doc == nullptr || editor == nullptr) {
+    return Status::InvalidArgument("Correct requires a document and editor");
+  }
+  if (!doc->has_root()) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  const Schema& source = relations_->source();
+  const Schema& target = relations_->target();
+  std::optional<Symbol> sym = source.alphabet()->Find(doc->label(doc->root()));
+  TypeId s_root = sym ? source.RootType(*sym) : kInvalidType;
+  TypeId t_root = sym ? target.RootType(*sym) : kInvalidType;
+  if (s_root == kInvalidType) {
+    return Status::FailedPrecondition(
+        "root is not declared by the source schema");
+  }
+  if (t_root == kInvalidType) {
+    return Status::FailedPrecondition(
+        "root label '" + doc->label(doc->root()) +
+        "' is not declared by the target schema; relabeling the root is "
+        "outside the correction model");
+  }
+  Walk walk{*this, *relations_, source, target, doc, editor, {}};
+  RETURN_IF_ERROR(walk.CorrectNode(doc->root(), s_root, t_root));
+  return std::move(walk.report);
+}
+
+Result<CorrectionReport> DocumentCorrector::Correct(xml::Document* doc) const {
+  xml::DocumentEditor editor(doc);
+  ASSIGN_OR_RETURN(CorrectionReport report, CorrectWithEditor(doc, &editor));
+  editor.Seal();
+  RETURN_IF_ERROR(editor.Commit());
+  return report;
+}
+
+}  // namespace xmlreval::core

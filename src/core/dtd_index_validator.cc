@@ -1,0 +1,230 @@
+#include "core/dtd_index_validator.h"
+
+#include <optional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::core {
+
+using automata::Symbol;
+using automata::Verdict;
+using schema::kInvalidType;
+
+namespace {
+
+// For a DTD-like schema, returns the unique type of each label (indexed by
+// symbol; kInvalidType = label unused), or an error if some label is used
+// with two types.
+Result<std::vector<TypeId>> UniqueLabelTypes(const Schema& schema,
+                                             size_t alphabet_size) {
+  std::vector<TypeId> type_of(alphabet_size, kInvalidType);
+  auto assign = [&](Symbol sym, TypeId t) -> Status {
+    if (type_of[sym] != kInvalidType && type_of[sym] != t) {
+      return Status::FailedPrecondition(
+          "schema is not DTD-like: label '" + schema.alphabet()->Name(sym) +
+          "' is used with types '" + schema.TypeName(type_of[sym]) +
+          "' and '" + schema.TypeName(t) + "'");
+    }
+    type_of[sym] = t;
+    return Status::OK();
+  };
+  for (const auto& [sym, t] : schema.roots()) {
+    RETURN_IF_ERROR(assign(sym, t));
+  }
+  for (TypeId t = 0; t < schema.num_types(); ++t) {
+    if (!schema.IsComplex(t)) continue;
+    for (const auto& [sym, child] : schema.complex_type(t).child_types) {
+      RETURN_IF_ERROR(assign(sym, child));
+    }
+  }
+  return type_of;
+}
+
+}  // namespace
+
+Result<DtdIndexValidator> DtdIndexValidator::Create(
+    const TypeRelations* relations, const Options& options) {
+  if (relations == nullptr) {
+    return Status::InvalidArgument("DtdIndexValidator requires relations");
+  }
+  const Schema& source = relations->source();
+  const Schema& target = relations->target();
+  size_t alphabet_size = source.alphabet()->size();
+
+  ASSIGN_OR_RETURN(std::vector<TypeId> source_types,
+                   UniqueLabelTypes(source, alphabet_size));
+  ASSIGN_OR_RETURN(std::vector<TypeId> target_types,
+                   UniqueLabelTypes(target, alphabet_size));
+
+  DtdIndexValidator v;
+  v.relations_ = relations;
+  v.options_ = options;
+  v.plans_.resize(alphabet_size);
+  for (Symbol sym = 0; sym < alphabet_size; ++sym) {
+    LabelPlan& plan = v.plans_[sym];
+    plan.source_type = source_types[sym];
+    plan.target_type = target_types[sym];
+    if (plan.source_type == kInvalidType || plan.target_type == kInvalidType) {
+      // A label the source never produces, or one the target cannot type:
+      // any instance makes the document invalid under the target DTD.
+      plan.action = LabelAction::kForeign;
+    } else if (relations->Subsumed(plan.source_type, plan.target_type)) {
+      plan.action = LabelAction::kSkip;
+    } else if (relations->Disjoint(plan.source_type, plan.target_type)) {
+      plan.action = LabelAction::kReject;
+    } else {
+      plan.action = LabelAction::kCheck;
+    }
+  }
+  return v;
+}
+
+std::vector<std::string> DtdIndexValidator::CheckedLabels() const {
+  std::vector<std::string> out;
+  for (Symbol sym = 0; sym < plans_.size(); ++sym) {
+    if (plans_[sym].action == LabelAction::kCheck) {
+      out.push_back(relations_->source().alphabet()->Name(sym));
+    }
+  }
+  return out;
+}
+
+ValidationReport DtdIndexValidator::Validate(
+    const xml::Document& doc, const xml::LabelIndex& index) const {
+  const Schema& source = relations_->source();
+  const Schema& target = relations_->target();
+  ValidationReport report;
+
+  auto fail = [&](xml::NodeId node, std::string message) {
+    report.valid = false;
+    report.violation = std::move(message);
+    report.violation_path = xml::DeweyPath::Of(doc, node);
+  };
+
+  // Root label must be accepted by the target's R.
+  if (doc.has_root()) {
+    std::optional<Symbol> sym = source.alphabet()->Find(doc.label(doc.root()));
+    if (!sym || target.RootType(*sym) == kInvalidType) {
+      fail(doc.root(), "root element '" + doc.label(doc.root()) +
+                           "' is not declared by the target schema");
+      return report;
+    }
+  }
+
+  for (const std::string& label : index.Labels()) {
+    std::optional<Symbol> sym_opt = source.alphabet()->Find(label);
+    if (!sym_opt || *sym_opt >= plans_.size()) {
+      fail(index.Instances(label)[0],
+           "element '" + label + "' is outside the schemas' alphabet");
+      return report;
+    }
+    Symbol sym = *sym_opt;
+    const LabelPlan& plan = plans_[sym];
+    const std::vector<xml::NodeId>& instances = index.Instances(label);
+
+    switch (plan.action) {
+      case LabelAction::kSkip:
+        report.counters.subtrees_skipped += instances.size();
+        continue;
+      case LabelAction::kForeign:
+        fail(instances[0], "element '" + label +
+                               "' has no type under the target schema");
+        return report;
+      case LabelAction::kReject:
+        ++report.counters.disjoint_rejects;
+        fail(instances[0],
+             "element '" + label + "': source type '" +
+                 source.TypeName(plan.source_type) +
+                 "' is disjoint from target type '" +
+                 target.TypeName(plan.target_type) + "'");
+        return report;
+      case LabelAction::kCheck:
+        break;
+    }
+
+    // Verify the immediate content model of every instance.
+    const automata::ImmediateDfa* pair =
+        options_.use_immediate_content
+            ? relations_->PairAutomaton(plan.source_type, plan.target_type)
+            : nullptr;
+    for (xml::NodeId node : instances) {
+      ++report.counters.nodes_visited;
+      ++report.counters.elements_visited;
+
+      if (target.IsSimple(plan.target_type)) {
+        ++report.counters.simple_checks;
+        std::string value = doc.SimpleContent(node);
+        report.counters.nodes_visited += doc.CountChildren(node);
+        report.counters.text_nodes_visited += doc.CountChildren(node);
+        Status check = schema::ValidateSimpleValue(
+            target.simple_type(plan.target_type), value);
+        if (!check.ok()) {
+          fail(node, "element '" + label + "': " +
+                         std::string(check.message()));
+          return report;
+        }
+        continue;
+      }
+
+      const schema::ComplexType& t_decl =
+          target.complex_type(plan.target_type);
+      if (!t_decl.open_attributes) {
+        ++report.counters.attr_checks;
+        Status attrs =
+            schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
+        if (!attrs.ok()) {
+          fail(node, "element '" + label + "': " +
+                         std::string(attrs.message()));
+          return report;
+        }
+      }
+
+      std::vector<Symbol> symbols;
+      bool bad_label = false;
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (!doc.IsElement(c)) continue;
+        std::optional<Symbol> child_sym = source.alphabet()->Find(doc.label(c));
+        if (!child_sym) {
+          fail(c, "element '" + doc.label(c) +
+                      "' is outside the schemas' alphabet");
+          bad_label = true;
+          break;
+        }
+        symbols.push_back(*child_sym);
+      }
+      if (bad_label) return report;
+
+      bool accepted;
+      if (pair != nullptr) {
+        automata::ImmediateRunResult run = pair->Run(symbols);
+        report.counters.dfa_steps += run.symbols_scanned;
+        if (run.decided_early) ++report.counters.immediate_decisions;
+        accepted = run.verdict == Verdict::kAccept;
+      } else {
+        const automata::Dfa* dfa = relations_->TargetDfa(plan.target_type);
+        automata::StateId q = dfa->start_state();
+        accepted = true;
+        for (Symbol child_sym : symbols) {
+          if (child_sym >= dfa->alphabet_size()) {
+            accepted = false;
+            break;
+          }
+          q = dfa->Next(q, child_sym);
+          ++report.counters.dfa_steps;
+        }
+        accepted = accepted && dfa->IsAccepting(q);
+      }
+      if (!accepted) {
+        fail(node, "children of '" + label +
+                       "' do not match the content model of target type '" +
+                       target.TypeName(plan.target_type) + "'");
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,492 @@
+#include "core/mod_validator.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::core {
+
+using automata::Symbol;
+using automata::Verdict;
+using schema::kInvalidType;
+using xml::DeltaKind;
+using xml::TrieCursor;
+
+ModValidator::ModValidator(const TypeRelations* relations,
+                           const Options& options)
+    : relations_(relations),
+      options_(options),
+      cast_(relations, options.cast) {
+  XMLREVAL_CHECK(relations != nullptr, "ModValidator requires relations");
+}
+
+struct ModValidator::Walk {
+  const TypeRelations& rel;
+  const Schema& source;
+  const Schema& target;
+  const xml::Document& doc;
+  const xml::ModificationIndex& mods;
+  const CastValidator& cast;
+  bool use_incremental;
+  ValidationReport report;
+  std::vector<uint32_t> path;
+
+  void Fail(std::string message) {
+    report.valid = false;
+    report.violation = std::move(message);
+    report.violation_path = xml::DeweyPath(path);
+  }
+
+  // Merges a sub-validator's report, rebasing its violation path onto the
+  // current position.
+  bool Absorb(const ValidationReport& sub) {
+    report.counters += sub.counters;
+    if (!sub.valid && report.valid) {
+      report.valid = false;
+      report.violation = sub.violation;
+      std::vector<uint32_t> abs = path;
+      for (uint32_t c : sub.violation_path.components()) abs.push_back(c);
+      report.violation_path = xml::DeweyPath(std::move(abs));
+    }
+    return sub.valid;
+  }
+
+  std::optional<Symbol> FindSymbol(const std::string& label) {
+    return source.alphabet()->Find(label);
+  }
+
+  // Case 3: a freshly inserted subtree — full validation against the
+  // target type, but Δ-aware: descendants deleted within the same edit
+  // session (never_existed nodes) are skipped.
+  bool ValidateInserted(xml::NodeId node, TypeId t_type) {
+    ++report.counters.nodes_visited;
+    ++report.counters.elements_visited;
+
+    if (target.IsSimple(t_type)) {
+      std::string value;
+      uint32_t ordinal = 0;
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c), ++ordinal) {
+        if (mods.IsDeleted(c)) continue;
+        if (doc.IsElement(c)) {
+          path.push_back(ordinal);
+          Fail("element '" + doc.label(c) +
+               "' not allowed under simple-typed '" + doc.label(node) + "'");
+          path.pop_back();
+          return false;
+        }
+        ++report.counters.nodes_visited;
+        ++report.counters.text_nodes_visited;
+        value += doc.text(c);
+      }
+      ++report.counters.simple_checks;
+      Status check =
+          schema::ValidateSimpleValue(target.simple_type(t_type), value);
+      if (!check.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(check.message()));
+        return false;
+      }
+      return true;
+    }
+
+    const schema::ComplexType& t_decl = target.complex_type(t_type);
+    if (!t_decl.open_attributes) {
+      ++report.counters.attr_checks;
+      Status attrs =
+          schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
+      if (!attrs.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(attrs.message()));
+        return false;
+      }
+    }
+
+    const automata::Dfa* dfa = rel.TargetDfa(t_type);
+    automata::StateId q = dfa->start_state();
+    std::vector<xml::NodeId> children;
+    std::vector<Symbol> symbols;
+    std::vector<uint32_t> ordinals;
+    uint32_t ordinal = 0;
+    for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+         c = doc.next_sibling(c), ++ordinal) {
+      if (mods.IsDeleted(c)) continue;
+      if (doc.IsText(c)) {
+        ++report.counters.nodes_visited;
+        ++report.counters.text_nodes_visited;
+        if (!TrimWhitespace(doc.text(c)).empty()) {
+          path.push_back(ordinal);
+          Fail("character data not allowed under '" + doc.label(node) +
+               "' (element-only content)");
+          path.pop_back();
+          return false;
+        }
+        continue;
+      }
+      std::optional<Symbol> sym = FindSymbol(doc.label(c));
+      if (!sym || *sym >= dfa->alphabet_size() ||
+          target.ChildType(t_type, *sym) == kInvalidType) {
+        path.push_back(ordinal);
+        Fail("element '" + doc.label(c) + "' not allowed by target type '" +
+             target.TypeName(t_type) + "'");
+        path.pop_back();
+        return false;
+      }
+      q = dfa->Next(q, *sym);
+      ++report.counters.dfa_steps;
+      children.push_back(c);
+      symbols.push_back(*sym);
+      ordinals.push_back(ordinal);
+    }
+    if (!dfa->IsAccepting(q)) {
+      Fail("children of inserted '" + doc.label(node) +
+           "' do not match the content model of target type '" +
+           target.TypeName(t_type) + "'");
+      return false;
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      path.push_back(ordinals[i]);
+      bool ok =
+          ValidateInserted(children[i], target.ChildType(t_type, symbols[i]));
+      path.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // The §4.3 three-phase scan in one direction: `single`/`pair`/`sdfa`
+  // must all belong to that direction (forward automata with the original
+  // sequences, or reverse automata with the reversed sequences).
+  // `boundary` = count of trailing symbols of new_syms that are unmodified.
+  bool ThreePhase(xml::NodeId node, TypeId t_type,
+                  const automata::ImmediateDfa* pair,
+                  const automata::ImmediateDfa* single,
+                  const automata::Dfa* plain_target,
+                  const automata::Dfa* sdfa,
+                  std::span<const Symbol> old_syms,
+                  std::span<const Symbol> new_syms, size_t suffix,
+                  bool* accepted) {
+    size_t i = new_syms.size() - suffix;
+
+    // Phase 1: b_immed over the edited prefix.
+    automata::StateId qb;
+    if (single != nullptr) {
+      automata::ImmediateRunResult p1 = single->Run(new_syms.subspan(0, i));
+      report.counters.dfa_steps += p1.symbols_scanned;
+      if (p1.decided_early) {
+        ++report.counters.immediate_decisions;
+        *accepted = p1.verdict == Verdict::kAccept;
+        if (!*accepted) {
+          Fail("children of '" + doc.label(node) +
+               "' do not match the content model of target type '" +
+               target.TypeName(t_type) + "'");
+        }
+        return true;  // decided
+      }
+      qb = p1.final_state;
+    } else {
+      qb = plain_target->Run(new_syms.subspan(0, i));
+      report.counters.dfa_steps += i;
+    }
+
+    // Phase 2: recover the source state before the unmodified suffix.
+    automata::StateId qa =
+        sdfa->Run(old_syms.subspan(0, old_syms.size() - suffix));
+
+    // Phase 3: c_immed from (qa, qb) over the unmodified suffix.
+    automata::StateId start = pair->pair_encoding().Encode(qa, qb);
+    automata::ImmediateRunResult p3 = pair->Run(new_syms.subspan(i), start);
+    report.counters.dfa_steps += p3.symbols_scanned;
+    if (p3.decided_early) ++report.counters.immediate_decisions;
+    *accepted = p3.verdict == Verdict::kAccept;
+    if (!*accepted) {
+      Fail("children of '" + doc.label(node) +
+           "' do not match the content model of target type '" +
+           target.TypeName(t_type) + "'");
+    }
+    return true;
+  }
+
+  // Content-model check for a MODIFIED node (case 4): decide
+  // new_syms ∈ L(regexp_τ') knowing old_syms ∈ L(regexp_τ), via the §4.3
+  // three-phase scan when the machinery is available, choosing the scan
+  // direction by where the edits fall (reverse automata, when prebuilt,
+  // handle the append-heavy case).
+  bool CheckContent(xml::NodeId node, TypeId s_type, TypeId t_type,
+                    bool s_complex, const std::vector<Symbol>& old_syms,
+                    const std::vector<Symbol>& new_syms) {
+    const automata::ImmediateDfa* pair =
+        (use_incremental && s_complex) ? rel.PairAutomaton(s_type, t_type)
+                                       : nullptr;
+    const automata::ImmediateDfa* single = rel.SingleAutomaton(t_type);
+    bool accepted = false;
+
+    if (pair != nullptr) {
+      // Unmodified prefix/suffix lengths; the edits fall between them.
+      size_t limit = std::min(old_syms.size(), new_syms.size());
+      size_t suffix = 0;
+      while (suffix < limit &&
+             old_syms[old_syms.size() - 1 - suffix] ==
+                 new_syms[new_syms.size() - 1 - suffix]) {
+        ++suffix;
+      }
+      size_t prefix = 0;
+      while (prefix < limit && old_syms[prefix] == new_syms[prefix]) {
+        ++prefix;
+      }
+      if (prefix + suffix > limit) suffix = limit - prefix;
+
+      const automata::ImmediateDfa* rpair =
+          (use_incremental && s_complex)
+              ? rel.ReversePairAutomaton(s_type, t_type)
+              : nullptr;
+      if (rpair != nullptr && prefix > suffix) {
+        // Backward scan: the common prefix becomes the unmodified suffix
+        // of the reversed sequences.
+        std::vector<Symbol> old_rev(old_syms.rbegin(), old_syms.rend());
+        std::vector<Symbol> new_rev(new_syms.rbegin(), new_syms.rend());
+        if (ThreePhase(node, t_type, rpair,
+                       rel.ReverseSingleAutomaton(t_type),
+                       /*plain_target=*/nullptr,
+                       rel.ReverseSourceDfa(s_type), old_rev, new_rev,
+                       prefix, &accepted)) {
+          return accepted;
+        }
+      }
+      if (ThreePhase(node, t_type, pair, single, rel.TargetDfa(t_type),
+                     rel.SourceDfa(s_type), old_syms, new_syms, suffix,
+                     &accepted)) {
+        return accepted;
+      }
+    } else if (single != nullptr) {
+      automata::ImmediateRunResult run = single->Run(new_syms);
+      report.counters.dfa_steps += run.symbols_scanned;
+      if (run.decided_early) ++report.counters.immediate_decisions;
+      accepted = run.verdict == Verdict::kAccept;
+    } else {
+      const automata::Dfa* dfa = rel.TargetDfa(t_type);
+      automata::StateId q = dfa->start_state();
+      for (Symbol sym : new_syms) {
+        q = dfa->Next(q, sym);
+        ++report.counters.dfa_steps;
+      }
+      accepted = dfa->IsAccepting(q);
+    }
+
+    if (!accepted) {
+      Fail("children of '" + doc.label(node) +
+           "' do not match the content model of target type '" +
+           target.TypeName(t_type) + "'");
+    }
+    return accepted;
+  }
+
+  // Cases 1 and 4 dispatcher for a node that exists in T' (not deleted).
+  // `s_type` is the node's type under the source schema, or kInvalidType
+  // when the node has no source history (only for inserted nodes, which
+  // the caller routes to ValidateInserted instead).
+  bool ValidateNode(xml::NodeId node, TypeId s_type, TypeId t_type,
+                    TrieCursor cursor) {
+    // Case 1: untouched subtree — plain §3.2 schema-cast validation.
+    if (cursor.Null()) {
+      return Absorb(cast.ValidateSubtree(doc, node, s_type, t_type));
+    }
+
+    ++report.counters.nodes_visited;
+    ++report.counters.elements_visited;
+
+    // Case 4: the node (or something below it) changed; its own content
+    // must be re-verified against τ'.
+    if (target.IsSimple(t_type)) {
+      std::string value;
+      uint32_t ordinal = 0;
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c), ++ordinal) {
+        if (mods.IsDeleted(c)) continue;
+        if (doc.IsElement(c)) {
+          path.push_back(ordinal);
+          Fail("element '" + doc.label(c) +
+               "' not allowed under simple-typed '" + doc.label(node) + "'");
+          path.pop_back();
+          return false;
+        }
+        ++report.counters.nodes_visited;
+        ++report.counters.text_nodes_visited;
+        value += doc.text(c);
+      }
+      ++report.counters.simple_checks;
+      Status check =
+          schema::ValidateSimpleValue(target.simple_type(t_type), value);
+      if (!check.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(check.message()));
+        return false;
+      }
+      return true;
+    }
+
+    // Complex τ': attributes are re-checked on the modified spine (edits
+    // to the tree may be accompanied by a type whose attribute policy
+    // differs), then the child sequence is projected both ways.
+    const schema::ComplexType& t_decl = target.complex_type(t_type);
+    if (!t_decl.open_attributes) {
+      ++report.counters.attr_checks;
+      Status attr_check =
+          schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
+      if (!attr_check.ok()) {
+        Fail("element '" + doc.label(node) + "': " +
+             std::string(attr_check.message()));
+        return false;
+      }
+    }
+    bool s_complex = s_type != kInvalidType && source.IsComplex(s_type);
+    std::vector<Symbol> old_syms;        // Proj_old: skips inserted
+    std::vector<Symbol> new_syms;        // Proj_new: skips deleted
+    std::vector<xml::NodeId> live;       // children to recurse into
+    std::vector<Symbol> live_new_syms;   // label symbol in T'
+    std::vector<Symbol> live_old_syms;   // label symbol in T (or invalid)
+    std::vector<uint32_t> live_ordinals;
+    std::vector<bool> live_inserted;
+
+    uint32_t ordinal = 0;
+    for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+         c = doc.next_sibling(c), ++ordinal) {
+      DeltaKind kind = mods.Kind(c);
+      if (doc.IsText(c)) {
+        if (kind == DeltaKind::kDeleted) continue;
+        ++report.counters.nodes_visited;
+        ++report.counters.text_nodes_visited;
+        if (!TrimWhitespace(doc.text(c)).empty()) {
+          path.push_back(ordinal);
+          Fail("character data not allowed under '" + doc.label(node) +
+               "' (element-only content in target type '" +
+               target.TypeName(t_type) + "')");
+          path.pop_back();
+          return false;
+        }
+        continue;
+      }
+
+      std::optional<std::string> old_label = mods.OldLabel(doc, c);
+      std::optional<std::string> new_label = mods.NewLabel(doc, c);
+      if (old_label) {
+        std::optional<Symbol> sym = FindSymbol(*old_label);
+        if (!sym) {
+          Fail("internal: original label '" + *old_label +
+               "' missing from the alphabet");
+          return false;
+        }
+        old_syms.push_back(*sym);
+      }
+      if (kind == DeltaKind::kDeleted) {
+        // Deleted child: its label fed Proj_old; count the read.
+        ++report.counters.nodes_visited;
+        ++report.counters.elements_visited;
+        continue;
+      }
+      XMLREVAL_CHECK(new_label.has_value(), "live node must have a label");
+      std::optional<Symbol> sym = FindSymbol(*new_label);
+      if (!sym) {
+        path.push_back(ordinal);
+        Fail("element '" + *new_label + "' is outside the schemas' alphabet");
+        path.pop_back();
+        return false;
+      }
+      new_syms.push_back(*sym);
+      live.push_back(c);
+      live_new_syms.push_back(*sym);
+      live_old_syms.push_back(old_label ? old_syms.back()
+                                        : automata::kInvalidSymbol);
+      live_ordinals.push_back(ordinal);
+      live_inserted.push_back(kind == DeltaKind::kInserted);
+    }
+
+    if (!CheckContent(node, s_type, t_type, s_complex, old_syms, new_syms)) {
+      return false;
+    }
+
+    // Recurse per live child with (types_τ(Proj_old), types_τ'(Proj_new)).
+    for (size_t i = 0; i < live.size(); ++i) {
+      TypeId t_child = target.ChildType(t_type, live_new_syms[i]);
+      if (t_child == kInvalidType) {
+        Fail("internal: accepted content string uses untyped label '" +
+             doc.label(live[i]) + "'");
+        return false;
+      }
+      path.push_back(live_ordinals[i]);
+      bool ok;
+      if (live_inserted[i] || !s_complex ||
+          live_old_syms[i] == automata::kInvalidSymbol) {
+        // No usable source knowledge: validate explicitly.
+        ok = ValidateInserted(live[i], t_child);
+      } else {
+        TypeId s_child = source.ChildType(s_type, live_old_syms[i]);
+        if (s_child == kInvalidType) {
+          Fail("precondition violated: source type '" +
+               source.TypeName(s_type) + "' does not type child label '" +
+               source.alphabet()->Name(live_old_syms[i]) + "'");
+          path.pop_back();
+          return false;
+        }
+        ok = ValidateNode(live[i], s_child, t_child,
+                          cursor.Descend(live_ordinals[i]));
+      }
+      path.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  }
+};
+
+ValidationReport ModValidator::Validate(
+    const xml::Document& doc, const xml::ModificationIndex& mods) const {
+  Walk walk{*relations_,
+            relations_->source(),
+            relations_->target(),
+            doc,
+            mods,
+            cast_,
+            options_.use_incremental_content,
+            {},
+            {}};
+  if (!doc.has_root()) {
+    walk.Fail("document has no root element");
+    return std::move(walk.report);
+  }
+  xml::NodeId root = doc.root();
+  const Schema& source = relations_->source();
+  const Schema& target = relations_->target();
+
+  std::optional<std::string> new_label = mods.NewLabel(doc, root);
+  std::optional<std::string> old_label = mods.OldLabel(doc, root);
+  XMLREVAL_CHECK(new_label.has_value(), "document root cannot be deleted");
+
+  std::optional<Symbol> new_sym = source.alphabet()->Find(*new_label);
+  TypeId t_root = new_sym ? target.RootType(*new_sym) : kInvalidType;
+  if (t_root == kInvalidType) {
+    ++walk.report.counters.nodes_visited;
+    ++walk.report.counters.elements_visited;
+    walk.Fail("root element '" + *new_label +
+              "' is not declared by the target schema");
+    return std::move(walk.report);
+  }
+
+  if (mods.IsInserted(root) || !old_label) {
+    walk.ValidateInserted(root, t_root);
+    return std::move(walk.report);
+  }
+
+  std::optional<Symbol> old_sym = source.alphabet()->Find(*old_label);
+  TypeId s_root = old_sym ? source.RootType(*old_sym) : kInvalidType;
+  if (s_root == kInvalidType) {
+    walk.Fail("precondition violated: original root '" + *old_label +
+              "' is not declared by the source schema");
+    return std::move(walk.report);
+  }
+
+  walk.ValidateNode(root, s_root, t_root, mods.Cursor());
+  return std::move(walk.report);
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,274 @@
+#include "core/relations.h"
+
+#include "automata/product.h"
+#include "common/macros.h"
+
+namespace xmlreval::core {
+
+using automata::Dfa;
+using schema::kInvalidType;
+
+namespace {
+
+// τ ≤ τ' requires (besides content containment) that every attribute set a
+// τ-valid tree may carry is τ'-valid: each attribute τ declares must be
+// declared by τ' with a subsuming value type, and each attribute τ'
+// requires must be one τ requires. Open-attribute types accept anything,
+// so an open τ can only be subsumed by an open τ'.
+bool AttributesSubsumed(const schema::ComplexType& a,
+                        const schema::ComplexType& b) {
+  if (b.open_attributes) return true;
+  if (a.open_attributes) return false;  // a may carry attributes b rejects
+  for (const auto& [name, da] : a.attributes) {
+    auto it = b.attributes.find(name);
+    if (it == b.attributes.end()) return false;
+    if (!schema::SimpleSubsumed(da.type, it->second.type)) return false;
+    // b fixes the value: a must guarantee it, i.e. fix the same value.
+    if (it->second.fixed && da.fixed != it->second.fixed) return false;
+  }
+  for (const auto& [name, db] : b.attributes) {
+    if (!db.required) continue;
+    auto it = a.attributes.find(name);
+    if (it == a.attributes.end() || !it->second.required) return false;
+  }
+  return true;
+}
+
+// Some attribute assignment satisfies both types: every attribute either
+// side REQUIRES must be declared by the other with a value type that is
+// not provably disjoint. (Optional attributes can simply be omitted.)
+bool AttributesCompatible(const schema::ComplexType& a,
+                          const schema::ComplexType& b) {
+  auto check_required = [](const schema::ComplexType& x,
+                           const schema::ComplexType& y) {
+    if (y.open_attributes) return true;
+    for (const auto& [name, dx] : x.attributes) {
+      if (!dx.required) continue;
+      auto it = y.attributes.find(name);
+      if (it == y.attributes.end()) return false;
+      if (schema::SimpleDisjoint(dx.type, it->second.type)) return false;
+      // The attribute must be present; conflicting fixed values on the two
+      // sides make any shared instance impossible.
+      if (dx.fixed && it->second.fixed && dx.fixed != it->second.fixed) {
+        return false;
+      }
+      if (dx.fixed &&
+          !schema::ValidateSimpleValue(it->second.type, *dx.fixed).ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!a.open_attributes && !check_required(a, b)) return false;
+  if (!b.open_attributes && !check_required(b, a)) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<TypeRelations> TypeRelations::Compute(const Schema* source,
+                                             const Schema* target,
+                                             const Options& options) {
+  if (source == nullptr || target == nullptr) {
+    return Status::InvalidArgument("TypeRelations requires two schemas");
+  }
+  if (source->alphabet() != target->alphabet()) {
+    return Status::InvalidArgument(
+        "source and target schemas must share one Alphabet instance");
+  }
+
+  TypeRelations rel;
+  rel.source_ = source;
+  rel.target_ = target;
+  size_t ns = source->num_types();
+  size_t nt = target->num_types();
+  rel.num_target_ = nt;
+  size_t alphabet_size = source->alphabet()->size();
+
+  // Pad all content DFAs to the current shared alphabet so products and
+  // containment tests line up even if one schema was built before the
+  // other interned additional labels.
+  rel.source_dfas_.resize(ns);
+  for (TypeId s = 0; s < ns; ++s) {
+    if (source->IsComplex(s)) {
+      rel.source_dfas_[s] = source->ContentDfa(s).PaddedTo(alphabet_size);
+    }
+  }
+  rel.target_dfas_.resize(nt);
+  for (TypeId t = 0; t < nt; ++t) {
+    if (target->IsComplex(t)) {
+      rel.target_dfas_[t] = target->ContentDfa(t).PaddedTo(alphabet_size);
+    }
+  }
+
+  // ---- R_sub: greatest fixpoint by refinement (Definition 4) -------------
+  rel.sub_.assign(ns * nt, false);
+  for (TypeId s = 0; s < ns; ++s) {
+    for (TypeId t = 0; t < nt; ++t) {
+      if (source->IsSimple(s) && target->IsSimple(t)) {
+        rel.sub_[rel.Index(s, t)] =
+            schema::SimpleSubsumed(source->simple_type(s),
+                                   target->simple_type(t));
+      } else if (source->IsComplex(s) && target->IsComplex(t)) {
+        rel.sub_[rel.Index(s, t)] =
+            AttributesSubsumed(source->complex_type(s),
+                               target->complex_type(t)) &&
+            automata::LanguageContains(*rel.source_dfas_[s],
+                                       *rel.target_dfas_[t]);
+      }
+    }
+  }
+  // Refinement: drop pairs whose child typings are not pairwise subsumed.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TypeId s = 0; s < ns; ++s) {
+      if (!source->IsComplex(s)) continue;
+      for (TypeId t = 0; t < nt; ++t) {
+        if (!rel.sub_[rel.Index(s, t)] || !target->IsComplex(t)) continue;
+        for (const auto& [sym, child_s] :
+             source->complex_type(s).child_types) {
+          TypeId child_t = target->ChildType(t, sym);
+          if (child_t == kInvalidType ||
+              !rel.sub_[rel.Index(child_s, child_t)]) {
+            rel.sub_[rel.Index(s, t)] = false;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- R_nondis: least fixpoint (Definition 5) ----------------------------
+  rel.nondis_.assign(ns * nt, false);
+  for (TypeId s = 0; s < ns; ++s) {
+    for (TypeId t = 0; t < nt; ++t) {
+      if (source->IsSimple(s) && target->IsSimple(t)) {
+        rel.nondis_[rel.Index(s, t)] =
+            !schema::SimpleDisjoint(source->simple_type(s),
+                                    target->simple_type(t));
+      }
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (TypeId s = 0; s < ns; ++s) {
+      if (!source->IsComplex(s)) continue;
+      for (TypeId t = 0; t < nt; ++t) {
+        if (rel.nondis_[rel.Index(s, t)] || !target->IsComplex(t)) continue;
+        // Attribute constraints can rule a pair out regardless of content.
+        if (!AttributesCompatible(source->complex_type(s),
+                                  target->complex_type(t))) {
+          continue;
+        }
+        // P = labels whose child-type pair is already non-disjoint.
+        std::vector<bool> allowed(alphabet_size, false);
+        for (const auto& [sym, child_s] :
+             source->complex_type(s).child_types) {
+          TypeId child_t = target->ChildType(t, sym);
+          if (child_t != kInvalidType &&
+              rel.nondis_[rel.Index(child_s, child_t)]) {
+            allowed[sym] = true;
+          }
+        }
+        if (automata::IntersectionNonEmptyFiltered(
+                *rel.source_dfas_[s], *rel.target_dfas_[t], allowed)) {
+          rel.nondis_[rel.Index(s, t)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- §4 automata for the pairs validation will actually scan -----------
+  if (options.build_pair_automata) {
+    for (TypeId s = 0; s < ns; ++s) {
+      if (!source->IsComplex(s)) continue;
+      for (TypeId t = 0; t < nt; ++t) {
+        if (!target->IsComplex(t)) continue;
+        size_t idx = rel.Index(s, t);
+        if (rel.sub_[idx] || !rel.nondis_[idx]) continue;
+        rel.pair_automata_.emplace(
+            idx, automata::ImmediateDfa::FromPair(*rel.source_dfas_[s],
+                                                  *rel.target_dfas_[t]));
+      }
+    }
+  }
+  if (options.build_single_automata) {
+    for (TypeId t = 0; t < nt; ++t) {
+      if (!target->IsComplex(t)) continue;
+      rel.single_automata_.emplace(
+          t, automata::ImmediateDfa::FromSingle(*rel.target_dfas_[t]));
+    }
+  }
+
+  if (options.build_reverse_automata) {
+    // Determinized reversals (footnote 3: the reverse of a DFA is an NFA).
+    rel.reverse_source_dfas_.resize(ns);
+    for (TypeId s = 0; s < ns; ++s) {
+      if (!source->IsComplex(s)) continue;
+      rel.reverse_source_dfas_[s] =
+          automata::DeterminizeNfa(rel.source_dfas_[s]->Reverse()).Minimize();
+    }
+    std::vector<std::optional<Dfa>> reverse_target(nt);
+    for (TypeId t = 0; t < nt; ++t) {
+      if (!target->IsComplex(t)) continue;
+      reverse_target[t] =
+          automata::DeterminizeNfa(rel.target_dfas_[t]->Reverse()).Minimize();
+      rel.reverse_single_automata_.emplace(
+          t, automata::ImmediateDfa::FromSingle(*reverse_target[t]));
+    }
+    for (TypeId s = 0; s < ns; ++s) {
+      if (!source->IsComplex(s)) continue;
+      for (TypeId t = 0; t < nt; ++t) {
+        if (!target->IsComplex(t)) continue;
+        size_t idx = rel.Index(s, t);
+        if (rel.sub_[idx] || !rel.nondis_[idx]) continue;
+        rel.reverse_pair_automata_.emplace(
+            idx, automata::ImmediateDfa::FromPair(*rel.reverse_source_dfas_[s],
+                                                  *reverse_target[t]));
+      }
+    }
+  }
+
+  return rel;
+}
+
+const automata::ImmediateDfa* TypeRelations::PairAutomaton(TypeId s,
+                                                           TypeId t) const {
+  auto it = pair_automata_.find(Index(s, t));
+  return it == pair_automata_.end() ? nullptr : &it->second;
+}
+
+const automata::ImmediateDfa* TypeRelations::SingleAutomaton(TypeId t) const {
+  auto it = single_automata_.find(t);
+  return it == single_automata_.end() ? nullptr : &it->second;
+}
+
+const automata::ImmediateDfa* TypeRelations::ReversePairAutomaton(
+    TypeId s, TypeId t) const {
+  auto it = reverse_pair_automata_.find(Index(s, t));
+  return it == reverse_pair_automata_.end() ? nullptr : &it->second;
+}
+
+const automata::ImmediateDfa* TypeRelations::ReverseSingleAutomaton(
+    TypeId t) const {
+  auto it = reverse_single_automata_.find(t);
+  return it == reverse_single_automata_.end() ? nullptr : &it->second;
+}
+
+size_t TypeRelations::CountSubsumed() const {
+  size_t n = 0;
+  for (bool b : sub_) n += b;
+  return n;
+}
+
+size_t TypeRelations::CountNonDisjoint() const {
+  size_t n = 0;
+  for (bool b : nondis_) n += b;
+  return n;
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,128 @@
+// Static schema-pair preprocessing: the R_sub and R_dis relations (§3.2)
+// plus the content-model immediate decision automata of §4.
+//
+// Computing a TypeRelations is the paper's "preprocess the schemas" step —
+// it depends only on the two schemas, never on documents, so it is done
+// once per (source, target) pair and shared by any number of validations.
+//
+//   * R_sub (Definition 4) is computed by greatest-fixpoint refinement:
+//     start from all structurally-plausible pairs (simple/simple pairs with
+//     SimpleSubsumed, complex/complex pairs with L(regexp_τ) ⊆ L(regexp_τ'))
+//     and remove pairs whose child typings are not pairwise subsumed, until
+//     stable (Theorem 1).
+//   * R_nondis (Definition 5) is the least fixpoint: seed with
+//     non-disjoint simple pairs, then add complex pairs whose content
+//     models intersect over the already-non-disjoint labels P, until
+//     stable (Theorem 2). R_dis is its complement.
+//   * For every complex pair that is neither subsumed nor disjoint — the
+//     pairs the cast validator actually has to work on — the pair's
+//     c_immed (§4.2, Definition 7) is prebuilt. For every target complex
+//     type, b_immed (Definition 6) is prebuilt for the with-modifications
+//     path (§4.3 step 1) and for validating freshly inserted content.
+
+#ifndef XMLREVAL_CORE_RELATIONS_H_
+#define XMLREVAL_CORE_RELATIONS_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/immediate.h"
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::core {
+
+using schema::Schema;
+using schema::TypeId;
+
+class TypeRelations {
+ public:
+  struct Options {
+    /// Prebuild c_immed for non-subsumed, non-disjoint complex pairs.
+    /// Disable to measure the plain-DFA content check (ablation A1).
+    bool build_pair_automata = true;
+    /// Prebuild b_immed for target complex types (§4.3).
+    bool build_single_automata = true;
+    /// Prebuild REVERSE automata (determinized reversals + their pair/
+    /// single immediate automata) so content checks on modified nodes can
+    /// scan backward when the edits cluster at the END of a child list
+    /// (§4.3's append-heavy case). Off by default: reversal roughly
+    /// doubles the preprocessing cost.
+    bool build_reverse_automata = false;
+  };
+
+  /// Preprocesses a (source, target) schema pair. Both schemas must share
+  /// the same Alphabet instance.
+  static Result<TypeRelations> Compute(const Schema* source,
+                                       const Schema* target,
+                                       const Options& options);
+  static Result<TypeRelations> Compute(const Schema* source,
+                                       const Schema* target) {
+    return Compute(source, target, Options{});
+  }
+
+  /// τ ≤ τ' — every tree valid for source type s is valid for target t.
+  bool Subsumed(TypeId s, TypeId t) const { return sub_[Index(s, t)]; }
+
+  /// τ ⊘ τ' — no tree is valid for both.
+  bool Disjoint(TypeId s, TypeId t) const { return !nondis_[Index(s, t)]; }
+
+  /// c_immed for a complex (source, target) pair, or nullptr when the pair
+  /// is subsumed/disjoint/not prebuilt. States encode (source, target) DFA
+  /// pairs via pair_encoding().
+  const automata::ImmediateDfa* PairAutomaton(TypeId s, TypeId t) const;
+
+  /// b_immed for a target complex type, or nullptr when not prebuilt.
+  const automata::ImmediateDfa* SingleAutomaton(TypeId t) const;
+
+  /// Reverse-direction counterparts (§4.3). Null unless
+  /// Options::build_reverse_automata was set.
+  const automata::ImmediateDfa* ReversePairAutomaton(TypeId s, TypeId t) const;
+  const automata::ImmediateDfa* ReverseSingleAutomaton(TypeId t) const;
+  const automata::Dfa* ReverseSourceDfa(TypeId s) const {
+    return s < reverse_source_dfas_.size() && reverse_source_dfas_[s]
+               ? &*reverse_source_dfas_[s]
+               : nullptr;
+  }
+
+  /// The source/target content DFAs padded to the shared alphabet size at
+  /// Compute time (so cross-schema products line up). Indexed by TypeId;
+  /// nullopt for simple types.
+  const automata::Dfa* SourceDfa(TypeId s) const {
+    return source_dfas_[s] ? &*source_dfas_[s] : nullptr;
+  }
+  const automata::Dfa* TargetDfa(TypeId t) const {
+    return target_dfas_[t] ? &*target_dfas_[t] : nullptr;
+  }
+
+  const Schema& source() const { return *source_; }
+  const Schema& target() const { return *target_; }
+
+  /// Number of (s, t) pairs in R_sub / R_nondis (diagnostics, bench A3).
+  size_t CountSubsumed() const;
+  size_t CountNonDisjoint() const;
+
+ private:
+  TypeRelations() = default;
+
+  size_t Index(TypeId s, TypeId t) const { return s * num_target_ + t; }
+
+  const Schema* source_ = nullptr;
+  const Schema* target_ = nullptr;
+  size_t num_target_ = 0;
+  std::vector<bool> sub_;     // |T| x |T'|
+  std::vector<bool> nondis_;  // |T| x |T'|
+  std::vector<std::optional<automata::Dfa>> source_dfas_;
+  std::vector<std::optional<automata::Dfa>> target_dfas_;
+  std::unordered_map<size_t, automata::ImmediateDfa> pair_automata_;
+  std::unordered_map<TypeId, automata::ImmediateDfa> single_automata_;
+  std::vector<std::optional<automata::Dfa>> reverse_source_dfas_;
+  std::unordered_map<size_t, automata::ImmediateDfa> reverse_pair_automata_;
+  std::unordered_map<TypeId, automata::ImmediateDfa> reverse_single_automata_;
+};
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_RELATIONS_H_

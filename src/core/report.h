@@ -1,0 +1,68 @@
+// Validation verdicts with diagnostics and work counters.
+//
+// Every validator in xmlreval returns a ValidationReport rather than a bare
+// bool: the counters are how Table 3 of the paper (nodes traversed) and the
+// optimality experiments fall out of the API, and the violation fields make
+// failures actionable.
+//
+// Counting discipline (used consistently by the full and cast validators so
+// Table 3 is apples-to-apples): a node is "visited" when the validator
+// reads its label (elements) or its character data (text nodes). In cast
+// validation a child whose subtree is skipped via subsumption is still
+// visited once — its label participates in the parent's content-model
+// check — but nothing below it is.
+
+#ifndef XMLREVAL_CORE_REPORT_H_
+#define XMLREVAL_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/dewey.h"
+
+namespace xmlreval::core {
+
+struct ValidationCounters {
+  /// Total nodes (elements + text) whose content the validator read.
+  uint64_t nodes_visited = 0;
+  uint64_t elements_visited = 0;
+  uint64_t text_nodes_visited = 0;
+  /// Subtrees accepted without traversal because τ ≤ τ' (R_sub hit).
+  uint64_t subtrees_skipped = 0;
+  /// Immediate rejections because τ ⊘ τ' (R_dis hit).
+  uint64_t disjoint_rejects = 0;
+  /// Content-model DFA transitions taken.
+  uint64_t dfa_steps = 0;
+  /// Content-model checks decided early by an IA/IR state (§4).
+  uint64_t immediate_decisions = 0;
+  /// Simple-value (facet) checks performed.
+  uint64_t simple_checks = 0;
+  /// Attribute-set checks performed (complex types with closed policies).
+  uint64_t attr_checks = 0;
+
+  ValidationCounters& operator+=(const ValidationCounters& other) {
+    nodes_visited += other.nodes_visited;
+    elements_visited += other.elements_visited;
+    text_nodes_visited += other.text_nodes_visited;
+    subtrees_skipped += other.subtrees_skipped;
+    disjoint_rejects += other.disjoint_rejects;
+    dfa_steps += other.dfa_steps;
+    immediate_decisions += other.immediate_decisions;
+    simple_checks += other.simple_checks;
+    attr_checks += other.attr_checks;
+    return *this;
+  }
+};
+
+struct ValidationReport {
+  bool valid = true;
+  /// Human-readable description of the first violation (empty when valid).
+  std::string violation;
+  /// Dewey path of the offending node (meaningful when !valid).
+  xml::DeweyPath violation_path;
+  ValidationCounters counters;
+};
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_REPORT_H_

@@ -1,0 +1,379 @@
+#include "core/streaming_validator.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::core {
+
+using automata::Symbol;
+using schema::kInvalidType;
+using schema::Schema;
+using schema::TypeId;
+
+namespace {
+
+// Handlers abort the parse on a validity violation by returning this
+// sentinel; the wrappers translate it into report.valid = false. Genuine
+// well-formedness errors keep their parse-error status and message.
+Status Abort() { return Status::InvalidArgument("__xmlreval_invalid__"); }
+
+// ---- Full validation over events ------------------------------------------
+
+class FullHandler : public xml::SaxHandler {
+ public:
+  explicit FullHandler(const Schema& schema, StreamingReport* report)
+      : schema_(schema), report_(report) {}
+
+  Status StartElement(std::string_view name,
+                      const std::vector<xml::SaxAttribute>& attributes)
+      override {
+    ++report_->counters.nodes_visited;
+    ++report_->counters.elements_visited;
+
+    TypeId type = kInvalidType;
+    if (frames_.empty()) {
+      std::optional<Symbol> sym = schema_.alphabet()->Find(name);
+      type = sym ? schema_.RootType(*sym) : kInvalidType;
+      if (type == kInvalidType) {
+        return Fail("root element '" + std::string(name) +
+                    "' is not declared by the schema");
+      }
+    } else {
+      Frame& parent = frames_.back();
+      if (parent.simple) {
+        return Fail("element '" + std::string(name) +
+                    "' not allowed under simple-typed '" + parent.label + "'");
+      }
+      std::optional<Symbol> sym = schema_.alphabet()->Find(name);
+      const automata::Dfa& dfa = schema_.ContentDfa(parent.type);
+      if (!sym || *sym >= dfa.alphabet_size() ||
+          schema_.ChildType(parent.type, *sym) == kInvalidType) {
+        return Fail("element '" + std::string(name) +
+                    "' not allowed by the content model of type '" +
+                    schema_.TypeName(parent.type) + "'");
+      }
+      parent.state = dfa.Next(parent.state, *sym);
+      ++report_->counters.dfa_steps;
+      type = schema_.ChildType(parent.type, *sym);
+    }
+
+    Frame frame;
+    frame.type = type;
+    frame.label.assign(name);
+    frame.simple = schema_.IsSimple(type);
+    if (!frame.simple) {
+      RETURN_IF_ERROR(CheckAttributes(type, name, attributes));
+      frame.state = schema_.ContentDfa(type).start_state();
+    }
+    frames_.push_back(std::move(frame));
+    report_->max_live_frames =
+        std::max<uint64_t>(report_->max_live_frames, frames_.size());
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    ++report_->counters.nodes_visited;
+    ++report_->counters.text_nodes_visited;
+    Frame& frame = frames_.back();
+    if (frame.simple) {
+      frame.text.append(text);
+      return Status::OK();
+    }
+    if (!TrimWhitespace(text).empty()) {
+      return Fail("character data not allowed under '" + frame.label +
+                  "' (element-only content)");
+    }
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    Frame& frame = frames_.back();
+    if (frame.simple) {
+      ++report_->counters.simple_checks;
+      Status check = schema::ValidateSimpleValue(
+          schema_.simple_type(frame.type), frame.text);
+      if (!check.ok()) {
+        return Fail("element '" + frame.label + "': " +
+                    std::string(check.message()));
+      }
+    } else if (!schema_.ContentDfa(frame.type).IsAccepting(frame.state)) {
+      return Fail("children of '" + frame.label +
+                  "' do not match the content model of type '" +
+                  schema_.TypeName(frame.type) + "'");
+    }
+    frames_.pop_back();
+    return Status::OK();
+  }
+
+ private:
+  struct Frame {
+    TypeId type;
+    std::string label;
+    bool simple;
+    automata::StateId state = 0;  // content DFA state (complex types)
+    std::string text;             // accumulated χ value (simple types)
+  };
+
+  Status Fail(std::string message) {
+    report_->valid = false;
+    report_->violation = std::move(message);
+    return Abort();
+  }
+
+  Status CheckAttributes(TypeId type, std::string_view name,
+                         const std::vector<xml::SaxAttribute>& attributes) {
+    const schema::ComplexType& decl = schema_.complex_type(type);
+    if (decl.open_attributes) return Status::OK();
+    ++report_->counters.attr_checks;
+    attr_scratch_.clear();
+    for (const xml::SaxAttribute& attr : attributes) {
+      attr_scratch_.push_back(
+          xml::Attribute{std::string(attr.name), std::string(attr.value)});
+    }
+    Status check = schema::ValidateTypeAttributes(decl, attr_scratch_);
+    if (!check.ok()) {
+      return Fail("element '" + std::string(name) + "': " +
+                  std::string(check.message()));
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  StreamingReport* report_;
+  std::vector<Frame> frames_;
+  std::vector<xml::Attribute> attr_scratch_;
+};
+
+// ---- Schema cast over events (§3.2) ----------------------------------------
+
+class CastHandler : public xml::SaxHandler {
+ public:
+  CastHandler(const TypeRelations& rel, StreamingReport* report)
+      : rel_(rel),
+        source_(rel.source()),
+        target_(rel.target()),
+        report_(report) {}
+
+  Status StartElement(std::string_view name,
+                      const std::vector<xml::SaxAttribute>& attributes)
+      override {
+    if (skip_depth_ > 0) {
+      // Inside a subsumed subtree: the tokenizer still checks
+      // well-formedness, but validation does no work at all.
+      ++skip_depth_;
+      return Status::OK();
+    }
+
+    TypeId s_type = kInvalidType;
+    TypeId t_type = kInvalidType;
+    if (frames_.empty()) {
+      std::optional<Symbol> sym = source_.alphabet()->Find(name);
+      s_type = sym ? source_.RootType(*sym) : kInvalidType;
+      t_type = sym ? target_.RootType(*sym) : kInvalidType;
+      ++report_->counters.nodes_visited;
+      ++report_->counters.elements_visited;
+      if (s_type == kInvalidType) {
+        return Fail("precondition violated: root '" + std::string(name) +
+                    "' is not declared by the source schema");
+      }
+      if (t_type == kInvalidType) {
+        return Fail("root element '" + std::string(name) +
+                    "' is not declared by the target schema");
+      }
+    } else {
+      Frame& parent = frames_.back();
+      std::optional<Symbol> sym = source_.alphabet()->Find(name);
+      if (!sym) {
+        return Fail("element '" + std::string(name) +
+                    "' is outside the schemas' alphabet");
+      }
+      ++report_->counters.nodes_visited;
+      ++report_->counters.elements_visited;
+      t_type = target_.ChildType(parent.t_type, *sym);
+      if (t_type == kInvalidType) return ContentFail(parent);
+      // Step the parent's content check unless already decided.
+      if (!parent.decided) {
+        if (parent.pair != nullptr) {
+          parent.state = parent.pair->dfa().Next(parent.state, *sym);
+          ++report_->counters.dfa_steps;
+          automata::StateClass cls = parent.pair->Class(parent.state);
+          if (cls == automata::StateClass::kImmediateAccept) {
+            ++report_->counters.immediate_decisions;
+            parent.decided = true;
+          } else if (cls == automata::StateClass::kImmediateReject) {
+            ++report_->counters.immediate_decisions;
+            return ContentFail(parent);
+          }
+        } else {
+          const automata::Dfa* tdfa = rel_.TargetDfa(parent.t_type);
+          if (*sym >= tdfa->alphabet_size()) return ContentFail(parent);
+          parent.state = tdfa->Next(parent.state, *sym);
+          ++report_->counters.dfa_steps;
+        }
+      }
+      s_type = source_.ChildType(parent.s_type, *sym);
+      if (s_type == kInvalidType) {
+        return Fail("precondition violated: source type '" +
+                    source_.TypeName(parent.s_type) +
+                    "' does not type child label '" + std::string(name) + "'");
+      }
+    }
+
+    if (rel_.Subsumed(s_type, t_type)) {
+      ++report_->counters.subtrees_skipped;
+      skip_depth_ = 1;
+      return Status::OK();
+    }
+    if (rel_.Disjoint(s_type, t_type)) {
+      ++report_->counters.disjoint_rejects;
+      return Fail("element '" + std::string(name) + "': source type '" +
+                  source_.TypeName(s_type) + "' is disjoint from target "
+                  "type '" + target_.TypeName(t_type) + "'");
+    }
+
+    Frame frame;
+    frame.label.assign(name);
+    frame.s_type = s_type;
+    frame.t_type = t_type;
+    frame.t_simple = target_.IsSimple(t_type);
+    if (!frame.t_simple) {
+      const schema::ComplexType& t_decl = target_.complex_type(t_type);
+      if (!t_decl.open_attributes) {
+        ++report_->counters.attr_checks;
+        attr_scratch_.clear();
+        for (const xml::SaxAttribute& attr : attributes) {
+          attr_scratch_.push_back(
+              xml::Attribute{std::string(attr.name), std::string(attr.value)});
+        }
+        Status check = schema::ValidateTypeAttributes(t_decl, attr_scratch_);
+        if (!check.ok()) {
+          return Fail("element '" + std::string(name) + "': " +
+                      std::string(check.message()));
+        }
+      }
+      frame.pair = rel_.PairAutomaton(s_type, t_type);
+      if (frame.pair != nullptr) {
+        frame.state = frame.pair->dfa().start_state();
+        automata::StateClass cls = frame.pair->Class(frame.state);
+        if (cls == automata::StateClass::kImmediateAccept) {
+          ++report_->counters.immediate_decisions;
+          frame.decided = true;
+        } else if (cls == automata::StateClass::kImmediateReject) {
+          ++report_->counters.immediate_decisions;
+          frames_.push_back(frame);  // so ContentFail names it
+          return ContentFail(frames_.back());
+        }
+      } else {
+        frame.state = rel_.TargetDfa(t_type)->start_state();
+      }
+    }
+    frames_.push_back(std::move(frame));
+    report_->max_live_frames = std::max<uint64_t>(
+        report_->max_live_frames, frames_.size() + skip_depth_);
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    if (skip_depth_ > 0) return Status::OK();
+    Frame& frame = frames_.back();
+    if (frame.t_simple) {
+      ++report_->counters.nodes_visited;
+      ++report_->counters.text_nodes_visited;
+      frame.text.append(text);
+    }
+    // Text under a complex target type is whitespace by the source-validity
+    // precondition; not even inspected (mirrors CastValidator).
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    if (skip_depth_ > 0) {
+      --skip_depth_;
+      return Status::OK();
+    }
+    Frame& frame = frames_.back();
+    if (frame.t_simple) {
+      ++report_->counters.simple_checks;
+      Status check = schema::ValidateSimpleValue(
+          target_.simple_type(frame.t_type), frame.text);
+      if (!check.ok()) {
+        return Fail("element '" + frame.label + "': " +
+                    std::string(check.message()));
+      }
+    } else if (!frame.decided) {
+      bool accepted = frame.pair != nullptr
+                          ? frame.pair->dfa().IsAccepting(frame.state)
+                          : rel_.TargetDfa(frame.t_type)
+                                ->IsAccepting(frame.state);
+      if (!accepted) return ContentFail(frame);
+    }
+    frames_.pop_back();
+    return Status::OK();
+  }
+
+ private:
+  struct Frame {
+    std::string label;
+    TypeId s_type;
+    TypeId t_type;
+    bool t_simple = false;
+    bool decided = false;
+    const automata::ImmediateDfa* pair = nullptr;
+    automata::StateId state = 0;
+    std::string text;
+  };
+
+  Status Fail(std::string message) {
+    report_->valid = false;
+    report_->violation = std::move(message);
+    return Abort();
+  }
+
+  Status ContentFail(const Frame& frame) {
+    return Fail("children of '" + frame.label +
+                "' do not match the content model of target type '" +
+                target_.TypeName(frame.t_type) + "'");
+  }
+
+  const TypeRelations& rel_;
+  const Schema& source_;
+  const Schema& target_;
+  StreamingReport* report_;
+  std::vector<Frame> frames_;
+  std::vector<xml::Attribute> attr_scratch_;
+  size_t skip_depth_ = 0;
+};
+
+StreamingReport Finish(StreamingReport report, const Status& status) {
+  if (status.ok()) return report;
+  if (!report.valid) return report;  // handler aborted with a violation
+  // Well-formedness failure: surface the parse error as the violation.
+  report.valid = false;
+  report.violation = status.ToString();
+  return report;
+}
+
+}  // namespace
+
+StreamingReport StreamingValidate(std::string_view input,
+                                  const Schema& schema,
+                                  const xml::ParseOptions& options) {
+  StreamingReport report;
+  FullHandler handler(schema, &report);
+  Status status = xml::ParseXmlEvents(input, &handler, options);
+  return Finish(std::move(report), status);
+}
+
+StreamingReport StreamingCastValidate(std::string_view input,
+                                      const TypeRelations& relations,
+                                      const xml::ParseOptions& options) {
+  StreamingReport report;
+  CastHandler handler(relations, &report);
+  Status status = xml::ParseXmlEvents(input, &handler, options);
+  return Finish(std::move(report), status);
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,58 @@
+// Streaming (SAX-based) validation — the paper's memory claim realized.
+//
+// §7: "Unlike schemes that preprocess documents ... the memory requirement
+// of our algorithm does not vary with the size of the document, but
+// depends solely on the sizes of the schemas." These validators consume
+// xml::ParseXmlEvents directly, so no DOM is ever built: live state is one
+// stack frame per OPEN element (O(document depth)) plus the preprocessed
+// schema structures.
+//
+//   * StreamingFullValidator — Definition 1 over events.
+//   * StreamingCastValidator — §3.2 over events. Subsumed subtree pairs
+//     switch the validator into skip mode: the parser still tokenizes the
+//     skipped region (the bytes must be scanned for well-formedness), but
+//     no validation work — no type lookups, no DFA steps, no text
+//     inspection — happens until the subtree closes. Disjoint pairs abort
+//     the parse immediately via the handler-status channel.
+//
+// Both report the usual counters plus max_live_frames, the peak element
+// stack depth — the memory metric benched against DOM validation in
+// bench_streaming.
+
+#ifndef XMLREVAL_CORE_STREAMING_VALIDATOR_H_
+#define XMLREVAL_CORE_STREAMING_VALIDATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/relations.h"
+#include "core/report.h"
+#include "xml/sax.h"
+
+namespace xmlreval::core {
+
+struct StreamingReport {
+  bool valid = true;
+  std::string violation;
+  ValidationCounters counters;
+  /// Peak number of simultaneously open elements tracked — the live-memory
+  /// metric (the DOM equivalent is the total node count).
+  uint64_t max_live_frames = 0;
+};
+
+/// Validates XML text against `schema` without building a DOM.
+/// Equivalent verdicts to FullValidator over the parsed document.
+StreamingReport StreamingValidate(std::string_view input,
+                                  const schema::Schema& schema,
+                                  const xml::ParseOptions& options = {});
+
+/// Schema-cast validation of XML text known to conform to
+/// relations.source(), without building a DOM. Equivalent verdicts to
+/// CastValidator over the parsed document.
+StreamingReport StreamingCastValidate(std::string_view input,
+                                      const TypeRelations& relations,
+                                      const xml::ParseOptions& options = {});
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_STREAMING_VALIDATOR_H_

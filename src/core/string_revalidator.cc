@@ -1,0 +1,170 @@
+#include "core/string_revalidator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace xmlreval::core {
+
+using automata::ImmediateDfa;
+using automata::ImmediateRunResult;
+using automata::StateId;
+using automata::Verdict;
+
+Result<StringRevalidator> StringRevalidator::Create(const Dfa& a, const Dfa& b,
+                                                    const Options& options) {
+  if (a.alphabet_size() != b.alphabet_size()) {
+    return Status::InvalidArgument(
+        "source and target automata must share an alphabet (pad with "
+        "Dfa::PaddedTo)");
+  }
+  StringRevalidator r;
+  r.a_ = a;
+  r.b_ = b;
+  r.b_immed_ = ImmediateDfa::FromSingle(b);
+  r.c_immed_ = ImmediateDfa::FromPair(a, b);
+  if (options.enable_reverse) {
+    r.a_rev_ = automata::DeterminizeNfa(a.Reverse()).Minimize();
+    r.b_rev_ = automata::DeterminizeNfa(b.Reverse()).Minimize();
+    r.b_rev_immed_ = ImmediateDfa::FromSingle(*r.b_rev_);
+    r.c_rev_immed_ = ImmediateDfa::FromPair(*r.a_rev_, *r.b_rev_);
+  }
+  return r;
+}
+
+Result<StringRevalidator> StringRevalidator::CreateSingle(
+    const Dfa& a, const Options& options) {
+  return Create(a, a, options);
+}
+
+RevalidationResult StringRevalidator::Revalidate(
+    std::span<const Symbol> s) const {
+  ImmediateRunResult run = c_immed_->Run(s);
+  return {run.verdict == Verdict::kAccept, run.symbols_scanned, 0,
+          run.decided_early, false};
+}
+
+RevalidationResult StringRevalidator::ValidateFresh(
+    std::span<const Symbol> s) const {
+  ImmediateRunResult run = b_immed_->Run(s);
+  return {run.verdict == Verdict::kAccept, run.symbols_scanned, 0,
+          run.decided_early, false};
+}
+
+namespace {
+
+// Longest common prefix / suffix between the old and the new string; the
+// edits all fall between them.
+size_t CommonPrefix(std::span<const Symbol> x, std::span<const Symbol> y) {
+  size_t n = std::min(x.size(), y.size());
+  size_t i = 0;
+  while (i < n && x[i] == y[i]) ++i;
+  return i;
+}
+
+size_t CommonSuffix(std::span<const Symbol> x, std::span<const Symbol> y) {
+  size_t n = std::min(x.size(), y.size());
+  size_t i = 0;
+  while (i < n && x[x.size() - 1 - i] == y[y.size() - 1 - i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+RevalidationResult StringRevalidator::RevalidateModifiedForward(
+    std::span<const Symbol> old_s, std::span<const Symbol> new_s,
+    size_t unmodified_from) const {
+  size_t m = new_s.size();
+  size_t i = std::min(unmodified_from, m);
+  size_t suffix_len = m - i;
+  XMLREVAL_CHECK(suffix_len <= old_s.size(),
+                 "unmodified suffix longer than the original string");
+
+  RevalidationResult result;
+
+  // Phase 1 (§4.3 step 1): scan the modified prefix with b_immed.
+  ImmediateRunResult phase1 = b_immed_->Run(new_s.subspan(0, i));
+  result.symbols_scanned = phase1.symbols_scanned;
+  if (phase1.decided_early) {
+    result.accepted = phase1.verdict == Verdict::kAccept;
+    result.decided_early = true;
+    return result;
+  }
+  StateId qb = phase1.final_state;
+
+  // Phase 2 (step 2): recover a's state before the unmodified suffix by
+  // running a over the original prefix.
+  size_t old_prefix = old_s.size() - suffix_len;
+  StateId qa = a_->Run(old_s.subspan(0, old_prefix));
+  result.source_symbols_scanned = old_prefix;
+
+  // Phase 3 (steps 3-4): continue with c_immed from (qa, qb).
+  StateId start = c_immed_->pair_encoding().Encode(qa, qb);
+  ImmediateRunResult phase3 = c_immed_->Run(new_s.subspan(i), start);
+  result.symbols_scanned += phase3.symbols_scanned;
+  result.accepted = phase3.verdict == Verdict::kAccept;
+  result.decided_early = phase3.decided_early;
+  return result;
+}
+
+RevalidationResult StringRevalidator::RevalidateModifiedBackward(
+    std::span<const Symbol> old_s, std::span<const Symbol> new_s,
+    size_t unmodified_prefix) const {
+  // Mirror of the forward algorithm on the reversed strings: the common
+  // prefix of (old, new) is the unmodified SUFFIX of the reversed strings.
+  std::vector<Symbol> old_rev(old_s.rbegin(), old_s.rend());
+  std::vector<Symbol> new_rev(new_s.rbegin(), new_s.rend());
+  size_t m = new_rev.size();
+  size_t i = m - std::min(unmodified_prefix, m);
+
+  RevalidationResult result;
+  result.scanned_backward = true;
+
+  ImmediateRunResult phase1 =
+      b_rev_immed_->Run(std::span<const Symbol>(new_rev).subspan(0, i));
+  result.symbols_scanned = phase1.symbols_scanned;
+  if (phase1.decided_early) {
+    result.accepted = phase1.verdict == Verdict::kAccept;
+    result.decided_early = true;
+    return result;
+  }
+  StateId qb = phase1.final_state;
+
+  size_t suffix_len = m - i;  // = unmodified_prefix clamped
+  size_t old_prefix = old_rev.size() - suffix_len;
+  StateId qa =
+      a_rev_->Run(std::span<const Symbol>(old_rev).subspan(0, old_prefix));
+  result.source_symbols_scanned = old_prefix;
+
+  StateId start = c_rev_immed_->pair_encoding().Encode(qa, qb);
+  ImmediateRunResult phase3 =
+      c_rev_immed_->Run(std::span<const Symbol>(new_rev).subspan(i), start);
+  result.symbols_scanned += phase3.symbols_scanned;
+  result.accepted = phase3.verdict == Verdict::kAccept;
+  result.decided_early = phase3.decided_early;
+  return result;
+}
+
+RevalidationResult StringRevalidator::RevalidateModified(
+    std::span<const Symbol> old_s, std::span<const Symbol> new_s) const {
+  size_t prefix = CommonPrefix(old_s, new_s);
+  size_t suffix = CommonSuffix(old_s, new_s);
+  // Guard against prefix/suffix overlap (e.g. old == new): the unmodified
+  // regions may not double-count symbols.
+  size_t slack = std::min(old_s.size(), new_s.size());
+  if (prefix + suffix > slack) suffix = slack - prefix;
+
+  // Forward scans the modified head (new_s.size() - suffix symbols) through
+  // b_immed; backward scans the modified tail (new_s.size() - prefix).
+  // Choose the direction with less pre-work; ties go forward (which equals
+  // the paper's plain-b_immed fallback in cost when suffix == 0).
+  size_t forward_cost = new_s.size() - suffix;
+  size_t backward_cost = new_s.size() - prefix;
+  if (b_rev_immed_ && backward_cost < forward_cost) {
+    return RevalidateModifiedBackward(old_s, new_s, prefix);
+  }
+  return RevalidateModifiedForward(old_s, new_s, new_s.size() - suffix);
+}
+
+}  // namespace xmlreval::core

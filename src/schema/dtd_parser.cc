@@ -1,0 +1,250 @@
+#include "schema/dtd_parser.h"
+
+#include <unordered_map>
+
+#include "automata/regex_parser.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::schema {
+namespace {
+
+struct ElementDecl {
+  std::string name;
+  enum class Kind { kEmpty, kAny, kPcdata, kChildren } kind;
+  std::string content_model;  // for kChildren: the parenthesized expression
+};
+
+// Scans the DTD text into element declarations, skipping ATTLIST/NOTATION
+// declarations and comments.
+class DtdScanner {
+ public:
+  explicit DtdScanner(std::string_view input) : input_(input) {}
+
+  Result<std::vector<ElementDecl>> Scan() {
+    std::vector<ElementDecl> decls;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= input_.size()) return decls;
+      if (!Match("<!")) {
+        return Error("expected markup declaration");
+      }
+      if (Match("ELEMENT")) {
+        ASSIGN_OR_RETURN(ElementDecl decl, ScanElement());
+        decls.push_back(std::move(decl));
+      } else if (Match("ATTLIST") || Match("NOTATION")) {
+        RETURN_IF_ERROR(SkipToDeclEnd());
+      } else if (Match("ENTITY")) {
+        return Status::Unsupported("DTD <!ENTITY> declarations are not supported");
+      } else {
+        return Error("unknown markup declaration");
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < input_.size()) {
+      if (IsXmlWhitespace(input_[pos_])) {
+        ++pos_;
+      } else if (input_.substr(pos_, 4) == "<!--") {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Match(std::string_view lit) {
+    if (input_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError("DTD parse error at offset " +
+                              std::to_string(pos_) + ": " + std::string(msg));
+  }
+
+  Status SkipToDeclEnd() {
+    // Quotes may contain '>'.
+    char quote = '\0';
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        return Status::OK();
+      }
+    }
+    return Error("unterminated declaration");
+  }
+
+  void SkipWs() {
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+  }
+
+  Result<std::string> ScanName() {
+    SkipWs();
+    if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+      return Error("expected name");
+    }
+    size_t begin = pos_++;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    return std::string(input_.substr(begin, pos_ - begin));
+  }
+
+  Result<ElementDecl> ScanElement() {
+    ElementDecl decl;
+    ASSIGN_OR_RETURN(decl.name, ScanName());
+    SkipWs();
+    if (Match("EMPTY")) {
+      decl.kind = ElementDecl::Kind::kEmpty;
+    } else if (Match("ANY")) {
+      decl.kind = ElementDecl::Kind::kAny;
+    } else if (pos_ < input_.size() && input_[pos_] == '(') {
+      // Balanced-paren scan of the content expression; classify afterwards.
+      size_t begin = pos_;
+      int depth = 0;
+      while (pos_ < input_.size()) {
+        char c = input_[pos_];
+        if (c == '(') ++depth;
+        if (c == ')') {
+          --depth;
+          if (depth == 0) {
+            ++pos_;
+            break;
+          }
+        }
+        ++pos_;
+      }
+      if (depth != 0) return Error("unbalanced parentheses in content model");
+      // Trailing occurrence indicator on the group.
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '*' || input_[pos_] == '+' || input_[pos_] == '?')) {
+        ++pos_;
+      }
+      decl.content_model = std::string(input_.substr(begin, pos_ - begin));
+      if (decl.content_model.find("#PCDATA") != std::string::npos) {
+        std::string_view inner = TrimWhitespace(decl.content_model);
+        if (inner == "(#PCDATA)" || inner == "( #PCDATA )" ||
+            TrimWhitespace(inner.substr(1, inner.size() - 2)) == "#PCDATA") {
+          decl.kind = ElementDecl::Kind::kPcdata;
+        } else {
+          return Status::Unsupported("mixed content (#PCDATA|...) in element '" +
+                                     decl.name + "' is not supported");
+        }
+      } else {
+        decl.kind = ElementDecl::Kind::kChildren;
+      }
+    } else {
+      return Error("expected content specification");
+    }
+    SkipWs();
+    if (!Match(">")) return Error("expected '>' at end of <!ELEMENT>");
+    return decl;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Schema> ParseDtd(std::string_view input,
+                        std::shared_ptr<Alphabet> alphabet,
+                        const DtdParseOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<ElementDecl> decls, DtdScanner(input).Scan());
+  if (decls.empty()) {
+    return Status::InvalidSchema("DTD declares no elements");
+  }
+
+  SchemaBuilder builder(alphabet);
+
+  // First pass: declare one type per element label (the DTD property).
+  std::unordered_map<std::string, TypeId> type_of_label;
+  for (const ElementDecl& decl : decls) {
+    if (type_of_label.count(decl.name)) {
+      return Status::InvalidSchema("element '" + decl.name +
+                                   "' declared twice");
+    }
+    if (decl.kind == ElementDecl::Kind::kPcdata) {
+      ASSIGN_OR_RETURN(TypeId t,
+                       builder.DeclareSimpleType(decl.name, SimpleType{}));
+      type_of_label.emplace(decl.name, t);
+    } else {
+      ASSIGN_OR_RETURN(TypeId t, builder.DeclareComplexType(decl.name));
+      // ATTLIST declarations are skipped, so DTD types accept arbitrary
+      // attributes (open policy) rather than rejecting undeclared ones.
+      RETURN_IF_ERROR(builder.SetOpenAttributes(t));
+      type_of_label.emplace(decl.name, t);
+    }
+  }
+
+  // Second pass: content models and child typings.
+  for (const ElementDecl& decl : decls) {
+    TypeId t = type_of_label.at(decl.name);
+    automata::RegexPtr regex;
+    switch (decl.kind) {
+      case ElementDecl::Kind::kPcdata:
+        continue;  // simple type, no content model
+      case ElementDecl::Kind::kEmpty:
+        regex = automata::Regex::Epsilon();
+        break;
+      case ElementDecl::Kind::kAny: {
+        // ANY = (e1 | e2 | ...)* over all declared elements.
+        std::vector<automata::RegexPtr> branches;
+        for (const ElementDecl& other : decls) {
+          branches.push_back(
+              automata::Regex::Sym(alphabet->Intern(other.name)));
+        }
+        regex = automata::Regex::Star(
+            automata::Regex::Alternate(std::move(branches)));
+        break;
+      }
+      case ElementDecl::Kind::kChildren: {
+        Result<automata::RegexPtr> parsed =
+            automata::ParseRegex(decl.content_model, alphabet.get());
+        if (!parsed.ok()) {
+          return parsed.status().WithContext("element '" + decl.name + "'");
+        }
+        regex = std::move(parsed).value();
+        break;
+      }
+    }
+    RETURN_IF_ERROR(builder.SetContentModel(t, regex));
+    for (Symbol sym : regex->SymbolsUsed()) {
+      const std::string& label = alphabet->Name(sym);
+      auto it = type_of_label.find(label);
+      if (it == type_of_label.end()) {
+        return Status::InvalidSchema("element '" + decl.name +
+                                     "' references undeclared element '" +
+                                     label + "'");
+      }
+      RETURN_IF_ERROR(builder.MapChild(t, sym, it->second));
+    }
+  }
+
+  // Roots.
+  if (options.roots.empty()) {
+    for (const auto& [label, t] : type_of_label) {
+      RETURN_IF_ERROR(builder.AddRoot(label, t));
+    }
+  } else {
+    for (const std::string& label : options.roots) {
+      auto it = type_of_label.find(label);
+      if (it == type_of_label.end()) {
+        return Status::InvalidSchema("requested root '" + label +
+                                     "' is not a declared element");
+      }
+      RETURN_IF_ERROR(builder.AddRoot(label, it->second));
+    }
+  }
+
+  return builder.Build(options.build);
+}
+
+}  // namespace xmlreval::schema

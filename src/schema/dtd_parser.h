@@ -1,0 +1,39 @@
+// DTD front end: parses <!ELEMENT ...> declarations into an abstract
+// XML Schema in which — per §3's characterization of DTDs — every element
+// label is assigned a single type irrespective of context (the type is
+// named after the label).
+//
+// Supported: EMPTY, ANY, (#PCDATA), and the full content-model expression
+// grammar with ',', '|', '?', '*', '+'. <!ATTLIST> and <!NOTATION> are
+// parsed and ignored (attributes are outside the paper's structural
+// model); <!ENTITY> declarations and mixed content (#PCDATA|a|...)* are
+// rejected as unsupported.
+
+#ifndef XMLREVAL_SCHEMA_DTD_PARSER_H_
+#define XMLREVAL_SCHEMA_DTD_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::schema {
+
+struct DtdParseOptions {
+  /// Labels to register as roots (R). Empty = every declared element may be
+  /// a root, the common convention when no DOCTYPE name is available.
+  std::vector<std::string> roots;
+  SchemaBuilder::BuildOptions build;
+};
+
+/// Parses DTD text (the internal-subset syntax) into a Schema sharing
+/// `alphabet`.
+Result<Schema> ParseDtd(std::string_view input,
+                        std::shared_ptr<Alphabet> alphabet,
+                        const DtdParseOptions& options = {});
+
+}  // namespace xmlreval::schema
+
+#endif  // XMLREVAL_SCHEMA_DTD_PARSER_H_

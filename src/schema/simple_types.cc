@@ -1,0 +1,412 @@
+#include "schema/simple_types.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace xmlreval::schema {
+
+namespace {
+constexpr int64_t kScale = 1000000000;  // decimal values are value * 10^9
+}
+
+std::string_view AtomicKindName(AtomicKind kind) {
+  switch (kind) {
+    case AtomicKind::kString:
+      return "string";
+    case AtomicKind::kBoolean:
+      return "boolean";
+    case AtomicKind::kDecimal:
+      return "decimal";
+    case AtomicKind::kInteger:
+      return "integer";
+    case AtomicKind::kNonNegativeInteger:
+      return "nonNegativeInteger";
+    case AtomicKind::kPositiveInteger:
+      return "positiveInteger";
+    case AtomicKind::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+std::optional<AtomicKind> AtomicKindFromName(std::string_view name) {
+  // Accept any namespace prefix ("xsd:", "xs:", ...) before the local name.
+  size_t colon = name.rfind(':');
+  if (colon != std::string_view::npos) name = name.substr(colon + 1);
+  if (name == "string" || name == "normalizedString" || name == "token" ||
+      name == "anyURI" || name == "NMTOKEN" || name == "Name" ||
+      name == "ID" || name == "IDREF") {
+    return AtomicKind::kString;
+  }
+  if (name == "boolean") return AtomicKind::kBoolean;
+  if (name == "decimal" || name == "double" || name == "float") {
+    return AtomicKind::kDecimal;
+  }
+  if (name == "integer" || name == "int" || name == "long" ||
+      name == "short" || name == "byte") {
+    return AtomicKind::kInteger;
+  }
+  if (name == "nonNegativeInteger" || name == "unsignedInt" ||
+      name == "unsignedLong" || name == "unsignedShort" ||
+      name == "unsignedByte") {
+    return AtomicKind::kNonNegativeInteger;
+  }
+  if (name == "positiveInteger") return AtomicKind::kPositiveInteger;
+  if (name == "date") return AtomicKind::kDate;
+  return std::nullopt;
+}
+
+namespace {
+
+bool IsNumericKind(AtomicKind kind) {
+  switch (kind) {
+    case AtomicKind::kDecimal:
+    case AtomicKind::kInteger:
+    case AtomicKind::kNonNegativeInteger:
+    case AtomicKind::kPositiveInteger:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Lexical check + scaled value for numeric kinds. `integral` = reject
+// fractional part.
+Result<int64_t> ParseNumeric(std::string_view value, bool integral) {
+  if (integral) {
+    ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+    if (v > std::numeric_limits<int64_t>::max() / kScale ||
+        v < std::numeric_limits<int64_t>::min() / kScale) {
+      return Status::ParseError("integer out of supported range");
+    }
+    return v * kScale;
+  }
+  return ParseDecimalScaled(value);
+}
+
+bool IsValidDateLexical(std::string_view value) {
+  // YYYY-MM-DD with basic range checks (no leap-year calendar validation;
+  // lexical-space precision is all the revalidation semantics needs).
+  if (value.size() != 10 || value[4] != '-' || value[7] != '-') return false;
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (value[i] < '0' || value[i] > '9') return false;
+  }
+  int month = (value[5] - '0') * 10 + (value[6] - '0');
+  int day = (value[8] - '0') * 10 + (value[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+// Intrinsic bounds of a numeric kind (scaled). Returns {lo, hi} with
+// nullopt = unbounded.
+NumericRange IntrinsicRange(AtomicKind kind) {
+  switch (kind) {
+    case AtomicKind::kNonNegativeInteger:
+      return {int64_t{0}, std::nullopt};
+    case AtomicKind::kPositiveInteger:
+      return {int64_t{1} * kScale, std::nullopt};
+    default:
+      return {std::nullopt, std::nullopt};
+  }
+}
+
+}  // namespace
+
+bool EffectiveNumericRange(const SimpleType& type, NumericRange* out) {
+  if (!IsNumericKind(type.kind)) return false;
+  NumericRange r = IntrinsicRange(type.kind);
+  const Facets& f = type.facets;
+  auto tighten_lo = [&](int64_t candidate) {
+    if (!r.lo || candidate > *r.lo) r.lo = candidate;
+  };
+  auto tighten_hi = [&](int64_t candidate) {
+    if (!r.hi || candidate < *r.hi) r.hi = candidate;
+  };
+  if (f.min_inclusive) tighten_lo(*f.min_inclusive);
+  if (f.max_inclusive) tighten_hi(*f.max_inclusive);
+  // Exclusive bounds: for the integer kinds the nearest representable
+  // neighbour is one unit away; for decimal we keep the open bound by
+  // nudging one scaled ulp, which is sound for the subsumption/disjointness
+  // directions we use it in.
+  bool integral = type.kind != AtomicKind::kDecimal;
+  int64_t ulp = integral ? kScale : 1;
+  if (f.min_exclusive) tighten_lo(*f.min_exclusive + ulp);
+  if (f.max_exclusive) tighten_hi(*f.max_exclusive - ulp);
+  *out = r;
+  return true;
+}
+
+Status ValidateSimpleValue(const SimpleType& type, std::string_view value) {
+  std::string_view trimmed = TrimWhitespace(value);
+  const Facets& f = type.facets;
+
+  auto fail = [&](std::string_view why) {
+    return Status::InvalidArgument("value '" + std::string(trimmed) +
+                                   "' is not a valid " +
+                                   std::string(AtomicKindName(type.kind)) +
+                                   ": " + std::string(why));
+  };
+
+  // Lexical space of the atomic kind.
+  std::optional<int64_t> numeric;
+  switch (type.kind) {
+    case AtomicKind::kString:
+      break;
+    case AtomicKind::kBoolean:
+      if (trimmed != "true" && trimmed != "false" && trimmed != "0" &&
+          trimmed != "1") {
+        return fail("not a boolean literal");
+      }
+      break;
+    case AtomicKind::kDate:
+      if (!IsValidDateLexical(trimmed)) return fail("not a date literal");
+      break;
+    case AtomicKind::kDecimal:
+    case AtomicKind::kInteger:
+    case AtomicKind::kNonNegativeInteger:
+    case AtomicKind::kPositiveInteger: {
+      bool integral = type.kind != AtomicKind::kDecimal;
+      Result<int64_t> parsed = ParseNumeric(trimmed, integral);
+      if (!parsed.ok()) return fail(parsed.status().message());
+      numeric = *parsed;
+      NumericRange intrinsic = IntrinsicRange(type.kind);
+      if (intrinsic.lo && *numeric < *intrinsic.lo) {
+        return fail("below the type's intrinsic lower bound");
+      }
+      break;
+    }
+  }
+
+  // Range facets (numeric kinds only; facet parsing rejects them elsewhere).
+  if (numeric) {
+    if (f.min_inclusive && *numeric < *f.min_inclusive) {
+      return fail("violates minInclusive");
+    }
+    if (f.max_inclusive && *numeric > *f.max_inclusive) {
+      return fail("violates maxInclusive");
+    }
+    if (f.min_exclusive && *numeric <= *f.min_exclusive) {
+      return fail("violates minExclusive");
+    }
+    if (f.max_exclusive && *numeric >= *f.max_exclusive) {
+      return fail("violates maxExclusive");
+    }
+  }
+
+  // Length facets apply to the (trimmed) lexical form.
+  size_t len = trimmed.size();
+  if (f.length && len != *f.length) return fail("violates length facet");
+  if (f.min_length && len < *f.min_length) return fail("violates minLength");
+  if (f.max_length && len > *f.max_length) return fail("violates maxLength");
+
+  if (!f.enumeration.empty()) {
+    bool found = std::find(f.enumeration.begin(), f.enumeration.end(),
+                           trimmed) != f.enumeration.end();
+    if (!found) return fail("not in the enumeration");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Is `a`'s lexical space (pre-facet) contained in `b`'s?
+bool KindLexicallySubsumed(AtomicKind a, AtomicKind b) {
+  if (a == b) return true;
+  if (b == AtomicKind::kString) return true;  // string accepts any literal
+  switch (a) {
+    case AtomicKind::kPositiveInteger:
+      return b == AtomicKind::kNonNegativeInteger ||
+             b == AtomicKind::kInteger || b == AtomicKind::kDecimal;
+    case AtomicKind::kNonNegativeInteger:
+      return b == AtomicKind::kInteger || b == AtomicKind::kDecimal;
+    case AtomicKind::kInteger:
+      return b == AtomicKind::kDecimal;
+    default:
+      return false;
+  }
+}
+
+// Are the lexical spaces (pre-facet) of `a` and `b` provably disjoint?
+bool KindLexicallyDisjoint(AtomicKind a, AtomicKind b) {
+  if (a == b) return false;
+  if (a == AtomicKind::kString || b == AtomicKind::kString) return false;
+  auto numeric = [](AtomicKind k) { return IsNumericKind(k); };
+  if (numeric(a) && numeric(b)) return false;  // share e.g. "1"
+  // boolean shares "0"/"1" with the numeric kinds.
+  auto boolish = [](AtomicKind k) { return k == AtomicKind::kBoolean; };
+  if ((boolish(a) && numeric(b)) || (boolish(b) && numeric(a))) return false;
+  // date vs numeric / date vs boolean have no common literals.
+  return true;
+}
+
+bool RangeContained(const NumericRange& inner, const NumericRange& outer) {
+  if (outer.lo && (!inner.lo || *inner.lo < *outer.lo)) return false;
+  if (outer.hi && (!inner.hi || *inner.hi > *outer.hi)) return false;
+  return true;
+}
+
+bool RangesDisjoint(const NumericRange& x, const NumericRange& y) {
+  if (x.hi && y.lo && *x.hi < *y.lo) return true;
+  if (y.hi && x.lo && *y.hi < *x.lo) return true;
+  return false;
+}
+
+}  // namespace
+
+Result<std::string> MinimalValidValue(const SimpleType& type) {
+  auto check = [&](std::string candidate) -> Result<std::string> {
+    Status s = ValidateSimpleValue(type, candidate);
+    if (!s.ok()) {
+      return Status::FailedPrecondition(
+          "no minimal value for " + std::string(AtomicKindName(type.kind)) +
+          ": " + std::string(s.message()));
+    }
+    return candidate;
+  };
+
+  if (!type.facets.enumeration.empty()) {
+    for (const std::string& v : type.facets.enumeration) {
+      if (ValidateSimpleValue(type, v).ok()) return v;
+    }
+    return Status::FailedPrecondition(
+        "enumeration has no value satisfying the other facets");
+  }
+
+  switch (type.kind) {
+    case AtomicKind::kBoolean:
+      return check("true");
+    case AtomicKind::kDate:
+      return check("2004-01-01");
+    case AtomicKind::kString: {
+      size_t len = 0;
+      if (type.facets.length) {
+        len = *type.facets.length;
+      } else if (type.facets.min_length) {
+        len = *type.facets.min_length;
+      }
+      return check(std::string(len, 'a'));
+    }
+    default: {
+      NumericRange range;
+      if (!EffectiveNumericRange(type, &range)) {
+        return Status::Internal("numeric kind without a range");
+      }
+      if (range.lo && range.hi && *range.lo > *range.hi) {
+        return Status::FailedPrecondition(
+            "numeric facets leave an empty value space");
+      }
+      // Smallest magnitude first, then the nearest bound.
+      int64_t scaled = 0;
+      if (range.lo && *range.lo > 0) scaled = *range.lo;
+      if (range.hi && *range.hi < 0) scaled = *range.hi;
+      bool integral = type.kind != AtomicKind::kDecimal;
+      int64_t whole = scaled / kScale;
+      if (whole * kScale < scaled) ++whole;  // round up toward the range
+      if (ValidateSimpleValue(type, std::to_string(whole)).ok()) {
+        return std::to_string(whole);
+      }
+      if (!integral) {
+        // Render the exact scaled bound, e.g. 0.5 for lo = 5*10^8.
+        int64_t magnitude = scaled < 0 ? -scaled : scaled;
+        std::string frac = std::to_string(magnitude % kScale);
+        frac.insert(0, 9 - frac.size(), '0');
+        while (frac.size() > 1 && frac.back() == '0') frac.pop_back();
+        std::string exact = (scaled < 0 ? "-" : "") +
+                            std::to_string(magnitude / kScale) + "." + frac;
+        if (ValidateSimpleValue(type, exact).ok()) return exact;
+      }
+      return Status::FailedPrecondition(
+          "could not construct a value inside the numeric facets");
+    }
+  }
+}
+
+bool SimpleSubsumed(const SimpleType& a, const SimpleType& b) {
+  // Enumerated `a`: check every enumerated value against b directly — the
+  // strongest and simplest complete test.
+  if (!a.facets.enumeration.empty()) {
+    for (const std::string& v : a.facets.enumeration) {
+      if (!ValidateSimpleValue(a, v).ok()) continue;  // dead enum entry
+      if (!ValidateSimpleValue(b, v).ok()) return false;
+    }
+    return true;
+  }
+
+  if (!KindLexicallySubsumed(a.kind, b.kind)) return false;
+
+  // b's remaining facets must be implied by a's.
+  const Facets& fb = b.facets;
+  if (!fb.enumeration.empty()) return false;  // a is unenumerated ⇒ wider
+
+  // Numeric ranges.
+  NumericRange ra, rb;
+  bool a_numeric = EffectiveNumericRange(a, &ra);
+  bool b_numeric = EffectiveNumericRange(b, &rb);
+  if (b_numeric) {
+    if (!a_numeric) {
+      // e.g. a = string, b ⊆ decimal — can't hold unless kinds subsumed,
+      // which KindLexicallySubsumed already rejected.
+      if (rb.lo || rb.hi) return false;
+    } else if (!RangeContained(ra, rb)) {
+      return false;
+    }
+  }
+
+  // Length facets on b must be implied. Without length facets on a (or an
+  // enumeration, handled above), a's lexical forms have unconstrained
+  // length only for strings; for numeric/date kinds we conservatively
+  // require b to have no length facets unless a carries identical ones.
+  if (fb.length || fb.min_length || fb.max_length) {
+    const Facets& fa = a.facets;
+    bool implied = (fa.length && fb.length && *fa.length == *fb.length) ||
+                   ((!fb.length) &&
+                    (!fb.min_length ||
+                     (fa.min_length && *fa.min_length >= *fb.min_length) ||
+                     (fa.length && *fa.length >= *fb.min_length)) &&
+                    (!fb.max_length ||
+                     (fa.max_length && *fa.max_length <= *fb.max_length) ||
+                     (fa.length && *fa.length <= *fb.max_length)));
+    if (!implied) return false;
+  }
+  return true;
+}
+
+bool SimpleDisjoint(const SimpleType& a, const SimpleType& b) {
+  // Enumerations give an exact test.
+  if (!a.facets.enumeration.empty()) {
+    for (const std::string& v : a.facets.enumeration) {
+      if (ValidateSimpleValue(a, v).ok() && ValidateSimpleValue(b, v).ok()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (!b.facets.enumeration.empty()) return SimpleDisjoint(b, a);
+
+  if (KindLexicallyDisjoint(a.kind, b.kind)) return true;
+
+  // Numeric vs numeric: disjoint ranges ⇒ disjoint types.
+  NumericRange ra, rb;
+  if (EffectiveNumericRange(a, &ra) && EffectiveNumericRange(b, &rb)) {
+    if (RangesDisjoint(ra, rb)) return true;
+  }
+
+  // Length facets: non-overlapping length windows ⇒ disjoint.
+  auto length_window = [](const Facets& f, uint32_t* lo, uint32_t* hi) {
+    *lo = f.length ? *f.length : (f.min_length ? *f.min_length : 0);
+    *hi = f.length ? *f.length
+                   : (f.max_length ? *f.max_length
+                                   : std::numeric_limits<uint32_t>::max());
+  };
+  uint32_t alo, ahi, blo, bhi;
+  length_window(a.facets, &alo, &ahi);
+  length_window(b.facets, &blo, &bhi);
+  if (ahi < blo || bhi < alo) return true;
+
+  return false;
+}
+
+}  // namespace xmlreval::schema

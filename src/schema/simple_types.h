@@ -1,0 +1,103 @@
+// Simple (atomic) types and restriction facets.
+//
+// The paper merges all simple types into one χ type "for simplicity of
+// exposition" and notes that handling the real XML Schema atomic types and
+// their restrictions "is a straightforward extension" — experiment 2 (the
+// quantity maxExclusive 200 → 100 cast) depends on it. This module is that
+// extension: a small atomic-type lattice (string ⊇ everything lexically;
+// positiveInteger ⊆ nonNegativeInteger ⊆ integer ⊆ decimal; boolean; date)
+// with range/length/enumeration facets, plus sound subsumption and
+// disjointness tests used to bootstrap R_sub and R_nondis.
+//
+// Semantics: valid(τ) for a simple τ is the set of trees n1(n2()) whose χ
+// leaf's text is in the LEXICAL space of τ after facet restriction. The
+// subsumption/disjointness tests are conservative in the sound direction —
+// Subsumed only returns true when provable, Disjoint only when provable —
+// so cast validation stays exact (a "don't know" merely costs a traversal).
+
+#ifndef XMLREVAL_SCHEMA_SIMPLE_TYPES_H_
+#define XMLREVAL_SCHEMA_SIMPLE_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xmlreval::schema {
+
+enum class AtomicKind : uint8_t {
+  kString,
+  kBoolean,
+  kDecimal,
+  kInteger,
+  kNonNegativeInteger,
+  kPositiveInteger,
+  kDate,
+};
+
+std::string_view AtomicKindName(AtomicKind kind);
+
+/// Parses the xsd:NAME of a supported atomic type ("xsd:" prefix optional).
+std::optional<AtomicKind> AtomicKindFromName(std::string_view name);
+
+/// Restriction facets. Numeric bounds are decimal values scaled by 10^9
+/// (see ParseDecimalScaled) so comparisons are exact.
+struct Facets {
+  std::optional<int64_t> min_inclusive;
+  std::optional<int64_t> max_inclusive;
+  std::optional<int64_t> min_exclusive;
+  std::optional<int64_t> max_exclusive;
+  std::optional<uint32_t> length;
+  std::optional<uint32_t> min_length;
+  std::optional<uint32_t> max_length;
+  /// Empty means "no enumeration facet".
+  std::vector<std::string> enumeration;
+
+  bool IsUnrestricted() const {
+    return !min_inclusive && !max_inclusive && !min_exclusive &&
+           !max_exclusive && !length && !min_length && !max_length &&
+           enumeration.empty();
+  }
+  bool operator==(const Facets&) const = default;
+};
+
+/// A simple type: an atomic base restricted by facets.
+struct SimpleType {
+  AtomicKind kind = AtomicKind::kString;
+  Facets facets;
+
+  bool operator==(const SimpleType&) const = default;
+};
+
+/// Checks `value` against the type's lexical space and facets.
+/// OK = valid; kInvalidArgument with a diagnostic = invalid.
+Status ValidateSimpleValue(const SimpleType& type, std::string_view value);
+
+/// Sound subsumption: true ⟹ every value valid for `a` is valid for `b`.
+bool SimpleSubsumed(const SimpleType& a, const SimpleType& b);
+
+/// Sound disjointness: true ⟹ no value is valid for both `a` and `b`.
+bool SimpleDisjoint(const SimpleType& a, const SimpleType& b);
+
+/// A deterministic, minimal-ish value in the type's lexical space —
+/// enumeration head, range bound, shortest permitted string. Fails with
+/// kFailedPrecondition when the value space is provably empty (e.g.
+/// contradictory range facets). Used by the document corrector.
+Result<std::string> MinimalValidValue(const SimpleType& type);
+
+/// Effective numeric range [lo, hi] of a type (scaled by 10^9), taking the
+/// kind's intrinsic bounds and the facets into account. Nullopt bound =
+/// unbounded. Returns false for non-numeric kinds.
+struct NumericRange {
+  std::optional<int64_t> lo;  // inclusive
+  std::optional<int64_t> hi;  // inclusive
+};
+bool EffectiveNumericRange(const SimpleType& type, NumericRange* out);
+
+}  // namespace xmlreval::schema
+
+#endif  // XMLREVAL_SCHEMA_SIMPLE_TYPES_H_

@@ -1,0 +1,612 @@
+#include "schema/xsd_parser.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace xmlreval::schema {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+// XSD node names are matched by local name so any namespace prefix works.
+std::string_view LocalName(std::string_view qname) {
+  size_t colon = qname.rfind(':');
+  return colon == std::string_view::npos ? qname : qname.substr(colon + 1);
+}
+
+bool IsXsdNode(const Document& doc, NodeId node, std::string_view local) {
+  return doc.IsElement(node) && LocalName(doc.label(node)) == local;
+}
+
+class XsdCompiler {
+ public:
+  XsdCompiler(const Document& doc, std::shared_ptr<Alphabet> alphabet)
+      : doc_(doc), alphabet_(std::move(alphabet)), builder_(alphabet_) {}
+
+  Result<Schema> Compile(const SchemaBuilder::BuildOptions& build_options) {
+    NodeId root = doc_.root();
+    if (!IsXsdNode(doc_, root, "schema")) {
+      return Status::ParseError("XSD document root must be <schema>");
+    }
+
+    // Index global declarations by name.
+    for (NodeId child : xml::ElementChildren(doc_, root)) {
+      std::string_view local = LocalName(doc_.label(child));
+      const std::string* name = doc_.FindAttribute(child, "name");
+      if (local == "element") {
+        if (!name) return Err(child, "global <element> requires a name");
+        if (!global_elements_.emplace(*name, child).second) {
+          return Err(child, "duplicate global element '" + *name + "'");
+        }
+      } else if (local == "complexType") {
+        if (!name) return Err(child, "global <complexType> requires a name");
+        if (!global_complex_.emplace(*name, child).second) {
+          return Err(child, "duplicate complexType '" + *name + "'");
+        }
+      } else if (local == "simpleType") {
+        if (!name) return Err(child, "global <simpleType> requires a name");
+        if (!global_simple_.emplace(*name, child).second) {
+          return Err(child, "duplicate simpleType '" + *name + "'");
+        }
+      } else if (local == "group") {
+        if (!name) return Err(child, "global <group> requires a name");
+        if (!global_groups_.emplace(*name, child).second) {
+          return Err(child, "duplicate group '" + *name + "'");
+        }
+      } else if (local == "attributeGroup") {
+        if (!name) return Err(child, "global <attributeGroup> requires a name");
+        if (!global_attr_groups_.emplace(*name, child).second) {
+          return Err(child, "duplicate attributeGroup '" + *name + "'");
+        }
+      } else if (local == "annotation" || local == "attribute" ||
+                 local == "notation") {
+        continue;  // outside the structural model
+      } else if (local == "import" || local == "include" ||
+                 local == "redefine") {
+        return Status::Unsupported("XSD <" + std::string(local) +
+                                   "> is not supported");
+      } else {
+        return Err(child, "unsupported top-level XSD construct <" +
+                              std::string(local) + ">");
+      }
+    }
+
+    // Resolve every global element: its type becomes a root entry.
+    for (const auto& [name, node] : global_elements_) {
+      ASSIGN_OR_RETURN(TypeId t, ResolveElementType(node, name));
+      RETURN_IF_ERROR(builder_.AddRoot(name, t));
+    }
+
+    return builder_.Build(build_options);
+  }
+
+ private:
+  Status Err(NodeId node, std::string msg) const {
+    return Status::InvalidSchema("<" + doc_.label(node) + ">: " + msg);
+  }
+
+  // ---- simple types -------------------------------------------------------
+
+  // Returns the SimpleType denoted by a type NAME that must be simple:
+  // either a built-in (xsd:*) or a global <simpleType>.
+  Result<SimpleType> ResolveSimpleByName(std::string_view name) {
+    if (std::optional<AtomicKind> kind = AtomicKindFromName(name)) {
+      return SimpleType{*kind, {}};
+    }
+    auto it = global_simple_.find(std::string(name));
+    if (it == global_simple_.end()) {
+      return Status::InvalidSchema("unknown simple type '" + std::string(name) +
+                                   "'");
+    }
+    if (resolving_simple_.count(it->first)) {
+      return Status::InvalidSchema("cyclic simpleType derivation at '" +
+                                   std::string(name) + "'");
+    }
+    resolving_simple_.insert(it->first);
+    Result<SimpleType> result = ResolveSimpleTypeNode(it->second);
+    resolving_simple_.erase(it->first);
+    return result;
+  }
+
+  // <simpleType><restriction base="..."> facets </restriction></simpleType>
+  Result<SimpleType> ResolveSimpleTypeNode(NodeId node) {
+    NodeId restriction = xml::kInvalidNode;
+    for (NodeId child : xml::ElementChildren(doc_, node)) {
+      std::string_view local = LocalName(doc_.label(child));
+      if (local == "annotation") continue;
+      if (local == "restriction") {
+        restriction = child;
+      } else {
+        return Status::Unsupported("simpleType construct <" +
+                                   std::string(local) +
+                                   "> is not supported (only <restriction>)");
+      }
+    }
+    if (restriction == xml::kInvalidNode) {
+      return Err(node, "simpleType requires a <restriction>");
+    }
+    const std::string* base = doc_.FindAttribute(restriction, "base");
+    if (!base) return Err(restriction, "restriction requires a base");
+    ASSIGN_OR_RETURN(SimpleType type, ResolveSimpleByName(*base));
+
+    for (NodeId facet : xml::ElementChildren(doc_, restriction)) {
+      std::string_view local = LocalName(doc_.label(facet));
+      if (local == "annotation") continue;
+      const std::string* value = doc_.FindAttribute(facet, "value");
+      if (!value) return Err(facet, "facet requires a value attribute");
+      RETURN_IF_ERROR(ApplyFacet(&type, local, *value));
+    }
+    return type;
+  }
+
+  Status ApplyFacet(SimpleType* type, std::string_view facet,
+                    std::string_view value) {
+    Facets& f = type->facets;
+    auto decimal = [&]() { return ParseDecimalScaled(value); };
+    auto length = [&]() -> Result<uint32_t> {
+      ASSIGN_OR_RETURN(int64_t v, ParseInt64(value));
+      if (v < 0) return Status::InvalidSchema("negative length facet");
+      return static_cast<uint32_t>(v);
+    };
+    if (facet == "minInclusive") {
+      ASSIGN_OR_RETURN(f.min_inclusive, decimal());
+    } else if (facet == "maxInclusive") {
+      ASSIGN_OR_RETURN(f.max_inclusive, decimal());
+    } else if (facet == "minExclusive") {
+      ASSIGN_OR_RETURN(f.min_exclusive, decimal());
+    } else if (facet == "maxExclusive") {
+      ASSIGN_OR_RETURN(f.max_exclusive, decimal());
+    } else if (facet == "length") {
+      ASSIGN_OR_RETURN(f.length, length());
+    } else if (facet == "minLength") {
+      ASSIGN_OR_RETURN(f.min_length, length());
+    } else if (facet == "maxLength") {
+      ASSIGN_OR_RETURN(f.max_length, length());
+    } else if (facet == "enumeration") {
+      f.enumeration.emplace_back(value);
+    } else if (facet == "pattern" || facet == "whiteSpace" ||
+               facet == "fractionDigits" || facet == "totalDigits") {
+      return Status::Unsupported("facet <" + std::string(facet) +
+                                 "> is not supported");
+    } else {
+      return Status::InvalidSchema("unknown facet <" + std::string(facet) +
+                                   ">");
+    }
+    return Status::OK();
+  }
+
+  // Declares (or reuses) a schema type for a SimpleType value. Built-ins
+  // and repeated anonymous restrictions share declarations by structural
+  // equality, keyed by a canonical rendering.
+  Result<TypeId> InternSimple(const SimpleType& type, std::string_view hint) {
+    for (const auto& [existing, id] : interned_simple_) {
+      if (existing == type) return id;
+    }
+    std::string name = std::string(hint);
+    int suffix = 0;
+    while (used_type_names_.count(name)) {
+      name = std::string(hint) + "$" + std::to_string(++suffix);
+    }
+    used_type_names_.insert(name);
+    ASSIGN_OR_RETURN(TypeId id, builder_.DeclareSimpleType(name, type));
+    interned_simple_.emplace_back(type, id);
+    return id;
+  }
+
+  // ---- complex types ------------------------------------------------------
+
+  // Returns the TypeId for a global complexType, compiling it on first use.
+  Result<TypeId> ResolveComplexByName(const std::string& name) {
+    auto done = compiled_complex_.find(name);
+    if (done != compiled_complex_.end()) return done->second;
+    auto it = global_complex_.find(name);
+    if (it == global_complex_.end()) {
+      return Status::InvalidSchema("unknown type '" + name + "'");
+    }
+    // Declare before compiling the body so recursive references resolve.
+    if (used_type_names_.count(name)) {
+      return Status::InvalidSchema("type name collision on '" + name + "'");
+    }
+    used_type_names_.insert(name);
+    ASSIGN_OR_RETURN(TypeId id, builder_.DeclareComplexType(name));
+    compiled_complex_.emplace(name, id);
+    RETURN_IF_ERROR(CompileComplexBody(it->second, id));
+    return id;
+  }
+
+  Result<TypeId> DeclareAnonymousComplex(NodeId node, std::string_view hint) {
+    std::string name = std::string(hint) + "$anon";
+    int suffix = 0;
+    while (used_type_names_.count(name)) {
+      name = std::string(hint) + "$anon" + std::to_string(++suffix);
+    }
+    used_type_names_.insert(name);
+    ASSIGN_OR_RETURN(TypeId id, builder_.DeclareComplexType(name));
+    RETURN_IF_ERROR(CompileComplexBody(node, id));
+    return id;
+  }
+
+  // <attribute name=".." type=".." use="required|optional|prohibited"/>,
+  // with an optional inline <simpleType>.
+  Status CompileAttribute(NodeId node, TypeId owner) {
+    const std::string* name = doc_.FindAttribute(node, "name");
+    if (!name) return Err(node, "<attribute> requires a name");
+    const std::string* use = doc_.FindAttribute(node, "use");
+    if (use && *use == "prohibited") return Status::OK();
+    bool required = use && *use == "required";
+
+    SimpleType attr_type;  // default: unrestricted string (anySimpleType)
+    const std::string* type_attr = doc_.FindAttribute(node, "type");
+    NodeId inline_simple = xml::kInvalidNode;
+    for (NodeId child : xml::ElementChildren(doc_, node)) {
+      if (LocalName(doc_.label(child)) == "simpleType") inline_simple = child;
+    }
+    if (type_attr) {
+      ASSIGN_OR_RETURN(attr_type, ResolveSimpleByName(*type_attr));
+    } else if (inline_simple != xml::kInvalidNode) {
+      ASSIGN_OR_RETURN(attr_type, ResolveSimpleTypeNode(inline_simple));
+    }
+    std::optional<std::string> fixed;
+    if (const std::string* v = doc_.FindAttribute(node, "fixed")) fixed = *v;
+    // `default` affects the infoset, not validity; accepted and ignored.
+    return builder_.DeclareAttribute(owner, *name, attr_type, required,
+                                     std::move(fixed));
+  }
+
+  // Compiles <complexType> content into a content model + child typings.
+  Status CompileComplexBody(NodeId node, TypeId id) {
+    automata::RegexPtr regex = automata::Regex::Epsilon();
+    bool seen_particle = false;
+    bool used_all = false;
+    for (NodeId child : xml::ElementChildren(doc_, node)) {
+      std::string_view local = LocalName(doc_.label(child));
+      if (local == "annotation") continue;
+      if (local == "attribute") {
+        RETURN_IF_ERROR(CompileAttribute(child, id));
+        continue;
+      }
+      if (local == "anyAttribute") {
+        RETURN_IF_ERROR(builder_.SetOpenAttributes(id));
+        continue;
+      }
+      if (local == "attributeGroup") {
+        const std::string* ref = doc_.FindAttribute(child, "ref");
+        if (!ref) return Err(child, "<attributeGroup> requires a ref");
+        auto it = global_attr_groups_.find(*ref);
+        if (it == global_attr_groups_.end()) {
+          return Err(child, "reference to unknown attributeGroup '" + *ref +
+                                "'");
+        }
+        for (NodeId member : xml::ElementChildren(doc_, it->second)) {
+          std::string_view member_local = LocalName(doc_.label(member));
+          if (member_local == "annotation") continue;
+          if (member_local == "anyAttribute") {
+            RETURN_IF_ERROR(builder_.SetOpenAttributes(id));
+            continue;
+          }
+          if (member_local != "attribute") {
+            return Err(member, "attributeGroup '" + *ref +
+                                   "' may contain only <attribute>");
+          }
+          RETURN_IF_ERROR(CompileAttribute(member, id));
+        }
+        continue;
+      }
+      if (local == "sequence" || local == "choice") {
+        if (seen_particle) {
+          return Err(node, "complexType with multiple top-level particles");
+        }
+        seen_particle = true;
+        ASSIGN_OR_RETURN(regex, CompileParticle(child, id));
+      } else if (local == "all") {
+        if (seen_particle) {
+          return Err(node, "complexType with multiple top-level particles");
+        }
+        seen_particle = true;
+        RETURN_IF_ERROR(CompileAllGroup(child, id));
+        used_all = true;
+      } else if (local == "simpleContent" || local == "complexContent" ||
+                 local == "group") {
+        return Status::Unsupported("complexType construct <" +
+                                   std::string(local) + "> is not supported");
+      } else {
+        return Err(child, "unexpected construct in complexType");
+      }
+    }
+    if (used_all) return Status::OK();
+    return builder_.SetContentModel(id, std::move(regex));
+  }
+
+  // <all>: each member element appears at most once, in any order. Not
+  // expressible as a 1-unambiguous regex, so it compiles straight to the
+  // subset (bitmask) DFA — states are the sets of members already seen —
+  // which is deterministic by construction. Member count is capped at 12
+  // (4096 states) per the usual engine practice.
+  Status CompileAllGroup(NodeId node, TypeId owner) {
+    bool group_optional = false;
+    if (const std::string* v = doc_.FindAttribute(node, "minOccurs")) {
+      if (*v == "0") {
+        group_optional = true;
+      } else if (*v != "1") {
+        return Err(node, "<all> minOccurs must be 0 or 1");
+      }
+    }
+    if (const std::string* v = doc_.FindAttribute(node, "maxOccurs")) {
+      if (*v != "1") return Err(node, "<all> maxOccurs must be 1");
+    }
+
+    struct Member {
+      Symbol sym;
+      bool required;
+    };
+    std::vector<Member> members;
+    std::unordered_set<Symbol> seen;
+    for (NodeId child : xml::ElementChildren(doc_, node)) {
+      std::string_view local = LocalName(doc_.label(child));
+      if (local == "annotation") continue;
+      if (local != "element") {
+        return Err(child, "<all> may contain only <element> particles");
+      }
+      const std::string* name = doc_.FindAttribute(child, "name");
+      if (!name) return Err(child, "<all> member requires a name");
+      bool required = true;
+      if (const std::string* v = doc_.FindAttribute(child, "minOccurs")) {
+        if (*v == "0") {
+          required = false;
+        } else if (*v != "1") {
+          return Err(child, "<all> member minOccurs must be 0 or 1");
+        }
+      }
+      if (const std::string* v = doc_.FindAttribute(child, "maxOccurs")) {
+        if (*v != "1") return Err(child, "<all> member maxOccurs must be 1");
+      }
+      ASSIGN_OR_RETURN(TypeId member_type, ResolveElementType(child, *name));
+      RETURN_IF_ERROR(builder_.MapChild(owner, *name, member_type));
+      Symbol sym = alphabet_->Intern(*name);
+      if (!seen.insert(sym).second) {
+        return Err(child, "duplicate <all> member '" + *name + "'");
+      }
+      members.push_back(Member{sym, required});
+    }
+    if (members.size() > 12) {
+      return Status::Unsupported(
+          "<all> groups with more than 12 members are not supported");
+    }
+
+    size_t n = members.size();
+    size_t num_sets = size_t{1} << n;
+    size_t alphabet_size = alphabet_->size();
+    automata::Dfa dfa(num_sets + 1, alphabet_size);
+    automata::StateId sink = static_cast<automata::StateId>(num_sets);
+    for (size_t set = 0; set < num_sets; ++set) {
+      automata::StateId from = static_cast<automata::StateId>(set);
+      for (Symbol sym = 0; sym < alphabet_size; ++sym) {
+        dfa.SetTransition(from, sym, sink);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (set & (size_t{1} << i)) continue;  // already seen
+        dfa.SetTransition(from, members[i].sym,
+                          static_cast<automata::StateId>(set | (size_t{1} << i)));
+      }
+      bool all_required_present = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (members[i].required && !(set & (size_t{1} << i))) {
+          all_required_present = false;
+          break;
+        }
+      }
+      dfa.SetAccepting(from, all_required_present);
+    }
+    for (Symbol sym = 0; sym < alphabet_size; ++sym) {
+      dfa.SetTransition(sink, sym, sink);
+    }
+    if (group_optional) dfa.SetAccepting(0, true);
+    dfa.set_start_state(0);
+
+    std::vector<Symbol> symbols;
+    for (const Member& m : members) symbols.push_back(m.sym);
+    return builder_.SetContentModelDfa(owner, std::move(dfa),
+                                       std::move(symbols));
+  }
+
+  // Wraps `inner` with minOccurs/maxOccurs attributes of `node`.
+  Result<automata::RegexPtr> ApplyOccurs(NodeId node,
+                                         automata::RegexPtr inner) {
+    uint32_t min = 1;
+    uint32_t max = 1;
+    if (const std::string* v = doc_.FindAttribute(node, "minOccurs")) {
+      ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(*v));
+      if (parsed < 0) return Err(node, "negative minOccurs");
+      min = static_cast<uint32_t>(parsed);
+    }
+    if (const std::string* v = doc_.FindAttribute(node, "maxOccurs")) {
+      if (*v == "unbounded") {
+        max = automata::kUnbounded;
+      } else {
+        ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(*v));
+        if (parsed < 0) return Err(node, "negative maxOccurs");
+        max = static_cast<uint32_t>(parsed);
+      }
+    }
+    if (max != automata::kUnbounded && max < min) {
+      return Err(node, "maxOccurs < minOccurs");
+    }
+    if (min == 1 && max == 1) return inner;
+    return automata::Regex::Repeat(std::move(inner), min, max);
+  }
+
+  // Compiles a <sequence>/<choice>/<element> particle into a regex,
+  // registering child typings on `owner` along the way.
+  Result<automata::RegexPtr> CompileParticle(NodeId node, TypeId owner) {
+    std::string_view local = LocalName(doc_.label(node));
+    if (local == "sequence" || local == "choice") {
+      std::vector<automata::RegexPtr> parts;
+      for (NodeId child : xml::ElementChildren(doc_, node)) {
+        std::string_view child_local = LocalName(doc_.label(child));
+        if (child_local == "annotation") continue;
+        ASSIGN_OR_RETURN(automata::RegexPtr part,
+                         CompileParticle(child, owner));
+        parts.push_back(std::move(part));
+      }
+      automata::RegexPtr combined =
+          (local == "sequence") ? automata::Regex::Concat(std::move(parts))
+                                : automata::Regex::Alternate(std::move(parts));
+      return ApplyOccurs(node, std::move(combined));
+    }
+    if (local == "element") {
+      std::string label;
+      TypeId element_type = kInvalidType;
+      if (const std::string* ref = doc_.FindAttribute(node, "ref")) {
+        auto it = global_elements_.find(*ref);
+        if (it == global_elements_.end()) {
+          return Err(node, "element ref to unknown global element '" + *ref +
+                               "'");
+        }
+        label = *ref;
+        ASSIGN_OR_RETURN(element_type, ResolveElementType(it->second, *ref));
+      } else {
+        const std::string* name = doc_.FindAttribute(node, "name");
+        if (!name) return Err(node, "element requires name or ref");
+        label = *name;
+        ASSIGN_OR_RETURN(element_type, ResolveElementType(node, *name));
+      }
+      RETURN_IF_ERROR(builder_.MapChild(owner, label, element_type));
+      automata::RegexPtr sym =
+          automata::Regex::Sym(alphabet_->Intern(label));
+      return ApplyOccurs(node, std::move(sym));
+    }
+    if (local == "group") {
+      const std::string* ref = doc_.FindAttribute(node, "ref");
+      if (!ref) return Err(node, "<group> particle requires a ref");
+      auto it = global_groups_.find(*ref);
+      if (it == global_groups_.end()) {
+        return Err(node, "reference to unknown group '" + *ref + "'");
+      }
+      if (resolving_groups_.count(*ref)) {
+        return Err(node, "cyclic group reference at '" + *ref + "'");
+      }
+      resolving_groups_.insert(*ref);
+      // The group's body is its single sequence/choice child.
+      NodeId body = xml::kInvalidNode;
+      for (NodeId child : xml::ElementChildren(doc_, it->second)) {
+        std::string_view child_local = LocalName(doc_.label(child));
+        if (child_local == "annotation") continue;
+        if (body != xml::kInvalidNode) {
+          resolving_groups_.erase(*ref);
+          return Err(it->second, "group '" + *ref +
+                                     "' must contain one particle");
+        }
+        body = child;
+      }
+      if (body == xml::kInvalidNode) {
+        resolving_groups_.erase(*ref);
+        return Err(it->second, "group '" + *ref + "' is empty");
+      }
+      Result<automata::RegexPtr> inner = CompileParticle(body, owner);
+      resolving_groups_.erase(*ref);
+      RETURN_IF_ERROR(inner.status());
+      return ApplyOccurs(node, std::move(inner).value());
+    }
+    if (local == "any") {
+      return Status::Unsupported("particle <any> is not supported");
+    }
+    return Err(node, "unexpected particle");
+  }
+
+  // The type of an <element> declaration: @type (built-in, simple, or
+  // complex), or an inline anonymous simpleType/complexType child.
+  Result<TypeId> ResolveElementType(NodeId node, const std::string& name) {
+    auto memo = element_type_memo_.find(node);
+    if (memo != element_type_memo_.end()) {
+      if (memo->second == kInvalidType) {
+        return Status::InvalidSchema("recursive element resolution at '" +
+                                     name + "'");
+      }
+      return memo->second;
+    }
+    element_type_memo_.emplace(node, kInvalidType);  // cycle guard
+
+    Result<TypeId> resolved = ResolveElementTypeUncached(node, name);
+    if (resolved.ok()) {
+      element_type_memo_[node] = *resolved;
+    } else {
+      element_type_memo_.erase(node);
+    }
+    return resolved;
+  }
+
+  Result<TypeId> ResolveElementTypeUncached(NodeId node,
+                                            const std::string& name) {
+    const std::string* type_attr = doc_.FindAttribute(node, "type");
+    NodeId inline_simple = xml::kInvalidNode;
+    NodeId inline_complex = xml::kInvalidNode;
+    for (NodeId child : xml::ElementChildren(doc_, node)) {
+      std::string_view local = LocalName(doc_.label(child));
+      if (local == "simpleType") inline_simple = child;
+      if (local == "complexType") inline_complex = child;
+    }
+
+    if (type_attr) {
+      if (inline_simple != xml::kInvalidNode ||
+          inline_complex != xml::kInvalidNode) {
+        return Err(node, "element '" + name +
+                             "' has both a type attribute and an inline type");
+      }
+      // Built-in?
+      if (AtomicKindFromName(*type_attr)) {
+        ASSIGN_OR_RETURN(SimpleType st, ResolveSimpleByName(*type_attr));
+        return InternSimple(st, *type_attr);
+      }
+      // Named simple?
+      if (global_simple_.count(*type_attr)) {
+        ASSIGN_OR_RETURN(SimpleType st, ResolveSimpleByName(*type_attr));
+        return InternSimple(st, *type_attr);
+      }
+      // Named complex.
+      return ResolveComplexByName(*type_attr);
+    }
+    if (inline_simple != xml::kInvalidNode) {
+      ASSIGN_OR_RETURN(SimpleType st, ResolveSimpleTypeNode(inline_simple));
+      return InternSimple(st, name + "$type");
+    }
+    if (inline_complex != xml::kInvalidNode) {
+      return DeclareAnonymousComplex(inline_complex, name + "$type");
+    }
+    return Err(node, "element '" + name +
+                         "' has no type (xsd:anyType is not supported)");
+  }
+
+  const Document& doc_;
+  std::shared_ptr<Alphabet> alphabet_;
+  SchemaBuilder builder_;
+
+  std::unordered_map<std::string, NodeId> global_elements_;
+  std::unordered_map<std::string, NodeId> global_complex_;
+  std::unordered_map<std::string, NodeId> global_simple_;
+  std::unordered_map<std::string, NodeId> global_groups_;
+  std::unordered_map<std::string, NodeId> global_attr_groups_;
+  std::unordered_set<std::string> resolving_groups_;
+
+  std::unordered_map<std::string, TypeId> compiled_complex_;
+  std::unordered_map<NodeId, TypeId> element_type_memo_;
+  std::vector<std::pair<SimpleType, TypeId>> interned_simple_;
+  std::unordered_set<std::string> used_type_names_;
+  std::unordered_set<std::string> resolving_simple_;
+};
+
+}  // namespace
+
+Result<Schema> ParseXsd(std::string_view input,
+                        std::shared_ptr<Alphabet> alphabet,
+                        const XsdParseOptions& options) {
+  ASSIGN_OR_RETURN(Document doc, xml::ParseXml(input));
+  XsdCompiler compiler(doc, std::move(alphabet));
+  return compiler.Compile(options.build);
+}
+
+}  // namespace xmlreval::schema

@@ -1,0 +1,44 @@
+// XML Schema (XSD) front end.
+//
+// Parses the structural subset of XSD that abstract XML Schemas model
+// (§3 of the paper), using xmlreval's own XML parser for the schema
+// document itself:
+//
+//   * global <element> declarations (the roots R), with named, built-in, or
+//     inline anonymous types,
+//   * named and anonymous <complexType> with <sequence> / <choice>
+//     particles, arbitrarily nested, with minOccurs / maxOccurs,
+//   * <element ref="..."/> references to global elements,
+//   * named and anonymous <simpleType> via <restriction> over the built-in
+//     atomic types with the minInclusive / maxInclusive / minExclusive /
+//     maxExclusive / length / minLength / maxLength / enumeration facets,
+//   * built-in type references (xsd:string, xsd:positiveInteger, ...).
+//
+// Outside the subset (rejected with kUnsupported): attributes on content
+// (<attribute> is skipped, matching the paper's structural focus), <all>,
+// <any>, substitution groups, type derivation by extension, mixed content,
+// identity constraints, imports/includes.
+
+#ifndef XMLREVAL_SCHEMA_XSD_PARSER_H_
+#define XMLREVAL_SCHEMA_XSD_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::schema {
+
+struct XsdParseOptions {
+  SchemaBuilder::BuildOptions build;
+};
+
+/// Parses XSD text into a Schema sharing `alphabet`.
+Result<Schema> ParseXsd(std::string_view input,
+                        std::shared_ptr<Alphabet> alphabet,
+                        const XsdParseOptions& options = {});
+
+}  // namespace xmlreval::schema
+
+#endif  // XMLREVAL_SCHEMA_XSD_PARSER_H_

@@ -1,0 +1,238 @@
+#include "schema/xsd_writer.h"
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::schema {
+
+namespace {
+
+constexpr int64_t kScale = 1000000000;
+
+// Renders a scaled decimal (value * 10^9) in canonical lexical form.
+std::string RenderScaled(int64_t scaled) {
+  int64_t magnitude = scaled < 0 ? -scaled : scaled;
+  std::string out = scaled < 0 ? "-" : "";
+  out += std::to_string(magnitude / kScale);
+  int64_t frac = magnitude % kScale;
+  if (frac != 0) {
+    std::string digits = std::to_string(frac);
+    digits.insert(0, 9 - digits.size(), '0');
+    while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+    out += "." + digits;
+  }
+  return out;
+}
+
+std::string BuiltinName(AtomicKind kind) {
+  return "xsd:" + std::string(AtomicKindName(kind));
+}
+
+bool IsPlainBuiltin(const SimpleType& type) {
+  return type.facets.IsUnrestricted();
+}
+
+class Writer {
+ public:
+  explicit Writer(const Schema& schema) : schema_(schema) {}
+
+  Result<std::string> Write() {
+    out_ += "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n";
+
+    // Global elements (the roots R).
+    for (const auto& [sym, type] : schema_.roots()) {
+      out_ += "  <xsd:element name=\"" + schema_.alphabet()->Name(sym) +
+              "\" type=\"" + TypeRef(type) + "\"/>\n";
+    }
+
+    // Named simple types (plain builtins are referenced directly).
+    for (TypeId t = 0; t < schema_.num_types(); ++t) {
+      if (!schema_.IsSimple(t) || IsPlainBuiltin(schema_.simple_type(t))) {
+        continue;
+      }
+      RETURN_IF_ERROR(WriteSimpleType(t));
+    }
+
+    // Complex types.
+    for (TypeId t = 0; t < schema_.num_types(); ++t) {
+      if (schema_.IsComplex(t)) {
+        RETURN_IF_ERROR(WriteComplexType(t));
+      }
+    }
+
+    out_ += "</xsd:schema>\n";
+    return std::move(out_);
+  }
+
+ private:
+  std::string TypeRef(TypeId t) const {
+    if (schema_.IsSimple(t) && IsPlainBuiltin(schema_.simple_type(t))) {
+      return BuiltinName(schema_.simple_type(t).kind);
+    }
+    return schema_.TypeName(t);
+  }
+
+  void WriteFacets(const Facets& f, const std::string& indent) {
+    auto facet = [&](const char* name, const std::string& value) {
+      out_ += indent + "<xsd:" + name + " value=\"" + EscapeXmlText(value) +
+              "\"/>\n";
+    };
+    if (f.min_inclusive) facet("minInclusive", RenderScaled(*f.min_inclusive));
+    if (f.max_inclusive) facet("maxInclusive", RenderScaled(*f.max_inclusive));
+    if (f.min_exclusive) facet("minExclusive", RenderScaled(*f.min_exclusive));
+    if (f.max_exclusive) facet("maxExclusive", RenderScaled(*f.max_exclusive));
+    if (f.length) facet("length", std::to_string(*f.length));
+    if (f.min_length) facet("minLength", std::to_string(*f.min_length));
+    if (f.max_length) facet("maxLength", std::to_string(*f.max_length));
+    for (const std::string& v : f.enumeration) facet("enumeration", v);
+  }
+
+  Status WriteSimpleType(TypeId t) {
+    const SimpleType& st = schema_.simple_type(t);
+    out_ += "  <xsd:simpleType name=\"" + schema_.TypeName(t) + "\">\n";
+    out_ += "    <xsd:restriction base=\"" + BuiltinName(st.kind) + "\">\n";
+    WriteFacets(st.facets, "      ");
+    out_ += "    </xsd:restriction>\n";
+    out_ += "  </xsd:simpleType>\n";
+    return Status::OK();
+  }
+
+  // Emits an anonymous inline simple type (for attributes with facets).
+  void WriteInlineSimple(const SimpleType& st, const std::string& indent) {
+    out_ += indent + "<xsd:simpleType>\n";
+    out_ += indent + "  <xsd:restriction base=\"" + BuiltinName(st.kind) +
+            "\">\n";
+    WriteFacets(st.facets, indent + "    ");
+    out_ += indent + "  </xsd:restriction>\n";
+    out_ += indent + "</xsd:simpleType>\n";
+  }
+
+  // Renders one particle. `occurs` carries minOccurs/maxOccurs attributes
+  // already formatted (may be empty).
+  Status WriteParticle(TypeId owner, const automata::RegexPtr& r,
+                       const std::string& indent, const std::string& occurs) {
+    using automata::RegexKind;
+    switch (r->kind()) {
+      case RegexKind::kEpsilon:
+        out_ += indent + "<xsd:sequence" + occurs + "/>\n";
+        return Status::OK();
+      case RegexKind::kEmptySet:
+        return Status::Unsupported(
+            "empty-set content models have no XSD rendering");
+      case RegexKind::kSymbol: {
+        TypeId child = schema_.ChildType(owner, r->symbol());
+        if (child == kInvalidType) {
+          return Status::Internal("content model uses untyped label");
+        }
+        out_ += indent + "<xsd:element name=\"" +
+                schema_.alphabet()->Name(r->symbol()) + "\" type=\"" +
+                TypeRef(child) + "\"" + occurs + "/>\n";
+        return Status::OK();
+      }
+      case RegexKind::kConcat: {
+        out_ += indent + "<xsd:sequence" + occurs + ">\n";
+        for (const automata::RegexPtr& c : r->children()) {
+          RETURN_IF_ERROR(WriteParticle(owner, c, indent + "  ", ""));
+        }
+        out_ += indent + "</xsd:sequence>\n";
+        return Status::OK();
+      }
+      case RegexKind::kAlternate: {
+        out_ += indent + "<xsd:choice" + occurs + ">\n";
+        for (const automata::RegexPtr& c : r->children()) {
+          RETURN_IF_ERROR(WriteParticle(owner, c, indent + "  ", ""));
+        }
+        out_ += indent + "</xsd:choice>\n";
+        return Status::OK();
+      }
+      case RegexKind::kOptional:
+        return WrapOccurrence(owner, r->child(), indent, "0", "1");
+      case RegexKind::kStar:
+        return WrapOccurrence(owner, r->child(), indent, "0", "unbounded");
+      case RegexKind::kPlus:
+        return WrapOccurrence(owner, r->child(), indent, "1", "unbounded");
+      case RegexKind::kRepeat: {
+        std::string max = r->max() == automata::kUnbounded
+                              ? "unbounded"
+                              : std::to_string(r->max());
+        return WrapOccurrence(owner, r->child(), indent,
+                              std::to_string(r->min()), max);
+      }
+    }
+    return Status::Internal("unknown regex kind");
+  }
+
+  // Applies occurrence bounds to a particle: directly on a plain element,
+  // via a wrapping <sequence> otherwise. A wrapper that already carries
+  // occurrence attributes must not receive a second set — the inner node
+  // is boxed first.
+  Status WrapOccurrence(TypeId owner, const automata::RegexPtr& inner,
+                        const std::string& indent, const std::string& min,
+                        const std::string& max) {
+    std::string occurs;
+    if (min != "1") occurs += " minOccurs=\"" + min + "\"";
+    if (max != "1") occurs += " maxOccurs=\"" + max + "\"";
+    using automata::RegexKind;
+    if (inner->kind() == RegexKind::kSymbol ||
+        inner->kind() == RegexKind::kConcat ||
+        inner->kind() == RegexKind::kAlternate) {
+      return WriteParticle(owner, inner, indent, occurs);
+    }
+    out_ += indent + "<xsd:sequence" + occurs + ">\n";
+    RETURN_IF_ERROR(WriteParticle(owner, inner, indent + "  ", ""));
+    out_ += indent + "</xsd:sequence>\n";
+    return Status::OK();
+  }
+
+  Status WriteComplexType(TypeId t) {
+    const ComplexType& ct = schema_.complex_type(t);
+    if (!ct.content_model) {
+      return Status::Unsupported(
+          "type '" + schema_.TypeName(t) +
+          "' has a preset content DFA (e.g. an <all> group) with no "
+          "regular-expression rendering");
+    }
+    out_ += "  <xsd:complexType name=\"" + schema_.TypeName(t) + "\">\n";
+    // The parser expects a single top-level sequence/choice particle.
+    using automata::RegexKind;
+    if (ct.content_model->kind() == RegexKind::kConcat ||
+        ct.content_model->kind() == RegexKind::kAlternate ||
+        ct.content_model->kind() == RegexKind::kEpsilon) {
+      RETURN_IF_ERROR(WriteParticle(t, ct.content_model, "    ", ""));
+    } else {
+      out_ += "    <xsd:sequence>\n";
+      RETURN_IF_ERROR(WriteParticle(t, ct.content_model, "      ", ""));
+      out_ += "    </xsd:sequence>\n";
+    }
+    for (const auto& [name, attr] : ct.attributes) {
+      out_ += "    <xsd:attribute name=\"" + name + "\"";
+      if (attr.required) out_ += " use=\"required\"";
+      if (attr.fixed) {
+        out_ += " fixed=\"" + EscapeXmlText(*attr.fixed) + "\"";
+      }
+      if (IsPlainBuiltin(attr.type)) {
+        out_ += " type=\"" + BuiltinName(attr.type.kind) + "\"/>\n";
+      } else {
+        out_ += ">\n";
+        WriteInlineSimple(attr.type, "      ");
+        out_ += "    </xsd:attribute>\n";
+      }
+    }
+    if (ct.open_attributes) out_ += "    <xsd:anyAttribute/>\n";
+    out_ += "  </xsd:complexType>\n";
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  std::string out_;
+};
+
+}  // namespace
+
+Result<std::string> WriteXsd(const Schema& schema) {
+  return Writer(schema).Write();
+}
+
+}  // namespace xmlreval::schema

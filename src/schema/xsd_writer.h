@@ -1,0 +1,29 @@
+// XSD writer: renders an abstract XML Schema back to XML Schema text.
+//
+// The inverse of ParseXsd over the supported subset. Round-tripping is
+// semantically lossless — the property suite checks that every type of a
+// written-and-reparsed schema is MUTUALLY subsumed with its original —
+// though not syntactically (anonymous types come back named, DTD-style
+// schemas are rendered as XSD).
+//
+// Limitations: complex types whose content model was supplied as a preset
+// DFA (<all> groups) have no regular-expression rendering and are rejected
+// with kUnsupported; DTD-derived open-attribute types are rendered with
+// <anyAttribute/>.
+
+#ifndef XMLREVAL_SCHEMA_XSD_WRITER_H_
+#define XMLREVAL_SCHEMA_XSD_WRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::schema {
+
+/// Renders `schema` as XSD text parseable by ParseXsd.
+Result<std::string> WriteXsd(const Schema& schema);
+
+}  // namespace xmlreval::schema
+
+#endif  // XMLREVAL_SCHEMA_XSD_WRITER_H_

@@ -1,0 +1,76 @@
+#include "workload/po_generator.h"
+
+#include <random>
+#include <string>
+
+#include "common/macros.h"
+
+namespace xmlreval::workload {
+
+namespace {
+
+// Appends <label>text</label> under parent.
+void AddLeaf(xml::Document* doc, xml::NodeId parent, const char* label,
+             const std::string& text) {
+  xml::NodeId e = doc->CreateElement(label);
+  XMLREVAL_CHECK(doc->AppendChild(parent, e).ok(), "AppendChild failed");
+  xml::NodeId t = doc->CreateText(text);
+  XMLREVAL_CHECK(doc->AppendChild(e, t).ok(), "AppendChild failed");
+}
+
+void AddAddress(xml::Document* doc, xml::NodeId parent, const char* label,
+                std::mt19937_64* rng) {
+  xml::NodeId addr = doc->CreateElement(label);
+  XMLREVAL_CHECK(doc->AppendChild(parent, addr).ok(), "AppendChild failed");
+  std::uniform_int_distribution<int> digits(10000, 99999);
+  AddLeaf(doc, addr, "name", "Alice Smith");
+  AddLeaf(doc, addr, "street", std::to_string(digits(*rng) % 900 + 100) +
+                                   " Maple Street");
+  AddLeaf(doc, addr, "city", "Mill Valley");
+  AddLeaf(doc, addr, "state", "CA");
+  AddLeaf(doc, addr, "zip", std::to_string(digits(*rng)));
+  AddLeaf(doc, addr, "country", "US");
+}
+
+}  // namespace
+
+xml::Document GeneratePurchaseOrder(const PoGeneratorOptions& options) {
+  xml::Document doc;
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> quantity(options.quantity_min,
+                                              options.quantity_max);
+  std::uniform_int_distribution<int> cents(100, 99999);
+  std::uniform_int_distribution<int> day(1, 28);
+  std::uniform_int_distribution<int> month(1, 12);
+  std::uniform_int_distribution<int> percent(1, 100);
+
+  xml::NodeId root = doc.CreateElement("purchaseOrder");
+  XMLREVAL_CHECK(doc.SetRoot(root).ok(), "SetRoot failed");
+  AddAddress(&doc, root, "shipTo", &rng);
+  if (options.include_bill_to) {
+    AddAddress(&doc, root, "billTo", &rng);
+  }
+  xml::NodeId items = doc.CreateElement("items");
+  XMLREVAL_CHECK(doc.AppendChild(root, items).ok(), "AppendChild failed");
+
+  for (size_t i = 0; i < options.item_count; ++i) {
+    xml::NodeId item = doc.CreateElement("item");
+    XMLREVAL_CHECK(doc.AppendChild(items, item).ok(), "AppendChild failed");
+    AddLeaf(&doc, item, "productName", "Widget-" + std::to_string(i));
+    AddLeaf(&doc, item, "quantity", std::to_string(quantity(rng)));
+    int price = cents(rng);
+    AddLeaf(&doc, item, "USPrice",
+            std::to_string(price / 100) + "." +
+                (price % 100 < 10 ? "0" : "") + std::to_string(price % 100));
+    if (percent(rng) <= options.ship_date_percent) {
+      int m = month(rng);
+      int d = day(rng);
+      AddLeaf(&doc, item, "shipDate",
+              "2004-" + std::string(m < 10 ? "0" : "") + std::to_string(m) +
+                  "-" + std::string(d < 10 ? "0" : "") + std::to_string(d));
+    }
+  }
+  return doc;
+}
+
+}  // namespace xmlreval::workload

@@ -1,0 +1,36 @@
+// Generator for the evaluation's purchase-order documents.
+//
+// Reproduces the paper's input corpus: documents conforming to the
+// Figure 2 schema with a configurable number of <item> elements
+// (2 .. 1000 in Table 2), deterministic under a seed.
+
+#ifndef XMLREVAL_WORKLOAD_PO_GENERATOR_H_
+#define XMLREVAL_WORKLOAD_PO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/tree.h"
+
+namespace xmlreval::workload {
+
+struct PoGeneratorOptions {
+  /// Number of <item> children under <items>.
+  size_t item_count = 2;
+  /// quantity values are drawn uniformly from [quantity_min, quantity_max].
+  int quantity_min = 1;
+  int quantity_max = 99;
+  /// Probability (percent) that an item carries the optional shipDate.
+  int ship_date_percent = 50;
+  /// Include the optional billTo address (required by the Figure 2 schema;
+  /// turn off to build documents only valid under Figure 1a).
+  bool include_bill_to = true;
+  uint64_t seed = 42;
+};
+
+/// Builds a purchase-order document valid with respect to the Figure 2
+/// schema (and, a fortiori, Figure 1a).
+xml::Document GeneratePurchaseOrder(const PoGeneratorOptions& options);
+
+}  // namespace xmlreval::workload
+
+#endif  // XMLREVAL_WORKLOAD_PO_GENERATOR_H_

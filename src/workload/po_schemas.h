@@ -1,0 +1,191 @@
+// The purchase-order schemas of the paper's evaluation (Figures 1 and 2),
+// as XSD text, plus DTD renderings for the §3.4 experiments.
+//
+//   * kSourceXsd       — Figure 1a: billTo is OPTIONAL (minOccurs="0"),
+//     quantity restricted to < 100. Experiment 1's source schema.
+//   * kTargetXsd       — Figure 2: billTo REQUIRED, quantity < 100.
+//     Experiment 1's target and experiment 2's target.
+//   * kRelaxedQuantityXsd — Figure 2 with quantity maxExclusive "200"
+//     instead of "100". Experiment 2's source schema.
+//   * kPurchaseOrderDtd   — the same vocabulary as a DTD (billTo required),
+//     for the DTD-optimization benches; kSourceDtd makes billTo optional.
+
+#ifndef XMLREVAL_WORKLOAD_PO_SCHEMAS_H_
+#define XMLREVAL_WORKLOAD_PO_SCHEMAS_H_
+
+namespace xmlreval::workload {
+
+// Figure 1a. Differs from the target only in billTo's minOccurs.
+inline constexpr const char* kSourceXsd = R"XSD(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType1"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType1">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="100"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+)XSD";
+
+// Figure 2 (the complete target schema: billTo required, quantity < 100).
+inline constexpr const char* kTargetXsd = R"XSD(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType2"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType2">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="100"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+)XSD";
+
+// Experiment 2's source: Figure 2 with quantity maxExclusive raised to 200.
+inline constexpr const char* kRelaxedQuantityXsd = R"XSD(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType2"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType2">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="200"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+)XSD";
+
+// DTD rendering of the purchase-order vocabulary (billTo required). Facets
+// do not exist in DTDs, so quantity is just #PCDATA.
+inline constexpr const char* kPurchaseOrderDtd = R"DTD(
+<!ELEMENT purchaseOrder (shipTo, billTo, items)>
+<!ELEMENT shipTo (name, street, city, state, zip, country)>
+<!ELEMENT billTo (name, street, city, state, zip, country)>
+<!ELEMENT items (item)*>
+<!ELEMENT item (productName, quantity, USPrice, shipDate?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT productName (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT USPrice (#PCDATA)>
+<!ELEMENT shipDate (#PCDATA)>
+)DTD";
+
+// DTD rendering with billTo optional (the Figure 1a shape).
+inline constexpr const char* kSourceDtd = R"DTD(
+<!ELEMENT purchaseOrder (shipTo, billTo?, items)>
+<!ELEMENT shipTo (name, street, city, state, zip, country)>
+<!ELEMENT billTo (name, street, city, state, zip, country)>
+<!ELEMENT items (item)*>
+<!ELEMENT item (productName, quantity, USPrice, shipDate?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT productName (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT USPrice (#PCDATA)>
+<!ELEMENT shipDate (#PCDATA)>
+)DTD";
+
+}  // namespace xmlreval::workload
+
+#endif  // XMLREVAL_WORKLOAD_PO_SCHEMAS_H_

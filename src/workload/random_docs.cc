@@ -1,0 +1,220 @@
+#include "workload/random_docs.h"
+
+#include <deque>
+#include <limits>
+#include <random>
+
+#include "common/macros.h"
+
+namespace xmlreval::workload {
+
+using automata::Dfa;
+using automata::StateId;
+using automata::Symbol;
+using schema::Schema;
+using schema::SimpleType;
+using schema::TypeId;
+
+namespace {
+
+constexpr int64_t kScale = 1000000000;
+
+// dist[q] = length of the shortest string from q to an accepting state
+// (SIZE_MAX for co-dead states). BFS over reversed edges.
+std::vector<size_t> DistanceToAccept(const Dfa& dfa) {
+  size_t n = dfa.num_states();
+  std::vector<std::vector<StateId>> rev(n);
+  for (StateId q = 0; q < n; ++q) {
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      rev[dfa.Next(q, s)].push_back(q);
+    }
+  }
+  std::vector<size_t> dist(n, std::numeric_limits<size_t>::max());
+  std::deque<StateId> queue;
+  for (StateId q = 0; q < n; ++q) {
+    if (dfa.IsAccepting(q)) {
+      dist[q] = 0;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    StateId q = queue.front();
+    queue.pop_front();
+    for (StateId p : rev[q]) {
+      if (dist[p] == std::numeric_limits<size_t>::max()) {
+        dist[p] = dist[q] + 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  return dist;
+}
+
+class Sampler {
+ public:
+  Sampler(const Schema& schema, const RandomDocOptions& options)
+      : schema_(schema), rng_(options.seed), budget_(options.max_elements) {}
+
+  Result<xml::Document> Sample(const std::string& root_label) {
+    auto sym = schema_.alphabet()->Find(root_label);
+    if (!sym) {
+      return Status::NotFound("root label '" + root_label +
+                              "' is not in the alphabet");
+    }
+    TypeId root_type = schema_.RootType(*sym);
+    if (root_type == schema::kInvalidType) {
+      return Status::NotFound("label '" + root_label +
+                              "' is not a root of the schema");
+    }
+    xml::Document doc;
+    xml::NodeId root = doc.CreateElement(root_label);
+    RETURN_IF_ERROR(doc.SetRoot(root));
+    RETURN_IF_ERROR(Fill(&doc, root, root_type));
+    return doc;
+  }
+
+ private:
+  Status Fill(xml::Document* doc, xml::NodeId node, TypeId type) {
+    if (schema_.IsSimple(type)) {
+      std::string value = SampleSimpleValue(schema_.simple_type(type), rng_());
+      xml::NodeId text = doc->CreateText(value);
+      return doc->AppendChild(node, text);
+    }
+
+    // Required attributes always; optional ones with probability 1/2.
+    for (const auto& [name, attr] : schema_.complex_type(type).attributes) {
+      if (attr.required || (rng_() & 1)) {
+        RETURN_IF_ERROR(doc->SetAttribute(
+            node, name, SampleSimpleValue(attr.type, rng_())));
+      }
+    }
+
+    const Dfa& dfa = schema_.ContentDfa(type);
+    const std::vector<size_t>& dist = Distances(type, dfa);
+
+    StateId q = dfa.start_state();
+    XMLREVAL_CHECK(dist[q] != std::numeric_limits<size_t>::max(),
+                   "non-productive content model survived Build");
+    std::vector<Symbol> chosen;
+    while (true) {
+      bool must_finish = budget_ == 0 || chosen.size() > 64;
+      if (dfa.IsAccepting(q)) {
+        if (must_finish || std::uniform_int_distribution<int>(0, 2)(rng_) == 0) {
+          break;
+        }
+      }
+      // Candidate symbols: keep an accepting state reachable; when the
+      // budget is gone, insist on strictly decreasing distance.
+      std::vector<Symbol> candidates;
+      for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+        size_t d = dist[dfa.Next(q, s)];
+        if (d == std::numeric_limits<size_t>::max()) continue;
+        if (must_finish && d + 1 > dist[q]) continue;
+        candidates.push_back(s);
+      }
+      if (candidates.empty()) {
+        // Only possible when q is accepting (dist 0); finish here.
+        XMLREVAL_CHECK(dfa.IsAccepting(q), "sampler stuck in non-accepting state");
+        break;
+      }
+      Symbol s = candidates[std::uniform_int_distribution<size_t>(
+          0, candidates.size() - 1)(rng_)];
+      chosen.push_back(s);
+      q = dfa.Next(q, s);
+      if (budget_ > 0) --budget_;
+    }
+
+    for (Symbol s : chosen) {
+      TypeId child_type = schema_.ChildType(type, s);
+      XMLREVAL_CHECK(child_type != schema::kInvalidType,
+                     "content model uses untyped label");
+      xml::NodeId child = doc->CreateElement(schema_.alphabet()->Name(s));
+      RETURN_IF_ERROR(doc->AppendChild(node, child));
+      RETURN_IF_ERROR(Fill(doc, child, child_type));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<size_t>& Distances(TypeId type, const Dfa& dfa) {
+    auto it = distances_.find(type);
+    if (it == distances_.end()) {
+      it = distances_.emplace(type, DistanceToAccept(dfa)).first;
+    }
+    return it->second;
+  }
+
+  const Schema& schema_;
+  std::mt19937_64 rng_;
+  size_t budget_;
+  std::unordered_map<TypeId, std::vector<size_t>> distances_;
+};
+
+}  // namespace
+
+std::string SampleSimpleValue(const SimpleType& type, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  if (!type.facets.enumeration.empty()) {
+    return type.facets.enumeration[std::uniform_int_distribution<size_t>(
+        0, type.facets.enumeration.size() - 1)(rng)];
+  }
+  switch (type.kind) {
+    case schema::AtomicKind::kBoolean:
+      return (rng() & 1) ? "true" : "false";
+    case schema::AtomicKind::kDate: {
+      int m = std::uniform_int_distribution<int>(1, 12)(rng);
+      int d = std::uniform_int_distribution<int>(1, 28)(rng);
+      return "2004-" + std::string(m < 10 ? "0" : "") + std::to_string(m) +
+             "-" + std::string(d < 10 ? "0" : "") + std::to_string(d);
+    }
+    case schema::AtomicKind::kString: {
+      // Respect length facets.
+      size_t len = 6;
+      if (type.facets.length) {
+        len = *type.facets.length;
+      } else {
+        size_t lo = type.facets.min_length ? *type.facets.min_length : 1;
+        size_t hi = type.facets.max_length ? *type.facets.max_length : lo + 8;
+        len = std::uniform_int_distribution<size_t>(lo, hi)(rng);
+      }
+      std::string out;
+      for (size_t i = 0; i < len; ++i) {
+        out += static_cast<char>('a' + (rng() % 26));
+      }
+      return out;
+    }
+    default: {
+      // Numeric kinds: draw from the effective range.
+      schema::NumericRange range;
+      bool ok = schema::EffectiveNumericRange(type, &range);
+      XMLREVAL_CHECK(ok, "numeric kind without a numeric range");
+      int64_t lo = range.lo ? *range.lo / kScale : -1000;
+      int64_t hi = range.hi ? *range.hi / kScale : lo + 2000;
+      if (hi < lo) hi = lo;
+      int64_t v = std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+      if (type.kind == schema::AtomicKind::kDecimal && (rng() & 1)) {
+        return std::to_string(v) + "." +
+               std::to_string(std::uniform_int_distribution<int>(0, 99)(rng));
+      }
+      return std::to_string(v);
+    }
+  }
+}
+
+Result<xml::Document> SampleDocument(const Schema& schema,
+                                     const RandomDocOptions& options) {
+  std::string root_label = options.root_label;
+  if (root_label.empty()) {
+    if (schema.roots().empty()) {
+      return Status::FailedPrecondition("schema declares no roots");
+    }
+    // Deterministic pick: the lexicographically smallest root label.
+    for (const auto& [sym, type] : schema.roots()) {
+      const std::string& name = schema.alphabet()->Name(sym);
+      if (root_label.empty() || name < root_label) root_label = name;
+    }
+  }
+  Sampler sampler(schema, options);
+  return sampler.Sample(root_label);
+}
+
+}  // namespace xmlreval::workload

@@ -1,0 +1,38 @@
+// Random sampling of valid documents from an abstract schema.
+//
+// Used by the property tests ("every sampled document passes full
+// validation"; "cast verdict == full-validation verdict on random pairs")
+// and by the preprocessing/ablation benches that need corpora beyond the
+// purchase-order workload.
+
+#ifndef XMLREVAL_WORKLOAD_RANDOM_DOCS_H_
+#define XMLREVAL_WORKLOAD_RANDOM_DOCS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+#include "xml/tree.h"
+
+namespace xmlreval::workload {
+
+struct RandomDocOptions {
+  uint64_t seed = 1;
+  /// Soft cap on total elements; once exceeded every content model is
+  /// completed along a shortest accepting path, so documents terminate.
+  size_t max_elements = 200;
+  /// Root label to start from; empty = a uniformly random entry of R.
+  std::string root_label;
+};
+
+/// Samples a document valid with respect to `schema` (guaranteed by
+/// construction; all schema types must be productive — Build enforces it).
+Result<xml::Document> SampleDocument(const schema::Schema& schema,
+                                     const RandomDocOptions& options);
+
+/// Samples a value in the lexical space of `type` (facets respected).
+std::string SampleSimpleValue(const schema::SimpleType& type, uint64_t seed);
+
+}  // namespace xmlreval::workload
+
+#endif  // XMLREVAL_WORKLOAD_RANDOM_DOCS_H_

@@ -1,0 +1,277 @@
+#include "workload/random_schemas.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace xmlreval::workload {
+
+using automata::Regex;
+using automata::RegexPtr;
+using schema::AtomicKind;
+using schema::Schema;
+using schema::SchemaBuilder;
+using schema::SimpleType;
+using schema::TypeId;
+
+namespace {
+
+constexpr int64_t kScale = 1000000000;
+
+SimpleType RandomSimpleType(std::mt19937_64* rng) {
+  switch ((*rng)() % 4) {
+    case 0:
+      return SimpleType{AtomicKind::kString, {}};
+    case 1: {
+      SimpleType t{AtomicKind::kInteger, {}};
+      int64_t lo = static_cast<int64_t>((*rng)() % 50);
+      t.facets.min_inclusive = lo * kScale;
+      t.facets.max_inclusive = (lo + 10 + static_cast<int64_t>((*rng)() % 90)) * kScale;
+      return t;
+    }
+    case 2: {
+      SimpleType t{AtomicKind::kPositiveInteger, {}};
+      t.facets.max_exclusive =
+          (50 + static_cast<int64_t>((*rng)() % 150)) * kScale;
+      return t;
+    }
+    default:
+      return SimpleType{AtomicKind::kBoolean, {}};
+  }
+}
+
+// Builds the subset (bitmask) DFA of an <all>-style group over `members`
+// (symbol, required) pairs — mirrors the XSD front end's construction.
+automata::Dfa BuildAllGroupDfa(
+    const std::vector<std::pair<automata::Symbol, bool>>& members,
+    size_t alphabet_size) {
+  size_t n = members.size();
+  size_t num_sets = size_t{1} << n;
+  automata::Dfa dfa(num_sets + 1, alphabet_size);
+  automata::StateId sink = static_cast<automata::StateId>(num_sets);
+  for (size_t set = 0; set < num_sets; ++set) {
+    automata::StateId from = static_cast<automata::StateId>(set);
+    for (automata::Symbol sym = 0; sym < alphabet_size; ++sym) {
+      dfa.SetTransition(from, sym, sink);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (set & (size_t{1} << i)) continue;
+      dfa.SetTransition(from, members[i].first,
+                        static_cast<automata::StateId>(set | (size_t{1} << i)));
+    }
+    bool complete = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (members[i].second && !(set & (size_t{1} << i))) {
+        complete = false;
+        break;
+      }
+    }
+    dfa.SetAccepting(from, complete);
+  }
+  for (automata::Symbol sym = 0; sym < alphabet_size; ++sym) {
+    dfa.SetTransition(sink, sym, sink);
+  }
+  dfa.set_start_state(0);
+  return dfa;
+}
+
+}  // namespace
+
+Result<Schema> GenerateRandomSchema(
+    const std::shared_ptr<schema::Alphabet>& alphabet,
+    const RandomSchemaOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  SchemaBuilder builder(alphabet);
+
+  // Simple leaf types.
+  std::vector<TypeId> simple_types;
+  for (size_t i = 0; i < 3; ++i) {
+    ASSIGN_OR_RETURN(
+        TypeId t, builder.DeclareSimpleType("Leaf" + std::to_string(i),
+                                            RandomSimpleType(&rng)));
+    simple_types.push_back(t);
+  }
+
+  // Complex types, children referencing strictly later types (a DAG, so
+  // everything is productive).
+  size_t n = std::max<size_t>(options.complex_types, 1);
+  std::vector<TypeId> complex_types(n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(complex_types[i],
+                     builder.DeclareComplexType("C" + std::to_string(i)));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t k = 1 + rng() % options.max_children;
+    if (static_cast<int>(rng() % 100) < options.all_group_percent) {
+      // An <all>-style type: members in any order, each 0/1 times.
+      std::vector<std::pair<automata::Symbol, bool>> members;
+      std::vector<automata::Symbol> symbols;
+      for (size_t c = 0; c < k; ++c) {
+        std::string label = "t" + std::to_string(i) + "_" + std::to_string(c);
+        TypeId child;
+        if (i + 1 < n && (rng() & 1)) {
+          child = complex_types[i + 1 + rng() % (n - i - 1)];
+        } else {
+          child = simple_types[rng() % simple_types.size()];
+        }
+        RETURN_IF_ERROR(builder.MapChild(complex_types[i], label, child));
+        automata::Symbol sym = alphabet->Intern(label);
+        members.emplace_back(sym, (rng() & 1) != 0);
+        symbols.push_back(sym);
+      }
+      // NOTE: the DFA is built over the alphabet as of now; Build() pads.
+      RETURN_IF_ERROR(builder.SetContentModelDfa(
+          complex_types[i], BuildAllGroupDfa(members, alphabet->size()),
+          std::move(symbols)));
+      if (static_cast<int>(rng() % 100) < options.attribute_percent) {
+        RETURN_IF_ERROR(builder.DeclareAttribute(
+            complex_types[i], "attr" + std::to_string(i),
+            RandomSimpleType(&rng), (rng() & 1) != 0));
+      }
+      continue;
+    }
+    std::vector<RegexPtr> parts;
+    for (size_t c = 0; c < k; ++c) {
+      std::string label = "t" + std::to_string(i) + "_" + std::to_string(c);
+      // Child type: a later complex type when possible, else a simple one.
+      TypeId child;
+      if (i + 1 < n && (rng() & 1)) {
+        child = complex_types[i + 1 + rng() % (n - i - 1)];
+      } else {
+        child = simple_types[rng() % simple_types.size()];
+      }
+      RETURN_IF_ERROR(builder.MapChild(complex_types[i], label, child));
+      RegexPtr atom = Regex::Sym(alphabet->Intern(label));
+      int roll = static_cast<int>(rng() % 100);
+      if (roll < options.optional_percent) {
+        atom = Regex::Optional(std::move(atom));
+      } else if (roll < options.optional_percent + options.star_percent) {
+        atom = Regex::Star(std::move(atom));
+      }
+      parts.push_back(std::move(atom));
+    }
+    // Occasionally turn a neighbouring pair into a choice (distinct labels
+    // keep the expression 1-unambiguous).
+    if (parts.size() >= 2 && (rng() % 3) == 0) {
+      RegexPtr right = parts.back();
+      parts.pop_back();
+      RegexPtr left = parts.back();
+      parts.pop_back();
+      parts.push_back(Regex::Alternate({std::move(left), std::move(right)}));
+    }
+    RETURN_IF_ERROR(builder.SetContentModel(complex_types[i],
+                                            Regex::Concat(std::move(parts))));
+    if (static_cast<int>(rng() % 100) < options.attribute_percent) {
+      RETURN_IF_ERROR(builder.DeclareAttribute(
+          complex_types[i], "attr" + std::to_string(i),
+          RandomSimpleType(&rng), (rng() & 1) != 0));
+    }
+  }
+
+  RETURN_IF_ERROR(builder.AddRoot("root", complex_types[0]));
+  return builder.Build();
+}
+
+namespace {
+
+// Toggles optionality somewhere in the expression: strips an Optional
+// wrapper or adds one around a random concat member (or the whole body).
+RegexPtr ToggleOptionality(const RegexPtr& regex, std::mt19937_64* rng) {
+  if (regex->kind() == automata::RegexKind::kConcat) {
+    const auto& children = regex->children();
+    size_t idx = (*rng)() % children.size();
+    std::vector<RegexPtr> rebuilt;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i != idx) {
+        rebuilt.push_back(children[i]);
+      } else if (children[i]->kind() == automata::RegexKind::kOptional) {
+        rebuilt.push_back(children[i]->child());
+      } else {
+        rebuilt.push_back(Regex::Optional(children[i]));
+      }
+    }
+    return Regex::Concat(std::move(rebuilt));
+  }
+  if (regex->kind() == automata::RegexKind::kOptional) return regex->child();
+  return Regex::Optional(regex);
+}
+
+SimpleType MutateSimple(const SimpleType& type, std::mt19937_64* rng) {
+  SimpleType out = type;
+  int64_t delta = (1 + static_cast<int64_t>((*rng)() % 40)) * kScale;
+  if ((*rng)() & 1) delta = -delta;
+  if (out.facets.max_exclusive) {
+    *out.facets.max_exclusive = std::max<int64_t>(
+        2 * kScale, *out.facets.max_exclusive + delta);
+  } else if (out.facets.max_inclusive) {
+    *out.facets.max_inclusive =
+        std::max(out.facets.min_inclusive.value_or(0) + kScale,
+                 *out.facets.max_inclusive + delta);
+  } else if (out.kind == AtomicKind::kString && ((*rng)() & 1)) {
+    out.facets.max_length = 4 + (*rng)() % 12;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> MutateSchema(const Schema& reference,
+                            const MutationOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  SchemaBuilder builder(reference.alphabet());
+
+  size_t n = reference.num_types();
+  // Decide which types to mutate.
+  std::vector<bool> mutate(n, false);
+  for (size_t m = 0; m < options.mutations; ++m) {
+    mutate[rng() % n] = true;
+  }
+
+  std::vector<TypeId> ids(n);
+  for (TypeId t = 0; t < n; ++t) {
+    if (reference.IsSimple(t)) {
+      SimpleType st = reference.simple_type(t);
+      if (mutate[t]) st = MutateSimple(st, &rng);
+      ASSIGN_OR_RETURN(ids[t],
+                       builder.DeclareSimpleType(reference.TypeName(t), st));
+    } else {
+      ASSIGN_OR_RETURN(ids[t],
+                       builder.DeclareComplexType(reference.TypeName(t)));
+    }
+  }
+  for (TypeId t = 0; t < n; ++t) {
+    if (reference.IsSimple(t)) continue;
+    const schema::ComplexType& ct = reference.complex_type(t);
+    if (ct.content_model) {
+      RegexPtr model = ct.content_model;
+      if (mutate[t]) model = ToggleOptionality(model, &rng);
+      RETURN_IF_ERROR(builder.SetContentModel(ids[t], model));
+    } else {
+      // Preset-DFA content (e.g. an <all> group): carried over unchanged.
+      RETURN_IF_ERROR(builder.SetContentModelDfa(
+          ids[t], reference.ContentDfa(t), ct.preset_symbols));
+    }
+    for (const auto& [sym, child] : ct.child_types) {
+      RETURN_IF_ERROR(builder.MapChild(ids[t], sym, ids[child]));
+    }
+    for (const auto& [name, attr] : ct.attributes) {
+      bool required = attr.required;
+      if (mutate[t] && (rng() & 1)) required = !required;
+      RETURN_IF_ERROR(
+          builder.DeclareAttribute(ids[t], name, attr.type, required));
+    }
+    if (ct.open_attributes) {
+      RETURN_IF_ERROR(builder.SetOpenAttributes(ids[t]));
+    }
+  }
+  for (const auto& [sym, t] : reference.roots()) {
+    RETURN_IF_ERROR(
+        builder.AddRoot(reference.alphabet()->Name(sym), ids[t]));
+  }
+  return builder.Build();
+}
+
+}  // namespace xmlreval::workload

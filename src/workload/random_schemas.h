@@ -1,0 +1,64 @@
+// Random generation of abstract XML Schemas and of *related* schema pairs.
+//
+// Powers the whole-pipeline property tests: generate a schema S, derive a
+// mutated S' (facets tightened/loosened, particles made optional/required,
+// attributes toggled), sample documents valid under S, and require that
+// every validator agrees with ground truth (full validation against S').
+//
+// Generated content models are deterministic BY CONSTRUCTION: each symbol
+// is used at most once per content model (distinct-leaf regular
+// expressions are always 1-unambiguous), which matches how realistic
+// schemas are written and keeps Build() from rejecting the output.
+
+#ifndef XMLREVAL_WORKLOAD_RANDOM_SCHEMAS_H_
+#define XMLREVAL_WORKLOAD_RANDOM_SCHEMAS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::workload {
+
+struct RandomSchemaOptions {
+  uint64_t seed = 1;
+  /// Number of complex types (a matching set of simple types is added).
+  size_t complex_types = 4;
+  /// Maximum distinct child labels per content model.
+  size_t max_children = 4;
+  /// Probability (percent) that a generated element particle is optional /
+  /// starred / plain.
+  int optional_percent = 30;
+  int star_percent = 20;
+  /// Probability (percent) that a complex type declares an attribute.
+  int attribute_percent = 40;
+  /// Probability (percent) that a complex type is an <all>-style group
+  /// (preset bitmask DFA instead of a regular expression). Off by default
+  /// because such types have no XSD-writer rendering.
+  int all_group_percent = 0;
+};
+
+/// Generates a random schema over `alphabet`. The root label is "root".
+/// All types are productive by construction (the type graph is a DAG with
+/// simple types at the leaves).
+Result<schema::Schema> GenerateRandomSchema(
+    const std::shared_ptr<schema::Alphabet>& alphabet,
+    const RandomSchemaOptions& options);
+
+struct MutationOptions {
+  uint64_t seed = 2;
+  /// How many independent mutations to attempt.
+  size_t mutations = 3;
+};
+
+/// Rebuilds `reference` with random local mutations — facet bounds moved,
+/// optionality toggled, attribute requiredness flipped — producing a
+/// related schema sharing the SAME alphabet and type/label names, i.e. a
+/// realistic evolution of `reference` to cast against.
+Result<schema::Schema> MutateSchema(const schema::Schema& reference,
+                                    const MutationOptions& options);
+
+}  // namespace xmlreval::workload
+
+#endif  // XMLREVAL_WORKLOAD_RANDOM_SCHEMAS_H_

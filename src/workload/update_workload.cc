@@ -1,0 +1,157 @@
+#include "workload/update_workload.h"
+
+#include <random>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace xmlreval::workload {
+
+namespace {
+
+// Collects live (non-deleted per `editor`'s index view is not accessible;
+// we track deletions locally) nodes by kind.
+struct NodePools {
+  std::vector<xml::NodeId> elements;      // all live elements (root included)
+  std::vector<xml::NodeId> texts;         // live text nodes
+};
+
+NodePools CollectPools(const xml::Document& doc,
+                       const std::unordered_set<xml::NodeId>& deleted) {
+  NodePools pools;
+  if (!doc.has_root()) return pools;
+  std::vector<xml::NodeId> stack{doc.root()};
+  while (!stack.empty()) {
+    xml::NodeId node = stack.back();
+    stack.pop_back();
+    if (deleted.count(node)) continue;
+    if (doc.IsElement(node)) {
+      pools.elements.push_back(node);
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        stack.push_back(c);
+      }
+    } else {
+      pools.texts.push_back(node);
+    }
+  }
+  return pools;
+}
+
+bool IsEffectiveLeaf(const xml::Document& doc, xml::NodeId node,
+                     const std::unordered_set<xml::NodeId>& deleted) {
+  for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (!deleted.count(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<AppliedUpdate>> ApplyRandomUpdates(
+    xml::Document* doc, xml::DocumentEditor* editor,
+    const UpdateWorkloadOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<AppliedUpdate> applied;
+  std::unordered_set<xml::NodeId> deleted;
+
+  // Label pool: explicit, or harvested from the document.
+  std::vector<std::string> labels = options.label_pool;
+  if (labels.empty()) {
+    NodePools pools = CollectPools(*doc, deleted);
+    std::unordered_set<std::string> seen;
+    for (xml::NodeId e : pools.elements) {
+      if (seen.insert(doc->label(e)).second) labels.push_back(doc->label(e));
+    }
+  }
+  if (labels.empty()) {
+    return Status::FailedPrecondition("no labels available for updates");
+  }
+
+  int total_weight = options.rename_weight + options.insert_weight +
+                     options.delete_weight + options.text_edit_weight;
+  if (total_weight <= 0) {
+    return Status::InvalidArgument("update weights sum to zero");
+  }
+
+  auto pick = [&](const std::vector<xml::NodeId>& pool) {
+    return pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(rng)];
+  };
+  auto pick_label = [&]() {
+    return labels[std::uniform_int_distribution<size_t>(0, labels.size() - 1)(
+        rng)];
+  };
+
+  size_t attempts = 0;
+  while (applied.size() < options.edit_count &&
+         attempts < options.edit_count * 20 + 50) {
+    ++attempts;
+    NodePools pools = CollectPools(*doc, deleted);
+    if (pools.elements.empty()) break;
+
+    int roll = std::uniform_int_distribution<int>(0, total_weight - 1)(rng);
+    if (roll < options.rename_weight) {
+      xml::NodeId node = pick(pools.elements);
+      std::string label = pick_label();
+      Status s = editor->RenameElement(node, label);
+      if (s.ok()) {
+        applied.push_back({AppliedUpdate::Kind::kRename, node,
+                           "rename to '" + label + "'"});
+      }
+      continue;
+    }
+    roll -= options.rename_weight;
+    if (roll < options.insert_weight) {
+      xml::NodeId parent = pick(pools.elements);
+      std::string label = pick_label();
+      // Insert as first child or before/after a random child.
+      Result<xml::NodeId> inserted = [&]() -> Result<xml::NodeId> {
+        std::vector<xml::NodeId> children = doc->Children(parent);
+        if (children.empty() || (rng() & 3) == 0) {
+          return editor->InsertElementFirstChild(parent, label);
+        }
+        xml::NodeId ref = pick(children);
+        return (rng() & 1) ? editor->InsertElementBefore(ref, label)
+                           : editor->InsertElementAfter(ref, label);
+      }();
+      if (inserted.ok()) {
+        applied.push_back({AppliedUpdate::Kind::kInsert, *inserted,
+                           "insert '" + label + "'"});
+      }
+      continue;
+    }
+    roll -= options.insert_weight;
+    if (roll < options.delete_weight) {
+      // Deletable: effective leaves that are not the root.
+      std::vector<xml::NodeId> leaves;
+      for (xml::NodeId e : pools.elements) {
+        if (e != doc->root() && IsEffectiveLeaf(*doc, e, deleted)) {
+          leaves.push_back(e);
+        }
+      }
+      for (xml::NodeId t : pools.texts) leaves.push_back(t);
+      if (leaves.empty()) continue;
+      xml::NodeId node = pick(leaves);
+      Status s = editor->DeleteLeaf(node);
+      if (s.ok()) {
+        deleted.insert(node);
+        applied.push_back({AppliedUpdate::Kind::kDelete, node, "delete"});
+      }
+      continue;
+    }
+    // Text edit.
+    if (pools.texts.empty()) continue;
+    xml::NodeId node = pick(pools.texts);
+    std::string value = std::to_string(
+        std::uniform_int_distribution<int>(-50, 250)(rng));
+    Status s = editor->UpdateText(node, value);
+    if (s.ok()) {
+      applied.push_back({AppliedUpdate::Kind::kTextEdit, node,
+                         "set text to '" + value + "'"});
+    }
+  }
+  return applied;
+}
+
+}  // namespace xmlreval::workload

@@ -1,0 +1,49 @@
+// Random update workloads over documents, driving xml::DocumentEditor.
+//
+// Used by the §3.3 property tests (the mod-validator's verdict must equal
+// full validation of the committed document) and the A4 bench (cast-with-
+// modifications vs. full revalidation across update counts and locality).
+
+#ifndef XMLREVAL_WORKLOAD_UPDATE_WORKLOAD_H_
+#define XMLREVAL_WORKLOAD_UPDATE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/editor.h"
+#include "xml/tree.h"
+
+namespace xmlreval::workload {
+
+struct UpdateWorkloadOptions {
+  uint64_t seed = 7;
+  /// Number of edits to apply.
+  size_t edit_count = 4;
+  /// Relative weights of the edit kinds.
+  int rename_weight = 1;
+  int insert_weight = 1;
+  int delete_weight = 1;
+  int text_edit_weight = 1;
+  /// Labels used for renames and inserted elements. Empty = labels already
+  /// present in the document.
+  std::vector<std::string> label_pool;
+};
+
+struct AppliedUpdate {
+  enum class Kind { kRename, kInsert, kDelete, kTextEdit } kind;
+  xml::NodeId node;
+  std::string detail;  // human-readable description
+};
+
+/// Applies `options.edit_count` random edits through `editor`. Edits may or
+/// may not preserve validity — that is the point: the caller compares the
+/// incremental verdict against ground truth. Returns what was done.
+Result<std::vector<AppliedUpdate>> ApplyRandomUpdates(
+    xml::Document* doc, xml::DocumentEditor* editor,
+    const UpdateWorkloadOptions& options);
+
+}  // namespace xmlreval::workload
+
+#endif  // XMLREVAL_WORKLOAD_UPDATE_WORKLOAD_H_

@@ -1,0 +1,60 @@
+// Dewey decimal numbering of tree nodes (Section 3.3 of the paper).
+//
+// A DeweyPath identifies a node by the sequence of child indices on the
+// path from the root: the root is [], its third child is [2], that child's
+// first child is [2,0], and so on. The paper's `modified()` predicate is
+// implemented by storing the Dewey paths of updated nodes in a PathTrie
+// (path_trie.h) and asking whether any stored path extends the query path.
+
+#ifndef XMLREVAL_XML_DEWEY_H_
+#define XMLREVAL_XML_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xmlreval::xml {
+
+/// Sequence of 0-based child ordinals from the root.
+class DeweyPath {
+ public:
+  DeweyPath() = default;
+  explicit DeweyPath(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Path of `node` within `doc`, computed by walking parent links
+  /// (O(depth * avg-fanout); fine for update logging, not used on hot
+  /// validation paths where the path is maintained incrementally).
+  static DeweyPath Of(const Document& doc, NodeId node);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool IsRoot() const { return components_.empty(); }
+
+  /// Extends with one more child step.
+  DeweyPath Child(uint32_t ordinal) const;
+
+  /// True iff `this` is a prefix of `other` (every node is a prefix of
+  /// itself).
+  bool IsPrefixOf(const DeweyPath& other) const;
+
+  /// "1.2.0"-style rendering; "ε" for the root.
+  std::string ToString() const;
+
+  bool operator==(const DeweyPath& other) const {
+    return components_ == other.components_;
+  }
+  /// Lexicographic; matches document order for paths in the same tree.
+  bool operator<(const DeweyPath& other) const {
+    return components_ < other.components_;
+  }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_DEWEY_H_

@@ -1,0 +1,211 @@
+#include "xml/editor.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::xml {
+
+std::optional<std::string> ModificationIndex::OldLabel(const Document& doc,
+                                                       NodeId node) const {
+  auto it = deltas_.find(node);
+  if (it == deltas_.end()) return doc.label(node);
+  const Delta& d = it->second;
+  switch (d.kind) {
+    case DeltaKind::kInserted:
+      return std::nullopt;  // ε: did not exist in T
+    case DeltaKind::kRenamed:
+      return d.old_label;
+    case DeltaKind::kDeleted:
+      if (d.never_existed) return std::nullopt;
+      return d.old_label.empty() ? doc.label(node) : d.old_label;
+    default:
+      return doc.label(node);
+  }
+}
+
+std::optional<std::string> ModificationIndex::NewLabel(const Document& doc,
+                                                       NodeId node) const {
+  auto it = deltas_.find(node);
+  if (it != deltas_.end() && it->second.kind == DeltaKind::kDeleted) {
+    return std::nullopt;  // ε: absent from T'
+  }
+  return doc.label(node);
+}
+
+Status DocumentEditor::MarkTouched(NodeId node, DeltaKind kind,
+                                   std::string old_label) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  auto [it, fresh] = index_.deltas_.try_emplace(
+      node, ModificationIndex::Delta{kind, std::move(old_label)});
+  if (!fresh) {
+    // Collapse successive deltas on the same node so the annotation always
+    // relates the ORIGINAL tree T to the FINAL encoded tree T'.
+    ModificationIndex::Delta& d = it->second;
+    if (kind == DeltaKind::kDeleted) {
+      // Inserted-then-deleted never existed in either tree; renamed-then-
+      // deleted keeps the rename's original label as its T-label.
+      d.never_existed = (d.kind == DeltaKind::kInserted);
+      d.kind = DeltaKind::kDeleted;
+    } else if (kind == DeltaKind::kRenamed) {
+      if (d.kind == DeltaKind::kUnchanged || d.kind == DeltaKind::kTextEdited) {
+        d = ModificationIndex::Delta{kind, std::move(old_label)};
+      }
+      // kInserted stays inserted; a second kRenamed keeps the first
+      // rename's original label.
+    }
+    // kTextEdited over anything: no annotation change needed.
+  }
+  touched_.insert(node);
+  ++index_.update_count_;
+  return Status::OK();
+}
+
+bool DocumentEditor::EffectiveLeaf(NodeId node) const {
+  for (NodeId c = doc_->first_child(node); c != kInvalidNode;
+       c = doc_->next_sibling(c)) {
+    if (!index_.IsDeleted(c)) return false;
+  }
+  return true;
+}
+
+Status DocumentEditor::RenameElement(NodeId node, std::string_view new_label) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  if (!doc_->IsAlive(node) || !doc_->IsElement(node)) {
+    return Status::InvalidArgument("rename requires a live element");
+  }
+  if (index_.IsDeleted(node)) {
+    return Status::FailedPrecondition("cannot rename a deleted node");
+  }
+  std::string old_label = doc_->label(node);
+  RETURN_IF_ERROR(doc_->Rename(node, new_label));
+  return MarkTouched(node, DeltaKind::kRenamed, std::move(old_label));
+}
+
+Result<NodeId> DocumentEditor::InsertElementBefore(NodeId reference,
+                                                   std::string_view label) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateElement(label);
+  RETURN_IF_ERROR(doc_->InsertBefore(reference, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Result<NodeId> DocumentEditor::InsertElementAfter(NodeId reference,
+                                                  std::string_view label) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateElement(label);
+  RETURN_IF_ERROR(doc_->InsertAfter(reference, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Result<NodeId> DocumentEditor::InsertElementFirstChild(NodeId parent,
+                                                       std::string_view label) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateElement(label);
+  RETURN_IF_ERROR(doc_->InsertFirstChild(parent, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Result<NodeId> DocumentEditor::InsertTextFirstChild(NodeId parent,
+                                                    std::string_view text) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateText(text);
+  RETURN_IF_ERROR(doc_->InsertFirstChild(parent, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Result<NodeId> DocumentEditor::InsertTextBefore(NodeId reference,
+                                                std::string_view text) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateText(text);
+  RETURN_IF_ERROR(doc_->InsertBefore(reference, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Result<NodeId> DocumentEditor::InsertTextAfter(NodeId reference,
+                                               std::string_view text) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  NodeId node = doc_->CreateText(text);
+  RETURN_IF_ERROR(doc_->InsertAfter(reference, node));
+  RETURN_IF_ERROR(MarkTouched(node, DeltaKind::kInserted));
+  return node;
+}
+
+Status DocumentEditor::DeleteLeaf(NodeId node) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  if (!doc_->IsAlive(node)) {
+    return Status::InvalidArgument("delete requires a live node");
+  }
+  if (index_.IsDeleted(node)) {
+    return Status::FailedPrecondition("node is already deleted");
+  }
+  if (!EffectiveLeaf(node)) {
+    return Status::FailedPrecondition(
+        "DeleteLeaf requires a leaf (delete descendants first)");
+  }
+  if (node == doc_->root()) {
+    return Status::FailedPrecondition("cannot delete the document root");
+  }
+  return MarkTouched(node, DeltaKind::kDeleted);
+}
+
+Status DocumentEditor::UpdateText(NodeId node, std::string_view text) {
+  if (sealed_) return Status::FailedPrecondition("editor already sealed");
+  if (!doc_->IsAlive(node) || !doc_->IsText(node)) {
+    return Status::InvalidArgument("UpdateText requires a live text node");
+  }
+  if (index_.IsDeleted(node)) {
+    return Status::FailedPrecondition("cannot update a deleted node");
+  }
+  RETURN_IF_ERROR(doc_->SetText(node, text));
+  return MarkTouched(node, DeltaKind::kTextEdited);
+}
+
+ModificationIndex DocumentEditor::Seal() {
+  sealed_ = true;
+  // Dewey paths are computed against the FINAL encoded tree (deleted nodes
+  // still linked), so earlier inserts cannot invalidate later paths.
+  for (NodeId node : touched_) {
+    index_.trie_.Insert(DeweyPath::Of(*doc_, node));
+  }
+  // Remember what must be physically removed; the index itself is handed
+  // to the caller (ModificationIndex owns the trie and is move-only).
+  deleted_nodes_.clear();
+  for (const auto& [node, delta] : index_.deltas_) {
+    if (delta.kind == DeltaKind::kDeleted) deleted_nodes_.push_back(node);
+  }
+  return std::move(index_);
+}
+
+Status DocumentEditor::Commit() {
+  if (!sealed_) {
+    return Status::FailedPrecondition("Seal() the editor before Commit()");
+  }
+  // Deleted nodes are leaves in the effective tree but may have deleted
+  // children; remove bottom-up by repeated leaf-removal passes.
+  std::vector<NodeId> deleted = deleted_nodes_;
+  bool progress = true;
+  while (!deleted.empty() && progress) {
+    progress = false;
+    std::vector<NodeId> remaining;
+    for (NodeId node : deleted) {
+      if (doc_->HasChildren(node)) {
+        remaining.push_back(node);
+      } else {
+        RETURN_IF_ERROR(doc_->RemoveLeaf(node));
+        progress = true;
+      }
+    }
+    deleted.swap(remaining);
+  }
+  if (!deleted.empty()) {
+    return Status::Internal("deleted subtree contains non-deleted nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlreval::xml

@@ -1,0 +1,147 @@
+// DocumentEditor: the update model of Section 3.3.
+//
+// The paper's three update kinds — rename an element label, insert a new
+// leaf, delete a leaf — are applied through this editor, which maintains the
+// Δ-encoding of the modified tree T':
+//
+//   * a renamed node corresponds to a Δ^a_b label (old label a retained),
+//   * an inserted node to Δ^ε_b,
+//   * a deleted node to Δ^a_ε — the node REMAINS physically linked in the
+//     tree, marked deleted, so that both the old label string (Proj_old) and
+//     the new one (Proj_new) can be read off each content model, and so
+//     Dewey numbers stay consistent with the encoded tree,
+//   * a text-value update to Δ^χ_χ (label unchanged, content dirty).
+//
+// Seal() freezes the edit session and produces a ModificationIndex: the
+// Dewey-path trie implementing modified() plus per-node annotations, which
+// core::ModValidator consumes. Commit() physically removes deleted nodes
+// and drops the annotations, yielding the plain edited document.
+
+#ifndef XMLREVAL_XML_EDITOR_H_
+#define XMLREVAL_XML_EDITOR_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "xml/dewey.h"
+#include "xml/path_trie.h"
+#include "xml/tree.h"
+
+namespace xmlreval::xml {
+
+/// How a single node was touched by the edit session.
+enum class DeltaKind : uint8_t {
+  kUnchanged,
+  kRenamed,   // Δ^a_b
+  kInserted,  // Δ^ε_b
+  kDeleted,   // Δ^a_ε
+  kTextEdited,  // Δ^χ_χ — text node whose character data changed
+};
+
+/// Read-only view of a sealed edit session.
+class ModificationIndex {
+ public:
+  /// The paper's modified() predicate: does the subtree rooted at the node
+  /// with Dewey path `path` (in the encoded tree) contain any modification?
+  bool SubtreeModified(const DeweyPath& path) const {
+    return trie_.ContainsPrefixedBy(path);
+  }
+
+  /// Cursor for lockstep traversal (O(1) per tree step).
+  TrieCursor Cursor() const { return TrieCursor(trie_); }
+
+  DeltaKind Kind(NodeId node) const {
+    auto it = deltas_.find(node);
+    return it == deltas_.end() ? DeltaKind::kUnchanged : it->second.kind;
+  }
+
+  bool IsDeleted(NodeId node) const { return Kind(node) == DeltaKind::kDeleted; }
+  bool IsInserted(NodeId node) const {
+    return Kind(node) == DeltaKind::kInserted;
+  }
+
+  /// The node's label in the ORIGINAL tree T (Proj_old): the stored old
+  /// label for renamed nodes, nullopt for inserted nodes (ε), the current
+  /// label otherwise.
+  std::optional<std::string> OldLabel(const Document& doc, NodeId node) const;
+
+  /// The node's label in the edited tree T' (Proj_new): nullopt for deleted
+  /// nodes (ε), the current label otherwise.
+  std::optional<std::string> NewLabel(const Document& doc, NodeId node) const;
+
+  size_t update_count() const { return update_count_; }
+  bool empty() const { return update_count_ == 0; }
+
+ private:
+  friend class DocumentEditor;
+
+  struct Delta {
+    DeltaKind kind;
+    std::string old_label;   // original label in T, for kRenamed/kDeleted
+    bool never_existed = false;  // inserted then deleted within the session
+  };
+
+  PathTrie trie_;
+  std::unordered_map<NodeId, Delta> deltas_;
+  size_t update_count_ = 0;
+};
+
+/// Applies paper-model updates to a Document and records them.
+class DocumentEditor {
+ public:
+  explicit DocumentEditor(Document* doc) : doc_(doc) {}
+
+  /// Update kind 1: replace the label of an element node.
+  Status RenameElement(NodeId node, std::string_view new_label);
+
+  /// Update kind 2: insert a new leaf element. Returns the new node.
+  Result<NodeId> InsertElementBefore(NodeId reference, std::string_view label);
+  Result<NodeId> InsertElementAfter(NodeId reference, std::string_view label);
+  Result<NodeId> InsertElementFirstChild(NodeId parent, std::string_view label);
+
+  /// Update kind 2 for χ leaves: insert a new text leaf.
+  Result<NodeId> InsertTextFirstChild(NodeId parent, std::string_view text);
+  Result<NodeId> InsertTextBefore(NodeId reference, std::string_view text);
+  Result<NodeId> InsertTextAfter(NodeId reference, std::string_view text);
+
+  /// Update kind 3: delete a leaf. A node all of whose children are already
+  /// deleted counts as a leaf, so subtrees are deleted bottom-up.
+  Status DeleteLeaf(NodeId node);
+
+  /// Replace the character data of a text node (a Δ^χ_χ modification).
+  Status UpdateText(NodeId node, std::string_view text);
+
+  /// Freezes the session: computes the Dewey trie of all touched nodes
+  /// against the final encoded tree and returns the index. The editor must
+  /// not be used afterwards.
+  ModificationIndex Seal();
+
+  /// Physically removes deleted nodes from the document. Call after
+  /// validation, when the Δ-encoding is no longer needed.
+  Status Commit();
+
+  /// Whether `node` has been deleted within this (unsealed) session.
+  /// Callers building edit scripts use this to skip Δ^a_ε nodes.
+  bool IsDeleted(NodeId node) const { return index_.IsDeleted(node); }
+
+  size_t update_count() const { return index_.update_count_; }
+
+ private:
+  Status MarkTouched(NodeId node, DeltaKind kind, std::string old_label = "");
+
+  /// True if `node` has no live (non-deleted) children.
+  bool EffectiveLeaf(NodeId node) const;
+
+  Document* doc_;
+  ModificationIndex index_;
+  std::unordered_set<NodeId> touched_;  // nodes whose paths go into the trie
+  std::vector<NodeId> deleted_nodes_;   // captured at Seal() for Commit()
+  bool sealed_ = false;
+};
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_EDITOR_H_

@@ -1,0 +1,33 @@
+#include "xml/label_index.h"
+
+namespace xmlreval::xml {
+
+LabelIndex LabelIndex::Build(const Document& doc) {
+  LabelIndex index;
+  if (!doc.has_root()) return index;
+  // Iterative DFS in document order.
+  std::vector<NodeId> stack{doc.root()};
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    if (doc.IsElement(node)) {
+      index.index_[doc.label(node)].push_back(node);
+      ++index.total_elements_;
+      // Push children reversed so they pop in document order.
+      std::vector<NodeId> children = doc.Children(node);
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<std::string> LabelIndex::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [label, nodes] : index_) out.push_back(label);
+  return out;
+}
+
+}  // namespace xmlreval::xml

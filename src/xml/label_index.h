@@ -1,0 +1,45 @@
+// Label index: direct access to all element instances of each tag.
+//
+// §3.4 of the paper observes that for DTDs — where a label determines its
+// type — a validator that can enumerate the instances of a label directly
+// (the "additional indexing information" of a DOM's getElementsByTagName)
+// need only visit the labels whose source/target types are neither
+// subsumed nor disjoint. This index is that access path.
+
+#ifndef XMLREVAL_XML_LABEL_INDEX_H_
+#define XMLREVAL_XML_LABEL_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace xmlreval::xml {
+
+class LabelIndex {
+ public:
+  /// One pass over the document, O(nodes).
+  static LabelIndex Build(const Document& doc);
+
+  /// Instances of `label` in document order; empty when absent.
+  const std::vector<NodeId>& Instances(std::string_view label) const {
+    static const std::vector<NodeId> kEmpty;
+    auto it = index_.find(std::string(label));
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+  /// All labels occurring in the document.
+  std::vector<std::string> Labels() const;
+
+  size_t TotalElements() const { return total_elements_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> index_;
+  size_t total_elements_ = 0;
+};
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_LABEL_INDEX_H_

@@ -1,0 +1,50 @@
+// A from-scratch, non-validating XML 1.0 parser producing xml::Document.
+//
+// Supported: prolog/XML declaration, comments, processing instructions,
+// CDATA sections, character references (decimal and hex), the five
+// predefined entities, attributes, and full well-formedness checking
+// (tag matching, attribute uniqueness, single root). A DOCTYPE declaration
+// is tolerated and its internal subset skipped — DTDs are parsed separately
+// by schema::ParseDtd, which reuses this file's low-level lexing helpers.
+//
+// Unsupported (out of the paper's scope, rejected with kUnsupported):
+// user-defined general entities in content.
+
+#ifndef XMLREVAL_XML_PARSER_H_
+#define XMLREVAL_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlreval::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that are entirely XML whitespace. Data-oriented
+  /// documents (everything in the paper's evaluation) use indentation
+  /// whitespace that has no place in the content model, so this defaults on.
+  bool skip_whitespace_text = true;
+  /// Merge adjacent text runs (including CDATA) into single text nodes.
+  bool coalesce_text = true;
+};
+
+/// Parses an XML document from `input`. Errors carry 1-based line:column.
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options = {});
+
+/// Parses and returns the document plus the extracted DOCTYPE internal
+/// subset (empty when absent); used by the DTD front end for documents that
+/// inline their DTD.
+struct ParsedWithDoctype {
+  Document document;
+  std::string doctype_name;      // name in <!DOCTYPE name ...>
+  std::string internal_subset;   // text between '[' and ']'
+};
+Result<ParsedWithDoctype> ParseXmlWithDoctype(std::string_view input,
+                                              const ParseOptions& options = {});
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_PARSER_H_

@@ -1,0 +1,43 @@
+#include "xml/path_trie.h"
+
+namespace xmlreval::xml {
+
+void PathTrie::Insert(const DeweyPath& path) {
+  TrieNode* node = root_.get();
+  for (uint32_t component : path.components()) {
+    std::unique_ptr<TrieNode>& child = node->children[component];
+    if (!child) child = std::make_unique<TrieNode>();
+    node = child.get();
+  }
+  if (!node->terminal) {
+    node->terminal = true;
+    ++size_;
+  }
+}
+
+bool PathTrie::ContainsPrefixedBy(const DeweyPath& path) const {
+  const TrieNode* node = root_.get();
+  for (uint32_t component : path.components()) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return true;  // node exists => some inserted path passes through here
+}
+
+bool PathTrie::ContainsExactly(const DeweyPath& path) const {
+  const TrieNode* node = root_.get();
+  for (uint32_t component : path.components()) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return node->terminal;
+}
+
+void PathTrie::Clear() {
+  root_ = std::make_unique<TrieNode>();
+  size_ = 0;
+}
+
+}  // namespace xmlreval::xml

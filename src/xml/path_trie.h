@@ -1,0 +1,86 @@
+// Trie over Dewey paths, implementing the paper's `modified()` predicate
+// (Section 3.3): after inserting the Dewey numbers of all updated nodes,
+// ContainsPrefixedBy(p) answers "was any node in the subtree rooted at p
+// modified?" in O(depth(p)). The trie can be navigated in lockstep with a
+// tree traversal (TrieCursor) so the validator pays O(1) per step instead of
+// O(depth) per query.
+
+#ifndef XMLREVAL_XML_PATH_TRIE_H_
+#define XMLREVAL_XML_PATH_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "xml/dewey.h"
+
+namespace xmlreval::xml {
+
+class PathTrie {
+ public:
+  PathTrie() : root_(std::make_unique<TrieNode>()) {}
+
+  /// Marks `path` (and so, implicitly, all its ancestors as "containing a
+  /// modification").
+  void Insert(const DeweyPath& path);
+
+  /// True iff some inserted path has `path` as a prefix — i.e. the subtree
+  /// at `path` contains a modified node.
+  bool ContainsPrefixedBy(const DeweyPath& path) const;
+
+  /// True iff exactly `path` was inserted.
+  bool ContainsExactly(const DeweyPath& path) const;
+
+  bool empty() const { return root_->children.empty() && !root_->terminal; }
+  size_t size() const { return size_; }
+  void Clear();
+
+ private:
+  friend class TrieCursor;
+
+  struct TrieNode {
+    std::unordered_map<uint32_t, std::unique_ptr<TrieNode>> children;
+    bool terminal = false;  // a path ends exactly here
+  };
+
+  std::unique_ptr<TrieNode> root_;
+  size_t size_ = 0;
+};
+
+/// Position in a PathTrie maintained alongside a tree traversal. Descend()
+/// returns a cursor for a child step; a cursor that is Null() means no
+/// inserted path passes through this subtree, so `modified()` is false for
+/// every node underneath — the traversal can take the fast path.
+class TrieCursor {
+ public:
+  /// Cursor at the trie root.
+  explicit TrieCursor(const PathTrie& trie) : node_(trie.root_.get()) {}
+
+  /// The null cursor (no modification anywhere below).
+  TrieCursor() : node_(nullptr) {}
+
+  bool Null() const { return node_ == nullptr; }
+
+  /// True iff modifications exist in the current subtree.
+  bool SubtreeModified() const { return node_ != nullptr; }
+
+  /// True iff the current node itself was inserted.
+  bool ExactlyHere() const { return node_ != nullptr && node_->terminal; }
+
+  /// Moves to child `ordinal`; returns the null cursor when no inserted
+  /// path continues that way.
+  TrieCursor Descend(uint32_t ordinal) const {
+    if (node_ == nullptr) return TrieCursor();
+    auto it = node_->children.find(ordinal);
+    if (it == node_->children.end()) return TrieCursor();
+    return TrieCursor(it->second.get());
+  }
+
+ private:
+  explicit TrieCursor(const PathTrie::TrieNode* node) : node_(node) {}
+  const PathTrie::TrieNode* node_;
+};
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_PATH_TRIE_H_

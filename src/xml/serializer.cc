@@ -1,0 +1,87 @@
+#include "xml/serializer.h"
+
+#include "common/string_util.h"
+
+namespace xmlreval::xml {
+namespace {
+
+bool HasElementChild(const Document& doc, NodeId id) {
+  for (NodeId c = doc.first_child(id); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (doc.IsElement(c)) return true;
+  }
+  return false;
+}
+
+void SerializeNode(const Document& doc, NodeId id, int depth,
+                   const SerializeOptions& options, std::string* out) {
+  auto indent = [&](int d) {
+    if (!options.pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(d) * options.indent_width, ' ');
+  };
+
+  if (doc.IsText(id)) {
+    out->append(EscapeXmlText(doc.text(id)));
+    return;
+  }
+
+  if (depth > 0 || options.pretty) {
+    if (depth > 0) indent(depth);
+  }
+  out->push_back('<');
+  out->append(doc.label(id));
+  for (const Attribute& a : doc.attributes(id)) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    out->append(EscapeXmlText(a.value));
+    out->push_back('"');
+  }
+  if (!doc.HasChildren(id)) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+
+  // Elements with element children get pretty indentation; elements with
+  // only text content stay on one line so round-tripping does not inject
+  // whitespace into simple values.
+  bool structured = HasElementChild(doc, id);
+  for (NodeId c = doc.first_child(id); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (doc.IsText(c)) {
+      out->append(EscapeXmlText(doc.text(c)));
+    } else {
+      SerializeNode(doc, c, structured ? depth + 1 : 0, options, out);
+    }
+  }
+  if (structured) indent(depth);
+  out->append("</");
+  out->append(doc.label(id));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  }
+  if (doc.has_root()) {
+    if (!out.empty() && !options.pretty) out.push_back('\n');
+    SerializeNode(doc, doc.root(), 0, options, &out);
+  }
+  if (options.pretty) out.push_back('\n');
+  return out;
+}
+
+std::string SerializeSubtree(const Document& doc, NodeId node,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(doc, node, 0, options, &out);
+  return out;
+}
+
+}  // namespace xmlreval::xml

@@ -1,0 +1,269 @@
+#include "xml/tree.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace xmlreval::xml {
+
+NodeId Document::CreateElement(std::string_view label) {
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.label.assign(label);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Document::CreateText(std::string_view text) {
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text.assign(text);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status Document::CheckAttachable(NodeId node) const {
+  if (!IsValidId(node)) return Status::InvalidArgument("invalid node id");
+  if (!nodes_[node].alive) {
+    return Status::FailedPrecondition("node has been deleted");
+  }
+  if (nodes_[node].parent != kInvalidNode || node == root_) {
+    return Status::FailedPrecondition("node is already attached");
+  }
+  return Status::OK();
+}
+
+Status Document::SetRoot(NodeId node) {
+  RETURN_IF_ERROR(CheckAttachable(node));
+  if (!IsElement(node)) {
+    return Status::InvalidArgument("document root must be an element");
+  }
+  if (root_ != kInvalidNode) {
+    return Status::FailedPrecondition("document already has a root");
+  }
+  root_ = node;
+  return Status::OK();
+}
+
+Status Document::AppendChild(NodeId parent, NodeId child) {
+  if (!IsValidId(parent) || !IsElement(parent)) {
+    return Status::InvalidArgument("parent must be a live element");
+  }
+  RETURN_IF_ERROR(CheckAttachable(child));
+  Node& p = nodes_[parent];
+  Node& c = nodes_[child];
+  c.parent = parent;
+  c.prev_sibling = p.last_child;
+  c.next_sibling = kInvalidNode;
+  if (p.last_child != kInvalidNode) {
+    nodes_[p.last_child].next_sibling = child;
+  } else {
+    p.first_child = child;
+  }
+  p.last_child = child;
+  return Status::OK();
+}
+
+Status Document::InsertBefore(NodeId reference, NodeId node) {
+  if (!IsAlive(reference)) {
+    return Status::InvalidArgument("reference node is not live");
+  }
+  NodeId parent = nodes_[reference].parent;
+  if (parent == kInvalidNode) {
+    return Status::FailedPrecondition("reference node has no parent");
+  }
+  RETURN_IF_ERROR(CheckAttachable(node));
+  Node& r = nodes_[reference];
+  Node& n = nodes_[node];
+  n.parent = parent;
+  n.next_sibling = reference;
+  n.prev_sibling = r.prev_sibling;
+  if (r.prev_sibling != kInvalidNode) {
+    nodes_[r.prev_sibling].next_sibling = node;
+  } else {
+    nodes_[parent].first_child = node;
+  }
+  r.prev_sibling = node;
+  return Status::OK();
+}
+
+Status Document::InsertAfter(NodeId reference, NodeId node) {
+  if (!IsAlive(reference)) {
+    return Status::InvalidArgument("reference node is not live");
+  }
+  NodeId parent = nodes_[reference].parent;
+  if (parent == kInvalidNode) {
+    return Status::FailedPrecondition("reference node has no parent");
+  }
+  RETURN_IF_ERROR(CheckAttachable(node));
+  Node& r = nodes_[reference];
+  Node& n = nodes_[node];
+  n.parent = parent;
+  n.prev_sibling = reference;
+  n.next_sibling = r.next_sibling;
+  if (r.next_sibling != kInvalidNode) {
+    nodes_[r.next_sibling].prev_sibling = node;
+  } else {
+    nodes_[parent].last_child = node;
+  }
+  r.next_sibling = node;
+  return Status::OK();
+}
+
+Status Document::InsertFirstChild(NodeId parent, NodeId node) {
+  if (!IsValidId(parent) || !IsElement(parent)) {
+    return Status::InvalidArgument("parent must be a live element");
+  }
+  if (nodes_[parent].first_child != kInvalidNode) {
+    return InsertBefore(nodes_[parent].first_child, node);
+  }
+  return AppendChild(parent, node);
+}
+
+Status Document::RemoveLeaf(NodeId node) {
+  if (!IsAlive(node)) return Status::InvalidArgument("node is not live");
+  if (nodes_[node].first_child != kInvalidNode) {
+    return Status::FailedPrecondition("RemoveLeaf requires a leaf node");
+  }
+  Node& n = nodes_[node];
+  if (n.prev_sibling != kInvalidNode) {
+    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+  } else if (n.parent != kInvalidNode) {
+    nodes_[n.parent].first_child = n.next_sibling;
+  }
+  if (n.next_sibling != kInvalidNode) {
+    nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+  } else if (n.parent != kInvalidNode) {
+    nodes_[n.parent].last_child = n.prev_sibling;
+  }
+  if (node == root_) root_ = kInvalidNode;
+  n.parent = n.prev_sibling = n.next_sibling = kInvalidNode;
+  n.alive = false;
+  return Status::OK();
+}
+
+Status Document::Rename(NodeId node, std::string_view new_label) {
+  if (!IsAlive(node)) return Status::InvalidArgument("node is not live");
+  if (!IsElement(node)) {
+    return Status::InvalidArgument("only elements can be renamed");
+  }
+  if (!IsValidXmlName(new_label)) {
+    return Status::InvalidArgument("invalid XML name: '" +
+                                   std::string(new_label) + "'");
+  }
+  nodes_[node].label.assign(new_label);
+  return Status::OK();
+}
+
+Status Document::SetText(NodeId node, std::string_view text) {
+  if (!IsAlive(node)) return Status::InvalidArgument("node is not live");
+  if (!IsText(node)) {
+    return Status::InvalidArgument("SetText requires a text node");
+  }
+  nodes_[node].text.assign(text);
+  return Status::OK();
+}
+
+size_t Document::CountChildren(NodeId id) const {
+  size_t n = 0;
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) ++n;
+  return n;
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+Status Document::AddAttribute(NodeId id, std::string_view name,
+                              std::string_view value) {
+  if (!IsAlive(id) || !IsElement(id)) {
+    return Status::InvalidArgument("attributes require a live element");
+  }
+  nodes_[id].attributes.push_back(
+      Attribute{std::string(name), std::string(value)});
+  return Status::OK();
+}
+
+Status Document::SetAttribute(NodeId id, std::string_view name,
+                              std::string_view value) {
+  if (!IsAlive(id) || !IsElement(id)) {
+    return Status::InvalidArgument("attributes require a live element");
+  }
+  if (!IsValidXmlName(name)) {
+    return Status::InvalidArgument("invalid attribute name '" +
+                                   std::string(name) + "'");
+  }
+  for (Attribute& a : nodes_[id].attributes) {
+    if (a.name == name) {
+      a.value.assign(value);
+      return Status::OK();
+    }
+  }
+  nodes_[id].attributes.push_back(
+      Attribute{std::string(name), std::string(value)});
+  return Status::OK();
+}
+
+Status Document::RemoveAttribute(NodeId id, std::string_view name) {
+  if (!IsAlive(id) || !IsElement(id)) {
+    return Status::InvalidArgument("attributes require a live element");
+  }
+  auto& attrs = nodes_[id].attributes;
+  for (auto it = attrs.begin(); it != attrs.end(); ++it) {
+    if (it->name == name) {
+      attrs.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+const std::string* Document::FindAttribute(NodeId id,
+                                           std::string_view name) const {
+  for (const Attribute& a : nodes_[id].attributes) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string Document::SimpleContent(NodeId id) const {
+  std::string out;
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
+    if (IsText(c)) out += text(c);
+  }
+  return out;
+}
+
+size_t Document::SubtreeSize(NodeId id) const {
+  size_t n = 1;
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
+    n += SubtreeSize(c);
+  }
+  return n;
+}
+
+bool Document::HasOnlyWhitespaceText(NodeId id) const {
+  for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
+    if (IsText(c) && !TrimWhitespace(text(c)).empty()) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> ElementChildren(const Document& doc, NodeId id) {
+  std::vector<NodeId> out;
+  ForEachElementChild(doc, id, [&](NodeId c) { out.push_back(c); });
+  return out;
+}
+
+std::vector<std::string_view> ChildLabelString(const Document& doc,
+                                               NodeId id) {
+  std::vector<std::string_view> out;
+  ForEachElementChild(doc, id,
+                      [&](NodeId c) { out.push_back(doc.label(c)); });
+  return out;
+}
+
+}  // namespace xmlreval::xml

@@ -1,0 +1,196 @@
+// Ordered labeled trees (the paper's document abstraction, Section 3).
+//
+// A Document owns its nodes in a contiguous arena; a NodeId is an index into
+// that arena. Nodes are linked first-child / last-child / next-sibling /
+// prev-sibling / parent, so all the traversals the validators need are O(1)
+// per step and structural edits are O(1) pointer splices. NodeIds remain
+// stable across edits (deleted nodes are tombstoned, never reused), which is
+// what lets the update log of Section 3.3 refer to nodes safely.
+//
+// Element nodes carry a label (tag) and attributes; text nodes carry
+// character data and correspond to the paper's chi-labeled leaves.
+
+#ifndef XMLREVAL_XML_TREE_H_
+#define XMLREVAL_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xmlreval::xml {
+
+/// Index of a node within its Document. kInvalidNode plays the role of null.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+enum class NodeKind : uint8_t {
+  kElement,
+  kText,
+};
+
+/// One attribute on an element node.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A mutable XML document: an ordered labeled tree plus attributes.
+class Document {
+ public:
+  Document() = default;
+
+  // Documents are heavyweight; move-only keeps accidental copies out of the
+  // validators' hot paths.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) noexcept = default;
+  Document& operator=(Document&&) noexcept = default;
+
+  /// Creates a detached element node with the given tag.
+  NodeId CreateElement(std::string_view label);
+
+  /// Creates a detached text node with the given character data.
+  NodeId CreateText(std::string_view text);
+
+  /// Sets the document root. The node must be a detached element.
+  Status SetRoot(NodeId node);
+
+  /// Appends `child` (detached) as the last child of `parent`.
+  Status AppendChild(NodeId parent, NodeId child);
+
+  /// Inserts `node` (detached) immediately before `reference`, which must
+  /// have a parent.
+  Status InsertBefore(NodeId reference, NodeId node);
+
+  /// Inserts `node` (detached) immediately after `reference`, which must
+  /// have a parent.
+  Status InsertAfter(NodeId reference, NodeId node);
+
+  /// Inserts `node` (detached) as the first child of `parent`.
+  Status InsertFirstChild(NodeId parent, NodeId node);
+
+  /// Detaches `node` from its parent and tombstones it. The node must be a
+  /// leaf (the paper's update model deletes leaves only; subtree deletion is
+  /// expressed as a bottom-up sequence of leaf deletions).
+  Status RemoveLeaf(NodeId node);
+
+  /// Replaces the label of an element node.
+  Status Rename(NodeId node, std::string_view new_label);
+
+  /// Replaces the character data of a text node.
+  Status SetText(NodeId node, std::string_view text);
+
+  // -- Accessors -----------------------------------------------------------
+
+  NodeId root() const { return root_; }
+  bool has_root() const { return root_ != kInvalidNode; }
+
+  bool IsValidId(NodeId id) const { return id < nodes_.size(); }
+  bool IsAlive(NodeId id) const { return IsValidId(id) && nodes_[id].alive; }
+
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  bool IsElement(NodeId id) const {
+    return nodes_[id].kind == NodeKind::kElement;
+  }
+  bool IsText(NodeId id) const { return nodes_[id].kind == NodeKind::kText; }
+
+  /// Tag of an element node, or empty for text nodes.
+  const std::string& label(NodeId id) const { return nodes_[id].label; }
+
+  /// Character data of a text node, or empty for elements.
+  const std::string& text(NodeId id) const { return nodes_[id].text; }
+
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId last_child(NodeId id) const { return nodes_[id].last_child; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+  NodeId prev_sibling(NodeId id) const { return nodes_[id].prev_sibling; }
+
+  bool HasChildren(NodeId id) const {
+    return nodes_[id].first_child != kInvalidNode;
+  }
+
+  /// Number of children of `id` (O(children)).
+  size_t CountChildren(NodeId id) const;
+
+  /// Children of `id` in document order (O(children), allocates).
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// Attributes of an element node.
+  const std::vector<Attribute>& attributes(NodeId id) const {
+    return nodes_[id].attributes;
+  }
+
+  /// Adds an attribute to an element node (no duplicate-name check; the
+  /// parser enforces uniqueness at parse time).
+  Status AddAttribute(NodeId id, std::string_view name, std::string_view value);
+
+  /// Value of the named attribute, or nullptr when absent.
+  const std::string* FindAttribute(NodeId id, std::string_view name) const;
+
+  /// Sets (adding or overwriting) an attribute on an element node.
+  Status SetAttribute(NodeId id, std::string_view name,
+                      std::string_view value);
+
+  /// Removes the named attribute; OK even when absent.
+  Status RemoveAttribute(NodeId id, std::string_view name);
+
+  /// Concatenation of the direct text children of `id`; the "simple value"
+  /// an element with simple type carries.
+  std::string SimpleContent(NodeId id) const;
+
+  /// Total nodes ever created (tombstones included).
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// Number of live nodes in the subtree rooted at `id` (O(subtree)).
+  size_t SubtreeSize(NodeId id) const;
+
+  /// True if all text children of `id` are whitespace-only. Used by the
+  /// validators to decide whether mixed text is ignorable.
+  bool HasOnlyWhitespaceText(NodeId id) const;
+
+ private:
+  struct Node {
+    NodeKind kind = NodeKind::kElement;
+    bool alive = true;
+    std::string label;  // element tag; empty for text nodes
+    std::string text;   // character data; empty for elements
+    NodeId parent = kInvalidNode;
+    NodeId first_child = kInvalidNode;
+    NodeId last_child = kInvalidNode;
+    NodeId next_sibling = kInvalidNode;
+    NodeId prev_sibling = kInvalidNode;
+    std::vector<Attribute> attributes;
+  };
+
+  Status CheckAttachable(NodeId node) const;
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+/// Iterates the element children of `id` (skipping text nodes), calling
+/// `fn(child)` in document order. Fn: void(NodeId).
+template <typename Fn>
+void ForEachElementChild(const Document& doc, NodeId id, Fn&& fn) {
+  for (NodeId c = doc.first_child(id); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (doc.IsElement(c)) fn(c);
+  }
+}
+
+/// Collects the element children of `id` in document order.
+std::vector<NodeId> ElementChildren(const Document& doc, NodeId id);
+
+/// The string of child element labels of `id` — the paper's
+/// `constructstring(children(e))` — in document order.
+std::vector<std::string_view> ChildLabelString(const Document& doc, NodeId id);
+
+}  // namespace xmlreval::xml
+
+#endif  // XMLREVAL_XML_TREE_H_

@@ -1,0 +1,197 @@
+// Tests for <xsd:all> — compiled to a subset (bitmask) DFA because all-
+// groups are not expressible as 1-unambiguous regular expressions.
+
+#include <gtest/gtest.h>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/relations.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlreval::core {
+namespace {
+
+using schema::Alphabet;
+using schema::Schema;
+
+constexpr const char* kAllXsd = R"(
+<schema>
+  <element name="config" type="Config"/>
+  <complexType name="Config">
+    <all>
+      <element name="host" type="string"/>
+      <element name="port" type="positiveInteger"/>
+      <element name="debug" type="boolean" minOccurs="0"/>
+    </all>
+  </complexType>
+</schema>)";
+
+Schema LoadOrDie(const char* xsd,
+                 const std::shared_ptr<Alphabet>& alphabet) {
+  auto parsed = schema::ParseXsd(xsd, alphabet);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(AllGroupTest, AcceptsEveryOrderingOfRequiredMembers) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Schema schema = LoadOrDie(kAllXsd, alphabet);
+  FullValidator validator(&schema);
+  for (const char* text : {
+           "<config><host>h</host><port>80</port></config>",
+           "<config><port>80</port><host>h</host></config>",
+           "<config><debug>true</debug><host>h</host><port>80</port>"
+           "</config>",
+           "<config><host>h</host><debug>false</debug><port>80</port>"
+           "</config>",
+           "<config><host>h</host><port>80</port><debug>1</debug></config>",
+       }) {
+    auto doc = xml::ParseXml(text);
+    ASSERT_TRUE(doc.ok());
+    ValidationReport report = validator.Validate(*doc);
+    EXPECT_TRUE(report.valid) << text << ": " << report.violation;
+  }
+}
+
+TEST(AllGroupTest, RejectsMissingDuplicateAndForeign) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Schema schema = LoadOrDie(kAllXsd, alphabet);
+  FullValidator validator(&schema);
+  for (const char* text : {
+           "<config><host>h</host></config>",                 // port missing
+           "<config/>",                                       // all missing
+           "<config><host>h</host><port>80</port><host>i</host>"
+           "</config>",                                       // duplicate
+           "<config><host>h</host><port>80</port><xx>1</xx></config>",
+       }) {
+    auto doc = xml::ParseXml(text);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_FALSE(validator.Validate(*doc).valid) << text;
+  }
+}
+
+TEST(AllGroupTest, OptionalGroupAcceptsEmpty) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Schema schema = LoadOrDie(R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <all minOccurs="0">
+          <element name="a" type="string"/>
+          <element name="b" type="string"/>
+        </all>
+      </complexType>
+    </schema>)",
+                            alphabet);
+  FullValidator validator(&schema);
+  auto empty = xml::ParseXml("<r/>");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(validator.Validate(*empty).valid);
+  // But a PARTIAL group is still invalid (all-or-nothing for required
+  // members once the group appears).
+  auto partial = xml::ParseXml("<r><a>x</a></r>");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(validator.Validate(*partial).valid);
+  auto both = xml::ParseXml("<r><b>y</b><a>x</a></r>");
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(validator.Validate(*both).valid);
+}
+
+TEST(AllGroupTest, ParticipatesInSubsumption) {
+  auto alphabet = std::make_shared<Alphabet>();
+  Schema source = LoadOrDie(kAllXsd, alphabet);
+  // Target: same group but debug REQUIRED — strictly smaller language.
+  Schema target = LoadOrDie(R"(
+    <schema>
+      <element name="config" type="Config"/>
+      <complexType name="Config">
+        <all>
+          <element name="host" type="string"/>
+          <element name="port" type="positiveInteger"/>
+          <element name="debug" type="boolean"/>
+        </all>
+      </complexType>
+    </schema>)",
+                            alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&source, &target));
+  schema::TypeId s = *source.FindType("Config");
+  schema::TypeId t = *target.FindType("Config");
+  EXPECT_FALSE(relations.Subsumed(s, t));
+  EXPECT_FALSE(relations.Disjoint(s, t));
+  ASSERT_OK_AND_ASSIGN(TypeRelations reverse,
+                       TypeRelations::Compute(&target, &source));
+  EXPECT_TRUE(reverse.Subsumed(t, s));  // required-debug ⊆ optional-debug
+
+  // Cast validation works across the pair.
+  CastValidator cast(&relations);
+  auto with_debug = xml::ParseXml(
+      "<config><debug>true</debug><host>h</host><port>1</port></config>");
+  ASSERT_TRUE(with_debug.ok());
+  EXPECT_TRUE(cast.Validate(*with_debug).valid);
+  auto without_debug =
+      xml::ParseXml("<config><host>h</host><port>1</port></config>");
+  ASSERT_TRUE(without_debug.ok());
+  EXPECT_FALSE(cast.Validate(*without_debug).valid);
+}
+
+TEST(AllGroupTest, AllVersusEquivalentSequence) {
+  // A one-member all-group equals the one-element sequence.
+  auto alphabet = std::make_shared<Alphabet>();
+  Schema all_schema = LoadOrDie(R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <all><element name="x" type="string"/></all>
+      </complexType>
+    </schema>)",
+                                alphabet);
+  Schema seq_schema = LoadOrDie(R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence><element name="x" type="string"/></sequence>
+      </complexType>
+    </schema>)",
+                                alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&all_schema, &seq_schema));
+  EXPECT_TRUE(relations.Subsumed(*all_schema.FindType("R"),
+                                 *seq_schema.FindType("R")));
+}
+
+TEST(AllGroupTest, MemberLimitsEnforced) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // 13 members: rejected.
+  std::string big = "<schema><element name=\"r\" type=\"R\"/>"
+                    "<complexType name=\"R\"><all>";
+  for (int i = 0; i < 13; ++i) {
+    big += "<element name=\"m" + std::to_string(i) + "\" type=\"string\"/>";
+  }
+  big += "</all></complexType></schema>";
+  Result<Schema> result = schema::ParseXsd(big, alphabet);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  // maxOccurs > 1 on a member: rejected.
+  EXPECT_FALSE(schema::ParseXsd(R"(
+    <schema><element name="r" type="R"/>
+      <complexType name="R"><all>
+        <element name="x" type="string" maxOccurs="2"/>
+      </all></complexType></schema>)",
+                                alphabet)
+                   .ok());
+  // Duplicate member: rejected.
+  EXPECT_FALSE(schema::ParseXsd(R"(
+    <schema><element name="r" type="R"/>
+      <complexType name="R"><all>
+        <element name="x" type="string"/>
+        <element name="x" type="string"/>
+      </all></complexType></schema>)",
+                                alphabet)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace xmlreval::core

@@ -1,0 +1,127 @@
+// Integration tests for the xmlreval CLI: spawn the real binary (path
+// injected by CMake) against files written to a temp directory and check
+// exit codes + output fragments.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef XMLREVAL_CLI_PATH
+#error "XMLREVAL_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "xmlreval_cli_" +
+           std::to_string(::getpid());
+    ASSERT_EQ(system(("mkdir -p " + dir_).c_str()), 0);
+    WriteFile("v1.dtd",
+              "<!ELEMENT note (to, from, body?)>\n"
+              "<!ELEMENT to (#PCDATA)><!ELEMENT from (#PCDATA)>\n"
+              "<!ELEMENT body (#PCDATA)>\n");
+    WriteFile("v2.dtd",
+              "<!ELEMENT note (to, from, body)>\n"
+              "<!ELEMENT to (#PCDATA)><!ELEMENT from (#PCDATA)>\n"
+              "<!ELEMENT body (#PCDATA)>\n");
+    WriteFile("ok.xml",
+              "<note><to>a</to><from>b</from><body>c</body></note>");
+    WriteFile("nobody.xml", "<note><to>a</to><from>b</from></note>");
+    WriteFile("broken.xml", "<note><to>a</to>");
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ + "/" + name);
+    out << content;
+  }
+
+  // Runs the CLI; returns the exit code (stdout/stderr to a capture file).
+  int Run(const std::string& args) {
+    std::string command = std::string(XMLREVAL_CLI_PATH) + " " + args +
+                          " > " + dir_ + "/out.txt 2>&1";
+    int status = system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  // Runs the CLI with stdout captured to `outfile` (stderr discarded).
+  int RunTo(const std::string& args, const std::string& outfile) {
+    std::string command = std::string(XMLREVAL_CLI_PATH) + " " + args +
+                          " > " + outfile + " 2> " + dir_ + "/err.txt";
+    int status = system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  std::string Output() {
+    std::ifstream in(dir_ + "/out.txt");
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string P(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(CliTest, ValidateValidAndInvalid) {
+  EXPECT_EQ(Run("validate " + P("v1.dtd") + " " + P("ok.xml")), 0);
+  EXPECT_NE(Output().find("VALID"), std::string::npos);
+  EXPECT_EQ(Run("validate " + P("v2.dtd") + " " + P("nobody.xml")), 1);
+  EXPECT_NE(Output().find("INVALID"), std::string::npos);
+}
+
+TEST_F(CliTest, CastChecksPreconditionThenTarget) {
+  EXPECT_EQ(Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " + P("ok.xml")),
+            0);
+  EXPECT_EQ(
+      Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " + P("nobody.xml")),
+      1);
+  // A document violating the SOURCE schema is a usage error (exit 2), not
+  // an "invalid" verdict.
+  WriteFile("alien.xml", "<other/>");
+  EXPECT_EQ(
+      Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " + P("alien.xml")),
+      2);
+}
+
+TEST_F(CliTest, CorrectWritesRepairedDocument) {
+  EXPECT_EQ(Run("correct " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("nobody.xml") + " -o " + P("fixed.xml")),
+            0);
+  EXPECT_NE(Output().find("1 repair(s)"), std::string::npos);
+  // The repaired document passes a v2 validate.
+  EXPECT_EQ(Run("validate " + P("v2.dtd") + " " + P("fixed.xml")), 0);
+}
+
+TEST_F(CliTest, SampleProducesValidDocument) {
+  EXPECT_EQ(RunTo("sample " + P("v2.dtd") + " --root note --seed 9",
+                  P("sampled.xml")),
+            0);
+  EXPECT_EQ(Run("validate " + P("v2.dtd") + " " + P("sampled.xml")), 0);
+}
+
+TEST_F(CliTest, RelationsDumpsPairs) {
+  EXPECT_EQ(Run("relations " + P("v1.dtd") + " " + P("v2.dtd")), 0);
+  std::string out = Output();
+  EXPECT_NE(out.find("<="), std::string::npos);
+}
+
+TEST_F(CliTest, ExportConvertsDtdToParseableXsd) {
+  EXPECT_EQ(RunTo("export " + P("v1.dtd"), P("v1.xsd")), 0);
+  // The exported XSD loads and validates the same documents.
+  EXPECT_EQ(Run("validate " + P("v1.xsd") + " " + P("ok.xml")), 0);
+  EXPECT_EQ(Run("validate " + P("v1.xsd") + " " + P("nobody.xml")), 0);
+}
+
+TEST_F(CliTest, ErrorsAreUsageExitCode) {
+  EXPECT_EQ(Run(""), 2);
+  EXPECT_EQ(Run("frobnicate x y"), 2);
+  EXPECT_EQ(Run("validate " + P("missing.dtd") + " " + P("ok.xml")), 2);
+  EXPECT_EQ(Run("validate " + P("v1.dtd") + " " + P("broken.xml")), 2);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "tests/test_util.h"
+
+namespace xmlreval {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "parse-error: bad token");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("type 'T'").WithContext("schema 'S'");
+  EXPECT_EQ(s.message(), "schema 'S': type 'T'");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Status().WithContext("x").ok());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::Internal("boom");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ASSIGN_OR_RETURN(int h, Half(x));
+  ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \r\n\t "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, XmlNames) {
+  EXPECT_TRUE(IsValidXmlName("purchaseOrder"));
+  EXPECT_TRUE(IsValidXmlName("_x-1.2"));
+  EXPECT_TRUE(IsValidXmlName("xsd:element"));
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1abc"));
+  EXPECT_FALSE(IsValidXmlName("a b"));
+}
+
+TEST(StringUtilTest, EscapeXmlText) {
+  EXPECT_EQ(EscapeXmlText("a<b&c>\"d'"),
+            "a&lt;b&amp;c&gt;&quot;d&apos;");
+  EXPECT_EQ(EscapeXmlText("plain"), "plain");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("  99 "), 99);
+  EXPECT_EQ(*ParseInt64("+7"), 7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDecimalScaled) {
+  constexpr int64_t kScale = 1000000000;
+  EXPECT_EQ(*ParseDecimalScaled("100"), 100 * kScale);
+  EXPECT_EQ(*ParseDecimalScaled("3.5"), 3 * kScale + kScale / 2);
+  EXPECT_EQ(*ParseDecimalScaled("-2.25"), -(2 * kScale + kScale / 4));
+  EXPECT_EQ(*ParseDecimalScaled(".5"), kScale / 2);
+  EXPECT_EQ(*ParseDecimalScaled("0.000000001"), 1);
+  EXPECT_FALSE(ParseDecimalScaled("").ok());
+  EXPECT_FALSE(ParseDecimalScaled(".").ok());
+  EXPECT_FALSE(ParseDecimalScaled("1.2.3").ok());
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+}  // namespace
+}  // namespace xmlreval

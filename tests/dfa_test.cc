@@ -1,0 +1,171 @@
+#include "automata/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/glushkov.h"
+#include "automata/regex_parser.h"
+#include "tests/test_util.h"
+
+namespace xmlreval::automata {
+namespace {
+
+using testutil::CompileOrDie;
+using testutil::ForAllWords;
+using testutil::Word;
+
+TEST(DfaTest, CompileRegexAcceptsExpectedWords) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,(b|c)*,d?)", &alphabet);
+  EXPECT_TRUE(dfa.Accepts(Word("a", &alphabet)));
+  EXPECT_TRUE(dfa.Accepts(Word("abcd", &alphabet)));
+  EXPECT_TRUE(dfa.Accepts(Word("abbbc", &alphabet)));
+  EXPECT_FALSE(dfa.Accepts(Word("ad" "d", &alphabet)));
+  EXPECT_FALSE(dfa.Accepts(Word("b", &alphabet)));
+  EXPECT_FALSE(dfa.Accepts({}));
+}
+
+TEST(DfaTest, CompleteOverTheAlphabet) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,b)", &alphabet);
+  alphabet.Intern("zzz");  // grows the alphabet AFTER compilation
+  // Every (state, symbol < dfa alphabet) transition is defined and lands
+  // inside the state set.
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      EXPECT_LT(dfa.Next(q, s), dfa.num_states());
+    }
+  }
+}
+
+TEST(DfaTest, MinimizeIsMinimalForKnownCase) {
+  // (a|b)*abb over {a,b}: the canonical minimal DFA has 4 states.
+  Alphabet alphabet;
+  auto parsed = ParseRegex("((a|b)*,a,b,b)", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  auto g = BuildGlushkov(*parsed, alphabet.size());
+  ASSERT_TRUE(g.ok());
+  Dfa dfa = DeterminizeNfa(g->nfa);
+  Dfa minimal = dfa.Minimize();
+  EXPECT_EQ(minimal.num_states(), 4u);
+}
+
+TEST(DfaTest, MinimizePreservesLanguage) {
+  Alphabet alphabet;
+  auto parsed = ParseRegex("((a,b)|(a,c))*", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  auto g = BuildGlushkov(*parsed, alphabet.size());
+  ASSERT_TRUE(g.ok());
+  Dfa big = DeterminizeNfa(g->nfa);
+  Dfa small = big.Minimize();
+  EXPECT_LE(small.num_states(), big.num_states());
+  ForAllWords(alphabet.size(), 5, [&](const std::vector<Symbol>& word) {
+    EXPECT_EQ(big.Accepts(word), small.Accepts(word));
+  });
+}
+
+TEST(DfaTest, EmptyAndUniversalLanguages) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  Dfa empty = CompileOrDie("(a)", &alphabet);
+  EXPECT_FALSE(empty.IsEmptyLanguage());
+  EXPECT_FALSE(empty.IsUniversalLanguage());
+
+  // Universal: a* over a 1-symbol alphabet.
+  Dfa universal = CompileOrDie("a*", &alphabet);
+  EXPECT_TRUE(universal.IsUniversalLanguage());
+  EXPECT_FALSE(universal.IsEmptyLanguage());
+}
+
+TEST(DfaTest, CoDeadStates) {
+  // In "(a,b)", after a stray second 'a' the DFA is stuck forever.
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,b)", &alphabet);
+  std::vector<bool> dead = dfa.CoDeadStates();
+  StateId stuck = dfa.Run(Word("aa", &alphabet));
+  EXPECT_TRUE(dead[stuck]);
+  EXPECT_FALSE(dead[dfa.start_state()]);
+  EXPECT_FALSE(dead[dfa.Run(Word("ab", &alphabet))]);
+}
+
+TEST(DfaTest, UniversalStates) {
+  // In "(a,b,(a|b)*)" the state after "ab" accepts everything.
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,b,(a|b)*)", &alphabet);
+  std::vector<bool> universal = dfa.UniversalStates();
+  EXPECT_TRUE(universal[dfa.Run(Word("ab", &alphabet))]);
+  EXPECT_FALSE(universal[dfa.start_state()]);
+  EXPECT_FALSE(universal[dfa.Run(Word("a", &alphabet))]);
+}
+
+TEST(DfaTest, ReverseRecognizesReversedLanguage) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,b,c?)", &alphabet);
+  Dfa reversed = DeterminizeNfa(dfa.Reverse()).Minimize();
+  ForAllWords(alphabet.size(), 4, [&](const std::vector<Symbol>& word) {
+    std::vector<Symbol> back(word.rbegin(), word.rend());
+    EXPECT_EQ(dfa.Accepts(word), reversed.Accepts(back));
+  });
+}
+
+TEST(DfaTest, PaddedToPreservesLanguageAndRejectsNewSymbols) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,b)", &alphabet);
+  size_t old_size = dfa.alphabet_size();
+  Symbol fresh = alphabet.Intern("fresh");
+  Dfa padded = dfa.PaddedTo(alphabet.size());
+  EXPECT_EQ(padded.alphabet_size(), alphabet.size());
+  EXPECT_TRUE(padded.Accepts(Word("ab", &alphabet)));
+  EXPECT_FALSE(padded.Accepts(Word("a", &alphabet)));
+  std::vector<Symbol> only_fresh{fresh};
+  EXPECT_FALSE(padded.Accepts(only_fresh));
+  std::vector<Symbol> mixed = Word("ab", &alphabet);
+  mixed.push_back(fresh);
+  EXPECT_FALSE(padded.Accepts(mixed));
+  EXPECT_GE(padded.alphabet_size(), old_size);
+}
+
+TEST(DfaTest, CompileRejectsAmbiguousWhenRequired) {
+  Alphabet alphabet;
+  auto parsed = ParseRegex("((a|b)*,a)", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Result<Dfa> strict =
+      CompileRegex(*parsed, alphabet.size(), /*require_deterministic=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidSchema);
+  // Non-strict compilation still yields the right language.
+  Result<Dfa> lax = CompileRegex(*parsed, alphabet.size());
+  ASSERT_TRUE(lax.ok());
+  EXPECT_TRUE(lax->Accepts(Word("ba" , &alphabet)));
+  EXPECT_FALSE(lax->Accepts(Word("ab", &alphabet)));
+}
+
+// Property sweep: minimization must preserve the language for a batch of
+// structurally diverse expressions.
+class MinimizeProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MinimizeProperty, LanguagePreserved) {
+  Alphabet alphabet;
+  auto parsed = ParseRegex(GetParam(), &alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto expanded = ExpandRepeats(*parsed);
+  ASSERT_TRUE(expanded.ok());
+  auto g = BuildGlushkov(*expanded, alphabet.size());
+  ASSERT_TRUE(g.ok());
+  Dfa big = DeterminizeNfa(g->nfa);
+  Dfa small = big.Minimize();
+  ForAllWords(alphabet.size(), 5, [&](const std::vector<Symbol>& word) {
+    ASSERT_EQ(big.Accepts(word), small.Accepts(word));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, MinimizeProperty,
+    ::testing::Values("a", "(a,b,c)", "(a|b|c)", "(a,b)*", "(a?,b)",
+                      "((a,b)|(a,c))", "((a|b),(a|b),(a|b))", "(a,b?,c*)",
+                      "(a+,b+)", "a{2,4}", "(a,(b,c){0,2})", "((a,b)+|c)",
+                      "((a|b)*,c)", "(a*,b*)", "((a,a)|(b,b))*"));
+
+}  // namespace
+}  // namespace xmlreval::automata

@@ -1,0 +1,179 @@
+#include "core/dtd_index_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/full_validator.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "workload/random_docs.h"
+#include "xml/parser.h"
+
+namespace xmlreval::core {
+namespace {
+
+using schema::Alphabet;
+using schema::ParseDtd;
+
+struct Fixture {
+  std::shared_ptr<Alphabet> alphabet = std::make_shared<Alphabet>();
+  std::unique_ptr<Schema> source;
+  std::unique_ptr<Schema> target;
+  std::unique_ptr<TypeRelations> relations;
+
+  void Load(const char* source_dtd, const char* target_dtd) {
+    auto s = ParseDtd(source_dtd, alphabet);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    source = std::make_unique<Schema>(std::move(s).value());
+    auto t = ParseDtd(target_dtd, alphabet);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    target = std::make_unique<Schema>(std::move(t).value());
+    auto r = TypeRelations::Compute(source.get(), target.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    relations = std::make_unique<TypeRelations>(std::move(r).value());
+  }
+};
+
+TEST(DtdIndexValidatorTest, PurchaseOrderCast) {
+  Fixture f;
+  f.Load(workload::kSourceDtd, workload::kPurchaseOrderDtd);
+  ASSERT_OK_AND_ASSIGN(DtdIndexValidator validator,
+                       DtdIndexValidator::Create(f.relations.get()));
+  // Only purchaseOrder's content differs (billTo? vs billTo).
+  std::vector<std::string> checked = validator.CheckedLabels();
+  ASSERT_EQ(checked.size(), 1u);
+  EXPECT_EQ(checked[0], "purchaseOrder");
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 30;
+  xml::Document with_bill = workload::GeneratePurchaseOrder(options);
+  xml::LabelIndex index = xml::LabelIndex::Build(with_bill);
+  ValidationReport r = validator.Validate(with_bill, index);
+  EXPECT_TRUE(r.valid) << r.violation;
+  // One instance of purchaseOrder checked — nothing else visited.
+  EXPECT_EQ(r.counters.elements_visited, 1u);
+
+  options.include_bill_to = false;
+  xml::Document without_bill = workload::GeneratePurchaseOrder(options);
+  xml::LabelIndex index2 = xml::LabelIndex::Build(without_bill);
+  ValidationReport r2 = validator.Validate(without_bill, index2);
+  EXPECT_FALSE(r2.valid);
+}
+
+TEST(DtdIndexValidatorTest, DisjointLabelRejectsViaIndex) {
+  Fixture f;
+  f.Load("<!ELEMENT r (x*)><!ELEMENT x (a)><!ELEMENT a EMPTY>"
+         "<!ELEMENT b EMPTY>",
+         "<!ELEMENT r (x*)><!ELEMENT x (b)><!ELEMENT a EMPTY>"
+         "<!ELEMENT b EMPTY>");
+  ASSERT_OK_AND_ASSIGN(DtdIndexValidator validator,
+                       DtdIndexValidator::Create(f.relations.get()));
+  auto doc = xml::ParseXml("<r><x><a/></x></r>");
+  ASSERT_TRUE(doc.ok());
+  xml::LabelIndex index = xml::LabelIndex::Build(*doc);
+  ValidationReport r = validator.Validate(*doc, index);
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.counters.disjoint_rejects, 1u);
+  // An r with no x children has no disjoint-label instances: valid.
+  auto empty = xml::ParseXml("<r/>");
+  ASSERT_TRUE(empty.ok());
+  xml::LabelIndex empty_index = xml::LabelIndex::Build(*empty);
+  EXPECT_TRUE(validator.Validate(*empty, empty_index).valid);
+}
+
+TEST(DtdIndexValidatorTest, RejectsNonDtdSchemas) {
+  // XSD where 'v' has different types under different parents.
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="x" type="X"/>
+        <element name="y" type="Y"/>
+      </sequence></complexType>
+      <complexType name="X"><sequence>
+        <element name="v" type="integer"/>
+      </sequence></complexType>
+      <complexType name="Y"><sequence>
+        <element name="v" type="string"/>
+      </sequence></complexType>
+    </schema>)";
+  auto s = schema::ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Schema source = std::move(s).value();
+  auto t = schema::ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(t.ok());
+  Schema target = std::move(t).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&source, &target));
+  Result<DtdIndexValidator> validator = DtdIndexValidator::Create(&relations);
+  ASSERT_FALSE(validator.ok());
+  EXPECT_EQ(validator.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DtdIndexValidatorTest, AgreesWithFullValidation) {
+  Fixture f;
+  f.Load("<!ELEMENT r (rec*)><!ELEMENT rec (k, v?)>"
+         "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+         "<!ELEMENT r (rec*)><!ELEMENT rec (k, v)>"
+         "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>");
+  ASSERT_OK_AND_ASSIGN(DtdIndexValidator validator,
+                       DtdIndexValidator::Create(f.relations.get()));
+  FullValidator full(f.target.get());
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    workload::RandomDocOptions options;
+    options.seed = seed;
+    options.root_label = "r";
+    options.max_elements = 25;
+    auto doc = workload::SampleDocument(*f.source, options);
+    ASSERT_TRUE(doc.ok());
+    xml::LabelIndex index = xml::LabelIndex::Build(*doc);
+    EXPECT_EQ(validator.Validate(*doc, index).valid,
+              full.Validate(*doc).valid)
+        << "seed=" << seed;
+  }
+}
+
+TEST(DtdIndexValidatorTest, ChecksSimpleTypesWhenTheyDiffer) {
+  // With DTDs all leaves are strings, so craft DTD-like XSDs instead:
+  // every label has one type, but quantity's facet differs.
+  auto alphabet = std::make_shared<Alphabet>();
+  auto s = schema::ParseXsd(workload::kRelaxedQuantityXsd, alphabet);
+  ASSERT_TRUE(s.ok());
+  Schema source = std::move(s).value();
+  auto t = schema::ParseXsd(workload::kTargetXsd, alphabet);
+  ASSERT_TRUE(t.ok());
+  Schema target = std::move(t).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&source, &target));
+  ASSERT_OK_AND_ASSIGN(DtdIndexValidator validator,
+                       DtdIndexValidator::Create(&relations));
+  // Non-subsumption propagates from quantity up its ancestor chain
+  // (Definition 4's refinement), so the checked set is exactly
+  // {purchaseOrder, items, item, quantity} — the spine to the difference.
+  std::vector<std::string> checked = validator.CheckedLabels();
+  std::sort(checked.begin(), checked.end());
+  EXPECT_EQ(checked, (std::vector<std::string>{"item", "items",
+                                               "purchaseOrder", "quantity"}));
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 40;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  xml::LabelIndex index = xml::LabelIndex::Build(doc);
+  ValidationReport r = validator.Validate(doc, index);
+  EXPECT_TRUE(r.valid) << r.violation;
+  EXPECT_EQ(r.counters.simple_checks, 40u);
+
+  options.quantity_min = 120;
+  options.quantity_max = 190;
+  xml::Document bad = workload::GeneratePurchaseOrder(options);
+  xml::LabelIndex bad_index = xml::LabelIndex::Build(bad);
+  EXPECT_FALSE(validator.Validate(bad, bad_index).valid);
+}
+
+}  // namespace
+}  // namespace xmlreval::core

@@ -1,0 +1,124 @@
+#include "schema/dtd_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::schema {
+namespace {
+
+TEST(DtdParserTest, ParsesPurchaseOrderDtd) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema, ParseDtd(workload::kPurchaseOrderDtd, alphabet));
+  ASSERT_TRUE(schema.FindType("purchaseOrder").has_value());
+  TypeId po = *schema.FindType("purchaseOrder");
+  EXPECT_TRUE(schema.IsComplex(po));
+  TypeId quantity = *schema.FindType("quantity");
+  EXPECT_TRUE(schema.IsSimple(quantity));
+  // DTD property: the type of 'item' under items is the 'item' type.
+  TypeId items = *schema.FindType("items");
+  EXPECT_EQ(schema.ChildType(items, *alphabet->Find("item")),
+            *schema.FindType("item"));
+}
+
+TEST(DtdParserTest, ContentModelSemantics) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      ParseDtd("<!ELEMENT r (a, b?, (c | d)+)>"
+               "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+               "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
+               alphabet));
+  const automata::Dfa& dfa = schema.ContentDfa(*schema.FindType("r"));
+  auto word = [&](std::initializer_list<const char*> labels) {
+    std::vector<automata::Symbol> out;
+    for (const char* l : labels) out.push_back(*alphabet->Find(l));
+    return out;
+  };
+  EXPECT_TRUE(dfa.Accepts(word({"a", "b", "c"})));
+  EXPECT_TRUE(dfa.Accepts(word({"a", "c", "d", "c"})));
+  EXPECT_FALSE(dfa.Accepts(word({"a", "b"})));
+  EXPECT_FALSE(dfa.Accepts(word({"b", "c"})));
+}
+
+TEST(DtdParserTest, EmptyAndAny) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      ParseDtd("<!ELEMENT e EMPTY><!ELEMENT any ANY><!ELEMENT t (#PCDATA)>",
+               alphabet));
+  const automata::Dfa& empty_dfa = schema.ContentDfa(*schema.FindType("e"));
+  EXPECT_TRUE(empty_dfa.AcceptsEmpty());
+  std::vector<automata::Symbol> t{*alphabet->Find("t")};
+  EXPECT_FALSE(empty_dfa.Accepts(t));
+  // ANY accepts any sequence of declared elements.
+  const automata::Dfa& any_dfa = schema.ContentDfa(*schema.FindType("any"));
+  EXPECT_TRUE(any_dfa.AcceptsEmpty());
+  std::vector<automata::Symbol> te{*alphabet->Find("t"), *alphabet->Find("e")};
+  EXPECT_TRUE(any_dfa.Accepts(te));
+}
+
+TEST(DtdParserTest, SkipsAttlistAndComments) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      ParseDtd("<!-- a comment -->"
+               "<!ELEMENT note (#PCDATA)>"
+               "<!ATTLIST note id CDATA #REQUIRED lang (en|fr) \"en\">"
+               "<!NOTATION gif SYSTEM \"image/gif\">",
+               alphabet));
+  EXPECT_TRUE(schema.FindType("note").has_value());
+}
+
+TEST(DtdParserTest, ExplicitRoots) {
+  auto alphabet = std::make_shared<Alphabet>();
+  DtdParseOptions options;
+  options.roots = {"r"};
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      ParseDtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>", alphabet, options));
+  EXPECT_NE(schema.RootType(*alphabet->Find("r")), kInvalidType);
+  EXPECT_EQ(schema.RootType(*alphabet->Find("a")), kInvalidType);
+}
+
+TEST(DtdParserTest, Errors) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // Undeclared reference.
+  EXPECT_FALSE(ParseDtd("<!ELEMENT r (ghost)>", alphabet).ok());
+  // Duplicate declaration.
+  EXPECT_FALSE(
+      ParseDtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>", alphabet).ok());
+  // Mixed content is unsupported.
+  Result<Schema> mixed =
+      ParseDtd("<!ELEMENT m (#PCDATA | a)*><!ELEMENT a EMPTY>", alphabet);
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kUnsupported);
+  // Entities unsupported.
+  EXPECT_EQ(ParseDtd("<!ENTITY x \"y\">", alphabet).status().code(),
+            StatusCode::kUnsupported);
+  // Empty DTD.
+  EXPECT_FALSE(ParseDtd("", alphabet).ok());
+  // Unknown root requested.
+  DtdParseOptions options;
+  options.roots = {"zzz"};
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a EMPTY>", alphabet, options).ok());
+  // Garbage.
+  EXPECT_FALSE(ParseDtd("<!WHAT a>", alphabet).ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT r (a", alphabet).ok());
+}
+
+TEST(DtdParserTest, SharedAlphabetAcrossTwoDtds) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(Schema source,
+                       ParseDtd(workload::kSourceDtd, alphabet));
+  ASSERT_OK_AND_ASSIGN(Schema target,
+                       ParseDtd(workload::kPurchaseOrderDtd, alphabet));
+  // Both schemas resolve 'item' to the same symbol.
+  EXPECT_EQ(source.alphabet().get(), target.alphabet().get());
+  EXPECT_TRUE(alphabet->Find("item").has_value());
+}
+
+}  // namespace
+}  // namespace xmlreval::schema

@@ -1,0 +1,216 @@
+// Cross-cutting edge cases that don't belong to a single module suite:
+// degenerate automata, boundary character references, root renames, empty
+// documents and empty content models, and other corners the main suites
+// pass through only incidentally.
+
+#include <gtest/gtest.h>
+
+#include "automata/immediate.h"
+#include "core/full_validator.h"
+#include "core/mod_validator.h"
+#include "core/relations.h"
+#include "core/string_revalidator.h"
+#include "schema/dtd_parser.h"
+#include "tests/test_util.h"
+#include "workload/random_docs.h"
+#include "xml/editor.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlreval {
+namespace {
+
+using automata::Alphabet;
+using automata::Dfa;
+using automata::ImmediateDfa;
+using automata::StateClass;
+using automata::Symbol;
+using testutil::CompileOrDie;
+using testutil::Word;
+
+TEST(DegenerateAutomataTest, EmptySetLanguage) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  auto dfa = automata::CompileRegex(automata::Regex::EmptySet(),
+                                    alphabet.size());
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_TRUE(dfa->IsEmptyLanguage());
+  EXPECT_FALSE(dfa->AcceptsEmpty());
+  // Its immediate automaton rejects instantly from the start state.
+  ImmediateDfa immed = ImmediateDfa::FromSingle(*dfa);
+  EXPECT_EQ(immed.Class(dfa->start_state()), StateClass::kImmediateReject);
+  automata::ImmediateRunResult run = immed.Run(Word("a", &alphabet));
+  EXPECT_EQ(run.symbols_scanned, 0u);
+  EXPECT_TRUE(run.decided_early);
+}
+
+TEST(DegenerateAutomataTest, EpsilonOnlyLanguage) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  auto dfa = automata::CompileRegex(automata::Regex::Epsilon(),
+                                    alphabet.size());
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_TRUE(dfa->AcceptsEmpty());
+  EXPECT_FALSE(dfa->Accepts(Word("a", &alphabet)));
+  EXPECT_EQ(dfa->Minimize().num_states(), 2u);  // accept + sink
+}
+
+TEST(DegenerateAutomataTest, SingleSymbolAlphabetRevalidation) {
+  Alphabet alphabet;
+  Dfa even = CompileOrDie("(a,a)*", &alphabet);
+  Dfa all = CompileOrDie("a*", &alphabet);
+  ASSERT_OK_AND_ASSIGN(core::StringRevalidator reval,
+                       core::StringRevalidator::Create(even, all));
+  // even ⊆ all: immediate accept before any symbol.
+  core::RevalidationResult r = reval.Revalidate(Word("aaaa", &alphabet));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.symbols_scanned, 0u);
+  // The opposite direction must scan (parity undecidable early).
+  ASSERT_OK_AND_ASSIGN(core::StringRevalidator other,
+                       core::StringRevalidator::Create(all, even));
+  core::RevalidationResult r2 = other.Revalidate(Word("aaa", &alphabet));
+  EXPECT_FALSE(r2.accepted);
+  EXPECT_EQ(r2.symbols_scanned, 3u);  // must read to the end
+}
+
+TEST(ParserBoundaryTest, CharacterReferenceLimits) {
+  // U+10FFFF is the last legal code point.
+  ASSERT_OK_AND_ASSIGN(xml::Document doc,
+                       xml::ParseXml("<e>&#x10FFFF;</e>"));
+  EXPECT_EQ(doc.SimpleContent(doc.root()).size(), 4u);  // 4-byte UTF-8
+  EXPECT_FALSE(xml::ParseXml("<e>&#x110000;</e>").ok());
+  EXPECT_FALSE(xml::ParseXml("<e>&#;</e>").ok());
+  EXPECT_FALSE(xml::ParseXml("<e>&#xZZ;</e>").ok());
+}
+
+TEST(ParserBoundaryTest, LargeAttributeValue) {
+  std::string big(100000, 'v');
+  ASSERT_OK_AND_ASSIGN(xml::Document doc,
+                       xml::ParseXml("<e a=\"" + big + "\"/>"));
+  EXPECT_EQ(doc.FindAttribute(doc.root(), "a")->size(), big.size());
+}
+
+TEST(ParserBoundaryTest, WhitespaceOnlyDocumentContent) {
+  ASSERT_OK_AND_ASSIGN(xml::Document doc, xml::ParseXml("  \n <e/> \n "));
+  EXPECT_EQ(doc.label(doc.root()), "e");
+}
+
+struct Fixture {
+  std::shared_ptr<Alphabet> alphabet = std::make_shared<Alphabet>();
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::unique_ptr<core::TypeRelations> relations;
+
+  void Load(const char* source_dtd, const char* target_dtd) {
+    auto s = schema::ParseDtd(source_dtd, alphabet);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    source = std::make_unique<schema::Schema>(std::move(s).value());
+    auto t = schema::ParseDtd(target_dtd, alphabet);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    target = std::make_unique<schema::Schema>(std::move(t).value());
+    auto r = core::TypeRelations::Compute(source.get(), target.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    relations = std::make_unique<core::TypeRelations>(std::move(r).value());
+  }
+};
+
+TEST(ModValidatorEdgeTest, RootRenameResolvesTargetByNewLabel) {
+  Fixture f;
+  f.Load("<!ELEMENT old (a)><!ELEMENT new (a)><!ELEMENT a EMPTY>",
+         "<!ELEMENT old (a)><!ELEMENT new (a)><!ELEMENT a EMPTY>");
+  auto doc = xml::ParseXml("<old><a/></old>");
+  ASSERT_TRUE(doc.ok());
+  xml::DocumentEditor editor(&*doc);
+  ASSERT_OK(editor.RenameElement(doc->root(), "new"));
+  xml::ModificationIndex mods = editor.Seal();
+  core::ModValidator validator(f.relations.get());
+  core::ValidationReport report = validator.Validate(*doc, mods);
+  EXPECT_TRUE(report.valid) << report.violation;
+}
+
+TEST(ModValidatorEdgeTest, RootRenameToUndeclaredLabelFails) {
+  Fixture f;
+  f.Load("<!ELEMENT old (a)><!ELEMENT a EMPTY>",
+         "<!ELEMENT old (a)><!ELEMENT a EMPTY>");
+  auto doc = xml::ParseXml("<old><a/></old>");
+  ASSERT_TRUE(doc.ok());
+  xml::DocumentEditor editor(&*doc);
+  ASSERT_OK(editor.RenameElement(doc->root(), "nothere"));
+  xml::ModificationIndex mods = editor.Seal();
+  core::ModValidator validator(f.relations.get());
+  core::ValidationReport report = validator.Validate(*doc, mods);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.violation.find("target"), std::string::npos);
+}
+
+TEST(ModValidatorEdgeTest, DeleteEverythingUnderOptionalParent) {
+  Fixture f;
+  f.Load("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>",
+         "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>");
+  auto doc = xml::ParseXml("<r><a>1</a><a>2</a></r>");
+  ASSERT_TRUE(doc.ok());
+  xml::DocumentEditor editor(&*doc);
+  for (xml::NodeId a : xml::ElementChildren(*doc, doc->root())) {
+    ASSERT_OK(editor.DeleteLeaf(doc->first_child(a)));  // the text
+    ASSERT_OK(editor.DeleteLeaf(a));
+  }
+  xml::ModificationIndex mods = editor.Seal();
+  core::ModValidator validator(f.relations.get());
+  EXPECT_TRUE(validator.Validate(*doc, mods).valid);
+  ASSERT_OK(editor.Commit());
+  EXPECT_FALSE(doc->HasChildren(doc->root()));
+}
+
+TEST(RelationsEdgeTest, EmptyContentModelsCompareCorrectly) {
+  Fixture f;
+  f.Load("<!ELEMENT r EMPTY>", "<!ELEMENT r EMPTY>");
+  EXPECT_TRUE(f.relations->Subsumed(*f.source->FindType("r"),
+                                    *f.target->FindType("r")));
+  Fixture g;
+  g.Load("<!ELEMENT r EMPTY><!ELEMENT a EMPTY>",
+         "<!ELEMENT r (a)><!ELEMENT a EMPTY>");
+  // ε-only vs exactly-one-a: disjoint.
+  EXPECT_TRUE(g.relations->Disjoint(*g.source->FindType("r"),
+                                    *g.target->FindType("r")));
+}
+
+TEST(SerializerEdgeTest, RoundTripPreservesAttributes) {
+  ASSERT_OK_AND_ASSIGN(
+      xml::Document doc,
+      xml::ParseXml("<r id=\"1\" note=\"a&amp;b\"><c x=\"'\"/></r>"));
+  std::string text = xml::Serialize(doc);
+  ASSERT_OK_AND_ASSIGN(xml::Document again, xml::ParseXml(text));
+  EXPECT_EQ(*again.FindAttribute(again.root(), "note"), "a&b");
+  auto kids = xml::ElementChildren(again, again.root());
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(*again.FindAttribute(kids[0], "x"), "'");
+}
+
+TEST(RandomDocEdgeTest, DefaultRootPickIsDeterministic) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = schema::ParseDtd(
+      "<!ELEMENT zebra EMPTY><!ELEMENT aardvark EMPTY>", alphabet);
+  ASSERT_TRUE(parsed.ok());
+  schema::Schema schema = std::move(parsed).value();
+  workload::RandomDocOptions options;  // no root_label
+  auto doc = workload::SampleDocument(schema, options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->label(doc->root()), "aardvark");  // lexicographically first
+}
+
+TEST(AlphabetEdgeTest, HeterogeneousLookupAndGrowth) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("alpha");
+  EXPECT_EQ(alphabet.Intern("alpha"), a);  // stable
+  std::string_view view("alphabet");
+  EXPECT_FALSE(alphabet.Find(view.substr(0, 5)).has_value() &&
+               alphabet.Find(view.substr(0, 5)) != a);
+  EXPECT_EQ(*alphabet.Find(view.substr(0, 5)), a);
+  EXPECT_EQ(alphabet.Name(a), "alpha");
+  // Growth keeps earlier ids valid.
+  for (int i = 0; i < 1000; ++i) alphabet.Intern("s" + std::to_string(i));
+  EXPECT_EQ(*alphabet.Find("alpha"), a);
+}
+
+}  // namespace
+}  // namespace xmlreval

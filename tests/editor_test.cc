@@ -1,0 +1,169 @@
+#include "xml/editor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlreval::xml {
+namespace {
+
+SerializeOptions Compact() {
+  SerializeOptions options;
+  options.pretty = false;
+  options.xml_declaration = false;
+  return options;
+}
+
+TEST(EditorTest, RenameRecordsOldLabel) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.RenameElement(a, "b"));
+  EXPECT_EQ(doc.label(a), "b");
+  ModificationIndex mods = editor.Seal();
+  EXPECT_EQ(mods.Kind(a), DeltaKind::kRenamed);
+  EXPECT_EQ(*mods.OldLabel(doc, a), "a");
+  EXPECT_EQ(*mods.NewLabel(doc, a), "b");
+  EXPECT_EQ(mods.update_count(), 1u);
+}
+
+TEST(EditorTest, DoubleRenameKeepsOriginalOldLabel) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.RenameElement(a, "b"));
+  ASSERT_OK(editor.RenameElement(a, "c"));
+  ModificationIndex mods = editor.Seal();
+  EXPECT_EQ(*mods.OldLabel(doc, a), "a");
+  EXPECT_EQ(*mods.NewLabel(doc, a), "c");
+}
+
+TEST(EditorTest, InsertedNodeHasNoOldLabel) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK_AND_ASSIGN(NodeId fresh, editor.InsertElementAfter(a, "x"));
+  ModificationIndex mods = editor.Seal();
+  EXPECT_EQ(mods.Kind(fresh), DeltaKind::kInserted);
+  EXPECT_FALSE(mods.OldLabel(doc, fresh).has_value());
+  EXPECT_EQ(*mods.NewLabel(doc, fresh), "x");
+}
+
+TEST(EditorTest, DeletedNodeStaysLinkedUntilCommit) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/><b/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.DeleteLeaf(a));
+  // Still physically present (the Δ^a_ε encoding).
+  EXPECT_EQ(doc.CountChildren(doc.root()), 2u);
+  ModificationIndex mods = editor.Seal();
+  EXPECT_TRUE(mods.IsDeleted(a));
+  EXPECT_EQ(*mods.OldLabel(doc, a), "a");
+  EXPECT_FALSE(mods.NewLabel(doc, a).has_value());
+  ASSERT_OK(editor.Commit());
+  EXPECT_EQ(Serialize(doc, Compact()), "<r><b/></r>");
+}
+
+TEST(EditorTest, DeleteRequiresEffectiveLeaf) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a><b/></a></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  NodeId b = ElementChildren(doc, a)[0];
+  DocumentEditor editor(&doc);
+  EXPECT_EQ(editor.DeleteLeaf(a).code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(editor.DeleteLeaf(b));
+  // After deleting b, a is an EFFECTIVE leaf even though b is still linked.
+  ASSERT_OK(editor.DeleteLeaf(a));
+  editor.Seal();
+  ASSERT_OK(editor.Commit());
+  EXPECT_EQ(Serialize(doc, Compact()), "<r/>");
+}
+
+TEST(EditorTest, CannotDeleteRoot) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r/>"));
+  DocumentEditor editor(&doc);
+  EXPECT_FALSE(editor.DeleteLeaf(doc.root()).ok());
+}
+
+TEST(EditorTest, InsertThenDeleteNeverExisted) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK_AND_ASSIGN(NodeId fresh, editor.InsertElementBefore(a, "x"));
+  ASSERT_OK(editor.DeleteLeaf(fresh));
+  ModificationIndex mods = editor.Seal();
+  // Absent from BOTH projections.
+  EXPECT_FALSE(mods.OldLabel(doc, fresh).has_value());
+  EXPECT_FALSE(mods.NewLabel(doc, fresh).has_value());
+  ASSERT_OK(editor.Commit());
+  EXPECT_EQ(Serialize(doc, Compact()), "<r><a/></r>");
+}
+
+TEST(EditorTest, RenameThenDeleteKeepsOriginalLabel) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.RenameElement(a, "b"));
+  ASSERT_OK(editor.DeleteLeaf(a));
+  ModificationIndex mods = editor.Seal();
+  EXPECT_EQ(*mods.OldLabel(doc, a), "a");  // label in T, pre-rename
+  EXPECT_FALSE(mods.NewLabel(doc, a).has_value());
+}
+
+TEST(EditorTest, UpdateTextMarksNode) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><q>5</q></r>"));
+  NodeId q = ElementChildren(doc, doc.root())[0];
+  NodeId text = doc.first_child(q);
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.UpdateText(text, "150"));
+  EXPECT_EQ(doc.text(text), "150");
+  ModificationIndex mods = editor.Seal();
+  EXPECT_EQ(mods.Kind(text), DeltaKind::kTextEdited);
+  EXPECT_TRUE(mods.SubtreeModified(DeweyPath::Of(doc, q)));
+}
+
+TEST(EditorTest, SealBuildsTrieOverTouchedPaths) {
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       ParseXml("<r><a><x/></a><b><y/></b></r>"));
+  auto kids = ElementChildren(doc, doc.root());
+  NodeId y = ElementChildren(doc, kids[1])[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.RenameElement(y, "z"));
+  ModificationIndex mods = editor.Seal();
+  EXPECT_TRUE(mods.SubtreeModified(DeweyPath()));            // root
+  EXPECT_TRUE(mods.SubtreeModified(DeweyPath::Of(doc, kids[1])));
+  EXPECT_TRUE(mods.SubtreeModified(DeweyPath::Of(doc, y)));
+  EXPECT_FALSE(mods.SubtreeModified(DeweyPath::Of(doc, kids[0])));
+}
+
+TEST(EditorTest, OperationsRejectedAfterSeal) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  editor.Seal();
+  EXPECT_EQ(editor.RenameElement(a, "b").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(editor.InsertElementAfter(a, "x").ok());
+  EXPECT_FALSE(editor.DeleteLeaf(a).ok());
+}
+
+TEST(EditorTest, CommitRequiresSeal) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r/>"));
+  DocumentEditor editor(&doc);
+  EXPECT_EQ(editor.Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EditorTest, TextInsertions) {
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  DocumentEditor editor(&doc);
+  ASSERT_OK_AND_ASSIGN(NodeId t, editor.InsertTextFirstChild(a, "42"));
+  ModificationIndex mods = editor.Seal();
+  EXPECT_TRUE(mods.IsInserted(t));
+  ASSERT_OK(editor.Commit());
+  EXPECT_EQ(Serialize(doc, Compact()), "<r><a>42</a></r>");
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

@@ -1,0 +1,133 @@
+#include "automata/glushkov.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/regex_parser.h"
+#include "tests/test_util.h"
+
+namespace xmlreval::automata {
+namespace {
+
+GlushkovResult BuildOrDie(const std::string& regex, Alphabet* alphabet) {
+  auto parsed = ParseRegex(regex, alphabet);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto expanded = ExpandRepeats(*parsed);
+  EXPECT_TRUE(expanded.ok()) << expanded.status().ToString();
+  auto result = BuildGlushkov(*expanded, alphabet->size());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Acceptance through the raw Glushkov NFA via determinization.
+bool Accepts(const GlushkovResult& g, const std::vector<Symbol>& word) {
+  return DeterminizeNfa(g.nfa).Accepts(word);
+}
+
+TEST(GlushkovTest, EpsilonAcceptsOnlyEmpty) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  GlushkovResult g = BuildOrDie("()", &alphabet);
+  EXPECT_TRUE(Accepts(g, {}));
+  EXPECT_FALSE(Accepts(g, testutil::Word("a", &alphabet)));
+}
+
+TEST(GlushkovTest, SymbolAcceptsExactlyItself) {
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("a", &alphabet);
+  EXPECT_FALSE(Accepts(g, {}));
+  EXPECT_TRUE(Accepts(g, testutil::Word("a", &alphabet)));
+  EXPECT_FALSE(Accepts(g, testutil::Word("aa", &alphabet)));
+}
+
+TEST(GlushkovTest, PaperContentModel) {
+  // The POType1 content model: shipTo billTo? items.
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("(shipTo, billTo?, items)", &alphabet);
+  EXPECT_TRUE(g.one_unambiguous);
+  auto word = [&](std::initializer_list<const char*> labels) {
+    std::vector<Symbol> out;
+    for (const char* l : labels) out.push_back(alphabet.Intern(l));
+    return out;
+  };
+  EXPECT_TRUE(Accepts(g, word({"shipTo", "billTo", "items"})));
+  EXPECT_TRUE(Accepts(g, word({"shipTo", "items"})));
+  EXPECT_FALSE(Accepts(g, word({"shipTo", "billTo"})));
+  EXPECT_FALSE(Accepts(g, word({"billTo", "shipTo", "items"})));
+  EXPECT_FALSE(Accepts(g, word({"shipTo", "billTo", "billTo", "items"})));
+}
+
+TEST(GlushkovTest, StarAndPlusSemantics) {
+  Alphabet alphabet;
+  GlushkovResult star = BuildOrDie("(a,b)*", &alphabet);
+  EXPECT_TRUE(Accepts(star, {}));
+  EXPECT_TRUE(Accepts(star, testutil::Word("ab", &alphabet)));
+  EXPECT_TRUE(Accepts(star, testutil::Word("abab", &alphabet)));
+  EXPECT_FALSE(Accepts(star, testutil::Word("aba", &alphabet)));
+
+  GlushkovResult plus = BuildOrDie("(a,b)+", &alphabet);
+  EXPECT_FALSE(Accepts(plus, {}));
+  EXPECT_TRUE(Accepts(plus, testutil::Word("ab", &alphabet)));
+}
+
+TEST(GlushkovTest, DetectsAmbiguity) {
+  // (a|b)*a is the classic non-1-unambiguous expression.
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("((a|b)*,a)", &alphabet);
+  EXPECT_FALSE(g.one_unambiguous);
+  EXPECT_EQ(alphabet.Name(g.conflict_symbol), "a");
+}
+
+TEST(GlushkovTest, OptionalOptionalSameSymbolIsAmbiguous) {
+  // a?a? has two first-positions on 'a' — not 1-unambiguous even though
+  // the language is {ε, a, aa}.
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("(a?,a?)", &alphabet);
+  EXPECT_FALSE(g.one_unambiguous);
+}
+
+TEST(GlushkovTest, NestedOptionalSameSymbolIsDeterministic) {
+  // (a(a)?)? — the encoding ExpandRepeats uses for a{0,2} — IS
+  // 1-unambiguous and accepts the same language as a?a?.
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("(a,(a)?)?", &alphabet);
+  EXPECT_TRUE(g.one_unambiguous);
+  EXPECT_TRUE(Accepts(g, {}));
+  EXPECT_TRUE(Accepts(g, testutil::Word("a", &alphabet)));
+  EXPECT_TRUE(Accepts(g, testutil::Word("aa", &alphabet)));
+  EXPECT_FALSE(Accepts(g, testutil::Word("aaa", &alphabet)));
+}
+
+TEST(GlushkovTest, DeterministicExpressionYieldsDeterministicNfa) {
+  // For a 1-unambiguous expression the Glushkov NFA is a DFA: every state
+  // has at most one target per symbol.
+  Alphabet alphabet;
+  GlushkovResult g = BuildOrDie("(a,(b|c)*,d?)", &alphabet);
+  ASSERT_TRUE(g.one_unambiguous);
+  for (StateId q = 0; q < g.nfa.num_states(); ++q) {
+    for (const auto& [sym, targets] : g.nfa.TransitionsFrom(q)) {
+      EXPECT_LE(targets.size(), 1u);
+    }
+  }
+}
+
+TEST(GlushkovTest, RejectsUnexpandedRepeats) {
+  Alphabet alphabet;
+  auto parsed = ParseRegex("a{2,3}", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Result<GlushkovResult> result = BuildGlushkov(*parsed, alphabet.size());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GlushkovTest, EmptySetAcceptsNothing) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  RegexPtr r = Regex::EmptySet();
+  ASSERT_OK_AND_ASSIGN(GlushkovResult g, BuildGlushkov(r, alphabet.size()));
+  EXPECT_FALSE(Accepts(g, {}));
+  EXPECT_FALSE(Accepts(g, testutil::Word("a", &alphabet)));
+}
+
+}  // namespace
+}  // namespace xmlreval::automata

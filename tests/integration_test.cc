@@ -1,0 +1,204 @@
+// End-to-end tests of the paper's two evaluation scenarios (§6):
+//   Experiment 1 — cast from the Figure 1a schema (billTo optional) to the
+//   Figure 2 schema (billTo required): O(1) work for the cast validator.
+//   Experiment 2 — cast from Figure 2 with quantity < 200 to quantity
+//   < 100: linear, but visiting only the quantity values.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/relations.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval {
+namespace {
+
+using core::CastValidator;
+using core::FullValidator;
+using core::TypeRelations;
+using core::ValidationReport;
+using schema::ParseXsd;
+using schema::Schema;
+
+class PaperScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alphabet_ = std::make_shared<automata::Alphabet>();
+    auto source = ParseXsd(workload::kSourceXsd, alphabet_);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    source_ = std::make_unique<Schema>(std::move(source).value());
+    auto target = ParseXsd(workload::kTargetXsd, alphabet_);
+    ASSERT_TRUE(target.ok()) << target.status().ToString();
+    target_ = std::make_unique<Schema>(std::move(target).value());
+    auto relaxed = ParseXsd(workload::kRelaxedQuantityXsd, alphabet_);
+    ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+    relaxed_ = std::make_unique<Schema>(std::move(relaxed).value());
+  }
+
+  std::shared_ptr<automata::Alphabet> alphabet_;
+  std::unique_ptr<Schema> source_, target_, relaxed_;
+};
+
+TEST_F(PaperScenarioTest, GeneratedDocumentsAreSourceValid) {
+  for (size_t items : {0u, 1u, 2u, 50u}) {
+    workload::PoGeneratorOptions options;
+    options.item_count = items;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    FullValidator validator(source_.get());
+    ValidationReport report = validator.Validate(doc);
+    EXPECT_TRUE(report.valid) << "items=" << items << ": " << report.violation;
+  }
+}
+
+TEST_F(PaperScenarioTest, Experiment1AcceptsWhenBillToPresent) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(source_.get(), target_.get()));
+  CastValidator cast(&relations);
+  FullValidator full(target_.get());
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 50;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+
+  ValidationReport cast_report = cast.Validate(doc);
+  ValidationReport full_report = full.Validate(doc);
+  EXPECT_TRUE(full_report.valid) << full_report.violation;
+  EXPECT_TRUE(cast_report.valid) << cast_report.violation;
+}
+
+TEST_F(PaperScenarioTest, Experiment1RejectsWhenBillToMissing) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(source_.get(), target_.get()));
+  CastValidator cast(&relations);
+  FullValidator full(target_.get());
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 10;
+  options.include_bill_to = false;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+
+  // Still valid against the SOURCE schema (billTo optional there).
+  EXPECT_TRUE(FullValidator(source_.get()).Validate(doc).valid);
+  EXPECT_FALSE(full.Validate(doc).valid);
+  EXPECT_FALSE(cast.Validate(doc).valid);
+}
+
+TEST_F(PaperScenarioTest, Experiment1CastWorkIsConstantInDocumentSize) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(source_.get(), target_.get()));
+  CastValidator cast(&relations);
+
+  uint64_t visited_small = 0, visited_large = 0;
+  {
+    workload::PoGeneratorOptions options;
+    options.item_count = 2;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    visited_small = cast.Validate(doc).counters.nodes_visited;
+  }
+  {
+    workload::PoGeneratorOptions options;
+    options.item_count = 1000;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    visited_large = cast.Validate(doc).counters.nodes_visited;
+  }
+  EXPECT_EQ(visited_small, visited_large)
+      << "experiment 1 cast validation must not depend on document size";
+  EXPECT_LE(visited_large, 8u);  // root + its three children, roughly
+}
+
+TEST_F(PaperScenarioTest, Experiment1FullValidationIsLinear) {
+  FullValidator full(target_.get());
+  workload::PoGeneratorOptions small_options, large_options;
+  small_options.item_count = 2;
+  large_options.item_count = 200;
+  xml::Document small = workload::GeneratePurchaseOrder(small_options);
+  xml::Document large = workload::GeneratePurchaseOrder(large_options);
+  uint64_t visited_small = full.Validate(small).counters.nodes_visited;
+  uint64_t visited_large = full.Validate(large).counters.nodes_visited;
+  EXPECT_GT(visited_large, visited_small + 190 * 8)
+      << "full validation must visit every item subtree";
+}
+
+TEST_F(PaperScenarioTest, Experiment2AcceptsSmallQuantities) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(relaxed_.get(), target_.get()));
+  CastValidator cast(&relations);
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 100;
+  options.quantity_max = 99;  // all quantities satisfy the tighter facet
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  ASSERT_TRUE(FullValidator(relaxed_.get()).Validate(doc).valid);
+
+  ValidationReport report = cast.Validate(doc);
+  EXPECT_TRUE(report.valid) << report.violation;
+  // One simple check per item (its quantity), plus the comment-free rest.
+  EXPECT_EQ(report.counters.simple_checks, 100u);
+}
+
+TEST_F(PaperScenarioTest, Experiment2RejectsLargeQuantities) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(relaxed_.get(), target_.get()));
+  CastValidator cast(&relations);
+
+  workload::PoGeneratorOptions options;
+  options.item_count = 20;
+  options.quantity_min = 150;  // valid under relaxed (<200), not under target
+  options.quantity_max = 199;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  ASSERT_TRUE(FullValidator(relaxed_.get()).Validate(doc).valid);
+  ASSERT_FALSE(FullValidator(target_.get()).Validate(doc).valid);
+
+  ValidationReport report = cast.Validate(doc);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.violation.find("maxExclusive"), std::string::npos)
+      << report.violation;
+}
+
+TEST_F(PaperScenarioTest, Experiment2CastVisitsFewerNodesThanFull) {
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(relaxed_.get(), target_.get()));
+  CastValidator cast(&relations);
+  FullValidator full(target_.get());
+
+  for (size_t items : {2u, 50u, 200u}) {
+    workload::PoGeneratorOptions options;
+    options.item_count = items;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    ValidationReport cast_report = cast.Validate(doc);
+    ValidationReport full_report = full.Validate(doc);
+    ASSERT_TRUE(cast_report.valid) << cast_report.violation;
+    ASSERT_TRUE(full_report.valid) << full_report.violation;
+    EXPECT_LT(cast_report.counters.nodes_visited,
+              full_report.counters.nodes_visited)
+        << "items=" << items;
+  }
+}
+
+TEST_F(PaperScenarioTest, CastAgreesWithFullValidationOnVerdicts) {
+  // Cross-check on a grid of quantity ranges straddling the facet boundary.
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(relaxed_.get(), target_.get()));
+  CastValidator cast(&relations);
+  FullValidator full(target_.get());
+  for (int lo : {1, 50, 99, 100, 150}) {
+    workload::PoGeneratorOptions options;
+    options.item_count = 8;
+    options.quantity_min = lo;
+    options.quantity_max = lo + 5;
+    options.seed = 1000 + lo;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    ASSERT_TRUE(FullValidator(relaxed_.get()).Validate(doc).valid);
+    EXPECT_EQ(cast.Validate(doc).valid, full.Validate(doc).valid)
+        << "quantity_min=" << lo;
+  }
+}
+
+}  // namespace
+}  // namespace xmlreval

@@ -1,0 +1,49 @@
+#include "xml/label_index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "xml/dewey.h"
+#include "xml/parser.h"
+
+namespace xmlreval::xml {
+namespace {
+
+TEST(LabelIndexTest, IndexesAllInstancesInDocumentOrder) {
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       ParseXml("<r><a/><b><a/><c/></b><a/></r>"));
+  LabelIndex index = LabelIndex::Build(doc);
+  EXPECT_EQ(index.TotalElements(), 6u);
+  const auto& as = index.Instances("a");
+  ASSERT_EQ(as.size(), 3u);
+  // Document order: the nested <a> sits between the two top-level ones.
+  EXPECT_EQ(DeweyPath::Of(doc, as[0]).ToString(), "0");
+  EXPECT_EQ(DeweyPath::Of(doc, as[1]).ToString(), "1.0");
+  EXPECT_EQ(DeweyPath::Of(doc, as[2]).ToString(), "2");
+  EXPECT_EQ(index.Instances("c").size(), 1u);
+  EXPECT_TRUE(index.Instances("missing").empty());
+}
+
+TEST(LabelIndexTest, EmptyDocument) {
+  Document doc;
+  LabelIndex index = LabelIndex::Build(doc);
+  EXPECT_EQ(index.TotalElements(), 0u);
+  EXPECT_TRUE(index.Labels().empty());
+}
+
+TEST(LabelIndexTest, PurchaseOrderCounts) {
+  workload::PoGeneratorOptions options;
+  options.item_count = 25;
+  options.ship_date_percent = 100;
+  Document doc = workload::GeneratePurchaseOrder(options);
+  LabelIndex index = LabelIndex::Build(doc);
+  EXPECT_EQ(index.Instances("item").size(), 25u);
+  EXPECT_EQ(index.Instances("quantity").size(), 25u);
+  EXPECT_EQ(index.Instances("shipDate").size(), 25u);
+  EXPECT_EQ(index.Instances("purchaseOrder").size(), 1u);
+  EXPECT_EQ(index.Instances("name").size(), 2u);  // shipTo + billTo
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

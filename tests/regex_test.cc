@@ -1,0 +1,138 @@
+#include "automata/regex.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/glushkov.h"
+#include "automata/regex_parser.h"
+#include "tests/test_util.h"
+
+namespace xmlreval::automata {
+namespace {
+
+TEST(RegexParserTest, ParsesAtoms) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("shipTo", &alphabet));
+  EXPECT_EQ(r->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(alphabet.Name(r->symbol()), "shipTo");
+}
+
+TEST(RegexParserTest, ParsesEpsilon) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("()", &alphabet));
+  EXPECT_EQ(r->kind(), RegexKind::kEpsilon);
+}
+
+TEST(RegexParserTest, ParsesSequenceChoicePostfix) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r,
+                       ParseRegex("(a, b? , (c | d)*)+", &alphabet));
+  EXPECT_EQ(r->kind(), RegexKind::kPlus);
+  const RegexPtr& seq = r->child();
+  ASSERT_EQ(seq->kind(), RegexKind::kConcat);
+  ASSERT_EQ(seq->children().size(), 3u);
+  EXPECT_EQ(seq->children()[0]->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(seq->children()[1]->kind(), RegexKind::kOptional);
+  EXPECT_EQ(seq->children()[2]->kind(), RegexKind::kStar);
+  EXPECT_EQ(seq->children()[2]->child()->kind(), RegexKind::kAlternate);
+}
+
+TEST(RegexParserTest, ParsesBoundedRepeats) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("a{2,5}", &alphabet));
+  EXPECT_EQ(r->kind(), RegexKind::kRepeat);
+  EXPECT_EQ(r->min(), 2u);
+  EXPECT_EQ(r->max(), 5u);
+  ASSERT_OK_AND_ASSIGN(RegexPtr unbounded, ParseRegex("a{3,*}", &alphabet));
+  EXPECT_EQ(unbounded->max(), kUnbounded);
+  ASSERT_OK_AND_ASSIGN(RegexPtr exact, ParseRegex("a{4}", &alphabet));
+  EXPECT_EQ(exact->min(), 4u);
+  EXPECT_EQ(exact->max(), 4u);
+}
+
+TEST(RegexParserTest, RejectsMalformedInput) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseRegex("", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("(a", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a | | b", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a{5,2}", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a b", &alphabet).ok());  // juxtaposition invalid
+  EXPECT_FALSE(ParseRegex("a,", &alphabet).ok());
+}
+
+TEST(RegexTest, ConcatFlattensAndSimplifies) {
+  Alphabet alphabet;
+  RegexPtr a = Regex::Sym(alphabet.Intern("a"));
+  RegexPtr b = Regex::Sym(alphabet.Intern("b"));
+  RegexPtr c = Regex::Sym(alphabet.Intern("c"));
+  RegexPtr nested = Regex::Concat({Regex::Concat({a, b}), c});
+  ASSERT_EQ(nested->kind(), RegexKind::kConcat);
+  EXPECT_EQ(nested->children().size(), 3u);
+  EXPECT_EQ(Regex::Concat({})->kind(), RegexKind::kEpsilon);
+  EXPECT_EQ(Regex::Concat({a})->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(Regex::Alternate({})->kind(), RegexKind::kEmptySet);
+}
+
+TEST(RegexTest, SymbolsUsedDeduplicates) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("(a, b, a, c|a)", &alphabet));
+  EXPECT_EQ(r->SymbolsUsed().size(), 3u);
+}
+
+TEST(RegexTest, ToStringRoundTripsStructure) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("(a,(b|c)*,d?)", &alphabet));
+  std::string text = r->ToString(alphabet);
+  ASSERT_OK_AND_ASSIGN(RegexPtr again, ParseRegex(text, &alphabet));
+  EXPECT_EQ(again->ToString(alphabet), text);
+}
+
+TEST(ExpandRepeatsTest, BoundedRepeatMatchesExpectedLanguage) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("a{2,4}", &alphabet));
+  ASSERT_OK_AND_ASSIGN(RegexPtr expanded, ExpandRepeats(r));
+  ASSERT_OK_AND_ASSIGN(Dfa dfa, CompileRegex(expanded, alphabet.size()));
+  Symbol a = *alphabet.Find("a");
+  for (size_t len = 0; len <= 6; ++len) {
+    std::vector<Symbol> word(len, a);
+    EXPECT_EQ(dfa.Accepts(word), len >= 2 && len <= 4) << "len=" << len;
+  }
+}
+
+TEST(ExpandRepeatsTest, UnboundedRepeatMatchesExpectedLanguage) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("a{3,*}", &alphabet));
+  ASSERT_OK_AND_ASSIGN(Dfa dfa, CompileRegex(r, alphabet.size()));
+  Symbol a = *alphabet.Find("a");
+  for (size_t len = 0; len <= 8; ++len) {
+    std::vector<Symbol> word(len, a);
+    EXPECT_EQ(dfa.Accepts(word), len >= 3) << "len=" << len;
+  }
+}
+
+TEST(ExpandRepeatsTest, ZeroMaxIsEpsilon) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("a{0,0}", &alphabet));
+  ASSERT_OK_AND_ASSIGN(RegexPtr expanded, ExpandRepeats(r));
+  EXPECT_EQ(expanded->kind(), RegexKind::kEpsilon);
+}
+
+TEST(ExpandRepeatsTest, RejectsBlowup) {
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("(a{1000}){1000}", &alphabet));
+  Result<RegexPtr> expanded = ExpandRepeats(r, 100000);
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ExpandRepeatsTest, ExpansionPreservesDeterminism) {
+  // The nested-optional encoding of {m,n} must stay 1-unambiguous.
+  Alphabet alphabet;
+  ASSERT_OK_AND_ASSIGN(RegexPtr r, ParseRegex("(a{0,3}, b)", &alphabet));
+  ASSERT_OK_AND_ASSIGN(RegexPtr expanded, ExpandRepeats(r));
+  ASSERT_OK_AND_ASSIGN(GlushkovResult g,
+                       BuildGlushkov(expanded, alphabet.size()));
+  EXPECT_TRUE(g.one_unambiguous);
+}
+
+}  // namespace
+}  // namespace xmlreval::automata

@@ -1,0 +1,246 @@
+#include "core/relations.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::core {
+namespace {
+
+using schema::Alphabet;
+using schema::ParseDtd;
+using schema::ParseXsd;
+using schema::TypeId;
+
+struct Pair {
+  std::shared_ptr<Alphabet> alphabet;
+  std::unique_ptr<Schema> source;
+  std::unique_ptr<Schema> target;
+};
+
+Pair LoadXsdPair(const char* source_xsd, const char* target_xsd) {
+  Pair p;
+  p.alphabet = std::make_shared<Alphabet>();
+  auto s = ParseXsd(source_xsd, p.alphabet);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  p.source = std::make_unique<Schema>(std::move(s).value());
+  auto t = ParseXsd(target_xsd, p.alphabet);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  p.target = std::make_unique<Schema>(std::move(t).value());
+  return p;
+}
+
+TEST(TypeRelationsTest, PaperExperiment1Relations) {
+  Pair p = LoadXsdPair(workload::kSourceXsd, workload::kTargetXsd);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+
+  TypeId po1 = *p.source->FindType("POType1");
+  TypeId po2 = *p.target->FindType("POType2");
+  TypeId addr_s = *p.source->FindType("USAddress");
+  TypeId addr_t = *p.target->FindType("USAddress");
+  TypeId items_s = *p.source->FindType("Items");
+  TypeId items_t = *p.target->FindType("Items");
+  TypeId item_s = *p.source->FindType("Item");
+  TypeId item_t = *p.target->FindType("Item");
+
+  // The only difference is billTo's optionality at the top type.
+  EXPECT_FALSE(rel.Subsumed(po1, po2));
+  EXPECT_FALSE(rel.Disjoint(po1, po2));  // documents with billTo fit both
+  EXPECT_TRUE(rel.Subsumed(addr_s, addr_t));
+  EXPECT_TRUE(rel.Subsumed(items_s, items_t));
+  EXPECT_TRUE(rel.Subsumed(item_s, item_t));
+}
+
+TEST(TypeRelationsTest, PaperExperiment2Relations) {
+  Pair p = LoadXsdPair(workload::kRelaxedQuantityXsd, workload::kTargetXsd);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+
+  // quantity<200 vs quantity<100 breaks subsumption transitively up the
+  // chain Item → Items → POType2, but none of those pairs is disjoint.
+  TypeId item_s = *p.source->FindType("Item");
+  TypeId item_t = *p.target->FindType("Item");
+  TypeId items_s = *p.source->FindType("Items");
+  TypeId items_t = *p.target->FindType("Items");
+  TypeId po_s = *p.source->FindType("POType2");
+  TypeId po_t = *p.target->FindType("POType2");
+  EXPECT_FALSE(rel.Subsumed(item_s, item_t));
+  EXPECT_FALSE(rel.Disjoint(item_s, item_t));
+  EXPECT_FALSE(rel.Subsumed(items_s, items_t));
+  EXPECT_FALSE(rel.Disjoint(items_s, items_t));
+  EXPECT_FALSE(rel.Subsumed(po_s, po_t));
+  EXPECT_FALSE(rel.Disjoint(po_s, po_t));
+  // Addresses still subsume.
+  EXPECT_TRUE(rel.Subsumed(*p.source->FindType("USAddress"),
+                           *p.target->FindType("USAddress")));
+  // The REVERSE direction subsumes: <100 ⊆ <200 propagates up.
+  ASSERT_OK_AND_ASSIGN(TypeRelations reverse,
+                       TypeRelations::Compute(p.target.get(), p.source.get()));
+  EXPECT_TRUE(reverse.Subsumed(item_t, item_s));
+  EXPECT_TRUE(reverse.Subsumed(po_t, po_s));
+}
+
+TEST(TypeRelationsTest, SimpleComplexAlwaysDisjoint) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto src = ParseDtd("<!ELEMENT a (#PCDATA)>", alphabet);
+  ASSERT_TRUE(src.ok());
+  auto tgt = ParseDtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>", alphabet);
+  ASSERT_TRUE(tgt.ok());
+  Schema source = std::move(src).value();
+  Schema target = std::move(tgt).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(&source, &target));
+  TypeId a_s = *source.FindType("a");
+  TypeId a_t = *target.FindType("a");
+  EXPECT_TRUE(rel.Disjoint(a_s, a_t));
+  EXPECT_FALSE(rel.Subsumed(a_s, a_t));
+}
+
+TEST(TypeRelationsTest, RecursiveSubsumption) {
+  // Identical recursive tree types across two schema objects subsume.
+  const char* tree_xsd = R"(
+    <schema>
+      <element name="tree" type="Tree"/>
+      <complexType name="Tree">
+        <sequence>
+          <element name="leaf" type="string" minOccurs="0"/>
+          <element name="tree" type="Tree" minOccurs="0"/>
+        </sequence>
+      </complexType>
+    </schema>)";
+  Pair p = LoadXsdPair(tree_xsd, tree_xsd);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+  EXPECT_TRUE(rel.Subsumed(*p.source->FindType("Tree"),
+                           *p.target->FindType("Tree")));
+  EXPECT_FALSE(rel.Disjoint(*p.source->FindType("Tree"),
+                            *p.target->FindType("Tree")));
+}
+
+TEST(TypeRelationsTest, RefinementCascadesThroughChildren) {
+  // Content models identical, but a grandchild simple type differs in a
+  // way that breaks subsumption; the complex pair must fall out of R_sub
+  // during refinement.
+  const char* a = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="integer"/>
+      </sequence></complexType>
+    </schema>)";
+  const char* b = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="positiveInteger"/>
+      </sequence></complexType>
+    </schema>)";
+  Pair p = LoadXsdPair(a, b);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+  // integer ⊄ positiveInteger, so R ⊄ R even though the DFAs match.
+  EXPECT_FALSE(rel.Subsumed(*p.source->FindType("R"),
+                            *p.target->FindType("R")));
+  // But they are not disjoint ("5" fits both).
+  EXPECT_FALSE(rel.Disjoint(*p.source->FindType("R"),
+                            *p.target->FindType("R")));
+  // And the other direction subsumes.
+  ASSERT_OK_AND_ASSIGN(TypeRelations reverse,
+                       TypeRelations::Compute(p.target.get(), p.source.get()));
+  EXPECT_TRUE(reverse.Subsumed(*p.target->FindType("R"),
+                               *p.source->FindType("R")));
+}
+
+TEST(TypeRelationsTest, DisjointViaContentModels) {
+  // (a) vs (b): no common word — disjoint complex types.
+  auto alphabet = std::make_shared<Alphabet>();
+  auto src = ParseDtd("<!ELEMENT r (a)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+                      alphabet);
+  ASSERT_TRUE(src.ok());
+  auto tgt = ParseDtd("<!ELEMENT r (b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+                      alphabet);
+  ASSERT_TRUE(tgt.ok());
+  Schema source = std::move(src).value();
+  Schema target = std::move(tgt).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(&source, &target));
+  EXPECT_TRUE(rel.Disjoint(*source.FindType("r"), *target.FindType("r")));
+  // 'a' (EMPTY) and 'a' (EMPTY): equal → subsumed.
+  EXPECT_TRUE(rel.Subsumed(*source.FindType("a"), *target.FindType("a")));
+}
+
+TEST(TypeRelationsTest, NondisjointNeedsProductiveWitness) {
+  // Content models intersect only through a label whose child types are
+  // disjoint — the pair must still be disjoint (the P* filter of Def. 5).
+  const char* a = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="date"/>
+      </sequence></complexType>
+    </schema>)";
+  const char* b = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="integer"/>
+      </sequence></complexType>
+    </schema>)";
+  Pair p = LoadXsdPair(a, b);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+  // date ⊘ integer, and R requires exactly one v, so R ⊘ R.
+  EXPECT_TRUE(rel.Disjoint(*p.source->FindType("R"),
+                           *p.target->FindType("R")));
+}
+
+TEST(TypeRelationsTest, PairAutomataOnlyForInterestingPairs) {
+  Pair p = LoadXsdPair(workload::kSourceXsd, workload::kTargetXsd);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+  TypeId po1 = *p.source->FindType("POType1");
+  TypeId po2 = *p.target->FindType("POType2");
+  TypeId addr_s = *p.source->FindType("USAddress");
+  TypeId addr_t = *p.target->FindType("USAddress");
+  EXPECT_NE(rel.PairAutomaton(po1, po2), nullptr);
+  EXPECT_EQ(rel.PairAutomaton(addr_s, addr_t), nullptr);  // subsumed
+  EXPECT_NE(rel.SingleAutomaton(po2), nullptr);
+}
+
+TEST(TypeRelationsTest, RequiresSharedAlphabet) {
+  auto a1 = std::make_shared<Alphabet>();
+  auto a2 = std::make_shared<Alphabet>();
+  auto s = ParseDtd("<!ELEMENT a EMPTY>", a1);
+  auto t = ParseDtd("<!ELEMENT a EMPTY>", a2);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(t.ok());
+  Schema source = std::move(s).value();
+  Schema target = std::move(t).value();
+  Result<TypeRelations> rel = TypeRelations::Compute(&source, &target);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TypeRelationsTest, CountsAreConsistent) {
+  Pair p = LoadXsdPair(workload::kSourceXsd, workload::kTargetXsd);
+  ASSERT_OK_AND_ASSIGN(TypeRelations rel,
+                       TypeRelations::Compute(p.source.get(), p.target.get()));
+  EXPECT_GT(rel.CountSubsumed(), 0u);
+  EXPECT_GT(rel.CountNonDisjoint(), rel.CountSubsumed() - 1);
+  // Subsumed implies non-disjoint for productive types: spot check.
+  for (TypeId s = 0; s < p.source->num_types(); ++s) {
+    for (TypeId t = 0; t < p.target->num_types(); ++t) {
+      if (rel.Subsumed(s, t)) {
+        EXPECT_FALSE(rel.Disjoint(s, t))
+            << p.source->TypeName(s) << " vs " << p.target->TypeName(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlreval::core

@@ -1,0 +1,111 @@
+#include "xml/sax.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace xmlreval::xml {
+namespace {
+
+// Records events as compact strings: "+tag", "-tag", "t:text", "d:name".
+class Recorder : public SaxHandler {
+ public:
+  Status Doctype(std::string_view name, std::string_view subset) override {
+    events.push_back("d:" + std::string(name) + "[" + std::string(subset) +
+                     "]");
+    return Status::OK();
+  }
+  Status StartElement(std::string_view name,
+                      const std::vector<SaxAttribute>& attrs) override {
+    std::string e = "+" + std::string(name);
+    for (const SaxAttribute& a : attrs) {
+      e += " " + std::string(a.name) + "=" + std::string(a.value);
+    }
+    events.push_back(e);
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    events.push_back("-" + std::string(name));
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    events.push_back("t:" + std::string(text));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+TEST(SaxTest, EventOrder) {
+  Recorder recorder;
+  ASSERT_OK(ParseXmlEvents("<a x=\"1\"><b>hi</b><c/></a>", &recorder));
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{"+a x=1", "+b", "t:hi", "-b", "+c",
+                                      "-c", "-a"}));
+}
+
+TEST(SaxTest, DoctypeEvent) {
+  Recorder recorder;
+  ASSERT_OK(ParseXmlEvents(
+      "<!DOCTYPE note [<!ELEMENT note EMPTY>]><note/>", &recorder));
+  ASSERT_GE(recorder.events.size(), 1u);
+  EXPECT_EQ(recorder.events[0], "d:note[<!ELEMENT note EMPTY>]");
+}
+
+TEST(SaxTest, WhitespaceSkipping) {
+  Recorder recorder;
+  ASSERT_OK(ParseXmlEvents("<a>\n  <b/>\n</a>", &recorder));
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{"+a", "+b", "-b", "-a"}));
+
+  Recorder keep;
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  ASSERT_OK(ParseXmlEvents("<a>\n<b/></a>", &keep, options));
+  EXPECT_EQ(keep.events,
+            (std::vector<std::string>{"+a", "t:\n", "+b", "-b", "-a"}));
+}
+
+TEST(SaxTest, HandlerStatusAbortsParse) {
+  class Bomb : public SaxHandler {
+   public:
+    Status StartElement(std::string_view name,
+                        const std::vector<SaxAttribute>&) override {
+      if (name == "boom") return Status::Internal("stop here");
+      ++opened;
+      return Status::OK();
+    }
+    int opened = 0;
+  };
+  Bomb bomb;
+  Status status = ParseXmlEvents("<a><ok/><boom/><never/></a>", &bomb);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(bomb.opened, 2);  // a, ok — parsing stopped before 'never'
+}
+
+TEST(SaxTest, WellFormednessStillEnforced) {
+  Recorder recorder;
+  EXPECT_FALSE(ParseXmlEvents("<a><b></a></b>", &recorder).ok());
+  EXPECT_FALSE(ParseXmlEvents("<a>", &recorder).ok());
+  EXPECT_FALSE(ParseXmlEvents("", &recorder).ok());
+}
+
+TEST(SaxTest, CoalescedTextAcrossCdata) {
+  Recorder recorder;
+  ASSERT_OK(ParseXmlEvents("<a>x<![CDATA[y]]>z</a>", &recorder));
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{"+a", "t:xyz", "-a"}));
+}
+
+TEST(SaxTest, SelfClosingRootEmitsBothEvents) {
+  Recorder recorder;
+  ASSERT_OK(ParseXmlEvents("<only/>", &recorder));
+  EXPECT_EQ(recorder.events, (std::vector<std::string>{"+only", "-only"}));
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

@@ -1,0 +1,199 @@
+#include "schema/abstract_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/regex_parser.h"
+#include "tests/test_util.h"
+
+namespace xmlreval::schema {
+namespace {
+
+using automata::ParseRegex;
+using automata::RegexPtr;
+
+RegexPtr Rx(const std::string& text, Alphabet* alphabet) {
+  auto r = ParseRegex(text, alphabet);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(SchemaBuilderTest, BuildsSmallSchema) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId text, builder.DeclareSimpleType(
+                                        "Text", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(TypeId book, builder.DeclareComplexType("Book"));
+  ASSERT_OK(builder.SetContentModel(book, Rx("(title,author+)", alphabet.get())));
+  ASSERT_OK(builder.MapChild(book, "title", text));
+  ASSERT_OK(builder.MapChild(book, "author", text));
+  ASSERT_OK(builder.AddRoot("book", book));
+  ASSERT_OK_AND_ASSIGN(Schema schema, builder.Build());
+
+  EXPECT_EQ(schema.num_types(), 2u);
+  EXPECT_TRUE(schema.IsSimple(text));
+  EXPECT_TRUE(schema.IsComplex(book));
+  EXPECT_EQ(schema.TypeName(book), "Book");
+  EXPECT_EQ(*schema.FindType("Book"), book);
+  EXPECT_FALSE(schema.FindType("Nope").has_value());
+  EXPECT_EQ(schema.RootType(*alphabet->Find("book")), book);
+  EXPECT_EQ(schema.ChildType(book, *alphabet->Find("title")), text);
+  EXPECT_FALSE(alphabet->Find("nothere").has_value());
+  EXPECT_EQ(schema.ChildType(book, alphabet->Intern("nothere")), kInvalidType);
+  EXPECT_TRUE(schema.IsProductive(book));
+}
+
+TEST(SchemaBuilderTest, RejectsDuplicateTypeNames) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK(builder.DeclareComplexType("T").status());
+  EXPECT_FALSE(builder.DeclareComplexType("T").ok());
+  EXPECT_FALSE(builder.DeclareSimpleType("T", SimpleType{}).ok());
+}
+
+TEST(SchemaBuilderTest, RejectsUntypedContentModelLabel) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId t, builder.DeclareComplexType("T"));
+  ASSERT_OK(builder.SetContentModel(t, Rx("(a,b)", alphabet.get())));
+  ASSERT_OK(builder.MapChild(t, "a", t));
+  // 'b' has no types_τ entry.
+  Result<Schema> result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidSchema);
+}
+
+TEST(SchemaBuilderTest, RejectsInconsistentChildTyping) {
+  // Same label, two different types within one parent type.
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId s1, builder.DeclareSimpleType("S1", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(
+      TypeId s2, builder.DeclareSimpleType(
+                     "S2", SimpleType{AtomicKind::kInteger, {}}));
+  ASSERT_OK_AND_ASSIGN(TypeId t, builder.DeclareComplexType("T"));
+  ASSERT_OK(builder.MapChild(t, "a", s1));
+  Status second = builder.MapChild(t, "a", s2);
+  EXPECT_EQ(second.code(), StatusCode::kInvalidSchema);
+}
+
+TEST(SchemaBuilderTest, AllowsSameLabelDifferentTypesAcrossParents) {
+  // XML Schema's flexibility: 'a' can have different types under different
+  // parent types.
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId s1, builder.DeclareSimpleType("S1", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(
+      TypeId s2, builder.DeclareSimpleType(
+                     "S2", SimpleType{AtomicKind::kInteger, {}}));
+  ASSERT_OK_AND_ASSIGN(TypeId t1, builder.DeclareComplexType("T1"));
+  ASSERT_OK_AND_ASSIGN(TypeId t2, builder.DeclareComplexType("T2"));
+  ASSERT_OK(builder.SetContentModel(t1, Rx("a", alphabet.get())));
+  ASSERT_OK(builder.SetContentModel(t2, Rx("a", alphabet.get())));
+  ASSERT_OK(builder.MapChild(t1, "a", s1));
+  ASSERT_OK(builder.MapChild(t2, "a", s2));
+  ASSERT_OK(builder.AddRoot("r1", t1));
+  ASSERT_OK(builder.AddRoot("r2", t2));
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(SchemaBuilderTest, RejectsNonDeterministicContentModel) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId s, builder.DeclareSimpleType("S", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(TypeId t, builder.DeclareComplexType("T"));
+  ASSERT_OK(builder.SetContentModel(t, Rx("((a|b)*,a)", alphabet.get())));
+  ASSERT_OK(builder.MapChild(t, "a", s));
+  ASSERT_OK(builder.MapChild(t, "b", s));
+  ASSERT_OK(builder.AddRoot("t", t));
+  Result<Schema> strict = builder.Build();
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidSchema);
+}
+
+TEST(SchemaBuilderTest, NonDeterministicAllowedWhenRelaxed) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId s, builder.DeclareSimpleType("S", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(TypeId t, builder.DeclareComplexType("T"));
+  ASSERT_OK(builder.SetContentModel(t, Rx("((a|b)*,a)", alphabet.get())));
+  ASSERT_OK(builder.MapChild(t, "a", s));
+  ASSERT_OK(builder.MapChild(t, "b", s));
+  ASSERT_OK(builder.AddRoot("t", t));
+  SchemaBuilder::BuildOptions options;
+  options.require_deterministic = false;
+  EXPECT_TRUE(builder.Build(options).ok());
+}
+
+TEST(SchemaBuilderTest, ProductivityAnalysis) {
+  // Loop: type L requires a child of type L — never productive.
+  // Type P offers (l | e) where e is simple: productive via e.
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId e, builder.DeclareSimpleType("E", SimpleType{}));
+  ASSERT_OK_AND_ASSIGN(TypeId loop, builder.DeclareComplexType("Loop"));
+  ASSERT_OK(builder.SetContentModel(loop, Rx("l", alphabet.get())));
+  ASSERT_OK(builder.MapChild(loop, "l", loop));
+  ASSERT_OK_AND_ASSIGN(TypeId p, builder.DeclareComplexType("P"));
+  ASSERT_OK(builder.SetContentModel(p, Rx("(l|e)", alphabet.get())));
+  ASSERT_OK(builder.MapChild(p, "l", loop));
+  ASSERT_OK(builder.MapChild(p, "e", e));
+  ASSERT_OK(builder.AddRoot("p", p));
+  ASSERT_OK_AND_ASSIGN(Schema schema, builder.Build());
+
+  EXPECT_TRUE(schema.IsProductive(e));
+  EXPECT_FALSE(schema.IsProductive(loop));
+  EXPECT_TRUE(schema.IsProductive(p));
+  // After pruning, P's content DFA must reject "l" (its type is dead).
+  const automata::Dfa& dfa = schema.ContentDfa(p);
+  std::vector<automata::Symbol> l{*alphabet->Find("l")};
+  std::vector<automata::Symbol> ee{*alphabet->Find("e")};
+  EXPECT_FALSE(dfa.Accepts(l));
+  EXPECT_TRUE(dfa.Accepts(ee));
+}
+
+TEST(SchemaBuilderTest, NonProductiveRootRejected) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId loop, builder.DeclareComplexType("Loop"));
+  ASSERT_OK(builder.SetContentModel(loop, Rx("l", alphabet.get())));
+  ASSERT_OK(builder.MapChild(loop, "l", loop));
+  ASSERT_OK(builder.AddRoot("l", loop));
+  Result<Schema> result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-productive"),
+            std::string::npos);
+}
+
+TEST(SchemaBuilderTest, EmptyContentModelViaEpsilon) {
+  auto alphabet = std::make_shared<Alphabet>();
+  alphabet->Intern("unused");
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK_AND_ASSIGN(TypeId t, builder.DeclareComplexType("Empty"));
+  ASSERT_OK(builder.SetContentModel(t, automata::Regex::Epsilon()));
+  ASSERT_OK(builder.AddRoot("empty", t));
+  ASSERT_OK_AND_ASSIGN(Schema schema, builder.Build());
+  EXPECT_TRUE(schema.IsProductive(t));
+  EXPECT_TRUE(schema.ContentDfa(t).AcceptsEmpty());
+}
+
+TEST(SchemaBuilderTest, MissingContentModelFails) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK(builder.DeclareComplexType("T").status());
+  Result<Schema> result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("no content model"),
+            std::string::npos);
+}
+
+TEST(SchemaBuilderTest, BuilderUnusableAfterBuild) {
+  auto alphabet = std::make_shared<Alphabet>();
+  SchemaBuilder builder(alphabet);
+  ASSERT_OK(builder.DeclareSimpleType("S", SimpleType{}).status());
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_FALSE(builder.DeclareComplexType("T2").ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+}  // namespace
+}  // namespace xmlreval::schema

@@ -1,0 +1,286 @@
+#include "schema/simple_types.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xmlreval::schema {
+namespace {
+
+constexpr int64_t kScale = 1000000000;
+
+SimpleType Plain(AtomicKind kind) { return SimpleType{kind, {}}; }
+
+SimpleType MaxExclusive(AtomicKind kind, int64_t bound) {
+  SimpleType t{kind, {}};
+  t.facets.max_exclusive = bound * kScale;
+  return t;
+}
+
+TEST(AtomicKindTest, NamesRoundTrip) {
+  EXPECT_EQ(*AtomicKindFromName("xsd:string"), AtomicKind::kString);
+  EXPECT_EQ(*AtomicKindFromName("xs:positiveInteger"),
+            AtomicKind::kPositiveInteger);
+  EXPECT_EQ(*AtomicKindFromName("decimal"), AtomicKind::kDecimal);
+  EXPECT_EQ(*AtomicKindFromName("xsd:date"), AtomicKind::kDate);
+  EXPECT_FALSE(AtomicKindFromName("xsd:noSuchType").has_value());
+}
+
+TEST(ValidateSimpleValueTest, StringAcceptsAnything) {
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kString), "anything at all"));
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kString), ""));
+}
+
+TEST(ValidateSimpleValueTest, BooleanLexicalSpace) {
+  SimpleType b = Plain(AtomicKind::kBoolean);
+  EXPECT_OK(ValidateSimpleValue(b, "true"));
+  EXPECT_OK(ValidateSimpleValue(b, "false"));
+  EXPECT_OK(ValidateSimpleValue(b, "0"));
+  EXPECT_OK(ValidateSimpleValue(b, "1"));
+  EXPECT_FALSE(ValidateSimpleValue(b, "TRUE").ok());
+  EXPECT_FALSE(ValidateSimpleValue(b, "2").ok());
+}
+
+TEST(ValidateSimpleValueTest, NumericKinds) {
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kInteger), "-42"));
+  EXPECT_FALSE(ValidateSimpleValue(Plain(AtomicKind::kInteger), "3.5").ok());
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kDecimal), "3.5"));
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kDecimal), "-42"));
+  EXPECT_FALSE(ValidateSimpleValue(Plain(AtomicKind::kDecimal), "abc").ok());
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kNonNegativeInteger), "0"));
+  EXPECT_FALSE(
+      ValidateSimpleValue(Plain(AtomicKind::kNonNegativeInteger), "-1").ok());
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kPositiveInteger), "1"));
+  EXPECT_FALSE(
+      ValidateSimpleValue(Plain(AtomicKind::kPositiveInteger), "0").ok());
+  // Whitespace is collapsed before checking.
+  EXPECT_OK(ValidateSimpleValue(Plain(AtomicKind::kInteger), "  7 \n"));
+}
+
+TEST(ValidateSimpleValueTest, DateLexicalSpace) {
+  SimpleType d = Plain(AtomicKind::kDate);
+  EXPECT_OK(ValidateSimpleValue(d, "2004-03-31"));
+  EXPECT_FALSE(ValidateSimpleValue(d, "2004-13-01").ok());
+  EXPECT_FALSE(ValidateSimpleValue(d, "2004-00-10").ok());
+  EXPECT_FALSE(ValidateSimpleValue(d, "04-03-31").ok());
+  EXPECT_FALSE(ValidateSimpleValue(d, "2004/03/31").ok());
+}
+
+TEST(ValidateSimpleValueTest, PaperQuantityFacet) {
+  // The experiment-2 type: positiveInteger with maxExclusive 100.
+  SimpleType quantity = MaxExclusive(AtomicKind::kPositiveInteger, 100);
+  EXPECT_OK(ValidateSimpleValue(quantity, "1"));
+  EXPECT_OK(ValidateSimpleValue(quantity, "99"));
+  EXPECT_FALSE(ValidateSimpleValue(quantity, "100").ok());
+  EXPECT_FALSE(ValidateSimpleValue(quantity, "150").ok());
+  EXPECT_FALSE(ValidateSimpleValue(quantity, "0").ok());
+}
+
+TEST(ValidateSimpleValueTest, RangeFacets) {
+  SimpleType t = Plain(AtomicKind::kInteger);
+  t.facets.min_inclusive = 10 * kScale;
+  t.facets.max_inclusive = 20 * kScale;
+  EXPECT_OK(ValidateSimpleValue(t, "10"));
+  EXPECT_OK(ValidateSimpleValue(t, "20"));
+  EXPECT_FALSE(ValidateSimpleValue(t, "9").ok());
+  EXPECT_FALSE(ValidateSimpleValue(t, "21").ok());
+  SimpleType ex = Plain(AtomicKind::kInteger);
+  ex.facets.min_exclusive = 10 * kScale;
+  EXPECT_FALSE(ValidateSimpleValue(ex, "10").ok());
+  EXPECT_OK(ValidateSimpleValue(ex, "11"));
+}
+
+TEST(ValidateSimpleValueTest, LengthAndEnumerationFacets) {
+  SimpleType t = Plain(AtomicKind::kString);
+  t.facets.length = 2;
+  EXPECT_OK(ValidateSimpleValue(t, "CA"));
+  EXPECT_FALSE(ValidateSimpleValue(t, "CAL").ok());
+  SimpleType e = Plain(AtomicKind::kString);
+  e.facets.enumeration = {"red", "green"};
+  EXPECT_OK(ValidateSimpleValue(e, "red"));
+  EXPECT_FALSE(ValidateSimpleValue(e, "blue").ok());
+}
+
+TEST(SimpleSubsumedTest, KindHierarchy) {
+  EXPECT_TRUE(SimpleSubsumed(Plain(AtomicKind::kPositiveInteger),
+                             Plain(AtomicKind::kInteger)));
+  EXPECT_TRUE(SimpleSubsumed(Plain(AtomicKind::kInteger),
+                             Plain(AtomicKind::kDecimal)));
+  EXPECT_TRUE(SimpleSubsumed(Plain(AtomicKind::kDate),
+                             Plain(AtomicKind::kString)));
+  EXPECT_FALSE(SimpleSubsumed(Plain(AtomicKind::kDecimal),
+                              Plain(AtomicKind::kInteger)));
+  EXPECT_FALSE(SimpleSubsumed(Plain(AtomicKind::kString),
+                              Plain(AtomicKind::kDate)));
+  EXPECT_TRUE(SimpleSubsumed(Plain(AtomicKind::kString),
+                             Plain(AtomicKind::kString)));
+}
+
+TEST(SimpleSubsumedTest, PaperQuantityScenario) {
+  SimpleType q100 = MaxExclusive(AtomicKind::kPositiveInteger, 100);
+  SimpleType q200 = MaxExclusive(AtomicKind::kPositiveInteger, 200);
+  // Experiment 1: identical facets — subsumed both ways.
+  EXPECT_TRUE(SimpleSubsumed(q100, q100));
+  // Experiment 2: <200 is NOT subsumed by <100, but <100 is by <200.
+  EXPECT_FALSE(SimpleSubsumed(q200, q100));
+  EXPECT_TRUE(SimpleSubsumed(q100, q200));
+}
+
+TEST(SimpleSubsumedTest, RangeContainment) {
+  SimpleType narrow = Plain(AtomicKind::kInteger);
+  narrow.facets.min_inclusive = 5 * kScale;
+  narrow.facets.max_inclusive = 10 * kScale;
+  SimpleType wide = Plain(AtomicKind::kInteger);
+  wide.facets.min_inclusive = 0;
+  wide.facets.max_inclusive = 100 * kScale;
+  EXPECT_TRUE(SimpleSubsumed(narrow, wide));
+  EXPECT_FALSE(SimpleSubsumed(wide, narrow));
+  // An unbounded type is not subsumed by a bounded one.
+  EXPECT_FALSE(SimpleSubsumed(Plain(AtomicKind::kInteger), wide));
+}
+
+TEST(SimpleSubsumedTest, EnumerationChecksEachValue) {
+  SimpleType small = Plain(AtomicKind::kString);
+  small.facets.enumeration = {"7", "9"};
+  EXPECT_TRUE(SimpleSubsumed(small, Plain(AtomicKind::kInteger)));
+  SimpleType mixed = Plain(AtomicKind::kString);
+  mixed.facets.enumeration = {"7", "x"};
+  EXPECT_FALSE(SimpleSubsumed(mixed, Plain(AtomicKind::kInteger)));
+}
+
+TEST(SimpleDisjointTest, LexicalDisjointness) {
+  EXPECT_TRUE(SimpleDisjoint(Plain(AtomicKind::kDate),
+                             Plain(AtomicKind::kInteger)));
+  EXPECT_TRUE(SimpleDisjoint(Plain(AtomicKind::kDate),
+                             Plain(AtomicKind::kBoolean)));
+  // boolean shares "0"/"1" with the integers.
+  EXPECT_FALSE(SimpleDisjoint(Plain(AtomicKind::kBoolean),
+                              Plain(AtomicKind::kInteger)));
+  // string overlaps everything.
+  EXPECT_FALSE(SimpleDisjoint(Plain(AtomicKind::kString),
+                              Plain(AtomicKind::kDate)));
+}
+
+TEST(SimpleDisjointTest, DisjointRanges) {
+  SimpleType low = Plain(AtomicKind::kInteger);
+  low.facets.max_inclusive = 10 * kScale;
+  SimpleType high = Plain(AtomicKind::kInteger);
+  high.facets.min_inclusive = 20 * kScale;
+  EXPECT_TRUE(SimpleDisjoint(low, high));
+  EXPECT_TRUE(SimpleDisjoint(high, low));
+  SimpleType touching = Plain(AtomicKind::kInteger);
+  touching.facets.min_inclusive = 10 * kScale;
+  EXPECT_FALSE(SimpleDisjoint(low, touching));  // both accept 10
+}
+
+TEST(SimpleDisjointTest, DecimalExclusiveBoundsNotDisjoint) {
+  // Over DECIMALS, x < 10 and x > 9 share e.g. 9.5 — not disjoint.
+  SimpleType below = Plain(AtomicKind::kDecimal);
+  below.facets.max_exclusive = 10 * kScale;
+  SimpleType above = Plain(AtomicKind::kDecimal);
+  above.facets.min_exclusive = 9 * kScale;
+  EXPECT_FALSE(SimpleDisjoint(below, above));
+  EXPECT_OK(ValidateSimpleValue(below, "9.5"));
+  EXPECT_OK(ValidateSimpleValue(above, "9.5"));
+}
+
+TEST(SimpleDisjointTest, IntegerExclusiveBoundsDisjoint) {
+  SimpleType below = Plain(AtomicKind::kInteger);
+  below.facets.max_exclusive = 10 * kScale;   // ≤ 9
+  SimpleType above = Plain(AtomicKind::kInteger);
+  above.facets.min_exclusive = 9 * kScale;    // ≥ 10
+  EXPECT_TRUE(SimpleDisjoint(below, above));
+}
+
+TEST(SimpleDisjointTest, EnumerationDisjointness) {
+  SimpleType reds = Plain(AtomicKind::kString);
+  reds.facets.enumeration = {"red", "crimson"};
+  SimpleType blues = Plain(AtomicKind::kString);
+  blues.facets.enumeration = {"blue", "navy"};
+  EXPECT_TRUE(SimpleDisjoint(reds, blues));
+  blues.facets.enumeration.push_back("red");
+  EXPECT_FALSE(SimpleDisjoint(reds, blues));
+}
+
+TEST(SimpleDisjointTest, LengthWindows) {
+  SimpleType short_s = Plain(AtomicKind::kString);
+  short_s.facets.max_length = 2;
+  SimpleType long_s = Plain(AtomicKind::kString);
+  long_s.facets.min_length = 5;
+  EXPECT_TRUE(SimpleDisjoint(short_s, long_s));
+}
+
+TEST(EffectiveNumericRangeTest, CombinesIntrinsicAndFacets) {
+  SimpleType t = MaxExclusive(AtomicKind::kPositiveInteger, 100);
+  NumericRange r;
+  ASSERT_TRUE(EffectiveNumericRange(t, &r));
+  EXPECT_EQ(*r.lo, 1 * kScale);
+  EXPECT_EQ(*r.hi, 99 * kScale);
+  EXPECT_FALSE(EffectiveNumericRange(Plain(AtomicKind::kString), &r));
+}
+
+// Soundness sweep: whenever SimpleSubsumed(a, b) holds, every probe value
+// valid for a must be valid for b; whenever SimpleDisjoint(a, b) holds, no
+// probe value may be valid for both.
+class SimpleRelationSoundness
+    : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  static std::vector<SimpleType> Types() {
+    std::vector<SimpleType> types;
+    for (AtomicKind kind :
+         {AtomicKind::kString, AtomicKind::kBoolean, AtomicKind::kDecimal,
+          AtomicKind::kInteger, AtomicKind::kNonNegativeInteger,
+          AtomicKind::kPositiveInteger, AtomicKind::kDate}) {
+      types.push_back(Plain(kind));
+    }
+    types.push_back(MaxExclusive(AtomicKind::kPositiveInteger, 100));
+    types.push_back(MaxExclusive(AtomicKind::kPositiveInteger, 200));
+    SimpleType enumt = Plain(AtomicKind::kString);
+    enumt.facets.enumeration = {"1", "true", "2004-01-01", "xyz"};
+    types.push_back(enumt);
+    SimpleType len = Plain(AtomicKind::kString);
+    len.facets.min_length = 3;
+    len.facets.max_length = 5;
+    types.push_back(len);
+    return types;
+  }
+
+  static std::vector<std::string> Probes() {
+    return {"",     "0",   "1",     "99",         "100",   "150",
+            "200",  "-7",  "3.5",   "true",       "false", "2004-01-01",
+            "abc",  "xyz", "ab",    "abcde",      "abcdef"};
+  }
+};
+
+TEST_P(SimpleRelationSoundness, SubsumptionAndDisjointnessAreSound) {
+  auto types = Types();
+  const SimpleType& a = types[GetParam().first];
+  const SimpleType& b = types[GetParam().second];
+  bool subsumed = SimpleSubsumed(a, b);
+  bool disjoint = SimpleDisjoint(a, b);
+  EXPECT_FALSE(subsumed && disjoint) << "both relations cannot hold";
+  for (const std::string& v : Probes()) {
+    bool in_a = ValidateSimpleValue(a, v).ok();
+    bool in_b = ValidateSimpleValue(b, v).ok();
+    if (subsumed && in_a) {
+      EXPECT_TRUE(in_b) << "subsumed but '" << v << "' only in a";
+    }
+    if (disjoint) {
+      EXPECT_FALSE(in_a && in_b) << "disjoint but '" << v << "' in both";
+    }
+  }
+}
+
+static std::vector<std::pair<int, int>> AllPairs() {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 11; ++i) {
+    for (int j = 0; j < 11; ++j) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypePairs, SimpleRelationSoundness,
+                         ::testing::ValuesIn(AllPairs()));
+
+}  // namespace
+}  // namespace xmlreval::schema

@@ -1,0 +1,202 @@
+#include "core/streaming_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "workload/random_docs.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlreval::core {
+namespace {
+
+using schema::Alphabet;
+using schema::ParseDtd;
+
+struct Fixture {
+  std::shared_ptr<Alphabet> alphabet = std::make_shared<Alphabet>();
+  std::unique_ptr<Schema> source;
+  std::unique_ptr<Schema> target;
+  std::unique_ptr<TypeRelations> relations;
+
+  void LoadXsd(const char* source_xsd, const char* target_xsd) {
+    auto s = schema::ParseXsd(source_xsd, alphabet);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    source = std::make_unique<Schema>(std::move(s).value());
+    auto t = schema::ParseXsd(target_xsd, alphabet);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    target = std::make_unique<Schema>(std::move(t).value());
+    auto r = TypeRelations::Compute(source.get(), target.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    relations = std::make_unique<TypeRelations>(std::move(r).value());
+  }
+};
+
+TEST(StreamingValidateTest, AcceptsAndRejectsLikeDomValidator) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = ParseDtd(
+      "<!ELEMENT r (a+, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b (c)>"
+      "<!ELEMENT c EMPTY>",
+      alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Schema schema = std::move(parsed).value();
+  FullValidator dom(&schema);
+
+  for (const char* text :
+       {"<r><a>1</a></r>", "<r><a>1</a><a>2</a><b><c/></b></r>", "<r/>",
+        "<r><b><c/></b></r>", "<r><a>1</a><b/></r>",
+        "<r><a><nested/></a></r>", "<r><a>1</a>stray</r>"}) {
+    StreamingReport streamed = StreamingValidate(text, schema);
+    auto doc = xml::ParseXml(text);
+    ASSERT_TRUE(doc.ok());
+    ValidationReport reference = dom.Validate(*doc);
+    EXPECT_EQ(streamed.valid, reference.valid) << text;
+    if (!streamed.valid) {
+      EXPECT_FALSE(streamed.violation.empty()) << text;
+    }
+  }
+}
+
+TEST(StreamingValidateTest, MalformedInputReportsParseError) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = ParseDtd("<!ELEMENT r EMPTY>", alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Schema schema = std::move(parsed).value();
+  StreamingReport report = StreamingValidate("<r><broken</r>", schema);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.violation.find("parse-error"), std::string::npos);
+}
+
+TEST(StreamingValidateTest, LiveFramesTrackDepthNotSize) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = ParseDtd("<!ELEMENT n (n*)>", alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Schema schema = std::move(parsed).value();
+
+  // Wide: 1000 siblings, depth 2.
+  std::string wide = "<n>";
+  for (int i = 0; i < 1000; ++i) wide += "<n/>";
+  wide += "</n>";
+  StreamingReport wide_report = StreamingValidate(wide, schema);
+  ASSERT_TRUE(wide_report.valid) << wide_report.violation;
+  EXPECT_EQ(wide_report.max_live_frames, 2u);
+
+  // Deep: depth 1000.
+  std::string deep;
+  for (int i = 0; i < 1000; ++i) deep += "<n>";
+  for (int i = 0; i < 1000; ++i) deep += "</n>";
+  StreamingReport deep_report = StreamingValidate(deep, schema);
+  ASSERT_TRUE(deep_report.valid);
+  EXPECT_EQ(deep_report.max_live_frames, 1000u);
+}
+
+TEST(StreamingCastTest, Experiment1IsConstantWork) {
+  Fixture f;
+  f.LoadXsd(workload::kSourceXsd, workload::kTargetXsd);
+  uint64_t visited_small = 0, visited_large = 0;
+  for (auto [items, out] :
+       {std::pair<size_t, uint64_t*>{2, &visited_small},
+        std::pair<size_t, uint64_t*>{500, &visited_large}}) {
+    workload::PoGeneratorOptions options;
+    options.item_count = items;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    std::string text = xml::Serialize(doc);
+    StreamingReport report = StreamingCastValidate(text, *f.relations);
+    ASSERT_TRUE(report.valid) << report.violation;
+    *out = report.counters.nodes_visited;
+    // Streaming keeps at most the open path; far below the node count.
+    EXPECT_LE(report.max_live_frames, 6u);
+  }
+  EXPECT_EQ(visited_small, visited_large)
+      << "experiment 1 streaming cast must not scale with the document";
+}
+
+TEST(StreamingCastTest, RejectsMissingBillTo) {
+  Fixture f;
+  f.LoadXsd(workload::kSourceXsd, workload::kTargetXsd);
+  workload::PoGeneratorOptions options;
+  options.item_count = 5;
+  options.include_bill_to = false;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  StreamingReport report =
+      StreamingCastValidate(xml::Serialize(doc), *f.relations);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.violation.find("content model"), std::string::npos);
+}
+
+TEST(StreamingCastTest, Experiment2ChecksQuantities) {
+  Fixture f;
+  f.LoadXsd(workload::kRelaxedQuantityXsd, workload::kTargetXsd);
+  workload::PoGeneratorOptions options;
+  options.item_count = 30;
+  options.quantity_max = 99;
+  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  StreamingReport ok = StreamingCastValidate(xml::Serialize(doc), *f.relations);
+  EXPECT_TRUE(ok.valid) << ok.violation;
+  EXPECT_EQ(ok.counters.simple_checks, 30u);
+
+  options.quantity_min = 150;
+  options.quantity_max = 190;
+  xml::Document bad = workload::GeneratePurchaseOrder(options);
+  StreamingReport rejected =
+      StreamingCastValidate(xml::Serialize(bad), *f.relations);
+  EXPECT_FALSE(rejected.valid);
+  EXPECT_NE(rejected.violation.find("maxExclusive"), std::string::npos);
+}
+
+// Agreement property: streaming cast == DOM cast on random documents.
+class StreamingAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingAgreement, MatchesDomCastValidator) {
+  auto alphabet = std::make_shared<Alphabet>();
+  schema::DtdParseOptions roots;
+  roots.roots = {"r"};
+  auto s = ParseDtd(
+      "<!ELEMENT r (rec*)><!ELEMENT rec (k, v?)>"
+      "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+      alphabet, roots);
+  ASSERT_TRUE(s.ok());
+  Schema source = std::move(s).value();
+  auto t = ParseDtd(
+      "<!ELEMENT r (rec+)><!ELEMENT rec (k, v)>"
+      "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+      alphabet, roots);
+  ASSERT_TRUE(t.ok());
+  Schema target = std::move(t).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&source, &target));
+  CastValidator dom(&relations);
+
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    workload::RandomDocOptions options;
+    options.seed = seed * 31 + GetParam();
+    options.root_label = "r";
+    options.max_elements = 30;
+    auto doc = workload::SampleDocument(source, options);
+    ASSERT_TRUE(doc.ok());
+    std::string text = xml::Serialize(*doc);
+    StreamingReport streamed = StreamingCastValidate(text, relations);
+    ValidationReport reference = dom.Validate(*doc);
+    EXPECT_EQ(streamed.valid, reference.valid)
+        << "seed=" << seed << "\nstream: " << streamed.violation
+        << "\ndom: " << reference.violation;
+    if (streamed.valid) {
+      // Same counting discipline: identical node-visit totals.
+      EXPECT_EQ(streamed.counters.nodes_visited,
+                reference.counters.nodes_visited);
+      EXPECT_EQ(streamed.counters.subtrees_skipped,
+                reference.counters.subtrees_skipped);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingAgreement, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xmlreval::core

@@ -1,0 +1,195 @@
+#include "core/string_revalidator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/test_util.h"
+
+namespace xmlreval::core {
+namespace {
+
+using automata::Alphabet;
+using testutil::CompileOrDie;
+using testutil::ForAllWords;
+using testutil::Word;
+
+TEST(StringRevalidatorTest, RevalidateAgreesWithMembership) {
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("((a|b)+,c?)", &alphabet);
+  Dfa b = CompileOrDie("((a,b)*,c)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  ForAllWords(alphabet.size(), 6, [&](const std::vector<Symbol>& word) {
+    if (!a.Accepts(word)) return;
+    RevalidationResult r = reval.Revalidate(word);
+    EXPECT_EQ(r.accepted, b.Accepts(word));
+    EXPECT_LE(r.symbols_scanned, word.size());
+  });
+}
+
+TEST(StringRevalidatorTest, PaperBillToExample) {
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("(shipTo,billTo?,items)", &alphabet);
+  Dfa b = CompileOrDie("(shipTo,billTo,items)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  std::vector<Symbol> with_bill{*alphabet.Find("shipTo"),
+                                *alphabet.Find("billTo"),
+                                *alphabet.Find("items")};
+  RevalidationResult r = reval.Revalidate(with_bill);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.decided_early);
+  EXPECT_EQ(r.symbols_scanned, 2u);  // decided right after billTo
+}
+
+TEST(StringRevalidatorTest, ValidateFreshUsesOnlyTarget) {
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("(a,b)", &alphabet);
+  Dfa b = CompileOrDie("(a,b,(a|b)*)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  // "ba" is NOT in L(a); ValidateFresh still gives the right answer.
+  RevalidationResult r = reval.ValidateFresh(Word("ba", &alphabet));
+  EXPECT_FALSE(r.accepted);
+  // And early: after 'b' the target is dead.
+  EXPECT_TRUE(r.decided_early);
+  EXPECT_EQ(r.symbols_scanned, 1u);
+}
+
+TEST(StringRevalidatorTest, SingleSchemaUpdateProblem) {
+  // b == a: "is the string still valid after edits?"
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("(a,b)+", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::CreateSingle(a));
+  std::vector<Symbol> old_s = Word("abab", &alphabet);
+  std::vector<Symbol> still_ok = Word("ababab", &alphabet);
+  std::vector<Symbol> broken = Word("aabab", &alphabet);
+  EXPECT_TRUE(reval.RevalidateModified(old_s, still_ok).accepted);
+  EXPECT_FALSE(reval.RevalidateModified(old_s, broken).accepted);
+}
+
+TEST(StringRevalidatorTest, ModifiedForwardThreePhase) {
+  Alphabet alphabet;
+  for (const char* n : {"a", "b", "x", "y"}) alphabet.Intern(n);
+  Dfa a = CompileOrDie("(x,(a|b)*)", &alphabet);
+  Dfa b = CompileOrDie("(y,(a|b)*)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  // old = x a b a ∈ L(a); new = y a b a (prefix edit).
+  std::vector<Symbol> old_s = Word("xaba", &alphabet);
+  std::vector<Symbol> new_s = Word("yaba", &alphabet);
+  RevalidationResult r =
+      reval.RevalidateModifiedForward(old_s, new_s, /*unmodified_from=*/1);
+  EXPECT_TRUE(r.accepted);
+  // After scanning 'y' with b_immed and landing in the product, the suffix
+  // languages coincide — early accept without scanning all of "aba".
+  EXPECT_LT(r.symbols_scanned, new_s.size());
+}
+
+TEST(StringRevalidatorTest, ModifiedPicksBackwardForSuffixEdits) {
+  Alphabet alphabet;
+  for (const char* n : {"a", "b", "x", "y"}) alphabet.Intern(n);
+  Dfa a = CompileOrDie("((a|b)*,x)", &alphabet);
+  Dfa b = CompileOrDie("((a|b)*,y)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  // Append-style edit: long unmodified prefix, tail changed.
+  std::vector<Symbol> old_s = Word("ababababx", &alphabet);
+  std::vector<Symbol> new_s = Word("ababababy", &alphabet);
+  RevalidationResult r = reval.RevalidateModified(old_s, new_s);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.scanned_backward);
+  // Only the changed tail (plus possibly one resolution step) is scanned.
+  EXPECT_LE(r.symbols_scanned, 2u);
+}
+
+TEST(StringRevalidatorTest, ReverseDisabledStillCorrect) {
+  Alphabet alphabet;
+  for (const char* n : {"a", "b", "x", "y"}) alphabet.Intern(n);
+  Dfa a = CompileOrDie("((a|b)*,x)", &alphabet);
+  Dfa b = CompileOrDie("((a|b)*,y)", &alphabet);
+  StringRevalidator::Options options;
+  options.enable_reverse = false;
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b, options));
+  std::vector<Symbol> old_s = Word("ababx", &alphabet);
+  std::vector<Symbol> new_s = Word("ababy", &alphabet);
+  RevalidationResult r = reval.RevalidateModified(old_s, new_s);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.scanned_backward);
+}
+
+TEST(StringRevalidatorTest, RejectsMismatchedAlphabets) {
+  Alphabet small, big;
+  Dfa a = CompileOrDie("(a,b)", &small);
+  Dfa b = CompileOrDie("(a,b,c)", &big);
+  Result<StringRevalidator> reval = StringRevalidator::Create(a, b);
+  ASSERT_FALSE(reval.ok());
+  // Padding fixes it.
+  ASSERT_TRUE(
+      StringRevalidator::Create(a.PaddedTo(b.alphabet_size()), b).ok());
+}
+
+// Property: for random edits of random source strings, RevalidateModified
+// must agree with direct membership, in both scan directions.
+class ModifiedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModifiedEquivalence, MatchesDirectMembership) {
+  std::mt19937_64 rng(GetParam());
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("((a,b)|(c,d))*", &alphabet);
+  Dfa b = CompileOrDie("((a,b)*,(c,d)*)", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+
+  // Build a random string in L(a): a sequence of "ab"/"cd" blocks.
+  std::vector<Symbol> old_s;
+  size_t blocks = rng() % 8;
+  for (size_t i = 0; i < blocks; ++i) {
+    if (rng() & 1) {
+      old_s.push_back(*alphabet.Find("a"));
+      old_s.push_back(*alphabet.Find("b"));
+    } else {
+      old_s.push_back(*alphabet.Find("c"));
+      old_s.push_back(*alphabet.Find("d"));
+    }
+  }
+  ASSERT_TRUE(a.Accepts(old_s));
+
+  for (int edit = 0; edit < 20; ++edit) {
+    std::vector<Symbol> new_s = old_s;
+    int op = rng() % 3;
+    if (op == 0 && !new_s.empty()) {
+      new_s[rng() % new_s.size()] = static_cast<Symbol>(rng() % alphabet.size());
+    } else if (op == 1) {
+      new_s.insert(new_s.begin() + rng() % (new_s.size() + 1),
+                   static_cast<Symbol>(rng() % alphabet.size()));
+    } else if (!new_s.empty()) {
+      new_s.erase(new_s.begin() + rng() % new_s.size());
+    }
+    RevalidationResult r = reval.RevalidateModified(old_s, new_s);
+    EXPECT_EQ(r.accepted, b.Accepts(new_s))
+        << "seed=" << GetParam() << " edit=" << edit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModifiedEquivalence,
+                         ::testing::Range(1, 21));
+
+TEST(StringRevalidatorTest, EmptyStrings) {
+  Alphabet alphabet;
+  Dfa a = CompileOrDie("a*", &alphabet);
+  Dfa b = CompileOrDie("a+", &alphabet);
+  ASSERT_OK_AND_ASSIGN(StringRevalidator reval,
+                       StringRevalidator::Create(a, b));
+  EXPECT_FALSE(reval.Revalidate({}).accepted);   // ε ∈ L(a) \ L(b)
+  EXPECT_FALSE(reval.RevalidateModified({}, {}).accepted);
+  std::vector<Symbol> one = Word("a", &alphabet);
+  EXPECT_TRUE(reval.RevalidateModified({}, one).accepted);
+  EXPECT_FALSE(reval.RevalidateModified(one, {}).accepted);
+}
+
+}  // namespace
+}  // namespace xmlreval::core

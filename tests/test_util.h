@@ -1,0 +1,90 @@
+// Shared helpers for the xmlreval test suite.
+
+#ifndef XMLREVAL_TESTS_TEST_UTIL_H_
+#define XMLREVAL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/dfa.h"
+#include "automata/regex_parser.h"
+#include "common/result.h"
+
+// Asserts that a Status-returning expression is OK.
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    ::xmlreval::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    ::xmlreval::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+// Unwraps a Result or fails the test.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      XMLREVAL_CONCAT_TEST(_res_, __LINE__), lhs, rexpr)
+
+#define XMLREVAL_CONCAT_TEST_IMPL(a, b) a##b
+#define XMLREVAL_CONCAT_TEST(a, b) XMLREVAL_CONCAT_TEST_IMPL(a, b)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)             \
+  auto tmp = (rexpr);                                          \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();            \
+  lhs = std::move(tmp).value()
+
+namespace xmlreval::testutil {
+
+/// Compiles a textual regex into a minimized complete DFA over `alphabet`.
+inline automata::Dfa CompileOrDie(const std::string& regex,
+                                  automata::Alphabet* alphabet) {
+  auto parsed = automata::ParseRegex(regex, alphabet);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto dfa = automata::CompileRegex(*parsed, alphabet->size());
+  EXPECT_TRUE(dfa.ok()) << dfa.status().ToString();
+  return std::move(dfa).value();
+}
+
+/// Interns each single-character token of `word` ("abc" → [a, b, c]).
+inline std::vector<automata::Symbol> Word(const std::string& word,
+                                          automata::Alphabet* alphabet) {
+  std::vector<automata::Symbol> out;
+  for (char c : word) {
+    out.push_back(alphabet->Intern(std::string(1, c)));
+  }
+  return out;
+}
+
+/// Enumerates all words over symbols [0, k) up to length `max_len`,
+/// calling fn(word). Fn: void(const std::vector<automata::Symbol>&).
+template <typename Fn>
+void ForAllWords(size_t k, size_t max_len, Fn&& fn) {
+  std::vector<automata::Symbol> word;
+  // Iterative odometer over word lengths 0..max_len.
+  for (size_t len = 0; len <= max_len; ++len) {
+    word.assign(len, 0);
+    fn(word);
+    if (len == 0) continue;
+    while (true) {
+      size_t i = len;
+      while (i > 0 && word[i - 1] + 1 == k) {
+        word[i - 1] = 0;
+        --i;
+      }
+      if (i == 0) break;
+      ++word[i - 1];
+      fn(word);
+    }
+  }
+}
+
+}  // namespace xmlreval::testutil
+
+#endif  // XMLREVAL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,171 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xmlreval::xml {
+namespace {
+
+TEST(DocumentTest, BuildSmallTree) {
+  Document doc;
+  NodeId root = doc.CreateElement("root");
+  ASSERT_OK(doc.SetRoot(root));
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  ASSERT_OK(doc.AppendChild(root, a));
+  ASSERT_OK(doc.AppendChild(root, b));
+  NodeId text = doc.CreateText("hello");
+  ASSERT_OK(doc.AppendChild(a, text));
+
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.first_child(root), a);
+  EXPECT_EQ(doc.last_child(root), b);
+  EXPECT_EQ(doc.next_sibling(a), b);
+  EXPECT_EQ(doc.prev_sibling(b), a);
+  EXPECT_EQ(doc.parent(a), root);
+  EXPECT_EQ(doc.label(a), "a");
+  EXPECT_EQ(doc.text(text), "hello");
+  EXPECT_TRUE(doc.IsElement(a));
+  EXPECT_TRUE(doc.IsText(text));
+  EXPECT_EQ(doc.CountChildren(root), 2u);
+  EXPECT_EQ(doc.SubtreeSize(root), 4u);
+}
+
+TEST(DocumentTest, InsertBeforeAfterFirstChild) {
+  Document doc;
+  NodeId root = doc.CreateElement("r");
+  ASSERT_OK(doc.SetRoot(root));
+  NodeId b = doc.CreateElement("b");
+  ASSERT_OK(doc.AppendChild(root, b));
+  NodeId a = doc.CreateElement("a");
+  ASSERT_OK(doc.InsertBefore(b, a));
+  NodeId c = doc.CreateElement("c");
+  ASSERT_OK(doc.InsertAfter(b, c));
+  NodeId zero = doc.CreateElement("zero");
+  ASSERT_OK(doc.InsertFirstChild(root, zero));
+
+  std::vector<std::string> labels;
+  for (NodeId n : doc.Children(root)) labels.push_back(doc.label(n));
+  EXPECT_EQ(labels, (std::vector<std::string>{"zero", "a", "b", "c"}));
+}
+
+TEST(DocumentTest, RemoveLeafSplicesSiblings) {
+  Document doc;
+  NodeId root = doc.CreateElement("r");
+  ASSERT_OK(doc.SetRoot(root));
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  NodeId c = doc.CreateElement("c");
+  ASSERT_OK(doc.AppendChild(root, a));
+  ASSERT_OK(doc.AppendChild(root, b));
+  ASSERT_OK(doc.AppendChild(root, c));
+
+  ASSERT_OK(doc.RemoveLeaf(b));
+  EXPECT_FALSE(doc.IsAlive(b));
+  EXPECT_EQ(doc.next_sibling(a), c);
+  EXPECT_EQ(doc.prev_sibling(c), a);
+  EXPECT_EQ(doc.CountChildren(root), 2u);
+
+  // Removing head and tail.
+  ASSERT_OK(doc.RemoveLeaf(a));
+  EXPECT_EQ(doc.first_child(root), c);
+  ASSERT_OK(doc.RemoveLeaf(c));
+  EXPECT_FALSE(doc.HasChildren(root));
+}
+
+TEST(DocumentTest, RemoveLeafRejectsInteriorNodes) {
+  Document doc;
+  NodeId root = doc.CreateElement("r");
+  ASSERT_OK(doc.SetRoot(root));
+  NodeId a = doc.CreateElement("a");
+  ASSERT_OK(doc.AppendChild(root, a));
+  NodeId leaf = doc.CreateElement("leaf");
+  ASSERT_OK(doc.AppendChild(a, leaf));
+  EXPECT_EQ(doc.RemoveLeaf(a).code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(doc.RemoveLeaf(leaf));
+  ASSERT_OK(doc.RemoveLeaf(a));  // now a leaf
+}
+
+TEST(DocumentTest, AttachmentErrors) {
+  Document doc;
+  NodeId root = doc.CreateElement("r");
+  ASSERT_OK(doc.SetRoot(root));
+  NodeId a = doc.CreateElement("a");
+  ASSERT_OK(doc.AppendChild(root, a));
+  // Already attached.
+  EXPECT_FALSE(doc.AppendChild(root, a).ok());
+  // Second root.
+  NodeId other = doc.CreateElement("other");
+  EXPECT_FALSE(doc.SetRoot(other).ok());
+  // Text as root.
+  Document doc2;
+  NodeId t = doc2.CreateText("x");
+  EXPECT_FALSE(doc2.SetRoot(t).ok());
+  // Insert relative to a detached node.
+  Document doc3;
+  NodeId lone = doc3.CreateElement("lone");
+  NodeId n = doc3.CreateElement("n");
+  EXPECT_EQ(doc3.InsertBefore(lone, n).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DocumentTest, RenameAndSetText) {
+  Document doc;
+  NodeId root = doc.CreateElement("r");
+  ASSERT_OK(doc.SetRoot(root));
+  ASSERT_OK(doc.Rename(root, "renamed"));
+  EXPECT_EQ(doc.label(root), "renamed");
+  EXPECT_FALSE(doc.Rename(root, "bad name").ok());
+  NodeId t = doc.CreateText("old");
+  ASSERT_OK(doc.AppendChild(root, t));
+  ASSERT_OK(doc.SetText(t, "new"));
+  EXPECT_EQ(doc.text(t), "new");
+  EXPECT_FALSE(doc.SetText(root, "x").ok());
+  EXPECT_FALSE(doc.Rename(t, "x").ok());
+}
+
+TEST(DocumentTest, AttributesRoundTrip) {
+  Document doc;
+  NodeId e = doc.CreateElement("e");
+  ASSERT_OK(doc.AddAttribute(e, "name", "value"));
+  ASSERT_OK(doc.AddAttribute(e, "other", "x"));
+  ASSERT_EQ(doc.attributes(e).size(), 2u);
+  ASSERT_NE(doc.FindAttribute(e, "name"), nullptr);
+  EXPECT_EQ(*doc.FindAttribute(e, "name"), "value");
+  EXPECT_EQ(doc.FindAttribute(e, "missing"), nullptr);
+}
+
+TEST(DocumentTest, SimpleContentConcatenatesTextChildren) {
+  Document doc;
+  NodeId e = doc.CreateElement("e");
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("12")));
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("34")));
+  EXPECT_EQ(doc.SimpleContent(e), "1234");
+}
+
+TEST(DocumentTest, HasOnlyWhitespaceText) {
+  Document doc;
+  NodeId e = doc.CreateElement("e");
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("  \n")));
+  EXPECT_TRUE(doc.HasOnlyWhitespaceText(e));
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("x")));
+  EXPECT_FALSE(doc.HasOnlyWhitespaceText(e));
+}
+
+TEST(DocumentTest, ElementChildrenSkipsText) {
+  Document doc;
+  NodeId e = doc.CreateElement("e");
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("t")));
+  ASSERT_OK(doc.AppendChild(e, doc.CreateElement("a")));
+  ASSERT_OK(doc.AppendChild(e, doc.CreateText("t2")));
+  ASSERT_OK(doc.AppendChild(e, doc.CreateElement("b")));
+  EXPECT_EQ(ElementChildren(doc, e).size(), 2u);
+  auto labels = ChildLabelString(doc, e);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "a");
+  EXPECT_EQ(labels[1], "b");
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

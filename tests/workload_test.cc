@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/full_validator.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "workload/random_docs.h"
+#include "workload/update_workload.h"
+#include "xml/label_index.h"
+#include "xml/serializer.h"
+
+namespace xmlreval::workload {
+namespace {
+
+using schema::Alphabet;
+using schema::Schema;
+
+TEST(PoGeneratorTest, DeterministicUnderSeed) {
+  PoGeneratorOptions options;
+  options.item_count = 10;
+  options.seed = 123;
+  std::string a = xml::Serialize(GeneratePurchaseOrder(options));
+  std::string b = xml::Serialize(GeneratePurchaseOrder(options));
+  EXPECT_EQ(a, b);
+  options.seed = 124;
+  EXPECT_NE(a, xml::Serialize(GeneratePurchaseOrder(options)));
+}
+
+TEST(PoGeneratorTest, RespectsOptions) {
+  PoGeneratorOptions options;
+  options.item_count = 7;
+  options.include_bill_to = false;
+  options.ship_date_percent = 0;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::LabelIndex index = xml::LabelIndex::Build(doc);
+  EXPECT_EQ(index.Instances("item").size(), 7u);
+  EXPECT_TRUE(index.Instances("billTo").empty());
+  EXPECT_TRUE(index.Instances("shipDate").empty());
+  options.ship_date_percent = 100;
+  options.include_bill_to = true;
+  xml::Document doc2 = GeneratePurchaseOrder(options);
+  xml::LabelIndex index2 = xml::LabelIndex::Build(doc2);
+  EXPECT_EQ(index2.Instances("shipDate").size(), 7u);
+  EXPECT_EQ(index2.Instances("billTo").size(), 1u);
+}
+
+TEST(PoGeneratorTest, QuantityRangeHonored) {
+  PoGeneratorOptions options;
+  options.item_count = 50;
+  options.quantity_min = 150;
+  options.quantity_max = 160;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::LabelIndex index = xml::LabelIndex::Build(doc);
+  for (xml::NodeId q : index.Instances("quantity")) {
+    int v = std::stoi(doc.SimpleContent(q));
+    EXPECT_GE(v, 150);
+    EXPECT_LE(v, 160);
+  }
+}
+
+TEST(SampleDocumentTest, SamplesAreAlwaysValid) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = schema::ParseXsd(kTargetXsd, alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Schema schema = std::move(parsed).value();
+  core::FullValidator validator(&schema);
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomDocOptions options;
+    options.seed = seed;
+    options.max_elements = 60;
+    options.root_label = "purchaseOrder";
+    auto doc = SampleDocument(schema, options);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    core::ValidationReport report = validator.Validate(*doc);
+    EXPECT_TRUE(report.valid) << "seed=" << seed << ": " << report.violation;
+  }
+}
+
+TEST(SampleDocumentTest, RecursiveSchemaTerminates) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = schema::ParseDtd(
+      "<!ELEMENT node (leaf | (node, node))>"
+      "<!ELEMENT leaf (#PCDATA)>",
+      alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Schema schema = std::move(parsed).value();
+  core::FullValidator validator(&schema);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomDocOptions options;
+    options.seed = seed;
+    options.max_elements = 100;
+    options.root_label = "node";
+    auto doc = SampleDocument(schema, options);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(validator.Validate(*doc).valid) << "seed=" << seed;
+  }
+}
+
+TEST(SampleDocumentTest, ErrorsOnUnknownRoot) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto parsed = schema::ParseDtd("<!ELEMENT a EMPTY>", alphabet);
+  ASSERT_TRUE(parsed.ok());
+  Schema schema = std::move(parsed).value();
+  RandomDocOptions options;
+  options.root_label = "zzz";
+  EXPECT_FALSE(SampleDocument(schema, options).ok());
+}
+
+TEST(SampleSimpleValueTest, RespectsFacets) {
+  schema::SimpleType quantity{schema::AtomicKind::kPositiveInteger, {}};
+  quantity.facets.max_exclusive = 100ll * 1000000000;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    std::string v = SampleSimpleValue(quantity, seed);
+    EXPECT_OK(schema::ValidateSimpleValue(quantity, v));
+  }
+  schema::SimpleType enumt{schema::AtomicKind::kString, {}};
+  enumt.facets.enumeration = {"x", "y"};
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_OK(schema::ValidateSimpleValue(enumt,
+                                          SampleSimpleValue(enumt, seed)));
+  }
+  schema::SimpleType date{schema::AtomicKind::kDate, {}};
+  EXPECT_OK(schema::ValidateSimpleValue(date, SampleSimpleValue(date, 3)));
+}
+
+TEST(UpdateWorkloadTest, AppliesRequestedEditCount) {
+  PoGeneratorOptions options;
+  options.item_count = 20;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 8;
+  update_options.seed = 99;
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->size(), 8u);
+  xml::ModificationIndex mods = editor.Seal();
+  EXPECT_GE(mods.update_count(), 8u);
+}
+
+TEST(UpdateWorkloadTest, DeterministicUnderSeed) {
+  PoGeneratorOptions options;
+  options.item_count = 10;
+  auto run = [&](uint64_t seed) {
+    xml::Document doc = GeneratePurchaseOrder(options);
+    xml::DocumentEditor editor(&doc);
+    UpdateWorkloadOptions update_options;
+    update_options.edit_count = 5;
+    update_options.seed = seed;
+    auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+    EXPECT_TRUE(applied.ok());
+    editor.Seal();
+    EXPECT_TRUE(editor.Commit().ok());
+    return xml::Serialize(doc);
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(UpdateWorkloadTest, WeightsFilterKinds) {
+  PoGeneratorOptions options;
+  options.item_count = 10;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 10;
+  update_options.rename_weight = 0;
+  update_options.insert_weight = 0;
+  update_options.delete_weight = 0;
+  update_options.text_edit_weight = 1;
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok());
+  for (const auto& update : *applied) {
+    EXPECT_EQ(update.kind, AppliedUpdate::Kind::kTextEdit);
+  }
+}
+
+}  // namespace
+}  // namespace xmlreval::workload

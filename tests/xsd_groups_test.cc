@@ -1,0 +1,132 @@
+// Tests for XSD named model groups (<group name/ref>) and attribute
+// groups (<attributeGroup name/ref>).
+
+#include <gtest/gtest.h>
+
+#include "core/full_validator.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xmlreval::schema {
+namespace {
+
+TEST(XsdGroupTest, GroupRefSplicesParticle) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <group name="KeyValue">
+        <sequence>
+          <element name="k" type="string"/>
+          <element name="v" type="integer"/>
+        </sequence>
+      </group>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <group ref="KeyValue" maxOccurs="unbounded"/>
+        </sequence>
+      </complexType>
+      <element name="single" type="S"/>
+      <complexType name="S">
+        <sequence>
+          <group ref="KeyValue" minOccurs="0"/>
+        </sequence>
+      </complexType>
+    </schema>)";
+  auto parsed = ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Schema schema = std::move(parsed).value();
+  core::FullValidator validator(&schema);
+  auto check = [&](const char* text) {
+    auto doc = xml::ParseXml(text);
+    EXPECT_TRUE(doc.ok());
+    return validator.Validate(*doc).valid;
+  };
+  EXPECT_TRUE(check("<r><k>a</k><v>1</v></r>"));
+  EXPECT_TRUE(check("<r><k>a</k><v>1</v><k>b</k><v>2</v></r>"));
+  EXPECT_FALSE(check("<r/>"));                  // at least one pair
+  EXPECT_FALSE(check("<r><k>a</k></r>"));       // v missing
+  EXPECT_TRUE(check("<single/>"));              // group optional in S
+  EXPECT_TRUE(check("<single><k>a</k><v>1</v></single>"));
+}
+
+TEST(XsdGroupTest, GroupErrors) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // Unknown ref.
+  EXPECT_FALSE(ParseXsd(R"(
+    <schema><element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <group ref="Nope"/>
+      </sequence></complexType></schema>)",
+                        alphabet)
+                   .ok());
+  // Cyclic groups.
+  Result<Schema> cyclic = ParseXsd(R"(
+    <schema>
+      <group name="A"><sequence><group ref="B"/></sequence></group>
+      <group name="B"><sequence><group ref="A"/></sequence></group>
+      <element name="r" type="R"/>
+      <complexType name="R"><sequence><group ref="A"/></sequence>
+      </complexType>
+    </schema>)",
+                                   alphabet);
+  ASSERT_FALSE(cyclic.ok());
+  EXPECT_NE(cyclic.status().message().find("cyclic"), std::string::npos);
+  // Group without a name at top level.
+  EXPECT_FALSE(ParseXsd("<schema><group><sequence/></group></schema>",
+                        alphabet)
+                   .ok());
+}
+
+TEST(XsdAttributeGroupTest, RefSplicesAttributes) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <attributeGroup name="Audit">
+        <attribute name="createdBy" type="string" use="required"/>
+        <attribute name="version" type="positiveInteger"/>
+      </attributeGroup>
+      <element name="doc" type="Doc"/>
+      <complexType name="Doc">
+        <sequence><element name="body" type="string"/></sequence>
+        <attributeGroup ref="Audit"/>
+        <attribute name="title" type="string"/>
+      </complexType>
+    </schema>)";
+  auto parsed = ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Schema schema = std::move(parsed).value();
+  const ComplexType& doc_type = schema.complex_type(*schema.FindType("Doc"));
+  EXPECT_EQ(doc_type.attributes.size(), 3u);
+  EXPECT_TRUE(doc_type.attributes.at("createdBy").required);
+
+  core::FullValidator validator(&schema);
+  auto ok = xml::ParseXml(
+      "<doc createdBy=\"me\" version=\"2\" title=\"t\"><body>x</body></doc>");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(validator.Validate(*ok).valid);
+  auto missing = xml::ParseXml("<doc title=\"t\"><body>x</body></doc>");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(validator.Validate(*missing).valid);
+}
+
+TEST(XsdAttributeGroupTest, GroupWithAnyAttributeOpensType) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <attributeGroup name="Open"><anyAttribute/></attributeGroup>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence/>
+        <attributeGroup ref="Open"/>
+      </complexType>
+    </schema>)";
+  auto parsed = ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Schema schema = std::move(parsed).value();
+  EXPECT_TRUE(schema.complex_type(*schema.FindType("R")).open_attributes);
+}
+
+}  // namespace
+}  // namespace xmlreval::schema

@@ -1,0 +1,250 @@
+#include "schema/xsd_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::schema {
+namespace {
+
+TEST(XsdParserTest, ParsesPaperTargetSchema) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(Schema schema,
+                       ParseXsd(workload::kTargetXsd, alphabet));
+  // Global elements become roots.
+  EXPECT_NE(schema.RootType(*alphabet->Find("purchaseOrder")), kInvalidType);
+  EXPECT_NE(schema.RootType(*alphabet->Find("comment")), kInvalidType);
+  // Named complex types exist.
+  ASSERT_TRUE(schema.FindType("POType2").has_value());
+  ASSERT_TRUE(schema.FindType("USAddress").has_value());
+  ASSERT_TRUE(schema.FindType("Items").has_value());
+  ASSERT_TRUE(schema.FindType("Item").has_value());
+  // purchaseOrder's type is POType2.
+  EXPECT_EQ(schema.RootType(*alphabet->Find("purchaseOrder")),
+            *schema.FindType("POType2"));
+  // Item's quantity child is an anonymous simple type with the facet.
+  TypeId item = *schema.FindType("Item");
+  TypeId quantity = schema.ChildType(item, *alphabet->Find("quantity"));
+  ASSERT_NE(quantity, kInvalidType);
+  ASSERT_TRUE(schema.IsSimple(quantity));
+  const SimpleType& qt = schema.simple_type(quantity);
+  EXPECT_EQ(qt.kind, AtomicKind::kPositiveInteger);
+  ASSERT_TRUE(qt.facets.max_exclusive.has_value());
+  EXPECT_EQ(*qt.facets.max_exclusive, 100ll * 1000000000);
+}
+
+TEST(XsdParserTest, ContentModelCompiles) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(Schema schema,
+                       ParseXsd(workload::kTargetXsd, alphabet));
+  const automata::Dfa& dfa = schema.ContentDfa(*schema.FindType("POType2"));
+  auto word = [&](std::initializer_list<const char*> labels) {
+    std::vector<automata::Symbol> out;
+    for (const char* l : labels) out.push_back(*alphabet->Find(l));
+    return out;
+  };
+  EXPECT_TRUE(dfa.Accepts(word({"shipTo", "billTo", "items"})));
+  EXPECT_FALSE(dfa.Accepts(word({"shipTo", "items"})));  // billTo required
+
+  const automata::Dfa& items = schema.ContentDfa(*schema.FindType("Items"));
+  EXPECT_TRUE(items.AcceptsEmpty());  // minOccurs=0
+  EXPECT_TRUE(items.Accepts(word({"item", "item", "item"})));
+}
+
+TEST(XsdParserTest, SourceSchemaBillToOptional) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(Schema schema,
+                       ParseXsd(workload::kSourceXsd, alphabet));
+  const automata::Dfa& dfa = schema.ContentDfa(*schema.FindType("POType1"));
+  auto word = [&](std::initializer_list<const char*> labels) {
+    std::vector<automata::Symbol> out;
+    for (const char* l : labels) out.push_back(*alphabet->Find(l));
+    return out;
+  };
+  EXPECT_TRUE(dfa.Accepts(word({"shipTo", "billTo", "items"})));
+  EXPECT_TRUE(dfa.Accepts(word({"shipTo", "items"})));
+}
+
+TEST(XsdParserTest, ChoiceAndNestedParticles) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <element name="head" type="string"/>
+          <choice minOccurs="0" maxOccurs="unbounded">
+            <element name="a" type="string"/>
+            <sequence>
+              <element name="b" type="string"/>
+              <element name="c" type="string"/>
+            </sequence>
+          </choice>
+        </sequence>
+      </complexType>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  const automata::Dfa& dfa = schema.ContentDfa(*schema.FindType("R"));
+  auto word = [&](std::initializer_list<const char*> labels) {
+    std::vector<automata::Symbol> out;
+    for (const char* l : labels) out.push_back(*alphabet->Find(l));
+    return out;
+  };
+  EXPECT_TRUE(dfa.Accepts(word({"head"})));
+  EXPECT_TRUE(dfa.Accepts(word({"head", "a", "b", "c", "a"})));
+  EXPECT_FALSE(dfa.Accepts(word({"head", "b"})));  // c must follow b
+}
+
+TEST(XsdParserTest, ElementRef) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="leaf" type="string"/>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <element ref="leaf" maxOccurs="3"/>
+        </sequence>
+      </complexType>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  TypeId r = *schema.FindType("R");
+  TypeId leaf_type = schema.ChildType(r, *alphabet->Find("leaf"));
+  EXPECT_TRUE(schema.IsSimple(leaf_type));
+}
+
+TEST(XsdParserTest, NamedSimpleTypeAndSharing) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <simpleType name="Score">
+        <restriction base="integer">
+          <minInclusive value="0"/>
+          <maxInclusive value="10"/>
+        </restriction>
+      </simpleType>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <element name="s1" type="Score"/>
+          <element name="s2" type="Score"/>
+        </sequence>
+      </complexType>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  TypeId r = *schema.FindType("R");
+  // Identical restrictions share one interned declaration.
+  EXPECT_EQ(schema.ChildType(r, *alphabet->Find("s1")),
+            schema.ChildType(r, *alphabet->Find("s2")));
+}
+
+TEST(XsdParserTest, SimpleTypeDerivationChain) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <simpleType name="Pos"><restriction base="integer">
+        <minInclusive value="1"/></restriction></simpleType>
+      <simpleType name="Small"><restriction base="Pos">
+        <maxInclusive value="5"/></restriction></simpleType>
+      <element name="x" type="Small"/>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  TypeId x = schema.RootType(*alphabet->Find("x"));
+  const SimpleType& t = schema.simple_type(x);
+  EXPECT_EQ(*t.facets.min_inclusive, 1ll * 1000000000);
+  EXPECT_EQ(*t.facets.max_inclusive, 5ll * 1000000000);
+}
+
+TEST(XsdParserTest, RecursiveComplexType) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="tree" type="Tree"/>
+      <complexType name="Tree">
+        <sequence>
+          <element name="value" type="integer"/>
+          <element name="tree" type="Tree" minOccurs="0" maxOccurs="2"/>
+        </sequence>
+      </complexType>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  TypeId tree = *schema.FindType("Tree");
+  EXPECT_EQ(schema.ChildType(tree, *alphabet->Find("tree")), tree);
+  EXPECT_TRUE(schema.IsProductive(tree));
+}
+
+TEST(XsdParserTest, EnumerationFacet) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="color">
+        <simpleType>
+          <restriction base="string">
+            <enumeration value="red"/>
+            <enumeration value="green"/>
+          </restriction>
+        </simpleType>
+      </element>
+    </schema>)";
+  ASSERT_OK_AND_ASSIGN(Schema schema, ParseXsd(xsd, alphabet));
+  TypeId color = schema.RootType(*alphabet->Find("color"));
+  EXPECT_EQ(schema.simple_type(color).facets.enumeration.size(), 2u);
+}
+
+TEST(XsdParserTest, Errors) {
+  auto alphabet = std::make_shared<Alphabet>();
+  // Unknown type reference.
+  EXPECT_FALSE(
+      ParseXsd("<schema><element name=\"x\" type=\"Nope\"/></schema>",
+               alphabet)
+          .ok());
+  // Element without a type.
+  EXPECT_FALSE(
+      ParseXsd("<schema><element name=\"x\"/></schema>", alphabet).ok());
+  // Unsupported construct.
+  Result<Schema> any = ParseXsd(
+      "<schema><element name=\"r\"><complexType><sequence><any/></sequence>"
+      "</complexType></element></schema>",
+      alphabet);
+  ASSERT_FALSE(any.ok());
+  EXPECT_EQ(any.status().code(), StatusCode::kUnsupported);
+  // Root must be <schema>.
+  EXPECT_FALSE(ParseXsd("<notschema/>", alphabet).ok());
+  // Cyclic simple derivation.
+  EXPECT_FALSE(ParseXsd(R"(
+    <schema>
+      <simpleType name="A"><restriction base="B"/></simpleType>
+      <simpleType name="B"><restriction base="A"/></simpleType>
+      <element name="x" type="A"/>
+    </schema>)",
+                        alphabet)
+                   .ok());
+  // UPA violation: two consecutive optional 'a' particles.
+  Result<Schema> upa = ParseXsd(R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <element name="a" type="string" minOccurs="0"/>
+          <element name="a" type="string" minOccurs="0"/>
+        </sequence>
+      </complexType>
+    </schema>)",
+                                alphabet);
+  ASSERT_FALSE(upa.ok());
+  EXPECT_EQ(upa.status().code(), StatusCode::kInvalidSchema);
+}
+
+TEST(XsdParserTest, PrefixedAndUnprefixedNodesBothWork) {
+  auto alphabet = std::make_shared<Alphabet>();
+  ASSERT_OK_AND_ASSIGN(
+      Schema schema,
+      ParseXsd("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+               "<xs:element name=\"e\" type=\"xs:string\"/></xs:schema>",
+               alphabet));
+  EXPECT_NE(schema.RootType(*alphabet->Find("e")), kInvalidType);
+}
+
+}  // namespace
+}  // namespace xmlreval::schema

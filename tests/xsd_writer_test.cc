@@ -1,0 +1,152 @@
+#include "schema/xsd_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/relations.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_schemas.h"
+#include "workload/random_schemas.h"
+
+namespace xmlreval::schema {
+namespace {
+
+// Semantic round-trip check: every type of the reparsed schema must be
+// MUTUALLY subsumed with its namesake in the original (same alphabet, so
+// the relations are directly computable).
+void ExpectEquivalent(const Schema& original, const Schema& reparsed) {
+  auto forward = core::TypeRelations::Compute(&original, &reparsed);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  auto backward = core::TypeRelations::Compute(&reparsed, &original);
+  ASSERT_TRUE(backward.ok()) << backward.status().ToString();
+  for (TypeId t = 0; t < original.num_types(); ++t) {
+    auto other = reparsed.FindType(original.TypeName(t));
+    // Plain builtins may be folded into interned declarations on reparse;
+    // only named types must round-trip by name.
+    if (!other) continue;
+    EXPECT_TRUE(forward->Subsumed(t, *other))
+        << "type '" << original.TypeName(t) << "' lost generality";
+    EXPECT_TRUE(backward->Subsumed(*other, t))
+        << "type '" << original.TypeName(t) << "' gained generality";
+  }
+  // Roots must match exactly.
+  for (const auto& [sym, t] : original.roots()) {
+    EXPECT_NE(reparsed.RootType(sym), kInvalidType)
+        << "root '" << original.alphabet()->Name(sym) << "' lost";
+  }
+}
+
+TEST(XsdWriterTest, PaperSchemasRoundTrip) {
+  for (const char* xsd :
+       {workload::kSourceXsd, workload::kTargetXsd,
+        workload::kRelaxedQuantityXsd}) {
+    auto alphabet = std::make_shared<Alphabet>();
+    auto original = ParseXsd(xsd, alphabet);
+    ASSERT_TRUE(original.ok()) << original.status().ToString();
+    ASSERT_OK_AND_ASSIGN(std::string text, WriteXsd(*original));
+    auto reparsed = ParseXsd(text, alphabet);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\nwritten:\n" << text;
+    ExpectEquivalent(*original, *reparsed);
+  }
+}
+
+TEST(XsdWriterTest, DtdSchemasRenderAsXsd) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto original = ParseDtd(workload::kPurchaseOrderDtd, alphabet);
+  ASSERT_TRUE(original.ok());
+  ASSERT_OK_AND_ASSIGN(std::string text, WriteXsd(*original));
+  // DTD types are open: the rendering must carry <anyAttribute/>.
+  EXPECT_NE(text.find("<xsd:anyAttribute/>"), std::string::npos);
+  auto reparsed = ParseXsd(text, alphabet);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nwritten:\n" << text;
+  ExpectEquivalent(*original, *reparsed);
+}
+
+TEST(XsdWriterTest, FacetsAndAttributesSurvive) {
+  auto alphabet = std::make_shared<Alphabet>();
+  const char* xsd = R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <sequence>
+          <element name="q">
+            <simpleType>
+              <restriction base="positiveInteger">
+                <maxExclusive value="100"/>
+              </restriction>
+            </simpleType>
+          </element>
+          <element name="tag" minOccurs="0" maxOccurs="5">
+            <simpleType>
+              <restriction base="string">
+                <enumeration value="red"/>
+                <enumeration value="blue"/>
+              </restriction>
+            </simpleType>
+          </element>
+        </sequence>
+        <attribute name="id" type="string" use="required"/>
+        <attribute name="weight">
+          <simpleType>
+            <restriction base="decimal">
+              <minInclusive value="0.5"/>
+            </restriction>
+          </simpleType>
+        </attribute>
+      </complexType>
+    </schema>)";
+  auto original = ParseXsd(xsd, alphabet);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  ASSERT_OK_AND_ASSIGN(std::string text, WriteXsd(*original));
+  auto reparsed = ParseXsd(text, alphabet);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nwritten:\n" << text;
+  ExpectEquivalent(*original, *reparsed);
+  // Spot-check rendered artifacts.
+  EXPECT_NE(text.find("maxExclusive"), std::string::npos);
+  EXPECT_NE(text.find("use=\"required\""), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+  EXPECT_NE(text.find("maxOccurs=\"5\""), std::string::npos);
+}
+
+TEST(XsdWriterTest, AllGroupsRejected) {
+  auto alphabet = std::make_shared<Alphabet>();
+  auto original = ParseXsd(R"(
+    <schema>
+      <element name="r" type="R"/>
+      <complexType name="R">
+        <all><element name="x" type="string"/></all>
+      </complexType>
+    </schema>)",
+                           alphabet);
+  ASSERT_TRUE(original.ok());
+  Result<std::string> text = WriteXsd(*original);
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kUnsupported);
+}
+
+// Property: random schemas round-trip semantically.
+class WriterRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WriterRoundTrip, RandomSchemasAreEquivalentAfterReparse) {
+  auto alphabet = std::make_shared<Alphabet>();
+  workload::RandomSchemaOptions options;
+  options.seed = GetParam();
+  options.complex_types = 3 + GetParam() % 4;
+  auto original = workload::GenerateRandomSchema(alphabet, options);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  ASSERT_OK_AND_ASSIGN(std::string text, WriteXsd(*original));
+  auto reparsed = ParseXsd(text, alphabet);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nwritten:\n" << text;
+  ExpectEquivalent(*original, *reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriterRoundTrip,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace xmlreval::schema

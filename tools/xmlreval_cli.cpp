@@ -1,0 +1,321 @@
+// xmlreval — command-line front end.
+//
+//   xmlreval validate  <schema> <doc.xml>            full validation
+//   xmlreval cast      <source> <target> <doc.xml>   schema cast validation
+//   xmlreval correct   <source> <target> <doc.xml> [-o out.xml]
+//   xmlreval sample    <schema> [--root LABEL] [--seed N] [--max-elems N]
+//   xmlreval relations <source> <target>             dump R_sub / R_dis
+//
+// Schemas are loaded by extension: *.dtd through the DTD front end,
+// anything else through the XSD front end. Exit status: 0 = valid /
+// success, 1 = invalid document, 2 = usage or input error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+#include "core/cast_validator.h"
+#include "core/corrector.h"
+#include "core/full_validator.h"
+#include "core/relations.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+#include "schema/xsd_writer.h"
+#include "workload/random_docs.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+using namespace xmlreval;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xmlreval validate  <schema> <doc.xml>\n"
+               "  xmlreval cast      <source> <target> <doc.xml>\n"
+               "  xmlreval correct   <source> <target> <doc.xml> [-o out]\n"
+               "  xmlreval sample    <schema> [--root L] [--seed N]"
+               " [--max-elems N]\n"
+               "  xmlreval relations <source> <target>\n"
+               "  xmlreval export    <schema>\n"
+               "\nschemas ending in .dtd use the DTD front end; everything\n"
+               "else is parsed as XML Schema.\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool HasSuffix(const std::string& path, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
+Result<schema::Schema> LoadSchema(
+    const std::string& path,
+    const std::shared_ptr<automata::Alphabet>& alphabet) {
+  ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  if (HasSuffix(path, ".dtd")) {
+    return schema::ParseDtd(text, alphabet);
+  }
+  return schema::ParseXsd(text, alphabet);
+}
+
+Result<xml::Document> LoadDocument(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return xml::ParseXml(text);
+}
+
+void PrintReport(const char* what, const core::ValidationReport& report) {
+  if (report.valid) {
+    std::printf("%s: VALID  (visited %llu nodes, skipped %llu subtrees, "
+                "%llu DFA steps)\n",
+                what, (unsigned long long)report.counters.nodes_visited,
+                (unsigned long long)report.counters.subtrees_skipped,
+                (unsigned long long)report.counters.dfa_steps);
+  } else {
+    std::printf("%s: INVALID at %s — %s\n", what,
+                report.violation_path.ToString().c_str(),
+                report.violation.c_str());
+  }
+}
+
+int CmdValidate(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  auto schema = LoadSchema(argv[0], alphabet);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 2;
+  }
+  auto doc = LoadDocument(argv[1]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  core::FullValidator validator(&*schema);
+  core::ValidationReport report = validator.Validate(*doc);
+  PrintReport("validate", report);
+  return report.valid ? 0 : 1;
+}
+
+struct LoadedPair {
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::unique_ptr<core::TypeRelations> relations;
+};
+
+Result<LoadedPair> LoadPair(const std::string& source_path,
+                            const std::string& target_path) {
+  LoadedPair pair;
+  pair.alphabet = std::make_shared<automata::Alphabet>();
+  ASSIGN_OR_RETURN(schema::Schema source,
+                   LoadSchema(source_path, pair.alphabet));
+  pair.source = std::make_unique<schema::Schema>(std::move(source));
+  ASSIGN_OR_RETURN(schema::Schema target,
+                   LoadSchema(target_path, pair.alphabet));
+  pair.target = std::make_unique<schema::Schema>(std::move(target));
+  ASSIGN_OR_RETURN(core::TypeRelations relations,
+                   core::TypeRelations::Compute(pair.source.get(),
+                                                pair.target.get()));
+  pair.relations =
+      std::make_unique<core::TypeRelations>(std::move(relations));
+  return pair;
+}
+
+int CmdCast(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  auto pair = LoadPair(argv[0], argv[1]);
+  if (!pair.ok()) {
+    std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
+    return 2;
+  }
+  auto doc = LoadDocument(argv[2]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  // Establish the precondition before casting.
+  core::ValidationReport source_report =
+      core::FullValidator(pair->source.get()).Validate(*doc);
+  if (!source_report.valid) {
+    std::fprintf(stderr,
+                 "input is not valid under the SOURCE schema (%s); the "
+                 "cast precondition does not hold\n",
+                 source_report.violation.c_str());
+    return 2;
+  }
+  core::CastValidator validator(pair->relations.get());
+  core::ValidationReport report = validator.Validate(*doc);
+  PrintReport("cast", report);
+  return report.valid ? 0 : 1;
+}
+
+int CmdCorrect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string out_path;
+  if (argc == 5 && std::strcmp(argv[3], "-o") == 0) {
+    out_path = argv[4];
+  } else if (argc != 3) {
+    return Usage();
+  }
+  auto pair = LoadPair(argv[0], argv[1]);
+  if (!pair.ok()) {
+    std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
+    return 2;
+  }
+  auto doc = LoadDocument(argv[2]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  core::ValidationReport source_report =
+      core::FullValidator(pair->source.get()).Validate(*doc);
+  if (!source_report.valid) {
+    std::fprintf(stderr, "input is not valid under the source schema (%s)\n",
+                 source_report.violation.c_str());
+    return 2;
+  }
+  core::DocumentCorrector corrector(pair->relations.get());
+  auto report = corrector.Correct(&*doc);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  for (const core::CorrectionStep& step : report->steps) {
+    const char* kind = "?";
+    switch (step.kind) {
+      case core::CorrectionStep::Kind::kRewriteText:
+        kind = "rewrite";
+        break;
+      case core::CorrectionStep::Kind::kInsertElement:
+        kind = "insert";
+        break;
+      case core::CorrectionStep::Kind::kDeleteSubtree:
+        kind = "delete";
+        break;
+    }
+    std::printf("  %-8s at %-10s %s\n", kind, step.where.c_str(),
+                step.detail.c_str());
+  }
+  std::printf("%zu repair(s) applied\n", report->steps.size());
+  std::string text = xml::Serialize(*doc);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    out << text;
+  }
+  return 0;
+}
+
+int CmdSample(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  workload::RandomDocOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      options.root_label = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-elems") == 0 && i + 1 < argc) {
+      options.max_elements = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  auto schema = LoadSchema(argv[0], alphabet);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 2;
+  }
+  auto doc = workload::SampleDocument(*schema, options);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(xml::Serialize(*doc).c_str(), stdout);
+  return 0;
+}
+
+// Renders any supported schema (DTD included) as XSD text.
+int CmdExport(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  auto schema = LoadSchema(argv[0], alphabet);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 2;
+  }
+  auto text = schema::WriteXsd(*schema);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+int CmdRelations(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto pair = LoadPair(argv[0], argv[1]);
+  if (!pair.ok()) {
+    std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
+    return 2;
+  }
+  const schema::Schema& source = *pair->source;
+  const schema::Schema& target = *pair->target;
+  std::printf("%zu source types x %zu target types\n", source.num_types(),
+              target.num_types());
+  for (schema::TypeId s = 0; s < source.num_types(); ++s) {
+    for (schema::TypeId t = 0; t < target.num_types(); ++t) {
+      bool subsumed = pair->relations->Subsumed(s, t);
+      bool disjoint = pair->relations->Disjoint(s, t);
+      if (!subsumed && !disjoint) continue;  // print only decisive pairs
+      std::printf("  %-24s %s %-24s\n", source.TypeName(s).c_str(),
+                  subsumed ? "<=" : "><", target.TypeName(t).c_str());
+    }
+  }
+  std::printf("(\"<=\" subsumed, \"><\" disjoint; unlisted pairs need "
+              "traversal)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* command = argv[1];
+  if (std::strcmp(command, "validate") == 0) {
+    return CmdValidate(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "cast") == 0) return CmdCast(argc - 2, argv + 2);
+  if (std::strcmp(command, "correct") == 0) {
+    return CmdCorrect(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "sample") == 0) {
+    return CmdSample(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "relations") == 0) {
+    return CmdRelations(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "export") == 0) {
+    return CmdExport(argc - 2, argv + 2);
+  }
+  return Usage();
+}
