@@ -11,21 +11,27 @@
 
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
+#include "service/validation_service.h"
 #include "workload/po_generator.h"
+#include "workload/po_schemas.h"
 
 namespace {
 
 using namespace xmlreval;
 
-void BM_ConcurrentCast(benchmark::State& state) {
-  bench::SchemaPair& pair = bench::Experiment2Pair();
-  static core::CastValidator validator(pair.relations.get());
-  // Per-thread document (generation excluded from timing).
+// Per-thread document (generation excluded from timing).
+xml::Document ThreadDoc(int thread_index) {
   workload::PoGeneratorOptions options;
   options.item_count = 200;
   options.quantity_max = 99;
-  options.seed = 100 + state.thread_index();
-  xml::Document doc = workload::GeneratePurchaseOrder(options);
+  options.seed = 100 + thread_index;
+  return workload::GeneratePurchaseOrder(options);
+}
+
+void BM_ConcurrentCast(benchmark::State& state) {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  static core::CastValidator validator(pair.relations.get());
+  xml::Document doc = ThreadDoc(state.thread_index());
   for (auto _ : state) {
     core::ValidationReport report = validator.Validate(doc);
     benchmark::DoNotOptimize(report.valid);
@@ -34,6 +40,38 @@ void BM_ConcurrentCast(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ConcurrentCast)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// The same workload through ValidationService with a warm RelationsCache:
+// the delta against BM_ConcurrentCast is the whole service-layer overhead
+// (registry lookups, cache probe, read guard, per-request validator).
+void BM_ConcurrentCastViaService(benchmark::State& state) {
+  struct Shared {
+    service::ValidationService service;
+    service::SchemaHandle source;
+    service::SchemaHandle target;
+    Shared() {
+      source = *service.registry().RegisterXsd(
+          "po-relaxed", workload::kRelaxedQuantityXsd);
+      target = *service.registry().RegisterXsd("po", workload::kTargetXsd);
+      xml::Document doc = ThreadDoc(0);
+      service.Cast(source, target, doc);  // warm the cache
+    }
+  };
+  static Shared shared;
+  xml::Document doc = ThreadDoc(state.thread_index());
+  for (auto _ : state) {
+    auto report = shared.service.Cast(shared.source, shared.target, doc);
+    benchmark::DoNotOptimize(report->valid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ConcurrentCastViaService)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
     ->UseRealTime();
 
 }  // namespace

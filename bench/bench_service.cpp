@@ -1,0 +1,133 @@
+// Serving-layer benchmark: end-to-end text → verdict throughput through
+// ValidationService, cold vs. warm relations cache, across 1/2/4/8
+// threads, plus the SubmitBatch pipeline.
+//
+// Workload: the paper's experiment 2 (Fig. 2 with quantity<200 → Fig. 2,
+// 200-item purchase orders) — the same shape bench_concurrency runs
+// against the bare CastValidator, so the service overhead is directly
+// comparable.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "service/validation_service.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xmlreval;
+
+std::string PoText(uint64_t seed) {
+  workload::PoGeneratorOptions options;
+  options.item_count = 200;
+  options.quantity_max = 99;
+  options.seed = seed;
+  return xml::Serialize(workload::GeneratePurchaseOrder(options));
+}
+
+struct WarmService {
+  service::ValidationService service;
+  service::SchemaHandle source;
+  service::SchemaHandle target;
+
+  WarmService() {
+    source = *service.registry().RegisterXsd("po-relaxed",
+                                             workload::kRelaxedQuantityXsd);
+    target = *service.registry().RegisterXsd("po", workload::kTargetXsd);
+    // Warm the relations cache so steady-state runs never hit the fixpoint.
+    auto doc = xml::ParseXml(PoText(1));
+    service.Cast(source, target, *doc);
+  }
+
+  static WarmService& Get() {
+    static WarmService instance;
+    return instance;
+  }
+};
+
+// Cold start: schema registration (XSD parse), R_sub/R_nondis fixpoint,
+// document parse, and cast — the full price of the first request on a new
+// (S, S') pair. Amortizing THIS across requests is the cache's job.
+void BM_ServiceColdTextToVerdict(benchmark::State& state) {
+  std::string text = PoText(7);
+  for (auto _ : state) {
+    service::ValidationService service;
+    auto source = service.registry().RegisterXsd(
+        "po-relaxed", workload::kRelaxedQuantityXsd);
+    auto target = service.registry().RegisterXsd("po", workload::kTargetXsd);
+    auto doc = xml::ParseXml(text);
+    auto report = service.Cast(*source, *target, *doc);
+    benchmark::DoNotOptimize(report->valid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceColdTextToVerdict)->Unit(benchmark::kMicrosecond);
+
+// Warm steady state: parse + cast per request, registry and cache shared
+// by all threads. Throughput should scale with the thread count — the hot
+// path takes only shared locks, never exclusive ones.
+void BM_ServiceWarmTextToVerdict(benchmark::State& state) {
+  WarmService& warm = WarmService::Get();
+  std::string text = PoText(100 + state.thread_index());
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(text);
+    auto report = warm.service.Cast(warm.source, warm.target, *doc);
+    benchmark::DoNotOptimize(report->valid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceWarmTextToVerdict)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// The batch pipeline: one SubmitBatch of 64 text documents per iteration,
+// fanned over a pool of range(0) workers (warm cache).
+void BM_ServiceBatchPipeline(benchmark::State& state) {
+  service::ValidationService::Options options;
+  options.batch_threads = static_cast<size_t>(state.range(0));
+  service::ValidationService service(options);
+  auto source = *service.registry().RegisterXsd(
+      "po-relaxed", workload::kRelaxedQuantityXsd);
+  auto target = *service.registry().RegisterXsd("po", workload::kTargetXsd);
+  constexpr size_t kBatchSize = 64;
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < kBatchSize; ++i) texts.push_back(PoText(200 + i));
+  {  // warm the cache outside timing
+    auto doc = xml::ParseXml(texts[0]);
+    service.Cast(source, target, *doc);
+  }
+  for (auto _ : state) {
+    std::vector<service::ValidationService::BatchItem> items;
+    items.reserve(kBatchSize);
+    for (const std::string& text : texts) {
+      service::ValidationService::BatchItem item;
+      item.source = source;
+      item.target = target;
+      item.xml_text = text;
+      items.push_back(std::move(item));
+    }
+    auto results = service.SubmitBatch(std::move(items)).get();
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchSize);
+}
+BENCHMARK(BM_ServiceBatchPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,14 +1,13 @@
 // Message broker — the paper's "documents are not available a priori"
 // deployment (§2): a broker receives a stream of XML messages, each
 // guaranteed by its producer to conform to the producer's DTD, and must
-// decide per message whether it satisfies each consumer's DTD. Schemas are
-// preprocessed once at subscription time; messages are validated as they
-// arrive with no per-document preprocessing or annotation.
+// decide per message whether it satisfies each consumer's DTD.
 //
-// Here: one producer ships order records; two consumers subscribed with
-// stricter contracts (one needs the optional priority field, one bounds
-// the item count). The broker routes each message to the consumers whose
-// contract it satisfies.
+// This version routes through the serving layer (src/service/): schemas
+// are registered once in the broker's SchemaRegistry, the (producer,
+// consumer) fixpoints are computed lazily by the RelationsCache on the
+// first message and shared thereafter, and every verdict goes through
+// ValidationService — the same substrate `xmlreval serve-batch` uses.
 //
 // Build & run:  ./build/examples/message_broker
 
@@ -16,10 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/cast_validator.h"
-#include "core/full_validator.h"
-#include "core/relations.h"
-#include "schema/dtd_parser.h"
+#include "service/validation_service.h"
 #include "xml/parser.h"
 
 using namespace xmlreval;
@@ -75,82 +71,91 @@ std::string Message(bool priority, int entries) {
 
 struct Subscription {
   std::string name;
-  std::unique_ptr<schema::Schema> contract;
-  std::unique_ptr<core::TypeRelations> relations;
-  std::unique_ptr<core::CastValidator> validator;
+  service::SchemaHandle contract = service::kInvalidSchemaHandle;
+  int delivered = 0;
+  unsigned long long nodes = 0;
 };
 
 }  // namespace
 
 int main() {
-  auto alphabet = std::make_shared<automata::Alphabet>();
+  service::ValidationService broker;
   schema::DtdParseOptions dtd_options;
   dtd_options.roots = {"message"};
-  auto producer = schema::ParseDtd(kProducerDtd, alphabet, dtd_options);
+
+  // Subscription time: one registration per party. Relations are NOT
+  // precomputed here — the cache fills on first use and is shared after.
+  auto producer =
+      broker.registry().RegisterDtd("producer", kProducerDtd, dtd_options);
   if (!producer.ok()) {
     std::fprintf(stderr, "%s\n", producer.status().ToString().c_str());
     return 1;
   }
-
-  // Subscription time: preprocess (producer, consumer) once per consumer.
   std::vector<Subscription> subscriptions;
   for (auto [name, dtd] : {std::pair{"consumer-A", kConsumerA},
                            std::pair{"consumer-B", kConsumerB}}) {
-    Subscription sub;
-    sub.name = name;
-    auto contract = schema::ParseDtd(dtd, alphabet, dtd_options);
+    auto contract = broker.registry().RegisterDtd(name, dtd, dtd_options);
     if (!contract.ok()) {
       std::fprintf(stderr, "%s\n", contract.status().ToString().c_str());
       return 1;
     }
-    sub.contract = std::make_unique<schema::Schema>(std::move(contract).value());
-    auto relations = core::TypeRelations::Compute(&*producer, sub.contract.get());
-    if (!relations.ok()) {
-      std::fprintf(stderr, "%s\n", relations.status().ToString().c_str());
-      return 1;
-    }
-    sub.relations =
-        std::make_unique<core::TypeRelations>(std::move(relations).value());
-    sub.validator = std::make_unique<core::CastValidator>(sub.relations.get());
-    subscriptions.push_back(std::move(sub));
+    subscriptions.push_back(Subscription{name, *contract, 0, 0});
   }
 
   // Message loop: each arriving message is producer-valid by contract; the
   // broker only pays for the schema differences.
-  core::FullValidator producer_check(&*producer);
-  struct Stats {
-    int delivered = 0;
-    unsigned long long nodes = 0;
-  };
-  std::vector<Stats> stats(subscriptions.size());
-
   std::vector<std::string> wire = {
       Message(true, 2),  Message(false, 1), Message(true, 5),
       Message(false, 8), Message(true, 0),  Message(true, 3),
   };
   for (const std::string& text : wire) {
     auto doc = xml::ParseXml(text);
-    if (!doc.ok() || !producer_check.Validate(*doc).valid) {
+    if (!doc.ok()) {
+      std::printf("REJECTED at ingress (malformed)\n");
+      continue;
+    }
+    auto ingress = broker.Validate(*producer, *doc);
+    if (!ingress.ok() || !ingress->valid) {
       std::printf("REJECTED at ingress (producer contract violated)\n");
       continue;
     }
     std::printf("message (%zu bytes):", text.size());
-    for (size_t i = 0; i < subscriptions.size(); ++i) {
-      core::ValidationReport report = subscriptions[i].validator->Validate(*doc);
-      stats[i].nodes += report.counters.nodes_visited;
-      if (report.valid) {
-        ++stats[i].delivered;
-        std::printf("  -> %s", subscriptions[i].name.c_str());
+    for (Subscription& sub : subscriptions) {
+      auto report = broker.Cast(*producer, sub.contract, *doc);
+      if (!report.ok()) {
+        std::fprintf(stderr, "\n%s\n", report.status().ToString().c_str());
+        return 1;
+      }
+      sub.nodes += report->counters.nodes_visited;
+      if (report->valid) {
+        ++sub.delivered;
+        std::printf("  -> %s", sub.name.c_str());
       }
     }
     std::printf("\n");
   }
 
   std::printf("\nrouting summary:\n");
-  for (size_t i = 0; i < subscriptions.size(); ++i) {
+  for (const Subscription& sub : subscriptions) {
     std::printf("  %s: %d/%zu delivered, %llu nodes examined in total\n",
-                subscriptions[i].name.c_str(), stats[i].delivered, wire.size(),
-                stats[i].nodes);
+                sub.name.c_str(), sub.delivered, wire.size(), sub.nodes);
   }
+
+  service::RelationsCache::Stats cache = broker.cache().stats();
+  service::ValidationService::Counters counters = broker.counters();
+  std::printf(
+      "\nservice stats:\n"
+      "  requests: %llu (%llu full, %llu cast) — %llu valid, %llu invalid\n"
+      "  relations cache: %llu hits, %llu misses, %llu fixpoints computed "
+      "in %llu us, %llu evictions\n",
+      (unsigned long long)counters.requests,
+      (unsigned long long)counters.full_validations,
+      (unsigned long long)counters.casts,
+      (unsigned long long)counters.valid,
+      (unsigned long long)counters.invalid,
+      (unsigned long long)cache.hits, (unsigned long long)cache.misses,
+      (unsigned long long)cache.computations,
+      (unsigned long long)cache.compute_micros,
+      (unsigned long long)cache.evictions);
   return 0;
 }

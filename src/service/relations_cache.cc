@@ -1,0 +1,151 @@
+#include "service/relations_cache.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace xmlreval::service {
+
+RelationsCache::RelationsCache(const SchemaRegistry* registry,
+                               const Options& options)
+    : registry_(registry), options_(options) {}
+
+Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
+                                         SchemaHandle target) {
+  const uint64_t key = Key(source, target);
+
+  // Fast path: shared-lock probe. Copy the entry pointer out so the future
+  // can be awaited without holding the map lock.
+  {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      std::shared_ptr<Entry> entry = it->second;
+      lock.unlock();
+      entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+      if (entry->ready.load(std::memory_order_acquire)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Single-flight join: someone else is computing this pair.
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return entry->future.get();
+    }
+  }
+
+  // Slow path: insert an in-flight entry (double-checked). Whoever inserts
+  // owns the computation; racers become single-flight joiners.
+  std::promise<Result<RelationsPtr>> promise;
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;  // lost the insert race
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->future = promise.get_future().share();
+      entry->last_used.store(
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      entries_.emplace(key, entry);
+      owner = true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!owner) {
+    entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+    return entry->future.get();
+  }
+
+  // Owner: run the fixpoint outside all cache locks, publish to waiters,
+  // then evict (success) or drop the entry (failure — later calls retry).
+  Result<RelationsPtr> result = Compute(source, target);
+  entry->ready.store(true, std::memory_order_release);
+  promise.set_value(result);
+  {
+    std::unique_lock lock(mutex_);
+    if (result.ok()) {
+      EvictIfOver();
+    } else {
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    }
+  }
+  return result;
+}
+
+Result<RelationsPtr> RelationsCache::Compute(SchemaHandle source,
+                                             SchemaHandle target) {
+  std::shared_ptr<const schema::Schema> src = registry_->schema(source);
+  std::shared_ptr<const schema::Schema> tgt = registry_->schema(target);
+  if (!src || !tgt) {
+    return Status::InvalidArgument(
+        "invalid schema handle (" + std::to_string(source) + ", " +
+        std::to_string(target) + ") passed to RelationsCache::Get");
+  }
+  // TypeRelations::Compute reads the shared Alphabet (padding DFAs to its
+  // size); hold the registry read guard so no registration grows Σ under it.
+  auto guard = registry_->ReadGuard();
+  auto t0 = std::chrono::steady_clock::now();
+  Result<core::TypeRelations> relations =
+      core::TypeRelations::Compute(src.get(), tgt.get(), options_.relations);
+  auto t1 = std::chrono::steady_clock::now();
+  compute_micros_.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count(),
+      std::memory_order_relaxed);
+  computations_.fetch_add(1, std::memory_order_relaxed);
+  if (!relations.ok()) return relations.status();
+  // The relations keep both schemas alive via the captured shared_ptrs.
+  struct Holder {
+    std::shared_ptr<const schema::Schema> src, tgt;
+    core::TypeRelations relations;
+  };
+  auto holder = std::make_shared<Holder>(
+      Holder{std::move(src), std::move(tgt), std::move(relations).value()});
+  return RelationsPtr(holder, &holder->relations);
+}
+
+void RelationsCache::EvictIfOver() {
+  if (options_.capacity == 0) return;
+  size_t ready_count = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready.load(std::memory_order_acquire)) ++ready_count;
+  }
+  while (ready_count > options_.capacity) {
+    uint64_t victim_key = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (const auto& [key, entry] : entries_) {
+      if (!entry->ready.load(std::memory_order_acquire)) continue;
+      uint64_t used = entry->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim_key = key;
+      }
+    }
+    entries_.erase(victim_key);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    --ready_count;
+  }
+}
+
+RelationsCache::Stats RelationsCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.computations = computations_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.compute_micros = compute_micros_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t RelationsCache::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace xmlreval::service

@@ -1,0 +1,111 @@
+// RelationsCache — memoized R_sub/R_nondis preprocessing.
+//
+// Computing a TypeRelations is the expensive, document-independent half of
+// schema-cast validation (DESIGN.md bench A3: fixpoints over DFA products).
+// The serving layer computes each (source, target) pair's relations at most
+// once and shares the immutable result across every request and thread —
+// the amortization that makes the paper's broker deployment pay off.
+//
+//   * Lookup is a shared-lock hash probe; entries are handed out as
+//     shared_ptr<const TypeRelations>, so an entry evicted while in use
+//     stays alive until its last user drops it.
+//   * Single-flight: the first requester of a pair computes; concurrent
+//     requesters for the same pair block on the in-flight computation
+//     instead of duplicating the fixpoint. The stats `computations` counter
+//     therefore counts distinct pairs computed, never racing duplicates.
+//   * LRU eviction over COMPLETED entries once `capacity` is exceeded
+//     (in-flight computations are never evicted). Recency is a lock-free
+//     logical clock stamped on every hit.
+//   * Failed computations (e.g. a pair over mismatched alphabets) are
+//     reported to all waiters, then dropped — a later request retries.
+
+#ifndef XMLREVAL_SERVICE_RELATIONS_CACHE_H_
+#define XMLREVAL_SERVICE_RELATIONS_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/relations.h"
+#include "service/schema_registry.h"
+
+namespace xmlreval::service {
+
+using RelationsPtr = std::shared_ptr<const core::TypeRelations>;
+
+class RelationsCache {
+ public:
+  struct Options {
+    /// Maximum COMPLETED entries kept; beyond it the least-recently-used
+    /// completed entry is evicted. 0 = unbounded.
+    size_t capacity = 64;
+    /// Passed through to TypeRelations::Compute.
+    core::TypeRelations::Options relations;
+  };
+
+  struct Stats {
+    /// Requests answered from a completed cached entry.
+    uint64_t hits = 0;
+    /// Requests that found no completed entry — the computing request and
+    /// any single-flight waiters that joined it.
+    uint64_t misses = 0;
+    /// Fixpoint computations actually run. Single-flight guarantees
+    /// computations == distinct pairs requested (minus re-computes after
+    /// eviction), regardless of concurrency.
+    uint64_t computations = 0;
+    uint64_t evictions = 0;
+    /// Total wall-clock microseconds spent inside TypeRelations::Compute.
+    uint64_t compute_micros = 0;
+  };
+
+  /// `registry` must outlive the cache; handles passed to Get refer to it.
+  RelationsCache(const SchemaRegistry* registry, const Options& options);
+  explicit RelationsCache(const SchemaRegistry* registry)
+      : RelationsCache(registry, Options{}) {}
+  RelationsCache(const RelationsCache&) = delete;
+  RelationsCache& operator=(const RelationsCache&) = delete;
+
+  /// The relations for (source, target), computed on first use.
+  /// Thread-safe; must NOT be called while holding a registry ReadGuard
+  /// (Get acquires one itself around the computation).
+  Result<RelationsPtr> Get(SchemaHandle source, SchemaHandle target);
+
+  Stats stats() const;
+  /// Completed + in-flight entries currently held.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_future<Result<RelationsPtr>> future;
+    std::atomic<bool> ready{false};
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  Result<RelationsPtr> Compute(SchemaHandle source, SchemaHandle target);
+  void EvictIfOver();  // requires exclusive mutex_
+
+  static uint64_t Key(SchemaHandle source, SchemaHandle target) {
+    return (static_cast<uint64_t>(source) << 32) | target;
+  }
+
+  const SchemaRegistry* registry_;
+  Options options_;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> computations_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> compute_micros_{0};
+};
+
+}  // namespace xmlreval::service
+
+#endif  // XMLREVAL_SERVICE_RELATIONS_CACHE_H_

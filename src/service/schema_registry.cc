@@ -1,0 +1,131 @@
+#include "service/schema_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace xmlreval::service {
+
+SchemaRegistry::SchemaRegistry()
+    : alphabet_(std::make_shared<automata::Alphabet>()) {}
+
+template <typename ParseFn>
+Result<SchemaHandle> SchemaRegistry::RegisterParsed(std::string_view key,
+                                                    std::string_view text,
+                                                    ParseFn&& parse) {
+  if (key.empty()) {
+    return Status::InvalidArgument("schema key must be non-empty");
+  }
+  // The parse interns labels into the shared Alphabet, so it runs under the
+  // exclusive lock: no validator may read Σ concurrently.
+  std::unique_lock lock(mutex_);
+  auto it = versions_.find(std::string(key));
+  if (it != versions_.end()) {
+    const Entry& latest = entries_[it->second.back()];
+    if (!latest.text.empty() && latest.text == text) {
+      return it->second.back();  // idempotent re-registration
+    }
+  }
+  ASSIGN_OR_RETURN(schema::Schema parsed, parse());
+  return Insert(key, text, std::move(parsed));
+}
+
+Result<SchemaHandle> SchemaRegistry::RegisterXsd(
+    std::string_view key, std::string_view text,
+    const schema::XsdParseOptions& options) {
+  return RegisterParsed(
+      key, text, [&] { return schema::ParseXsd(text, alphabet_, options); });
+}
+
+Result<SchemaHandle> SchemaRegistry::RegisterDtd(
+    std::string_view key, std::string_view text,
+    const schema::DtdParseOptions& options) {
+  return RegisterParsed(
+      key, text, [&] { return schema::ParseDtd(text, alphabet_, options); });
+}
+
+Result<SchemaHandle> SchemaRegistry::RegisterSchema(std::string_view key,
+                                                    schema::Schema schema) {
+  if (key.empty()) {
+    return Status::InvalidArgument("schema key must be non-empty");
+  }
+  if (schema.alphabet() != alphabet_) {
+    return Status::InvalidArgument(
+        "schema '" + std::string(key) +
+        "' does not share the registry's alphabet; parse it against "
+        "registry.alphabet()");
+  }
+  std::unique_lock lock(mutex_);
+  return Insert(key, /*text=*/"", std::move(schema));
+}
+
+SchemaHandle SchemaRegistry::Insert(std::string_view key,
+                                    std::string_view text,
+                                    schema::Schema schema) {
+  SchemaHandle handle = static_cast<SchemaHandle>(entries_.size());
+  std::vector<SchemaHandle>& chain = versions_[std::string(key)];
+  Entry entry;
+  entry.key = std::string(key);
+  entry.version = static_cast<uint32_t>(chain.size()) + 1;
+  entry.text = std::string(text);
+  entry.schema = std::make_shared<const schema::Schema>(std::move(schema));
+  entries_.push_back(std::move(entry));
+  chain.push_back(handle);
+  return handle;
+}
+
+Result<SchemaHandle> SchemaRegistry::Resolve(std::string_view key) const {
+  std::shared_lock lock(mutex_);
+  auto it = versions_.find(std::string(key));
+  if (it == versions_.end()) {
+    return Status::NotFound("no schema registered under '" + std::string(key) +
+                            "'");
+  }
+  return it->second.back();
+}
+
+Result<SchemaHandle> SchemaRegistry::Resolve(std::string_view key,
+                                             uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  auto it = versions_.find(std::string(key));
+  if (it == versions_.end()) {
+    return Status::NotFound("no schema registered under '" + std::string(key) +
+                            "'");
+  }
+  if (version == 0 || version > it->second.size()) {
+    return Status::NotFound("schema '" + std::string(key) + "' has no version " +
+                            std::to_string(version) + " (latest is " +
+                            std::to_string(it->second.size()) + ")");
+  }
+  return it->second[version - 1];
+}
+
+std::shared_ptr<const schema::Schema> SchemaRegistry::schema(
+    SchemaHandle handle) const {
+  std::shared_lock lock(mutex_);
+  if (handle >= entries_.size()) return nullptr;
+  return entries_[handle].schema;
+}
+
+Result<SchemaRegistry::Info> SchemaRegistry::info(SchemaHandle handle) const {
+  std::shared_lock lock(mutex_);
+  if (handle >= entries_.size()) {
+    return Status::InvalidArgument("invalid schema handle " +
+                                   std::to_string(handle));
+  }
+  return Info{entries_[handle].key, entries_[handle].version};
+}
+
+size_t SchemaRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+uint32_t SchemaRegistry::VersionCount(std::string_view key) const {
+  std::shared_lock lock(mutex_);
+  auto it = versions_.find(std::string(key));
+  return it == versions_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+}
+
+}  // namespace xmlreval::service

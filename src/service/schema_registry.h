@@ -1,0 +1,123 @@
+// SchemaRegistry — the serving layer's schema store.
+//
+// The paper's broker deployment (§2) preprocesses schemas once, at
+// subscription time, and serves any number of documents against them. The
+// registry is that subscription step made concrete: it interns compiled
+// abstract schemas under string keys, parse-once, immutable thereafter.
+// Re-registering a key creates a new VERSION (schema evolution — the
+// Genevès/Solimando regime of many live schema revisions); registering the
+// latest version's byte-identical text again is a no-op returning the
+// existing handle.
+//
+// All schemas in one registry share one Alphabet, the paper's common Σ —
+// the precondition of TypeRelations::Compute — so any two registered
+// schemas can be cast between. Handles are dense, stable, and cheap to
+// copy; a handle (plus the shared_ptr the registry hands out) stays valid
+// for the registry's lifetime even across later registrations.
+//
+// Thread safety: Register* serializes writers and excludes readers while
+// it parses (parsing interns new labels into the shared Alphabet, which is
+// not concurrency-safe). Resolve/schema/info take the read side. Code that
+// reads the Alphabet OUTSIDE the registry — validators calling
+// Alphabet::Find on the document hot path, TypeRelations::Compute padding
+// DFAs to the alphabet size — must hold a ReadGuard() for the duration so
+// a concurrent registration cannot grow Σ under it. Guards must not be
+// held across calls back into the registry (the lock is not recursive).
+
+#ifndef XMLREVAL_SERVICE_SCHEMA_REGISTRY_H_
+#define XMLREVAL_SERVICE_SCHEMA_REGISTRY_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/abstract_schema.h"
+#include "schema/dtd_parser.h"
+#include "schema/xsd_parser.h"
+
+namespace xmlreval::service {
+
+/// Dense index of one registered schema version within a registry.
+using SchemaHandle = uint32_t;
+inline constexpr SchemaHandle kInvalidSchemaHandle = 0xFFFFFFFFu;
+
+class SchemaRegistry {
+ public:
+  SchemaRegistry();
+  SchemaRegistry(const SchemaRegistry&) = delete;
+  SchemaRegistry& operator=(const SchemaRegistry&) = delete;
+
+  /// Parses and registers XSD text under `key`. A new key starts at
+  /// version 1; an existing key gains the next version — unless `text` is
+  /// byte-identical to the key's latest version, which returns that
+  /// version's handle without reparsing.
+  Result<SchemaHandle> RegisterXsd(std::string_view key, std::string_view text,
+                                   const schema::XsdParseOptions& options = {});
+
+  /// Same for DTD text.
+  Result<SchemaHandle> RegisterDtd(std::string_view key, std::string_view text,
+                                   const schema::DtdParseOptions& options = {});
+
+  /// Registers an already-built Schema. It must share this registry's
+  /// Alphabet (kInvalidArgument otherwise). No text-dedup applies.
+  Result<SchemaHandle> RegisterSchema(std::string_view key,
+                                      schema::Schema schema);
+
+  /// Latest version of `key`, or kNotFound.
+  Result<SchemaHandle> Resolve(std::string_view key) const;
+  /// Specific 1-based version of `key`, or kNotFound.
+  Result<SchemaHandle> Resolve(std::string_view key, uint32_t version) const;
+
+  /// The schema behind a handle; nullptr for out-of-range handles.
+  std::shared_ptr<const schema::Schema> schema(SchemaHandle handle) const;
+
+  struct Info {
+    std::string key;
+    uint32_t version = 0;
+  };
+  /// Key and version of a handle, or kInvalidArgument for bad handles.
+  Result<Info> info(SchemaHandle handle) const;
+
+  /// Total registered schema versions (== 1 + the largest valid handle).
+  size_t size() const;
+  /// Number of versions registered under `key` (0 when unknown).
+  uint32_t VersionCount(std::string_view key) const;
+
+  /// The shared Σ. Do not intern into it directly; do not read it during
+  /// serving without a ReadGuard.
+  const std::shared_ptr<automata::Alphabet>& alphabet() const {
+    return alphabet_;
+  }
+
+  /// Read-side lock covering the shared Alphabet (see header comment).
+  [[nodiscard]] std::shared_lock<std::shared_mutex> ReadGuard() const {
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint32_t version = 0;
+    std::string text;  // source text, for latest-version dedup ("" = none)
+    std::shared_ptr<const schema::Schema> schema;
+  };
+
+  template <typename ParseFn>
+  Result<SchemaHandle> RegisterParsed(std::string_view key,
+                                      std::string_view text, ParseFn&& parse);
+  SchemaHandle Insert(std::string_view key, std::string_view text,
+                      schema::Schema schema);  // requires exclusive mutex_
+
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<automata::Alphabet> alphabet_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::vector<SchemaHandle>> versions_;
+};
+
+}  // namespace xmlreval::service
+
+#endif  // XMLREVAL_SERVICE_SCHEMA_REGISTRY_H_

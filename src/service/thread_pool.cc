@@ -1,0 +1,43 @@
+#include "service/thread_pool.h"
+
+#include <utility>
+
+namespace xmlreval::service {
+
+namespace {
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_(options.queue_capacity) {
+  size_t threads = ResolveThreads(options.threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (std::optional<std::function<void()>> task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace xmlreval::service

@@ -1,0 +1,53 @@
+// ThreadPool — a fixed-size worker pool over a BoundedQueue.
+//
+// Workers are spawned once at construction (no dynamic sizing: the serving
+// layer's throughput knob is explicit, like the thread-count sweep in bench
+// A8). Submit blocks when the queue is full — backpressure, not unbounded
+// buffering — and returns false only after Shutdown. The destructor drains
+// every task already accepted, then joins.
+
+#ifndef XMLREVAL_SERVICE_THREAD_POOL_H_
+#define XMLREVAL_SERVICE_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.h"
+
+namespace xmlreval::service {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; 0 = std::thread::hardware_concurrency (min 1).
+    size_t threads = 0;
+    /// Bounded work-queue capacity (backpressure threshold).
+    size_t queue_capacity = 256;
+  };
+
+  explicit ThreadPool(const Options& options);
+  ThreadPool() : ThreadPool(Options{}) {}
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a task, blocking while the queue is full. Returns false if
+  /// the pool has been shut down (the task is dropped).
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xmlreval::service
+
+#endif  // XMLREVAL_SERVICE_THREAD_POOL_H_

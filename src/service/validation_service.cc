@@ -1,0 +1,172 @@
+#include "service/validation_service.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "xml/parser.h"
+
+namespace xmlreval::service {
+
+ValidationService::ValidationService(const Options& options)
+    : options_(options), registry_(), cache_(&registry_, options.cache) {}
+
+ValidationService::~ValidationService() {
+  // Drain in-flight batch work before members are destroyed.
+  std::lock_guard lock(pool_mutex_);
+  if (pool_) pool_->Shutdown();
+}
+
+Result<core::ValidationReport> ValidationService::Record(
+    Result<core::ValidationReport> result,
+    std::atomic<uint64_t>& op_counter) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  op_counter.fetch_add(1, std::memory_order_relaxed);
+  (result->valid ? valid_ : invalid_).fetch_add(1, std::memory_order_relaxed);
+  nodes_visited_.fetch_add(result->counters.nodes_visited,
+                           std::memory_order_relaxed);
+  return result;
+}
+
+Result<core::ValidationReport> ValidationService::Validate(
+    SchemaHandle schema, const xml::Document& doc) {
+  auto run = [&]() -> Result<core::ValidationReport> {
+    std::shared_ptr<const schema::Schema> target = registry_.schema(schema);
+    if (!target) {
+      return Status::InvalidArgument("invalid schema handle " +
+                                     std::to_string(schema));
+    }
+    // Validators read the shared Alphabet (label lookup on the hot path);
+    // the guard keeps concurrent registrations from growing Σ under them.
+    auto guard = registry_.ReadGuard();
+    return core::FullValidator(target.get()).Validate(doc);
+  };
+  return Record(run(), full_validations_);
+}
+
+Result<core::ValidationReport> ValidationService::Cast(
+    SchemaHandle source, SchemaHandle target, const xml::Document& doc) {
+  auto run = [&]() -> Result<core::ValidationReport> {
+    ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));
+    auto guard = registry_.ReadGuard();
+    if (options_.check_cast_precondition) {
+      core::ValidationReport source_report =
+          core::FullValidator(&relations->source()).Validate(doc);
+      if (!source_report.valid) {
+        return Status::FailedPrecondition(
+            "document is not valid under the source schema (" +
+            source_report.violation + "); the cast precondition fails");
+      }
+    }
+    return core::CastValidator(relations.get(), options_.cast).Validate(doc);
+  };
+  return Record(run(), casts_);
+}
+
+Result<core::ValidationReport> ValidationService::CastWithMods(
+    SchemaHandle source, SchemaHandle target, const xml::Document& doc,
+    const xml::ModificationIndex& mods) {
+  auto run = [&]() -> Result<core::ValidationReport> {
+    ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));
+    auto guard = registry_.ReadGuard();
+    return core::ModValidator(relations.get(), options_.mods)
+        .Validate(doc, mods);
+  };
+  return Record(run(), casts_with_mods_);
+}
+
+ThreadPool& ValidationService::Pool() {
+  std::lock_guard lock(pool_mutex_);
+  if (!pool_) {
+    ThreadPool::Options options;
+    options.threads = options_.batch_threads;
+    options.queue_capacity = options_.batch_queue_capacity;
+    pool_ = std::make_unique<ThreadPool>(options);
+  }
+  return *pool_;
+}
+
+ValidationService::BatchItemResult ValidationService::ProcessItem(
+    const BatchItem& item) {
+  BatchItemResult result;
+  Result<xml::Document> doc = xml::ParseXml(item.xml_text);
+  if (!doc.ok()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    result.status = doc.status().WithContext("batch item");
+    return result;
+  }
+  Result<core::ValidationReport> report =
+      item.op == BatchOp::kValidate ? Validate(item.target, *doc)
+                                    : Cast(item.source, item.target, *doc);
+  if (!report.ok()) {
+    result.status = report.status();
+    return result;
+  }
+  result.report = std::move(report).value();
+  return result;
+}
+
+struct ValidationService::BatchState {
+  std::vector<BatchItem> items;
+  std::vector<BatchItemResult> results;
+  std::atomic<size_t> remaining{0};
+  std::promise<std::vector<BatchItemResult>> done;
+};
+
+std::future<std::vector<ValidationService::BatchItemResult>>
+ValidationService::SubmitBatch(std::vector<BatchItem> items) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_.fetch_add(items.size(), std::memory_order_relaxed);
+
+  auto state = std::make_shared<BatchState>();
+  state->items = std::move(items);
+  state->results.resize(state->items.size());
+  state->remaining.store(state->items.size(), std::memory_order_relaxed);
+  std::future<std::vector<BatchItemResult>> future =
+      state->done.get_future();
+  if (state->items.empty()) {
+    state->done.set_value({});
+    return future;
+  }
+
+  ThreadPool& pool = Pool();
+  for (size_t i = 0; i < state->items.size(); ++i) {
+    auto task = [this, state, i] {
+      state->results[i] = ProcessItem(state->items[i]);
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        state->done.set_value(std::move(state->results));
+      }
+    };
+    if (!pool.Submit(task)) {
+      // Pool shut down mid-batch (service teardown): fail the rest.
+      state->results[i].status =
+          Status::FailedPrecondition("batch pipeline is shut down");
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        state->done.set_value(std::move(state->results));
+      }
+    }
+  }
+  return future;
+}
+
+ValidationService::Counters ValidationService::counters() const {
+  Counters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.valid = valid_.load(std::memory_order_relaxed);
+  counters.invalid = invalid_.load(std::memory_order_relaxed);
+  counters.errors = errors_.load(std::memory_order_relaxed);
+  counters.full_validations =
+      full_validations_.load(std::memory_order_relaxed);
+  counters.casts = casts_.load(std::memory_order_relaxed);
+  counters.casts_with_mods = casts_with_mods_.load(std::memory_order_relaxed);
+  counters.batches = batches_.load(std::memory_order_relaxed);
+  counters.batch_items = batch_items_.load(std::memory_order_relaxed);
+  counters.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace xmlreval::service

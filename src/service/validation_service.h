@@ -1,0 +1,164 @@
+// ValidationService — the serving façade over the revalidation core.
+//
+// One object wires together the pieces a production deployment of the
+// paper's §2 broker needs: a SchemaRegistry (parse each schema once), a
+// RelationsCache (compute each (S, S') fixpoint once, share it across all
+// threads), and dispatch to the existing validators. Callers hold
+// SchemaHandles and documents; the service resolves everything else.
+//
+//   service.registry().RegisterDtd("orders", dtd_text);
+//   auto report = service.Cast(producer, consumer, doc);
+//
+// Synchronous entry points (Validate / Cast / CastWithMods) run on the
+// caller's thread and are safe to call from any number of threads
+// concurrently — including concurrently with Register* calls, which the
+// registry's reader/writer lock serializes against the alphabet reads.
+//
+// SubmitBatch is the throughput path: text-in/verdict-out items fanned out
+// over a fixed-size thread pool behind a bounded MPMC queue (backpressure,
+// not unbounded buffering), returning a future of per-item results in
+// input order.
+
+#ifndef XMLREVAL_SERVICE_VALIDATION_SERVICE_H_
+#define XMLREVAL_SERVICE_VALIDATION_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/mod_validator.h"
+#include "core/report.h"
+#include "service/relations_cache.h"
+#include "service/schema_registry.h"
+#include "service/thread_pool.h"
+#include "xml/editor.h"
+#include "xml/tree.h"
+
+namespace xmlreval::service {
+
+class ValidationService {
+ public:
+  struct Options {
+    RelationsCache::Options cache;
+    core::CastValidator::Options cast;
+    core::ModValidator::Options mods;
+    /// Batch pipeline sizing; the pool is created lazily on the first
+    /// SubmitBatch. threads == 0 means hardware concurrency.
+    size_t batch_threads = 0;
+    size_t batch_queue_capacity = 256;
+    /// Enforce the §3.2 precondition on Cast: full-validate against the
+    /// SOURCE schema first; a source-invalid document fails with
+    /// kFailedPrecondition instead of an arbitrary verdict. Off by default
+    /// — the broker regime trusts producers, and the check costs a full
+    /// traversal, exactly what casting is meant to avoid.
+    bool check_cast_precondition = false;
+  };
+
+  /// Service-level request counters (cache internals live in
+  /// RelationsCache::Stats; these count traffic).
+  struct Counters {
+    uint64_t requests = 0;  // sync + batch items, all ops
+    uint64_t valid = 0;
+    uint64_t invalid = 0;
+    uint64_t errors = 0;  // non-OK Status (bad handle, parse failure, ...)
+    uint64_t full_validations = 0;
+    uint64_t casts = 0;
+    uint64_t casts_with_mods = 0;
+    uint64_t batches = 0;
+    uint64_t batch_items = 0;
+    uint64_t nodes_visited = 0;  // summed over all successful reports
+  };
+
+  explicit ValidationService(const Options& options);
+  ValidationService() : ValidationService(Options{}) {}
+  ValidationService(const ValidationService&) = delete;
+  ValidationService& operator=(const ValidationService&) = delete;
+  ~ValidationService();
+
+  SchemaRegistry& registry() { return registry_; }
+  const SchemaRegistry& registry() const { return registry_; }
+  RelationsCache& cache() { return cache_; }
+  const RelationsCache& cache() const { return cache_; }
+
+  /// Full validation (Definition 1) against a registered schema.
+  Result<core::ValidationReport> Validate(SchemaHandle schema,
+                                          const xml::Document& doc);
+
+  /// Schema-cast validation (§3.2): `doc` is assumed valid under `source`
+  /// (see Options::check_cast_precondition); decides validity under
+  /// `target` using the cached relations.
+  Result<core::ValidationReport> Cast(SchemaHandle source, SchemaHandle target,
+                                      const xml::Document& doc);
+
+  /// Cast with modifications (§3.3) over a Δ-encoded document.
+  Result<core::ValidationReport> CastWithMods(
+      SchemaHandle source, SchemaHandle target, const xml::Document& doc,
+      const xml::ModificationIndex& mods);
+
+  // ------------------------------------------------------------------
+  // Batch pipeline
+  // ------------------------------------------------------------------
+
+  enum class BatchOp : uint8_t {
+    kValidate,  // full validation against `target`
+    kCast,      // schema cast from `source` to `target`
+  };
+
+  /// One text-in/verdict-out unit of batch work.
+  struct BatchItem {
+    BatchOp op = BatchOp::kCast;
+    SchemaHandle source = kInvalidSchemaHandle;  // ignored for kValidate
+    SchemaHandle target = kInvalidSchemaHandle;
+    std::string xml_text;
+  };
+
+  struct BatchItemResult {
+    Status status;                  // non-OK: parse error, bad handle, ...
+    core::ValidationReport report;  // meaningful only when status.ok()
+  };
+
+  /// Fans the batch out over the worker pool and returns a future of the
+  /// per-item results, in input order. Blocks only while the bounded work
+  /// queue is full. Thread-safe; batches from concurrent callers interleave
+  /// on the same pool.
+  std::future<std::vector<BatchItemResult>> SubmitBatch(
+      std::vector<BatchItem> items);
+
+  Counters counters() const;
+
+ private:
+  struct BatchState;
+
+  BatchItemResult ProcessItem(const BatchItem& item);
+  Result<core::ValidationReport> Record(Result<core::ValidationReport> result,
+                                        std::atomic<uint64_t>& op_counter);
+  ThreadPool& Pool();  // lazy init
+
+  Options options_;
+  SchemaRegistry registry_;
+  RelationsCache cache_;
+
+  std::mutex pool_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> valid_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> full_validations_{0};
+  std::atomic<uint64_t> casts_{0};
+  std::atomic<uint64_t> casts_with_mods_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_items_{0};
+  std::atomic<uint64_t> nodes_visited_{0};
+};
+
+}  // namespace xmlreval::service
+
+#endif  // XMLREVAL_SERVICE_VALIDATION_SERVICE_H_

@@ -120,8 +120,41 @@ TEST_F(CliTest, ExportConvertsDtdToParseableXsd) {
 TEST_F(CliTest, ErrorsAreUsageExitCode) {
   EXPECT_EQ(Run(""), 2);
   EXPECT_EQ(Run("frobnicate x y"), 2);
+  // Unknown subcommands print the usage text, which documents serve-batch.
+  EXPECT_NE(Output().find("usage:"), std::string::npos);
+  EXPECT_NE(Output().find("serve-batch"), std::string::npos);
   EXPECT_EQ(Run("validate " + P("missing.dtd") + " " + P("ok.xml")), 2);
   EXPECT_EQ(Run("validate " + P("v1.dtd") + " " + P("broken.xml")), 2);
+}
+
+TEST_F(CliTest, ServeBatchCastsAllDocuments) {
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --threads 2 --repeat 3"),
+            0);
+  std::string out = Output();
+  EXPECT_NE(out.find("ok.xml: VALID"), std::string::npos);
+  EXPECT_NE(out.find("3 documents"), std::string::npos);
+  EXPECT_NE(out.find("1 fixpoint(s) computed"), std::string::npos);
+
+  // A batch containing an invalid document exits 1 and names the culprit.
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " " + P("nobody.xml")),
+            1);
+  EXPECT_NE(Output().find("nobody.xml: INVALID"), std::string::npos);
+
+  // Malformed XML is an item-level error: exit 2.
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("broken.xml")),
+            2);
+
+  // Usage errors: missing documents, bad flag, zero repeat.
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd")), 2);
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --bogus"),
+            2);
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --repeat 0"),
+            2);
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// RelationsCache: single-flight under contention, LRU eviction, stats.
+//
+// The acceptance bar for the serving layer: N threads hammering
+// overlapping (S, S') pairs must observe exactly one fixpoint computation
+// per distinct pair (single-flight), correct verdicts, and consistent
+// stats. Plus an eviction unit test with a tiny capacity.
+
+#include "service/relations_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "service/schema_registry.h"
+#include "xml/parser.h"
+
+namespace xmlreval::service {
+namespace {
+
+constexpr const char* kSourceDtd = R"(
+<!ELEMENT root (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+)";
+
+// Four targets with distinct relationships to the source: identical
+// (subsumed), b required, b repeatable, a optional.
+constexpr const char* kTargetDtds[] = {
+    R"(<!ELEMENT root (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>)",
+    R"(<!ELEMENT root (a, b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>)",
+    R"(<!ELEMENT root (a, b*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>)",
+    R"(<!ELEMENT root (a?, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>)",
+};
+
+class RelationsCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema::DtdParseOptions options;
+    options.roots = {"root"};
+    auto source = registry_.RegisterDtd("source", kSourceDtd, options);
+    ASSERT_TRUE(source.ok()) << source.status();
+    source_ = *source;
+    for (int i = 0; i < 4; ++i) {
+      auto target = registry_.RegisterDtd("target-" + std::to_string(i),
+                                          kTargetDtds[i], options);
+      ASSERT_TRUE(target.ok()) << target.status();
+      targets_[i] = *target;
+    }
+  }
+
+  SchemaRegistry registry_;
+  SchemaHandle source_ = kInvalidSchemaHandle;
+  SchemaHandle targets_[4] = {};
+};
+
+TEST_F(RelationsCacheTest, ComputesOnceThenHits) {
+  RelationsCache cache(&registry_);
+  auto first = cache.Get(source_, targets_[0]);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = cache.Get(source_, targets_[0]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared instance
+
+  RelationsCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.computations, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(RelationsCacheTest, InvalidHandleFailsAndDoesNotPoison) {
+  RelationsCache cache(&registry_);
+  auto bad = cache.Get(source_, 9999);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // The failed entry is dropped; the cache holds nothing and a valid
+  // request afterwards works.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.Get(source_, targets_[0]).ok());
+}
+
+// 8 threads x 4 distinct pairs, overlapping request streams: exactly 4
+// fixpoint computations (single-flight), one shared instance per pair,
+// verdicts identical to full validation.
+TEST_F(RelationsCacheTest, SingleFlightUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 50;
+  RelationsCache cache(&registry_);
+
+  // Per-thread documents (the cast precondition holds for both).
+  auto doc_with_b = xml::ParseXml("<root><a>x</a><b>y</b></root>");
+  auto doc_without_b = xml::ParseXml("<root><a>x</a></root>");
+  ASSERT_TRUE(doc_with_b.ok());
+  ASSERT_TRUE(doc_without_b.ok());
+
+  // Expected verdicts from the full-validation baseline.
+  bool expect_with_b[4];
+  bool expect_without_b[4];
+  for (int i = 0; i < 4; ++i) {
+    core::FullValidator full(registry_.schema(targets_[i]).get());
+    expect_with_b[i] = full.Validate(*doc_with_b).valid;
+    expect_without_b[i] = full.Validate(*doc_without_b).valid;
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  const core::TypeRelations* observed[kThreads][4] = {};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        // Overlap: every thread touches every pair, staggered start.
+        int pair = (round + t) % 4;
+        auto relations = cache.Get(source_, targets_[pair]);
+        if (!relations.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        observed[t][pair] = relations->get();
+        core::CastValidator validator(relations->get());
+        bool with_b = validator.Validate(*doc_with_b).valid;
+        bool without_b = validator.Validate(*doc_without_b).valid;
+        if (with_b != expect_with_b[pair] ||
+            without_b != expect_without_b[pair]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  RelationsCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.computations, 4u) << "single-flight violated";
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kRoundsPerThread);
+  EXPECT_EQ(cache.size(), 4u);
+
+  // Every thread saw the same TypeRelations instance per pair.
+  for (int pair = 0; pair < 4; ++pair) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(observed[t][pair], observed[0][pair]);
+    }
+  }
+}
+
+TEST_F(RelationsCacheTest, LruEvictionWithTinyCapacity) {
+  RelationsCache::Options options;
+  options.capacity = 2;
+  RelationsCache cache(&registry_, options);
+
+  ASSERT_TRUE(cache.Get(source_, targets_[0]).ok());
+  ASSERT_TRUE(cache.Get(source_, targets_[1]).ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch pair 0 so pair 1 is the LRU victim.
+  ASSERT_TRUE(cache.Get(source_, targets_[0]).ok());
+  ASSERT_TRUE(cache.Get(source_, targets_[2]).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Pair 0 survived (hit, no recompute); pair 1 was evicted (recompute).
+  uint64_t computations = cache.stats().computations;
+  ASSERT_TRUE(cache.Get(source_, targets_[0]).ok());
+  EXPECT_EQ(cache.stats().computations, computations);
+  ASSERT_TRUE(cache.Get(source_, targets_[1]).ok());
+  EXPECT_EQ(cache.stats().computations, computations + 1);
+}
+
+TEST_F(RelationsCacheTest, EvictedEntryStaysAliveForHolders) {
+  RelationsCache::Options options;
+  options.capacity = 1;
+  RelationsCache cache(&registry_, options);
+
+  auto held = cache.Get(source_, targets_[1]);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(cache.Get(source_, targets_[2]).ok());  // evicts pair 1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The evicted relations remain usable through the held shared_ptr.
+  auto doc = xml::ParseXml("<root><a>x</a><b>y</b></root>");
+  ASSERT_TRUE(doc.ok());
+  core::CastValidator validator(held->get());
+  EXPECT_TRUE(validator.Validate(*doc).valid);
+}
+
+}  // namespace
+}  // namespace xmlreval::service

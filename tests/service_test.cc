@@ -1,0 +1,373 @@
+// ValidationService, SchemaRegistry, and the batch pipeline.
+
+#include "service/validation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cast_validator.h"
+#include "core/full_validator.h"
+#include "core/relations.h"
+#include "service/bounded_queue.h"
+#include "service/thread_pool.h"
+#include "xml/editor.h"
+#include "xml/parser.h"
+
+namespace xmlreval::service {
+namespace {
+
+constexpr const char* kV1Dtd = R"(
+<!ELEMENT note (to, from, body?)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+)";
+
+constexpr const char* kV2Dtd = R"(
+<!ELEMENT note (to, from, body)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+)";
+
+constexpr const char* kFullNote =
+    "<note><to>a</to><from>b</from><body>c</body></note>";
+constexpr const char* kBodylessNote = "<note><to>a</to><from>b</from></note>";
+
+schema::DtdParseOptions NoteOptions() {
+  schema::DtdParseOptions options;
+  options.roots = {"note"};
+  return options;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(SchemaRegistryTest, VersionsAndDedup) {
+  SchemaRegistry registry;
+  auto v1 = registry.RegisterDtd("note", kV1Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok()) << v1.status();
+
+  // Byte-identical re-registration is idempotent.
+  auto again = registry.RegisterDtd("note", kV1Dtd, NoteOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*v1, *again);
+  EXPECT_EQ(registry.VersionCount("note"), 1u);
+
+  // Different text bumps the version.
+  auto v2 = registry.RegisterDtd("note", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_NE(*v1, *v2);
+  EXPECT_EQ(registry.VersionCount("note"), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Resolve: latest by default, any version explicitly.
+  ASSERT_TRUE(registry.Resolve("note").ok());
+  EXPECT_EQ(*registry.Resolve("note"), *v2);
+  EXPECT_EQ(*registry.Resolve("note", 1), *v1);
+  EXPECT_EQ(*registry.Resolve("note", 2), *v2);
+  EXPECT_FALSE(registry.Resolve("note", 3).ok());
+  EXPECT_FALSE(registry.Resolve("unknown").ok());
+
+  auto info = registry.info(*v2);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->key, "note");
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_FALSE(registry.info(999).ok());
+  EXPECT_EQ(registry.schema(999), nullptr);
+}
+
+TEST(SchemaRegistryTest, RejectsBadInput) {
+  SchemaRegistry registry;
+  EXPECT_FALSE(registry.RegisterDtd("", kV1Dtd).ok());
+  EXPECT_FALSE(registry.RegisterDtd("broken", "<!ELEMENT").ok());
+  EXPECT_FALSE(registry.RegisterXsd("broken", "not xsd at all").ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(SchemaRegistryTest, RegisterSchemaRequiresSharedAlphabet) {
+  SchemaRegistry registry;
+  auto foreign = schema::ParseDtd(
+      kV1Dtd, std::make_shared<automata::Alphabet>(), NoteOptions());
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(
+      registry.RegisterSchema("note", std::move(foreign).value()).ok());
+
+  auto native = schema::ParseDtd(kV1Dtd, registry.alphabet(), NoteOptions());
+  ASSERT_TRUE(native.ok());
+  EXPECT_TRUE(
+      registry.RegisterSchema("note", std::move(native).value()).ok());
+}
+
+// All schemas of one registry share one alphabet, so any registered pair
+// is castable.
+TEST(SchemaRegistryTest, CrossSchemaRelationsWork) {
+  SchemaRegistry registry;
+  auto v1 = registry.RegisterDtd("v1", kV1Dtd, NoteOptions());
+  auto v2 = registry.RegisterDtd("v2", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  auto relations = core::TypeRelations::Compute(registry.schema(*v1).get(),
+                                                registry.schema(*v2).get());
+  EXPECT_TRUE(relations.ok()) << relations.status();
+}
+
+// ------------------------------------------------------------ primitives
+
+TEST(BoundedQueueTest, FifoAndClose) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+
+  EXPECT_TRUE(queue.Push(3));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(4));   // refused after close...
+  EXPECT_EQ(queue.Pop(), 3);     // ...but accepted items drain
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full, non-blocking refusal
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpace) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.Push(2);  // blocks: queue is full
+    pushed.store(true);
+  });
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 1);  // frees a slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAndDrainsOnShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool::Options options;
+    options.threads = 4;
+    options.queue_capacity = 8;
+    ThreadPool pool(options);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
+  }  // destructor drains + joins
+  EXPECT_EQ(ran.load(), 100);
+}
+
+// --------------------------------------------------------------- service
+
+class ValidationServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto v1 = service_.registry().RegisterDtd("v1", kV1Dtd, NoteOptions());
+    auto v2 = service_.registry().RegisterDtd("v2", kV2Dtd, NoteOptions());
+    ASSERT_TRUE(v1.ok()) << v1.status();
+    ASSERT_TRUE(v2.ok()) << v2.status();
+    v1_ = *v1;
+    v2_ = *v2;
+  }
+
+  ValidationService service_;
+  SchemaHandle v1_ = kInvalidSchemaHandle;
+  SchemaHandle v2_ = kInvalidSchemaHandle;
+};
+
+TEST_F(ValidationServiceTest, ValidateMatchesFullValidator) {
+  auto doc = xml::ParseXml(kBodylessNote);
+  ASSERT_TRUE(doc.ok());
+
+  auto v1_report = service_.Validate(v1_, *doc);
+  ASSERT_TRUE(v1_report.ok());
+  EXPECT_TRUE(v1_report->valid);
+
+  auto v2_report = service_.Validate(v2_, *doc);
+  ASSERT_TRUE(v2_report.ok());
+  EXPECT_FALSE(v2_report->valid);
+  EXPECT_FALSE(v2_report->violation.empty());
+
+  EXPECT_FALSE(service_.Validate(777, *doc).ok());
+}
+
+TEST_F(ValidationServiceTest, CastMatchesBareCastValidator) {
+  auto full_note = xml::ParseXml(kFullNote);
+  auto bodyless = xml::ParseXml(kBodylessNote);
+  ASSERT_TRUE(full_note.ok());
+  ASSERT_TRUE(bodyless.ok());
+
+  auto relations = core::TypeRelations::Compute(
+      service_.registry().schema(v1_).get(),
+      service_.registry().schema(v2_).get());
+  ASSERT_TRUE(relations.ok());
+  core::CastValidator bare(&*relations);
+
+  for (const xml::Document* doc : {&*full_note, &*bodyless}) {
+    auto via_service = service_.Cast(v1_, v2_, *doc);
+    ASSERT_TRUE(via_service.ok()) << via_service.status();
+    core::ValidationReport direct = bare.Validate(*doc);
+    EXPECT_EQ(via_service->valid, direct.valid);
+    EXPECT_EQ(via_service->counters.nodes_visited,
+              direct.counters.nodes_visited);
+  }
+
+  // Both casts shared one cached fixpoint.
+  EXPECT_EQ(service_.cache().stats().computations, 1u);
+}
+
+TEST_F(ValidationServiceTest, CastPreconditionOptionRejectsSourceInvalid) {
+  ValidationService::Options options;
+  options.check_cast_precondition = true;
+  ValidationService strict(options);
+  auto v1 = strict.registry().RegisterDtd("v1", kV1Dtd, NoteOptions());
+  auto v2 = strict.registry().RegisterDtd("v2", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  auto alien = xml::ParseXml("<other/>");
+  ASSERT_TRUE(alien.ok());
+  auto report = strict.Cast(*v1, *v2, *alien);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+
+  auto ok_doc = xml::ParseXml(kFullNote);
+  ASSERT_TRUE(ok_doc.ok());
+  auto ok_report = strict.Cast(*v1, *v2, *ok_doc);
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_TRUE(ok_report->valid);
+}
+
+TEST_F(ValidationServiceTest, CastWithModsRoutesThroughService) {
+  // Start from a v1&v2-valid note, delete <body>: still v1-valid,
+  // no longer v2-valid.
+  auto doc = xml::ParseXml(kFullNote);
+  ASSERT_TRUE(doc.ok());
+  xml::DocumentEditor editor(&*doc);
+  xml::NodeId body = xml::kInvalidNode;
+  for (xml::NodeId child = doc->first_child(doc->root());
+       child != xml::kInvalidNode; child = doc->next_sibling(child)) {
+    if (doc->IsElement(child) && doc->label(child) == "body") body = child;
+  }
+  ASSERT_NE(body, xml::kInvalidNode);
+  // Leaves delete bottom-up: the text payload, then <body> itself.
+  ASSERT_TRUE(editor.DeleteLeaf(doc->first_child(body)).ok());
+  ASSERT_TRUE(editor.DeleteLeaf(body).ok());
+  xml::ModificationIndex mods = editor.Seal();
+
+  auto report = service_.CastWithMods(v1_, v1_, *doc, mods);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->valid);
+
+  auto v2_report = service_.CastWithMods(v1_, v2_, *doc, mods);
+  ASSERT_TRUE(v2_report.ok());
+  EXPECT_FALSE(v2_report->valid);
+
+  EXPECT_EQ(service_.counters().casts_with_mods, 2u);
+}
+
+TEST_F(ValidationServiceTest, BatchReturnsPerItemResultsInOrder) {
+  ValidationService::Options options;
+  options.batch_threads = 4;
+  options.batch_queue_capacity = 2;  // force backpressure
+  ValidationService service(options);
+  auto v1 = service.registry().RegisterDtd("v1", kV1Dtd, NoteOptions());
+  auto v2 = service.registry().RegisterDtd("v2", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  std::vector<ValidationService::BatchItem> items;
+  for (int i = 0; i < 40; ++i) {
+    ValidationService::BatchItem item;
+    item.op = ValidationService::BatchOp::kCast;
+    item.source = *v1;
+    item.target = *v2;
+    item.xml_text = (i % 2 == 0) ? kFullNote : kBodylessNote;
+    items.push_back(std::move(item));
+  }
+  // A malformed document and a full-validate op mixed into the same batch.
+  ValidationService::BatchItem malformed;
+  malformed.xml_text = "<note><to>";
+  malformed.source = *v1;
+  malformed.target = *v2;
+  items.push_back(std::move(malformed));
+  ValidationService::BatchItem full_op;
+  full_op.op = ValidationService::BatchOp::kValidate;
+  full_op.target = *v1;
+  full_op.xml_text = kBodylessNote;
+  items.push_back(std::move(full_op));
+
+  auto results = service.SubmitBatch(std::move(items)).get();
+  ASSERT_EQ(results.size(), 42u);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << i << ": " << results[i].status;
+    EXPECT_EQ(results[i].report.valid, i % 2 == 0) << i;
+  }
+  EXPECT_FALSE(results[40].status.ok());
+  EXPECT_TRUE(results[41].status.ok());
+  EXPECT_TRUE(results[41].report.valid);
+
+  // Single-flight held across the whole batch: one fixpoint.
+  EXPECT_EQ(service.cache().stats().computations, 1u);
+  ValidationService::Counters counters = service.counters();
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.batch_items, 42u);
+  EXPECT_EQ(counters.requests, 42u);
+  EXPECT_EQ(counters.valid, 20u + 1u);
+  EXPECT_EQ(counters.invalid, 20u);
+  EXPECT_EQ(counters.errors, 1u);
+  EXPECT_EQ(counters.casts, 40u);
+  EXPECT_EQ(counters.full_validations, 1u);
+}
+
+TEST_F(ValidationServiceTest, EmptyBatchResolvesImmediately) {
+  auto results = service_.SubmitBatch({}).get();
+  EXPECT_TRUE(results.empty());
+}
+
+// Registration concurrent with serving: the registry's reader/writer lock
+// must keep alphabet growth safe under live validation traffic.
+TEST_F(ValidationServiceTest, RegistrationConcurrentWithServing) {
+  auto doc = xml::ParseXml(kFullNote);
+  ASSERT_TRUE(doc.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> validators;
+  for (int t = 0; t < 4; ++t) {
+    validators.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto report = service_.Cast(v1_, v2_, *doc);
+        if (!report.ok() || !report->valid) errors.fetch_add(1);
+      }
+    });
+  }
+  // Meanwhile register fresh schemas with brand-new labels (Σ grows).
+  for (int i = 0; i < 20; ++i) {
+    std::string label = "extra" + std::to_string(i);
+    std::string dtd = "<!ELEMENT " + label + " (#PCDATA)>";
+    auto handle = service_.registry().RegisterDtd("gen-" + label, dtd);
+    EXPECT_TRUE(handle.ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : validators) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(service_.registry().size(), 22u);
+}
+
+}  // namespace
+}  // namespace xmlreval::service

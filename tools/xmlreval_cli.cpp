@@ -1,21 +1,26 @@
 // xmlreval — command-line front end.
 //
-//   xmlreval validate  <schema> <doc.xml>            full validation
-//   xmlreval cast      <source> <target> <doc.xml>   schema cast validation
-//   xmlreval correct   <source> <target> <doc.xml> [-o out.xml]
-//   xmlreval sample    <schema> [--root LABEL] [--seed N] [--max-elems N]
-//   xmlreval relations <source> <target>             dump R_sub / R_dis
+//   xmlreval validate    <schema> <doc.xml>            full validation
+//   xmlreval cast        <source> <target> <doc.xml>   schema cast validation
+//   xmlreval correct     <source> <target> <doc.xml> [-o out.xml]
+//   xmlreval sample      <schema> [--root LABEL] [--seed N] [--max-elems N]
+//   xmlreval relations   <source> <target>             dump R_sub / R_dis
+//   xmlreval serve-batch <source> <target> <doc.xml...> [--threads N]
+//                        [--repeat N]                   batch pipeline
 //
 // Schemas are loaded by extension: *.dtd through the DTD front end,
 // anything else through the XSD front end. Exit status: 0 = valid /
-// success, 1 = invalid document, 2 = usage or input error.
+// success, 1 = invalid document, 2 = usage or input error. Unknown
+// subcommands print the usage message and exit 2.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "core/cast_validator.h"
@@ -25,6 +30,7 @@
 #include "schema/dtd_parser.h"
 #include "schema/xsd_parser.h"
 #include "schema/xsd_writer.h"
+#include "service/validation_service.h"
 #include "workload/random_docs.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -43,8 +49,14 @@ int Usage() {
                " [--max-elems N]\n"
                "  xmlreval relations <source> <target>\n"
                "  xmlreval export    <schema>\n"
+               "  xmlreval serve-batch <source> <target> <doc.xml...>"
+               " [--threads N] [--repeat N]\n"
                "\nschemas ending in .dtd use the DTD front end; everything\n"
-               "else is parsed as XML Schema.\n");
+               "else is parsed as XML Schema.\n"
+               "serve-batch fans the documents out over a validation\n"
+               "thread pool (--threads, default: hardware concurrency) and\n"
+               "casts each from <source> to <target>; --repeat N queues\n"
+               "every document N times (throughput runs).\n");
   return 2;
 }
 
@@ -296,6 +308,110 @@ int CmdRelations(int argc, char** argv) {
   return 0;
 }
 
+// Batch serving through the src/service/ layer: register both schemas
+// once, fan the documents out over the ValidationService thread pool, and
+// report per-document verdicts plus the service's cache statistics.
+int CmdServeBatch(int argc, char** argv) {
+  std::vector<std::string> positional;
+  size_t threads = 0;
+  size_t repeat = 1;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::strtoull(argv[++i], nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3 || repeat == 0) return Usage();
+
+  service::ValidationService::Options options;
+  options.batch_threads = threads;
+  service::ValidationService service(options);
+
+  service::SchemaHandle handles[2];
+  for (int i = 0; i < 2; ++i) {
+    auto text = ReadFile(positional[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto handle =
+        HasSuffix(positional[i], ".dtd")
+            ? service.registry().RegisterDtd(positional[i], *text)
+            : service.registry().RegisterXsd(positional[i], *text);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+      return 2;
+    }
+    handles[i] = *handle;
+  }
+
+  std::vector<service::ValidationService::BatchItem> items;
+  size_t doc_count = positional.size() - 2;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (size_t d = 2; d < positional.size(); ++d) {
+      auto text = ReadFile(positional[d]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 2;
+      }
+      service::ValidationService::BatchItem item;
+      item.op = service::ValidationService::BatchOp::kCast;
+      item.source = handles[0];
+      item.target = handles[1];
+      item.xml_text = std::move(*text);
+      items.push_back(std::move(item));
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::ValidationService::BatchItemResult> results =
+      service.SubmitBatch(std::move(items)).get();
+  auto t1 = std::chrono::steady_clock::now();
+
+  // Per-document verdicts (first round only; repeats are identical work).
+  int exit_code = 0;
+  for (size_t d = 0; d < doc_count; ++d) {
+    const auto& result = results[d];
+    if (!result.status.ok()) {
+      std::printf("%s: ERROR — %s\n", positional[2 + d].c_str(),
+                  result.status.ToString().c_str());
+      exit_code = 2;
+    } else if (result.report.valid) {
+      std::printf("%s: VALID\n", positional[2 + d].c_str());
+    } else {
+      std::printf("%s: INVALID at %s — %s\n", positional[2 + d].c_str(),
+                  result.report.violation_path.ToString().c_str(),
+                  result.report.violation.c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+
+  double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  service::RelationsCache::Stats cache = service.cache().stats();
+  service::ValidationService::Counters counters = service.counters();
+  std::printf(
+      "\n%llu documents in %.3f ms (%.0f docs/s) — %llu valid, "
+      "%llu invalid, %llu errors\n"
+      "relations cache: %llu hits, %llu misses, %llu fixpoint(s) computed "
+      "in %llu us\n",
+      (unsigned long long)counters.batch_items, seconds * 1e3,
+      seconds > 0 ? counters.batch_items / seconds : 0.0,
+      (unsigned long long)counters.valid,
+      (unsigned long long)counters.invalid,
+      (unsigned long long)counters.errors, (unsigned long long)cache.hits,
+      (unsigned long long)cache.misses,
+      (unsigned long long)cache.computations,
+      (unsigned long long)cache.compute_micros);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -317,5 +433,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "export") == 0) {
     return CmdExport(argc - 2, argv + 2);
   }
-  return Usage();
+  if (std::strcmp(command, "serve-batch") == 0) {
+    return CmdServeBatch(argc - 2, argv + 2);
+  }
+  return Usage();  // unknown subcommand: usage message, exit 2
 }
