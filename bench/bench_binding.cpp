@@ -1,0 +1,87 @@
+// Symbol-binding microbenchmark: the same schema-cast validation over the
+// same document, bound vs. unbound.
+//
+// The Experiment 2 pair (quantity<200 → quantity<100) is deliberately NOT
+// subsumption-friendly: every <item> subtree must be walked, so the cast
+// validator's per-node work dominates. On an unbound document that work
+// includes one Alphabet::Find (a string hash + compare) per element; on a
+// document bound to the pair's alphabet the symbol is a direct field read.
+// Reports median ns per visited node for both paths and the speedup, and
+// emits BENCH_binding.json for CI consumption.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cast_validator.h"
+#include "workload/po_generator.h"
+
+int main() {
+  using namespace xmlreval;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr size_t kItems = 1000;
+  constexpr int kReps = 41;
+  constexpr int kWarmup = 5;
+
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::CastValidator validator(pair.relations.get());
+
+  workload::PoGeneratorOptions options;
+  options.item_count = kItems;
+  xml::Document unbound = workload::GeneratePurchaseOrder(options);
+  xml::Document bound = workload::GeneratePurchaseOrder(options);
+  if (!bound.Bind(pair.alphabet).ok()) {
+    std::fprintf(stderr, "Bind failed\n");
+    return 1;
+  }
+
+  auto median_ns_per_node = [&](const xml::Document& doc) {
+    uint64_t nodes = 0;
+    std::vector<double> samples;
+    samples.reserve(kReps);
+    for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+      auto start = Clock::now();
+      core::ValidationReport report = validator.Validate(doc);
+      auto stop = Clock::now();
+      if (!report.valid) {
+        std::fprintf(stderr, "unexpected invalid verdict: %s\n",
+                     report.violation.c_str());
+        std::abort();
+      }
+      nodes = report.counters.nodes_visited;
+      if (rep >= kWarmup) {
+        samples.push_back(
+            double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       stop - start)
+                       .count()) /
+            double(nodes));
+      }
+    }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end());
+    return std::pair<double, uint64_t>(samples[samples.size() / 2], nodes);
+  };
+
+  auto [unbound_ns, nodes] = median_ns_per_node(unbound);
+  auto [bound_ns, bound_nodes] = median_ns_per_node(bound);
+  double speedup = unbound_ns / bound_ns;
+
+  std::printf("Symbol binding: cast validation, %zu items (%llu nodes)\n",
+              kItems, static_cast<unsigned long long>(nodes));
+  std::printf("%-24s %10.2f ns/node\n", "unbound (Find per node)", unbound_ns);
+  std::printf("%-24s %10.2f ns/node\n", "bound (symbol read)", bound_ns);
+  std::printf("%-24s %10.2fx\n", "speedup", speedup);
+
+  bench::WriteBenchJson(
+      "BENCH_binding.json", "bench_binding",
+      {{"items", double(kItems)},
+       {"nodes_visited", double(nodes)},
+       {"unbound_ns_per_node", unbound_ns},
+       {"bound_ns_per_node", bound_ns},
+       {"speedup", speedup}});
+  std::printf("\nwrote BENCH_binding.json\n");
+  return bound_nodes == nodes ? 0 : 1;
+}

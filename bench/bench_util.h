@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/relations.h"
 #include "schema/xsd_parser.h"
@@ -72,6 +75,25 @@ inline SchemaPair& SingleSchemaPair() {
 
 /// The item-count grid of the paper's Table 2 / Figure 3.
 inline constexpr size_t kItemGrid[] = {2, 50, 100, 200, 500, 1000};
+
+/// Writes a flat JSON object of numeric metrics (tagged with the benchmark
+/// name) so CI and scripts can consume results without scraping stdout.
+/// Emits {"bench": "<name>", "<key>": <value>, ...} to `path`.
+inline void WriteBenchJson(
+    const char* path, const char* bench,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", bench);
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+}
 
 }  // namespace xmlreval::bench
 

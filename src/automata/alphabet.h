@@ -20,6 +20,36 @@ namespace xmlreval::automata {
 using Symbol = uint32_t;
 inline constexpr Symbol kInvalidSymbol = 0xFFFFFFFFu;
 
+/// Sentinel carried by document nodes whose label is not (or not yet) in Σ:
+/// unbound documents, and bound documents whose labels fall outside the
+/// schema pair's alphabet. kUnboundSymbol is never interned and is numerically
+/// out of range for every transition table, so a validator that reads it can
+/// treat the node exactly like a Find() miss — no match, degrade to the
+/// string path or reject per the content model. Distinct from kInvalidSymbol,
+/// which marks absent/erroneous symbol values in automata construction.
+inline constexpr Symbol kUnboundSymbol = 0xFFFFFFFEu;
+
+// Concurrency contract (single writer / shared readers)
+// -----------------------------------------------------
+// An Alphabet is append-only: Intern() grows names_/ids_ but never reassigns
+// or removes an id, so a Symbol obtained at any point stays valid — and keeps
+// naming the same label — for the Alphabet's lifetime. The class itself is
+// NOT internally synchronized. The serving layer relies on the following
+// discipline (see service/schema_registry.h):
+//
+//   * Writers (schema registration, parse-time interning) must hold the
+//     registry's exclusive lock, or otherwise be the sole thread touching
+//     the Alphabet. At most one writer at a time.
+//   * Readers (Find/Name/size on validator hot paths, Document::Bind) must
+//     hold the registry's shared lock — SchemaRegistry::ReadGuard() — for
+//     the duration of the read. Concurrent readers are safe with each other
+//     but not with a concurrent Intern().
+//   * Symbols and the references returned by Name() may be cached and used
+//     after the guard is released; only the lookup itself races with
+//     interning.
+//
+// Offline users (benchmarks, tests, CLI) that never share an Alphabet across
+// threads can ignore all of the above.
 class Alphabet {
  public:
   /// Returns the id for `name`, interning it if new.

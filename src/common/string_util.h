@@ -47,6 +47,19 @@ Result<int64_t> ParseDecimalScaled(std::string_view s);
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
 
+/// Concatenates string-view-convertible pieces into one string with a single
+/// reserve+append pass. The validators build failure messages with this at
+/// the exact point a verdict becomes a failure, so success paths never pay
+/// for diagnostics.
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  size_t total = (std::string_view(pieces).size() + ... + 0);
+  std::string out;
+  out.reserve(total);
+  (out.append(std::string_view(pieces)), ...);
+  return out;
+}
+
 }  // namespace xmlreval
 
 #endif  // XMLREVAL_COMMON_STRING_UTIL_H_

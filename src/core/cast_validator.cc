@@ -21,6 +21,10 @@ struct CastValidator::Walk {
   const Schema& target;
   const xml::Document& doc;
   bool use_immediate;
+  // True when the document is bound to the schema pair's alphabet: node
+  // symbols are read directly (zero hashing, zero allocation); otherwise
+  // each label is resolved through Alphabet::Find as before.
+  bool use_symbols;
   ValidationReport report;
   std::vector<uint32_t> path;
 
@@ -28,6 +32,14 @@ struct CastValidator::Walk {
     report.valid = false;
     report.violation = std::move(message);
     report.violation_path = xml::DeweyPath(path);
+  }
+
+  /// Symbol of element `c`: the bound symbol when use_symbols, else a Find()
+  /// with misses mapped to kUnboundSymbol (which matches nothing).
+  Symbol SymbolOf(xml::NodeId c) const {
+    if (use_symbols) return doc.symbol(c);
+    auto sym = source.alphabet()->Find(doc.label(c));
+    return sym ? *sym : automata::kUnboundSymbol;
   }
 
   // validate(τ, τ', e) from §3.2's pseudocode. Counting discipline: a node
@@ -45,9 +57,9 @@ struct CastValidator::Walk {
     // if τ ⊘ τ' return false — no tree valid for τ can be valid for τ'.
     if (rel.Disjoint(s_type, t_type)) {
       ++report.counters.disjoint_rejects;
-      Fail("element '" + doc.label(node) + "': source type '" +
-           source.TypeName(s_type) + "' is disjoint from target type '" +
-           target.TypeName(t_type) + "'");
+      Fail(StrCat("element '", doc.label(node), "': source type '",
+                  source.TypeName(s_type), "' is disjoint from target type '",
+                  target.TypeName(t_type), "'"));
       return false;
     }
 
@@ -68,8 +80,7 @@ struct CastValidator::Walk {
       Status check =
           schema::ValidateSimpleValue(target.simple_type(t_type), value);
       if (!check.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(check.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", check.message()));
         return false;
       }
       return true;
@@ -85,8 +96,7 @@ struct CastValidator::Walk {
       Status attrs =
           schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
       if (!attrs.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(attrs.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", attrs.message()));
         return false;
       }
     }
@@ -101,9 +111,9 @@ struct CastValidator::Walk {
     const automata::Dfa* tdfa = rel.TargetDfa(t_type);
 
     auto content_fail = [&]() {
-      Fail("children of '" + doc.label(node) +
-           "' do not match the content model of target type '" +
-           target.TypeName(t_type) + "'");
+      Fail(StrCat("children of '", doc.label(node),
+                  "' do not match the content model of target type '",
+                  target.TypeName(t_type), "'"));
       return false;
     };
 
@@ -126,14 +136,17 @@ struct CastValidator::Walk {
       for (xml::NodeId c = doc.first_child(node);
            c != xml::kInvalidNode && !decided; c = doc.next_sibling(c)) {
         if (!doc.IsElement(c)) continue;  // whitespace guaranteed by source
-        std::optional<Symbol> sym = source.alphabet()->Find(doc.label(c));
-        if (!sym) {
-          Fail("element '" + doc.label(c) +
-               "' is outside the schemas' alphabet");
+        Symbol sym = SymbolOf(c);
+        if (sym == automata::kUnboundSymbol) {
+          Fail(StrCat("element '", doc.label(c),
+                      "' is outside the schemas' alphabet"));
           return false;
         }
         if (pair != nullptr) {
-          q = pair->dfa().Next(q, *sym);
+          // Symbols interned after the relations were computed exceed the
+          // padded transition table; they cannot match any content model.
+          if (sym >= pair->dfa().alphabet_size()) return content_fail();
+          q = pair->dfa().Next(q, sym);
           ++report.counters.dfa_steps;
           automata::StateClass cls = pair->Class(q);
           if (cls == automata::StateClass::kImmediateAccept) {
@@ -144,8 +157,8 @@ struct CastValidator::Walk {
             return content_fail();
           }
         } else {
-          if (*sym >= tdfa->alphabet_size()) return content_fail();
-          q = tdfa->Next(q, *sym);
+          if (sym >= tdfa->alphabet_size()) return content_fail();
+          q = tdfa->Next(q, sym);
           ++report.counters.dfa_steps;
         }
       }
@@ -163,13 +176,13 @@ struct CastValidator::Walk {
     for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
          c = doc.next_sibling(c), ++ordinal) {
       if (!doc.IsElement(c)) continue;
-      std::optional<Symbol> sym = source.alphabet()->Find(doc.label(c));
-      if (!sym) {
-        Fail("element '" + doc.label(c) +
-             "' is outside the schemas' alphabet");
+      Symbol sym = SymbolOf(c);
+      if (sym == automata::kUnboundSymbol) {
+        Fail(StrCat("element '", doc.label(c),
+                    "' is outside the schemas' alphabet"));
         return false;
       }
-      TypeId child_t = target.ChildType(t_type, *sym);
+      TypeId child_t = target.ChildType(t_type, sym);
       if (child_t == kInvalidType) {
         // Reachable only when the content pass accepted EARLY: an IA state
         // guarantees string membership, but a label beyond the decision
@@ -177,10 +190,11 @@ struct CastValidator::Walk {
         // membership, so treat it as a content-model failure.
         return content_fail();
       }
-      TypeId child_s = source.ChildType(s_type, *sym);
+      TypeId child_s = source.ChildType(s_type, sym);
       if (child_s == kInvalidType) {
-        Fail("precondition violated: source type '" + source.TypeName(s_type) +
-             "' does not type child label '" + doc.label(c) + "'");
+        Fail(StrCat("precondition violated: source type '",
+                    source.TypeName(s_type), "' does not type child label '",
+                    doc.label(c), "'"));
         return false;
       }
       path.push_back(ordinal);
@@ -193,28 +207,34 @@ struct CastValidator::Walk {
 };
 
 ValidationReport CastValidator::Validate(const xml::Document& doc) const {
-  Walk walk{*relations_,        relations_->source(), relations_->target(),
-            doc,                options_.use_immediate_content,
-            {},                 {}};
+  Walk walk{*relations_,
+            relations_->source(),
+            relations_->target(),
+            doc,
+            options_.use_immediate_content,
+            doc.BoundTo(*relations_->source().alphabet()),
+            {},
+            {}};
   if (!doc.has_root()) {
     walk.Fail("document has no root element");
     return std::move(walk.report);
   }
   const Schema& source = relations_->source();
   const Schema& target = relations_->target();
-  std::optional<Symbol> sym = source.alphabet()->Find(doc.label(doc.root()));
-  TypeId s_root = sym ? source.RootType(*sym) : kInvalidType;
-  TypeId t_root = sym ? target.RootType(*sym) : kInvalidType;
+  Symbol sym = walk.SymbolOf(doc.root());
+  bool in_sigma = sym != automata::kUnboundSymbol;
+  TypeId s_root = in_sigma ? source.RootType(sym) : kInvalidType;
+  TypeId t_root = in_sigma ? target.RootType(sym) : kInvalidType;
   if (s_root == kInvalidType) {
-    walk.Fail("precondition violated: root '" + doc.label(doc.root()) +
-              "' is not declared by the source schema");
+    walk.Fail(StrCat("precondition violated: root '", doc.label(doc.root()),
+                     "' is not declared by the source schema"));
     return std::move(walk.report);
   }
   if (t_root == kInvalidType) {
     ++walk.report.counters.nodes_visited;
     ++walk.report.counters.elements_visited;
-    walk.Fail("root element '" + doc.label(doc.root()) +
-              "' is not declared by the target schema");
+    walk.Fail(StrCat("root element '", doc.label(doc.root()),
+                     "' is not declared by the target schema"));
     return std::move(walk.report);
   }
   walk.ValidateNode(doc.root(), s_root, t_root);
@@ -225,9 +245,14 @@ ValidationReport CastValidator::ValidateSubtree(const xml::Document& doc,
                                                 xml::NodeId node,
                                                 TypeId source_type,
                                                 TypeId target_type) const {
-  Walk walk{*relations_,        relations_->source(), relations_->target(),
-            doc,                options_.use_immediate_content,
-            {},                 {}};
+  Walk walk{*relations_,
+            relations_->source(),
+            relations_->target(),
+            doc,
+            options_.use_immediate_content,
+            doc.BoundTo(*relations_->source().alphabet()),
+            {},
+            {}};
   walk.ValidateNode(node, source_type, target_type);
   return std::move(walk.report);
 }

@@ -244,7 +244,15 @@ struct DocumentCorrector::Walk {
   const Schema& target;
   xml::Document* doc;
   xml::DocumentEditor* editor;
+  // Document bound to the shared alphabet: read node symbols directly.
+  bool use_symbols;
   CorrectionReport report;
+
+  Symbol SymbolOf(xml::NodeId c) const {
+    if (use_symbols) return doc->symbol(c);
+    std::optional<Symbol> sym = source.alphabet()->Find(doc->label(c));
+    return sym ? *sym : automata::kUnboundSymbol;
+  }
 
   void Record(CorrectionStep::Kind kind, xml::NodeId node,
               std::string detail) {
@@ -454,21 +462,21 @@ struct DocumentCorrector::Walk {
     // Complex → complex: fix the attribute set, repair the child-label
     // string minimally, then recurse into the kept children.
     RETURN_IF_ERROR(RepairAttributes(node, t_type));
+    const Dfa* tdfa = rel.TargetDfa(t_type);
     std::vector<xml::NodeId> children;
     std::vector<Symbol> word;
-    for (xml::NodeId c = doc->first_child(node); c != xml::kInvalidNode;
-         c = doc->next_sibling(c)) {
-      if (!doc->IsElement(c)) continue;
-      std::optional<Symbol> sym = source.alphabet()->Find(doc->label(c));
-      if (!sym) {
-        return Status::FailedPrecondition("label '" + doc->label(c) +
-                                          "' outside the shared alphabet");
+    for (xml::NodeId c : xml::ElementChildRange(*doc, node)) {
+      Symbol sym = SymbolOf(c);
+      // kUnboundSymbol and symbols interned after the relations were
+      // computed both fall outside the padded repair DFA.
+      if (sym >= tdfa->alphabet_size()) {
+        return Status::FailedPrecondition(StrCat(
+            "label '", doc->label(c), "' outside the shared alphabet"));
       }
       children.push_back(c);
-      word.push_back(*sym);
+      word.push_back(sym);
     }
 
-    const Dfa* tdfa = rel.TargetDfa(t_type);
     std::vector<bool> insertable(tdfa->alphabet_size(), false);
     for (const auto& [sym, child] : target.complex_type(t_type).child_types) {
       if (corrector.min_tree_cost_[child] != kInf) insertable[sym] = true;
@@ -523,9 +531,17 @@ Result<CorrectionReport> DocumentCorrector::CorrectWithEditor(
   }
   const Schema& source = relations_->source();
   const Schema& target = relations_->target();
-  std::optional<Symbol> sym = source.alphabet()->Find(doc->label(doc->root()));
-  TypeId s_root = sym ? source.RootType(*sym) : kInvalidType;
-  TypeId t_root = sym ? target.RootType(*sym) : kInvalidType;
+  bool use_symbols = doc->BoundTo(*source.alphabet());
+  Symbol root_sym = use_symbols
+                        ? doc->symbol(doc->root())
+                        : [&]() -> Symbol {
+                            auto found =
+                                source.alphabet()->Find(doc->label(doc->root()));
+                            return found ? *found : automata::kUnboundSymbol;
+                          }();
+  bool in_sigma = root_sym != automata::kUnboundSymbol;
+  TypeId s_root = in_sigma ? source.RootType(root_sym) : kInvalidType;
+  TypeId t_root = in_sigma ? target.RootType(root_sym) : kInvalidType;
   if (s_root == kInvalidType) {
     return Status::FailedPrecondition(
         "root is not declared by the source schema");
@@ -536,7 +552,7 @@ Result<CorrectionReport> DocumentCorrector::CorrectWithEditor(
         "' is not declared by the target schema; relabeling the root is "
         "outside the correction model");
   }
-  Walk walk{*this, *relations_, source, target, doc, editor, {}};
+  Walk walk{*this, *relations_, source, target, doc, editor, use_symbols, {}};
   RETURN_IF_ERROR(walk.CorrectNode(doc->root(), s_root, t_root));
   return std::move(walk.report);
 }

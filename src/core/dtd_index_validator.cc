@@ -102,43 +102,47 @@ ValidationReport DtdIndexValidator::Validate(
     report.violation_path = xml::DeweyPath::Of(doc, node);
   };
 
+  bool use_symbols = doc.BoundTo(*source.alphabet());
+  auto symbol_of = [&](xml::NodeId c) -> Symbol {
+    if (use_symbols) return doc.symbol(c);
+    std::optional<Symbol> sym = source.alphabet()->Find(doc.label(c));
+    return sym ? *sym : automata::kUnboundSymbol;
+  };
+
   // Root label must be accepted by the target's R.
   if (doc.has_root()) {
-    std::optional<Symbol> sym = source.alphabet()->Find(doc.label(doc.root()));
-    if (!sym || target.RootType(*sym) == kInvalidType) {
-      fail(doc.root(), "root element '" + doc.label(doc.root()) +
-                           "' is not declared by the target schema");
+    Symbol sym = symbol_of(doc.root());
+    if (sym == automata::kUnboundSymbol ||
+        target.RootType(sym) == kInvalidType) {
+      fail(doc.root(), StrCat("root element '", doc.label(doc.root()),
+                              "' is not declared by the target schema"));
       return report;
     }
   }
 
-  for (const std::string& label : index.Labels()) {
-    std::optional<Symbol> sym_opt = source.alphabet()->Find(label);
-    if (!sym_opt || *sym_opt >= plans_.size()) {
-      fail(index.Instances(label)[0],
-           "element '" + label + "' is outside the schemas' alphabet");
-      return report;
-    }
-    Symbol sym = *sym_opt;
+  // Validates every instance of one label. Returns false when a violation
+  // was recorded (`label` is resolved lazily — only failures need it).
+  auto check_instances = [&](Symbol sym,
+                             const std::vector<xml::NodeId>& instances) {
+    const std::string& label = source.alphabet()->Name(sym);
     const LabelPlan& plan = plans_[sym];
-    const std::vector<xml::NodeId>& instances = index.Instances(label);
 
     switch (plan.action) {
       case LabelAction::kSkip:
         report.counters.subtrees_skipped += instances.size();
-        continue;
+        return true;
       case LabelAction::kForeign:
-        fail(instances[0], "element '" + label +
-                               "' has no type under the target schema");
-        return report;
+        fail(instances[0], StrCat("element '", label,
+                                  "' has no type under the target schema"));
+        return false;
       case LabelAction::kReject:
         ++report.counters.disjoint_rejects;
         fail(instances[0],
-             "element '" + label + "': source type '" +
-                 source.TypeName(plan.source_type) +
-                 "' is disjoint from target type '" +
-                 target.TypeName(plan.target_type) + "'");
-        return report;
+             StrCat("element '", label, "': source type '",
+                    source.TypeName(plan.source_type),
+                    "' is disjoint from target type '",
+                    target.TypeName(plan.target_type), "'"));
+        return false;
       case LabelAction::kCheck:
         break;
     }
@@ -160,9 +164,8 @@ ValidationReport DtdIndexValidator::Validate(
         Status check = schema::ValidateSimpleValue(
             target.simple_type(plan.target_type), value);
         if (!check.ok()) {
-          fail(node, "element '" + label + "': " +
-                         std::string(check.message()));
-          return report;
+          fail(node, StrCat("element '", label, "': ", check.message()));
+          return false;
         }
         continue;
       }
@@ -174,27 +177,21 @@ ValidationReport DtdIndexValidator::Validate(
         Status attrs =
             schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
         if (!attrs.ok()) {
-          fail(node, "element '" + label + "': " +
-                         std::string(attrs.message()));
-          return report;
+          fail(node, StrCat("element '", label, "': ", attrs.message()));
+          return false;
         }
       }
 
       std::vector<Symbol> symbols;
-      bool bad_label = false;
-      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-           c = doc.next_sibling(c)) {
-        if (!doc.IsElement(c)) continue;
-        std::optional<Symbol> child_sym = source.alphabet()->Find(doc.label(c));
-        if (!child_sym) {
-          fail(c, "element '" + doc.label(c) +
-                      "' is outside the schemas' alphabet");
-          bad_label = true;
-          break;
+      for (xml::NodeId c : xml::ElementChildRange(doc, node)) {
+        Symbol child_sym = symbol_of(c);
+        if (child_sym == automata::kUnboundSymbol) {
+          fail(c, StrCat("element '", doc.label(c),
+                         "' is outside the schemas' alphabet"));
+          return false;
         }
-        symbols.push_back(*child_sym);
+        symbols.push_back(child_sym);
       }
-      if (bad_label) return report;
 
       bool accepted;
       if (pair != nullptr) {
@@ -217,12 +214,50 @@ ValidationReport DtdIndexValidator::Validate(
         accepted = accepted && dfa->IsAccepting(q);
       }
       if (!accepted) {
-        fail(node, "children of '" + label +
-                       "' do not match the content model of target type '" +
-                       target.TypeName(plan.target_type) + "'");
-        return report;
+        fail(node,
+             StrCat("children of '", label,
+                    "' do not match the content model of target type '",
+                    target.TypeName(plan.target_type), "'"));
+        return false;
       }
     }
+    return true;
+  };
+
+  if (use_symbols && index.HasSymbolBuckets()) {
+    // Bound fast path: walk the dense buckets — no hashing, no Find, no
+    // label-vector materialization. Out-of-Σ elements live only in the
+    // string index, so check the marker once up front.
+    if (xml::NodeId unbound = index.FirstUnbound();
+        unbound != xml::kInvalidNode) {
+      fail(unbound, StrCat("element '", doc.label(unbound),
+                           "' is outside the schemas' alphabet"));
+      return report;
+    }
+    for (Symbol sym = 0; sym < index.NumSymbolBuckets(); ++sym) {
+      const std::vector<xml::NodeId>& instances = index.Instances(sym);
+      if (instances.empty()) continue;
+      if (sym >= plans_.size()) {
+        // Interned after this validator was created: no plan, no type.
+        fail(instances[0], StrCat("element '", doc.label(instances[0]),
+                                  "' is outside the schemas' alphabet"));
+        return report;
+      }
+      if (!check_instances(sym, instances)) return report;
+    }
+    return report;
+  }
+
+  for (const std::string& label : index.Labels()) {
+    const std::vector<xml::NodeId>& instances = index.Instances(label);
+    Symbol sym = instances.empty() ? automata::kUnboundSymbol
+                                   : symbol_of(instances[0]);
+    if (sym == automata::kUnboundSymbol || sym >= plans_.size()) {
+      fail(instances[0], StrCat("element '", label,
+                                "' is outside the schemas' alphabet"));
+      return report;
+    }
+    if (!check_instances(sym, instances)) return report;
   }
   return report;
 }

@@ -15,6 +15,8 @@ FullValidator::FullValidator(const Schema* schema) : schema_(schema) {
 struct FullValidator::Walk {
   const Schema& schema;
   const xml::Document& doc;
+  // Document bound to this schema's alphabet: read node symbols directly.
+  bool use_symbols;
   ValidationReport report;
   std::vector<uint32_t> path;  // Dewey path of the current node
 
@@ -22,6 +24,12 @@ struct FullValidator::Walk {
     report.valid = false;
     report.violation = std::move(message);
     report.violation_path = xml::DeweyPath(path);
+  }
+
+  Symbol SymbolOf(xml::NodeId c) const {
+    if (use_symbols) return doc.symbol(c);
+    auto sym = schema.alphabet()->Find(doc.label(c));
+    return sym ? *sym : automata::kUnboundSymbol;
   }
 
   // validate(τ, e) from Definition 1's pseudocode.
@@ -38,9 +46,9 @@ struct FullValidator::Walk {
            c = doc.next_sibling(c), ++ordinal) {
         if (doc.IsElement(c)) {
           path.push_back(ordinal);
-          Fail("element '" + doc.label(c) + "' not allowed under '" +
-               doc.label(node) + "', whose type '" + schema.TypeName(type) +
-               "' is simple");
+          Fail(StrCat("element '", doc.label(c), "' not allowed under '",
+                      doc.label(node), "', whose type '",
+                      schema.TypeName(type), "' is simple"));
           path.pop_back();
           return false;
         }
@@ -52,8 +60,7 @@ struct FullValidator::Walk {
       Status check = schema::ValidateSimpleValue(schema.simple_type(type),
                                                  value);
       if (!check.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(check.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", check.message()));
         return false;
       }
       return true;
@@ -66,8 +73,7 @@ struct FullValidator::Walk {
       ++report.counters.attr_checks;
       Status attrs = schema::ValidateTypeAttributes(decl, doc.attributes(node));
       if (!attrs.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(attrs.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", attrs.message()));
         return false;
       }
     }
@@ -84,30 +90,31 @@ struct FullValidator::Walk {
         ++report.counters.text_nodes_visited;
         if (!TrimWhitespace(doc.text(c)).empty()) {
           path.push_back(ordinal);
-          Fail("character data not allowed under '" + doc.label(node) +
-               "', whose type '" + schema.TypeName(type) +
-               "' has element-only content");
+          Fail(StrCat("character data not allowed under '", doc.label(node),
+                      "', whose type '", schema.TypeName(type),
+                      "' has element-only content"));
           path.pop_back();
           return false;
         }
         continue;
       }
-      std::optional<Symbol> sym = schema.alphabet()->Find(doc.label(c));
-      if (!sym || *sym >= dfa.alphabet_size() ||
-          schema.ChildType(type, *sym) == kInvalidType) {
+      Symbol sym = SymbolOf(c);
+      if (sym >= dfa.alphabet_size() ||
+          schema.ChildType(type, sym) == kInvalidType) {
         path.push_back(ordinal);
-        Fail("element '" + doc.label(c) + "' not allowed by the content "
-             "model of type '" + schema.TypeName(type) + "'");
+        Fail(StrCat("element '", doc.label(c),
+                    "' not allowed by the content model of type '",
+                    schema.TypeName(type), "'"));
         path.pop_back();
         return false;
       }
-      q = dfa.Next(q, *sym);
+      q = dfa.Next(q, sym);
       ++report.counters.dfa_steps;
     }
     if (!dfa.IsAccepting(q)) {
-      Fail("children of '" + doc.label(node) +
-           "' do not match the content model of type '" +
-           schema.TypeName(type) + "'");
+      Fail(StrCat("children of '", doc.label(node),
+                  "' do not match the content model of type '",
+                  schema.TypeName(type), "'"));
       return false;
     }
 
@@ -116,8 +123,7 @@ struct FullValidator::Walk {
     for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
          c = doc.next_sibling(c), ++ordinal) {
       if (!doc.IsElement(c)) continue;
-      Symbol sym = *schema.alphabet()->Find(doc.label(c));
-      TypeId child_type = schema.ChildType(type, sym);
+      TypeId child_type = schema.ChildType(type, SymbolOf(c));
       path.push_back(ordinal);
       bool ok = ValidateNode(c, child_type);
       path.pop_back();
@@ -128,18 +134,19 @@ struct FullValidator::Walk {
 };
 
 ValidationReport FullValidator::Validate(const xml::Document& doc) const {
-  Walk walk{*schema_, doc, {}, {}};
+  Walk walk{*schema_, doc, doc.BoundTo(*schema_->alphabet()), {}, {}};
   if (!doc.has_root()) {
     walk.Fail("document has no root element");
     return std::move(walk.report);
   }
-  std::optional<Symbol> sym = schema_->alphabet()->Find(doc.label(doc.root()));
-  TypeId root_type = sym ? schema_->RootType(*sym) : kInvalidType;
+  Symbol sym = walk.SymbolOf(doc.root());
+  TypeId root_type = sym != automata::kUnboundSymbol ? schema_->RootType(sym)
+                                                     : kInvalidType;
   if (root_type == kInvalidType) {
     ++walk.report.counters.nodes_visited;
     ++walk.report.counters.elements_visited;
-    walk.Fail("root element '" + doc.label(doc.root()) +
-              "' is not declared by the schema");
+    walk.Fail(StrCat("root element '", doc.label(doc.root()),
+                     "' is not declared by the schema"));
     return std::move(walk.report);
   }
   walk.ValidateNode(doc.root(), root_type);
@@ -149,7 +156,7 @@ ValidationReport FullValidator::Validate(const xml::Document& doc) const {
 ValidationReport FullValidator::ValidateSubtree(const xml::Document& doc,
                                                 xml::NodeId node,
                                                 TypeId type) const {
-  Walk walk{*schema_, doc, {}, {}};
+  Walk walk{*schema_, doc, doc.BoundTo(*schema_->alphabet()), {}, {}};
   walk.ValidateNode(node, type);
   return std::move(walk.report);
 }

@@ -29,6 +29,9 @@ struct ModValidator::Walk {
   const xml::ModificationIndex& mods;
   const CastValidator& cast;
   bool use_incremental;
+  // Document bound to the schema pair's alphabet: project child sequences
+  // through the editor's symbol-level Proj_old/Proj_new, no string lookups.
+  bool use_symbols;
   ValidationReport report;
   std::vector<uint32_t> path;
 
@@ -52,8 +55,31 @@ struct ModValidator::Walk {
     return sub.valid;
   }
 
-  std::optional<Symbol> FindSymbol(const std::string& label) {
-    return source.alphabet()->Find(label);
+  /// Current-tree symbol of element `c` (no Δ projection).
+  Symbol SymbolOf(xml::NodeId c) const {
+    if (use_symbols) return doc.symbol(c);
+    auto sym = source.alphabet()->Find(doc.label(c));
+    return sym ? *sym : automata::kUnboundSymbol;
+  }
+
+  /// Proj_old symbol of child `c`: nullopt = ε (inserted / never existed),
+  /// kUnboundSymbol = label outside Σ.
+  std::optional<Symbol> OldSymbolOf(xml::NodeId c) const {
+    if (use_symbols) return mods.OldSymbol(doc, c);
+    std::optional<std::string> label = mods.OldLabel(doc, c);
+    if (!label) return std::nullopt;
+    auto sym = source.alphabet()->Find(*label);
+    return sym ? *sym : automata::kUnboundSymbol;
+  }
+
+  /// Proj_new symbol of child `c`: nullopt = ε (deleted), kUnboundSymbol =
+  /// label outside Σ.
+  std::optional<Symbol> NewSymbolOf(xml::NodeId c) const {
+    if (use_symbols) return mods.NewSymbol(doc, c);
+    std::optional<std::string> label = mods.NewLabel(doc, c);
+    if (!label) return std::nullopt;
+    auto sym = source.alphabet()->Find(*label);
+    return sym ? *sym : automata::kUnboundSymbol;
   }
 
   // Case 3: a freshly inserted subtree — full validation against the
@@ -71,8 +97,9 @@ struct ModValidator::Walk {
         if (mods.IsDeleted(c)) continue;
         if (doc.IsElement(c)) {
           path.push_back(ordinal);
-          Fail("element '" + doc.label(c) +
-               "' not allowed under simple-typed '" + doc.label(node) + "'");
+          Fail(StrCat("element '", doc.label(c),
+                      "' not allowed under simple-typed '", doc.label(node),
+                      "'"));
           path.pop_back();
           return false;
         }
@@ -84,8 +111,7 @@ struct ModValidator::Walk {
       Status check =
           schema::ValidateSimpleValue(target.simple_type(t_type), value);
       if (!check.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(check.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", check.message()));
         return false;
       }
       return true;
@@ -97,8 +123,7 @@ struct ModValidator::Walk {
       Status attrs =
           schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
       if (!attrs.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(attrs.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", attrs.message()));
         return false;
       }
     }
@@ -117,32 +142,33 @@ struct ModValidator::Walk {
         ++report.counters.text_nodes_visited;
         if (!TrimWhitespace(doc.text(c)).empty()) {
           path.push_back(ordinal);
-          Fail("character data not allowed under '" + doc.label(node) +
-               "' (element-only content)");
+          Fail(StrCat("character data not allowed under '", doc.label(node),
+                      "' (element-only content)"));
           path.pop_back();
           return false;
         }
         continue;
       }
-      std::optional<Symbol> sym = FindSymbol(doc.label(c));
-      if (!sym || *sym >= dfa->alphabet_size() ||
-          target.ChildType(t_type, *sym) == kInvalidType) {
+      Symbol sym = SymbolOf(c);
+      if (sym >= dfa->alphabet_size() ||
+          target.ChildType(t_type, sym) == kInvalidType) {
         path.push_back(ordinal);
-        Fail("element '" + doc.label(c) + "' not allowed by target type '" +
-             target.TypeName(t_type) + "'");
+        Fail(StrCat("element '", doc.label(c),
+                    "' not allowed by target type '", target.TypeName(t_type),
+                    "'"));
         path.pop_back();
         return false;
       }
-      q = dfa->Next(q, *sym);
+      q = dfa->Next(q, sym);
       ++report.counters.dfa_steps;
       children.push_back(c);
-      symbols.push_back(*sym);
+      symbols.push_back(sym);
       ordinals.push_back(ordinal);
     }
     if (!dfa->IsAccepting(q)) {
-      Fail("children of inserted '" + doc.label(node) +
-           "' do not match the content model of target type '" +
-           target.TypeName(t_type) + "'");
+      Fail(StrCat("children of inserted '", doc.label(node),
+                  "' do not match the content model of target type '",
+                  target.TypeName(t_type), "'"));
       return false;
     }
     for (size_t i = 0; i < children.size(); ++i) {
@@ -178,9 +204,9 @@ struct ModValidator::Walk {
         ++report.counters.immediate_decisions;
         *accepted = p1.verdict == Verdict::kAccept;
         if (!*accepted) {
-          Fail("children of '" + doc.label(node) +
-               "' do not match the content model of target type '" +
-               target.TypeName(t_type) + "'");
+          Fail(StrCat("children of '", doc.label(node),
+                      "' do not match the content model of target type '",
+                      target.TypeName(t_type), "'"));
         }
         return true;  // decided
       }
@@ -201,9 +227,9 @@ struct ModValidator::Walk {
     if (p3.decided_early) ++report.counters.immediate_decisions;
     *accepted = p3.verdict == Verdict::kAccept;
     if (!*accepted) {
-      Fail("children of '" + doc.label(node) +
-           "' do not match the content model of target type '" +
-           target.TypeName(t_type) + "'");
+      Fail(StrCat("children of '", doc.label(node),
+                  "' do not match the content model of target type '",
+                  target.TypeName(t_type), "'"));
     }
     return true;
   }
@@ -275,9 +301,9 @@ struct ModValidator::Walk {
     }
 
     if (!accepted) {
-      Fail("children of '" + doc.label(node) +
-           "' do not match the content model of target type '" +
-           target.TypeName(t_type) + "'");
+      Fail(StrCat("children of '", doc.label(node),
+                  "' do not match the content model of target type '",
+                  target.TypeName(t_type), "'"));
     }
     return accepted;
   }
@@ -306,8 +332,9 @@ struct ModValidator::Walk {
         if (mods.IsDeleted(c)) continue;
         if (doc.IsElement(c)) {
           path.push_back(ordinal);
-          Fail("element '" + doc.label(c) +
-               "' not allowed under simple-typed '" + doc.label(node) + "'");
+          Fail(StrCat("element '", doc.label(c),
+                      "' not allowed under simple-typed '", doc.label(node),
+                      "'"));
           path.pop_back();
           return false;
         }
@@ -319,8 +346,7 @@ struct ModValidator::Walk {
       Status check =
           schema::ValidateSimpleValue(target.simple_type(t_type), value);
       if (!check.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(check.message()));
+        Fail(StrCat("element '", doc.label(node), "': ", check.message()));
         return false;
       }
       return true;
@@ -335,8 +361,8 @@ struct ModValidator::Walk {
       Status attr_check =
           schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
       if (!attr_check.ok()) {
-        Fail("element '" + doc.label(node) + "': " +
-             std::string(attr_check.message()));
+        Fail(StrCat("element '", doc.label(node), "': ",
+                    attr_check.message()));
         return false;
       }
     }
@@ -359,25 +385,24 @@ struct ModValidator::Walk {
         ++report.counters.text_nodes_visited;
         if (!TrimWhitespace(doc.text(c)).empty()) {
           path.push_back(ordinal);
-          Fail("character data not allowed under '" + doc.label(node) +
-               "' (element-only content in target type '" +
-               target.TypeName(t_type) + "')");
+          Fail(StrCat("character data not allowed under '", doc.label(node),
+                      "' (element-only content in target type '",
+                      target.TypeName(t_type), "')"));
           path.pop_back();
           return false;
         }
         continue;
       }
 
-      std::optional<std::string> old_label = mods.OldLabel(doc, c);
-      std::optional<std::string> new_label = mods.NewLabel(doc, c);
-      if (old_label) {
-        std::optional<Symbol> sym = FindSymbol(*old_label);
-        if (!sym) {
-          Fail("internal: original label '" + *old_label +
-               "' missing from the alphabet");
+      std::optional<Symbol> old_sym = OldSymbolOf(c);
+      if (old_sym) {
+        if (*old_sym == automata::kUnboundSymbol) {
+          Fail(StrCat("internal: original label '",
+                      mods.OldLabel(doc, c).value_or(doc.label(c)),
+                      "' missing from the alphabet"));
           return false;
         }
-        old_syms.push_back(*sym);
+        old_syms.push_back(*old_sym);
       }
       if (kind == DeltaKind::kDeleted) {
         // Deleted child: its label fed Proj_old; count the read.
@@ -385,19 +410,20 @@ struct ModValidator::Walk {
         ++report.counters.elements_visited;
         continue;
       }
-      XMLREVAL_CHECK(new_label.has_value(), "live node must have a label");
-      std::optional<Symbol> sym = FindSymbol(*new_label);
-      if (!sym) {
+      std::optional<Symbol> new_sym = NewSymbolOf(c);
+      XMLREVAL_CHECK(new_sym.has_value(), "live node must have a label");
+      if (*new_sym == automata::kUnboundSymbol) {
         path.push_back(ordinal);
-        Fail("element '" + *new_label + "' is outside the schemas' alphabet");
+        Fail(StrCat("element '", doc.label(c),
+                    "' is outside the schemas' alphabet"));
         path.pop_back();
         return false;
       }
-      new_syms.push_back(*sym);
+      new_syms.push_back(*new_sym);
       live.push_back(c);
-      live_new_syms.push_back(*sym);
-      live_old_syms.push_back(old_label ? old_syms.back()
-                                        : automata::kInvalidSymbol);
+      live_new_syms.push_back(*new_sym);
+      live_old_syms.push_back(old_sym ? old_syms.back()
+                                      : automata::kInvalidSymbol);
       live_ordinals.push_back(ordinal);
       live_inserted.push_back(kind == DeltaKind::kInserted);
     }
@@ -410,8 +436,8 @@ struct ModValidator::Walk {
     for (size_t i = 0; i < live.size(); ++i) {
       TypeId t_child = target.ChildType(t_type, live_new_syms[i]);
       if (t_child == kInvalidType) {
-        Fail("internal: accepted content string uses untyped label '" +
-             doc.label(live[i]) + "'");
+        Fail(StrCat("internal: accepted content string uses untyped label '",
+                    doc.label(live[i]), "'"));
         return false;
       }
       path.push_back(live_ordinals[i]);
@@ -423,9 +449,10 @@ struct ModValidator::Walk {
       } else {
         TypeId s_child = source.ChildType(s_type, live_old_syms[i]);
         if (s_child == kInvalidType) {
-          Fail("precondition violated: source type '" +
-               source.TypeName(s_type) + "' does not type child label '" +
-               source.alphabet()->Name(live_old_syms[i]) + "'");
+          Fail(StrCat("precondition violated: source type '",
+                      source.TypeName(s_type),
+                      "' does not type child label '",
+                      source.alphabet()->Name(live_old_syms[i]), "'"));
           path.pop_back();
           return false;
         }
@@ -448,6 +475,7 @@ ValidationReport ModValidator::Validate(
             mods,
             cast_,
             options_.use_incremental_content,
+            doc.BoundTo(*relations_->source().alphabet()),
             {},
             {}};
   if (!doc.has_root()) {
@@ -458,30 +486,33 @@ ValidationReport ModValidator::Validate(
   const Schema& source = relations_->source();
   const Schema& target = relations_->target();
 
-  std::optional<std::string> new_label = mods.NewLabel(doc, root);
-  std::optional<std::string> old_label = mods.OldLabel(doc, root);
-  XMLREVAL_CHECK(new_label.has_value(), "document root cannot be deleted");
+  std::optional<Symbol> new_sym = walk.NewSymbolOf(root);
+  XMLREVAL_CHECK(new_sym.has_value(), "document root cannot be deleted");
 
-  std::optional<Symbol> new_sym = source.alphabet()->Find(*new_label);
-  TypeId t_root = new_sym ? target.RootType(*new_sym) : kInvalidType;
+  TypeId t_root = *new_sym != automata::kUnboundSymbol
+                      ? target.RootType(*new_sym)
+                      : kInvalidType;
   if (t_root == kInvalidType) {
     ++walk.report.counters.nodes_visited;
     ++walk.report.counters.elements_visited;
-    walk.Fail("root element '" + *new_label +
-              "' is not declared by the target schema");
+    walk.Fail(StrCat("root element '", doc.label(root),
+                     "' is not declared by the target schema"));
     return std::move(walk.report);
   }
 
-  if (mods.IsInserted(root) || !old_label) {
+  std::optional<Symbol> old_sym = walk.OldSymbolOf(root);
+  if (mods.IsInserted(root) || !old_sym) {
     walk.ValidateInserted(root, t_root);
     return std::move(walk.report);
   }
 
-  std::optional<Symbol> old_sym = source.alphabet()->Find(*old_label);
-  TypeId s_root = old_sym ? source.RootType(*old_sym) : kInvalidType;
+  TypeId s_root = *old_sym != automata::kUnboundSymbol
+                      ? source.RootType(*old_sym)
+                      : kInvalidType;
   if (s_root == kInvalidType) {
-    walk.Fail("precondition violated: original root '" + *old_label +
-              "' is not declared by the source schema");
+    walk.Fail(StrCat("precondition violated: original root '",
+                     mods.OldLabel(doc, root).value_or(doc.label(root)),
+                     "' is not declared by the source schema"));
     return std::move(walk.report);
   }
 

@@ -233,30 +233,24 @@ Result<TypeRelations> TypeRelations::Compute(const Schema* source,
     }
   }
 
+  rel.BuildDenseTables();
   return rel;
 }
 
-const automata::ImmediateDfa* TypeRelations::PairAutomaton(TypeId s,
-                                                           TypeId t) const {
-  auto it = pair_automata_.find(Index(s, t));
-  return it == pair_automata_.end() ? nullptr : &it->second;
-}
-
-const automata::ImmediateDfa* TypeRelations::SingleAutomaton(TypeId t) const {
-  auto it = single_automata_.find(t);
-  return it == single_automata_.end() ? nullptr : &it->second;
-}
-
-const automata::ImmediateDfa* TypeRelations::ReversePairAutomaton(
-    TypeId s, TypeId t) const {
-  auto it = reverse_pair_automata_.find(Index(s, t));
-  return it == reverse_pair_automata_.end() ? nullptr : &it->second;
-}
-
-const automata::ImmediateDfa* TypeRelations::ReverseSingleAutomaton(
-    TypeId t) const {
-  auto it = reverse_single_automata_.find(t);
-  return it == reverse_single_automata_.end() ? nullptr : &it->second;
+void TypeRelations::BuildDenseTables() {
+  size_t ns = source_->num_types();
+  pair_dense_.assign(ns * num_target_, nullptr);
+  for (const auto& [idx, dfa] : pair_automata_) pair_dense_[idx] = &dfa;
+  reverse_pair_dense_.assign(ns * num_target_, nullptr);
+  for (const auto& [idx, dfa] : reverse_pair_automata_) {
+    reverse_pair_dense_[idx] = &dfa;
+  }
+  single_dense_.assign(num_target_, nullptr);
+  for (const auto& [t, dfa] : single_automata_) single_dense_[t] = &dfa;
+  reverse_single_dense_.assign(num_target_, nullptr);
+  for (const auto& [t, dfa] : reverse_single_automata_) {
+    reverse_single_dense_[t] = &dfa;
+  }
 }
 
 size_t TypeRelations::CountSubsumed() const {

@@ -71,16 +71,24 @@ class TypeRelations {
 
   /// c_immed for a complex (source, target) pair, or nullptr when the pair
   /// is subsumed/disjoint/not prebuilt. States encode (source, target) DFA
-  /// pairs via pair_encoding().
-  const automata::ImmediateDfa* PairAutomaton(TypeId s, TypeId t) const;
+  /// pairs via pair_encoding(). Dense array read — called once per element.
+  const automata::ImmediateDfa* PairAutomaton(TypeId s, TypeId t) const {
+    return pair_dense_[Index(s, t)];
+  }
 
   /// b_immed for a target complex type, or nullptr when not prebuilt.
-  const automata::ImmediateDfa* SingleAutomaton(TypeId t) const;
+  const automata::ImmediateDfa* SingleAutomaton(TypeId t) const {
+    return single_dense_[t];
+  }
 
   /// Reverse-direction counterparts (§4.3). Null unless
   /// Options::build_reverse_automata was set.
-  const automata::ImmediateDfa* ReversePairAutomaton(TypeId s, TypeId t) const;
-  const automata::ImmediateDfa* ReverseSingleAutomaton(TypeId t) const;
+  const automata::ImmediateDfa* ReversePairAutomaton(TypeId s, TypeId t) const {
+    return reverse_pair_dense_[Index(s, t)];
+  }
+  const automata::ImmediateDfa* ReverseSingleAutomaton(TypeId t) const {
+    return reverse_single_dense_[t];
+  }
   const automata::Dfa* ReverseSourceDfa(TypeId s) const {
     return s < reverse_source_dfas_.size() && reverse_source_dfas_[s]
                ? &*reverse_source_dfas_[s]
@@ -104,10 +112,23 @@ class TypeRelations {
   size_t CountSubsumed() const;
   size_t CountNonDisjoint() const;
 
+  // Move-only: the dense tables hold pointers into the automata maps, which
+  // stay valid across moves (map nodes don't relocate) but not copies.
+  TypeRelations(const TypeRelations&) = delete;
+  TypeRelations& operator=(const TypeRelations&) = delete;
+  TypeRelations(TypeRelations&&) = default;
+  TypeRelations& operator=(TypeRelations&&) = default;
+
  private:
   TypeRelations() = default;
 
   size_t Index(TypeId s, TypeId t) const { return s * num_target_ + t; }
+
+  /// Fills the dense pointer tables below from the automata maps. Safe to
+  /// call once at the end of Compute(): unordered_map guarantees reference
+  /// stability, and moving the map (when the TypeRelations is returned or
+  /// cached) leaves its nodes in place, so the pointers survive.
+  void BuildDenseTables();
 
   const Schema* source_ = nullptr;
   const Schema* target_ = nullptr;
@@ -121,6 +142,12 @@ class TypeRelations {
   std::vector<std::optional<automata::Dfa>> reverse_source_dfas_;
   std::unordered_map<size_t, automata::ImmediateDfa> reverse_pair_automata_;
   std::unordered_map<TypeId, automata::ImmediateDfa> reverse_single_automata_;
+  // Dense views over the maps above, indexed by Index(s,t) / TypeId, so the
+  // per-node lookups in the validators are array reads rather than hashes.
+  std::vector<const automata::ImmediateDfa*> pair_dense_;
+  std::vector<const automata::ImmediateDfa*> single_dense_;
+  std::vector<const automata::ImmediateDfa*> reverse_pair_dense_;
+  std::vector<const automata::ImmediateDfa*> reverse_single_dense_;
 };
 
 }  // namespace xmlreval::core

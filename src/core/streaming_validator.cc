@@ -34,35 +34,38 @@ class FullHandler : public xml::SaxHandler {
     ++report_->counters.elements_visited;
 
     TypeId type = kInvalidType;
+    std::optional<Symbol> sym = schema_.alphabet()->Find(name);
     if (frames_.empty()) {
-      std::optional<Symbol> sym = schema_.alphabet()->Find(name);
       type = sym ? schema_.RootType(*sym) : kInvalidType;
       if (type == kInvalidType) {
-        return Fail("root element '" + std::string(name) +
-                    "' is not declared by the schema");
+        return Fail(StrCat("root element '", name,
+                           "' is not declared by the schema"));
       }
     } else {
       Frame& parent = frames_.back();
       if (parent.simple) {
-        return Fail("element '" + std::string(name) +
-                    "' not allowed under simple-typed '" + parent.label + "'");
+        return Fail(StrCat("element '", name,
+                           "' not allowed under simple-typed '",
+                           Name(parent.sym), "'"));
       }
-      std::optional<Symbol> sym = schema_.alphabet()->Find(name);
       const automata::Dfa& dfa = schema_.ContentDfa(parent.type);
       if (!sym || *sym >= dfa.alphabet_size() ||
           schema_.ChildType(parent.type, *sym) == kInvalidType) {
-        return Fail("element '" + std::string(name) +
-                    "' not allowed by the content model of type '" +
-                    schema_.TypeName(parent.type) + "'");
+        return Fail(StrCat("element '", name,
+                           "' not allowed by the content model of type '",
+                           schema_.TypeName(parent.type), "'"));
       }
       parent.state = dfa.Next(parent.state, *sym);
       ++report_->counters.dfa_steps;
       type = schema_.ChildType(parent.type, *sym);
     }
 
+    // A frame exists only for elements whose symbol resolved (the type
+    // checks above imply Σ membership), so storing the Symbol instead of a
+    // copied label string is lossless — and allocation-free.
     Frame frame;
     frame.type = type;
-    frame.label.assign(name);
+    frame.sym = *sym;
     frame.simple = schema_.IsSimple(type);
     if (!frame.simple) {
       RETURN_IF_ERROR(CheckAttributes(type, name, attributes));
@@ -83,8 +86,8 @@ class FullHandler : public xml::SaxHandler {
       return Status::OK();
     }
     if (!TrimWhitespace(text).empty()) {
-      return Fail("character data not allowed under '" + frame.label +
-                  "' (element-only content)");
+      return Fail(StrCat("character data not allowed under '",
+                         Name(frame.sym), "' (element-only content)"));
     }
     return Status::OK();
   }
@@ -96,13 +99,13 @@ class FullHandler : public xml::SaxHandler {
       Status check = schema::ValidateSimpleValue(
           schema_.simple_type(frame.type), frame.text);
       if (!check.ok()) {
-        return Fail("element '" + frame.label + "': " +
-                    std::string(check.message()));
+        return Fail(StrCat("element '", Name(frame.sym), "': ",
+                           check.message()));
       }
     } else if (!schema_.ContentDfa(frame.type).IsAccepting(frame.state)) {
-      return Fail("children of '" + frame.label +
-                  "' do not match the content model of type '" +
-                  schema_.TypeName(frame.type) + "'");
+      return Fail(StrCat("children of '", Name(frame.sym),
+                         "' do not match the content model of type '",
+                         schema_.TypeName(frame.type), "'"));
     }
     frames_.pop_back();
     return Status::OK();
@@ -111,11 +114,15 @@ class FullHandler : public xml::SaxHandler {
  private:
   struct Frame {
     TypeId type;
-    std::string label;
+    Symbol sym;  // the element's interned symbol (label for diagnostics)
     bool simple;
     automata::StateId state = 0;  // content DFA state (complex types)
     std::string text;             // accumulated χ value (simple types)
   };
+
+  const std::string& Name(Symbol sym) const {
+    return schema_.alphabet()->Name(sym);
+  }
 
   Status Fail(std::string message) {
     report_->valid = false;
@@ -135,8 +142,7 @@ class FullHandler : public xml::SaxHandler {
     }
     Status check = schema::ValidateTypeAttributes(decl, attr_scratch_);
     if (!check.ok()) {
-      return Fail("element '" + std::string(name) + "': " +
-                  std::string(check.message()));
+      return Fail(StrCat("element '", name, "': ", check.message()));
     }
     return Status::OK();
   }
@@ -169,26 +175,25 @@ class CastHandler : public xml::SaxHandler {
 
     TypeId s_type = kInvalidType;
     TypeId t_type = kInvalidType;
+    std::optional<Symbol> sym = source_.alphabet()->Find(name);
     if (frames_.empty()) {
-      std::optional<Symbol> sym = source_.alphabet()->Find(name);
       s_type = sym ? source_.RootType(*sym) : kInvalidType;
       t_type = sym ? target_.RootType(*sym) : kInvalidType;
       ++report_->counters.nodes_visited;
       ++report_->counters.elements_visited;
       if (s_type == kInvalidType) {
-        return Fail("precondition violated: root '" + std::string(name) +
-                    "' is not declared by the source schema");
+        return Fail(StrCat("precondition violated: root '", name,
+                           "' is not declared by the source schema"));
       }
       if (t_type == kInvalidType) {
-        return Fail("root element '" + std::string(name) +
-                    "' is not declared by the target schema");
+        return Fail(StrCat("root element '", name,
+                           "' is not declared by the target schema"));
       }
     } else {
       Frame& parent = frames_.back();
-      std::optional<Symbol> sym = source_.alphabet()->Find(name);
       if (!sym) {
-        return Fail("element '" + std::string(name) +
-                    "' is outside the schemas' alphabet");
+        return Fail(StrCat("element '", name,
+                           "' is outside the schemas' alphabet"));
       }
       ++report_->counters.nodes_visited;
       ++report_->counters.elements_visited;
@@ -216,9 +221,9 @@ class CastHandler : public xml::SaxHandler {
       }
       s_type = source_.ChildType(parent.s_type, *sym);
       if (s_type == kInvalidType) {
-        return Fail("precondition violated: source type '" +
-                    source_.TypeName(parent.s_type) +
-                    "' does not type child label '" + std::string(name) + "'");
+        return Fail(StrCat("precondition violated: source type '",
+                           source_.TypeName(parent.s_type),
+                           "' does not type child label '", name, "'"));
       }
     }
 
@@ -229,13 +234,15 @@ class CastHandler : public xml::SaxHandler {
     }
     if (rel_.Disjoint(s_type, t_type)) {
       ++report_->counters.disjoint_rejects;
-      return Fail("element '" + std::string(name) + "': source type '" +
-                  source_.TypeName(s_type) + "' is disjoint from target "
-                  "type '" + target_.TypeName(t_type) + "'");
+      return Fail(StrCat("element '", name, "': source type '",
+                         source_.TypeName(s_type),
+                         "' is disjoint from target type '",
+                         target_.TypeName(t_type), "'"));
     }
 
+    // Frames exist only past the Σ checks above, so the Symbol is enough.
     Frame frame;
-    frame.label.assign(name);
+    frame.sym = *sym;
     frame.s_type = s_type;
     frame.t_type = t_type;
     frame.t_simple = target_.IsSimple(t_type);
@@ -250,8 +257,7 @@ class CastHandler : public xml::SaxHandler {
         }
         Status check = schema::ValidateTypeAttributes(t_decl, attr_scratch_);
         if (!check.ok()) {
-          return Fail("element '" + std::string(name) + "': " +
-                      std::string(check.message()));
+          return Fail(StrCat("element '", name, "': ", check.message()));
         }
       }
       frame.pair = rel_.PairAutomaton(s_type, t_type);
@@ -300,8 +306,8 @@ class CastHandler : public xml::SaxHandler {
       Status check = schema::ValidateSimpleValue(
           target_.simple_type(frame.t_type), frame.text);
       if (!check.ok()) {
-        return Fail("element '" + frame.label + "': " +
-                    std::string(check.message()));
+        return Fail(StrCat("element '", source_.alphabet()->Name(frame.sym),
+                           "': ", check.message()));
       }
     } else if (!frame.decided) {
       bool accepted = frame.pair != nullptr
@@ -316,7 +322,7 @@ class CastHandler : public xml::SaxHandler {
 
  private:
   struct Frame {
-    std::string label;
+    Symbol sym;  // the element's interned symbol (label for diagnostics)
     TypeId s_type;
     TypeId t_type;
     bool t_simple = false;
@@ -333,9 +339,9 @@ class CastHandler : public xml::SaxHandler {
   }
 
   Status ContentFail(const Frame& frame) {
-    return Fail("children of '" + frame.label +
-                "' do not match the content model of target type '" +
-                target_.TypeName(frame.t_type) + "'");
+    return Fail(StrCat("children of '", source_.alphabet()->Name(frame.sym),
+                       "' do not match the content model of target type '",
+                       target_.TypeName(frame.t_type), "'"));
   }
 
   const TypeRelations& rel_;

@@ -302,6 +302,18 @@ Result<Schema> SchemaBuilder::Build(const BuildOptions& options) {
     }
   }
 
+  // Densify types_τ so Schema::ChildType is an array read on the validator
+  // hot path. Sized to the alphabet as of Build(); later-interned symbols
+  // index past the end and correctly read as kInvalidType.
+  for (TypeId t = 0; t < n; ++t) {
+    if (s.IsSimple(t)) continue;
+    ComplexType& ct = s.complex_[t];
+    ct.child_types_dense.assign(alphabet_size, kInvalidType);
+    for (const auto& [sym, child] : ct.child_types) {
+      ct.child_types_dense[sym] = child;
+    }
+  }
+
   // Roots must be productive, or the schema accepts nothing through them.
   for (const auto& [sym, t] : s.roots_) {
     if (!s.productive_[t]) {

@@ -61,6 +61,11 @@ struct ComplexType {
   std::optional<automata::Dfa> dfa;
   /// types_τ : Σ_τ → T.
   std::unordered_map<Symbol, TypeId> child_types;
+  /// Dense types_τ table filled by SchemaBuilder::Build(): indexed by
+  /// Symbol, kInvalidType for σ ∉ Σ_τ. Sized to the alphabet at build time,
+  /// so symbols interned later (and kUnboundSymbol) fall off the end and
+  /// read as kInvalidType — exactly the right answer.
+  std::vector<TypeId> child_types_dense;
   /// Σ_τ for DFA-preset content models (empty when regexp-derived).
   std::vector<Symbol> preset_symbols;
   /// Declared attributes by name. Undeclared attributes are invalid;
@@ -99,11 +104,11 @@ class Schema {
   /// The compiled content-model DFA of a complex type.
   const automata::Dfa& ContentDfa(TypeId t) const { return *complex_[t].dfa; }
 
-  /// types_τ(σ), or kInvalidType when σ ∉ Σ_τ.
+  /// types_τ(σ), or kInvalidType when σ ∉ Σ_τ. A dense array read — the
+  /// validators call this once per element visit.
   TypeId ChildType(TypeId t, Symbol label) const {
-    const auto& map = complex_[t].child_types;
-    auto it = map.find(label);
-    return it == map.end() ? kInvalidType : it->second;
+    const auto& dense = complex_[t].child_types_dense;
+    return label < dense.size() ? dense[label] : kInvalidType;
   }
 
   /// R(σ): the type assigned to root label σ, or kInvalidType.

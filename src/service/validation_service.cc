@@ -31,6 +31,17 @@ Result<core::ValidationReport> ValidationService::Record(
   return result;
 }
 
+Status ValidationService::BindDocument(xml::Document* doc) const {
+  if (doc == nullptr) {
+    return Status::InvalidArgument("BindDocument requires a document");
+  }
+  // Find-only bind: never grows Σ, so the shared guard suffices. The
+  // resolved symbols stay valid after the guard is released because the
+  // registry's Alphabet is append-only.
+  auto guard = registry_.ReadGuard();
+  return doc->Bind(registry_.alphabet());
+}
+
 Result<core::ValidationReport> ValidationService::Validate(
     SchemaHandle schema, const xml::Document& doc) {
   auto run = [&]() -> Result<core::ValidationReport> {
@@ -97,6 +108,15 @@ ValidationService::BatchItemResult ValidationService::ProcessItem(
     requests_.fetch_add(1, std::memory_order_relaxed);
     errors_.fetch_add(1, std::memory_order_relaxed);
     result.status = doc.status().WithContext("batch item");
+    return result;
+  }
+  // Bind once per item: every validator the item reaches (precondition
+  // check, cast, full validation) then reads node symbols directly
+  // instead of hashing each label against the shared Alphabet.
+  if (Status bind = BindDocument(&*doc); !bind.ok()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    result.status = bind.WithContext("batch item");
     return result;
   }
   Result<core::ValidationReport> report =

@@ -86,6 +86,14 @@ class ValidationService {
   RelationsCache& cache() { return cache_; }
   const RelationsCache& cache() const { return cache_; }
 
+  /// Binds `doc` to the registry's shared Alphabet (find-only, under the
+  /// registry's read guard) so every subsequent Validate/Cast on it takes
+  /// the string-free symbol path. Callers that build or parse documents
+  /// themselves should bind once before the first request; ProcessItem
+  /// does this automatically for batch items. Out-of-Σ labels degrade to
+  /// kUnboundSymbol and are reported by the validators as usual.
+  Status BindDocument(xml::Document* doc) const;
+
   /// Full validation (Definition 1) against a registered schema.
   Result<core::ValidationReport> Validate(SchemaHandle schema,
                                           const xml::Document& doc);

@@ -32,11 +32,40 @@ std::optional<std::string> ModificationIndex::NewLabel(const Document& doc,
   return doc.label(node);
 }
 
+std::optional<automata::Symbol> ModificationIndex::OldSymbol(
+    const Document& doc, NodeId node) const {
+  auto it = deltas_.find(node);
+  if (it == deltas_.end()) return doc.symbol(node);
+  const Delta& d = it->second;
+  switch (d.kind) {
+    case DeltaKind::kInserted:
+      return std::nullopt;  // ε: did not exist in T
+    case DeltaKind::kRenamed:
+    case DeltaKind::kDeleted: {
+      if (d.kind == DeltaKind::kDeleted && d.never_existed) return std::nullopt;
+      // Deleted nodes keep their label, so the node's own symbol is the
+      // T-symbol unless a rename preceded the delete (old_label captured).
+      if (d.old_label.empty()) return doc.symbol(node);
+      if (d.old_symbol != automata::kUnboundSymbol) return d.old_symbol;
+      // Bound after the edit: re-resolve the captured old label.
+      if (const automata::Alphabet* a = doc.bound_alphabet()) {
+        auto sym = a->Find(d.old_label);
+        return sym ? *sym : automata::kUnboundSymbol;
+      }
+      return automata::kUnboundSymbol;
+    }
+    default:
+      return doc.symbol(node);
+  }
+}
+
 Status DocumentEditor::MarkTouched(NodeId node, DeltaKind kind,
-                                   std::string old_label) {
+                                   std::string old_label,
+                                   automata::Symbol old_symbol) {
   if (sealed_) return Status::FailedPrecondition("editor already sealed");
   auto [it, fresh] = index_.deltas_.try_emplace(
-      node, ModificationIndex::Delta{kind, std::move(old_label)});
+      node,
+      ModificationIndex::Delta{kind, std::move(old_label), old_symbol});
   if (!fresh) {
     // Collapse successive deltas on the same node so the annotation always
     // relates the ORIGINAL tree T to the FINAL encoded tree T'.
@@ -48,7 +77,7 @@ Status DocumentEditor::MarkTouched(NodeId node, DeltaKind kind,
       d.kind = DeltaKind::kDeleted;
     } else if (kind == DeltaKind::kRenamed) {
       if (d.kind == DeltaKind::kUnchanged || d.kind == DeltaKind::kTextEdited) {
-        d = ModificationIndex::Delta{kind, std::move(old_label)};
+        d = ModificationIndex::Delta{kind, std::move(old_label), old_symbol};
       }
       // kInserted stays inserted; a second kRenamed keeps the first
       // rename's original label.
@@ -77,8 +106,10 @@ Status DocumentEditor::RenameElement(NodeId node, std::string_view new_label) {
     return Status::FailedPrecondition("cannot rename a deleted node");
   }
   std::string old_label = doc_->label(node);
+  automata::Symbol old_symbol = doc_->symbol(node);
   RETURN_IF_ERROR(doc_->Rename(node, new_label));
-  return MarkTouched(node, DeltaKind::kRenamed, std::move(old_label));
+  return MarkTouched(node, DeltaKind::kRenamed, std::move(old_label),
+                     old_symbol);
 }
 
 Result<NodeId> DocumentEditor::InsertElementBefore(NodeId reference,

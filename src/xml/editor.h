@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "automata/alphabet.h"
 #include "common/result.h"
 #include "xml/dewey.h"
 #include "xml/path_trie.h"
@@ -72,6 +73,26 @@ class ModificationIndex {
   /// nodes (ε), the current label otherwise.
   std::optional<std::string> NewLabel(const Document& doc, NodeId node) const;
 
+  /// Symbol-level Proj_old: the node's interned symbol in the ORIGINAL tree
+  /// T, nullopt for ε (inserted / never-existed). Renamed and deleted nodes
+  /// return the symbol captured at edit time; if the document was bound only
+  /// after the edit, the stored old label is re-resolved through the bound
+  /// alphabet. Out-of-Σ old labels (and unbound documents) yield
+  /// automata::kUnboundSymbol, which never matches any transition.
+  std::optional<automata::Symbol> OldSymbol(const Document& doc,
+                                            NodeId node) const;
+
+  /// Symbol-level Proj_new: nullopt for deleted nodes (ε), doc.symbol(node)
+  /// otherwise.
+  std::optional<automata::Symbol> NewSymbol(const Document& doc,
+                                            NodeId node) const {
+    auto it = deltas_.find(node);
+    if (it != deltas_.end() && it->second.kind == DeltaKind::kDeleted) {
+      return std::nullopt;
+    }
+    return doc.symbol(node);
+  }
+
   size_t update_count() const { return update_count_; }
   bool empty() const { return update_count_ == 0; }
 
@@ -81,6 +102,9 @@ class ModificationIndex {
   struct Delta {
     DeltaKind kind;
     std::string old_label;   // original label in T, for kRenamed/kDeleted
+    // Interned symbol of old_label, captured at edit time (kUnboundSymbol
+    // when the document was unbound at that point).
+    automata::Symbol old_symbol = automata::kUnboundSymbol;
     bool never_existed = false;  // inserted then deleted within the session
   };
 
@@ -130,7 +154,8 @@ class DocumentEditor {
   size_t update_count() const { return index_.update_count_; }
 
  private:
-  Status MarkTouched(NodeId node, DeltaKind kind, std::string old_label = "");
+  Status MarkTouched(NodeId node, DeltaKind kind, std::string old_label = "",
+                     automata::Symbol old_symbol = automata::kUnboundSymbol);
 
   /// True if `node` has no live (non-deleted) children.
   bool EffectiveLeaf(NodeId node) const;

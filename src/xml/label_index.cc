@@ -5,18 +5,26 @@ namespace xmlreval::xml {
 LabelIndex LabelIndex::Build(const Document& doc) {
   LabelIndex index;
   if (!doc.has_root()) return index;
-  // Iterative DFS in document order.
+  const automata::Alphabet* alphabet = doc.bound_alphabet();
+  if (alphabet != nullptr) index.by_symbol_.resize(alphabet->size());
+  // Iterative DFS in document order: push children last-to-first by walking
+  // the sibling chain backwards, so no per-node child vector is built.
   std::vector<NodeId> stack{doc.root()};
   while (!stack.empty()) {
     NodeId node = stack.back();
     stack.pop_back();
     if (doc.IsElement(node)) {
       index.index_[doc.label(node)].push_back(node);
+      automata::Symbol sym = doc.symbol(node);
+      if (sym < index.by_symbol_.size()) {
+        index.by_symbol_[sym].push_back(node);
+      } else if (alphabet != nullptr && index.first_unbound_ == kInvalidNode) {
+        index.first_unbound_ = node;
+      }
       ++index.total_elements_;
-      // Push children reversed so they pop in document order.
-      std::vector<NodeId> children = doc.Children(node);
-      for (auto it = children.rbegin(); it != children.rend(); ++it) {
-        stack.push_back(*it);
+      for (NodeId c = doc.last_child(node); c != kInvalidNode;
+           c = doc.prev_sibling(c)) {
+        stack.push_back(c);
       }
     }
   }

@@ -445,6 +445,13 @@ class EventParser {
 // SAX handler that materializes the DOM.
 class DomBuilder : public SaxHandler {
  public:
+  explicit DomBuilder(std::shared_ptr<automata::Alphabet> intern_alphabet) {
+    if (intern_alphabet != nullptr) {
+      // Empty document: binding is O(1) and makes CreateElement intern.
+      (void)doc_.BindInterning(std::move(intern_alphabet));
+    }
+  }
+
   Status Doctype(std::string_view name, std::string_view subset) override {
     doctype_name_.assign(name);
     internal_subset_.assign(subset);
@@ -497,14 +504,14 @@ Status ParseXmlEvents(std::string_view input, SaxHandler* handler,
 }
 
 Result<Document> ParseXml(std::string_view input, const ParseOptions& options) {
-  DomBuilder builder;
+  DomBuilder builder(options.intern_alphabet);
   RETURN_IF_ERROR(ParseXmlEvents(input, &builder, options));
   return std::move(builder.Take().document);
 }
 
 Result<ParsedWithDoctype> ParseXmlWithDoctype(std::string_view input,
                                               const ParseOptions& options) {
-  DomBuilder builder;
+  DomBuilder builder(options.intern_alphabet);
   RETURN_IF_ERROR(ParseXmlEvents(input, &builder, options));
   return builder.Take();
 }

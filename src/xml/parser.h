@@ -13,9 +13,11 @@
 #ifndef XMLREVAL_XML_PARSER_H_
 #define XMLREVAL_XML_PARSER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "automata/alphabet.h"
 #include "common/result.h"
 #include "xml/tree.h"
 
@@ -28,6 +30,11 @@ struct ParseOptions {
   bool skip_whitespace_text = true;
   /// Merge adjacent text runs (including CDATA) into single text nodes.
   bool coalesce_text = true;
+  /// When set, the produced Document is bound to this alphabet and element
+  /// labels are interned as they are parsed (Document::BindInterning), so
+  /// validators run string-free from the first visit. The caller must be the
+  /// alphabet's sole writer during the parse (see automata/alphabet.h).
+  std::shared_ptr<automata::Alphabet> intern_alphabet;
 };
 
 /// Parses an XML document from `input`. Errors carry 1-based line:column.

@@ -9,6 +9,7 @@ NodeId Document::CreateElement(std::string_view label) {
   Node n;
   n.kind = NodeKind::kElement;
   n.label.assign(label);
+  n.symbol = ResolveSymbol(label);
   nodes_.push_back(std::move(n));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -151,7 +152,46 @@ Status Document::Rename(NodeId node, std::string_view new_label) {
                                    std::string(new_label) + "'");
   }
   nodes_[node].label.assign(new_label);
+  nodes_[node].symbol = ResolveSymbol(new_label);
   return Status::OK();
+}
+
+automata::Symbol Document::ResolveSymbol(std::string_view label) {
+  if (intern_alphabet_ != nullptr) return intern_alphabet_->Intern(label);
+  if (bound_alphabet_ != nullptr) {
+    auto sym = bound_alphabet_->Find(label);
+    return sym ? *sym : automata::kUnboundSymbol;
+  }
+  return automata::kUnboundSymbol;
+}
+
+Status Document::Bind(std::shared_ptr<const automata::Alphabet> alphabet) {
+  if (alphabet == nullptr) return Status::InvalidArgument("null alphabet");
+  intern_alphabet_ = nullptr;
+  bound_alphabet_ = std::move(alphabet);
+  for (Node& n : nodes_) {
+    if (n.kind != NodeKind::kElement || !n.alive) continue;
+    auto sym = bound_alphabet_->Find(n.label);
+    n.symbol = sym ? *sym : automata::kUnboundSymbol;
+  }
+  return Status::OK();
+}
+
+Status Document::BindInterning(std::shared_ptr<automata::Alphabet> alphabet) {
+  if (alphabet == nullptr) return Status::InvalidArgument("null alphabet");
+  intern_alphabet_ = std::move(alphabet);
+  bound_alphabet_ = intern_alphabet_;
+  for (Node& n : nodes_) {
+    if (n.kind != NodeKind::kElement || !n.alive) continue;
+    n.symbol = intern_alphabet_->Intern(n.label);
+  }
+  return Status::OK();
+}
+
+void Document::Unbind() {
+  bound_alphabet_ = nullptr;
+  intern_alphabet_ = nullptr;
+  for (Node& n : nodes_) n.symbol = automata::kUnboundSymbol;
 }
 
 Status Document::SetText(NodeId node, std::string_view text) {

@@ -13,12 +13,16 @@
 #ifndef XMLREVAL_XML_TREE_H_
 #define XMLREVAL_XML_TREE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "automata/alphabet.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -84,6 +88,54 @@ class Document {
 
   /// Replaces the character data of a text node.
   Status SetText(NodeId node, std::string_view text);
+
+  // -- Symbol binding ------------------------------------------------------
+  //
+  // A document may be bound to an Alphabet (the shared Σ of a schema pair),
+  // after which every live element node carries its interned Symbol alongside
+  // its label and validators skip the per-node hash lookup entirely. The two
+  // flavors differ in who owns Σ:
+  //
+  //   * Bind(): find-only. Labels outside Σ get automata::kUnboundSymbol.
+  //     Safe on a shared, registry-owned alphabet while holding
+  //     SchemaRegistry::ReadGuard() — Bind never mutates Σ, and since Σ is
+  //     append-only the cached symbols stay valid after the guard drops.
+  //   * BindInterning(): interns labels not yet in Σ, so every element gets
+  //     a real symbol. Single-writer only (parser, benchmarks, offline
+  //     tools); never call this on an alphabet other threads may be reading.
+  //
+  // After either call, CreateElement/Rename keep node symbols coherent:
+  // symbol(n) == alphabet.Find(label(n)) (or kUnboundSymbol on a miss).
+  // Binding to a different alphabet re-resolves every live element.
+
+  /// Binds to `alphabet` without mutating it; out-of-Σ labels map to
+  /// kUnboundSymbol. Re-resolves all live element nodes.
+  Status Bind(std::shared_ptr<const automata::Alphabet> alphabet);
+
+  /// Binds to `alphabet` and interns all current and future labels into it.
+  /// The caller must be the alphabet's sole writer (see automata/alphabet.h).
+  Status BindInterning(std::shared_ptr<automata::Alphabet> alphabet);
+
+  /// Drops the binding; all element symbols revert to kUnboundSymbol.
+  void Unbind();
+
+  bool IsBound() const { return bound_alphabet_ != nullptr; }
+
+  /// True iff this document is bound to exactly `alphabet` (pointer
+  /// identity — the validators' cheap precondition for the symbol path).
+  bool BoundTo(const automata::Alphabet& alphabet) const {
+    return bound_alphabet_.get() == &alphabet;
+  }
+
+  /// The bound alphabet, or nullptr.
+  const automata::Alphabet* bound_alphabet() const {
+    return bound_alphabet_.get();
+  }
+
+  /// Interned symbol of an element node: alphabet.Find(label) at binding /
+  /// creation / rename time, kUnboundSymbol for unbound documents, out-of-Σ
+  /// labels, and text nodes.
+  automata::Symbol symbol(NodeId id) const { return nodes_[id].symbol; }
 
   // -- Accessors -----------------------------------------------------------
 
@@ -158,6 +210,7 @@ class Document {
   struct Node {
     NodeKind kind = NodeKind::kElement;
     bool alive = true;
+    automata::Symbol symbol = automata::kUnboundSymbol;
     std::string label;  // element tag; empty for text nodes
     std::string text;   // character data; empty for elements
     NodeId parent = kInvalidNode;
@@ -170,8 +223,16 @@ class Document {
 
   Status CheckAttachable(NodeId node) const;
 
+  /// Resolves `label` through the current binding (intern or find).
+  automata::Symbol ResolveSymbol(std::string_view label);
+
   std::vector<Node> nodes_;
   NodeId root_ = kInvalidNode;
+
+  // bound_alphabet_ is the read view; intern_alphabet_ is non-null only
+  // after BindInterning and aliases the same object, mutably.
+  std::shared_ptr<const automata::Alphabet> bound_alphabet_;
+  std::shared_ptr<automata::Alphabet> intern_alphabet_;
 };
 
 /// Iterates the element children of `id` (skipping text nodes), calling
@@ -184,11 +245,67 @@ void ForEachElementChild(const Document& doc, NodeId id, Fn&& fn) {
   }
 }
 
-/// Collects the element children of `id` in document order.
+/// Non-allocating range over the element children of a node, in document
+/// order. The validators' replacement for the allocating ElementChildren /
+/// ChildLabelString helpers: `for (NodeId c : ElementChildRange(doc, id))`
+/// walks the sibling chain directly. Iterators are invalidated by structural
+/// edits to the parent's child list.
+class ElementChildRange {
+ public:
+  class iterator {
+   public:
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() : doc_(nullptr), cur_(kInvalidNode) {}
+    iterator(const Document* doc, NodeId cur) : doc_(doc), cur_(cur) {
+      SkipText();
+    }
+
+    NodeId operator*() const { return cur_; }
+    iterator& operator++() {
+      cur_ = doc_->next_sibling(cur_);
+      SkipText();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+    bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    void SkipText() {
+      while (cur_ != kInvalidNode && !doc_->IsElement(cur_)) {
+        cur_ = doc_->next_sibling(cur_);
+      }
+    }
+    const Document* doc_;
+    NodeId cur_;
+  };
+
+  ElementChildRange(const Document& doc, NodeId parent)
+      : doc_(&doc), parent_(parent) {}
+
+  iterator begin() const { return iterator(doc_, doc_->first_child(parent_)); }
+  iterator end() const { return iterator(); }
+  bool empty() const { return begin() == end(); }
+
+ private:
+  const Document* doc_;
+  NodeId parent_;
+};
+
+/// Collects the element children of `id` in document order. Allocates; kept
+/// for tests and non-hot callers — use ElementChildRange on validator paths.
 std::vector<NodeId> ElementChildren(const Document& doc, NodeId id);
 
 /// The string of child element labels of `id` — the paper's
-/// `constructstring(children(e))` — in document order.
+/// `constructstring(children(e))` — in document order. Allocates; hot paths
+/// read `doc.symbol(c)` over an ElementChildRange instead.
 std::vector<std::string_view> ChildLabelString(const Document& doc, NodeId id);
 
 }  // namespace xmlreval::xml

@@ -1,0 +1,113 @@
+// Allocation discipline of the bound validation hot loop.
+//
+// Replaces global operator new/delete with counting versions and checks
+// that cast-validating a BOUND document performs no per-node heap
+// allocations: the allocation count for a large document equals the count
+// for a small one (what remains is O(depth) bookkeeping — the Dewey path
+// vector — and is identical for both purchase orders, whose depth does
+// not depend on the item count).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/cast_validator.h"
+#include "core/relations.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "xml/tree.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace xmlreval {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::unique_ptr<core::TypeRelations> relations;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.alphabet = std::make_shared<automata::Alphabet>();
+  auto source = schema::ParseXsd(workload::kRelaxedQuantityXsd, f.alphabet);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  f.source = std::make_unique<schema::Schema>(std::move(source).value());
+  auto target = schema::ParseXsd(workload::kTargetXsd, f.alphabet);
+  EXPECT_TRUE(target.ok()) << target.status().ToString();
+  f.target = std::make_unique<schema::Schema>(std::move(target).value());
+  auto relations =
+      core::TypeRelations::Compute(f.source.get(), f.target.get());
+  EXPECT_TRUE(relations.ok()) << relations.status().ToString();
+  f.relations =
+      std::make_unique<core::TypeRelations>(std::move(relations).value());
+  return f;
+}
+
+size_t AllocsDuringValidate(const core::CastValidator& validator,
+                            const xml::Document& doc) {
+  // One warm-up run, then count.
+  core::ValidationReport warm = validator.Validate(doc);
+  EXPECT_TRUE(warm.valid) << warm.violation;
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  core::ValidationReport report = validator.Validate(doc);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_TRUE(report.valid) << report.violation;
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(BindingAllocTest, BoundCastValidationDoesNotAllocatePerNode) {
+  Fixture f = MakeFixture();
+  core::CastValidator validator(f.relations.get());
+
+  workload::PoGeneratorOptions small_opts;
+  small_opts.item_count = 50;
+  xml::Document small_doc = workload::GeneratePurchaseOrder(small_opts);
+  ASSERT_OK(small_doc.Bind(f.alphabet));
+
+  workload::PoGeneratorOptions big_opts;
+  big_opts.item_count = 1000;
+  xml::Document big_doc = workload::GeneratePurchaseOrder(big_opts);
+  ASSERT_OK(big_doc.Bind(f.alphabet));
+
+  size_t small_allocs = AllocsDuringValidate(validator, small_doc);
+  size_t big_allocs = AllocsDuringValidate(validator, big_doc);
+
+  // 20x the nodes, same allocation count: nothing in the bound hot loop
+  // allocates per node. (Both runs pay the same O(depth) path-vector
+  // growth; purchase-order depth is independent of the item count.)
+  EXPECT_EQ(big_allocs, small_allocs)
+      << "bound hot loop allocated per node: " << small_allocs << " vs "
+      << big_allocs;
+}
+
+}  // namespace
+}  // namespace xmlreval

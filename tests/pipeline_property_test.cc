@@ -18,6 +18,7 @@
 #include "workload/random_schemas.h"
 #include "workload/update_workload.h"
 #include "xml/editor.h"
+#include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace xmlreval::core {
@@ -147,6 +148,89 @@ TEST_P(PipelineProperty, ModValidatorAgreesWithGroundTruth) {
         << "\n  incremental: " << incremental_report.violation
         << "\n  ground truth: " << ground_truth.violation << "\n  doc:\n"
         << xml::Serialize(*doc);
+  }
+}
+
+// Binding-coherence invariant: after arbitrary edit batches and parse
+// round-trips, every live element of a bound document satisfies
+// symbol(n) == alphabet.Find(label(n)) (kUnboundSymbol on a miss).
+void ExpectBindingCoherent(const xml::Document& doc,
+                           const schema::Alphabet& alphabet,
+                           uint64_t pair_seed, uint64_t doc_seed) {
+  for (xml::NodeId n = 0; n < doc.NodeCount(); ++n) {
+    if (!doc.IsAlive(n) || !doc.IsElement(n)) continue;
+    auto found = alphabet.Find(doc.label(n));
+    automata::Symbol want = found ? *found : automata::kUnboundSymbol;
+    ASSERT_EQ(doc.symbol(n), want)
+        << "pair seed " << pair_seed << ", doc seed " << doc_seed
+        << ", label " << doc.label(n);
+  }
+}
+
+TEST_P(PipelineProperty, BindingStaysCoherentUnderEditsAndRoundTrips) {
+  RandomPair pair = MakePair(GetParam());
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::RandomDocOptions options;
+    options.seed = seed * 37 + 11;
+    options.root_label = "root";
+    options.max_elements = 40;
+    auto doc = workload::SampleDocument(*pair.source, options);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_OK(doc->Bind(pair.alphabet));
+    ExpectBindingCoherent(*doc, *pair.alphabet, GetParam(), seed);
+
+    // Random edit batch (insert/delete/rename mix), then commit.
+    xml::DocumentEditor editor(&*doc);
+    workload::UpdateWorkloadOptions update_options;
+    update_options.seed = seed * 41 + GetParam();
+    update_options.edit_count = 1 + seed % 5;
+    auto applied =
+        workload::ApplyRandomUpdates(&*doc, &editor, update_options);
+    ASSERT_TRUE(applied.ok());
+    editor.Seal();
+    ASSERT_OK(editor.Commit());
+    ExpectBindingCoherent(*doc, *pair.alphabet, GetParam(), seed);
+
+    // Serialize → reparse with an interning alphabet: coherent again.
+    std::string text = xml::Serialize(*doc);
+    xml::ParseOptions parse_options;
+    parse_options.intern_alphabet = pair.alphabet;
+    auto reparsed = xml::ParseXml(text, parse_options);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    ASSERT_TRUE(reparsed->BoundTo(*pair.alphabet));
+    ExpectBindingCoherent(*reparsed, *pair.alphabet, GetParam(), seed);
+  }
+}
+
+TEST_P(PipelineProperty, BoundAndUnboundValidationAgree) {
+  RandomPair pair = MakePair(GetParam());
+  CastValidator cast(pair.relations.get());
+  FullValidator target_full(pair.target.get());
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::RandomDocOptions options;
+    options.seed = seed * 43 + 7;
+    options.root_label = "root";
+    options.max_elements = 40;
+    auto doc = workload::SampleDocument(*pair.source, options);
+    ASSERT_TRUE(doc.ok());
+
+    ValidationReport unbound_cast = cast.Validate(*doc);
+    ValidationReport unbound_full = target_full.Validate(*doc);
+    ASSERT_OK(doc->Bind(pair.alphabet));
+    ValidationReport bound_cast = cast.Validate(*doc);
+    ValidationReport bound_full = target_full.Validate(*doc);
+
+    EXPECT_EQ(bound_cast.valid, unbound_cast.valid)
+        << "pair seed " << GetParam() << ", doc seed " << seed
+        << "\n  bound: " << bound_cast.violation
+        << "\n  unbound: " << unbound_cast.violation;
+    EXPECT_EQ(bound_full.valid, unbound_full.valid)
+        << "pair seed " << GetParam() << ", doc seed " << seed
+        << "\n  bound: " << bound_full.violation
+        << "\n  unbound: " << unbound_full.violation;
+    // Same traversal either way — only the symbol source differs.
+    EXPECT_EQ(bound_cast.counters.nodes_visited,
+              unbound_cast.counters.nodes_visited);
   }
 }
 
