@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
 #include "service/validation_service.h"
@@ -76,4 +77,4 @@ BENCHMARK(BM_ConcurrentCastViaService)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("concurrency")

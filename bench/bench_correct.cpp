@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/corrector.h"
 #include "workload/po_generator.h"
@@ -82,4 +83,4 @@ BENCHMARK(BM_CorrectMissingBillTo)->Arg(50)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("correct")

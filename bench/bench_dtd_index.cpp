@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
 #include "core/dtd_index_validator.h"
@@ -90,4 +91,4 @@ BENCHMARK(BM_FullBaseline) GRID;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("dtd_index")

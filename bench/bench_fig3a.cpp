@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
 #include "core/full_validator.h"
@@ -62,4 +63,4 @@ BENCHMARK(BM_Fig3a_Baseline)->Apply(ItemGrid);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("fig3a")

@@ -1,0 +1,82 @@
+// JSON-emitting replacement for BENCHMARK_MAIN().
+//
+// Every bench binary writes a machine-readable BENCH_<name>.json next to
+// its console output (the same WriteBenchJson format bench_binding
+// pioneered), so CI and scripts consume one uniform artifact per binary
+// instead of scraping google-benchmark's console table. Usage:
+//
+//   #include "bench/bench_json_main.h"
+//   ...BENCHMARK(...) registrations...
+//   XMLREVAL_BENCH_JSON_MAIN("service")   // → BENCH_service.json
+//
+// Each google-benchmark run contributes "<run name>_real_ns" (the
+// per-iteration adjusted real time) plus one entry per user counter;
+// names are sanitized to [A-Za-z0-9_] for flat JSON keys.
+
+#ifndef XMLREVAL_BENCH_BENCH_JSON_MAIN_H_
+#define XMLREVAL_BENCH_BENCH_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace xmlreval::bench {
+
+inline std::string SanitizeMetricKey(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// ConsoleReporter that also accumulates (key, value) pairs for
+/// WriteBenchJson. Console output stays untouched.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string key = SanitizeMetricKey(run.benchmark_name());
+      metrics_.emplace_back(key + "_real_ns", run.GetAdjustedRealTime());
+      for (const auto& [name, counter] : run.counters) {
+        metrics_.emplace_back(key + "_" + SanitizeMetricKey(name),
+                              counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+inline int RunBenchmarksToJson(const char* bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string path = std::string("BENCH_") + bench_name + ".json";
+  WriteBenchJson(path.c_str(), bench_name, reporter.metrics());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace xmlreval::bench
+
+#define XMLREVAL_BENCH_JSON_MAIN(name)                                  \
+  int main(int argc, char** argv) {                                     \
+    return ::xmlreval::bench::RunBenchmarksToJson(name, argc, argv);    \
+  }
+
+#endif  // XMLREVAL_BENCH_BENCH_JSON_MAIN_H_

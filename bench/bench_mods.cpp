@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/full_validator.h"
 #include "core/mod_validator.h"
@@ -90,4 +91,4 @@ BENCHMARK(BM_FullRevalidation) EDIT_GRID;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("mods")

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include <memory>
 #include <string>
 
@@ -103,4 +105,4 @@ BENCHMARK(BM_ComputeRelationsNoAutomata)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("preprocess")

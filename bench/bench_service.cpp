@@ -9,9 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/validation_service.h"
 #include "workload/po_generator.h"
 #include "workload/po_schemas.h"
@@ -119,6 +122,22 @@ void BM_ServiceBatchPipeline(benchmark::State& state) {
     benchmark::DoNotOptimize(results.data());
   }
   state.SetItemsProcessed(state.iterations() * kBatchSize);
+  // Queue-wait vs service-time split, straight from the service's own
+  // latency histograms — how much of batch latency is pool contention
+  // (wait grows with batch size / shrinks with workers) vs. real work.
+  obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
+  const obs::HistogramSnapshot* wait =
+      snapshot.FindHistogram("xmlreval_batch_queue_wait_us");
+  const obs::HistogramSnapshot* svc =
+      snapshot.FindHistogram("xmlreval_batch_service_us");
+  if (wait != nullptr && wait->count > 0) {
+    state.counters["queue_wait_mean_us"] = wait->Mean();
+    state.counters["queue_wait_p99_us"] = wait->Quantile(0.99);
+  }
+  if (svc != nullptr && svc->count > 0) {
+    state.counters["service_mean_us"] = svc->Mean();
+    state.counters["service_p99_us"] = svc->Quantile(0.99);
+  }
 }
 BENCHMARK(BM_ServiceBatchPipeline)
     ->Arg(1)
@@ -130,4 +149,4 @@ BENCHMARK(BM_ServiceBatchPipeline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("service")

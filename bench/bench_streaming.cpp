@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
 #include "core/full_validator.h"
@@ -95,4 +96,4 @@ BENCHMARK(BM_DomFull) GRID;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("streaming")

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include <vector>
 
 #include "automata/regex_parser.h"
@@ -101,4 +103,4 @@ BENCHMARK(BM_FreshScan) POSITIONS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("string_mods")

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include <vector>
 
 #include "automata/regex_parser.h"
@@ -133,4 +135,4 @@ BENCHMARK(BM_LateDivergence_PlainDfa) GRID;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+XMLREVAL_BENCH_JSON_MAIN("string_reval")

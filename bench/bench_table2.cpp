@@ -21,6 +21,7 @@ int main() {
   std::printf("Table 2: file sizes for input documents\n");
   std::printf("%-12s %-16s %-16s %s\n", "# items", "ours (bytes)",
               "paper (bytes)", "ours bytes/item");
+  std::vector<std::pair<std::string, double>> metrics;
   size_t prev_size = 0, prev_items = 0;
   for (size_t i = 0; i < 6; ++i) {
     size_t items = bench::kItemGrid[i];
@@ -35,11 +36,16 @@ int main() {
             : double(text.size() - prev_size) / double(items - prev_items);
     std::printf("%-12zu %-16zu %-16zu %.1f\n", items, text.size(),
                 kPaperSizes[i], per_item);
+    metrics.emplace_back("bytes_items_" + std::to_string(items),
+                         double(text.size()));
+    metrics.emplace_back("paper_bytes_items_" + std::to_string(items),
+                         double(kPaperSizes[i]));
     prev_size = text.size();
     prev_items = items;
   }
   std::printf(
       "\n(paper: ~216 bytes/item marginal growth; both corpora scale "
       "linearly in the item count)\n");
+  bench::WriteBenchJson("BENCH_table2.json", "table2", metrics);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace xmlreval::core {
 
@@ -207,6 +208,9 @@ struct CastValidator::Walk {
 };
 
 ValidationReport CastValidator::Validate(const xml::Document& doc) const {
+  // One span per document — the §3.2 tree-traversal phase. Args carry the
+  // domain counters the paper's evaluation is built on.
+  obs::Span span("cast.traverse");
   Walk walk{*relations_,
             relations_->source(),
             relations_->target(),
@@ -238,6 +242,7 @@ ValidationReport CastValidator::Validate(const xml::Document& doc) const {
     return std::move(walk.report);
   }
   walk.ValidateNode(doc.root(), s_root, t_root);
+  AttachTraceArgs(span, walk.report.counters);
   return std::move(walk.report);
 }
 

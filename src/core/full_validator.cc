@@ -134,6 +134,8 @@ struct FullValidator::Walk {
 };
 
 ValidationReport FullValidator::Validate(const xml::Document& doc) const {
+  // One span per document — the Definition 1 full-traversal phase.
+  obs::Span span("full.traverse");
   Walk walk{*schema_, doc, doc.BoundTo(*schema_->alphabet()), {}, {}};
   if (!doc.has_root()) {
     walk.Fail("document has no root element");
@@ -150,6 +152,7 @@ ValidationReport FullValidator::Validate(const xml::Document& doc) const {
     return std::move(walk.report);
   }
   walk.ValidateNode(doc.root(), root_type);
+  AttachTraceArgs(span, walk.report.counters);
   return std::move(walk.report);
 }
 

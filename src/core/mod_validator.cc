@@ -468,6 +468,10 @@ struct ModValidator::Walk {
 
 ValidationReport ModValidator::Validate(
     const xml::Document& doc, const xml::ModificationIndex& mods) const {
+  // One span per document — the §3.3 Δ-pruned traversal. subtrees_skipped
+  // in the attached args is the modified()-pruning the paper's CastWithMods
+  // scaling claim rests on.
+  obs::Span span("cast_with_mods.traverse");
   Walk walk{*relations_,
             relations_->source(),
             relations_->target(),
@@ -517,6 +521,7 @@ ValidationReport ModValidator::Validate(
   }
 
   walk.ValidateNode(root, s_root, t_root, mods.Cursor());
+  AttachTraceArgs(span, walk.report.counters);
   return std::move(walk.report);
 }
 

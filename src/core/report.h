@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.h"
 #include "xml/dewey.h"
 
 namespace xmlreval::core {
@@ -53,6 +54,17 @@ struct ValidationCounters {
     return *this;
   }
 };
+
+/// Attaches the domain counters the paper's evaluation cares about (nodes
+/// visited, DFA transitions fed, subtrees skipped by Δ/subsumption
+/// pruning) to a traversal-phase trace span. Free on a disabled span.
+inline void AttachTraceArgs(obs::Span& span, const ValidationCounters& c) {
+  if (!span.enabled()) return;
+  span.Arg("nodes_visited", c.nodes_visited);
+  span.Arg("dfa_steps", c.dfa_steps);
+  span.Arg("subtrees_skipped", c.subtrees_skipped);
+  span.Arg("immediate_decisions", c.immediate_decisions);
+}
 
 struct ValidationReport {
   bool valid = true;

@@ -1,0 +1,323 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+#include "common/json.h"
+
+namespace xmlreval::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Canonical map key: name + sorted labels, e.g. `lat|op=cast|pair=a->b`.
+std::string CanonicalKey(std::string_view name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  for (const auto& [k, v] : sorted) {
+    key += '|';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+/// True when every label in `want` appears in `have`.
+bool LabelsMatch(const Labels& have, const Labels& want) {
+  for (const auto& w : want) {
+    if (std::find(have.begin(), have.end(), w) == have.end()) return false;
+  }
+  return true;
+}
+
+std::string PrometheusLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += json::Escape(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Same but with extra room for an `le` label (histogram buckets).
+std::string PrometheusLabelsWithLe(const Labels& labels,
+                                   const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += "=\"";
+    out += json::Escape(v);
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+void AppendJsonLabels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json::Escape(k) + "\":\"" + json::Escape(v) + '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t count = 0;
+  for (const auto& bucket : buckets_) {
+    count += bucket.load(std::memory_order_relaxed);
+  }
+  return count;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation (1-based), then walk the buckets.
+  double rank = q * double(count);
+  if (rank < 1) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t next = cumulative + buckets[i];
+    if (double(next) >= rank) {
+      // Interpolate within [lower, upper] of this log₂ bucket.
+      double lower = i == 0 ? 0.0 : double(Histogram::BucketBound(i - 1) + 1);
+      double upper = double(Histogram::BucketBound(i));
+      double frac = (rank - double(cumulative)) / double(buckets[i]);
+      double value = lower + frac * (upper - lower);
+      // Never report beyond the observed max (the last bucket is open).
+      return max > 0 ? std::min(value, double(max)) : value;
+    }
+    cumulative = next;
+  }
+  return double(max);
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name,
+                                                    const Labels& labels) const {
+  for (const auto& c : counters) {
+    if (c.name == name && LabelsMatch(c.labels, labels)) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name, const Labels& labels) const {
+  for (const auto& h : histograms) {
+    if (h.name == name && LabelsMatch(h.labels, labels)) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char buf[128];
+  std::string last_type_line;
+  auto type_line = [&](const std::string& name, const char* type) {
+    std::string line = "# TYPE " + name + " " + type + "\n";
+    if (line != last_type_line) {
+      out += line;
+      last_type_line = line;
+    }
+  };
+  for (const auto& c : counters) {
+    type_line(c.name, "counter");
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(c.value));
+    out += c.name + PrometheusLabels(c.labels) + buf;
+  }
+  for (const auto& g : gauges) {
+    type_line(g.name, "gauge");
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(g.value));
+    out += g.name + PrometheusLabels(g.labels) + buf;
+  }
+  for (const auto& h : histograms) {
+    type_line(h.name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      if (h.buckets[i] == 0 && i + 1 < h.buckets.size()) continue;
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(
+                        Histogram::BucketBound(i)));
+      out += h.name + "_bucket" + PrometheusLabelsWithLe(h.labels, buf);
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    out += h.name + "_bucket" + PrometheusLabelsWithLe(h.labels, "+Inf");
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    out += h.name + "_sum" + PrometheusLabels(h.labels);
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.sum));
+    out += buf;
+    out += h.name + "_count" + PrometheusLabels(h.labels);
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": [";
+  char buf[160];
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + json::Escape(c.name) + "\",";
+    AppendJsonLabels(out, c.labels);
+    std::snprintf(buf, sizeof(buf), ",\"value\":%llu}",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + json::Escape(g.name) + "\",";
+    AppendJsonLabels(out, g.labels);
+    std::snprintf(buf, sizeof(buf), ",\"value\":%lld}",
+                  static_cast<long long>(g.value));
+    out += buf;
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + json::Escape(h.name) + "\",";
+    AppendJsonLabels(out, h.labels);
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"mean\":%.6g,"
+        "\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,",
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.max), h.Mean(), h.Quantile(0.50),
+        h.Quantile(0.90), h.Quantile(0.99));
+    out += buf;
+    out += "\"buckets\":[";
+    // Sparse rendering: [bound, count] pairs for non-empty buckets only.
+    bool first_bucket = true;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                    static_cast<unsigned long long>(Histogram::BucketBound(i)),
+                    static_cast<unsigned long long>(h.buckets[i]));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T>
+T* MetricsRegistry::FindOrCreate(
+    std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    std::string_view name, const Labels& labels) {
+  std::string key = CanonicalKey(name, labels);
+  {
+    std::shared_lock lock(mutex_);
+    auto it = map.find(key);
+    if (it != map.end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = map.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second.reset(new T());
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    meta_.emplace(it->second.get(), Meta{std::string(name), std::move(sorted)});
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  return FindOrCreate(counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  return FindOrCreate(gauges_, name, labels);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels) {
+  return FindOrCreate(histograms_, name, labels);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::shared_lock lock(mutex_);
+  for (const auto& [key, counter] : counters_) {
+    const Meta& meta = meta_.at(counter.get());
+    snapshot.counters.push_back({meta.name, meta.labels, counter->Value()});
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    const Meta& meta = meta_.at(gauge.get());
+    snapshot.gauges.push_back({meta.name, meta.labels, gauge->Value()});
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const Meta& meta = meta_.at(histogram.get());
+    HistogramSnapshot h;
+    h.name = meta.name;
+    h.labels = meta.labels;
+    uint64_t count = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[i] = histogram->buckets_[i].load(std::memory_order_relaxed);
+      count += h.buckets[i];
+    }
+    // Count derives from the buckets, the single source of truth, so a
+    // snapshot racing a Record never shows count != Σ buckets. sum/max can
+    // trail by the in-flight sample (documented relaxed contract).
+    h.count = count;
+    h.sum = histogram->Sum();
+    h.max = histogram->Max();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  // Deterministic output order for rendering and tests.
+  auto by_name = [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+}  // namespace xmlreval::obs

@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace xmlreval::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TraceEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Thread-local top of the active-span stack (spans link to their parent,
+// so the "stack" is an intrusive list through stack-allocated Spans).
+thread_local Span* t_active_span = nullptr;
+thread_local uint32_t t_active_depth = 0;
+
+}  // namespace
+
+bool TraceEnabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // pin the epoch before the first span
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            TraceEpoch())
+          .count());
+}
+
+TraceSink::TraceSink() : capacity_(65536) { ring_.resize(capacity_); }
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+uint32_t TraceSink::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceSink::Record(const Event& event) {
+  std::lock_guard lock(mutex_);
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceSink::Event> TraceSink::Events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Event> events;
+  events.reserve(count_);
+  size_t start = (head_ + capacity_ - count_) % capacity_;
+  for (size_t i = 0; i < count_; ++i) {
+    events.push_back(ring_[(start + i) % capacity_]);
+  }
+  return events;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard lock(mutex_);
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+void TraceSink::SetCapacity(size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, Event{});
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::string TraceSink::ExportChromeJson() const {
+  std::vector<Event> events = Events();
+  // Sort by start time; ties broken longest-duration-first so enclosing
+  // spans precede the spans they contain.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    out += json::Escape(event.name ? event.name : "?");
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"xmlreval\",\"ph\":\"X\",\"ts\":%llu,"
+                  "\"dur\":%llu,\"pid\":1,\"tid\":%u,\"args\":{",
+                  static_cast<unsigned long long>(event.ts_us),
+                  static_cast<unsigned long long>(event.dur_us), event.tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"depth\":%u", event.depth);
+    out += buf;
+    for (uint32_t i = 0; i < event.num_args; ++i) {
+      out += ",\"";
+      out += json::Escape(event.arg_keys[i] ? event.arg_keys[i] : "?");
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(event.arg_values[i]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+#ifndef XMLREVAL_OBS_DISABLED
+
+void Span::Start(const char* name) {
+  enabled_ = true;
+  event_.name = name;
+  event_.tid = TraceSink::CurrentThreadId();
+  parent_ = t_active_span;
+  t_active_span = this;
+  event_.depth = t_active_depth++;
+  event_.ts_us = TraceNowMicros();  // last: exclude stack bookkeeping
+}
+
+void Span::Finish() {
+  event_.dur_us = TraceNowMicros() - event_.ts_us;
+  t_active_span = parent_;
+  --t_active_depth;
+  TraceSink::Global().Record(event_);
+}
+
+#endif  // XMLREVAL_OBS_DISABLED
+
+}  // namespace xmlreval::obs

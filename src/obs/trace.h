@@ -1,0 +1,147 @@
+// Phase-level trace spans with a bounded ring-buffer sink.
+//
+// A Span is an RAII scope marker: construction stamps a start time and
+// pushes the span onto a thread-local active-span stack; destruction pops
+// it and appends one COMPLETE event (name, ts, dur, tid, depth, up to four
+// integer args) to the process-wide TraceSink ring buffer. The sink is
+// bounded — a fixed capacity set up front; when full, the oldest events
+// are overwritten and counted as dropped — so tracing can stay on in a
+// serving process without unbounded growth.
+//
+// Export is Chrome trace-event JSON ("ph":"X" complete events), loadable
+// directly in Perfetto / chrome://tracing. RAII construction guarantees
+// exported spans are balanced: a child's [ts, ts+dur] interval nests
+// inside its parent's on the same tid.
+//
+// Cost discipline: span names and arg keys must be string LITERALS (the
+// sink stores the pointers); a disabled span is one relaxed load in the
+// constructor and a branch in the destructor — no clock reads, no
+// allocation, nothing on the ring. Building with -DXMLREVAL_OBS_DISABLED
+// compiles spans away entirely.
+
+#ifndef XMLREVAL_OBS_TRACE_H_
+#define XMLREVAL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xmlreval::obs {
+
+/// Runtime switch for span recording (default off). One relaxed load.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// Microseconds since the process trace epoch (steady clock).
+uint64_t TraceNowMicros();
+
+class TraceSink {
+ public:
+  static constexpr size_t kMaxArgs = 4;
+
+  struct Event {
+    const char* name = nullptr;  // string literal
+    uint64_t ts_us = 0;          // start, relative to the trace epoch
+    uint64_t dur_us = 0;
+    uint32_t tid = 0;   // dense per-thread id (first-use order)
+    uint32_t depth = 0; // nesting depth on its thread at record time
+    uint32_t num_args = 0;
+    const char* arg_keys[kMaxArgs] = {};  // string literals
+    uint64_t arg_values[kMaxArgs] = {};
+  };
+
+  static TraceSink& Global();
+
+  /// Appends one complete event; overwrites the oldest when full.
+  void Record(const Event& event);
+
+  /// Events currently buffered, oldest first.
+  std::vector<Event> Events() const;
+  size_t size() const;
+  /// Events overwritten since the last Clear.
+  uint64_t dropped() const;
+
+  /// Drops all buffered events and resets the dropped counter.
+  void Clear();
+  /// Resizes the ring (clears it). Default capacity: 65536 events.
+  void SetCapacity(size_t capacity);
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}; events sorted by
+  /// (ts, -dur) so parents precede children and timestamps are monotone.
+  std::string ExportChromeJson() const;
+
+  /// Dense id of the calling thread (assigned on first use).
+  static uint32_t CurrentThreadId();
+
+ private:
+  TraceSink();
+
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  size_t capacity_;
+  size_t head_ = 0;   // next write slot
+  size_t count_ = 0;  // valid events (≤ capacity_)
+  uint64_t dropped_ = 0;
+};
+
+class Span {
+ public:
+  /// `name` must be a string literal (stored by pointer).
+  explicit Span(const char* name) {
+#ifndef XMLREVAL_OBS_DISABLED
+    if (TraceEnabled()) Start(name);
+#else
+    (void)name;
+#endif
+  }
+
+  ~Span() {
+#ifndef XMLREVAL_OBS_DISABLED
+    if (enabled_) Finish();
+#endif
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is live and recording (trace switch was on at
+  /// construction). Lets callers skip arg computation when off.
+  bool enabled() const {
+#ifndef XMLREVAL_OBS_DISABLED
+    return enabled_;
+#else
+    return false;
+#endif
+  }
+
+  /// Attaches an integer arg (key must be a string literal; at most
+  /// TraceSink::kMaxArgs are kept). No-op on a disabled span.
+  void Arg(const char* key, uint64_t value) {
+#ifndef XMLREVAL_OBS_DISABLED
+    if (enabled_ && event_.num_args < TraceSink::kMaxArgs) {
+      event_.arg_keys[event_.num_args] = key;
+      event_.arg_values[event_.num_args] = value;
+      ++event_.num_args;
+    }
+#else
+    (void)key;
+    (void)value;
+#endif
+  }
+
+ private:
+#ifndef XMLREVAL_OBS_DISABLED
+  void Start(const char* name);
+  void Finish();
+
+  bool enabled_ = false;
+  Span* parent_ = nullptr;  // thread-local active-span stack link
+  TraceSink::Event event_;
+#endif
+};
+
+}  // namespace xmlreval::obs
+
+#endif  // XMLREVAL_OBS_TRACE_H_

@@ -5,11 +5,26 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace xmlreval::service {
 
 RelationsCache::RelationsCache(const SchemaRegistry* registry,
-                               const Options& options)
-    : registry_(registry), options_(options) {}
+                               const Options& options,
+                               obs::MetricsRegistry* metrics)
+    : registry_(registry),
+      options_(options),
+      metrics_(metrics != nullptr ? metrics
+                                  : &obs::MetricsRegistry::Default()),
+      hits_(metrics_->counter("xmlreval_relations_cache_hits_total")),
+      misses_(metrics_->counter("xmlreval_relations_cache_misses_total")),
+      computations_(
+          metrics_->counter("xmlreval_relations_cache_computations_total")),
+      evictions_(
+          metrics_->counter("xmlreval_relations_cache_evictions_total")),
+      compute_micros_total_(
+          metrics_->counter("xmlreval_relations_compute_micros_total")),
+      compute_us_(metrics_->histogram("xmlreval_relations_compute_us")) {}
 
 Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
                                          SchemaHandle target) {
@@ -26,10 +41,10 @@ Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
       entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                              std::memory_order_relaxed);
       if (entry->ready.load(std::memory_order_acquire)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_->Add();
       } else {
         // Single-flight join: someone else is computing this pair.
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_->Add();
       }
       return entry->future.get();
     }
@@ -55,7 +70,7 @@ Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
       owner = true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->Add();
   if (!owner) {
     entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                            std::memory_order_relaxed);
@@ -91,14 +106,17 @@ Result<RelationsPtr> RelationsCache::Compute(SchemaHandle source,
   // TypeRelations::Compute reads the shared Alphabet (padding DFAs to its
   // size); hold the registry read guard so no registration grows Σ under it.
   auto guard = registry_->ReadGuard();
+  obs::Span span("relations.fixpoint");
   auto t0 = std::chrono::steady_clock::now();
   Result<core::TypeRelations> relations =
       core::TypeRelations::Compute(src.get(), tgt.get(), options_.relations);
   auto t1 = std::chrono::steady_clock::now();
-  compute_micros_.fetch_add(
-      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count(),
-      std::memory_order_relaxed);
-  computations_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  compute_micros_total_->Add(micros);
+  compute_us_->Record(micros);
+  computations_->Add();
+  span.Arg("micros", micros);
   if (!relations.ok()) return relations.status();
   // The relations keep both schemas alive via the captured shared_ptrs.
   struct Holder {
@@ -128,18 +146,22 @@ void RelationsCache::EvictIfOver() {
       }
     }
     entries_.erase(victim_key);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Add();
     --ready_count;
   }
 }
 
 RelationsCache::Stats RelationsCache::stats() const {
   Stats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.computations = computations_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.compute_micros = compute_micros_.load(std::memory_order_relaxed);
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.computations = computations_->Value();
+  stats.evictions = evictions_->Value();
+  stats.compute_micros = compute_micros_total_->Value();
+  stats.compute_max_micros = compute_us_->Max();
+  uint64_t samples = compute_us_->Count();
+  stats.compute_mean_micros =
+      samples == 0 ? 0.0 : double(compute_us_->Sum()) / double(samples);
   return stats;
 }
 

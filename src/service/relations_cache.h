@@ -18,6 +18,13 @@
 //     logical clock stamped on every hit.
 //   * Failed computations (e.g. a pair over mismatched alphabets) are
 //     reported to all waiters, then dropped — a later request retries.
+//
+// Observability: the cache publishes to an obs::MetricsRegistry —
+// counters xmlreval_relations_cache_{hits,misses,computations,evictions}
+// _total and the histogram xmlreval_relations_compute_us (one sample per
+// fixpoint run, recorded inside the single-flight section, which also
+// carries a "relations.fixpoint" trace span). Stats remains the one-call
+// summary view and now includes the compute-time distribution's max/mean.
 
 #ifndef XMLREVAL_SERVICE_RELATIONS_CACHE_H_
 #define XMLREVAL_SERVICE_RELATIONS_CACHE_H_
@@ -31,6 +38,7 @@
 
 #include "common/result.h"
 #include "core/relations.h"
+#include "obs/metrics.h"
 #include "service/schema_registry.h"
 
 namespace xmlreval::service {
@@ -58,12 +66,20 @@ class RelationsCache {
     /// eviction), regardless of concurrency.
     uint64_t computations = 0;
     uint64_t evictions = 0;
-    /// Total wall-clock microseconds spent inside TypeRelations::Compute.
+    /// Wall-clock microseconds inside TypeRelations::Compute: total,
+    /// slowest single run, and mean per run (from the obs histogram;
+    /// requires the runtime obs switch, on by default).
     uint64_t compute_micros = 0;
+    uint64_t compute_max_micros = 0;
+    double compute_mean_micros = 0;
   };
 
   /// `registry` must outlive the cache; handles passed to Get refer to it.
-  RelationsCache(const SchemaRegistry* registry, const Options& options);
+  /// `metrics` is where cache metrics are published (nullptr = the
+  /// process-wide obs::MetricsRegistry::Default()); it must outlive the
+  /// cache too.
+  RelationsCache(const SchemaRegistry* registry, const Options& options,
+                 obs::MetricsRegistry* metrics = nullptr);
   explicit RelationsCache(const SchemaRegistry* registry)
       : RelationsCache(registry, Options{}) {}
   RelationsCache(const RelationsCache&) = delete;
@@ -99,11 +115,16 @@ class RelationsCache {
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
 
   std::atomic<uint64_t> clock_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> computations_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> compute_micros_{0};
+
+  // Published metrics (owned by `metrics_`; pointers cached at
+  // construction — the registry guarantees their lifetime).
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* computations_;
+  obs::Counter* evictions_;
+  obs::Counter* compute_micros_total_;
+  obs::Histogram* compute_us_;
 };
 
 }  // namespace xmlreval::service

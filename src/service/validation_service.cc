@@ -3,12 +3,51 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace xmlreval::service {
 
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
 ValidationService::ValidationService(const Options& options)
-    : options_(options), registry_(), cache_(&registry_, options.cache) {}
+    : options_(options),
+      metrics_(),
+      registry_(),
+      cache_(&registry_, options.cache, &metrics_) {
+  requests_ = metrics_.counter("xmlreval_requests_total");
+  valid_ = metrics_.counter("xmlreval_verdicts_total", {{"verdict", "valid"}});
+  invalid_ =
+      metrics_.counter("xmlreval_verdicts_total", {{"verdict", "invalid"}});
+  errors_ =
+      metrics_.counter("xmlreval_verdicts_total", {{"verdict", "error"}});
+  batches_ = metrics_.counter("xmlreval_batches_total");
+  batch_items_ = metrics_.counter("xmlreval_batch_items_total");
+  nodes_visited_ = metrics_.counter("xmlreval_nodes_visited_total");
+  dfa_steps_ = metrics_.counter("xmlreval_dfa_steps_total");
+  subtrees_skipped_ = metrics_.counter("xmlreval_subtrees_skipped_total");
+  auto op = [this](const char* name) {
+    return OpMetrics{
+        metrics_.counter("xmlreval_op_requests_total", {{"op", name}}),
+        metrics_.counter("xmlreval_ops_ok_total", {{"op", name}}),
+        metrics_.histogram("xmlreval_request_latency_us", {{"op", name}})};
+  };
+  validate_op_ = op("validate");
+  cast_op_ = op("cast");
+  cast_with_mods_op_ = op("cast_with_mods");
+  queue_wait_us_ = metrics_.histogram("xmlreval_batch_queue_wait_us");
+  batch_service_us_ = metrics_.histogram("xmlreval_batch_service_us");
+  batch_inflight_ = metrics_.gauge("xmlreval_batch_inflight");
+}
 
 ValidationService::~ValidationService() {
   // Drain in-flight batch work before members are destroyed.
@@ -17,18 +56,55 @@ ValidationService::~ValidationService() {
 }
 
 Result<core::ValidationReport> ValidationService::Record(
-    Result<core::ValidationReport> result,
-    std::atomic<uint64_t>& op_counter) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+    Result<core::ValidationReport> result, const OpMetrics& op,
+    Clock::time_point start, obs::Histogram* pair_latency) {
+  const uint64_t micros = ElapsedMicros(start);
+  // Shared side of the snapshot lock: concurrent requests record in
+  // parallel; counters() excludes them all for one consistent read.
+  std::shared_lock lock(snapshot_mutex_);
+  requests_->Add();
+  op.dispatched->Add();
+  op.latency->Record(micros);
+  if (pair_latency != nullptr) pair_latency->Record(micros);
   if (!result.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Add();
     return result;
   }
-  op_counter.fetch_add(1, std::memory_order_relaxed);
-  (result->valid ? valid_ : invalid_).fetch_add(1, std::memory_order_relaxed);
-  nodes_visited_.fetch_add(result->counters.nodes_visited,
-                           std::memory_order_relaxed);
+  op.ok->Add();
+  (result->valid ? valid_ : invalid_)->Add();
+  const core::ValidationCounters& c = result->counters;
+  nodes_visited_->Add(c.nodes_visited);
+  dfa_steps_->Add(c.dfa_steps);
+  subtrees_skipped_->Add(c.subtrees_skipped);
   return result;
+}
+
+void ValidationService::RecordRejected() {
+  std::shared_lock lock(snapshot_mutex_);
+  requests_->Add();
+  errors_->Add();
+}
+
+obs::Histogram* ValidationService::PairLatency(SchemaHandle source,
+                                               SchemaHandle target) {
+  const uint64_t key =
+      (static_cast<uint64_t>(source) << 32) | static_cast<uint64_t>(target);
+  {
+    std::shared_lock lock(pair_mutex_);
+    auto it = pair_latency_.find(key);
+    if (it != pair_latency_.end()) return it->second;
+  }
+  // Label with registry keys, "orders.v2->orders.v3"; bad handles get no
+  // pair histogram (the request will fail in the cache anyway).
+  Result<SchemaRegistry::Info> src = registry_.info(source);
+  Result<SchemaRegistry::Info> tgt = registry_.info(target);
+  if (!src.ok() || !tgt.ok()) return nullptr;
+  std::string pair = src->key + ".v" + std::to_string(src->version) + "->" +
+                     tgt->key + ".v" + std::to_string(tgt->version);
+  obs::Histogram* hist = metrics_.histogram("xmlreval_pair_request_latency_us",
+                                            {{"pair", std::move(pair)}});
+  std::unique_lock lock(pair_mutex_);
+  return pair_latency_.try_emplace(key, hist).first->second;
 }
 
 Status ValidationService::BindDocument(xml::Document* doc) const {
@@ -44,6 +120,8 @@ Status ValidationService::BindDocument(xml::Document* doc) const {
 
 Result<core::ValidationReport> ValidationService::Validate(
     SchemaHandle schema, const xml::Document& doc) {
+  obs::Span span("svc.validate");
+  const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
     std::shared_ptr<const schema::Schema> target = registry_.schema(schema);
     if (!target) {
@@ -55,11 +133,13 @@ Result<core::ValidationReport> ValidationService::Validate(
     auto guard = registry_.ReadGuard();
     return core::FullValidator(target.get()).Validate(doc);
   };
-  return Record(run(), full_validations_);
+  return Record(run(), validate_op_, start, nullptr);
 }
 
 Result<core::ValidationReport> ValidationService::Cast(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc) {
+  obs::Span span("svc.cast");
+  const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
     ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));
     auto guard = registry_.ReadGuard();
@@ -74,19 +154,21 @@ Result<core::ValidationReport> ValidationService::Cast(
     }
     return core::CastValidator(relations.get(), options_.cast).Validate(doc);
   };
-  return Record(run(), casts_);
+  return Record(run(), cast_op_, start, PairLatency(source, target));
 }
 
 Result<core::ValidationReport> ValidationService::CastWithMods(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc,
     const xml::ModificationIndex& mods) {
+  obs::Span span("svc.cast_with_mods");
+  const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
     ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));
     auto guard = registry_.ReadGuard();
     return core::ModValidator(relations.get(), options_.mods)
         .Validate(doc, mods);
   };
-  return Record(run(), casts_with_mods_);
+  return Record(run(), cast_with_mods_op_, start, PairLatency(source, target));
 }
 
 ThreadPool& ValidationService::Pool() {
@@ -102,31 +184,44 @@ ThreadPool& ValidationService::Pool() {
 
 ValidationService::BatchItemResult ValidationService::ProcessItem(
     const BatchItem& item) {
-  BatchItemResult result;
-  Result<xml::Document> doc = xml::ParseXml(item.xml_text);
-  if (!doc.ok()) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    result.status = doc.status().WithContext("batch item");
-    return result;
-  }
-  // Bind once per item: every validator the item reaches (precondition
-  // check, cast, full validation) then reads node symbols directly
-  // instead of hashing each label against the shared Alphabet.
-  if (Status bind = BindDocument(&*doc); !bind.ok()) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    result.status = bind.WithContext("batch item");
-    return result;
-  }
-  Result<core::ValidationReport> report =
-      item.op == BatchOp::kValidate ? Validate(item.target, *doc)
-                                    : Cast(item.source, item.target, *doc);
-  if (!report.ok()) {
-    result.status = report.status();
-    return result;
-  }
-  result.report = std::move(report).value();
+  obs::Span span("batch.item");
+  batch_inflight_->Add(1);
+  const Clock::time_point start = Clock::now();
+  BatchItemResult result = [&]() -> BatchItemResult {
+    BatchItemResult out;
+    Result<xml::Document> doc = [&] {
+      obs::Span parse_span("item.parse");
+      return xml::ParseXml(item.xml_text);
+    }();
+    if (!doc.ok()) {
+      RecordRejected();
+      out.status = doc.status().WithContext("batch item");
+      return out;
+    }
+    // Bind once per item: every validator the item reaches (precondition
+    // check, cast, full validation) then reads node symbols directly
+    // instead of hashing each label against the shared Alphabet.
+    Status bind = [&] {
+      obs::Span bind_span("item.bind");
+      return BindDocument(&*doc);
+    }();
+    if (!bind.ok()) {
+      RecordRejected();
+      out.status = bind.WithContext("batch item");
+      return out;
+    }
+    Result<core::ValidationReport> report =
+        item.op == BatchOp::kValidate ? Validate(item.target, *doc)
+                                      : Cast(item.source, item.target, *doc);
+    if (!report.ok()) {
+      out.status = report.status();
+      return out;
+    }
+    out.report = std::move(report).value();
+    return out;
+  }();
+  batch_service_us_->Record(ElapsedMicros(start));
+  batch_inflight_->Sub(1);
   return result;
 }
 
@@ -139,8 +234,11 @@ struct ValidationService::BatchState {
 
 std::future<std::vector<ValidationService::BatchItemResult>>
 ValidationService::SubmitBatch(std::vector<BatchItem> items) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_items_.fetch_add(items.size(), std::memory_order_relaxed);
+  {
+    std::shared_lock lock(snapshot_mutex_);
+    batches_->Add();
+    batch_items_->Add(items.size());
+  }
 
   auto state = std::make_shared<BatchState>();
   state->items = std::move(items);
@@ -155,7 +253,23 @@ ValidationService::SubmitBatch(std::vector<BatchItem> items) {
 
   ThreadPool& pool = Pool();
   for (size_t i = 0; i < state->items.size(); ++i) {
-    auto task = [this, state, i] {
+    // Trace-epoch timestamp doubles as the queue-wait baseline, so the
+    // histogram sample and the "queue.wait" trace event agree exactly.
+    const uint64_t enqueued_us = obs::TraceNowMicros();
+    auto task = [this, state, i, enqueued_us] {
+      const uint64_t picked_up_us = obs::TraceNowMicros();
+      const uint64_t wait_us =
+          picked_up_us > enqueued_us ? picked_up_us - enqueued_us : 0;
+      queue_wait_us_->Record(wait_us);
+      if (obs::TraceEnabled()) {
+        // Manual event: the wait has no RAII scope (it spans two threads).
+        obs::TraceSink::Event event;
+        event.name = "queue.wait";
+        event.ts_us = enqueued_us;
+        event.dur_us = wait_us;
+        event.tid = obs::TraceSink::CurrentThreadId();
+        obs::TraceSink::Global().Record(event);
+      }
       state->results[i] = ProcessItem(state->items[i]);
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         state->done.set_value(std::move(state->results));
@@ -174,18 +288,20 @@ ValidationService::SubmitBatch(std::vector<BatchItem> items) {
 }
 
 ValidationService::Counters ValidationService::counters() const {
+  // Exclusive side: no request is mid-record while we read, so the
+  // snapshot satisfies requests == valid + invalid + errors.
+  std::unique_lock lock(snapshot_mutex_);
   Counters counters;
-  counters.requests = requests_.load(std::memory_order_relaxed);
-  counters.valid = valid_.load(std::memory_order_relaxed);
-  counters.invalid = invalid_.load(std::memory_order_relaxed);
-  counters.errors = errors_.load(std::memory_order_relaxed);
-  counters.full_validations =
-      full_validations_.load(std::memory_order_relaxed);
-  counters.casts = casts_.load(std::memory_order_relaxed);
-  counters.casts_with_mods = casts_with_mods_.load(std::memory_order_relaxed);
-  counters.batches = batches_.load(std::memory_order_relaxed);
-  counters.batch_items = batch_items_.load(std::memory_order_relaxed);
-  counters.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
+  counters.requests = requests_->Value();
+  counters.valid = valid_->Value();
+  counters.invalid = invalid_->Value();
+  counters.errors = errors_->Value();
+  counters.full_validations = validate_op_.ok->Value();
+  counters.casts = cast_op_.ok->Value();
+  counters.casts_with_mods = cast_with_mods_op_.ok->Value();
+  counters.batches = batches_->Value();
+  counters.batch_items = batch_items_->Value();
+  counters.nodes_visited = nodes_visited_->Value();
   return counters;
 }
 

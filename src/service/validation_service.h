@@ -18,15 +18,42 @@
 // over a fixed-size thread pool behind a bounded MPMC queue (backpressure,
 // not unbounded buffering), returning a future of per-item results in
 // input order.
+//
+// Observability: every service owns a private obs::MetricsRegistry
+// (metrics()) so instances — and tests — never share counters. Published
+// there, all under one consistent snapshot path:
+//
+//   xmlreval_requests_total                any request (sync + batch item)
+//   xmlreval_op_requests_total{op=...}     dispatched per op, ok or error
+//   xmlreval_ops_ok_total{op=...}          per op, status-OK only
+//   xmlreval_verdicts_total{verdict=...}   valid / invalid / error
+//   xmlreval_request_latency_us{op=...}    per-op latency histogram
+//   xmlreval_pair_request_latency_us{pair} per (S, S') cast latency
+//   xmlreval_batch_queue_wait_us           enqueue → worker pickup
+//   xmlreval_batch_service_us              worker parse+bind+validate
+//   xmlreval_batch_inflight                items currently in the pipeline
+//   xmlreval_{nodes_visited,dfa_steps,subtrees_skipped}_total
+//
+// plus the RelationsCache's metrics (same registry). Counter updates for
+// one request happen under a shared lock; counters() takes the exclusive
+// side, so a snapshot is internally consistent: requests == valid +
+// invalid + errors holds at every snapshot, and each op's latency
+// histogram count equals its op_requests counter (while the runtime obs
+// switch is on — histograms pause when it is off, counters never do).
+// Batch items that fail before dispatch (malformed XML, bind failure)
+// count as requests + errors but belong to no op.
 
 #ifndef XMLREVAL_SERVICE_VALIDATION_SERVICE_H_
 #define XMLREVAL_SERVICE_VALIDATION_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -34,6 +61,7 @@
 #include "core/full_validator.h"
 #include "core/mod_validator.h"
 #include "core/report.h"
+#include "obs/metrics.h"
 #include "service/relations_cache.h"
 #include "service/schema_registry.h"
 #include "service/thread_pool.h"
@@ -61,7 +89,9 @@ class ValidationService {
   };
 
   /// Service-level request counters (cache internals live in
-  /// RelationsCache::Stats; these count traffic).
+  /// RelationsCache::Stats; these count traffic). Produced by counters()
+  /// as one internally consistent snapshot:
+  /// requests == valid + invalid + errors always holds.
   struct Counters {
     uint64_t requests = 0;  // sync + batch items, all ops
     uint64_t valid = 0;
@@ -85,6 +115,11 @@ class ValidationService {
   const SchemaRegistry& registry() const { return registry_; }
   RelationsCache& cache() { return cache_; }
   const RelationsCache& cache() const { return cache_; }
+
+  /// This service's metric namespace: its request counters/histograms and
+  /// its cache's metrics. Snapshot with metrics().Snapshot().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Binds `doc` to the registry's shared Alphabet (find-only, under the
   /// registry's read guard) so every subsequent Validate/Cast on it takes
@@ -143,28 +178,61 @@ class ValidationService {
  private:
   struct BatchState;
 
+  /// Cached metric handles for one operation kind.
+  struct OpMetrics {
+    obs::Counter* dispatched;   // op_requests_total{op}
+    obs::Counter* ok;           // ops_ok_total{op}
+    obs::Histogram* latency;    // request_latency_us{op}
+  };
+
+  using Clock = std::chrono::steady_clock;
+
   BatchItemResult ProcessItem(const BatchItem& item);
   Result<core::ValidationReport> Record(Result<core::ValidationReport> result,
-                                        std::atomic<uint64_t>& op_counter);
+                                        const OpMetrics& op,
+                                        Clock::time_point start,
+                                        obs::Histogram* pair_latency);
+  /// A request that failed before reaching any validator (batch parse or
+  /// bind failure): counts as a request + error, no op.
+  void RecordRejected();
+  /// Latency histogram for an (S, S') pair, labeled "key.vN->key.vM";
+  /// created on first use, cached thereafter.
+  obs::Histogram* PairLatency(SchemaHandle source, SchemaHandle target);
   ThreadPool& Pool();  // lazy init
 
   Options options_;
+  // Declared before cache_: the cache publishes into this registry.
+  obs::MetricsRegistry metrics_;
   SchemaRegistry registry_;
   RelationsCache cache_;
 
   std::mutex pool_mutex_;
   std::unique_ptr<ThreadPool> pool_;
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> valid_{0};
-  std::atomic<uint64_t> invalid_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> full_validations_{0};
-  std::atomic<uint64_t> casts_{0};
-  std::atomic<uint64_t> casts_with_mods_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batch_items_{0};
-  std::atomic<uint64_t> nodes_visited_{0};
+  // Writers (Record / RecordRejected) hold the shared side across a
+  // request's counter updates; counters() takes the exclusive side, so
+  // snapshots never observe a half-recorded request (the PR 1 counters
+  // were read one atomic at a time and could tear under load).
+  mutable std::shared_mutex snapshot_mutex_;
+
+  obs::Counter* requests_;
+  obs::Counter* valid_;
+  obs::Counter* invalid_;
+  obs::Counter* errors_;
+  obs::Counter* batches_;
+  obs::Counter* batch_items_;
+  obs::Counter* nodes_visited_;
+  obs::Counter* dfa_steps_;
+  obs::Counter* subtrees_skipped_;
+  OpMetrics validate_op_;
+  OpMetrics cast_op_;
+  OpMetrics cast_with_mods_op_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* batch_service_us_;
+  obs::Gauge* batch_inflight_;
+
+  mutable std::shared_mutex pair_mutex_;
+  std::unordered_map<uint64_t, obs::Histogram*> pair_latency_;
 };
 
 }  // namespace xmlreval::service

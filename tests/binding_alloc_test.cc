@@ -16,6 +16,8 @@
 
 #include "core/cast_validator.h"
 #include "core/relations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/xsd_parser.h"
 #include "tests/test_util.h"
 #include "workload/po_generator.h"
@@ -107,6 +109,45 @@ TEST(BindingAllocTest, BoundCastValidationDoesNotAllocatePerNode) {
   EXPECT_EQ(big_allocs, small_allocs)
       << "bound hot loop allocated per node: " << small_allocs << " vs "
       << big_allocs;
+}
+
+// The observability layer must not change the hot loop's allocation
+// profile in either state: disabled instrumentation is a relaxed load and
+// nothing else; enabled tracing records one fixed-size event per document
+// into a PREALLOCATED ring — still zero allocations per node or per span.
+TEST(BindingAllocTest, ObservabilityStatesDoNotAddAllocations) {
+  Fixture f = MakeFixture();
+  core::CastValidator validator(f.relations.get());
+
+  workload::PoGeneratorOptions opts;
+  opts.item_count = 500;
+  xml::Document doc = workload::GeneratePurchaseOrder(opts);
+  ASSERT_OK(doc.Bind(f.alphabet));
+
+  // Warm the trace sink's ring and thread id outside the counted region.
+  obs::TraceSink::Global().Clear();
+  obs::TraceSink::CurrentThreadId();
+
+  obs::SetEnabled(false);
+  obs::SetTraceEnabled(false);
+  size_t disabled_allocs = AllocsDuringValidate(validator, doc);
+
+  obs::SetEnabled(true);
+  size_t default_allocs = AllocsDuringValidate(validator, doc);
+
+  obs::SetTraceEnabled(true);
+  size_t traced_allocs = AllocsDuringValidate(validator, doc);
+  obs::SetTraceEnabled(false);
+#ifndef XMLREVAL_OBS_DISABLED
+  // The traced runs really did hit the sink (warm-up + counted pass).
+  EXPECT_GE(obs::TraceSink::Global().size(), 2u);
+#endif
+  obs::TraceSink::Global().Clear();
+
+  EXPECT_EQ(default_allocs, disabled_allocs)
+      << "enabling metrics changed the bound-cast allocation profile";
+  EXPECT_EQ(traced_allocs, disabled_allocs)
+      << "span recording allocated (ring should be preallocated)";
 }
 
 }  // namespace

@@ -9,6 +9,18 @@
 #include <fstream>
 #include <string>
 
+#include "common/json.h"
+
+// Some tests assert that instrumentation actually records samples; with
+// the compile-time escape hatch active there is nothing to observe.
+#ifdef XMLREVAL_OBS_DISABLED
+#define SKIP_IF_OBS_COMPILED_OUT() \
+  GTEST_SKIP() << "instrumentation compiled out (XMLREVAL_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_COMPILED_OUT() (void)0
+#endif
+
+
 #ifndef XMLREVAL_CLI_PATH
 #error "XMLREVAL_CLI_PATH must be defined by the build"
 #endif
@@ -155,6 +167,110 @@ TEST_F(CliTest, ServeBatchCastsAllDocuments) {
   EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
                 P("ok.xml") + " --repeat 0"),
             2);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Finds entry by name (and optional single label) in a metrics-dump array.
+const xmlreval::json::Value* FindMetric(const xmlreval::json::Value& dump,
+                                        const char* section,
+                                        const std::string& name,
+                                        const std::string& op = "") {
+  const xmlreval::json::Value* entries = dump.Find(section);
+  if (entries == nullptr || !entries->is_array()) return nullptr;
+  for (const auto& e : entries->AsArray()) {
+    const xmlreval::json::Value* n = e.Find("name");
+    if (n == nullptr || n->AsString() != name) continue;
+    if (!op.empty()) {
+      const xmlreval::json::Value* labels = e.Find("labels");
+      const xmlreval::json::Value* v =
+          labels != nullptr ? labels->Find("op") : nullptr;
+      if (v == nullptr || v->AsString() != op) continue;
+    }
+    return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(CliTest, ServeBatchWritesMetricsDumpThatReconciles) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --repeat 4 --metrics-out " +
+                P("metrics.json")),
+            0);
+  auto dump = xmlreval::json::Parse(Slurp(P("metrics.json")));
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+
+  const auto* requests =
+      FindMetric(*dump, "counters", "xmlreval_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->Find("value")->AsNumber(), 4.0);
+  // The cast latency histogram's count reconciles with the op counter.
+  const auto* cast_requests =
+      FindMetric(*dump, "counters", "xmlreval_op_requests_total", "cast");
+  const auto* cast_latency = FindMetric(
+      *dump, "histograms", "xmlreval_request_latency_us", "cast");
+  ASSERT_NE(cast_requests, nullptr);
+  ASSERT_NE(cast_latency, nullptr);
+  EXPECT_EQ(cast_requests->Find("value")->AsNumber(), 4.0);
+  EXPECT_EQ(cast_latency->Find("count")->AsNumber(), 4.0);
+  const auto* service_us =
+      FindMetric(*dump, "histograms", "xmlreval_batch_service_us");
+  ASSERT_NE(service_us, nullptr);
+  EXPECT_EQ(service_us->Find("count")->AsNumber(), 4.0);
+
+  // Non-.json paths get Prometheus text exposition.
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --metrics-out " + P("metrics.prom")),
+            0);
+  std::string prom = Slurp(P("metrics.prom"));
+  EXPECT_NE(prom.find("# TYPE xmlreval_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("xmlreval_request_latency_us_bucket"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ServeBatchWritesPerfettoLoadableTrace) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --repeat 2 --trace-out " + P("trace.json")),
+            0);
+  auto trace = xmlreval::json::Parse(Slurp(P("trace.json")));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const auto* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->AsArray().empty());
+  bool saw_traverse = false;
+  for (const auto& e : events->AsArray()) {
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");
+    ASSERT_NE(e.Find("ts"), nullptr);
+    ASSERT_NE(e.Find("dur"), nullptr);
+    if (e.Find("name")->AsString() == "cast.traverse") saw_traverse = true;
+  }
+  EXPECT_TRUE(saw_traverse);
+}
+
+TEST_F(CliTest, StatsPrettyPrintsAndRejectsGarbage) {
+  EXPECT_EQ(Run("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --metrics-out " + P("metrics.json")),
+            0);
+  EXPECT_EQ(Run("stats " + P("metrics.json")), 0);
+  std::string out = Output();
+  EXPECT_NE(out.find("counters:"), std::string::npos);
+  EXPECT_NE(out.find("xmlreval_requests_total"), std::string::npos);
+  EXPECT_NE(out.find("histograms:"), std::string::npos);
+  EXPECT_NE(out.find("xmlreval_request_latency_us{op=cast}"),
+            std::string::npos);
+
+  WriteFile("garbage.json", "{not json");
+  EXPECT_EQ(Run("stats " + P("garbage.json")), 2);
+  EXPECT_EQ(Run("stats " + P("missing.json")), 2);
+  EXPECT_EQ(Run("stats"), 2);
 }
 
 }  // namespace

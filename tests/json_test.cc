@@ -1,0 +1,61 @@
+// common/json: the strict little parser behind `xmlreval stats`, the CI
+// metrics reconciliation, and the trace golden test.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlreval::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("-12.5e2")->AsNumber(), -1250.0);
+  EXPECT_EQ(Parse("\"a\\n\\\"b\\\"\\u0041\"")->AsString(), "a\n\"b\"A");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  auto v = Parse(R"({"a": [1, {"b": "c"}, []], "d": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(a->AsArray()[1].Find("b")->AsString(), "c");
+  EXPECT_TRUE(a->AsArray()[2].AsArray().empty());
+  EXPECT_TRUE(v->Find("d")->AsObject().empty());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 trailing").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(Escape("plain"), "plain");
+  EXPECT_EQ(Escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  // Round-trip: escaping then parsing yields the original.
+  auto v = Parse("\"" + Escape("tab\there \x01 end") + "\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->AsString(), "tab\there \x01 end");
+}
+
+}  // namespace
+}  // namespace xmlreval::json

@@ -1,0 +1,184 @@
+// obs/trace: RAII span lifecycle, ring-buffer bounds, and the Chrome
+// trace-event JSON export (golden schema check: every event carries the
+// fields Perfetto requires, timestamps are monotone, and spans nest in a
+// balanced way per thread).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+// Some tests assert that instrumentation actually records samples; with
+// the compile-time escape hatch active there is nothing to observe.
+#ifdef XMLREVAL_OBS_DISABLED
+#define SKIP_IF_OBS_COMPILED_OUT() \
+  GTEST_SKIP() << "instrumentation compiled out (XMLREVAL_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_COMPILED_OUT() (void)0
+#endif
+
+
+namespace xmlreval::obs {
+namespace {
+
+// Every test owns the global sink + switch; restore a clean slate.
+class TraceGuard {
+ public:
+  TraceGuard() {
+    TraceSink::Global().Clear();
+    SetTraceEnabled(true);
+  }
+  ~TraceGuard() {
+    SetTraceEnabled(false);
+    TraceSink::Global().Clear();
+    TraceSink::Global().SetCapacity(65536);
+  }
+};
+
+TEST(TraceSpanTest, DisabledTracingRecordsNothing) {
+  TraceSink::Global().Clear();
+  SetTraceEnabled(false);
+  {
+    Span span("ignored");
+    span.Arg("x", 1);
+    EXPECT_FALSE(span.enabled());
+  }
+  EXPECT_EQ(TraceSink::Global().size(), 0u);
+}
+
+TEST(TraceSpanTest, NestedSpansRecordDepthAndArgs) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  TraceGuard guard;
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      inner.Arg("nodes", 42);
+      inner.Arg("steps", 7);
+    }
+  }
+  std::vector<TraceSink::Event> events = TraceSink::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes (and records) first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  ASSERT_EQ(events[0].num_args, 2u);
+  EXPECT_STREQ(events[0].arg_keys[0], "nodes");
+  EXPECT_EQ(events[0].arg_values[0], 42u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The child's interval nests inside the parent's.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestAndCountsDropped) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  TraceGuard guard;
+  TraceSink::Global().SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Span span("s");
+  }
+  EXPECT_EQ(TraceSink::Global().size(), 4u);
+  EXPECT_EQ(TraceSink::Global().dropped(), 6u);
+  TraceSink::Global().Clear();
+  EXPECT_EQ(TraceSink::Global().size(), 0u);
+  EXPECT_EQ(TraceSink::Global().dropped(), 0u);
+}
+
+TEST(TraceExportTest, ChromeJsonSchemaTimestampsAndBalance) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  TraceGuard guard;
+  // A realistic shape: two threads, nested phases, one annotated span.
+  auto work = [] {
+    for (int i = 0; i < 3; ++i) {
+      Span item("batch.item");
+      {
+        Span parse("item.parse");
+      }
+      {
+        Span traverse("cast.traverse");
+        traverse.Arg("nodes_visited", 17);
+      }
+    }
+  };
+  std::thread t1(work);
+  std::thread t2(work);
+  t1.join();
+  t2.join();
+
+  std::string exported = TraceSink::Global().ExportChromeJson();
+  auto parsed = json::Parse(exported);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->AsArray().size(), 18u);  // 2 threads x 3 items x 3 spans
+
+  // Golden schema: the exact field set Perfetto's JSON importer needs.
+  uint64_t prev_ts = 0;
+  for (const json::Value& e : events->AsArray()) {
+    for (const char* field : {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                              "args"}) {
+      ASSERT_NE(e.Find(field), nullptr) << field;
+    }
+    EXPECT_EQ(e.Find("ph")->AsString(), "X");
+    EXPECT_EQ(e.Find("cat")->AsString(), "xmlreval");
+    EXPECT_EQ(e.Find("pid")->AsNumber(), 1.0);
+    ASSERT_NE(e.Find("args")->Find("depth"), nullptr);
+    // Monotone timestamps across the whole export.
+    uint64_t ts = static_cast<uint64_t>(e.Find("ts")->AsNumber());
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+  }
+
+  // Balanced nesting per thread: replay each thread's events against an
+  // interval stack; a child must close before its parent.
+  std::map<double, std::vector<const json::Value*>> by_tid;
+  for (const json::Value& e : events->AsArray()) {
+    by_tid[e.Find("tid")->AsNumber()].push_back(&e);
+  }
+  EXPECT_EQ(by_tid.size(), 2u);
+  for (auto& [tid, tid_events] : by_tid) {
+    std::vector<std::pair<uint64_t, uint64_t>> stack;  // [start, end]
+    for (const json::Value* e : tid_events) {
+      uint64_t ts = static_cast<uint64_t>(e->Find("ts")->AsNumber());
+      uint64_t end = ts + static_cast<uint64_t>(e->Find("dur")->AsNumber());
+      while (!stack.empty() && ts >= stack.back().second) stack.pop_back();
+      if (!stack.empty()) {
+        // Nested: must be fully contained in the enclosing span.
+        EXPECT_GE(ts, stack.back().first);
+        EXPECT_LE(end, stack.back().second);
+      }
+      stack.emplace_back(ts, end);
+    }
+    // One annotated span per item carries the counter arg.
+    int annotated = 0;
+    for (const json::Value* e : tid_events) {
+      const json::Value* nodes = e->Find("args")->Find("nodes_visited");
+      if (nodes != nullptr) {
+        ++annotated;
+        EXPECT_EQ(nodes->AsNumber(), 17.0);
+      }
+    }
+    EXPECT_EQ(annotated, 3);
+  }
+}
+
+TEST(TraceExportTest, EmptySinkExportsValidJson) {
+  TraceGuard guard;
+  auto parsed = json::Parse(TraceSink::Global().ExportChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Find("traceEvents")->AsArray().empty());
+}
+
+}  // namespace
+}  // namespace xmlreval::obs

@@ -12,10 +12,21 @@
 #include "core/cast_validator.h"
 #include "core/full_validator.h"
 #include "core/relations.h"
+#include "obs/metrics.h"
 #include "service/bounded_queue.h"
 #include "service/thread_pool.h"
 #include "xml/editor.h"
 #include "xml/parser.h"
+
+// Some tests assert that instrumentation actually records samples; with
+// the compile-time escape hatch active there is nothing to observe.
+#ifdef XMLREVAL_OBS_DISABLED
+#define SKIP_IF_OBS_COMPILED_OUT() \
+  GTEST_SKIP() << "instrumentation compiled out (XMLREVAL_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_COMPILED_OUT() (void)0
+#endif
+
 
 namespace xmlreval::service {
 namespace {
@@ -367,6 +378,128 @@ TEST_F(ValidationServiceTest, RegistrationConcurrentWithServing) {
   for (std::thread& thread : validators) thread.join();
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(service_.registry().size(), 22u);
+}
+
+// ------------------------------------------------------------ observability
+
+// The obs registry's histograms must reconcile exactly with the request
+// counters after a batch: every dispatched op contributes one latency
+// sample, every item one service-time sample.
+TEST_F(ValidationServiceTest, MetricsReconcileWithRequestCounters) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  obs::SetEnabled(true);
+  ValidationService service;
+  auto v1 = service.registry().RegisterDtd("v1", kV1Dtd, NoteOptions());
+  auto v2 = service.registry().RegisterDtd("v2", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  std::vector<ValidationService::BatchItem> items;
+  for (int i = 0; i < 20; ++i) {
+    ValidationService::BatchItem item;
+    item.source = *v1;
+    item.target = *v2;
+    item.xml_text = (i % 2 == 0) ? kFullNote : kBodylessNote;
+    items.push_back(std::move(item));
+  }
+  ValidationService::BatchItem malformed;
+  malformed.xml_text = "<broken";
+  items.push_back(std::move(malformed));
+  auto results = service.SubmitBatch(std::move(items)).get();
+  ASSERT_EQ(results.size(), 21u);
+
+  ValidationService::Counters counters = service.counters();
+  obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
+
+  const obs::CounterSnapshot* cast_requests =
+      snapshot.FindCounter("xmlreval_op_requests_total", {{"op", "cast"}});
+  const obs::HistogramSnapshot* cast_latency =
+      snapshot.FindHistogram("xmlreval_request_latency_us", {{"op", "cast"}});
+  ASSERT_NE(cast_requests, nullptr);
+  ASSERT_NE(cast_latency, nullptr);
+  EXPECT_EQ(cast_requests->value, 20u);
+  EXPECT_EQ(cast_latency->count, cast_requests->value);
+
+  // Per-pair histogram, labeled with registry key + version.
+  const obs::HistogramSnapshot* pair_latency = snapshot.FindHistogram(
+      "xmlreval_pair_request_latency_us", {{"pair", "v1.v1->v2.v1"}});
+  ASSERT_NE(pair_latency, nullptr);
+  EXPECT_EQ(pair_latency->count, 20u);
+
+  // Every batch item — including the malformed one — takes one sample in
+  // the queue-wait and service-time histograms.
+  EXPECT_EQ(
+      snapshot.FindHistogram("xmlreval_batch_queue_wait_us")->count, 21u);
+  EXPECT_EQ(snapshot.FindHistogram("xmlreval_batch_service_us")->count, 21u);
+
+  // The Counters snapshot and the metrics snapshot agree.
+  EXPECT_EQ(snapshot.FindCounter("xmlreval_requests_total")->value,
+            counters.requests);
+  EXPECT_EQ(
+      snapshot.FindCounter("xmlreval_verdicts_total", {{"verdict", "valid"}})
+          ->value,
+      counters.valid);
+  EXPECT_EQ(
+      snapshot.FindCounter("xmlreval_verdicts_total", {{"verdict", "error"}})
+          ->value,
+      1u);
+  EXPECT_EQ(snapshot.FindCounter("xmlreval_nodes_visited_total")->value,
+            counters.nodes_visited);
+  // Relations-cache metrics live in the same (per-service) registry.
+  EXPECT_EQ(
+      snapshot.FindCounter("xmlreval_relations_cache_computations_total")
+          ->value,
+      1u);
+  // Batch gauge settled back to zero.
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 0);
+}
+
+// PR 1's counters() read one atomic at a time, so a snapshot taken during
+// a request could see requests incremented but no verdict yet. The
+// migrated path records each request under a shared lock and snapshots
+// under the exclusive side: requests == valid + invalid + errors at EVERY
+// snapshot, not just at quiescence.
+TEST_F(ValidationServiceTest, CounterSnapshotsAreInternallyConsistent) {
+  auto valid_doc = xml::ParseXml(kFullNote);
+  auto invalid_doc = xml::ParseXml(kBodylessNote);
+  ASSERT_TRUE(valid_doc.ok());
+  ASSERT_TRUE(invalid_doc.ok());
+  // Warm the relations cache so worker threads race through Record.
+  ASSERT_TRUE(service_.Cast(v1_, v2_, *valid_doc).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        const xml::Document& doc = (i % 2 == 0) ? *valid_doc : *invalid_doc;
+        auto report = service_.Cast(v1_, v2_, doc);
+        ASSERT_TRUE(report.ok());
+        if (i % 7 == 0) {
+          service_.Validate(t % 2 == 0 ? v1_ : v2_, doc);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int probe = 0; probe < 2000; ++probe) {
+    ValidationService::Counters c = service_.counters();
+    ASSERT_EQ(c.requests, c.valid + c.invalid + c.errors)
+        << "torn snapshot at probe " << probe;
+  }
+  for (std::thread& thread : workers) thread.join();
+
+  ValidationService::Counters final_counters = service_.counters();
+  EXPECT_EQ(final_counters.requests,
+            final_counters.valid + final_counters.invalid +
+                final_counters.errors);
+  EXPECT_EQ(final_counters.casts, 1u + kThreads * kPerThread);
+  EXPECT_EQ(final_counters.errors, 0u);
 }
 
 }  // namespace

@@ -6,23 +6,31 @@
 //   xmlreval sample      <schema> [--root LABEL] [--seed N] [--max-elems N]
 //   xmlreval relations   <source> <target>             dump R_sub / R_dis
 //   xmlreval serve-batch <source> <target> <doc.xml...> [--threads N]
-//                        [--repeat N]                   batch pipeline
+//                        [--repeat N] [--metrics-out F] [--metrics-interval S]
+//                        [--trace-out F]                batch pipeline
+//   xmlreval stats       <metrics.json>                 pretty-print a dump
 //
 // Schemas are loaded by extension: *.dtd through the DTD front end,
 // anything else through the XSD front end. Exit status: 0 = valid /
 // success, 1 = invalid document, 2 = usage or input error. Unknown
 // subcommands print the usage message and exit 2.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/cast_validator.h"
 #include "core/corrector.h"
 #include "core/full_validator.h"
@@ -51,12 +59,21 @@ int Usage() {
                "  xmlreval export    <schema>\n"
                "  xmlreval serve-batch <source> <target> <doc.xml...>"
                " [--threads N] [--repeat N]\n"
+               "                       [--metrics-out F] [--metrics-interval"
+               " S] [--trace-out F]\n"
+               "  xmlreval stats <metrics.json>\n"
                "\nschemas ending in .dtd use the DTD front end; everything\n"
                "else is parsed as XML Schema.\n"
                "serve-batch fans the documents out over a validation\n"
                "thread pool (--threads, default: hardware concurrency) and\n"
                "casts each from <source> to <target>; --repeat N queues\n"
-               "every document N times (throughput runs).\n");
+               "every document N times (throughput runs).\n"
+               "--metrics-out dumps the service metrics snapshot on exit\n"
+               "(*.json = JSON, anything else = Prometheus text); SIGUSR1\n"
+               "or --metrics-interval S rewrite it while serving. \n"
+               "--trace-out enables span tracing and writes Chrome\n"
+               "trace-event JSON (open in Perfetto / chrome://tracing).\n"
+               "stats pretty-prints a JSON metrics dump.\n");
   return 2;
 }
 
@@ -308,6 +325,32 @@ int CmdRelations(int argc, char** argv) {
   return 0;
 }
 
+// SIGUSR1 → rewrite the --metrics-out file at the next flusher tick.
+// (An atomic flag is all a signal handler may touch; the flusher thread
+// does the actual snapshot + file IO.)
+std::atomic<bool> g_metrics_flush_requested{false};
+
+extern "C" void OnMetricsFlushSignal(int) {
+  g_metrics_flush_requested.store(true, std::memory_order_relaxed);
+}
+
+// Dumps the service's metrics snapshot to `path`; *.json gets the JSON
+// rendering (the `stats` subcommand's input), anything else Prometheus
+// text exposition. Written atomically enough for a scraper: truncate +
+// full rewrite.
+bool WriteMetricsFile(const service::ValidationService& service,
+                      const std::string& path) {
+  obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << (HasSuffix(path, ".json") ? snapshot.ToJson()
+                                   : snapshot.ToPrometheusText());
+  return true;
+}
+
 // Batch serving through the src/service/ layer: register both schemas
 // once, fan the documents out over the ValidationService thread pool, and
 // report per-document verdicts plus the service's cache statistics.
@@ -315,11 +358,21 @@ int CmdServeBatch(int argc, char** argv) {
   std::vector<std::string> positional;
   size_t threads = 0;
   size_t repeat = 1;
+  size_t metrics_interval = 0;  // seconds; 0 = only on signal/exit
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 &&
+               i + 1 < argc) {
+      metrics_interval = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage();
     } else {
@@ -327,10 +380,33 @@ int CmdServeBatch(int argc, char** argv) {
     }
   }
   if (positional.size() < 3 || repeat == 0) return Usage();
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
 
   service::ValidationService::Options options;
   options.batch_threads = threads;
   service::ValidationService service(options);
+
+  // Periodic / signal-driven metrics exposition while the batch runs.
+  std::atomic<bool> flusher_done{false};
+  std::thread flusher;
+  if (!metrics_out.empty()) {
+    std::signal(SIGUSR1, OnMetricsFlushSignal);
+    flusher = std::thread([&] {
+      auto last = std::chrono::steady_clock::now();
+      while (!flusher_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        auto now = std::chrono::steady_clock::now();
+        bool due = metrics_interval > 0 &&
+                   now - last >= std::chrono::seconds(metrics_interval);
+        if (g_metrics_flush_requested.exchange(false,
+                                               std::memory_order_relaxed) ||
+            due) {
+          WriteMetricsFile(service, metrics_out);
+          last = now;
+        }
+      }
+    });
+  }
 
   service::SchemaHandle handles[2];
   for (int i = 0; i < 2; ++i) {
@@ -409,7 +485,108 @@ int CmdServeBatch(int argc, char** argv) {
       (unsigned long long)cache.misses,
       (unsigned long long)cache.computations,
       (unsigned long long)cache.compute_micros);
+  obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
+  const obs::HistogramSnapshot* wait =
+      snapshot.FindHistogram("xmlreval_batch_queue_wait_us");
+  const obs::HistogramSnapshot* svc =
+      snapshot.FindHistogram("xmlreval_batch_service_us");
+  if (wait != nullptr && svc != nullptr && wait->count > 0) {
+    std::printf(
+        "batch latency (us): queue wait p50/p99 = %.0f/%.0f, "
+        "service p50/p99 = %.0f/%.0f\n",
+        wait->Quantile(0.50), wait->Quantile(0.99), svc->Quantile(0.50),
+        svc->Quantile(0.99));
+  }
+
+  if (flusher.joinable()) {
+    flusher_done.store(true, std::memory_order_relaxed);
+    flusher.join();
+  }
+  if (!metrics_out.empty() && !WriteMetricsFile(service, metrics_out)) {
+    exit_code = 2;
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_out.c_str());
+      exit_code = 2;
+    } else {
+      out << obs::TraceSink::Global().ExportChromeJson();
+    }
+  }
   return exit_code;
+}
+
+// Pretty-prints a JSON metrics dump produced by --metrics-out. Reads the
+// same format the service writes; useful for eyeballing a dump without
+// Prometheus tooling.
+int CmdStats(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto text = ReadFile(argv[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  auto parsed = json::Parse(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto label_suffix = [](const json::Value& entry) {
+    std::string out;
+    const json::Value* labels = entry.Find("labels");
+    if (labels == nullptr || !labels->is_object()) return out;
+    for (const auto& [k, v] : labels->AsObject()) {
+      out += out.empty() ? '{' : ',';
+      out += k + "=" + (v.is_string() ? v.AsString() : std::string("?"));
+    }
+    if (!out.empty()) out += '}';
+    return out;
+  };
+  auto number = [](const json::Value& entry, const char* key) {
+    const json::Value* v = entry.Find(key);
+    return v != nullptr && v->is_number() ? v->AsNumber() : 0.0;
+  };
+
+  const json::Value* counters = parsed->Find("counters");
+  if (counters != nullptr && counters->is_array() &&
+      !counters->AsArray().empty()) {
+    std::printf("counters:\n");
+    for (const json::Value& c : counters->AsArray()) {
+      const json::Value* name = c.Find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      std::printf("  %-58s %12.0f\n",
+                  (name->AsString() + label_suffix(c)).c_str(),
+                  number(c, "value"));
+    }
+  }
+  const json::Value* gauges = parsed->Find("gauges");
+  if (gauges != nullptr && gauges->is_array() && !gauges->AsArray().empty()) {
+    std::printf("gauges:\n");
+    for (const json::Value& g : gauges->AsArray()) {
+      const json::Value* name = g.Find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      std::printf("  %-58s %12.0f\n",
+                  (name->AsString() + label_suffix(g)).c_str(),
+                  number(g, "value"));
+    }
+  }
+  const json::Value* histograms = parsed->Find("histograms");
+  if (histograms != nullptr && histograms->is_array() &&
+      !histograms->AsArray().empty()) {
+    std::printf("histograms:%44s%10s%10s%10s%10s%10s\n", "count", "mean",
+                "p50", "p90", "p99", "max");
+    for (const json::Value& h : histograms->AsArray()) {
+      const json::Value* name = h.Find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      std::printf("  %-52s%10.0f%10.1f%10.1f%10.1f%10.1f%10.0f\n",
+                  (name->AsString() + label_suffix(h)).c_str(),
+                  number(h, "count"), number(h, "mean"), number(h, "p50"),
+                  number(h, "p90"), number(h, "p99"), number(h, "max"));
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -436,5 +613,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(command, "serve-batch") == 0) {
     return CmdServeBatch(argc - 2, argv + 2);
   }
+  if (std::strcmp(command, "stats") == 0) return CmdStats(argc - 2, argv + 2);
   return Usage();  // unknown subcommand: usage message, exit 2
 }
