@@ -1,0 +1,140 @@
+// Parallel intra-document cast validation: 1→N thread scaling curve.
+//
+// The Experiment 2 regime (relaxed-quantity source cast to the strict
+// Figure 2 target — root pair NOT subsumed, so every item subtree is
+// traversed) over the Table 2 item-count grid, timed three ways:
+//
+//   * serial      — CastValidator, the baseline every speedup is against
+//   * par_tK      — ParallelCastValidator on a K-worker executor
+//   * thresh_T    — spawn-threshold ablation at 4 workers, 1000 items
+//
+// Medians of repeated runs; documents are pre-parsed and BOUND (the
+// symbol fast path) so the timing isolates the traversal.
+//
+// The committed BENCH_parallel.json records hardware_concurrency: scaling
+// numbers are only meaningful relative to the cores the run actually had
+// (CI containers are often 1-2 cores; par_t1-within-5%-of-serial is the
+// machine-independent assertion, checked by the perf-smoke job).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/executor.h"
+#include "core/cast_validator.h"
+#include "core/parallel_cast_validator.h"
+#include "workload/po_generator.h"
+#include "xml/tree.h"
+
+namespace {
+
+using namespace xmlreval;
+
+constexpr size_t kWarmups = 3;
+constexpr size_t kRuns = 9;  // odd: the median is a real sample
+
+template <typename F>
+double MedianNs(F&& run) {
+  for (size_t i = 0; i < kWarmups; ++i) run();
+  std::vector<double> samples;
+  samples.reserve(kRuns);
+  for (size_t i = 0; i < kRuns; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    run();
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::nth_element(samples.begin(), samples.begin() + kRuns / 2,
+                   samples.end());
+  return samples[kRuns / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::SchemaPair& pair = bench::Experiment2Pair();
+  core::CastValidator serial(pair.relations.get());
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("parallel cast scaling (hardware_concurrency=%u)\n\n",
+              hardware);
+  std::printf("%-8s %-14s", "# items", "serial (us)");
+  constexpr size_t kThreadGrid[] = {1, 2, 4, 8};
+  for (size_t threads : kThreadGrid) {
+    std::printf(" t=%zu (us)   x%-6s", threads, "");
+  }
+  std::printf("\n");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("hardware_concurrency", double(hardware));
+
+  for (size_t items : bench::kItemGrid) {
+    workload::PoGeneratorOptions options;
+    options.item_count = items;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    if (!doc.Bind(pair.alphabet).ok()) {
+      std::fprintf(stderr, "bind failed\n");
+      return 1;
+    }
+    const std::string tag = "_items_" + std::to_string(items);
+
+    double serial_ns = MedianNs([&] {
+      core::ValidationReport report = serial.Validate(doc);
+      if (!report.valid) {
+        std::fprintf(stderr, "unexpected invalid document\n");
+        std::exit(1);
+      }
+    });
+    metrics.emplace_back("serial_ns" + tag, serial_ns);
+    std::printf("%-8zu %-14.1f", items, serial_ns / 1000.0);
+
+    for (size_t threads : kThreadGrid) {
+      common::Executor executor(
+          common::Executor::Options{.threads = threads});
+      core::ParallelCastValidator parallel(pair.relations.get(), &executor);
+      double par_ns = MedianNs([&] {
+        core::ValidationReport report = parallel.Validate(doc);
+        if (!report.valid) {
+          std::fprintf(stderr, "unexpected invalid document\n");
+          std::exit(1);
+        }
+      });
+      double speedup = serial_ns / par_ns;
+      metrics.emplace_back("par_t" + std::to_string(threads) + "_ns" + tag,
+                           par_ns);
+      metrics.emplace_back(
+          "speedup_t" + std::to_string(threads) + tag, speedup);
+      std::printf(" %-10.1f x%-6.2f", par_ns / 1000.0, speedup);
+    }
+    std::printf("\n");
+  }
+
+  // Spawn-threshold ablation: 4 workers, the 1000-item document.
+  std::printf("\nspawn-threshold ablation (t=4, 1000 items)\n");
+  {
+    workload::PoGeneratorOptions options;
+    options.item_count = 1000;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    if (!doc.Bind(pair.alphabet).ok()) return 1;
+    for (size_t threshold : {size_t{16}, size_t{64}, size_t{256}}) {
+      common::Executor executor(common::Executor::Options{.threads = 4});
+      core::ParallelCastValidator::Options parallel_options;
+      parallel_options.spawn_threshold = threshold;
+      core::ParallelCastValidator parallel(pair.relations.get(), &executor,
+                                           parallel_options);
+      double ns = MedianNs([&] { (void)parallel.Validate(doc); });
+      metrics.emplace_back(
+          "thresh_" + std::to_string(threshold) + "_ns_items_1000", ns);
+      std::printf("  threshold %-4zu %.1f us\n", threshold, ns / 1000.0);
+    }
+  }
+
+  bench::WriteBenchJson("BENCH_parallel.json", "parallel", metrics);
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}

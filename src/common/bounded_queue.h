@@ -1,18 +1,19 @@
 // BoundedQueue<T> — a bounded, blocking MPMC work queue.
 //
-// The batch pipeline's backpressure primitive: producers block in Push when
-// the queue is full, so a caller submitting a huge batch can never balloon
-// memory past `capacity` in-flight items; consumers block in Pop when it is
-// empty. Close() wakes everyone: pending items still drain, then Pop
-// returns nullopt and further Pushes are refused.
+// The executor's external-submission (and formerly the batch pipeline's)
+// backpressure primitive: producers block in Push when the queue is full,
+// so a caller submitting a huge batch can never balloon memory past
+// `capacity` in-flight items; consumers block in Pop when it is empty.
+// Close() wakes everyone: pending items still drain, then Pop returns
+// nullopt and further Pushes are refused.
 //
 // Plain two-condition-variable design over a ring deque. The queue moves
 // std::functions around, never user payloads on the validation hot path, so
 // a lock-free ring buys nothing here measurable against a fixpoint or even
 // a document parse.
 
-#ifndef XMLREVAL_SERVICE_BOUNDED_QUEUE_H_
-#define XMLREVAL_SERVICE_BOUNDED_QUEUE_H_
+#ifndef XMLREVAL_COMMON_BOUNDED_QUEUE_H_
+#define XMLREVAL_COMMON_BOUNDED_QUEUE_H_
 
 #include <condition_variable>
 #include <deque>
@@ -20,7 +21,7 @@
 #include <optional>
 #include <utility>
 
-namespace xmlreval::service {
+namespace xmlreval::common {
 
 template <typename T>
 class BoundedQueue {
@@ -67,6 +68,19 @@ class BoundedQueue {
     return item;
   }
 
+  /// Non-blocking pop: nullopt when empty (regardless of closed state —
+  /// accepted items always drain). The executor's workers poll with this
+  /// between deque scans instead of parking on the queue's own CV.
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Refuses further Pushes and unblocks all waiters. Idempotent.
   void Close() {
     {
@@ -93,6 +107,6 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
-}  // namespace xmlreval::service
+}  // namespace xmlreval::common
 
-#endif  // XMLREVAL_SERVICE_BOUNDED_QUEUE_H_
+#endif  // XMLREVAL_COMMON_BOUNDED_QUEUE_H_

@@ -1,14 +1,11 @@
 #include "core/cast_validator.h"
 
 #include "common/macros.h"
-#include "common/string_util.h"
+#include "core/cast_walk.h"
 #include "obs/trace.h"
+#include "xml/dewey.h"
 
 namespace xmlreval::core {
-
-using automata::Symbol;
-using automata::Verdict;
-using schema::kInvalidType;
 
 CastValidator::CastValidator(const TypeRelations* relations,
                              const Options& options)
@@ -16,250 +13,88 @@ CastValidator::CastValidator(const TypeRelations* relations,
   XMLREVAL_CHECK(relations != nullptr, "CastValidator requires relations");
 }
 
-struct CastValidator::Walk {
-  const TypeRelations& rel;
-  const Schema& source;
-  const Schema& target;
-  const xml::Document& doc;
-  bool use_immediate;
-  // True when the document is bound to the schema pair's alphabet: node
-  // symbols are read directly (zero hashing, zero allocation); otherwise
-  // each label is resolved through Alphabet::Find as before.
-  bool use_symbols;
-  ValidationReport report;
-  std::vector<uint32_t> path;
+namespace {
 
-  void Fail(std::string message) {
-    report.valid = false;
-    report.violation = std::move(message);
-    report.violation_path = xml::DeweyPath(path);
+// Drains `scratch->frontier` (already seeded) through one CastWalk. On
+// failure the Dewey path is reconstructed lazily, relative to
+// `path_anchor` (the subtree root; the document root for Validate).
+ValidationReport Drain(const TypeRelations& relations,
+                       const CastValidator::Options& options,
+                       const xml::Document& doc, xml::NodeId path_anchor,
+                       CastScratch* scratch, ValidationReport report) {
+  internal::CastWalk walk{relations,
+                          relations.source(),
+                          relations.target(),
+                          doc,
+                          options.use_immediate_content,
+                          doc.BoundTo(*relations.source().alphabet())};
+  walk.simple_value = &scratch->simple_value;
+  std::vector<CastUnit>& frontier = scratch->frontier;
+  while (!frontier.empty()) {
+    CastUnit unit = frontier.back();
+    frontier.pop_back();
+    if (!walk.ProcessUnit(unit, &frontier)) {
+      report.valid = false;
+      report.violation = std::move(walk.fail_message);
+      report.violation_path =
+          xml::DeweyPath::Relative(doc, walk.fail_node, path_anchor);
+      frontier.clear();
+      break;
+    }
   }
+  report.counters = walk.counters;
+  return report;
+}
 
-  /// Symbol of element `c`: the bound symbol when use_symbols, else a Find()
-  /// with misses mapped to kUnboundSymbol (which matches nothing).
-  Symbol SymbolOf(xml::NodeId c) const {
-    if (use_symbols) return doc.symbol(c);
-    auto sym = source.alphabet()->Find(doc.label(c));
-    return sym ? *sym : automata::kUnboundSymbol;
-  }
-
-  // validate(τ, τ', e) from §3.2's pseudocode. Counting discipline: a node
-  // is visited once, at entry — including nodes whose subtree is then
-  // skipped via subsumption (their label and type pair were consulted).
-  bool ValidateNode(xml::NodeId node, TypeId s_type, TypeId t_type) {
-    ++report.counters.nodes_visited;
-    ++report.counters.elements_visited;
-
-    // if τ ≤ τ' return true — the whole subtree is guaranteed valid.
-    if (rel.Subsumed(s_type, t_type)) {
-      ++report.counters.subtrees_skipped;
-      return true;
-    }
-    // if τ ⊘ τ' return false — no tree valid for τ can be valid for τ'.
-    if (rel.Disjoint(s_type, t_type)) {
-      ++report.counters.disjoint_rejects;
-      Fail(StrCat("element '", doc.label(node), "': source type '",
-                  source.TypeName(s_type), "' is disjoint from target type '",
-                  target.TypeName(t_type), "'"));
-      return false;
-    }
-
-    if (target.IsSimple(t_type)) {
-      // Source validity rules out element children (a complex source type
-      // would be disjoint from the simple target and caught above; a simple
-      // source type has no element children). Check the χ value.
-      std::string value;
-      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-           c = doc.next_sibling(c)) {
-        if (doc.IsText(c)) {
-          ++report.counters.nodes_visited;
-          ++report.counters.text_nodes_visited;
-          value += doc.text(c);
-        }
-      }
-      ++report.counters.simple_checks;
-      Status check =
-          schema::ValidateSimpleValue(target.simple_type(t_type), value);
-      if (!check.ok()) {
-        Fail(StrCat("element '", doc.label(node), "': ", check.message()));
-        return false;
-      }
-      return true;
-    }
-
-    // Complex target (and complex source, else the pair would be disjoint).
-    // Attribute constraints of τ' are re-checked here: the source's
-    // guarantees about attributes do not transfer (the pair was neither
-    // subsumed nor disjoint).
-    const schema::ComplexType& t_decl = target.complex_type(t_type);
-    if (!t_decl.open_attributes) {
-      ++report.counters.attr_checks;
-      Status attrs =
-          schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
-      if (!attrs.ok()) {
-        Fail(StrCat("element '", doc.label(node), "': ", attrs.message()));
-        return false;
-      }
-    }
-
-    // Per §3.2's pseudocode: first decide the content-model membership,
-    // then recurse into the children. Both passes stream over the sibling
-    // list with no per-node allocation; when c_immed classifies the START
-    // state as immediate-accept — the common case when the two content
-    // models coincide — the content pass is skipped outright.
-    const automata::ImmediateDfa* pair =
-        use_immediate ? rel.PairAutomaton(s_type, t_type) : nullptr;
-    const automata::Dfa* tdfa = rel.TargetDfa(t_type);
-
-    auto content_fail = [&]() {
-      Fail(StrCat("children of '", doc.label(node),
-                  "' do not match the content model of target type '",
-                  target.TypeName(t_type), "'"));
-      return false;
-    };
-
-    // Content pass (the paper's "constructstring(children(e)) ∈ L?").
-    bool decided = false;
-    if (pair != nullptr &&
-        pair->Class(pair->dfa().start_state()) ==
-            automata::StateClass::kImmediateAccept) {
-      ++report.counters.immediate_decisions;
-      decided = true;
-    }
-    if (!decided) {
-      automata::StateId q =
-          pair ? pair->dfa().start_state() : tdfa->start_state();
-      if (pair != nullptr &&
-          pair->Class(q) == automata::StateClass::kImmediateReject) {
-        ++report.counters.immediate_decisions;
-        return content_fail();
-      }
-      for (xml::NodeId c = doc.first_child(node);
-           c != xml::kInvalidNode && !decided; c = doc.next_sibling(c)) {
-        if (!doc.IsElement(c)) continue;  // whitespace guaranteed by source
-        Symbol sym = SymbolOf(c);
-        if (sym == automata::kUnboundSymbol) {
-          Fail(StrCat("element '", doc.label(c),
-                      "' is outside the schemas' alphabet"));
-          return false;
-        }
-        if (pair != nullptr) {
-          // Symbols interned after the relations were computed exceed the
-          // padded transition table; they cannot match any content model.
-          if (sym >= pair->dfa().alphabet_size()) return content_fail();
-          q = pair->dfa().Next(q, sym);
-          ++report.counters.dfa_steps;
-          automata::StateClass cls = pair->Class(q);
-          if (cls == automata::StateClass::kImmediateAccept) {
-            ++report.counters.immediate_decisions;
-            decided = true;
-          } else if (cls == automata::StateClass::kImmediateReject) {
-            ++report.counters.immediate_decisions;
-            return content_fail();
-          }
-        } else {
-          if (sym >= tdfa->alphabet_size()) return content_fail();
-          q = tdfa->Next(q, sym);
-          ++report.counters.dfa_steps;
-        }
-      }
-      if (!decided) {
-        // End of string: for c_immed, acceptance of the product is
-        // F_a × F_b, and the source component accepts by the precondition.
-        bool accepted =
-            pair ? pair->dfa().IsAccepting(q) : tdfa->IsAccepting(q);
-        if (!accepted) return content_fail();
-      }
-    }
-
-    // Recursion pass, with (types_τ(λ), types_τ'(λ)) per child.
-    uint32_t ordinal = 0;
-    for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-         c = doc.next_sibling(c), ++ordinal) {
-      if (!doc.IsElement(c)) continue;
-      Symbol sym = SymbolOf(c);
-      if (sym == automata::kUnboundSymbol) {
-        Fail(StrCat("element '", doc.label(c),
-                    "' is outside the schemas' alphabet"));
-        return false;
-      }
-      TypeId child_t = target.ChildType(t_type, sym);
-      if (child_t == kInvalidType) {
-        // Reachable only when the content pass accepted EARLY: an IA state
-        // guarantees string membership, but a label beyond the decision
-        // point may still fall outside Σ_τ'... which would contradict
-        // membership, so treat it as a content-model failure.
-        return content_fail();
-      }
-      TypeId child_s = source.ChildType(s_type, sym);
-      if (child_s == kInvalidType) {
-        Fail(StrCat("precondition violated: source type '",
-                    source.TypeName(s_type), "' does not type child label '",
-                    doc.label(c), "'"));
-        return false;
-      }
-      path.push_back(ordinal);
-      bool ok = ValidateNode(c, child_s, child_t);
-      path.pop_back();
-      if (!ok) return false;
-    }
-    return true;
-  }
-};
+}  // namespace
 
 ValidationReport CastValidator::Validate(const xml::Document& doc) const {
+  CastScratch scratch;
+  return Validate(doc, &scratch);
+}
+
+ValidationReport CastValidator::Validate(const xml::Document& doc,
+                                         CastScratch* scratch) const {
   // One span per document — the §3.2 tree-traversal phase. Args carry the
   // domain counters the paper's evaluation is built on.
   obs::Span span("cast.traverse");
-  Walk walk{*relations_,
-            relations_->source(),
-            relations_->target(),
-            doc,
-            options_.use_immediate_content,
-            doc.BoundTo(*relations_->source().alphabet()),
-            {},
-            {}};
-  if (!doc.has_root()) {
-    walk.Fail("document has no root element");
-    return std::move(walk.report);
+  ValidationReport report;
+  CastUnit root;
+  if (!internal::ResolveRootUnit(
+          *relations_, doc,
+          doc.BoundTo(*relations_->source().alphabet()), &report, &root)) {
+    return report;
   }
-  const Schema& source = relations_->source();
-  const Schema& target = relations_->target();
-  Symbol sym = walk.SymbolOf(doc.root());
-  bool in_sigma = sym != automata::kUnboundSymbol;
-  TypeId s_root = in_sigma ? source.RootType(sym) : kInvalidType;
-  TypeId t_root = in_sigma ? target.RootType(sym) : kInvalidType;
-  if (s_root == kInvalidType) {
-    walk.Fail(StrCat("precondition violated: root '", doc.label(doc.root()),
-                     "' is not declared by the source schema"));
-    return std::move(walk.report);
-  }
-  if (t_root == kInvalidType) {
-    ++walk.report.counters.nodes_visited;
-    ++walk.report.counters.elements_visited;
-    walk.Fail(StrCat("root element '", doc.label(doc.root()),
-                     "' is not declared by the target schema"));
-    return std::move(walk.report);
-  }
-  walk.ValidateNode(doc.root(), s_root, t_root);
-  AttachTraceArgs(span, walk.report.counters);
-  return std::move(walk.report);
+  scratch->frontier.clear();
+  scratch->frontier.push_back(root);
+  report = Drain(*relations_, options_, doc, doc.root(), scratch,
+                 std::move(report));
+  AttachTraceArgs(span, report.counters);
+  return report;
 }
 
 ValidationReport CastValidator::ValidateSubtree(const xml::Document& doc,
                                                 xml::NodeId node,
                                                 TypeId source_type,
                                                 TypeId target_type) const {
-  Walk walk{*relations_,
-            relations_->source(),
-            relations_->target(),
-            doc,
-            options_.use_immediate_content,
-            doc.BoundTo(*relations_->source().alphabet()),
-            {},
-            {}};
-  walk.ValidateNode(node, source_type, target_type);
-  return std::move(walk.report);
+  CastScratch scratch;
+  return ValidateSubtree(doc, node, source_type, target_type, &scratch);
+}
+
+ValidationReport CastValidator::ValidateSubtree(const xml::Document& doc,
+                                                xml::NodeId node,
+                                                TypeId source_type,
+                                                TypeId target_type,
+                                                CastScratch* scratch) const {
+  obs::Span span("cast.subtree");
+  ValidationReport report;
+  scratch->frontier.clear();
+  scratch->frontier.push_back(
+      {node, source_type, target_type, CastUnitKind::kValidate});
+  report = Drain(*relations_, options_, doc, node, scratch,
+                 std::move(report));
+  AttachTraceArgs(span, report.counters);
+  return report;
 }
 
 }  // namespace xmlreval::core

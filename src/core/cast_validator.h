@@ -8,6 +8,12 @@
 // §4.2 when available, so each child-label string is scanned only as far
 // as a verdict requires.
 //
+// The traversal is an explicit preorder frontier (a stack of CastUnits),
+// not recursion: documents of pathological depth validate in O(1) native
+// stack, and the same per-unit engine (core/cast_walk.h) powers both this
+// serial validator and ParallelCastValidator, whose tasks process disjoint
+// slices of the frontier.
+//
 // PRECONDITION: the document is valid with respect to relations->source().
 // Feeding a source-invalid document is library misuse; the validator may
 // then return either verdict (exactly like the paper's algorithm, whose
@@ -16,11 +22,47 @@
 #ifndef XMLREVAL_CORE_CAST_VALIDATOR_H_
 #define XMLREVAL_CORE_CAST_VALIDATOR_H_
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "core/relations.h"
 #include "core/report.h"
 #include "xml/tree.h"
 
 namespace xmlreval::core {
+
+/// What popping a frontier unit means. Child-typing failures discovered
+/// while expanding a parent are DEFERRED: the parent pushes a poisoned
+/// unit at the child's frontier position instead of failing on the spot,
+/// so failures surface in exactly the order the recursive algorithm
+/// reported them (everything document-order-before the child is validated
+/// first) — the invariant the parallel engine's first-failure tracking is
+/// built on.
+enum class CastUnitKind : uint8_t {
+  kValidate,         // run validate(τ, τ', e) on this node
+  kUnboundLabel,     // label outside Σ: fail when popped
+  kContentMismatch,  // types_τ'(λ) undefined: content-model fail at parent
+  kPrecondition,     // types_τ(λ) undefined: source precondition fail
+};
+
+/// One pending subtree of the traversal frontier. For kValidate units the
+/// types are the node's own (source, target) pair; for poisoned units they
+/// are the PARENT's pair (the failure message names the parent's types).
+struct CastUnit {
+  xml::NodeId node = xml::kInvalidNode;
+  TypeId source_type = schema::kInvalidType;
+  TypeId target_type = schema::kInvalidType;
+  CastUnitKind kind = CastUnitKind::kValidate;
+};
+
+/// Reusable per-walk buffers: the frontier stack (O(max pending width))
+/// and the multi-chunk simple-value buffer. A warmed scratch makes repeat
+/// validation allocation-free (binding_alloc_test pins this).
+struct CastScratch {
+  std::vector<CastUnit> frontier;
+  std::string simple_value;
+};
 
 class CastValidator {
  public:
@@ -37,18 +79,24 @@ class CastValidator {
       : CastValidator(relations, Options{}) {}
   CastValidator(const TypeRelations* relations, const Options& options);
 
-  /// doValidate(S, S', T).
+  /// doValidate(S, S', T). The scratch overload reuses the caller's
+  /// buffers (zero allocations once warmed); the plain overload pays a
+  /// fresh frontier per call.
   ValidationReport Validate(const xml::Document& doc) const;
+  ValidationReport Validate(const xml::Document& doc,
+                            CastScratch* scratch) const;
 
   /// validate(τ, τ', e) on a subtree: `source_type` is the type the subtree
-  /// has under the source schema, `target_type` the type to check.
+  /// has under the source schema, `target_type` the type to check. The
+  /// violation path is RELATIVE to `node` (mod-validation rebases it).
   ValidationReport ValidateSubtree(const xml::Document& doc, xml::NodeId node,
                                    TypeId source_type,
                                    TypeId target_type) const;
+  ValidationReport ValidateSubtree(const xml::Document& doc, xml::NodeId node,
+                                   TypeId source_type, TypeId target_type,
+                                   CastScratch* scratch) const;
 
  private:
-  struct Walk;
-
   const TypeRelations* relations_;
   Options options_;
 };

@@ -1,0 +1,93 @@
+// ParallelCastValidator — §3.2 cast validation fanned out over subtrees.
+//
+// Once a node's content-model membership and per-child typing are decided,
+// each child subtree's validate(τ_c, τ'_c, c) is independent — the
+// structural property this engine exploits. A task owns a slice of the
+// preorder frontier (a stack of CastUnits sorted by document order, top =
+// earliest) and runs the exact same per-unit engine as the serial
+// validator; when its stack holds at least `spawn_threshold` pending units
+// AND the executor has an idle worker, it donates the bottom
+// (document-order-latest) half as a new task. Lazy splitting means:
+//
+//   * no O(n) subtree-size pre-pass — chunks self-balance,
+//   * a 1-thread run never donates (no idle worker exists), so its cost
+//     is the serial walk plus one task dispatch,
+//   * bushy documents parallelize even when every individual subtree is
+//     tiny (the frontier, not the subtree, is what is split).
+//
+// Subsumed subtrees are pruned at push time — counted, never spawned.
+//
+// Determinism: on success the merged per-task counters equal the serial
+// walk's exactly (every unit is processed once; where a counter is charged
+// does not change the sum). On failure, tasks record (first-failing-unit
+// in document order) into a shared cell — a later failure never overwrites
+// an earlier one — and raise an abort flag; other tasks then cancel only
+// units STRICTLY AFTER the recorded minimum, so anything that could
+// contain an earlier failure still runs. The reported violation is
+// therefore exactly the serial engine's. Counters on a failed run are not
+// reconstructible from cancelled tasks, so the engine replays the document
+// through the serial validator (bounded by the serial cost the caller
+// avoided) — verdict, path, message, AND counters are bit-identical to
+// CastValidator on every input.
+
+#ifndef XMLREVAL_CORE_PARALLEL_CAST_VALIDATOR_H_
+#define XMLREVAL_CORE_PARALLEL_CAST_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/executor.h"
+#include "core/cast_validator.h"
+#include "core/relations.h"
+#include "core/report.h"
+#include "xml/dewey.h"
+#include "xml/tree.h"
+
+namespace xmlreval::core {
+
+class ParallelCastValidator {
+ public:
+  struct Options {
+    CastValidator::Options cast;
+    /// Donate the bottom half of a task's frontier when it holds at least
+    /// this many pending units (and a worker is idle). Smaller = finer
+    /// load balancing, more task traffic; bench_parallel ablates it.
+    size_t spawn_threshold = 64;
+  };
+
+  /// Introspection for tests and benchmarks (not part of the report).
+  struct RunStats {
+    uint64_t tasks = 0;     // tasks actually executed (1 = no splitting)
+    bool replayed = false;  // failure path: serial replay produced report
+    bool tracked_failure = false;
+    /// Document-order key of the first failing frontier unit; with
+    /// tracked_fail_path/tracked_message it is deterministic and equals
+    /// what the serial replay reports.
+    xml::DeweyPath tracked_unit_path;
+    xml::DeweyPath tracked_fail_path;
+    std::string tracked_message;
+  };
+
+  /// `relations` and `executor` must outlive the validator. The executor
+  /// may be shared (e.g. the service's intra-document pool); concurrent
+  /// Validate calls interleave their tasks on it.
+  ParallelCastValidator(const TypeRelations* relations,
+                        common::Executor* executor, const Options& options);
+  ParallelCastValidator(const TypeRelations* relations,
+                        common::Executor* executor)
+      : ParallelCastValidator(relations, executor, Options{}) {}
+
+  /// doValidate(S, S', T), parallel over subtrees. Same report as
+  /// CastValidator::Validate on every input (see header comment).
+  ValidationReport Validate(const xml::Document& doc,
+                            RunStats* stats = nullptr) const;
+
+ private:
+  const TypeRelations* relations_;
+  common::Executor* executor_;
+  Options options_;
+};
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_PARALLEL_CAST_VALIDATOR_H_

@@ -123,6 +123,14 @@ const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name,
   return nullptr;
 }
 
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name,
+                                                const Labels& labels) const {
+  for (const auto& g : gauges) {
+    if (g.name == name && LabelsMatch(g.labels, labels)) return &g;
+  }
+  return nullptr;
+}
+
 const HistogramSnapshot* MetricsSnapshot::FindHistogram(
     std::string_view name, const Labels& labels) const {
   for (const auto& h : histograms) {

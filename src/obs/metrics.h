@@ -175,6 +175,8 @@ struct MetricsSnapshot {
   /// First entry matching name (+ label subset), or nullptr.
   const CounterSnapshot* FindCounter(std::string_view name,
                                      const Labels& labels = {}) const;
+  const GaugeSnapshot* FindGauge(std::string_view name,
+                                 const Labels& labels = {}) const;
   const HistogramSnapshot* FindHistogram(std::string_view name,
                                          const Labels& labels = {}) const;
 

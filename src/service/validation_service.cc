@@ -47,12 +47,17 @@ ValidationService::ValidationService(const Options& options)
   queue_wait_us_ = metrics_.histogram("xmlreval_batch_queue_wait_us");
   batch_service_us_ = metrics_.histogram("xmlreval_batch_service_us");
   batch_inflight_ = metrics_.gauge("xmlreval_batch_inflight");
+  batch_queue_depth_ = metrics_.gauge("xmlreval_executor_queue_depth",
+                                      {{"executor", "batch"}});
+  intra_queue_depth_ = metrics_.gauge("xmlreval_executor_queue_depth",
+                                      {{"executor", "intra_doc"}});
 }
 
 ValidationService::~ValidationService() {
-  // Drain in-flight batch work before members are destroyed.
-  std::lock_guard lock(pool_mutex_);
-  if (pool_) pool_->Shutdown();
+  // Drain in-flight work before members are destroyed.
+  std::lock_guard lock(executors_mutex_);
+  if (batch_executor_) batch_executor_->Shutdown();
+  if (intra_executor_) intra_executor_->Shutdown();
 }
 
 Result<core::ValidationReport> ValidationService::Record(
@@ -152,6 +157,19 @@ Result<core::ValidationReport> ValidationService::Cast(
             source_report.violation + "); the cast precondition fails");
       }
     }
+    // Large documents fan their subtrees out over the intra-doc executor;
+    // below the threshold (or with the feature off) the serial engine
+    // wins — spawn overhead would swamp a small walk. Either engine
+    // returns the same report on the same input.
+    if (options_.intra_doc_threads > 0 &&
+        doc.NodeCount() >= options_.intra_doc_min_nodes) {
+      core::ParallelCastValidator::Options parallel_options;
+      parallel_options.cast = options_.cast;
+      parallel_options.spawn_threshold = options_.intra_doc_spawn_threshold;
+      return core::ParallelCastValidator(relations.get(), &IntraExecutor(),
+                                         parallel_options)
+          .Validate(doc);
+    }
     return core::CastValidator(relations.get(), options_.cast).Validate(doc);
   };
   return Record(run(), cast_op_, start, PairLatency(source, target));
@@ -171,15 +189,34 @@ Result<core::ValidationReport> ValidationService::CastWithMods(
   return Record(run(), cast_with_mods_op_, start, PairLatency(source, target));
 }
 
-ThreadPool& ValidationService::Pool() {
-  std::lock_guard lock(pool_mutex_);
-  if (!pool_) {
-    ThreadPool::Options options;
+common::Executor& ValidationService::BatchExecutor() {
+  std::lock_guard lock(executors_mutex_);
+  if (!batch_executor_) {
+    common::Executor::Options options;
     options.threads = options_.batch_threads;
     options.queue_capacity = options_.batch_queue_capacity;
-    pool_ = std::make_unique<ThreadPool>(options);
+    options.depth_hook = [gauge = batch_queue_depth_](int64_t delta) {
+      gauge->Add(delta);
+    };
+    batch_executor_ = std::make_unique<common::Executor>(options);
   }
-  return *pool_;
+  return *batch_executor_;
+}
+
+common::Executor& ValidationService::IntraExecutor() {
+  std::lock_guard lock(executors_mutex_);
+  if (!intra_executor_) {
+    common::Executor::Options options;
+    options.threads = options_.intra_doc_threads;
+    // Donated subtree tasks come from worker threads (own deques); the
+    // injection queue only ever carries each document's root task.
+    options.queue_capacity = 64;
+    options.depth_hook = [gauge = intra_queue_depth_](int64_t delta) {
+      gauge->Add(delta);
+    };
+    intra_executor_ = std::make_unique<common::Executor>(options);
+  }
+  return *intra_executor_;
 }
 
 ValidationService::BatchItemResult ValidationService::ProcessItem(
@@ -251,7 +288,7 @@ ValidationService::SubmitBatch(std::vector<BatchItem> items) {
     return future;
   }
 
-  ThreadPool& pool = Pool();
+  common::Executor& pool = BatchExecutor();
   for (size_t i = 0; i < state->items.size(); ++i) {
     // Trace-epoch timestamp doubles as the queue-wait baseline, so the
     // histogram sample and the "queue.wait" trace event agree exactly.

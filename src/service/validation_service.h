@@ -15,9 +15,12 @@
 // registry's reader/writer lock serializes against the alphabet reads.
 //
 // SubmitBatch is the throughput path: text-in/verdict-out items fanned out
-// over a fixed-size thread pool behind a bounded MPMC queue (backpressure,
-// not unbounded buffering), returning a future of per-item results in
-// input order.
+// over a fixed-size work-stealing executor behind a bounded injection
+// queue (backpressure, not unbounded buffering), returning a future of
+// per-item results in input order. Orthogonally, Options::intra_doc_threads
+// routes single large casts through ParallelCastValidator on a second
+// executor — latency for one big document instead of throughput across
+// many (the two compose: a batch of large documents uses both).
 //
 // Observability: every service owns a private obs::MetricsRegistry
 // (metrics()) so instances — and tests — never share counters. Published
@@ -32,6 +35,7 @@
 //   xmlreval_batch_queue_wait_us           enqueue → worker pickup
 //   xmlreval_batch_service_us              worker parse+bind+validate
 //   xmlreval_batch_inflight                items currently in the pipeline
+//   xmlreval_executor_queue_depth{executor} tasks queued, batch / intra_doc
 //   xmlreval_{nodes_visited,dfa_steps,subtrees_skipped}_total
 //
 // plus the RelationsCache's metrics (same registry). Counter updates for
@@ -56,15 +60,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/result.h"
 #include "core/cast_validator.h"
 #include "core/full_validator.h"
 #include "core/mod_validator.h"
+#include "core/parallel_cast_validator.h"
 #include "core/report.h"
 #include "obs/metrics.h"
 #include "service/relations_cache.h"
 #include "service/schema_registry.h"
-#include "service/thread_pool.h"
 #include "xml/editor.h"
 #include "xml/tree.h"
 
@@ -76,10 +81,20 @@ class ValidationService {
     RelationsCache::Options cache;
     core::CastValidator::Options cast;
     core::ModValidator::Options mods;
-    /// Batch pipeline sizing; the pool is created lazily on the first
+    /// Batch pipeline sizing; the executor is created lazily on the first
     /// SubmitBatch. threads == 0 means hardware concurrency.
     size_t batch_threads = 0;
     size_t batch_queue_capacity = 256;
+    /// Intra-document parallelism for Cast: 0 disables it (every cast runs
+    /// the serial engine); N > 0 creates a lazily-started N-worker
+    /// executor and routes casts of documents with at least
+    /// `intra_doc_min_nodes` nodes through ParallelCastValidator. Small
+    /// documents stay serial — fan-out overhead would swamp them.
+    size_t intra_doc_threads = 0;
+    size_t intra_doc_min_nodes = 4096;
+    /// Frontier size at which a cast task donates half its pending work
+    /// (ParallelCastValidator::Options::spawn_threshold).
+    size_t intra_doc_spawn_threshold = 64;
     /// Enforce the §3.2 precondition on Cast: full-validate against the
     /// SOURCE schema first; a source-invalid document fails with
     /// kFailedPrecondition instead of an arbitrary verdict. Off by default
@@ -198,7 +213,12 @@ class ValidationService {
   /// Latency histogram for an (S, S') pair, labeled "key.vN->key.vM";
   /// created on first use, cached thereafter.
   obs::Histogram* PairLatency(SchemaHandle source, SchemaHandle target);
-  ThreadPool& Pool();  // lazy init
+  /// Lazily-started executors. The batch executor fans SubmitBatch items
+  /// out across documents; the intra-doc executor fans ONE document's cast
+  /// across subtrees. They are separate pools so a saturated batch can
+  /// never starve intra-document tasks into a deadlock (and vice versa).
+  common::Executor& BatchExecutor();
+  common::Executor& IntraExecutor();
 
   Options options_;
   // Declared before cache_: the cache publishes into this registry.
@@ -206,8 +226,9 @@ class ValidationService {
   SchemaRegistry registry_;
   RelationsCache cache_;
 
-  std::mutex pool_mutex_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::mutex executors_mutex_;
+  std::unique_ptr<common::Executor> batch_executor_;
+  std::unique_ptr<common::Executor> intra_executor_;
 
   // Writers (Record / RecordRejected) hold the shared side across a
   // request's counter updates; counters() takes the exclusive side, so
@@ -230,6 +251,10 @@ class ValidationService {
   obs::Histogram* queue_wait_us_;
   obs::Histogram* batch_service_us_;
   obs::Gauge* batch_inflight_;
+  // Mirrors Executor::QueueDepth via the executors' depth hooks, labeled
+  // {executor="batch"|"intra_doc"}.
+  obs::Gauge* batch_queue_depth_;
+  obs::Gauge* intra_queue_depth_;
 
   mutable std::shared_mutex pair_mutex_;
   std::unordered_map<uint64_t, obs::Histogram*> pair_latency_;

@@ -20,6 +20,23 @@ DeweyPath DeweyPath::Of(const Document& doc, NodeId node) {
   return DeweyPath(std::move(components));
 }
 
+DeweyPath DeweyPath::Relative(const Document& doc, NodeId node,
+                              NodeId ancestor) {
+  std::vector<uint32_t> components;
+  NodeId current = node;
+  while (current != ancestor && doc.parent(current) != kInvalidNode) {
+    uint32_t ordinal = 0;
+    for (NodeId s = doc.prev_sibling(current); s != kInvalidNode;
+         s = doc.prev_sibling(s)) {
+      ++ordinal;
+    }
+    components.push_back(ordinal);
+    current = doc.parent(current);
+  }
+  std::reverse(components.begin(), components.end());
+  return DeweyPath(std::move(components));
+}
+
 DeweyPath DeweyPath::Child(uint32_t ordinal) const {
   std::vector<uint32_t> components = components_;
   components.push_back(ordinal);

@@ -29,6 +29,13 @@ class DeweyPath {
   /// validation paths where the path is maintained incrementally).
   static DeweyPath Of(const Document& doc, NodeId node);
 
+  /// Path of `node` RELATIVE to `ancestor` (Relative(doc, n, n) is ε).
+  /// `ancestor` must lie on `node`'s parent chain; used by subtree
+  /// validators whose reports are rebased by the caller. Same cost model
+  /// as Of — only computed on failure paths.
+  static DeweyPath Relative(const Document& doc, NodeId node,
+                            NodeId ancestor);
+
   const std::vector<uint32_t>& components() const { return components_; }
   size_t depth() const { return components_.size(); }
   bool IsRoot() const { return components_.empty(); }

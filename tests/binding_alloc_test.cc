@@ -1,11 +1,11 @@
 // Allocation discipline of the bound validation hot loop.
 //
 // Replaces global operator new/delete with counting versions and checks
-// that cast-validating a BOUND document performs no per-node heap
-// allocations: the allocation count for a large document equals the count
-// for a small one (what remains is O(depth) bookkeeping — the Dewey path
-// vector — and is identical for both purchase orders, whose depth does
-// not depend on the item count).
+// that cast-validating a BOUND document with a warmed CastScratch performs
+// ZERO heap allocations: the explicit frontier and the multi-chunk
+// simple-value buffer both live in caller-owned scratch whose capacity
+// survives across runs, and the single-text-child fast path validates a
+// string_view straight out of the document without materializing anything.
 
 #include <gtest/gtest.h>
 
@@ -74,41 +74,79 @@ Fixture MakeFixture() {
 }
 
 size_t AllocsDuringValidate(const core::CastValidator& validator,
-                            const xml::Document& doc) {
-  // One warm-up run, then count.
-  core::ValidationReport warm = validator.Validate(doc);
+                            const xml::Document& doc,
+                            core::CastScratch* scratch = nullptr) {
+  // One warm-up run (grows scratch capacity if provided), then count.
+  core::ValidationReport warm =
+      scratch ? validator.Validate(doc, scratch) : validator.Validate(doc);
   EXPECT_TRUE(warm.valid) << warm.violation;
   g_allocs.store(0, std::memory_order_relaxed);
   g_counting.store(true, std::memory_order_relaxed);
-  core::ValidationReport report = validator.Validate(doc);
+  core::ValidationReport report =
+      scratch ? validator.Validate(doc, scratch) : validator.Validate(doc);
   g_counting.store(false, std::memory_order_relaxed);
   EXPECT_TRUE(report.valid) << report.violation;
   return g_allocs.load(std::memory_order_relaxed);
 }
 
-TEST(BindingAllocTest, BoundCastValidationDoesNotAllocatePerNode) {
+TEST(BindingAllocTest, BoundCastValidationWithScratchIsZeroAllocation) {
   Fixture f = MakeFixture();
   core::CastValidator validator(f.relations.get());
 
-  workload::PoGeneratorOptions small_opts;
-  small_opts.item_count = 50;
-  xml::Document small_doc = workload::GeneratePurchaseOrder(small_opts);
-  ASSERT_OK(small_doc.Bind(f.alphabet));
+  for (size_t item_count : {size_t{50}, size_t{1000}}) {
+    workload::PoGeneratorOptions opts;
+    opts.item_count = item_count;
+    xml::Document doc = workload::GeneratePurchaseOrder(opts);
+    ASSERT_OK(doc.Bind(f.alphabet));
 
-  workload::PoGeneratorOptions big_opts;
-  big_opts.item_count = 1000;
-  xml::Document big_doc = workload::GeneratePurchaseOrder(big_opts);
-  ASSERT_OK(big_doc.Bind(f.alphabet));
+    core::CastScratch scratch;
+    size_t allocs = AllocsDuringValidate(validator, doc, &scratch);
+    EXPECT_EQ(allocs, 0u)
+        << "bound hot loop allocated with warmed scratch (item_count="
+        << item_count << ")";
+  }
+}
 
-  size_t small_allocs = AllocsDuringValidate(validator, small_doc);
-  size_t big_allocs = AllocsDuringValidate(validator, big_doc);
+// A simple value split across several text nodes cannot use the
+// string_view fast path; it is assembled into the scratch's reusable
+// buffer instead — still zero allocations once the buffer holds capacity.
+TEST(BindingAllocTest, MultiChunkSimpleValueReusesScratchBuffer) {
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  auto src = schema::ParseXsd(R"(
+    <schema><element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="integer"/>
+      </sequence></complexType></schema>)",
+                              alphabet);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  auto tgt = schema::ParseXsd(R"(
+    <schema><element name="r" type="R"/>
+      <complexType name="R"><sequence>
+        <element name="v" type="positiveInteger"/>
+      </sequence></complexType></schema>)",
+                              alphabet);
+  ASSERT_TRUE(tgt.ok()) << tgt.status().ToString();
+  schema::Schema source = std::move(src).value();
+  schema::Schema target = std::move(tgt).value();
+  auto relations = core::TypeRelations::Compute(&source, &target);
+  ASSERT_TRUE(relations.ok()) << relations.status().ToString();
+  core::CastValidator validator(&*relations);
 
-  // 20x the nodes, same allocation count: nothing in the bound hot loop
-  // allocates per node. (Both runs pay the same O(depth) path-vector
-  // growth; purchase-order depth is independent of the item count.)
-  EXPECT_EQ(big_allocs, small_allocs)
-      << "bound hot loop allocated per node: " << small_allocs << " vs "
-      << big_allocs;
+  // <v> holds TWO text chunks ("4" + "2" = value "42") — only reachable
+  // through the tree API; the parser coalesces adjacent text.
+  xml::Document doc;
+  xml::NodeId r = doc.CreateElement("r");
+  xml::NodeId v = doc.CreateElement("v");
+  ASSERT_OK(doc.SetRoot(r));
+  ASSERT_OK(doc.AppendChild(r, v));
+  ASSERT_OK(doc.AppendChild(v, doc.CreateText("4")));
+  ASSERT_OK(doc.AppendChild(v, doc.CreateText("2")));
+  ASSERT_OK(doc.Bind(alphabet));
+
+  core::CastScratch scratch;
+  size_t allocs = AllocsDuringValidate(validator, doc, &scratch);
+  EXPECT_EQ(allocs, 0u)
+      << "multi-chunk simple value allocated despite warmed scratch";
 }
 
 // The observability layer must not change the hot loop's allocation

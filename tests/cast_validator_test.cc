@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "core/full_validator.h"
+#include "obs/trace.h"
 #include "schema/dtd_parser.h"
 #include "schema/xsd_parser.h"
 #include "tests/test_util.h"
@@ -208,6 +211,68 @@ TEST_P(CastAgreement, CastEqualsFullOnSampledDocuments) {
 INSTANTIATE_TEST_SUITE_P(
     SchemaPairs, CastAgreement,
     ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 4)));
+
+// Reusing one CastScratch across documents — including across a failing
+// run, which must leave the scratch clean — changes nothing about the
+// reports.
+TEST(CastValidatorTest, ScratchReuseMatchesPlainValidate) {
+  DtdPair p;
+  p.Load("<!ELEMENT r (a*, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+         "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>");
+  CastValidator cast(p.relations.get());
+  CastScratch scratch;
+  for (const char* text : {"<r><a>1</a><a>2</a></r>", "<r><a>1</a><b/></r>",
+                           "<r/>", "<r><b/></r>"}) {
+    auto doc = xml::ParseXml(text);
+    ASSERT_TRUE(doc.ok());
+    ValidationReport plain = cast.Validate(*doc);
+    ValidationReport reused = cast.Validate(*doc, &scratch);
+    EXPECT_EQ(plain.valid, reused.valid) << text;
+    EXPECT_EQ(plain.violation, reused.violation) << text;
+    EXPECT_EQ(plain.violation_path.ToString(),
+              reused.violation_path.ToString())
+        << text;
+    EXPECT_EQ(plain.counters.nodes_visited, reused.counters.nodes_visited)
+        << text;
+    EXPECT_EQ(plain.counters.dfa_steps, reused.counters.dfa_steps) << text;
+  }
+}
+
+// ValidateSubtree is the ModValidator's workhorse; it now carries its own
+// trace span so per-subtree work shows up in Chrome traces.
+TEST(CastValidatorTest, ValidateSubtreeEmitsSubtreeSpan) {
+#ifdef XMLREVAL_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out";
+#endif
+  DtdPair p;
+  p.Load("<!ELEMENT r (a*, b?)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>",
+         "<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>");
+  auto doc = xml::ParseXml("<r><a>1</a></r>");
+  ASSERT_TRUE(doc.ok());
+  auto sym = p.alphabet->Find("r");
+  ASSERT_TRUE(sym.has_value());
+  TypeId s_root = p.source->RootType(*sym);
+  TypeId t_root = p.target->RootType(*sym);
+  ASSERT_NE(s_root, schema::kInvalidType);
+  ASSERT_NE(t_root, schema::kInvalidType);
+
+  CastValidator cast(p.relations.get());
+  obs::TraceSink::Global().Clear();
+  obs::SetTraceEnabled(true);
+  ValidationReport r =
+      cast.ValidateSubtree(*doc, doc->root(), s_root, t_root);
+  obs::SetTraceEnabled(false);
+  EXPECT_TRUE(r.valid) << r.violation;
+
+  bool saw_subtree_span = false;
+  for (const auto& event : obs::TraceSink::Global().Events()) {
+    if (std::string_view(event.name) == "cast.subtree") {
+      saw_subtree_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_subtree_span);
+  obs::TraceSink::Global().Clear();
+}
 
 }  // namespace
 }  // namespace xmlreval::core

@@ -9,12 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "core/cast_validator.h"
 #include "core/full_validator.h"
 #include "core/relations.h"
 #include "obs/metrics.h"
-#include "service/bounded_queue.h"
-#include "service/thread_pool.h"
 #include "xml/editor.h"
 #include "xml/parser.h"
 
@@ -129,7 +128,7 @@ TEST(SchemaRegistryTest, CrossSchemaRelationsWork) {
 // ------------------------------------------------------------ primitives
 
 TEST(BoundedQueueTest, FifoAndClose) {
-  BoundedQueue<int> queue(4);
+  common::BoundedQueue<int> queue(4);
   EXPECT_TRUE(queue.Push(1));
   EXPECT_TRUE(queue.Push(2));
   EXPECT_EQ(queue.size(), 2u);
@@ -144,7 +143,7 @@ TEST(BoundedQueueTest, FifoAndClose) {
 }
 
 TEST(BoundedQueueTest, TryPushRespectsCapacity) {
-  BoundedQueue<int> queue(2);
+  common::BoundedQueue<int> queue(2);
   EXPECT_TRUE(queue.TryPush(1));
   EXPECT_TRUE(queue.TryPush(2));
   EXPECT_FALSE(queue.TryPush(3));  // full, non-blocking refusal
@@ -153,7 +152,7 @@ TEST(BoundedQueueTest, TryPushRespectsCapacity) {
 }
 
 TEST(BoundedQueueTest, PushBlocksUntilSpace) {
-  BoundedQueue<int> queue(1);
+  common::BoundedQueue<int> queue(1);
   ASSERT_TRUE(queue.Push(1));
   std::atomic<bool> pushed{false};
   std::thread producer([&] {
@@ -167,20 +166,8 @@ TEST(BoundedQueueTest, PushBlocksUntilSpace) {
   EXPECT_EQ(queue.Pop(), 2);
 }
 
-TEST(ThreadPoolTest, RunsAllTasksAndDrainsOnShutdown) {
-  std::atomic<int> ran{0};
-  {
-    ThreadPool::Options options;
-    options.threads = 4;
-    options.queue_capacity = 8;
-    ThreadPool pool(options);
-    EXPECT_EQ(pool.thread_count(), 4u);
-    for (int i = 0; i < 100; ++i) {
-      EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
-    }
-  }  // destructor drains + joins
-  EXPECT_EQ(ran.load(), 100);
-}
+// The work-stealing Executor behind SubmitBatch has its own suite in
+// executor_test.cc.
 
 // --------------------------------------------------------------- service
 
@@ -345,6 +332,57 @@ TEST_F(ValidationServiceTest, BatchReturnsPerItemResultsInOrder) {
   EXPECT_EQ(counters.full_validations, 1u);
 }
 
+// Options::intra_doc_threads routes large casts through the parallel
+// subtree engine; the report must be bit-identical to the serial one.
+TEST_F(ValidationServiceTest, IntraDocParallelCastMatchesSerial) {
+  constexpr const char* kWideDtd = R"(
+<!ELEMENT r (a*, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+)";
+  constexpr const char* kNarrowDtd = R"(
+<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+)";
+  schema::DtdParseOptions roots;
+  roots.roots = {"r"};
+
+  ValidationService::Options options;
+  options.intra_doc_threads = 2;
+  options.intra_doc_min_nodes = 16;
+  options.intra_doc_spawn_threshold = 8;
+  ValidationService parallel_service(options);
+  auto source =
+      parallel_service.registry().RegisterDtd("wide", kWideDtd, roots);
+  auto target =
+      parallel_service.registry().RegisterDtd("narrow", kNarrowDtd, roots);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+
+  std::string text = "<r>";
+  for (int i = 0; i < 400; ++i) text += "<a>x</a>";
+  text += "</r>";
+  auto doc = xml::ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+
+  auto relations = core::TypeRelations::Compute(
+      parallel_service.registry().schema(*source).get(),
+      parallel_service.registry().schema(*target).get());
+  ASSERT_TRUE(relations.ok());
+  core::ValidationReport serial = core::CastValidator(&*relations).Validate(*doc);
+
+  auto via_service = parallel_service.Cast(*source, *target, *doc);
+  ASSERT_TRUE(via_service.ok()) << via_service.status();
+  EXPECT_EQ(via_service->valid, serial.valid);
+  EXPECT_EQ(via_service->violation, serial.violation);
+  EXPECT_EQ(via_service->counters.nodes_visited,
+            serial.counters.nodes_visited);
+  EXPECT_EQ(via_service->counters.dfa_steps, serial.counters.dfa_steps);
+  EXPECT_EQ(via_service->counters.subtrees_skipped,
+            serial.counters.subtrees_skipped);
+}
+
 TEST_F(ValidationServiceTest, EmptyBatchResolvesImmediately) {
   auto results = service_.SubmitBatch({}).get();
   EXPECT_TRUE(results.empty());
@@ -450,9 +488,18 @@ TEST_F(ValidationServiceTest, MetricsReconcileWithRequestCounters) {
       snapshot.FindCounter("xmlreval_relations_cache_computations_total")
           ->value,
       1u);
-  // Batch gauge settled back to zero.
-  ASSERT_EQ(snapshot.gauges.size(), 1u);
-  EXPECT_EQ(snapshot.gauges[0].value, 0);
+  // Batch inflight gauge and both executor queue-depth gauges settled
+  // back to zero once the batch drained.
+  const obs::GaugeSnapshot* inflight =
+      snapshot.FindGauge("xmlreval_batch_inflight");
+  ASSERT_NE(inflight, nullptr);
+  EXPECT_EQ(inflight->value, 0);
+  for (const char* executor : {"batch", "intra_doc"}) {
+    const obs::GaugeSnapshot* depth = snapshot.FindGauge(
+        "xmlreval_executor_queue_depth", {{"executor", executor}});
+    ASSERT_NE(depth, nullptr) << executor;
+    EXPECT_EQ(depth->value, 0) << executor;
+  }
 }
 
 // PR 1's counters() read one atomic at a time, so a snapshot taken during

@@ -59,8 +59,10 @@ int Usage() {
                "  xmlreval export    <schema>\n"
                "  xmlreval serve-batch <source> <target> <doc.xml...>"
                " [--threads N] [--repeat N]\n"
-               "                       [--metrics-out F] [--metrics-interval"
-               " S] [--trace-out F]\n"
+               "                       [--intra-doc-threads N]"
+               " [--metrics-out F]\n"
+               "                       [--metrics-interval S]"
+               " [--trace-out F]\n"
                "  xmlreval stats <metrics.json>\n"
                "\nschemas ending in .dtd use the DTD front end; everything\n"
                "else is parsed as XML Schema.\n"
@@ -68,6 +70,9 @@ int Usage() {
                "thread pool (--threads, default: hardware concurrency) and\n"
                "casts each from <source> to <target>; --repeat N queues\n"
                "every document N times (throughput runs).\n"
+               "--intra-doc-threads N additionally fans EACH large\n"
+               "document's cast out over N workers (work-stealing subtree\n"
+               "parallelism; 0 = off, the default).\n"
                "--metrics-out dumps the service metrics snapshot on exit\n"
                "(*.json = JSON, anything else = Prometheus text); SIGUSR1\n"
                "or --metrics-interval S rewrite it while serving. \n"
@@ -357,6 +362,7 @@ bool WriteMetricsFile(const service::ValidationService& service,
 int CmdServeBatch(int argc, char** argv) {
   std::vector<std::string> positional;
   size_t threads = 0;
+  size_t intra_doc_threads = 0;
   size_t repeat = 1;
   size_t metrics_interval = 0;  // seconds; 0 = only on signal/exit
   std::string metrics_out;
@@ -364,6 +370,9 @@ int CmdServeBatch(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--intra-doc-threads") == 0 &&
+               i + 1 < argc) {
+      intra_doc_threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -384,6 +393,7 @@ int CmdServeBatch(int argc, char** argv) {
 
   service::ValidationService::Options options;
   options.batch_threads = threads;
+  options.intra_doc_threads = intra_doc_threads;
   service::ValidationService service(options);
 
   // Periodic / signal-driven metrics exposition while the batch runs.
