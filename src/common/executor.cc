@@ -119,19 +119,27 @@ void Executor::WorkerLoop(size_t index) {
     }
     Task task;
     bool stolen = false;
-    if (TryAcquire(index, &task, &stolen)) {
+    bool acquired = TryAcquire(index, &task, &stolen);
+    if (!acquired && stop_.load(std::memory_order_acquire)) {
+      // The empty scan above may have raced with an external Submit whose
+      // Push was accepted just before Close(): scan sees nothing, the Push
+      // lands, Close returns, stop_ is set. The acquire-load of stop_
+      // synchronizes with the release-store that follows Close, and the
+      // Push happened-before Close (queue mutex), so one post-stop rescan
+      // is guaranteed to see any pre-Close push. Exit only when that
+      // rescan also finds nothing: remaining work can then only be spawned
+      // by tasks still running on OTHER workers, and those workers drain
+      // their own spawns before exiting.
+      acquired = TryAcquire(index, &task, &stolen);
+      if (!acquired) return;
+    }
+    if (acquired) {
       OnPicked();
       executed_.fetch_add(1, std::memory_order_relaxed);
       if (stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
       task();
       task = nullptr;  // release captures before the next scan
       continue;
-    }
-    if (stop_.load(std::memory_order_acquire)) {
-      // Full scan found nothing after stop: any remaining work can only be
-      // spawned by tasks still running on OTHER workers, and those workers
-      // drain their own spawns before exiting. Safe to leave.
-      return;
     }
     idle_workers_.fetch_add(1, std::memory_order_relaxed);
     {

@@ -54,10 +54,21 @@ ValidationService::ValidationService(const Options& options)
 }
 
 ValidationService::~ValidationService() {
-  // Drain in-flight work before members are destroyed.
-  std::lock_guard lock(executors_mutex_);
-  if (batch_executor_) batch_executor_->Shutdown();
-  if (intra_executor_) intra_executor_->Shutdown();
+  // Drain in-flight work before members are destroyed, WITHOUT holding
+  // executors_mutex_: a draining batch worker may still call
+  // IntraExecutor() (large-document cast), and blocking it on a mutex the
+  // joining thread holds would deadlock the join. Batch first — only once
+  // its workers have exited is the intra pointer final (a worker may
+  // create the intra executor mid-drain; its release-store is paired with
+  // the acquire-load below).
+  if (common::Executor* batch =
+          batch_executor_ptr_.load(std::memory_order_acquire)) {
+    batch->Shutdown();
+  }
+  if (common::Executor* intra =
+          intra_executor_ptr_.load(std::memory_order_acquire)) {
+    intra->Shutdown();
+  }
 }
 
 Result<core::ValidationReport> ValidationService::Record(
@@ -190,6 +201,12 @@ Result<core::ValidationReport> ValidationService::CastWithMods(
 }
 
 common::Executor& ValidationService::BatchExecutor() {
+  // Double-checked: lock-free after first init (see header comment on
+  // executors_mutex_).
+  if (common::Executor* existing =
+          batch_executor_ptr_.load(std::memory_order_acquire)) {
+    return *existing;
+  }
   std::lock_guard lock(executors_mutex_);
   if (!batch_executor_) {
     common::Executor::Options options;
@@ -199,11 +216,17 @@ common::Executor& ValidationService::BatchExecutor() {
       gauge->Add(delta);
     };
     batch_executor_ = std::make_unique<common::Executor>(options);
+    batch_executor_ptr_.store(batch_executor_.get(),
+                              std::memory_order_release);
   }
   return *batch_executor_;
 }
 
 common::Executor& ValidationService::IntraExecutor() {
+  if (common::Executor* existing =
+          intra_executor_ptr_.load(std::memory_order_acquire)) {
+    return *existing;
+  }
   std::lock_guard lock(executors_mutex_);
   if (!intra_executor_) {
     common::Executor::Options options;
@@ -215,6 +238,8 @@ common::Executor& ValidationService::IntraExecutor() {
       gauge->Add(delta);
     };
     intra_executor_ = std::make_unique<common::Executor>(options);
+    intra_executor_ptr_.store(intra_executor_.get(),
+                              std::memory_order_release);
   }
   return *intra_executor_;
 }

@@ -226,9 +226,17 @@ class ValidationService {
   SchemaRegistry registry_;
   RelationsCache cache_;
 
+  // executors_mutex_ serializes lazy creation ONLY. After an executor is
+  // built its raw pointer is published through the atomic, and every later
+  // access (including batch workers reaching IntraExecutor() per cast)
+  // goes through the lock-free load. The destructor never takes this
+  // mutex: holding it across Shutdown() would deadlock with a draining
+  // batch worker blocked in IntraExecutor() on the same lock.
   std::mutex executors_mutex_;
   std::unique_ptr<common::Executor> batch_executor_;
   std::unique_ptr<common::Executor> intra_executor_;
+  std::atomic<common::Executor*> batch_executor_ptr_{nullptr};
+  std::atomic<common::Executor*> intra_executor_ptr_{nullptr};
 
   // Writers (Record / RecordRejected) hold the shared side across a
   // request's counter updates; counters() takes the exclusive side, so

@@ -29,6 +29,31 @@ TEST(ExecutorTest, RunsAllTasksAndDrainsOnShutdown) {
   EXPECT_EQ(ran.load(), 100);
 }
 
+// Regression: a Push accepted just before Shutdown's Close() must run even
+// when every worker's scan raced ahead of it. Workers used to exit on the
+// first empty scan that observed stop_, dropping such a task (and hanging
+// any caller waiting on its completion). Hammer the Submit/Shutdown race
+// and check accepted == executed every round.
+TEST(ExecutorTest, SubmitRacingShutdownNeverDropsAcceptedTask) {
+  for (int round = 0; round < 50; ++round) {
+    Executor::Options options;
+    options.threads = 2;
+    options.queue_capacity = 4;
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    Executor executor(options);
+    std::thread submitter([&] {
+      while (executor.Submit([&] { executed.fetch_add(1); })) {
+        accepted.fetch_add(1);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 5)));
+    executor.Shutdown();
+    submitter.join();
+    EXPECT_EQ(accepted.load(), executed.load()) << "round " << round;
+  }
+}
+
 TEST(ExecutorTest, SubmitRefusedAfterShutdown) {
   Executor executor(Executor::Options{.threads = 2});
   executor.Shutdown();

@@ -383,6 +383,35 @@ TEST_F(ValidationServiceTest, IntraDocParallelCastMatchesSerial) {
             serial.counters.subtrees_skipped);
 }
 
+// Regression: destroying the service while large-document batch casts are
+// in flight must not deadlock. Each draining batch worker's Cast reaches
+// IntraExecutor(); the old destructor held executors_mutex_ across the
+// batch join while the worker blocked on that same mutex.
+TEST(ValidationServiceTeardownTest, InflightIntraDocCastDoesNotHang) {
+  for (int round = 0; round < 8; ++round) {
+    ValidationService::Options options;
+    options.batch_threads = 2;
+    options.intra_doc_threads = 2;
+    options.intra_doc_min_nodes = 1;  // every cast takes the parallel path
+    ValidationService service(options);
+    auto v1 = service.registry().RegisterDtd("note", kV1Dtd, NoteOptions());
+    auto v2 = service.registry().RegisterDtd("note", kV2Dtd, NoteOptions());
+    ASSERT_TRUE(v1.ok());
+    ASSERT_TRUE(v2.ok());
+
+    std::vector<ValidationService::BatchItem> items(8);
+    for (auto& item : items) {
+      item.op = ValidationService::BatchOp::kCast;
+      item.source = *v1;
+      item.target = *v2;
+      item.xml_text = kFullNote;
+    }
+    service.SubmitBatch(std::move(items));
+    // Destroy with the batch still in flight: the destructor must drain
+    // (fulfilling the future) without deadlocking on executor creation.
+  }
+}
+
 TEST_F(ValidationServiceTest, EmptyBatchResolvesImmediately) {
   auto results = service_.SubmitBatch({}).get();
   EXPECT_TRUE(results.empty());
