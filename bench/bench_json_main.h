@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -67,7 +68,15 @@ inline int RunBenchmarksToJson(const char* bench_name, int argc, char** argv) {
   JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   std::string path = std::string("BENCH_") + bench_name + ".json";
-  WriteBenchJson(path.c_str(), bench_name, reporter.metrics());
+  // Every artifact records the cores the run actually had: speedup
+  // assertions downstream (perf-smoke) are meaningless on starved
+  // containers and gate on this field.
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("hardware_concurrency",
+                       double(std::thread::hardware_concurrency()));
+  metrics.insert(metrics.end(), reporter.metrics().begin(),
+                 reporter.metrics().end());
+  WriteBenchJson(path.c_str(), bench_name, metrics);
   benchmark::Shutdown();
   return 0;
 }

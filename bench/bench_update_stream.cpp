@@ -1,0 +1,336 @@
+// Static update-safety analysis: edit-stream short-circuit rate and cost.
+//
+// A star-schema feed (feed → (entry|note)*) takes randomized 16-op edit
+// streams in three flavors of label pool: in-schema labels the analyzer
+// decides statically (safe renames between indistinguishable symbols,
+// neutral inserts/deletes, value-scoped text edits — plus fatal inserts
+// under simple content), and out-of-schema "wild" labels it cannot. Each
+// script replays three ways on fresh parses of the same document (node
+// ids are deterministic per parse):
+//
+//   * apply    — plain editor, no validation: the floor every validation
+//                cost is measured against
+//   * modval   — plain editor + ModValidator over the sealed Δ-index:
+//                what CastWithMods does on every stream today
+//   * analyzed — StreamSession classification; decided streams commit
+//                with ZERO tree work, undecided ones fall back to modval
+//
+// Reported (BENCH_update_stream.json): % of ops short-circuited, ns/op
+// for each path, and the validation-only speedup on the short-circuited
+// fraction ((modval − apply) / (analyzed − apply) over decided streams).
+// Every analyzed verdict is cross-checked against modval ground truth —
+// a disagreement aborts the bench.
+//
+// A final pass replays every stream through
+// ValidationService::SubmitEditStream and dumps the service metrics
+// (--metrics-out) so CI can reconcile the obs counters against the
+// locally-counted verdicts. --short shrinks the grid for smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/stream_session.h"
+#include "analysis/update_analyzer.h"
+#include "bench/bench_util.h"
+#include "core/mod_validator.h"
+#include "service/validation_service.h"
+#include "workload/update_workload.h"
+#include "xml/editor.h"
+#include "xml/parser.h"
+#include "xml/tree.h"
+
+namespace {
+
+using namespace xmlreval;
+
+// feed's content model is a star: entry/note are neutral symbols (every
+// reachable DFA state loops on them) and mutually indistinguishable, so
+// renames/inserts/deletes among them are statically safe. meta is
+// declared but unreferenced: inserting it under feed is doomed → fatal.
+constexpr char kStarDtd[] =
+    "<!ELEMENT feed ((entry|note)*)>\n"
+    "<!ELEMENT entry (#PCDATA)>\n"
+    "<!ELEMENT note (#PCDATA)>\n"
+    "<!ELEMENT meta (title)>\n"
+    "<!ELEMENT title (#PCDATA)>\n";
+
+std::string MakeFeedXml(size_t children) {
+  std::string xml = "<feed>";
+  for (size_t i = 0; i < children; ++i) {
+    xml += (i % 3 != 0) ? "<entry>42</entry>" : "<note>n</note>";
+  }
+  xml += "</feed>";
+  return xml;
+}
+
+double Now() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Script {
+  std::vector<xml::EditOp> ops;
+  bool decided = false;  // filled by the analyzed pass
+  bool valid = false;    // modval ground truth
+};
+
+[[noreturn]] void Die(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_update_stream [--short] [--metrics-out F]\n");
+      return 2;
+    }
+  }
+
+  const size_t kChildren = short_mode ? 512 : 3072;
+  const size_t kStreams = short_mode ? 16 : 48;
+  const size_t kOpsPerStream = 16;
+  const size_t kWarmups = short_mode ? 1 : 2;
+  const size_t kRuns = short_mode ? 3 : 7;  // odd: median is a real sample
+
+  service::ValidationService service;
+  auto source = service.registry().RegisterDtd("star", kStarDtd);
+  auto target = service.registry().RegisterDtd("star", kStarDtd);
+  if (!source.ok()) Die(source.status(), "register source");
+  if (!target.ok()) Die(target.status(), "register target");
+  auto relations = service.cache().Get(*source, *target);
+  if (!relations.ok()) Die(relations.status(), "relations");
+  auto analyzer = service.cache().GetAnalyzer(*source, *target);
+  if (!analyzer.ok()) Die(analyzer.status(), "analyzer");
+
+  const std::string feed_xml = MakeFeedXml(kChildren);
+  auto parse_bound = [&]() {
+    auto doc = xml::ParseXml(feed_xml);
+    if (!doc.ok()) Die(doc.status(), "parse");
+    Status bind = service.BindDocument(&*doc);
+    if (!bind.ok()) Die(bind, "bind");
+    return std::move(*doc);
+  };
+
+  // Generate the stream scripts in three flavors so every service path is
+  // exercised: i%3==0 renames/deletes/text-edits with in-schema labels
+  // (expected short_circuit_safe), i%3==1 adds inserts — under this
+  // schema's simple-typed children those are usually fatal
+  // (short_circuit_fatal), i%3==2 mixes in out-of-schema labels the
+  // analyzer cannot decide (fallback).
+  std::vector<Script> scripts(kStreams);
+  for (size_t i = 0; i < kStreams; ++i) {
+    workload::UpdateWorkloadOptions options;
+    options.seed = 1000 + i;
+    options.edit_count = kOpsPerStream;
+    options.rename_safe_labels = {"entry", "note"};
+    options.insert_safe_labels = {"entry", "note"};
+    options.rename_unsafe_labels = {"wild", "offmodel"};
+    options.insert_unsafe_labels = {"wild", "offmodel"};
+    options.safe_percent = (i % 3 == 2) ? 30 : 100;
+    if (i % 3 == 0) options.insert_weight = 0;
+    options.rename_root = false;  // one root rename re-types everything
+    xml::Document scratch = parse_bound();
+    xml::DocumentEditor editor(&scratch);
+    auto applied = workload::ApplyRandomUpdates(&scratch, &editor, options,
+                                                &scripts[i].ops);
+    if (!applied.ok()) Die(applied.status(), "generate stream");
+  }
+
+  // One pre-pass records per-stream ground truth (modval) and the static
+  // decision (analyzed), so the timed passes are pure replay.
+  for (Script& script : scripts) {
+    xml::Document doc = parse_bound();
+    xml::DocumentEditor editor(&doc);
+    for (const xml::EditOp& op : script.ops) {
+      Status s = editor.Apply(op);
+      if (!s.ok()) Die(s, "replay");
+    }
+    xml::ModificationIndex mods = editor.Seal();
+    script.valid =
+        core::ModValidator(relations->get()).Validate(doc, mods).valid;
+
+    xml::Document doc2 = parse_bound();
+    analysis::StreamSession session(analyzer->get(), &doc2);
+    for (const xml::EditOp& op : script.ops) {
+      Status s = session.Apply(op);
+      if (!s.ok()) Die(s, "session replay");
+    }
+    analysis::StreamVerdict verdict = session.Classify();
+    script.decided = verdict.decided();
+    if (script.decided) {
+      bool analyzed_valid = verdict.verdict == analysis::Safety::kSafe;
+      if (analyzed_valid != script.valid) {
+        std::fprintf(stderr,
+                     "SOUNDNESS VIOLATION: static verdict %s vs modval %s\n",
+                     analysis::SafetyName(verdict.verdict),
+                     script.valid ? "valid" : "invalid");
+        std::abort();
+      }
+    }
+  }
+
+  size_t decided_streams = 0;
+  for (const Script& s : scripts) decided_streams += s.decided;
+  const size_t total_ops = kStreams * kOpsPerStream;
+  const double pct_short_circuited =
+      100.0 * double(decided_streams * kOpsPerStream) / double(total_ops);
+
+  // Timed passes. Docs are parsed OUTSIDE the timer; each pass returns
+  // (total ns over all streams, ns over the decided subset).
+  struct PassTime {
+    double all_ns = 0;
+    double decided_ns = 0;
+  };
+  auto run_pass = [&](auto&& body) {
+    std::vector<PassTime> samples;
+    for (size_t r = 0; r < kWarmups + kRuns; ++r) {
+      PassTime t;
+      for (const Script& script : scripts) {
+        xml::Document doc = parse_bound();
+        double t0 = Now();
+        body(script, &doc);
+        double dt = Now() - t0;
+        t.all_ns += dt;
+        if (script.decided) t.decided_ns += dt;
+      }
+      if (r >= kWarmups) samples.push_back(t);
+    }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end(),
+                     [](const PassTime& a, const PassTime& b) {
+                       return a.all_ns < b.all_ns;
+                     });
+    return samples[samples.size() / 2];
+  };
+
+  PassTime apply_time = run_pass([&](const Script& script, xml::Document* doc) {
+    xml::DocumentEditor editor(doc);
+    for (const xml::EditOp& op : script.ops) (void)editor.Apply(op);
+    editor.Seal();
+    (void)editor.Commit();
+  });
+
+  PassTime modval_time =
+      run_pass([&](const Script& script, xml::Document* doc) {
+        xml::DocumentEditor editor(doc);
+        for (const xml::EditOp& op : script.ops) (void)editor.Apply(op);
+        xml::ModificationIndex mods = editor.Seal();
+        volatile bool valid =
+            core::ModValidator(relations->get()).Validate(*doc, mods).valid;
+        (void)valid;
+        (void)editor.Commit();
+      });
+
+  PassTime analyzed_time =
+      run_pass([&](const Script& script, xml::Document* doc) {
+        analysis::StreamSession session(analyzer->get(), doc);
+        for (const xml::EditOp& op : script.ops) (void)session.Apply(op);
+        analysis::StreamVerdict verdict = session.Classify();
+        if (verdict.decided()) {
+          session.Seal();  // editor contract; the index is dropped
+        } else {
+          xml::ModificationIndex mods = session.Seal();
+          volatile bool valid = core::ModValidator(relations->get())
+                                    .Validate(*doc, mods)
+                                    .valid;
+          (void)valid;
+        }
+        (void)session.Commit();
+      });
+
+  // Validation-only speedup on the short-circuited fraction: subtract the
+  // apply floor so the ratio compares validation work, not editing work.
+  // The passes are timed independently, so on small grids the analyzed
+  // minus apply difference can vanish into noise (or go negative); the
+  // denominator is clamped to a conservative 50 ns/op classification
+  // floor, making the reported speedup an UNDERestimate in that case.
+  const size_t decided_ops = decided_streams * kOpsPerStream;
+  const double modval_validation_sc =
+      modval_time.decided_ns - apply_time.decided_ns;
+  const double analyzed_validation_sc =
+      std::max(analyzed_time.decided_ns - apply_time.decided_ns,
+               50.0 * double(decided_ops));
+  const double speedup_sc_validation =
+      decided_ops > 0 ? modval_validation_sc / analyzed_validation_sc : 0.0;
+  const double speedup_end_to_end =
+      analyzed_time.all_ns > 0 ? modval_time.all_ns / analyzed_time.all_ns
+                               : 0.0;
+
+  // Service replay: the same streams through SubmitEditStream, so the obs
+  // counters can be reconciled against the local counts (--metrics-out).
+  size_t svc_short_circuited = 0;
+  for (const Script& script : scripts) {
+    xml::Document doc = parse_bound();
+    auto result =
+        service.SubmitEditStream(*source, *target, &doc, script.ops);
+    if (!result.ok()) Die(result.status(), "SubmitEditStream");
+    svc_short_circuited += result->short_circuited;
+    if (result->report.valid != script.valid) {
+      std::fprintf(stderr, "SERVICE VERDICT MISMATCH\n");
+      std::abort();
+    }
+  }
+  if (svc_short_circuited != decided_streams) {
+    std::fprintf(stderr, "service short-circuit count %zu != local %zu\n",
+                 svc_short_circuited, decided_streams);
+    std::abort();
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_out.c_str());
+      return 2;
+    }
+    out << service.metrics().Snapshot().ToJson();
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf(
+      "update-stream analysis (%zu streams x %zu ops, %zu-child feed, "
+      "hardware_concurrency=%u)\n\n",
+      kStreams, kOpsPerStream, kChildren, hardware);
+  std::printf("short-circuited: %zu/%zu streams (%.1f%% of ops)\n",
+              decided_streams, kStreams, pct_short_circuited);
+  std::printf("ns/op  apply=%.0f  modval=%.0f  analyzed=%.0f\n",
+              apply_time.all_ns / total_ops, modval_time.all_ns / total_ops,
+              analyzed_time.all_ns / total_ops);
+  std::printf(
+      "validation-only speedup on short-circuited fraction: x%.1f\n"
+      "end-to-end speedup (whole mix, apply included):      x%.2f\n",
+      speedup_sc_validation, speedup_end_to_end);
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("hardware_concurrency", double(hardware));
+  metrics.emplace_back("short_mode", short_mode ? 1.0 : 0.0);
+  metrics.emplace_back("streams", double(kStreams));
+  metrics.emplace_back("ops_total", double(total_ops));
+  metrics.emplace_back("streams_short_circuited", double(decided_streams));
+  metrics.emplace_back("pct_ops_short_circuited", pct_short_circuited);
+  metrics.emplace_back("apply_ns_per_op", apply_time.all_ns / total_ops);
+  metrics.emplace_back("modval_ns_per_op", modval_time.all_ns / total_ops);
+  metrics.emplace_back("analyzed_ns_per_op",
+                       analyzed_time.all_ns / total_ops);
+  metrics.emplace_back("speedup_short_circuit_validation_only",
+                       speedup_sc_validation);
+  metrics.emplace_back("speedup_end_to_end", speedup_end_to_end);
+  bench::WriteBenchJson("BENCH_update_stream.json", "update_stream", metrics);
+  return 0;
+}

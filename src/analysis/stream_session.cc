@@ -1,0 +1,208 @@
+#include "analysis/stream_session.h"
+
+#include "common/macros.h"
+
+namespace xmlreval::analysis {
+
+using xml::EditOp;
+using xml::kInvalidNode;
+using xml::NodeId;
+
+Status StreamSession::RenameElement(NodeId node, std::string_view new_label) {
+  OpVerdict v = analyzer_->AnalyzeRename(*doc_, node, new_label);
+  RETURN_IF_ERROR(editor_.RenameElement(node, new_label));
+  Record(EditOp::Kind::kRename, node, v);
+  return Status::OK();
+}
+
+Result<NodeId> StreamSession::InsertElementBefore(NodeId reference,
+                                                  std::string_view label) {
+  NodeId parent =
+      doc_->IsValidId(reference) ? doc_->parent(reference) : kInvalidNode;
+  OpVerdict v = analyzer_->AnalyzeInsertElement(*doc_, parent, label);
+  ASSIGN_OR_RETURN(NodeId node, editor_.InsertElementBefore(reference, label));
+  Record(EditOp::Kind::kInsertElementBefore, node, v);
+  return node;
+}
+
+Result<NodeId> StreamSession::InsertElementAfter(NodeId reference,
+                                                 std::string_view label) {
+  NodeId parent =
+      doc_->IsValidId(reference) ? doc_->parent(reference) : kInvalidNode;
+  OpVerdict v = analyzer_->AnalyzeInsertElement(*doc_, parent, label);
+  ASSIGN_OR_RETURN(NodeId node, editor_.InsertElementAfter(reference, label));
+  Record(EditOp::Kind::kInsertElementAfter, node, v);
+  return node;
+}
+
+Result<NodeId> StreamSession::InsertElementFirstChild(NodeId parent,
+                                                      std::string_view label) {
+  OpVerdict v = analyzer_->AnalyzeInsertElement(*doc_, parent, label);
+  ASSIGN_OR_RETURN(NodeId node,
+                   editor_.InsertElementFirstChild(parent, label));
+  Record(EditOp::Kind::kInsertElementFirstChild, node, v);
+  return node;
+}
+
+Result<NodeId> StreamSession::InsertTextFirstChild(NodeId parent,
+                                                   std::string_view text) {
+  OpVerdict v = analyzer_->AnalyzeInsertText(*doc_, parent, text);
+  ASSIGN_OR_RETURN(NodeId node, editor_.InsertTextFirstChild(parent, text));
+  Record(EditOp::Kind::kInsertTextFirstChild, node, v);
+  return node;
+}
+
+Result<NodeId> StreamSession::InsertTextBefore(NodeId reference,
+                                               std::string_view text) {
+  NodeId parent =
+      doc_->IsValidId(reference) ? doc_->parent(reference) : kInvalidNode;
+  OpVerdict v = analyzer_->AnalyzeInsertText(*doc_, parent, text);
+  ASSIGN_OR_RETURN(NodeId node, editor_.InsertTextBefore(reference, text));
+  Record(EditOp::Kind::kInsertTextBefore, node, v);
+  return node;
+}
+
+Result<NodeId> StreamSession::InsertTextAfter(NodeId reference,
+                                              std::string_view text) {
+  NodeId parent =
+      doc_->IsValidId(reference) ? doc_->parent(reference) : kInvalidNode;
+  OpVerdict v = analyzer_->AnalyzeInsertText(*doc_, parent, text);
+  ASSIGN_OR_RETURN(NodeId node, editor_.InsertTextAfter(reference, text));
+  Record(EditOp::Kind::kInsertTextAfter, node, v);
+  return node;
+}
+
+Status StreamSession::DeleteLeaf(NodeId node) {
+  OpVerdict v = analyzer_->AnalyzeDeleteLeaf(*doc_, node);
+  RETURN_IF_ERROR(editor_.DeleteLeaf(node));
+  Record(EditOp::Kind::kDeleteLeaf, node, v);
+  return Status::OK();
+}
+
+Status StreamSession::UpdateText(NodeId node, std::string_view text) {
+  OpVerdict v = analyzer_->AnalyzeTextEdit(*doc_, node, text);
+  RETURN_IF_ERROR(editor_.UpdateText(node, text));
+  Record(EditOp::Kind::kUpdateText, node, v);
+  return Status::OK();
+}
+
+Status StreamSession::Apply(const EditOp& op) {
+  switch (op.kind) {
+    case EditOp::Kind::kRename:
+      return RenameElement(op.node, op.value);
+    case EditOp::Kind::kInsertElementFirstChild:
+      return InsertElementFirstChild(op.node, op.value).status();
+    case EditOp::Kind::kInsertElementBefore:
+      return InsertElementBefore(op.node, op.value).status();
+    case EditOp::Kind::kInsertElementAfter:
+      return InsertElementAfter(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextFirstChild:
+      return InsertTextFirstChild(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextBefore:
+      return InsertTextBefore(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextAfter:
+      return InsertTextAfter(op.node, op.value).status();
+    case EditOp::Kind::kDeleteLeaf:
+      return DeleteLeaf(op.node);
+    case EditOp::Kind::kUpdateText:
+      return UpdateText(op.node, op.value);
+  }
+  return Status::InvalidArgument("unknown EditOp kind");
+}
+
+NodeId StreamSession::ScopeOf(const RecordedOp& op) const {
+  if (op.verdict.value_scoped && doc_->IsValidId(op.node)) {
+    NodeId parent = doc_->parent(op.node);
+    if (parent != kInvalidNode) return parent;
+  }
+  return op.node;
+}
+
+bool StreamSession::InSubtree(NodeId node, NodeId scope) const {
+  for (NodeId n = node; n != kInvalidNode; n = doc_->parent(n)) {
+    if (n == scope) return true;
+  }
+  return false;
+}
+
+StreamVerdict StreamSession::Classify() const {
+  StreamVerdict sv;
+  if (ops_.empty()) {
+    // No edits: the stream is the identity, safe exactly under the kSafe
+    // precondition (root pair subsumed ⇒ the document is target-valid).
+    if (analyzer_->RootSubsumed(*doc_)) {
+      sv.verdict = Safety::kSafe;
+      sv.reason = "empty stream over a subsumed root pair";
+    } else {
+      sv.reason = "empty stream, root pair not subsumed";
+    }
+    return sv;
+  }
+
+  const size_t n = ops_.size();
+  std::vector<Safety> safety(n);
+  for (size_t i = 0; i < n; ++i) safety[i] = ops_[i].verdict.safety;
+
+  // Downgrade entangled pairs (header comment: same node, scoped
+  // subtrees, renames). O(n² · depth); streams are short.
+  std::vector<bool> down(n, false);
+  for (size_t j = 0; j < n; ++j) {
+    NodeId scope = ScopeOf(ops_[j]);
+    const bool subtree_guard = ops_[j].verdict.exclusive_subtree ||
+                               ops_[j].verdict.value_scoped ||
+                               ops_[j].kind == EditOp::Kind::kRename;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const bool hit = ops_[i].node == scope ||
+                       (subtree_guard && InSubtree(ops_[i].node, scope));
+      if (hit) {
+        down[i] = true;
+        down[j] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (down[i] && safety[i] != Safety::kUnknown) {
+      safety[i] = Safety::kUnknown;
+      ++sv.downgraded_ops;
+    }
+  }
+
+  const char* first_unknown_reason = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    switch (safety[i]) {
+      case Safety::kSafe:
+        ++sv.safe_ops;
+        break;
+      case Safety::kFatal:
+        ++sv.fatal_ops;
+        if (sv.first_fatal_op < 0) {
+          sv.first_fatal_op = static_cast<int>(i);
+          sv.reason = ops_[i].verdict.reason;
+        }
+        break;
+      case Safety::kUnknown:
+        ++sv.unknown_ops;
+        if (first_unknown_reason == nullptr) {
+          first_unknown_reason =
+              down[i] ? "entangled operations" : ops_[i].verdict.reason;
+        }
+        break;
+    }
+  }
+
+  // A surviving fatal op is decisive (its violation cannot be repaired by
+  // the remaining ops — see header); otherwise all ops must be safe.
+  if (sv.fatal_ops > 0) {
+    sv.verdict = Safety::kFatal;
+  } else if (sv.unknown_ops == 0) {
+    sv.verdict = Safety::kSafe;
+    sv.reason = "all operations statically safe";
+  } else {
+    sv.verdict = Safety::kUnknown;
+    sv.reason = first_unknown_reason;
+  }
+  return sv;
+}
+
+}  // namespace xmlreval::analysis

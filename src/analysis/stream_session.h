@@ -1,0 +1,143 @@
+// StreamSession — an UpdateAnalyzer-instrumented edit session.
+//
+// Mirrors the xml::DocumentEditor surface (so the random-update workload
+// template can drive either), classifying every operation against the
+// CURRENT tree before applying it, then composes the per-op verdicts into
+// one stream verdict:
+//
+//   kSafe    — every operation is safe and un-entangled: the edited
+//              document is target-valid, with zero tree validation,
+//   kFatal   — some fatal operation survives composition: the edited
+//              document is target-INVALID, again with zero tree work,
+//   kUnknown — run ModValidator (Seal() hands over the usual index).
+//
+// COMPOSITION (Classify). Per-op verdicts hold for one operation applied
+// to a target-valid tree; streams entangle them in exactly three ways,
+// each resolved by downgrading BOTH sides to kUnknown:
+//
+//   1. Same node: a later operation on the same node can repair a fatal
+//      one (rename away a doomed label, delete the offending leaf) or
+//      invalidate a safe one, so two operations sharing a node entangle.
+//      This also covers every operation on a node the stream itself
+//      inserted — the insert is the first same-node operation.
+//   2. Scoped subtrees: verdicts that rely on an untouched subtree
+//      (R_sub/R_dis renames with exclusive_subtree) or on the parent's
+//      statically-computed simple content (value_scoped) entangle with any
+//      operation landing inside that scope.
+//   3. Renames: a rename changes the label path below it, which is what
+//      the analyzer's O(depth) typing walk and source-validity argument
+//      key on — so every operation inside a renamed node's subtree
+//      entangles with the rename.
+//
+// A fatal verdict that SURVIVES these downgrades is decisive even when
+// unrelated operations stay unknown: the violation it pins down lives in
+// its own scope, and any operation able to repair it (same node, inside
+// the scope, an ancestor rename) would have triggered a downgrade.
+// Classify() must run before Commit(): the walks rely on deleted nodes
+// remaining physically linked.
+
+#ifndef XMLREVAL_ANALYSIS_STREAM_SESSION_H_
+#define XMLREVAL_ANALYSIS_STREAM_SESSION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/update_analyzer.h"
+#include "common/result.h"
+#include "xml/editor.h"
+#include "xml/tree.h"
+
+namespace xmlreval::analysis {
+
+/// Composed verdict of an edit stream, with per-op counts AFTER the
+/// downgrade rules.
+struct StreamVerdict {
+  Safety verdict = Safety::kUnknown;
+  size_t safe_ops = 0;
+  size_t fatal_ops = 0;
+  size_t unknown_ops = 0;
+  /// How many of unknown_ops were statically decided but entangled.
+  size_t downgraded_ops = 0;
+  /// Application-order index of the first surviving fatal op, or -1.
+  int first_fatal_op = -1;
+  const char* reason = "";
+
+  bool decided() const { return verdict != Safety::kUnknown; }
+};
+
+class StreamSession {
+ public:
+  /// `analyzer` and `doc` must outlive the session. The document's
+  /// pre-session state must be source-valid (the ModValidator
+  /// precondition, inherited by the analyzer's soundness argument).
+  StreamSession(const UpdateAnalyzer* analyzer, xml::Document* doc)
+      : analyzer_(analyzer), doc_(doc), editor_(doc) {}
+
+  // -- DocumentEditor-mirroring surface -----------------------------------
+
+  Status RenameElement(xml::NodeId node, std::string_view new_label);
+  Result<xml::NodeId> InsertElementBefore(xml::NodeId reference,
+                                          std::string_view label);
+  Result<xml::NodeId> InsertElementAfter(xml::NodeId reference,
+                                         std::string_view label);
+  Result<xml::NodeId> InsertElementFirstChild(xml::NodeId parent,
+                                              std::string_view label);
+  Result<xml::NodeId> InsertTextFirstChild(xml::NodeId parent,
+                                           std::string_view text);
+  Result<xml::NodeId> InsertTextBefore(xml::NodeId reference,
+                                       std::string_view text);
+  Result<xml::NodeId> InsertTextAfter(xml::NodeId reference,
+                                      std::string_view text);
+  Status DeleteLeaf(xml::NodeId node);
+  Status UpdateText(xml::NodeId node, std::string_view text);
+
+  /// Replays one recorded operation through the classifying surface.
+  Status Apply(const xml::EditOp& op);
+
+  bool IsDeleted(xml::NodeId node) const { return editor_.IsDeleted(node); }
+  size_t update_count() const { return editor_.update_count(); }
+
+  // -- Stream verdict ------------------------------------------------------
+
+  /// One successfully applied operation with its pre-application verdict.
+  struct RecordedOp {
+    xml::EditOp::Kind kind;
+    /// The operation's anchor: the renamed/deleted/edited node, or the
+    /// freshly inserted node.
+    xml::NodeId node;
+    OpVerdict verdict;
+  };
+  const std::vector<RecordedOp>& ops() const { return ops_; }
+
+  /// Composes the stream verdict (see header comment). Call before
+  /// Commit(); safe to call repeatedly, including before Seal().
+  StreamVerdict Classify() const;
+
+  // -- Editor passthrough (for the ModValidator fallback) ------------------
+
+  xml::ModificationIndex Seal() { return editor_.Seal(); }
+  Status Commit() { return editor_.Commit(); }
+  xml::DocumentEditor& editor() { return editor_; }
+  const UpdateAnalyzer& analyzer() const { return *analyzer_; }
+
+ private:
+  void Record(xml::EditOp::Kind kind, xml::NodeId node, const OpVerdict& v) {
+    ops_.push_back(RecordedOp{kind, node, v});
+  }
+
+  /// The node whose subtree anchors the op's verdict: the parent element
+  /// for value-scoped verdicts, the op node otherwise.
+  xml::NodeId ScopeOf(const RecordedOp& op) const;
+
+  /// True iff `node` lies in the subtree rooted at `scope` (inclusive).
+  bool InSubtree(xml::NodeId node, xml::NodeId scope) const;
+
+  const UpdateAnalyzer* analyzer_;
+  xml::Document* doc_;
+  xml::DocumentEditor editor_;
+  std::vector<RecordedOp> ops_;
+};
+
+}  // namespace xmlreval::analysis
+
+#endif  // XMLREVAL_ANALYSIS_STREAM_SESSION_H_

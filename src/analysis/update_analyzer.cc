@@ -1,0 +1,442 @@
+#include "analysis/update_analyzer.h"
+
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "schema/simple_types.h"
+
+namespace xmlreval::analysis {
+
+using automata::kUnboundSymbol;
+using automata::Symbol;
+using schema::kInvalidType;
+using schema::TypeId;
+using xml::kInvalidNode;
+using xml::NodeId;
+
+const char* SafetyName(Safety s) {
+  switch (s) {
+    case Safety::kSafe:
+      return "safe";
+    case Safety::kFatal:
+      return "fatal";
+    case Safety::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+OpVerdict Safe(const char* reason, bool exclusive = false,
+               bool value_scoped = false) {
+  return OpVerdict{Safety::kSafe, reason, exclusive, value_scoped};
+}
+OpVerdict Fatal(const char* reason, bool exclusive = false,
+                bool value_scoped = false) {
+  return OpVerdict{Safety::kFatal, reason, exclusive, value_scoped};
+}
+OpVerdict Unknown(const char* reason) {
+  return OpVerdict{Safety::kUnknown, reason, false, false};
+}
+
+bool IsWhitespaceOnly(std::string_view s) {
+  return xmlreval::TrimWhitespace(s).empty();
+}
+
+}  // namespace
+
+Result<UpdateAnalyzer> UpdateAnalyzer::Compile(
+    std::shared_ptr<const core::TypeRelations> relations) {
+  if (!relations) {
+    return Status::InvalidArgument("UpdateAnalyzer::Compile: null relations");
+  }
+  UpdateAnalyzer analyzer;
+  analyzer.alphabet_ = relations->source().alphabet().get();
+  const schema::Schema& target = relations->target();
+  analyzer.tables_.resize(target.num_types());
+  for (TypeId t = 0; t < target.num_types(); ++t) {
+    if (target.IsSimple(t)) continue;
+    const automata::Dfa* dfa = relations->TargetDfa(t);
+    if (dfa == nullptr) continue;
+    TypeTables& tables = analyzer.tables_[t];
+    tables.valid = true;
+    tables.neutral = dfa->NeutralSymbols();
+    tables.doomed = dfa->DoomedSymbols();
+    const size_t sigma = dfa->alphabet_size();
+    tables.empty_ok.assign(sigma, false);
+    for (Symbol s = 0; s < sigma; ++s) {
+      TypeId child = target.ChildType(t, s);
+      tables.empty_ok[s] =
+          child != kInvalidType && relations->TargetAcceptsEmptyElement(child);
+    }
+    // Canonicalize each symbol's transition column over the reachable
+    // states, so rename indistinguishability is one integer compare.
+    std::vector<bool> reachable = dfa->ReachableStates();
+    std::vector<automata::StateId> live;
+    for (automata::StateId q = 0; q < dfa->num_states(); ++q) {
+      if (reachable[q]) live.push_back(q);
+    }
+    tables.sym_class.assign(sigma, 0);
+    std::map<std::vector<automata::StateId>, uint32_t> classes;
+    std::vector<automata::StateId> column(live.size());
+    for (Symbol s = 0; s < sigma; ++s) {
+      for (size_t i = 0; i < live.size(); ++i) column[i] = dfa->Next(live[i], s);
+      auto [it, inserted] =
+          classes.emplace(column, static_cast<uint32_t>(classes.size()));
+      tables.sym_class[s] = it->second;
+    }
+  }
+  analyzer.relations_ = std::move(relations);
+  return analyzer;
+}
+
+Symbol UpdateAnalyzer::ResolveLabel(const xml::Document& doc,
+                                    std::string_view label) const {
+  (void)doc;
+  auto found = alphabet_->Find(label);
+  return found ? *found : kUnboundSymbol;
+}
+
+Symbol UpdateAnalyzer::SymbolOf(const xml::Document& doc, NodeId node) const {
+  if (doc.BoundTo(*alphabet_)) return doc.symbol(node);
+  return ResolveLabel(doc, doc.label(node));
+}
+
+UpdateAnalyzer::TypeContext UpdateAnalyzer::ContextOf(const xml::Document& doc,
+                                                      NodeId node) const {
+  TypeContext ctx;
+  if (!doc.has_root() || node == kInvalidNode || !doc.IsValidId(node) ||
+      !doc.IsElement(node)) {
+    return ctx;
+  }
+  // Chain node → root, then type top-down with the document's CURRENT
+  // labels. The typing functions are both functional (one type per label),
+  // so this recovers THE source/target typing of the walked path; renames
+  // above `node` would falsify the source side, which is why
+  // StreamSession::Classify downgrades everything under a renamed node.
+  std::vector<NodeId> chain;
+  for (NodeId n = node; n != kInvalidNode; n = doc.parent(n)) {
+    chain.push_back(n);
+  }
+  if (chain.back() != doc.root()) return ctx;  // detached node
+  const schema::Schema& source = relations_->source();
+  const schema::Schema& target = relations_->target();
+  Symbol root_sym = SymbolOf(doc, chain.back());
+  if (root_sym == kUnboundSymbol) return ctx;
+  TypeId s = source.RootType(root_sym);
+  TypeId t = target.RootType(root_sym);
+  for (size_t i = chain.size() - 1; i-- > 0 && (s != kInvalidType ||
+                                                t != kInvalidType);) {
+    Symbol sym = SymbolOf(doc, chain[i]);
+    if (sym == kUnboundSymbol) {
+      s = t = kInvalidType;
+      break;
+    }
+    s = (s != kInvalidType && source.IsComplex(s)) ? source.ChildType(s, sym)
+                                                   : kInvalidType;
+    t = (t != kInvalidType && target.IsComplex(t)) ? target.ChildType(t, sym)
+                                                   : kInvalidType;
+  }
+  ctx.source_type = s;
+  ctx.target_type = t;
+  return ctx;
+}
+
+bool UpdateAnalyzer::RootSubsumed(const xml::Document& doc) const {
+  if (!doc.has_root()) return false;
+  Symbol root_sym = SymbolOf(doc, doc.root());
+  if (root_sym == kUnboundSymbol) return false;
+  TypeId s = relations_->source().RootType(root_sym);
+  TypeId t = relations_->target().RootType(root_sym);
+  return s != kInvalidType && t != kInvalidType && relations_->Subsumed(s, t);
+}
+
+bool UpdateAnalyzer::InsertNeutral(TypeId target_type, Symbol s) const {
+  const TypeTables* tables = TablesOf(target_type);
+  return tables != nullptr && s < tables->neutral.size() && tables->neutral[s];
+}
+
+bool UpdateAnalyzer::SymbolDoomed(TypeId target_type, Symbol s) const {
+  const TypeTables* tables = TablesOf(target_type);
+  return tables != nullptr && s < tables->doomed.size() && tables->doomed[s];
+}
+
+bool UpdateAnalyzer::EmptyLeafOk(TypeId target_type, Symbol s) const {
+  const TypeTables* tables = TablesOf(target_type);
+  return tables != nullptr && s < tables->empty_ok.size() &&
+         tables->empty_ok[s];
+}
+
+bool UpdateAnalyzer::RenameIndistinguishable(TypeId target_type, Symbol a,
+                                             Symbol b) const {
+  const TypeTables* tables = TablesOf(target_type);
+  return tables != nullptr && a < tables->sym_class.size() &&
+         b < tables->sym_class.size() &&
+         tables->sym_class[a] == tables->sym_class[b];
+}
+
+OpVerdict UpdateAnalyzer::ClassifySimpleValue(TypeId target_type,
+                                              std::string_view value) const {
+  const schema::SimpleType& type = relations_->target().simple_type(target_type);
+  if (schema::ValidateSimpleValue(type, value).ok()) {
+    return Safe("resulting simple value satisfies the target facets",
+                /*exclusive=*/false, /*value_scoped=*/true);
+  }
+  return Fatal("resulting simple value violates the target facets",
+               /*exclusive=*/false, /*value_scoped=*/true);
+}
+
+OpVerdict UpdateAnalyzer::RenameVerdict(const xml::Document& doc, NodeId node,
+                                        std::string_view new_label) const {
+  if (!doc.IsValidId(node) || !doc.IsElement(node)) {
+    return Unknown("rename target is not a live element");
+  }
+  const schema::Schema& source = relations_->source();
+  const schema::Schema& target = relations_->target();
+  Symbol new_sym = ResolveLabel(doc, new_label);
+  Symbol old_sym = SymbolOf(doc, node);
+
+  if (node == doc.root()) {
+    if (new_sym == kUnboundSymbol) return Unknown("new root label outside Σ");
+    TypeId t_new = target.RootType(new_sym);
+    if (t_new == kInvalidType) {
+      return Fatal("new root label not typed by the target schema");
+    }
+    TypeId s_old =
+        old_sym == kUnboundSymbol ? kInvalidType : source.RootType(old_sym);
+    if (s_old == kInvalidType) return Unknown("old root label untyped");
+    if (relations_->Subsumed(s_old, t_new)) {
+      return Safe("root rename to a subsumed type pair", /*exclusive=*/true);
+    }
+    if (relations_->Disjoint(s_old, t_new)) {
+      return Fatal("root rename to a disjoint type pair", /*exclusive=*/true);
+    }
+    return Unknown("root rename to an incomparable type pair");
+  }
+
+  TypeContext ctx = ContextOf(doc, doc.parent(node));
+  TypeId t_par = ctx.target_type;
+  if (t_par == kInvalidType) return Unknown("parent has no target typing");
+  const TypeTables* tables = TablesOf(t_par);
+  if (tables == nullptr) return Unknown("parent target type has no tables");
+  if (new_sym == kUnboundSymbol) return Unknown("new label outside Σ");
+  if (new_sym < tables->doomed.size() && tables->doomed[new_sym]) {
+    return Fatal("new label can never appear in the parent's content model");
+  }
+  if (old_sym == kUnboundSymbol) return Unknown("old label outside Σ");
+  if (new_sym >= tables->sym_class.size() ||
+      old_sym >= tables->sym_class.size() ||
+      tables->sym_class[new_sym] != tables->sym_class[old_sym]) {
+    return Unknown("labels distinguishable in the parent's content model");
+  }
+  TypeId t_old = target.ChildType(t_par, old_sym);
+  TypeId t_new = target.ChildType(t_par, new_sym);
+  if (t_new == kInvalidType) return Unknown("new label untyped under parent");
+  if (t_new == t_old) {
+    // Content run unchanged (indistinguishable) and the child's target type
+    // unchanged: the subtree needs no revalidation at all.
+    return Safe("rename within one target type");
+  }
+  TypeId s_old = (ctx.source_type != kInvalidType &&
+                  source.IsComplex(ctx.source_type))
+                     ? source.ChildType(ctx.source_type, old_sym)
+                     : kInvalidType;
+  if (s_old == kInvalidType) return Unknown("node has no source typing");
+  if (relations_->Subsumed(s_old, t_new)) {
+    return Safe("rename to a subsumed target type", /*exclusive=*/true);
+  }
+  if (relations_->Disjoint(s_old, t_new)) {
+    return Fatal("rename to a disjoint target type", /*exclusive=*/true);
+  }
+  return Unknown("rename to an incomparable target type");
+}
+
+OpVerdict UpdateAnalyzer::InsertElementVerdict(const xml::Document& doc,
+                                               NodeId parent,
+                                               std::string_view label) const {
+  if (!doc.IsValidId(parent) || !doc.IsElement(parent)) {
+    return Unknown("insert parent is not a live element");
+  }
+  TypeContext ctx = ContextOf(doc, parent);
+  TypeId t_par = ctx.target_type;
+  if (t_par == kInvalidType) return Unknown("parent has no target typing");
+  if (relations_->target().IsSimple(t_par)) {
+    return Fatal("element inserted under simple content");
+  }
+  const TypeTables* tables = TablesOf(t_par);
+  if (tables == nullptr) return Unknown("parent target type has no tables");
+  Symbol sym = ResolveLabel(doc, label);
+  if (sym == kUnboundSymbol) return Unknown("inserted label outside Σ");
+  if (sym < tables->doomed.size() && tables->doomed[sym]) {
+    return Fatal("inserted label can never appear in the parent's content "
+                 "model");
+  }
+  if (sym < tables->neutral.size() && tables->neutral[sym] &&
+      sym < tables->empty_ok.size() && tables->empty_ok[sym]) {
+    return Safe("content-neutral insert of an empty-admitting type");
+  }
+  return Unknown("insert not statically neutral");
+}
+
+OpVerdict UpdateAnalyzer::InsertTextVerdict(const xml::Document& doc,
+                                            NodeId parent,
+                                            std::string_view text) const {
+  if (!doc.IsValidId(parent) || !doc.IsElement(parent)) {
+    return Unknown("insert parent is not a live element");
+  }
+  TypeContext ctx = ContextOf(doc, parent);
+  TypeId t_par = ctx.target_type;
+  if (t_par == kInvalidType) return Unknown("parent has no target typing");
+  if (relations_->target().IsComplex(t_par)) {
+    return IsWhitespaceOnly(text)
+               ? Safe("whitespace text under complex content")
+               : Fatal("non-whitespace text under complex content");
+  }
+  // Simple content: only the trivial case — a childless parent — yields a
+  // statically known resulting value (the position of the new text among
+  // existing children is not part of the operation shape here).
+  if (doc.HasChildren(parent)) {
+    return Unknown("text inserted next to existing simple content");
+  }
+  return ClassifySimpleValue(t_par, text);
+}
+
+OpVerdict UpdateAnalyzer::DeleteLeafVerdict(const xml::Document& doc,
+                                            NodeId node) const {
+  if (!doc.IsValidId(node)) return Unknown("delete target invalid");
+  if (node == doc.root()) return Unknown("cannot analyze root deletion");
+  NodeId parent = doc.parent(node);
+  if (parent == kInvalidNode) return Unknown("delete target detached");
+  TypeContext ctx = ContextOf(doc, parent);
+  TypeId t_par = ctx.target_type;
+  if (t_par == kInvalidType) return Unknown("parent has no target typing");
+  const schema::Schema& target = relations_->target();
+
+  if (doc.IsText(node)) {
+    if (target.IsComplex(t_par)) {
+      // Removing character data can only help an element-only content
+      // model (remaining text children are untouched).
+      return Safe("text removal under complex content");
+    }
+    // Simple content: the resulting value is the remaining concatenation.
+    std::string remaining;
+    for (NodeId c = doc.first_child(parent); c != kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (doc.IsElement(c)) {
+        return Unknown("simple-typed parent has element children");
+      }
+      if (c != node) remaining += doc.text(c);
+    }
+    return ClassifySimpleValue(t_par, remaining);
+  }
+
+  if (target.IsSimple(t_par)) {
+    return Unknown("element deletion under simple content");
+  }
+  const TypeTables* tables = TablesOf(t_par);
+  if (tables == nullptr) return Unknown("parent target type has no tables");
+  Symbol sym = SymbolOf(doc, node);
+  if (sym == kUnboundSymbol) return Unknown("deleted label outside Σ");
+  if (sym < tables->neutral.size() && tables->neutral[sym]) {
+    return Safe("content-neutral delete");
+  }
+  return Unknown("delete not statically neutral");
+}
+
+OpVerdict UpdateAnalyzer::TextEditVerdict(const xml::Document& doc, NodeId node,
+                                          std::string_view text) const {
+  if (!doc.IsValidId(node) || !doc.IsText(node)) {
+    return Unknown("text-edit target is not a text node");
+  }
+  NodeId parent = doc.parent(node);
+  if (parent == kInvalidNode) return Unknown("text-edit target detached");
+  TypeContext ctx = ContextOf(doc, parent);
+  TypeId t_par = ctx.target_type;
+  if (t_par == kInvalidType) return Unknown("parent has no target typing");
+  if (relations_->target().IsComplex(t_par)) {
+    return IsWhitespaceOnly(text)
+               ? Safe("whitespace text under complex content")
+               : Fatal("non-whitespace text under complex content");
+  }
+  // Simple content: splice the new value into the concatenation.
+  std::string value;
+  for (NodeId c = doc.first_child(parent); c != kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (doc.IsElement(c)) {
+      return Unknown("simple-typed parent has element children");
+    }
+    if (c == node) {
+      value += text;
+    } else {
+      value += doc.text(c);
+    }
+  }
+  return ClassifySimpleValue(t_par, value);
+}
+
+OpVerdict UpdateAnalyzer::Gate(const xml::Document& doc, OpVerdict v) const {
+  if (v.safety == Safety::kSafe && !RootSubsumed(doc)) {
+    return Unknown("document root pair not subsumed");
+  }
+  return v;
+}
+
+OpVerdict UpdateAnalyzer::AnalyzeRename(const xml::Document& doc,
+                                        NodeId node,
+                                        std::string_view new_label) const {
+  return Gate(doc, RenameVerdict(doc, node, new_label));
+}
+
+OpVerdict UpdateAnalyzer::AnalyzeInsertElement(const xml::Document& doc,
+                                               NodeId parent,
+                                               std::string_view label) const {
+  return Gate(doc, InsertElementVerdict(doc, parent, label));
+}
+
+OpVerdict UpdateAnalyzer::AnalyzeInsertText(const xml::Document& doc,
+                                            NodeId parent,
+                                            std::string_view text) const {
+  return Gate(doc, InsertTextVerdict(doc, parent, text));
+}
+
+OpVerdict UpdateAnalyzer::AnalyzeDeleteLeaf(const xml::Document& doc,
+                                            NodeId node) const {
+  return Gate(doc, DeleteLeafVerdict(doc, node));
+}
+
+OpVerdict UpdateAnalyzer::AnalyzeTextEdit(const xml::Document& doc,
+                                          NodeId node,
+                                          std::string_view text) const {
+  return Gate(doc, TextEditVerdict(doc, node, text));
+}
+
+OpVerdict UpdateAnalyzer::Analyze(const xml::Document& doc,
+                                  const xml::EditOp& op) const {
+  using Kind = xml::EditOp::Kind;
+  auto parent_of = [&](NodeId ref) {
+    return doc.IsValidId(ref) ? doc.parent(ref) : kInvalidNode;
+  };
+  switch (op.kind) {
+    case Kind::kRename:
+      return AnalyzeRename(doc, op.node, op.value);
+    case Kind::kInsertElementFirstChild:
+      return AnalyzeInsertElement(doc, op.node, op.value);
+    case Kind::kInsertElementBefore:
+    case Kind::kInsertElementAfter:
+      return AnalyzeInsertElement(doc, parent_of(op.node), op.value);
+    case Kind::kInsertTextFirstChild:
+      return AnalyzeInsertText(doc, op.node, op.value);
+    case Kind::kInsertTextBefore:
+    case Kind::kInsertTextAfter:
+      return AnalyzeInsertText(doc, parent_of(op.node), op.value);
+    case Kind::kDeleteLeaf:
+      return AnalyzeDeleteLeaf(doc, op.node);
+    case Kind::kUpdateText:
+      return AnalyzeTextEdit(doc, op.node, op.value);
+  }
+  return Unknown("unknown operation kind");
+}
+
+}  // namespace xmlreval::analysis

@@ -1,0 +1,187 @@
+// Static update-safety analysis: classify editor operations against a
+// (source, target) schema pair WITHOUT touching the tree.
+//
+// The paper revalidates after the edits (core/mod_validator.h). Following
+// the static-analysis line of work (Solimando et al., "Automata-based
+// Static Analysis of XML Document Adaptations"; Genevès et al., "Ensuring
+// Query Compatibility with Evolving XML Schemas"), this layer analyzes the
+// OPERATION SHAPE instead: an UpdateAnalyzer is compiled once per schema
+// pair from the same Glushkov DFAs and R_sub/R_dis relations the validators
+// use, and classifies each operation as
+//
+//   * kSafe    — always preserves target validity: accept with zero tree
+//                work beyond an O(depth) typing walk,
+//   * kFatal   — always breaks it: reject immediately,
+//   * kUnknown — undecided statically: fall back to ModValidator.
+//
+// The per-(target type, symbol) tables behind the verdicts:
+//
+//   neutral[τ'][σ]   δ(q, σ) = q for every reachable state of τ''s content
+//                    DFA — inserting/deleting one σ anywhere in the child
+//                    string never changes the run, at any position, which
+//                    also makes such edits compose freely;
+//   doomed[τ'][σ]    δ(q, σ) is co-dead for every reachable q — any child
+//                    string containing σ is rejected (this subsumes
+//                    σ ∉ Σ_τ', since out-of-model symbols run to the sink);
+//   empty_ok[τ'][σ]  types_τ'(σ) is defined and accepts an element with no
+//                    children, text, or attributes — what a fresh insert
+//                    produces;
+//   sym_class[τ'][σ] canonical id of σ's transition column restricted to
+//                    reachable states, so δ(·, a) ≡ δ(·, b) (the safe-
+//                    rename condition) is one integer compare.
+//
+// SOUNDNESS PRECONDITIONS. Per-op verdicts assume (a) the document is valid
+// for the source schema (same precondition as ModValidator) and (b) for
+// kSafe only, that the document's root pair is R_sub-subsumed — so the
+// UNEDITED document is target-valid and safety is an induction step. (b)
+// holds trivially for the "update problem" where source == target; when it
+// fails, every verdict degrades to kUnknown (never to a wrong kSafe).
+// Verdicts classify ONE operation against the CURRENT tree; interactions
+// between operations of a stream (a fatal op repaired by a later delete, a
+// rename invalidating the typing context below it) are resolved by
+// StreamSession::Classify (stream_session.h), which downgrades entangled
+// verdicts to kUnknown. Unknown symbols (unbound documents, labels outside
+// the shared Σ) always classify as kUnknown.
+
+#ifndef XMLREVAL_ANALYSIS_UPDATE_ANALYZER_H_
+#define XMLREVAL_ANALYSIS_UPDATE_ANALYZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "common/result.h"
+#include "core/relations.h"
+#include "xml/editor.h"
+#include "xml/tree.h"
+
+namespace xmlreval::analysis {
+
+enum class Safety : uint8_t { kSafe, kFatal, kUnknown };
+
+const char* SafetyName(Safety s);
+
+/// Verdict for a single operation, plus the composition requirements
+/// StreamSession::Classify consumes.
+struct OpVerdict {
+  Safety safety = Safety::kUnknown;
+  /// Static diagnostic string (never owned) naming the rule that fired.
+  const char* reason = "";
+  /// The verdict holds only if NO other operation of the stream lands in
+  /// the subtree of its scope node (set for verdicts that rely on the
+  /// untouched subtree: R_sub/R_dis renames, root renames).
+  bool exclusive_subtree = false;
+  /// The verdict lives in the PARENT's simple content (text edits under a
+  /// simple type): its scope node is the parent element, and any sibling
+  /// text operation entangles it.
+  bool value_scoped = false;
+};
+
+class UpdateAnalyzer {
+ public:
+  /// Compiles the safety tables for `relations`' schema pair. The analyzer
+  /// shares ownership of the relations (cache eviction safe).
+  static Result<UpdateAnalyzer> Compile(
+      std::shared_ptr<const core::TypeRelations> relations);
+
+  // -- Per-operation classification ---------------------------------------
+  //
+  // Each call classifies one operation applied to the CURRENT (pre-op)
+  // state of `doc`. Typing context is recovered by an O(depth) walk from
+  // the root using the document's current labels.
+
+  OpVerdict AnalyzeRename(const xml::Document& doc, xml::NodeId node,
+                          std::string_view new_label) const;
+  OpVerdict AnalyzeInsertElement(const xml::Document& doc, xml::NodeId parent,
+                                 std::string_view label) const;
+  OpVerdict AnalyzeInsertText(const xml::Document& doc, xml::NodeId parent,
+                              std::string_view text) const;
+  OpVerdict AnalyzeDeleteLeaf(const xml::Document& doc,
+                              xml::NodeId node) const;
+  OpVerdict AnalyzeTextEdit(const xml::Document& doc, xml::NodeId node,
+                            std::string_view text) const;
+
+  /// Dispatch over a replayable operation (insert references resolve to
+  /// their parent for context purposes).
+  OpVerdict Analyze(const xml::Document& doc, const xml::EditOp& op) const;
+
+  // -- Table reads (tests / diagnostics) ----------------------------------
+
+  bool InsertNeutral(schema::TypeId target_type, automata::Symbol s) const;
+  bool SymbolDoomed(schema::TypeId target_type, automata::Symbol s) const;
+  bool EmptyLeafOk(schema::TypeId target_type, automata::Symbol s) const;
+  bool RenameIndistinguishable(schema::TypeId target_type, automata::Symbol a,
+                               automata::Symbol b) const;
+
+  /// The kSafe gate: the document has a root whose label is typed by both
+  /// schemas with a subsumed pair (see header comment).
+  bool RootSubsumed(const xml::Document& doc) const;
+
+  /// (source, target) typing of an element under the document's current
+  /// labels; kInvalidType marks an unresolvable side.
+  struct TypeContext {
+    schema::TypeId source_type = schema::kInvalidType;
+    schema::TypeId target_type = schema::kInvalidType;
+  };
+  TypeContext ContextOf(const xml::Document& doc, xml::NodeId node) const;
+
+  const core::TypeRelations& relations() const { return *relations_; }
+
+ private:
+  /// Per-target-complex-type tables, indexed by Symbol; symbols interned
+  /// after compilation fall off the end and read as "not safe".
+  struct TypeTables {
+    bool valid = false;  // complex type with a compiled content DFA
+    std::vector<bool> neutral;
+    std::vector<bool> doomed;
+    std::vector<bool> empty_ok;
+    std::vector<uint32_t> sym_class;
+  };
+
+  UpdateAnalyzer() = default;
+
+  /// The node's symbol through the pair's shared alphabet: the bound symbol
+  /// when the document is bound to it, otherwise a find-only lookup.
+  automata::Symbol SymbolOf(const xml::Document& doc, xml::NodeId node) const;
+  automata::Symbol ResolveLabel(const xml::Document& doc,
+                                std::string_view label) const;
+
+  const TypeTables* TablesOf(schema::TypeId target_type) const {
+    return target_type < tables_.size() && tables_[target_type].valid
+               ? &tables_[target_type]
+               : nullptr;
+  }
+
+  /// Shared classification of the simple-content value a text operation
+  /// produces under a simple-typed parent, or unknown when the resulting
+  /// concatenation is not statically determined.
+  OpVerdict ClassifySimpleValue(schema::TypeId target_type,
+                                std::string_view value) const;
+
+  // Ungated rules; the public Analyze* entry points wrap them with Gate().
+  OpVerdict RenameVerdict(const xml::Document& doc, xml::NodeId node,
+                          std::string_view new_label) const;
+  OpVerdict InsertElementVerdict(const xml::Document& doc, xml::NodeId parent,
+                                 std::string_view label) const;
+  OpVerdict InsertTextVerdict(const xml::Document& doc, xml::NodeId parent,
+                              std::string_view text) const;
+  OpVerdict DeleteLeafVerdict(const xml::Document& doc, xml::NodeId node) const;
+  OpVerdict TextEditVerdict(const xml::Document& doc, xml::NodeId node,
+                            std::string_view text) const;
+
+  /// kSafe additionally requires the root-pair subsumption precondition
+  /// (see header comment); without it a would-be-safe verdict degrades to
+  /// kUnknown. kFatal verdicts stand on their own — target typing is
+  /// label-forced top-down — and pass through untouched.
+  OpVerdict Gate(const xml::Document& doc, OpVerdict v) const;
+
+  std::shared_ptr<const core::TypeRelations> relations_;
+  const automata::Alphabet* alphabet_ = nullptr;
+  std::vector<TypeTables> tables_;  // indexed by target TypeId
+};
+
+}  // namespace xmlreval::analysis
+
+#endif  // XMLREVAL_ANALYSIS_UPDATE_ANALYZER_H_

@@ -103,6 +103,41 @@ std::vector<bool> Dfa::UniversalStates() const {
   return universal;
 }
 
+std::vector<bool> Dfa::NeutralSymbols() const {
+  std::vector<bool> reachable = ReachableStates();
+  std::vector<bool> neutral(alphabet_size_, true);
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (!reachable[q]) continue;
+    for (Symbol s = 0; s < alphabet_size_; ++s) {
+      if (Next(q, s) != q) neutral[s] = false;
+    }
+  }
+  return neutral;
+}
+
+std::vector<bool> Dfa::DoomedSymbols() const {
+  std::vector<bool> reachable = ReachableStates();
+  std::vector<bool> co_dead = CoDeadStates();
+  std::vector<bool> doomed(alphabet_size_, true);
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (!reachable[q]) continue;
+    for (Symbol s = 0; s < alphabet_size_; ++s) {
+      if (!co_dead[Next(q, s)]) doomed[s] = false;
+    }
+  }
+  return doomed;
+}
+
+bool Dfa::SymbolsIndistinguishable(Symbol a, Symbol b) const {
+  if (a >= alphabet_size_ || b >= alphabet_size_) return false;
+  if (a == b) return true;
+  std::vector<bool> reachable = ReachableStates();
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (reachable[q] && Next(q, a) != Next(q, b)) return false;
+  }
+  return true;
+}
+
 Nfa Dfa::Reverse() const {
   Nfa nfa(alphabet_size_);
   for (StateId q = 0; q < num_states(); ++q) nfa.AddState();

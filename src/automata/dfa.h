@@ -88,6 +88,29 @@ class Dfa {
   /// reachable[q] = true iff q is reachable from the start state.
   std::vector<bool> ReachableStates() const;
 
+  // -- Per-symbol analyses for the static update-safety layer ------------
+  //
+  // src/analysis/ classifies editor operations without touching the tree.
+  // The per-(type, symbol) tables it precomputes reduce to these three
+  // whole-DFA questions, each quantified over the REACHABLE states only
+  // (unreachable rows of the transition table carry no information about
+  // accepted strings).
+
+  /// neutral[σ] = true iff δ(q, σ) = q for every reachable state q.
+  /// Inserting or deleting one occurrence of σ anywhere in a string then
+  /// never changes the run, so such edits are content-model-neutral at any
+  /// position and compose freely.
+  std::vector<bool> NeutralSymbols() const;
+
+  /// doomed[σ] = true iff δ(q, σ) is co-dead for every reachable state q:
+  /// every string in which σ occurs is rejected. An update that makes σ
+  /// appear in the child string is then immediately fatal.
+  std::vector<bool> DoomedSymbols() const;
+
+  /// True iff δ(q, a) = δ(q, b) for every reachable state q — the two
+  /// symbols are interchangeable in any input (the safe-rename condition).
+  bool SymbolsIndistinguishable(Symbol a, Symbol b) const;
+
   /// Reverses the automaton: L(reverse) = { reverse(s) | s ∈ L }. The
   /// result is an NFA (footnote 3 of the paper); determinize with
   /// DeterminizeNfa for reverse scanning.

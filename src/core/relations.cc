@@ -265,4 +265,18 @@ size_t TypeRelations::CountNonDisjoint() const {
   return n;
 }
 
+bool TypeRelations::TargetAcceptsEmptyElement(TypeId t) const {
+  if (t >= target_->num_types()) return false;
+  if (target_->IsSimple(t)) {
+    return schema::ValidateSimpleValue(target_->simple_type(t), "").ok();
+  }
+  const schema::ComplexType& ct = target_->complex_type(t);
+  if (!ct.dfa || !ct.dfa->AcceptsEmpty()) return false;
+  if (ct.open_attributes) return true;
+  for (const auto& [name, decl] : ct.attributes) {
+    if (decl.required) return false;
+  }
+  return true;
+}
+
 }  // namespace xmlreval::core

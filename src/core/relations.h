@@ -108,6 +108,13 @@ class TypeRelations {
   const Schema& source() const { return *source_; }
   const Schema& target() const { return *target_; }
 
+  /// True iff a freshly inserted element with NO children, text, or
+  /// attributes is valid for target type τ': a simple type accepting the
+  /// empty string, or a complex type whose content model accepts ε and
+  /// which declares no required attribute. This is the update-safety
+  /// analyzer's "insertable as a bare leaf" predicate (src/analysis/).
+  bool TargetAcceptsEmptyElement(TypeId t) const;
+
   /// Number of (s, t) pairs in R_sub / R_nondis (diagnostics, bench A3).
   size_t CountSubsumed() const;
   size_t CountNonDisjoint() const;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "obs/trace.h"
 
 namespace xmlreval::service {
@@ -24,7 +25,9 @@ RelationsCache::RelationsCache(const SchemaRegistry* registry,
           metrics_->counter("xmlreval_relations_cache_evictions_total")),
       compute_micros_total_(
           metrics_->counter("xmlreval_relations_compute_micros_total")),
-      compute_us_(metrics_->histogram("xmlreval_relations_compute_us")) {}
+      compute_us_(metrics_->histogram("xmlreval_relations_compute_us")),
+      analyzer_compilations_(metrics_->counter(
+          "xmlreval_update_analyzers_compiled_total")) {}
 
 Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
                                          SchemaHandle target) {
@@ -92,6 +95,109 @@ Result<RelationsPtr> RelationsCache::Get(SchemaHandle source,
     }
   }
   return result;
+}
+
+Result<AnalyzerPtr> RelationsCache::GetAnalyzer(SchemaHandle source,
+                                                SchemaHandle target) {
+  const uint64_t key = Key(source, target);
+
+  // Fast path: shared-lock probe (the single-flight structure mirrors
+  // Get(); hits/misses roll into the same cache counters).
+  {
+    std::shared_lock lock(analyzer_mutex_);
+    auto it = analyzer_entries_.find(key);
+    if (it != analyzer_entries_.end()) {
+      std::shared_ptr<AnalyzerEntry> entry = it->second;
+      lock.unlock();
+      entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+      if (entry->ready.load(std::memory_order_acquire)) {
+        hits_->Add();
+      } else {
+        misses_->Add();
+      }
+      return entry->future.get();
+    }
+  }
+
+  std::promise<Result<AnalyzerPtr>> promise;
+  std::shared_ptr<AnalyzerEntry> entry;
+  bool owner = false;
+  {
+    std::unique_lock lock(analyzer_mutex_);
+    auto it = analyzer_entries_.find(key);
+    if (it != analyzer_entries_.end()) {
+      entry = it->second;  // lost the insert race
+    } else {
+      entry = std::make_shared<AnalyzerEntry>();
+      entry->future = promise.get_future().share();
+      entry->last_used.store(
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      analyzer_entries_.emplace(key, entry);
+      owner = true;
+    }
+  }
+  misses_->Add();
+  if (!owner) {
+    entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+    return entry->future.get();
+  }
+
+  Result<AnalyzerPtr> result = CompileAnalyzer(source, target);
+  entry->ready.store(true, std::memory_order_release);
+  promise.set_value(result);
+  {
+    std::unique_lock lock(analyzer_mutex_);
+    if (result.ok()) {
+      EvictAnalyzersIfOver();
+    } else {
+      auto it = analyzer_entries_.find(key);
+      if (it != analyzer_entries_.end() && it->second == entry) {
+        analyzer_entries_.erase(it);
+      }
+    }
+  }
+  return result;
+}
+
+Result<AnalyzerPtr> RelationsCache::CompileAnalyzer(SchemaHandle source,
+                                                    SchemaHandle target) {
+  // The relations computation (or cached entry) comes first; the analyzer
+  // shares ownership of it, so an evicted relations entry stays alive for
+  // as long as its analyzer does.
+  ASSIGN_OR_RETURN(RelationsPtr relations, Get(source, target));
+  obs::Span span("analysis.compile");
+  Result<analysis::UpdateAnalyzer> analyzer =
+      analysis::UpdateAnalyzer::Compile(std::move(relations));
+  if (!analyzer.ok()) return analyzer.status();
+  analyzer_compilations_->Add();
+  return AnalyzerPtr(std::make_shared<const analysis::UpdateAnalyzer>(
+      std::move(analyzer).value()));
+}
+
+void RelationsCache::EvictAnalyzersIfOver() {
+  if (options_.capacity == 0) return;
+  size_t ready_count = 0;
+  for (const auto& [key, entry] : analyzer_entries_) {
+    if (entry->ready.load(std::memory_order_acquire)) ++ready_count;
+  }
+  while (ready_count > options_.capacity) {
+    uint64_t victim_key = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (const auto& [key, entry] : analyzer_entries_) {
+      if (!entry->ready.load(std::memory_order_acquire)) continue;
+      uint64_t used = entry->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim_key = key;
+      }
+    }
+    analyzer_entries_.erase(victim_key);
+    evictions_->Add();
+    --ready_count;
+  }
 }
 
 Result<RelationsPtr> RelationsCache::Compute(SchemaHandle source,
@@ -162,6 +268,7 @@ RelationsCache::Stats RelationsCache::stats() const {
   uint64_t samples = compute_us_->Count();
   stats.compute_mean_micros =
       samples == 0 ? 0.0 : double(compute_us_->Sum()) / double(samples);
+  stats.analyzer_compilations = analyzer_compilations_->Value();
   return stats;
 }
 

@@ -36,6 +36,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "analysis/update_analyzer.h"
 #include "common/result.h"
 #include "core/relations.h"
 #include "obs/metrics.h"
@@ -44,6 +45,7 @@
 namespace xmlreval::service {
 
 using RelationsPtr = std::shared_ptr<const core::TypeRelations>;
+using AnalyzerPtr = std::shared_ptr<const analysis::UpdateAnalyzer>;
 
 class RelationsCache {
  public:
@@ -72,6 +74,9 @@ class RelationsCache {
     uint64_t compute_micros = 0;
     uint64_t compute_max_micros = 0;
     double compute_mean_micros = 0;
+    /// UpdateAnalyzer compilations actually run (single-flight, like
+    /// `computations`).
+    uint64_t analyzer_compilations = 0;
   };
 
   /// `registry` must outlive the cache; handles passed to Get refer to it.
@@ -90,6 +95,12 @@ class RelationsCache {
   /// (Get acquires one itself around the computation).
   Result<RelationsPtr> Get(SchemaHandle source, SchemaHandle target);
 
+  /// The compiled update-safety analyzer for (source, target) — the static
+  /// tables of src/analysis/ — computed on first use. Calls Get()
+  /// internally, so the analyzer shares (and keeps alive) the pair's
+  /// cached TypeRelations. Same threading contract as Get().
+  Result<AnalyzerPtr> GetAnalyzer(SchemaHandle source, SchemaHandle target);
+
   Stats stats() const;
   /// Completed + in-flight entries currently held.
   size_t size() const;
@@ -101,8 +112,16 @@ class RelationsCache {
     std::atomic<uint64_t> last_used{0};
   };
 
+  struct AnalyzerEntry {
+    std::shared_future<Result<AnalyzerPtr>> future;
+    std::atomic<bool> ready{false};
+    std::atomic<uint64_t> last_used{0};
+  };
+
   Result<RelationsPtr> Compute(SchemaHandle source, SchemaHandle target);
-  void EvictIfOver();  // requires exclusive mutex_
+  Result<AnalyzerPtr> CompileAnalyzer(SchemaHandle source, SchemaHandle target);
+  void EvictIfOver();          // requires exclusive mutex_
+  void EvictAnalyzersIfOver();  // requires exclusive analyzer_mutex_
 
   static uint64_t Key(SchemaHandle source, SchemaHandle target) {
     return (static_cast<uint64_t>(source) << 32) | target;
@@ -113,6 +132,9 @@ class RelationsCache {
 
   mutable std::shared_mutex mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+
+  mutable std::shared_mutex analyzer_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<AnalyzerEntry>> analyzer_entries_;
 
   std::atomic<uint64_t> clock_{0};
 
@@ -125,6 +147,7 @@ class RelationsCache {
   obs::Counter* evictions_;
   obs::Counter* compute_micros_total_;
   obs::Histogram* compute_us_;
+  obs::Counter* analyzer_compilations_;
 };
 
 }  // namespace xmlreval::service

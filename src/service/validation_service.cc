@@ -44,6 +44,19 @@ ValidationService::ValidationService(const Options& options)
   validate_op_ = op("validate");
   cast_op_ = op("cast");
   cast_with_mods_op_ = op("cast_with_mods");
+  edit_stream_op_ = op("edit_stream");
+  edit_ops_safe_ =
+      metrics_.counter("xmlreval_edit_ops_total", {{"verdict", "safe"}});
+  edit_ops_fatal_ =
+      metrics_.counter("xmlreval_edit_ops_total", {{"verdict", "fatal"}});
+  edit_ops_unknown_ =
+      metrics_.counter("xmlreval_edit_ops_total", {{"verdict", "unknown"}});
+  streams_safe_ = metrics_.counter("xmlreval_edit_streams_total",
+                                   {{"path", "short_circuit_safe"}});
+  streams_fatal_ = metrics_.counter("xmlreval_edit_streams_total",
+                                    {{"path", "short_circuit_fatal"}});
+  streams_fallback_ =
+      metrics_.counter("xmlreval_edit_streams_total", {{"path", "fallback"}});
   queue_wait_us_ = metrics_.histogram("xmlreval_batch_queue_wait_us");
   batch_service_us_ = metrics_.histogram("xmlreval_batch_service_us");
   batch_inflight_ = metrics_.gauge("xmlreval_batch_inflight");
@@ -198,6 +211,94 @@ Result<core::ValidationReport> ValidationService::CastWithMods(
         .Validate(doc, mods);
   };
   return Record(run(), cast_with_mods_op_, start, PairLatency(source, target));
+}
+
+Result<analysis::OpVerdict> ValidationService::AnalyzeUpdate(
+    SchemaHandle source, SchemaHandle target, const xml::Document& doc,
+    const xml::EditOp& op) {
+  obs::Span span("svc.analyze_update");
+  ASSIGN_OR_RETURN(AnalyzerPtr analyzer, cache_.GetAnalyzer(source, target));
+  auto guard = registry_.ReadGuard();
+  return analyzer->Analyze(doc, op);
+}
+
+Result<ValidationService::EditStreamResult> ValidationService::SubmitEditStream(
+    SchemaHandle source, SchemaHandle target, xml::Document* doc,
+    const std::vector<xml::EditOp>& ops) {
+  obs::Span span("svc.edit_stream");
+  const Clock::time_point start = Clock::now();
+  auto run = [&]() -> Result<EditStreamResult> {
+    if (doc == nullptr) {
+      return Status::InvalidArgument("SubmitEditStream requires a document");
+    }
+    ASSIGN_OR_RETURN(AnalyzerPtr analyzer, cache_.GetAnalyzer(source, target));
+    auto guard = registry_.ReadGuard();
+
+    EditStreamResult result;
+    analysis::StreamSession session(analyzer.get(), doc);
+    for (const xml::EditOp& op : ops) {
+      RETURN_IF_ERROR(session.Apply(op).WithContext("edit stream op"));
+    }
+    {
+      obs::Span classify_span("analysis.classify");
+      result.stream = session.Classify();
+    }
+
+    if (result.stream.decided()) {
+      // Short circuit: the composed static verdict IS the answer; no
+      // validator runs, no node is visited.
+      result.short_circuited = true;
+      result.report.valid = result.stream.verdict == analysis::Safety::kSafe;
+      if (!result.report.valid) {
+        result.report.violation = result.stream.reason;
+      }
+      // The editor contract requires Seal() before Commit(); the index it
+      // returns (O(|ops|), no tree traversal) is simply dropped.
+      session.Seal();
+      RETURN_IF_ERROR(session.Commit());
+      return result;
+    }
+
+    // Fallback: the session doubles as a plain editor; seal its Δ-index
+    // and run the §3.3 incremental validator as CastWithMods would.
+    xml::ModificationIndex mods = session.Seal();
+    result.report =
+        core::ModValidator(&analyzer->relations(), options_.mods)
+            .Validate(*doc, mods);
+    RETURN_IF_ERROR(session.Commit());
+    return result;
+  };
+
+  Result<EditStreamResult> result = run();
+  const uint64_t micros = ElapsedMicros(start);
+  obs::Histogram* pair_latency = PairLatency(source, target);
+  std::shared_lock lock(snapshot_mutex_);
+  requests_->Add();
+  edit_stream_op_.dispatched->Add();
+  edit_stream_op_.latency->Record(micros);
+  if (pair_latency != nullptr) pair_latency->Record(micros);
+  if (!result.ok()) {
+    errors_->Add();
+    return result;
+  }
+  edit_stream_op_.ok->Add();
+  (result->report.valid ? valid_ : invalid_)->Add();
+  const analysis::StreamVerdict& stream = result->stream;
+  edit_ops_safe_->Add(stream.safe_ops);
+  edit_ops_fatal_->Add(stream.fatal_ops);
+  edit_ops_unknown_->Add(stream.unknown_ops);
+  if (result->short_circuited) {
+    (stream.verdict == analysis::Safety::kSafe ? streams_safe_
+                                               : streams_fatal_)
+        ->Add();
+  } else {
+    streams_fallback_->Add();
+    const core::ValidationCounters& c = result->report.counters;
+    nodes_visited_->Add(c.nodes_visited);
+    dfa_steps_->Add(c.dfa_steps);
+    subtrees_skipped_->Add(c.subtrees_skipped);
+  }
+  return result;
 }
 
 common::Executor& ValidationService::BatchExecutor() {
@@ -364,6 +465,12 @@ ValidationService::Counters ValidationService::counters() const {
   counters.batches = batches_->Value();
   counters.batch_items = batch_items_->Value();
   counters.nodes_visited = nodes_visited_->Value();
+  counters.edit_streams = edit_stream_op_.ok->Value();
+  counters.streams_short_circuited =
+      streams_safe_->Value() + streams_fatal_->Value();
+  counters.edit_ops_safe = edit_ops_safe_->Value();
+  counters.edit_ops_fatal = edit_ops_fatal_->Value();
+  counters.edit_ops_unknown = edit_ops_unknown_->Value();
   return counters;
 }
 

@@ -36,6 +36,9 @@
 //   xmlreval_batch_service_us              worker parse+bind+validate
 //   xmlreval_batch_inflight                items currently in the pipeline
 //   xmlreval_executor_queue_depth{executor} tasks queued, batch / intra_doc
+//   xmlreval_edit_ops_total{verdict=...}   stream ops after composition
+//   xmlreval_edit_streams_total{path=...}  short_circuit_safe / _fatal /
+//                                          fallback
 //   xmlreval_{nodes_visited,dfa_steps,subtrees_skipped}_total
 //
 // plus the RelationsCache's metrics (same registry). Counter updates for
@@ -60,6 +63,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/stream_session.h"
+#include "analysis/update_analyzer.h"
 #include "common/executor.h"
 #include "common/result.h"
 #include "core/cast_validator.h"
@@ -118,6 +123,12 @@ class ValidationService {
     uint64_t batches = 0;
     uint64_t batch_items = 0;
     uint64_t nodes_visited = 0;  // summed over all successful reports
+    // Edit-stream path (SubmitEditStream / AnalyzeUpdate).
+    uint64_t edit_streams = 0;             // OK SubmitEditStream calls
+    uint64_t streams_short_circuited = 0;  // decided without tree work
+    uint64_t edit_ops_safe = 0;            // per-op verdicts, post-compose
+    uint64_t edit_ops_fatal = 0;
+    uint64_t edit_ops_unknown = 0;
   };
 
   explicit ValidationService(const Options& options);
@@ -158,6 +169,42 @@ class ValidationService {
   Result<core::ValidationReport> CastWithMods(
       SchemaHandle source, SchemaHandle target, const xml::Document& doc,
       const xml::ModificationIndex& mods);
+
+  // ------------------------------------------------------------------
+  // Static update-safety analysis (src/analysis/)
+  // ------------------------------------------------------------------
+
+  /// Classifies ONE prospective operation against the pre-op state of
+  /// `doc` using the pair's cached UpdateAnalyzer — no tree mutation, no
+  /// validation. The document must be source-valid (kSafe additionally
+  /// requires the pair's root subsumption; the analyzer degrades to
+  /// kUnknown when it does not hold).
+  Result<analysis::OpVerdict> AnalyzeUpdate(SchemaHandle source,
+                                            SchemaHandle target,
+                                            const xml::Document& doc,
+                                            const xml::EditOp& op);
+
+  struct EditStreamResult {
+    /// Composed static verdict with per-op counts.
+    analysis::StreamVerdict stream;
+    /// True when the stream was decided statically — `report` was
+    /// synthesized from the verdict without touching the tree.
+    bool short_circuited = false;
+    /// The final verdict; from ModValidator when not short-circuited.
+    core::ValidationReport report;
+  };
+
+  /// Applies `ops` to `doc` through an analyzer-instrumented session and
+  /// decides target validity of the edited document: statically when the
+  /// composed verdict is safe or fatal (zero tree work), via ModValidator
+  /// over the sealed modification index otherwise. The edits are committed
+  /// before returning either way — mirroring the editor contract, `doc` is
+  /// left in its post-edit state. Precondition: `doc` is valid under
+  /// `source` before the first operation.
+  Result<EditStreamResult> SubmitEditStream(SchemaHandle source,
+                                            SchemaHandle target,
+                                            xml::Document* doc,
+                                            const std::vector<xml::EditOp>& ops);
 
   // ------------------------------------------------------------------
   // Batch pipeline
@@ -256,6 +303,17 @@ class ValidationService {
   OpMetrics validate_op_;
   OpMetrics cast_op_;
   OpMetrics cast_with_mods_op_;
+  OpMetrics edit_stream_op_;
+  // Edit-stream observability: per-op verdicts after stream composition
+  // (xmlreval_edit_ops_total{verdict=...}) and streams by resolution path
+  // (xmlreval_edit_streams_total{path=short_circuit_safe |
+  // short_circuit_fatal | fallback}).
+  obs::Counter* edit_ops_safe_;
+  obs::Counter* edit_ops_fatal_;
+  obs::Counter* edit_ops_unknown_;
+  obs::Counter* streams_safe_;
+  obs::Counter* streams_fatal_;
+  obs::Counter* streams_fallback_;
   obs::Histogram* queue_wait_us_;
   obs::Histogram* batch_service_us_;
   obs::Gauge* batch_inflight_;

@@ -1,14 +1,21 @@
-// Random update workloads over documents, driving xml::DocumentEditor.
+// Random update workloads over documents, driving any editor with the
+// xml::DocumentEditor surface — the plain editor for ground-truth runs, or
+// analysis::StreamSession for classified runs (both expose
+// Apply(const xml::EditOp&)).
 //
 // Used by the §3.3 property tests (the mod-validator's verdict must equal
-// full validation of the committed document) and the A4 bench (cast-with-
-// modifications vs. full revalidation across update counts and locality).
+// full validation of the committed document), the analyzer soundness
+// property tests, and the A4 / update-stream benches. The per-kind
+// safe/unsafe label pools let edit-stream benches dial the fraction of
+// operations the static analyzer can short-circuit.
 
 #ifndef XMLREVAL_WORKLOAD_UPDATE_WORKLOAD_H_
 #define XMLREVAL_WORKLOAD_UPDATE_WORKLOAD_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -29,6 +36,27 @@ struct UpdateWorkloadOptions {
   /// Labels used for renames and inserted elements. Empty = labels already
   /// present in the document.
   std::vector<std::string> label_pool;
+
+  // -- Per-kind safe/unsafe pools ----------------------------------------
+  //
+  // When a kind's pools are non-empty they override label_pool for that
+  // kind: each draw takes the safe pool with probability safe_percent/100
+  // and the unsafe pool otherwise (falling back to the non-empty one).
+  // "Safe"/"unsafe" is the caller's intent — typically labels the update
+  // analyzer can/cannot short-circuit — the generator attaches no meaning
+  // beyond the split.
+  std::vector<std::string> rename_safe_labels;
+  std::vector<std::string> rename_unsafe_labels;
+  std::vector<std::string> insert_safe_labels;
+  std::vector<std::string> insert_unsafe_labels;
+  std::vector<std::string> text_safe_values;
+  std::vector<std::string> text_unsafe_values;
+  /// Probability (percent, 0–100) that a per-kind draw uses the safe pool.
+  int safe_percent = 100;
+  /// Whether renames may target the document root. Root renames re-type
+  /// the entire document; benches studying per-subtree behavior turn them
+  /// off so one degenerate draw does not dominate a stream.
+  bool rename_root = true;
 };
 
 struct AppliedUpdate {
@@ -37,12 +65,187 @@ struct AppliedUpdate {
   std::string detail;  // human-readable description
 };
 
-/// Applies `options.edit_count` random edits through `editor`. Edits may or
-/// may not preserve validity — that is the point: the caller compares the
-/// incremental verdict against ground truth. Returns what was done.
+namespace detail {
+
+// Collects live nodes by kind. Deletions are tracked locally: the editor's
+// index view is not part of the shared editor surface.
+struct NodePools {
+  std::vector<xml::NodeId> elements;  // all live elements (root included)
+  std::vector<xml::NodeId> texts;     // live text nodes
+};
+
+inline NodePools CollectPools(const xml::Document& doc,
+                              const std::unordered_set<xml::NodeId>& deleted) {
+  NodePools pools;
+  if (!doc.has_root()) return pools;
+  std::vector<xml::NodeId> stack{doc.root()};
+  while (!stack.empty()) {
+    xml::NodeId node = stack.back();
+    stack.pop_back();
+    if (deleted.count(node)) continue;
+    if (doc.IsElement(node)) {
+      pools.elements.push_back(node);
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        stack.push_back(c);
+      }
+    } else {
+      pools.texts.push_back(node);
+    }
+  }
+  return pools;
+}
+
+inline bool IsEffectiveLeaf(const xml::Document& doc, xml::NodeId node,
+                            const std::unordered_set<xml::NodeId>& deleted) {
+  for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (!deleted.count(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Applies `options.edit_count` random edits through `editor` (any type
+/// with the DocumentEditor editing surface). Edits may or may not preserve
+/// validity — that is the point: the caller compares the incremental
+/// verdict against ground truth. Returns what was done. When `script` is
+/// non-null, every applied operation is appended to it in replayable form:
+/// replaying the script in order against an identical document produces
+/// identical node ids (the arena is deterministic), which is how the bench
+/// and CLI run the same stream through several validation paths.
+template <typename EditorT>
 Result<std::vector<AppliedUpdate>> ApplyRandomUpdates(
-    xml::Document* doc, xml::DocumentEditor* editor,
-    const UpdateWorkloadOptions& options);
+    xml::Document* doc, EditorT* editor, const UpdateWorkloadOptions& options,
+    std::vector<xml::EditOp>* script = nullptr) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<AppliedUpdate> applied;
+  std::unordered_set<xml::NodeId> deleted;
+
+  // Label pool: explicit, or harvested from the document.
+  std::vector<std::string> labels = options.label_pool;
+  if (labels.empty()) {
+    detail::NodePools pools = detail::CollectPools(*doc, deleted);
+    std::unordered_set<std::string> seen;
+    for (xml::NodeId e : pools.elements) {
+      if (seen.insert(doc->label(e)).second) labels.push_back(doc->label(e));
+    }
+  }
+  const bool pooled_renames = !options.rename_safe_labels.empty() ||
+                              !options.rename_unsafe_labels.empty();
+  const bool pooled_inserts = !options.insert_safe_labels.empty() ||
+                              !options.insert_unsafe_labels.empty();
+  const bool pooled_texts = !options.text_safe_values.empty() ||
+                            !options.text_unsafe_values.empty();
+  if (labels.empty() && !(pooled_renames && pooled_inserts)) {
+    return Status::FailedPrecondition("no labels available for updates");
+  }
+
+  int total_weight = options.rename_weight + options.insert_weight +
+                     options.delete_weight + options.text_edit_weight;
+  if (total_weight <= 0) {
+    return Status::InvalidArgument("update weights sum to zero");
+  }
+
+  auto pick = [&](const std::vector<xml::NodeId>& pool) {
+    return pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(rng)];
+  };
+  auto pick_string = [&](const std::vector<std::string>& pool) {
+    return pool[std::uniform_int_distribution<size_t>(0, pool.size() - 1)(rng)];
+  };
+  // One safe/unsafe draw per operation: the safe pool with probability
+  // safe_percent, degrading to whichever pool is non-empty.
+  auto pick_pooled = [&](const std::vector<std::string>& safe,
+                         const std::vector<std::string>& unsafe) {
+    bool want_safe =
+        std::uniform_int_distribution<int>(0, 99)(rng) < options.safe_percent;
+    const std::vector<std::string>* pool = want_safe ? &safe : &unsafe;
+    if (pool->empty()) pool = want_safe ? &unsafe : &safe;
+    return pick_string(*pool);
+  };
+  auto apply = [&](xml::EditOp op, AppliedUpdate::Kind kind,
+                   std::string describe) {
+    Status s = editor->Apply(op);
+    if (!s.ok()) return false;
+    if (op.kind == xml::EditOp::Kind::kDeleteLeaf) deleted.insert(op.node);
+    applied.push_back({kind, op.node, std::move(describe)});
+    if (script != nullptr) script->push_back(std::move(op));
+    return true;
+  };
+
+  size_t attempts = 0;
+  while (applied.size() < options.edit_count &&
+         attempts < options.edit_count * 20 + 50) {
+    ++attempts;
+    detail::NodePools pools = detail::CollectPools(*doc, deleted);
+    if (pools.elements.empty()) break;
+
+    int roll = std::uniform_int_distribution<int>(0, total_weight - 1)(rng);
+    if (roll < options.rename_weight) {
+      xml::NodeId node = pick(pools.elements);
+      if (!options.rename_root && node == doc->root()) continue;
+      std::string label =
+          pooled_renames
+              ? pick_pooled(options.rename_safe_labels,
+                            options.rename_unsafe_labels)
+              : pick_string(labels);
+      apply({xml::EditOp::Kind::kRename, node, label},
+            AppliedUpdate::Kind::kRename, "rename to '" + label + "'");
+      continue;
+    }
+    roll -= options.rename_weight;
+    if (roll < options.insert_weight) {
+      xml::NodeId parent = pick(pools.elements);
+      std::string label =
+          pooled_inserts
+              ? pick_pooled(options.insert_safe_labels,
+                            options.insert_unsafe_labels)
+              : pick_string(labels);
+      // Insert as first child or before/after a random child.
+      xml::EditOp op;
+      std::vector<xml::NodeId> children = doc->Children(parent);
+      if (children.empty() || (rng() & 3) == 0) {
+        op = {xml::EditOp::Kind::kInsertElementFirstChild, parent, label};
+      } else {
+        xml::NodeId ref = pick(children);
+        op = {(rng() & 1) ? xml::EditOp::Kind::kInsertElementBefore
+                          : xml::EditOp::Kind::kInsertElementAfter,
+              ref, label};
+      }
+      apply(std::move(op), AppliedUpdate::Kind::kInsert,
+            "insert '" + label + "'");
+      continue;
+    }
+    roll -= options.insert_weight;
+    if (roll < options.delete_weight) {
+      // Deletable: effective leaves that are not the root.
+      std::vector<xml::NodeId> leaves;
+      for (xml::NodeId e : pools.elements) {
+        if (e != doc->root() && detail::IsEffectiveLeaf(*doc, e, deleted)) {
+          leaves.push_back(e);
+        }
+      }
+      for (xml::NodeId t : pools.texts) leaves.push_back(t);
+      if (leaves.empty()) continue;
+      xml::NodeId node = pick(leaves);
+      apply({xml::EditOp::Kind::kDeleteLeaf, node, ""},
+            AppliedUpdate::Kind::kDelete, "delete");
+      continue;
+    }
+    // Text edit.
+    if (pools.texts.empty()) continue;
+    xml::NodeId node = pick(pools.texts);
+    std::string value =
+        pooled_texts
+            ? pick_pooled(options.text_safe_values, options.text_unsafe_values)
+            : std::to_string(
+                  std::uniform_int_distribution<int>(-50, 250)(rng));
+    apply({xml::EditOp::Kind::kUpdateText, node, value},
+          AppliedUpdate::Kind::kTextEdit, "set text to '" + value + "'");
+  }
+  return applied;
+}
 
 }  // namespace xmlreval::workload
 

@@ -212,6 +212,30 @@ ModificationIndex DocumentEditor::Seal() {
   return std::move(index_);
 }
 
+Status DocumentEditor::Apply(const EditOp& op) {
+  switch (op.kind) {
+    case EditOp::Kind::kRename:
+      return RenameElement(op.node, op.value);
+    case EditOp::Kind::kInsertElementFirstChild:
+      return InsertElementFirstChild(op.node, op.value).status();
+    case EditOp::Kind::kInsertElementBefore:
+      return InsertElementBefore(op.node, op.value).status();
+    case EditOp::Kind::kInsertElementAfter:
+      return InsertElementAfter(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextFirstChild:
+      return InsertTextFirstChild(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextBefore:
+      return InsertTextBefore(op.node, op.value).status();
+    case EditOp::Kind::kInsertTextAfter:
+      return InsertTextAfter(op.node, op.value).status();
+    case EditOp::Kind::kDeleteLeaf:
+      return DeleteLeaf(op.node);
+    case EditOp::Kind::kUpdateText:
+      return UpdateText(op.node, op.value);
+  }
+  return Status::InvalidArgument("unknown EditOp kind");
+}
+
 Status DocumentEditor::Commit() {
   if (!sealed_) {
     return Status::FailedPrecondition("Seal() the editor before Commit()");

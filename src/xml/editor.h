@@ -113,6 +113,29 @@ class ModificationIndex {
   size_t update_count_ = 0;
 };
 
+/// One editor operation in replayable form: the edit-script vocabulary
+/// shared by the random workload generator, the update-safety analyzer
+/// (src/analysis/), and the service's SubmitEditStream entry point. Node
+/// ids refer to the document the script is applied to; since the arena
+/// assigns ids deterministically, a script recorded against one parse of a
+/// document replays exactly against another parse of the same document.
+struct EditOp {
+  enum class Kind : uint8_t {
+    kRename,                   // node = element, value = new label
+    kInsertElementFirstChild,  // node = parent, value = label
+    kInsertElementBefore,      // node = reference, value = label
+    kInsertElementAfter,       // node = reference, value = label
+    kInsertTextFirstChild,     // node = parent, value = character data
+    kInsertTextBefore,         // node = reference, value = character data
+    kInsertTextAfter,          // node = reference, value = character data
+    kDeleteLeaf,               // node = effective leaf
+    kUpdateText,               // node = text node, value = character data
+  };
+  Kind kind = Kind::kRename;
+  NodeId node = kInvalidNode;
+  std::string value;
+};
+
 /// Applies paper-model updates to a Document and records them.
 class DocumentEditor {
  public:
@@ -137,6 +160,9 @@ class DocumentEditor {
 
   /// Replace the character data of a text node (a Δ^χ_χ modification).
   Status UpdateText(NodeId node, std::string_view text);
+
+  /// Replays one recorded operation (dispatch over EditOp::Kind).
+  Status Apply(const EditOp& op);
 
   /// Freezes the session: computes the Dewey trie of all touched nodes
   /// against the final encoded tree and returns the index. The editor must

@@ -1,0 +1,233 @@
+// Soundness property tests for the static update analyzer: on RANDOM edit
+// streams over random schema pairs and the paper's purchase-order pair, a
+// decided stream verdict must agree with ground truth —
+//
+//   kSafe  => the committed document is target-valid,
+//   kFatal => the committed document is target-INVALID,
+//
+// and the ModValidator fallback must agree with full validation on every
+// stream (decided or not). The suite applies over ten thousand random
+// edits in total; any unsound table entry, gate hole, or missing
+// entanglement rule in StreamSession::Classify shows up as a mismatch.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/stream_session.h"
+#include "analysis/update_analyzer.h"
+#include "core/full_validator.h"
+#include "core/mod_validator.h"
+#include "core/relations.h"
+#include "schema/xsd_parser.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+#include "workload/random_docs.h"
+#include "workload/random_schemas.h"
+#include "workload/update_workload.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlreval::analysis {
+namespace {
+
+using core::FullValidator;
+using core::ModValidator;
+using core::TypeRelations;
+using core::ValidationReport;
+using schema::Schema;
+
+struct AnalyzedPair {
+  std::shared_ptr<schema::Alphabet> alphabet;
+  std::unique_ptr<Schema> source;
+  std::unique_ptr<Schema> target;
+  std::shared_ptr<const TypeRelations> relations;
+  std::unique_ptr<UpdateAnalyzer> analyzer;
+};
+
+// Mirrors pipeline_property_test.cc: a random source schema, a mutated
+// target, and the compiled analyzer on top of their relations.
+AnalyzedPair MakeRandomPair(uint64_t seed) {
+  AnalyzedPair pair;
+  pair.alphabet = std::make_shared<schema::Alphabet>();
+  workload::RandomSchemaOptions schema_options;
+  schema_options.seed = seed;
+  schema_options.complex_types = 3 + seed % 4;
+  schema_options.all_group_percent = 25;
+  auto source = workload::GenerateRandomSchema(pair.alphabet, schema_options);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  pair.source = std::make_unique<Schema>(std::move(source).value());
+  workload::MutationOptions mutation_options;
+  mutation_options.seed = seed * 7 + 1;
+  mutation_options.mutations = 1 + seed % 4;
+  auto target = workload::MutateSchema(*pair.source, mutation_options);
+  EXPECT_TRUE(target.ok()) << target.status().ToString();
+  pair.target = std::make_unique<Schema>(std::move(target).value());
+  auto relations =
+      TypeRelations::Compute(pair.source.get(), pair.target.get());
+  EXPECT_TRUE(relations.ok()) << relations.status().ToString();
+  pair.relations =
+      std::make_shared<const TypeRelations>(std::move(relations).value());
+  auto analyzer = UpdateAnalyzer::Compile(pair.relations);
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  pair.analyzer =
+      std::make_unique<UpdateAnalyzer>(std::move(analyzer).value());
+  return pair;
+}
+
+AnalyzedPair MakeXsdPair(const char* source_xsd, const char* target_xsd) {
+  AnalyzedPair pair;
+  pair.alphabet = std::make_shared<schema::Alphabet>();
+  auto source = schema::ParseXsd(source_xsd, pair.alphabet);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  pair.source = std::make_unique<Schema>(std::move(source).value());
+  auto target = schema::ParseXsd(target_xsd, pair.alphabet);
+  EXPECT_TRUE(target.ok()) << target.status().ToString();
+  pair.target = std::make_unique<Schema>(std::move(target).value());
+  auto relations =
+      TypeRelations::Compute(pair.source.get(), pair.target.get());
+  EXPECT_TRUE(relations.ok()) << relations.status().ToString();
+  pair.relations =
+      std::make_shared<const TypeRelations>(std::move(relations).value());
+  auto analyzer = UpdateAnalyzer::Compile(pair.relations);
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  pair.analyzer =
+      std::make_unique<UpdateAnalyzer>(std::move(analyzer).value());
+  return pair;
+}
+
+// Aggregates across streams, so the tests can assert the property is not
+// vacuously true (decided streams actually occur).
+struct Tally {
+  size_t edits = 0;
+  size_t streams = 0;
+  size_t safe_streams = 0;
+  size_t fatal_streams = 0;
+  size_t safe_ops = 0;
+  size_t fatal_ops = 0;
+};
+
+// Runs one stream through a classifying session and checks every
+// soundness obligation against ModValidator and full validation.
+void RunStream(const AnalyzedPair& pair, xml::Document* doc,
+               const workload::UpdateWorkloadOptions& options,
+               const char* what, Tally* tally) {
+  StreamSession session(pair.analyzer.get(), doc);
+  auto applied = workload::ApplyRandomUpdates(doc, &session, options);
+  EXPECT_TRUE(applied.ok()) << applied.status().ToString();
+  if (!applied.ok()) return;
+
+  StreamVerdict sv = session.Classify();
+  xml::ModificationIndex mods = session.Seal();
+  ModValidator modval(pair.relations.get());
+  ValidationReport incremental = modval.Validate(*doc, mods);
+  EXPECT_TRUE(session.Commit().ok());
+  FullValidator target_full(pair.target.get());
+  ValidationReport ground = target_full.Validate(*doc);
+
+  EXPECT_EQ(incremental.valid, ground.valid)
+      << what << " seed " << options.seed
+      << ": ModValidator disagrees with full validation\n  incremental: "
+      << incremental.violation << "\n  full: " << ground.violation
+      << "\n  doc:\n"
+      << xml::Serialize(*doc);
+  if (sv.verdict == Safety::kSafe) {
+    EXPECT_TRUE(ground.valid)
+        << what << " seed " << options.seed
+        << ": stream classified SAFE but the committed document is "
+           "target-invalid (" << ground.violation << ")\n  doc:\n"
+        << xml::Serialize(*doc);
+  } else if (sv.verdict == Safety::kFatal) {
+    EXPECT_FALSE(ground.valid)
+        << what << " seed " << options.seed
+        << ": stream classified FATAL (" << sv.reason
+        << ") but the committed document is target-valid\n  doc:\n"
+        << xml::Serialize(*doc);
+  }
+  tally->edits += applied->size();
+  tally->streams += 1;
+  tally->safe_streams += sv.verdict == Safety::kSafe;
+  tally->fatal_streams += sv.verdict == Safety::kFatal;
+  tally->safe_ops += sv.safe_ops;
+  tally->fatal_ops += sv.fatal_ops;
+}
+
+// The headline property: >= 10k random edits across random schema pairs,
+// every decided verdict checked against ground truth.
+TEST(AnalysisProperty, SoundOnRandomSchemaPairs) {
+  Tally tally;
+  for (uint64_t pair_seed = 1; pair_seed <= 12; ++pair_seed) {
+    AnalyzedPair pair = MakeRandomPair(pair_seed);
+    for (uint64_t doc_seed = 1; doc_seed <= 32; ++doc_seed) {
+      workload::RandomDocOptions doc_options;
+      doc_options.seed = doc_seed * 13 + pair_seed;
+      doc_options.root_label = "root";
+      doc_options.max_elements = 40;
+      auto doc = workload::SampleDocument(*pair.source, doc_options);
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      ASSERT_OK(doc->Bind(pair.alphabet));
+
+      workload::UpdateWorkloadOptions options;
+      options.seed = pair_seed * 1000 + doc_seed;
+      options.edit_count = 28;
+      RunStream(pair, &*doc, options, "random pair", &tally);
+      if (HasFatalFailure()) return;
+    }
+  }
+  // The acceptance floor: this suite alone applies >= 10k random edits.
+  EXPECT_GE(tally.edits, 10000u) << "workload generator starved";
+  // Non-vacuity: the seeds are fixed, so these floors are deterministic.
+  // Decided streams AND decided per-op verdicts must actually occur.
+  EXPECT_GT(tally.fatal_streams, 0u);
+  EXPECT_GT(tally.safe_ops, 0u);
+  EXPECT_GT(tally.fatal_ops, 0u);
+}
+
+// The paper's purchase-order evolution pair (Figure 1a -> Figure 2) plus
+// the identity pair, with mixed on-/off-model label pools so safe, fatal,
+// unknown, and downgraded verdicts all occur.
+TEST(AnalysisProperty, SoundOnPurchaseOrderPairs) {
+  struct Case {
+    const char* name;
+    const char* source;
+    const char* target;
+  };
+  const Case cases[] = {
+      {"po evolution", workload::kSourceXsd, workload::kTargetXsd},
+      {"po identity", workload::kTargetXsd, workload::kTargetXsd},
+  };
+  Tally tally;
+  for (const Case& c : cases) {
+    AnalyzedPair pair = MakeXsdPair(c.source, c.target);
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      workload::PoGeneratorOptions po_options;
+      po_options.item_count = 3 + seed % 8;
+      po_options.seed = seed * 101;
+      xml::Document doc = workload::GeneratePurchaseOrder(po_options);
+      ASSERT_OK(doc.Bind(pair.alphabet));
+
+      workload::UpdateWorkloadOptions options;
+      options.seed = seed * 9 + 4;
+      options.edit_count = 20;
+      if (seed % 3 == 0) {
+        // Every third stream draws from off-model pools: those verdicts
+        // must degrade to unknown, never to a wrong safe/fatal.
+        options.rename_safe_labels = {"item", "comment"};
+        options.rename_unsafe_labels = {"__wild", "__offmodel"};
+        options.insert_safe_labels = {"comment"};
+        options.insert_unsafe_labels = {"__wild"};
+        options.safe_percent = 50;
+      }
+      RunStream(pair, &doc, options, c.name, &tally);
+      if (HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GE(tally.edits, 1000u) << "workload generator starved";
+  EXPECT_GT(tally.fatal_streams, 0u);
+  EXPECT_GT(tally.safe_ops, 0u);
+}
+
+}  // namespace
+}  // namespace xmlreval::analysis

@@ -273,4 +273,85 @@ TEST_F(CliTest, StatsPrettyPrintsAndRejectsGarbage) {
   EXPECT_EQ(Run("stats"), 2);
 }
 
+// ------------------------------------------------------- analyze-updates
+
+class AnalyzeUpdatesCliTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    WriteFile("star.dtd",
+              "<!ELEMENT feed ((entry|note)*)>\n"
+              "<!ELEMENT entry (#PCDATA)><!ELEMENT note (#PCDATA)>\n"
+              "<!ELEMENT meta (title)><!ELEMENT title (#PCDATA)>\n");
+    WriteFile("feed.xml",
+              "<feed><entry>a</entry><note>b</note>"
+              "<entry>c</entry><note>d</note></feed>");
+  }
+
+  std::string Base() {
+    return "analyze-updates " + P("star.dtd") + " " + P("star.dtd") + " " +
+           P("feed.xml");
+  }
+};
+
+TEST_F(AnalyzeUpdatesCliTest, SafeStreamShortCircuits) {
+  // The generator is deterministic under --seed; seed 2 draws one
+  // statically safe edit.
+  EXPECT_EQ(Run(Base() + " --edits 1 --seed 2"), 0);
+  std::string out = Output();
+  EXPECT_NE(out.find("1 safe, 0 fatal, 0 unknown"), std::string::npos) << out;
+  EXPECT_NE(out.find("short-circuited"), std::string::npos) << out;
+  EXPECT_NE(out.find("analyze-updates: VALID"), std::string::npos) << out;
+}
+
+TEST_F(AnalyzeUpdatesCliTest, FatalStreamShortCircuitsAsInvalid) {
+  // Seed 1 draws a root rename to a disjoint type: statically fatal.
+  EXPECT_EQ(Run(Base() + " --edits 1 --seed 1"), 1);
+  std::string out = Output();
+  EXPECT_NE(out.find("0 safe, 1 fatal, 0 unknown"), std::string::npos) << out;
+  EXPECT_NE(out.find("stream verdict: fatal"), std::string::npos) << out;
+  EXPECT_NE(out.find("analyze-updates: INVALID"), std::string::npos) << out;
+}
+
+TEST_F(AnalyzeUpdatesCliTest, UndecidedStreamFallsBackAndDumpsMetrics) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  // Seed 3 with 6 edits entangles everything: fallback path, valid result.
+  EXPECT_EQ(
+      Run(Base() + " --edits 6 --seed 3 --metrics-out " + P("metrics.json")),
+      0);
+  std::string out = Output();
+  EXPECT_NE(out.find("fell back to incremental revalidation"),
+            std::string::npos)
+      << out;
+
+  auto dump = xmlreval::json::Parse(Slurp(P("metrics.json")));
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  // One edit_stream request took the fallback path; per-op verdict
+  // counters account for all six operations.
+  const xmlreval::json::Value* counters = dump->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  double fallback = 0.0;
+  double ops = 0.0;
+  for (const auto& e : counters->AsArray()) {
+    const std::string& name = e.Find("name")->AsString();
+    if (name == "xmlreval_edit_streams_total") {
+      const xmlreval::json::Value* labels = e.Find("labels");
+      if (labels != nullptr && labels->Find("path") != nullptr &&
+          labels->Find("path")->AsString() == "fallback") {
+        fallback += e.Find("value")->AsNumber();
+      }
+    } else if (name == "xmlreval_edit_ops_total") {
+      ops += e.Find("value")->AsNumber();
+    }
+  }
+  EXPECT_EQ(fallback, 1.0);
+  EXPECT_EQ(ops, 6.0);
+}
+
+TEST_F(AnalyzeUpdatesCliTest, UsageErrors) {
+  EXPECT_EQ(Run("analyze-updates " + P("star.dtd") + " " + P("star.dtd")), 2);
+  EXPECT_EQ(Run(Base() + " --safe-percent 150"), 2);
+  EXPECT_EQ(Run(Base() + " --bogus-flag"), 2);
+}
+
 }  // namespace

@@ -99,6 +99,71 @@ TEST(DfaTest, UniversalStates) {
   EXPECT_FALSE(universal[dfa.Run(Word("a", &alphabet))]);
 }
 
+TEST(DfaTest, NeutralSymbols) {
+  // In "((a|b)*)" every symbol self-loops on every reachable state; in
+  // "(a,b)" none does.
+  Alphabet alphabet;
+  Dfa star = CompileOrDie("((a|b)*)", &alphabet);
+  std::vector<bool> neutral = star.NeutralSymbols();
+  EXPECT_TRUE(neutral[*alphabet.Find("a")]);
+  EXPECT_TRUE(neutral[*alphabet.Find("b")]);
+  Dfa seq = CompileOrDie("(a,b)", &alphabet);
+  neutral = seq.NeutralSymbols();
+  EXPECT_FALSE(neutral[*alphabet.Find("a")]);
+  EXPECT_FALSE(neutral[*alphabet.Find("b")]);
+}
+
+TEST(DfaTest, NeutralMeansInsertionInvariant) {
+  // Semantic check: for a neutral symbol s, splicing s into any accepted
+  // word at ANY position keeps it accepted. Note neutrality is a strong,
+  // whole-DFA property: in "((a|b)*,c)" even 'a' is not neutral, because
+  // the post-'c' accept state has no a-loop.
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("((a|b)*)", &alphabet);
+  std::vector<bool> neutral = dfa.NeutralSymbols();
+  Symbol a = *alphabet.Find("a");
+  ASSERT_TRUE(neutral[a]);
+  std::vector<Symbol> word = Word("abba", &alphabet);
+  for (size_t pos = 0; pos <= word.size(); ++pos) {
+    std::vector<Symbol> spliced = word;
+    spliced.insert(spliced.begin() + pos, a);
+    EXPECT_TRUE(dfa.Accepts(spliced)) << pos;
+  }
+  Dfa seq = CompileOrDie("((a|b)*,c)", &alphabet);
+  neutral = seq.NeutralSymbols();
+  EXPECT_FALSE(neutral[*alphabet.Find("a")]);
+  EXPECT_FALSE(neutral[*alphabet.Find("c")]);
+}
+
+TEST(DfaTest, DoomedSymbols) {
+  // In "(a,b)" no accepted word contains a second 'a'... but 'a' itself is
+  // not doomed from the start state. A symbol outside the regex — padded
+  // into the alphabet — IS doomed everywhere.
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("((a|b)*)", &alphabet);
+  Symbol fresh = alphabet.Intern("zzz");
+  Dfa padded = dfa.PaddedTo(alphabet.size());
+  std::vector<bool> doomed = padded.DoomedSymbols();
+  EXPECT_TRUE(doomed[fresh]);
+  EXPECT_FALSE(doomed[*alphabet.Find("a")]);
+  EXPECT_FALSE(doomed[*alphabet.Find("b")]);
+}
+
+TEST(DfaTest, SymbolsIndistinguishable) {
+  // a and b play identical roles in "((a|b)*,c)"; c does not.
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("((a|b)*,c)", &alphabet);
+  Symbol a = *alphabet.Find("a");
+  Symbol b = *alphabet.Find("b");
+  Symbol c = *alphabet.Find("c");
+  EXPECT_TRUE(dfa.SymbolsIndistinguishable(a, b));
+  EXPECT_TRUE(dfa.SymbolsIndistinguishable(b, a));
+  EXPECT_TRUE(dfa.SymbolsIndistinguishable(a, a));
+  EXPECT_FALSE(dfa.SymbolsIndistinguishable(a, c));
+  // Out-of-range symbols are never indistinguishable from in-range ones.
+  EXPECT_FALSE(dfa.SymbolsIndistinguishable(a, Symbol(alphabet.size() + 7)));
+}
+
 TEST(DfaTest, ReverseRecognizesReversedLanguage) {
   Alphabet alphabet;
   Dfa dfa = CompileOrDie("(a,b,c?)", &alphabet);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "automata/alphabet.h"
 #include "tests/test_util.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -163,6 +166,37 @@ TEST(EditorTest, TextInsertions) {
   EXPECT_TRUE(mods.IsInserted(t));
   ASSERT_OK(editor.Commit());
   EXPECT_EQ(Serialize(doc, Compact()), "<r><a>42</a></r>");
+}
+
+TEST(EditorTest, OutOfAlphabetEditsYieldUnboundSymbols) {
+  // Edits on a bound document may introduce labels outside the shared Σ
+  // (Bind is find-only). The editor keeps the binding coherent: such
+  // nodes carry kUnboundSymbol — the signal the update analyzer keys on
+  // to refuse a safe/fatal verdict — and renaming back into Σ restores a
+  // real symbol.
+  ASSERT_OK_AND_ASSIGN(Document doc, ParseXml("<r><a/></r>"));
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  alphabet->Intern("r");
+  alphabet->Intern("a");
+  ASSERT_OK(doc.Bind(alphabet));
+  NodeId a = ElementChildren(doc, doc.root())[0];
+  ASSERT_EQ(doc.symbol(a), *alphabet->Find("a"));
+
+  DocumentEditor editor(&doc);
+  ASSERT_OK(editor.RenameElement(a, "zzz_wild"));
+  EXPECT_EQ(doc.symbol(a), automata::kUnboundSymbol);
+
+  ASSERT_OK_AND_ASSIGN(NodeId wild,
+                       editor.InsertElementFirstChild(doc.root(), "wild"));
+  EXPECT_EQ(doc.symbol(wild), automata::kUnboundSymbol);
+
+  ASSERT_OK(editor.RenameElement(a, "a"));
+  EXPECT_EQ(doc.symbol(a), *alphabet->Find("a"));
+
+  ModificationIndex mods = editor.Seal();
+  EXPECT_TRUE(mods.IsInserted(wild));
+  ASSERT_OK(editor.Commit());
+  EXPECT_EQ(Serialize(doc, Compact()), "<r><wild/><a/></r>");
 }
 
 }  // namespace

@@ -205,5 +205,61 @@ TEST_F(RelationsCacheTest, EvictedEntryStaysAliveForHolders) {
   EXPECT_TRUE(validator.Validate(*doc).valid);
 }
 
+TEST_F(RelationsCacheTest, AnalyzersCompileOnceAndShareRelations) {
+  RelationsCache cache(&registry_);
+  auto first = cache.GetAnalyzer(source_, targets_[1]);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = cache.GetAnalyzer(source_, targets_[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared analyzer
+  EXPECT_EQ(cache.stats().analyzer_compilations, 1u);
+
+  // The analyzer rides on the SAME cached relations instance the
+  // validators use — compiling it populated the relations cache too.
+  auto relations = cache.Get(source_, targets_[1]);
+  ASSERT_TRUE(relations.ok());
+  EXPECT_EQ(&(*first)->relations(), relations->get());
+  EXPECT_EQ(cache.stats().computations, 1u);
+
+  // A second pair compiles its own analyzer.
+  ASSERT_TRUE(cache.GetAnalyzer(source_, targets_[2]).ok());
+  EXPECT_EQ(cache.stats().analyzer_compilations, 2u);
+}
+
+TEST_F(RelationsCacheTest, AnalyzerBadHandleFailsAndDoesNotPoison) {
+  RelationsCache cache(&registry_);
+  EXPECT_FALSE(cache.GetAnalyzer(source_, 9999).ok());
+  EXPECT_TRUE(cache.GetAnalyzer(source_, targets_[0]).ok());
+  EXPECT_EQ(cache.stats().analyzer_compilations, 1u);
+}
+
+// Analyzer single-flight: hammering one pair from many threads compiles
+// exactly once and every thread gets the same instance.
+TEST_F(RelationsCacheTest, AnalyzerSingleFlightUnderContention) {
+  constexpr int kThreads = 8;
+  RelationsCache cache(&registry_);
+  std::atomic<bool> go{false};
+  std::atomic<const void*> seen{nullptr};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 20; ++i) {
+        auto analyzer = cache.GetAnalyzer(source_, targets_[3]);
+        ASSERT_TRUE(analyzer.ok());
+        const void* expected = nullptr;
+        const void* mine = analyzer->get();
+        if (!seen.compare_exchange_strong(expected, mine)) {
+          EXPECT_EQ(expected, mine);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : workers) thread.join();
+  EXPECT_EQ(cache.stats().analyzer_compilations, 1u);
+}
+
 }  // namespace
 }  // namespace xmlreval::service

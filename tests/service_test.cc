@@ -536,6 +536,137 @@ TEST_F(ValidationServiceTest, MetricsReconcileWithRequestCounters) {
 // migrated path records each request under a shared lock and snapshots
 // under the exclusive side: requests == valid + invalid + errors at EVERY
 // snapshot, not just at quiescence.
+// ----------------------------------------------------- edit-stream path
+
+// feed accepts (entry|note)* — entry/note are neutral and interchangeable;
+// meta can never appear under feed.
+constexpr const char* kStarDtd = R"(
+<!ELEMENT feed ((entry|note)*)>
+<!ELEMENT entry (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT meta (title)>
+<!ELEMENT title (#PCDATA)>
+)";
+
+class EditStreamServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = service_.registry().RegisterDtd("star-src", kStarDtd, {});
+    auto t = service_.registry().RegisterDtd("star-tgt", kStarDtd, {});
+    ASSERT_TRUE(s.ok()) << s.status();
+    ASSERT_TRUE(t.ok()) << t.status();
+    source_ = *s;
+    target_ = *t;
+  }
+
+  xml::Document Doc(const char* text) {
+    auto doc = xml::ParseXml(text);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_TRUE(service_.BindDocument(&*doc).ok());
+    return std::move(doc).value();
+  }
+
+  ValidationService service_;
+  SchemaHandle source_ = kInvalidSchemaHandle;
+  SchemaHandle target_ = kInvalidSchemaHandle;
+};
+
+TEST_F(EditStreamServiceTest, AnalyzeUpdateClassifiesWithoutMutating) {
+  xml::Document doc = Doc("<feed><entry>x</entry></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+
+  xml::EditOp rename{xml::EditOp::Kind::kRename, entry, "note"};
+  auto verdict = service_.AnalyzeUpdate(source_, target_, doc, rename);
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_EQ(verdict->safety, analysis::Safety::kSafe) << verdict->reason;
+  EXPECT_EQ(doc.label(entry), "entry");  // pure query, no tree change
+
+  xml::EditOp doomed{xml::EditOp::Kind::kInsertElementFirstChild, doc.root(),
+                     "meta"};
+  auto fatal = service_.AnalyzeUpdate(source_, target_, doc, doomed);
+  ASSERT_TRUE(fatal.ok());
+  EXPECT_EQ(fatal->safety, analysis::Safety::kFatal);
+
+  EXPECT_FALSE(service_.AnalyzeUpdate(777, target_, doc, rename).ok());
+}
+
+TEST_F(EditStreamServiceTest, SafeStreamShortCircuitsAndCommits) {
+  xml::Document doc = Doc("<feed><entry>x</entry><note/></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+  std::vector<xml::EditOp> ops{
+      {xml::EditOp::Kind::kRename, entry, "note"},
+      {xml::EditOp::Kind::kInsertElementFirstChild, doc.root(), "entry"},
+  };
+  auto result = service_.SubmitEditStream(source_, target_, &doc, ops);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->short_circuited);
+  EXPECT_EQ(result->stream.verdict, analysis::Safety::kSafe);
+  EXPECT_TRUE(result->report.valid);
+  // The stream was committed: the rename landed.
+  EXPECT_EQ(doc.label(entry), "note");
+
+  ValidationService::Counters c = service_.counters();
+  EXPECT_EQ(c.edit_streams, 1u);
+  EXPECT_EQ(c.streams_short_circuited, 1u);
+  EXPECT_EQ(c.edit_ops_safe, 2u);
+  EXPECT_EQ(c.edit_ops_fatal, 0u);
+  EXPECT_EQ(c.valid, 1u);
+}
+
+TEST_F(EditStreamServiceTest, FatalStreamShortCircuitsAsInvalid) {
+  xml::Document doc = Doc("<feed><entry>x</entry></feed>");
+  std::vector<xml::EditOp> ops{
+      {xml::EditOp::Kind::kInsertElementFirstChild, doc.root(), "meta"},
+  };
+  auto result = service_.SubmitEditStream(source_, target_, &doc, ops);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->short_circuited);
+  EXPECT_EQ(result->stream.verdict, analysis::Safety::kFatal);
+  EXPECT_FALSE(result->report.valid);
+  EXPECT_FALSE(result->report.violation.empty());
+
+  ValidationService::Counters c = service_.counters();
+  EXPECT_EQ(c.streams_short_circuited, 1u);
+  EXPECT_EQ(c.edit_ops_fatal, 1u);
+  EXPECT_EQ(c.invalid, 1u);
+}
+
+TEST_F(EditStreamServiceTest, UndecidedStreamFallsBackToModValidator) {
+  xml::Document doc = Doc("<feed><entry>x</entry></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+  xml::NodeId text = doc.first_child(entry);
+  // Text inserted next to existing simple content: statically undecided,
+  // but perfectly valid PCDATA — the fallback must say so.
+  std::vector<xml::EditOp> ops{
+      {xml::EditOp::Kind::kInsertTextBefore, text, "pre-"},
+  };
+  auto result = service_.SubmitEditStream(source_, target_, &doc, ops);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->short_circuited);
+  EXPECT_EQ(result->stream.verdict, analysis::Safety::kUnknown);
+  EXPECT_TRUE(result->report.valid) << result->report.violation;
+  // The fallback actually visited the tree.
+  EXPECT_GT(result->report.counters.nodes_visited, 0u);
+
+  ValidationService::Counters c = service_.counters();
+  EXPECT_EQ(c.edit_streams, 1u);
+  EXPECT_EQ(c.streams_short_circuited, 0u);
+  EXPECT_EQ(c.edit_ops_unknown, 1u);
+}
+
+TEST_F(EditStreamServiceTest, AnalyzersAreCompiledOncePerPair) {
+  for (int i = 0; i < 3; ++i) {
+    xml::Document doc = Doc("<feed><entry>x</entry></feed>");
+    xml::NodeId entry = doc.first_child(doc.root());
+    std::vector<xml::EditOp> ops{{xml::EditOp::Kind::kRename, entry, "note"}};
+    ASSERT_TRUE(service_.SubmitEditStream(source_, target_, &doc, ops).ok());
+  }
+  EXPECT_EQ(service_.cache().stats().analyzer_compilations, 1u);
+  ValidationService::Counters c = service_.counters();
+  EXPECT_EQ(c.edit_streams, 3u);
+  EXPECT_EQ(c.streams_short_circuited, 3u);
+}
+
 TEST_F(ValidationServiceTest, CounterSnapshotsAreInternallyConsistent) {
   auto valid_doc = xml::ParseXml(kFullNote);
   auto invalid_doc = xml::ParseXml(kBodylessNote);

@@ -1,0 +1,409 @@
+// UpdateAnalyzer safety tables, per-operation verdicts, the root-pair
+// gate, and StreamSession's composition rules. The soundness PROPERTY
+// (safe => valid, fatal => invalid on random streams) lives in
+// analysis_property_test.cc; these tests pin down the individual rules.
+
+#include "analysis/update_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "analysis/stream_session.h"
+#include "core/mod_validator.h"
+#include "schema/dtd_parser.h"
+#include "tests/test_util.h"
+#include "xml/editor.h"
+#include "xml/parser.h"
+
+namespace xmlreval::analysis {
+namespace {
+
+using automata::Symbol;
+using schema::TypeId;
+
+// feed accepts any interleaving of entry/note (both content-neutral and
+// mutually indistinguishable); meta is declared but can never appear under
+// feed (doomed there) and requires a title child of its own.
+constexpr const char* kStarDtd = R"(
+<!ELEMENT feed ((entry|note)*)>
+<!ELEMENT entry (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT meta (title)>
+<!ELEMENT title (#PCDATA)>
+)";
+
+struct Fixture {
+  std::shared_ptr<automata::Alphabet> alphabet =
+      std::make_shared<automata::Alphabet>();
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::shared_ptr<const core::TypeRelations> relations;
+  std::optional<UpdateAnalyzer> analyzer;
+
+  void LoadDtd(const char* source_dtd, const char* target_dtd) {
+    auto s = schema::ParseDtd(source_dtd, alphabet);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    source = std::make_unique<schema::Schema>(std::move(s).value());
+    auto t = schema::ParseDtd(target_dtd, alphabet);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    target = std::make_unique<schema::Schema>(std::move(t).value());
+    auto r = core::TypeRelations::Compute(source.get(), target.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    relations =
+        std::make_shared<const core::TypeRelations>(std::move(r).value());
+    auto a = UpdateAnalyzer::Compile(relations);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    analyzer.emplace(std::move(a).value());
+  }
+
+  Symbol Sym(const char* label) const { return *alphabet->Find(label); }
+};
+
+xml::Document BoundDoc(const Fixture& f, const char* text) {
+  auto doc = xml::ParseXml(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->Bind(f.alphabet).ok());
+  return std::move(doc).value();
+}
+
+// ------------------------------------------------------------- tables
+
+TEST(UpdateAnalyzerTest, SafetyTablesOnStarSchema) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  TypeId feed_t = f.target->RootType(f.Sym("feed"));
+  ASSERT_NE(feed_t, schema::kInvalidType);
+
+  // entry and note self-loop on every state of ((entry|note)*).
+  EXPECT_TRUE(f.analyzer->InsertNeutral(feed_t, f.Sym("entry")));
+  EXPECT_TRUE(f.analyzer->InsertNeutral(feed_t, f.Sym("note")));
+  EXPECT_FALSE(f.analyzer->InsertNeutral(feed_t, f.Sym("meta")));
+
+  // meta never appears in any accepted child string of feed.
+  EXPECT_TRUE(f.analyzer->SymbolDoomed(feed_t, f.Sym("meta")));
+  EXPECT_FALSE(f.analyzer->SymbolDoomed(feed_t, f.Sym("entry")));
+
+  // A freshly inserted empty <entry/> satisfies its PCDATA type; meta is
+  // not even typed under feed.
+  EXPECT_TRUE(f.analyzer->EmptyLeafOk(feed_t, f.Sym("entry")));
+  EXPECT_FALSE(f.analyzer->EmptyLeafOk(feed_t, f.Sym("meta")));
+
+  // entry and note play identical roles in feed's content model.
+  EXPECT_TRUE(
+      f.analyzer->RenameIndistinguishable(feed_t, f.Sym("entry"), f.Sym("note")));
+  EXPECT_FALSE(
+      f.analyzer->RenameIndistinguishable(feed_t, f.Sym("entry"), f.Sym("meta")));
+}
+
+// ------------------------------------------------------------- renames
+
+TEST(UpdateAnalyzerTest, RenameVerdicts) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>x</entry><note>y</note></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+
+  // entry -> note: indistinguishable in feed, and the subtree types are
+  // R_sub-related (both PCDATA). Safe, but only while the subtree is
+  // untouched by the rest of the stream.
+  OpVerdict v = f.analyzer->AnalyzeRename(doc, entry, "note");
+  EXPECT_EQ(v.safety, Safety::kSafe) << v.reason;
+  EXPECT_TRUE(v.exclusive_subtree);
+
+  // Renaming to the label already in place stays within one target type —
+  // no subtree exclusivity needed.
+  v = f.analyzer->AnalyzeRename(doc, entry, "entry");
+  EXPECT_EQ(v.safety, Safety::kSafe) << v.reason;
+  EXPECT_FALSE(v.exclusive_subtree);
+
+  // entry -> meta: meta is doomed under feed.
+  v = f.analyzer->AnalyzeRename(doc, entry, "meta");
+  EXPECT_EQ(v.safety, Safety::kFatal) << v.reason;
+
+  // Out-of-alphabet label: never safe, never fatal.
+  v = f.analyzer->AnalyzeRename(doc, entry, "wild");
+  EXPECT_EQ(v.safety, Safety::kUnknown) << v.reason;
+}
+
+// ------------------------------------------------------------- inserts
+
+TEST(UpdateAnalyzerTest, InsertVerdicts) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>x</entry></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+
+  // Neutral symbol with an empty-admitting type: safe anywhere under feed.
+  OpVerdict v = f.analyzer->AnalyzeInsertElement(doc, doc.root(), "note");
+  EXPECT_EQ(v.safety, Safety::kSafe) << v.reason;
+
+  // Doomed symbol: fatal no matter the position.
+  v = f.analyzer->AnalyzeInsertElement(doc, doc.root(), "meta");
+  EXPECT_EQ(v.safety, Safety::kFatal) << v.reason;
+
+  // Element under simple (PCDATA) content: fatal.
+  v = f.analyzer->AnalyzeInsertElement(doc, entry, "note");
+  EXPECT_EQ(v.safety, Safety::kFatal) << v.reason;
+
+  // Out-of-alphabet label: unknown.
+  v = f.analyzer->AnalyzeInsertElement(doc, doc.root(), "wild");
+  EXPECT_EQ(v.safety, Safety::kUnknown) << v.reason;
+
+  // The EditOp dispatch resolves insert-before references to the parent's
+  // typing context: inserting <note/> before <entry> is the same verdict
+  // as inserting under feed.
+  xml::EditOp op{xml::EditOp::Kind::kInsertElementBefore, entry, "note"};
+  EXPECT_EQ(f.analyzer->Analyze(doc, op).safety, Safety::kSafe);
+}
+
+// ---------------------------------------------------------- text / delete
+
+TEST(UpdateAnalyzerTest, TextAndDeleteVerdicts) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc =
+      BoundDoc(f, "<feed><entry>x</entry><note/><entry/></feed>");
+  xml::NodeId first_entry = doc.first_child(doc.root());
+  xml::NodeId text = doc.first_child(first_entry);
+  xml::NodeId empty_note = doc.next_sibling(first_entry);
+
+  // Rewriting PCDATA text: the resulting simple value is statically known
+  // and valid; the verdict is scoped to the parent's value.
+  OpVerdict v = f.analyzer->AnalyzeTextEdit(doc, text, "hello");
+  EXPECT_EQ(v.safety, Safety::kSafe) << v.reason;
+  EXPECT_TRUE(v.value_scoped);
+
+  // Whitespace between elements is ignored by complex content; anything
+  // else under feed is fatal.
+  EXPECT_EQ(f.analyzer->AnalyzeInsertText(doc, doc.root(), "  \n ").safety,
+            Safety::kSafe);
+  EXPECT_EQ(f.analyzer->AnalyzeInsertText(doc, doc.root(), "oops").safety,
+            Safety::kFatal);
+
+  // Deleting a content-neutral child never changes feed's run.
+  EXPECT_EQ(f.analyzer->AnalyzeDeleteLeaf(doc, empty_note).safety,
+            Safety::kSafe);
+
+  // Deleting entry's text leaves "", which PCDATA accepts.
+  v = f.analyzer->AnalyzeDeleteLeaf(doc, text);
+  EXPECT_EQ(v.safety, Safety::kSafe) << v.reason;
+  EXPECT_TRUE(v.value_scoped);
+
+  // Deleting a required child (title under meta) is not neutral — the
+  // analyzer refuses to decide rather than guess.
+  xml::Document meta_doc = BoundDoc(f, "<meta><title/></meta>");
+  EXPECT_EQ(
+      f.analyzer->AnalyzeDeleteLeaf(meta_doc, meta_doc.first_child(meta_doc.root()))
+          .safety,
+      Safety::kUnknown);
+}
+
+// ------------------------------------------------------------- the gate
+
+TEST(UpdateAnalyzerTest, RootGateDegradesSafeButNotFatal) {
+  // Source roots accept (a|b)*, target only b*: the root pair is NOT
+  // subsumed, so the unedited document may already be target-invalid and
+  // no edit can be pronounced safe. Fatal verdicts stand regardless.
+  Fixture f;
+  f.LoadDtd(
+      "<!ELEMENT r ((a|b)*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
+      "<!ELEMENT r (b*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>");
+  xml::Document doc = BoundDoc(f, "<r><b>x</b></r>");
+  EXPECT_FALSE(f.analyzer->RootSubsumed(doc));
+
+  // b is neutral and empty-admitting in the target — would be safe, but
+  // the gate degrades it.
+  OpVerdict v = f.analyzer->AnalyzeInsertElement(doc, doc.root(), "b");
+  EXPECT_EQ(v.safety, Safety::kUnknown);
+  EXPECT_STREQ(v.reason, "document root pair not subsumed");
+
+  // a is doomed under the target root: fatal passes the gate untouched.
+  EXPECT_EQ(f.analyzer->AnalyzeInsertElement(doc, doc.root(), "a").safety,
+            Safety::kFatal);
+}
+
+TEST(UpdateAnalyzerTest, RootSubsumedHoldsForIdenticalPair) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>x</entry></feed>");
+  EXPECT_TRUE(f.analyzer->RootSubsumed(doc));
+}
+
+// ------------------------------------------------- unbound symbols (Σ gaps)
+
+TEST(UpdateAnalyzerTest, UnboundSymbolElementsAlwaysClassifyUnknown) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc =
+      BoundDoc(f, "<feed><entry>x</entry><note>y</note></feed>");
+  xml::NodeId wild = doc.first_child(doc.root());
+  xml::NodeId note = doc.next_sibling(wild);
+
+  // Rename the first entry to a label outside the shared Σ; the editor
+  // keeps the tree coherent with symbol == kUnboundSymbol.
+  {
+    xml::DocumentEditor editor(&doc);
+    ASSERT_OK(editor.RenameElement(wild, "zzz_wild"));
+    editor.Seal();
+    ASSERT_OK(editor.Commit());
+  }
+  ASSERT_EQ(doc.symbol(wild), automata::kUnboundSymbol);
+
+  // Every operation touching the unbound node is kUnknown — never a
+  // confident safe or fatal.
+  OpVerdict v = f.analyzer->AnalyzeRename(doc, wild, "entry");
+  EXPECT_EQ(v.safety, Safety::kUnknown) << v.reason;
+  v = f.analyzer->AnalyzeInsertElement(doc, wild, "note");
+  EXPECT_EQ(v.safety, Safety::kUnknown) << v.reason;
+  v = f.analyzer->AnalyzeDeleteLeaf(doc, wild);
+  EXPECT_EQ(v.safety, Safety::kUnknown) << v.reason;
+
+  // Operations elsewhere keep their precise verdicts: the unknown is
+  // local to the unbound subtree.
+  EXPECT_EQ(f.analyzer->AnalyzeRename(doc, note, "entry").safety,
+            Safety::kSafe);
+}
+
+TEST(UpdateAnalyzerTest, UnboundDocumentFallsBackToFindOnlyLookup) {
+  // The analyzer resolves labels through its own alphabet when the
+  // document carries no binding — verdicts match the bound case.
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  auto doc = xml::ParseXml("<feed><entry>x</entry></feed>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_FALSE(doc->IsBound());
+  EXPECT_EQ(f.analyzer->AnalyzeInsertElement(*doc, doc->root(), "note").safety,
+            Safety::kSafe);
+  EXPECT_EQ(f.analyzer->AnalyzeInsertElement(*doc, doc->root(), "meta").safety,
+            Safety::kFatal);
+}
+
+// ------------------------------------------------------- stream sessions
+
+TEST(StreamSessionTest, IndependentSafeOpsComposeToSafe) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc =
+      BoundDoc(f, "<feed><entry>a</entry><note/><entry/></feed>");
+  xml::NodeId c1 = doc.first_child(doc.root());
+  xml::NodeId c2 = doc.next_sibling(c1);
+  xml::NodeId c3 = doc.next_sibling(c2);
+
+  StreamSession session(&*f.analyzer, &doc);
+  ASSERT_OK(session.RenameElement(c3, "note"));
+  ASSERT_OK(session.InsertElementFirstChild(doc.root(), "entry").status());
+  ASSERT_OK(session.DeleteLeaf(c2));
+
+  StreamVerdict sv = session.Classify();
+  EXPECT_EQ(sv.verdict, Safety::kSafe) << sv.reason;
+  EXPECT_EQ(sv.safe_ops, 3u);
+  EXPECT_EQ(sv.unknown_ops, 0u);
+
+  session.Seal();
+  ASSERT_OK(session.Commit());
+}
+
+TEST(StreamSessionTest, SameNodeOperationsEntangle) {
+  // An insert followed by any operation on the inserted node: the second
+  // op edits a node whose verdict context the first created, so both
+  // downgrade and the stream falls back.
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>a</entry></feed>");
+
+  StreamSession session(&*f.analyzer, &doc);
+  ASSERT_OK_AND_ASSIGN(xml::NodeId fresh,
+                       session.InsertElementFirstChild(doc.root(), "entry"));
+  ASSERT_OK(session.RenameElement(fresh, "note"));
+
+  StreamVerdict sv = session.Classify();
+  EXPECT_EQ(sv.verdict, Safety::kUnknown);
+  EXPECT_EQ(sv.downgraded_ops, 2u);
+  EXPECT_EQ(sv.unknown_ops, 2u);
+}
+
+TEST(StreamSessionTest, RenameEntanglesItsSubtree) {
+  // The rename's verdict keys on the subtree it re-types; a later text
+  // edit inside that subtree invalidates the argument for both ops.
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>a</entry></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+  xml::NodeId text = doc.first_child(entry);
+
+  StreamSession session(&*f.analyzer, &doc);
+  ASSERT_OK(session.RenameElement(entry, "note"));
+  ASSERT_OK(session.UpdateText(text, "b"));
+
+  StreamVerdict sv = session.Classify();
+  EXPECT_EQ(sv.verdict, Safety::kUnknown);
+  EXPECT_EQ(sv.downgraded_ops, 2u);
+}
+
+TEST(StreamSessionTest, SurvivingFatalIsDecisive) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>a</entry><note/></feed>");
+  xml::NodeId entry = doc.first_child(doc.root());
+  xml::NodeId note = doc.next_sibling(entry);
+
+  StreamSession session(&*f.analyzer, &doc);
+  // Fatal: meta can never appear under feed.
+  ASSERT_OK(session.InsertElementFirstChild(doc.root(), "meta").status());
+  // Unrelated unknown elsewhere must not wash the fatal out.
+  ASSERT_OK(session.RenameElement(note, "wild"));
+
+  StreamVerdict sv = session.Classify();
+  EXPECT_EQ(sv.verdict, Safety::kFatal) << sv.reason;
+  EXPECT_EQ(sv.fatal_ops, 1u);
+  EXPECT_EQ(sv.unknown_ops, 1u);
+  EXPECT_EQ(sv.first_fatal_op, 0);
+}
+
+TEST(StreamSessionTest, FatalRepairedOnSameNodeFallsBackAndValidates) {
+  // Insert a doomed <meta/> then delete it: same-node entanglement
+  // downgrades both ops, and the ModValidator fallback confirms the net
+  // no-op left the document valid.
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>a</entry></feed>");
+
+  StreamSession session(&*f.analyzer, &doc);
+  ASSERT_OK_AND_ASSIGN(xml::NodeId meta,
+                       session.InsertElementFirstChild(doc.root(), "meta"));
+  ASSERT_OK(session.DeleteLeaf(meta));
+
+  StreamVerdict sv = session.Classify();
+  EXPECT_EQ(sv.verdict, Safety::kUnknown);
+  // The delete of a non-neutral symbol was kUnknown on its own; only the
+  // fatal insert is DOWNGRADED by the same-node rule.
+  EXPECT_EQ(sv.downgraded_ops, 1u);
+  EXPECT_EQ(sv.unknown_ops, 2u);
+
+  xml::ModificationIndex mods = session.Seal();
+  core::ModValidator validator(f.relations.get());
+  core::ValidationReport report = validator.Validate(doc, mods);
+  EXPECT_TRUE(report.valid) << report.violation;
+  ASSERT_OK(session.Commit());
+}
+
+TEST(StreamSessionTest, EmptyStreamVerdictFollowsTheRootGate) {
+  Fixture f;
+  f.LoadDtd(kStarDtd, kStarDtd);
+  xml::Document doc = BoundDoc(f, "<feed><entry>a</entry></feed>");
+  StreamSession session(&*f.analyzer, &doc);
+  EXPECT_EQ(session.Classify().verdict, Safety::kSafe);
+
+  Fixture g;
+  g.LoadDtd(
+      "<!ELEMENT r ((a|b)*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>",
+      "<!ELEMENT r (b*)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>");
+  xml::Document gated = BoundDoc(g, "<r><b>x</b></r>");
+  StreamSession gated_session(&*g.analyzer, &gated);
+  EXPECT_EQ(gated_session.Classify().verdict, Safety::kUnknown);
+}
+
+}  // namespace
+}  // namespace xmlreval::analysis

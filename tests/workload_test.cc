@@ -9,6 +9,7 @@
 #include "workload/random_docs.h"
 #include "workload/update_workload.h"
 #include "xml/label_index.h"
+#include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace xmlreval::workload {
@@ -174,6 +175,142 @@ TEST(UpdateWorkloadTest, WeightsFilterKinds) {
   for (const auto& update : *applied) {
     EXPECT_EQ(update.kind, AppliedUpdate::Kind::kTextEdit);
   }
+}
+
+TEST(UpdateWorkloadTest, PerKindPoolsOverrideTheSharedLabelPool) {
+  PoGeneratorOptions options;
+  options.item_count = 10;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 24;
+  update_options.delete_weight = 0;
+  update_options.text_edit_weight = 0;
+  // safe_percent=100: only the safe pools may be drawn from.
+  update_options.rename_safe_labels = {"renamed_safe"};
+  update_options.rename_unsafe_labels = {"renamed_unsafe"};
+  update_options.insert_safe_labels = {"inserted_safe"};
+  update_options.insert_unsafe_labels = {"inserted_unsafe"};
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_FALSE(applied->empty());
+  for (const auto& update : *applied) {
+    if (update.kind == AppliedUpdate::Kind::kRename) {
+      EXPECT_EQ(update.detail, "rename to 'renamed_safe'");
+    } else {
+      ASSERT_EQ(update.kind, AppliedUpdate::Kind::kInsert);
+      EXPECT_EQ(update.detail, "insert 'inserted_safe'");
+    }
+  }
+}
+
+TEST(UpdateWorkloadTest, SafePercentZeroDrawsOnlyUnsafePools) {
+  PoGeneratorOptions options;
+  options.item_count = 10;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 16;
+  update_options.delete_weight = 0;
+  update_options.text_edit_weight = 0;
+  update_options.safe_percent = 0;
+  update_options.rename_safe_labels = {"safe"};
+  update_options.rename_unsafe_labels = {"unsafe"};
+  // Inserts have only a safe pool: the draw degrades to the non-empty one
+  // instead of failing.
+  update_options.insert_safe_labels = {"only_pool"};
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_FALSE(applied->empty());
+  for (const auto& update : *applied) {
+    if (update.kind == AppliedUpdate::Kind::kRename) {
+      EXPECT_EQ(update.detail, "rename to 'unsafe'");
+    } else {
+      EXPECT_EQ(update.detail, "insert 'only_pool'");
+    }
+  }
+}
+
+TEST(UpdateWorkloadTest, TextPoolsControlTextEdits) {
+  PoGeneratorOptions options;
+  options.item_count = 6;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 8;
+  update_options.rename_weight = 0;
+  update_options.insert_weight = 0;
+  update_options.delete_weight = 0;
+  update_options.text_safe_values = {"42"};
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_FALSE(applied->empty());
+  for (const auto& update : *applied) {
+    EXPECT_EQ(update.detail, "set text to '42'");
+  }
+}
+
+TEST(UpdateWorkloadTest, RenameRootOffNeverRenamesTheRoot) {
+  PoGeneratorOptions options;
+  options.item_count = 4;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  xml::NodeId root = doc.root();
+  xml::DocumentEditor editor(&doc);
+  UpdateWorkloadOptions update_options;
+  update_options.edit_count = 40;
+  update_options.insert_weight = 0;
+  update_options.delete_weight = 0;
+  update_options.text_edit_weight = 0;
+  update_options.rename_root = false;
+  auto applied = ApplyRandomUpdates(&doc, &editor, update_options);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_FALSE(applied->empty());
+  for (const auto& update : *applied) {
+    EXPECT_NE(update.node, root);
+  }
+  EXPECT_EQ(doc.label(root), "purchaseOrder");
+}
+
+TEST(UpdateWorkloadTest, RecordedScriptReplaysToTheSameDocument) {
+  // The bench and CLI rely on this: a script recorded against one parse
+  // replays identically against a FRESH parse of the same text, because
+  // arena node ids are deterministic.
+  PoGeneratorOptions options;
+  options.item_count = 8;
+  xml::Document doc = GeneratePurchaseOrder(options);
+  std::string text = xml::Serialize(doc);
+
+  auto parse = [&]() {
+    auto parsed = xml::ParseXml(text);
+    EXPECT_TRUE(parsed.ok());
+    return std::move(parsed).value();
+  };
+
+  xml::Document recorded = parse();
+  std::vector<xml::EditOp> script;
+  {
+    xml::DocumentEditor editor(&recorded);
+    UpdateWorkloadOptions update_options;
+    update_options.edit_count = 12;
+    update_options.seed = 77;
+    auto applied =
+        ApplyRandomUpdates(&recorded, &editor, update_options, &script);
+    ASSERT_TRUE(applied.ok());
+    ASSERT_EQ(script.size(), applied->size());
+    editor.Seal();
+    ASSERT_TRUE(editor.Commit().ok());
+  }
+
+  xml::Document replayed = parse();
+  {
+    xml::DocumentEditor editor(&replayed);
+    for (const xml::EditOp& op : script) {
+      ASSERT_TRUE(editor.Apply(op).ok());
+    }
+    editor.Seal();
+    ASSERT_TRUE(editor.Commit().ok());
+  }
+  EXPECT_EQ(xml::Serialize(recorded), xml::Serialize(replayed));
 }
 
 }  // namespace

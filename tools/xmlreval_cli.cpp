@@ -40,6 +40,7 @@
 #include "schema/xsd_writer.h"
 #include "service/validation_service.h"
 #include "workload/random_docs.h"
+#include "workload/update_workload.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -64,6 +65,9 @@ int Usage() {
                "                       [--metrics-interval S]"
                " [--trace-out F]\n"
                "  xmlreval stats <metrics.json>\n"
+               "  xmlreval analyze-updates <source> <target> <doc.xml>"
+               " [--edits N] [--seed N]\n"
+               "                       [--safe-percent P] [--metrics-out F]\n"
                "\nschemas ending in .dtd use the DTD front end; everything\n"
                "else is parsed as XML Schema.\n"
                "serve-batch fans the documents out over a validation\n"
@@ -78,7 +82,13 @@ int Usage() {
                "or --metrics-interval S rewrite it while serving. \n"
                "--trace-out enables span tracing and writes Chrome\n"
                "trace-event JSON (open in Perfetto / chrome://tracing).\n"
-               "stats pretty-prints a JSON metrics dump.\n");
+               "stats pretty-prints a JSON metrics dump.\n"
+               "analyze-updates generates --edits random edits (--seed) on\n"
+               "<doc.xml> and submits them as one edit stream: the static\n"
+               "update-safety analyzer accepts/rejects schema-decidable\n"
+               "streams with zero tree work and falls back to incremental\n"
+               "revalidation otherwise. --safe-percent P draws 100-P%% of\n"
+               "the edit labels from outside the schema (analyzer-opaque).\n");
   return 2;
 }
 
@@ -527,6 +537,140 @@ int CmdServeBatch(int argc, char** argv) {
   return exit_code;
 }
 
+// Static update-safety analysis over a generated edit stream. The script
+// is generated against a scratch parse of the document with the plain
+// editor, then replayed through ValidationService::SubmitEditStream on a
+// fresh parse — node ids are deterministic per parse, so the recorded
+// script resolves identically.
+int CmdAnalyzeUpdates(int argc, char** argv) {
+  std::vector<std::string> positional;
+  workload::UpdateWorkloadOptions workload_options;
+  workload_options.edit_count = 16;
+  int safe_percent = 100;
+  std::string metrics_out;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--edits") == 0 && i + 1 < argc) {
+      workload_options.edit_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      workload_options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--safe-percent") == 0 && i + 1 < argc) {
+      safe_percent = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 3 || safe_percent < 0 || safe_percent > 100) {
+    return Usage();
+  }
+
+  service::ValidationService service;
+  service::SchemaHandle handles[2];
+  for (int i = 0; i < 2; ++i) {
+    auto text = ReadFile(positional[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto handle = HasSuffix(positional[i], ".dtd")
+                      ? service.registry().RegisterDtd(positional[i], *text)
+                      : service.registry().RegisterXsd(positional[i], *text);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+      return 2;
+    }
+    handles[i] = *handle;
+  }
+  auto doc_text = ReadFile(positional[2]);
+  if (!doc_text.ok()) {
+    std::fprintf(stderr, "%s\n", doc_text.status().ToString().c_str());
+    return 2;
+  }
+
+  // Generate the script against a scratch parse. With --safe-percent < 100
+  // the complementary fraction of rename/insert labels comes from outside
+  // the registered schemas, which the analyzer cannot decide statically.
+  auto scratch = xml::ParseXml(*doc_text);
+  if (!scratch.ok()) {
+    std::fprintf(stderr, "%s\n", scratch.status().ToString().c_str());
+    return 2;
+  }
+  if (safe_percent < 100) {
+    std::vector<std::string> doc_labels;
+    {
+      std::unordered_set<std::string> seen;
+      std::vector<xml::NodeId> stack{scratch->root()};
+      while (!stack.empty()) {
+        xml::NodeId node = stack.back();
+        stack.pop_back();
+        if (scratch->IsElement(node)) {
+          if (seen.insert(scratch->label(node)).second) {
+            doc_labels.push_back(scratch->label(node));
+          }
+          for (xml::NodeId c = scratch->first_child(node);
+               c != xml::kInvalidNode; c = scratch->next_sibling(c)) {
+            stack.push_back(c);
+          }
+        }
+      }
+    }
+    workload_options.safe_percent = safe_percent;
+    workload_options.rename_safe_labels = doc_labels;
+    workload_options.insert_safe_labels = doc_labels;
+    workload_options.rename_unsafe_labels = {"__wild1", "__wild2"};
+    workload_options.insert_unsafe_labels = {"__wild1", "__wild2"};
+  }
+  std::vector<xml::EditOp> script;
+  xml::DocumentEditor scratch_editor(&*scratch);
+  auto generated = workload::ApplyRandomUpdates(&*scratch, &scratch_editor,
+                                                workload_options, &script);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 2;
+  }
+
+  // Replay through the service on a fresh parse.
+  auto doc = xml::ParseXml(*doc_text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  Status bind = service.BindDocument(&*doc);
+  if (!bind.ok()) {
+    std::fprintf(stderr, "%s\n", bind.ToString().c_str());
+    return 2;
+  }
+  auto result =
+      service.SubmitEditStream(handles[0], handles[1], &*doc, script);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+
+  const analysis::StreamVerdict& stream = result->stream;
+  std::printf(
+      "%zu edit(s): %zu safe, %zu fatal, %zu unknown "
+      "(%zu decided-but-entangled)\n",
+      script.size(), stream.safe_ops, stream.fatal_ops, stream.unknown_ops,
+      stream.downgraded_ops);
+  if (result->short_circuited) {
+    std::printf("stream verdict: %s — short-circuited, zero tree work (%s)\n",
+                analysis::SafetyName(stream.verdict), stream.reason);
+  } else {
+    std::printf("stream verdict: unknown — fell back to incremental "
+                "revalidation (%s)\n",
+                stream.reason);
+  }
+  PrintReport("analyze-updates", result->report);
+  if (!metrics_out.empty() && !WriteMetricsFile(service, metrics_out)) {
+    return 2;
+  }
+  return result->report.valid ? 0 : 1;
+}
+
 // Pretty-prints a JSON metrics dump produced by --metrics-out. Reads the
 // same format the service writes; useful for eyeballing a dump without
 // Prometheus tooling.
@@ -622,6 +766,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(command, "serve-batch") == 0) {
     return CmdServeBatch(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "analyze-updates") == 0) {
+    return CmdAnalyzeUpdates(argc - 2, argv + 2);
   }
   if (std::strcmp(command, "stats") == 0) return CmdStats(argc - 2, argv + 2);
   return Usage();  // unknown subcommand: usage message, exit 2
