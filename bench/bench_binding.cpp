@@ -12,14 +12,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
 #include "workload/po_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xmlreval;
+  bench::ConsumeForceFlag(&argc, argv);
   using Clock = std::chrono::steady_clock;
 
   constexpr size_t kItems = 1000;
@@ -68,20 +70,29 @@ int main() {
   auto [unbound_ns, nodes] = median_ns_per_node(unbound);
   auto [bound_ns, bound_nodes] = median_ns_per_node(bound);
   double speedup = unbound_ns / bound_ns;
+  // Resident footprint of the SoA layout, amortised over every node the
+  // document holds (topology columns + payload refs + string arena +
+  // attribute side table).
+  double bytes_per_node =
+      double(bound.MemoryUsage().total()) / double(bound.NodeCount());
 
   std::printf("Symbol binding: cast validation, %zu items (%llu nodes)\n",
               kItems, static_cast<unsigned long long>(nodes));
   std::printf("%-24s %10.2f ns/node\n", "unbound (Find per node)", unbound_ns);
   std::printf("%-24s %10.2f ns/node\n", "bound (symbol read)", bound_ns);
   std::printf("%-24s %10.2fx\n", "speedup", speedup);
+  std::printf("%-24s %10.2f bytes/node\n", "document footprint",
+              bytes_per_node);
 
   bench::WriteBenchJson(
       "BENCH_binding.json", "bench_binding",
-      {{"items", double(kItems)},
+      {{"hardware_concurrency", double(std::thread::hardware_concurrency())},
+       {"items", double(kItems)},
        {"nodes_visited", double(nodes)},
        {"unbound_ns_per_node", unbound_ns},
        {"bound_ns_per_node", bound_ns},
-       {"speedup", speedup}});
+       {"speedup", speedup},
+       {"bytes_per_node", bytes_per_node}});
   std::printf("\nwrote BENCH_binding.json\n");
   return bound_nodes == nodes ? 0 : 1;
 }

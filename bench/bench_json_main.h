@@ -63,6 +63,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 };
 
 inline int RunBenchmarksToJson(const char* bench_name, int argc, char** argv) {
+  ConsumeForceFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonCaptureReporter reporter;

@@ -12,8 +12,9 @@
 #include "workload/po_generator.h"
 #include "xml/serializer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xmlreval;
+  bench::ConsumeForceFlag(&argc, argv);
 
   // Paper's Table 2 values for reference.
   constexpr size_t kPaperSizes[] = {990, 11358, 22158, 43758, 108558, 216558};

@@ -14,8 +14,9 @@
 #include "core/full_validator.h"
 #include "workload/po_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xmlreval;
+  bench::ConsumeForceFlag(&argc, argv);
 
   struct PaperRow {
     size_t items, cast, xerces;

@@ -90,6 +90,7 @@ struct Script {
 }  // namespace
 
 int main(int argc, char** argv) {
+  xmlreval::bench::ConsumeForceFlag(&argc, argv);
   bool short_mode = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {

@@ -3,7 +3,50 @@
 #include <cctype>
 #include <limits>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
 namespace xmlreval {
+
+bool IsAllXmlWhitespace(std::string_view s) {
+  const char* p = s.data();
+  size_t n = s.size();
+#if defined(__SSE2__)
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tb = _mm_set1_epi8('\t');
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i lf = _mm_set1_epi8('\n');
+  while (n >= 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, sp), _mm_cmpeq_epi8(v, tb)),
+        _mm_or_si128(_mm_cmpeq_epi8(v, cr), _mm_cmpeq_epi8(v, lf)));
+    if (_mm_movemask_epi8(ws) != 0xFFFF) return false;
+    p += 16;
+    n -= 16;
+  }
+#elif defined(__aarch64__)
+  const uint8x16_t sp = vdupq_n_u8(' ');
+  const uint8x16_t tb = vdupq_n_u8('\t');
+  const uint8x16_t cr = vdupq_n_u8('\r');
+  const uint8x16_t lf = vdupq_n_u8('\n');
+  while (n >= 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p));
+    uint8x16_t ws = vorrq_u8(vorrq_u8(vceqq_u8(v, sp), vceqq_u8(v, tb)),
+                             vorrq_u8(vceqq_u8(v, cr), vceqq_u8(v, lf)));
+    if (vminvq_u8(ws) != 0xFF) return false;
+    p += 16;
+    n -= 16;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsXmlWhitespace(p[i])) return false;
+  }
+  return true;
+}
 
 std::string_view TrimWhitespace(std::string_view s) {
   size_t begin = 0;

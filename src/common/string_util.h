@@ -23,6 +23,12 @@ inline bool IsXmlWhitespace(char c) {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n';
 }
 
+/// True iff every byte of `s` is XML whitespace (vacuously true when
+/// empty). SIMD over 16-byte blocks (SSE2 / NEON) with a portable scalar
+/// fallback — the validators' ignorable-text test runs this over whole
+/// text payloads straight out of the document's string arena.
+bool IsAllXmlWhitespace(std::string_view s);
+
 /// True iff `c` may start an XML name (ASCII subset: letter, '_' or ':').
 bool IsNameStartChar(char c);
 

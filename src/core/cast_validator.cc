@@ -33,6 +33,10 @@ ValidationReport Drain(const TypeRelations& relations,
   while (!frontier.empty()) {
     CastUnit unit = frontier.back();
     frontier.pop_back();
+    // Pull the next pending unit's row toward cache while this unit's
+    // content scan runs — the frontier is LIFO, so back() is what pops
+    // next unless this unit pushes children (whose rows are adjacent).
+    if (!frontier.empty()) walk.hv.PrefetchRow(frontier.back().node);
     if (!walk.ProcessUnit(unit, &frontier)) {
       report.valid = false;
       report.violation = std::move(walk.fail_message);

@@ -45,6 +45,11 @@ struct CastWalk {
   // symbols are read directly (zero hashing, zero allocation); otherwise
   // each label is resolved through Alphabet::Find as before.
   bool use_symbols;
+  // Raw SoA column pointers of `doc` (xml/tree.h): the walk's inner loops
+  // stride dense int32 arrays directly instead of calling through the
+  // Document accessors, and software-prefetch the next sibling's row.
+  // Safe for the walk's lifetime — validation never creates nodes.
+  const xml::Document::HotView hv = doc.hot_view();
   // Parallel mode: subsumed children are counted and dropped at push time
   // instead of being pushed for an O(1) pop.
   bool prune_subsumed_at_push = false;
@@ -66,7 +71,7 @@ struct CastWalk {
   /// Symbol of element `c`: the bound symbol when use_symbols, else a
   /// Find() with misses mapped to kUnboundSymbol (which matches nothing).
   automata::Symbol SymbolOf(xml::NodeId c) const {
-    if (use_symbols) return doc.symbol(c);
+    if (use_symbols) return hv.symbol[c];
     auto sym = source.alphabet()->Find(doc.label(c));
     return sym ? *sym : automata::kUnboundSymbol;
   }
@@ -136,9 +141,9 @@ struct CastWalk {
       // stitched into the reusable scratch buffer.
       size_t text_count = 0;
       xml::NodeId only_text = xml::kInvalidNode;
-      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-           c = doc.next_sibling(c)) {
-        if (doc.IsText(c)) {
+      for (xml::NodeId c = hv.first_child[node]; c != xml::kInvalidNode;
+           c = hv.next_sibling[c]) {
+        if (hv.IsText(c)) {
           ++counters.nodes_visited;
           ++counters.text_nodes_visited;
           if (++text_count == 1) only_text = c;
@@ -147,15 +152,22 @@ struct CastWalk {
       ++counters.simple_checks;
       Status check;
       if (text_count <= 1) {
-        check = schema::ValidateSimpleValue(
-            target.simple_type(t_type),
+        const std::string_view sv =
             text_count == 0 ? std::string_view()
-                            : std::string_view(doc.text(only_text)));
+                            : std::string_view(doc.text(only_text));
+        const schema::SimpleType& st = target.simple_type(t_type);
+        // Inline probe first: decides the hot shapes (unrestricted strings,
+        // range-faceted integers) without the full checker's call + Status
+        // machinery. Probe verdicts agree exactly with ValidateSimpleValue;
+        // undecided and invalid values take the full check (the latter for
+        // its diagnostic).
+        if (schema::ProbeSimpleValue(st, sv) > 0) return true;
+        check = schema::ValidateSimpleValue(st, sv);
       } else {
         simple_value->clear();
-        for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-             c = doc.next_sibling(c)) {
-          if (doc.IsText(c)) *simple_value += doc.text(c);
+        for (xml::NodeId c = hv.first_child[node]; c != xml::kInvalidNode;
+             c = hv.next_sibling[c]) {
+          if (hv.IsText(c)) *simple_value += doc.text(c);
         }
         check = schema::ValidateSimpleValue(target.simple_type(t_type),
                                             *simple_value);
@@ -175,11 +187,16 @@ struct CastWalk {
     const schema::ComplexType& t_decl = target.complex_type(t_type);
     if (!t_decl.open_attributes) {
       ++counters.attr_checks;
-      Status attrs =
-          schema::ValidateTypeAttributes(t_decl, doc.attributes(node));
-      if (!attrs.ok()) {
-        return Fail(node, StrCat("element '", doc.label(node), "': ",
-                                 attrs.message()));
+      // Declares nothing + carries nothing = provably OK: the full check
+      // would walk two empty containers. Common enough (structural wrapper
+      // elements) that skipping the call is measurable.
+      const std::vector<xml::Attribute>& node_attrs = doc.attributes(node);
+      if (!t_decl.attributes.empty() || !node_attrs.empty()) {
+        Status attrs = schema::ValidateTypeAttributes(t_decl, node_attrs);
+        if (!attrs.ok()) {
+          return Fail(node, StrCat("element '", doc.label(node), "': ",
+                                   attrs.message()));
+        }
       }
     }
 
@@ -208,9 +225,10 @@ struct CastWalk {
         ++counters.immediate_decisions;
         return ContentFail(node, t_type);
       }
-      for (xml::NodeId c = doc.first_child(node);
-           c != xml::kInvalidNode && !decided; c = doc.next_sibling(c)) {
-        if (!doc.IsElement(c)) continue;  // whitespace guaranteed by source
+      for (xml::NodeId c = hv.first_child[node];
+           c != xml::kInvalidNode && !decided; c = hv.next_sibling[c]) {
+        hv.PrefetchRow(hv.next_sibling[c]);
+        if (!hv.IsElement(c)) continue;  // whitespace guaranteed by source
         automata::Symbol sym = SymbolOf(c);
         if (sym == automata::kUnboundSymbol) {
           return Fail(node, StrCat("element '", doc.label(c),
@@ -251,9 +269,10 @@ struct CastWalk {
     // failures become poisoned units at the child's position (see above);
     // the span pushed forward is reversed so the FIRST child pops first.
     const size_t mark = frontier->size();
-    for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
-         c = doc.next_sibling(c)) {
-      if (!doc.IsElement(c)) continue;
+    for (xml::NodeId c = hv.first_child[node]; c != xml::kInvalidNode;
+         c = hv.next_sibling[c]) {
+      hv.PrefetchRow(hv.next_sibling[c]);
+      if (!hv.IsElement(c)) continue;
       automata::Symbol sym = SymbolOf(c);
       if (sym == automata::kUnboundSymbol) {
         frontier->push_back({c, s_type, t_type, CastUnitKind::kUnboundLabel});

@@ -500,7 +500,7 @@ struct DocumentCorrector::Walk {
         case StringEditOp::Kind::kDelete: {
           xml::NodeId child = children[op.position];
           Record(CorrectionStep::Kind::kDeleteSubtree, child,
-                 "remove '" + doc->label(child) + "'");
+                 StrCat("remove '", doc->label(child), "'"));
           RETURN_IF_ERROR(DeleteSubtree(child));
           break;
         }
@@ -548,7 +548,7 @@ Result<CorrectionReport> DocumentCorrector::CorrectWithEditor(
   }
   if (t_root == kInvalidType) {
     return Status::FailedPrecondition(
-        "root label '" + doc->label(doc->root()) +
+        "root label '" + std::string(doc->label(doc->root())) +
         "' is not declared by the target schema; relabeling the root is "
         "outside the correction model");
   }

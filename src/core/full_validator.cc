@@ -88,7 +88,7 @@ struct FullValidator::Walk {
       if (doc.IsText(c)) {
         ++report.counters.nodes_visited;
         ++report.counters.text_nodes_visited;
-        if (!TrimWhitespace(doc.text(c)).empty()) {
+        if (!IsAllXmlWhitespace(doc.text(c))) {
           path.push_back(ordinal);
           Fail(StrCat("character data not allowed under '", doc.label(node),
                       "', whose type '", schema.TypeName(type),

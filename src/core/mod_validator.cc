@@ -140,7 +140,7 @@ struct ModValidator::Walk {
       if (doc.IsText(c)) {
         ++report.counters.nodes_visited;
         ++report.counters.text_nodes_visited;
-        if (!TrimWhitespace(doc.text(c)).empty()) {
+        if (!IsAllXmlWhitespace(doc.text(c))) {
           path.push_back(ordinal);
           Fail(StrCat("character data not allowed under '", doc.label(node),
                       "' (element-only content)"));
@@ -383,7 +383,7 @@ struct ModValidator::Walk {
         if (kind == DeltaKind::kDeleted) continue;
         ++report.counters.nodes_visited;
         ++report.counters.text_nodes_visited;
-        if (!TrimWhitespace(doc.text(c)).empty()) {
+        if (!IsAllXmlWhitespace(doc.text(c))) {
           path.push_back(ordinal);
           Fail(StrCat("character data not allowed under '", doc.label(node),
                       "' (element-only content in target type '",
@@ -398,7 +398,7 @@ struct ModValidator::Walk {
       if (old_sym) {
         if (*old_sym == automata::kUnboundSymbol) {
           Fail(StrCat("internal: original label '",
-                      mods.OldLabel(doc, c).value_or(doc.label(c)),
+                      mods.OldLabel(doc, c).value_or(std::string(doc.label(c))),
                       "' missing from the alphabet"));
           return false;
         }
@@ -515,7 +515,8 @@ ValidationReport ModValidator::Validate(
                       : kInvalidType;
   if (s_root == kInvalidType) {
     walk.Fail(StrCat("precondition violated: original root '",
-                     mods.OldLabel(doc, root).value_or(doc.label(root)),
+                     mods.OldLabel(doc, root).value_or(
+                         std::string(doc.label(root))),
                      "' is not declared by the source schema"));
     return std::move(walk.report);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -15,6 +16,57 @@
 namespace xmlreval::core {
 
 namespace {
+
+// Adaptive spawn-threshold calibration (Options::spawn_threshold == 0).
+// A donated half-frontier should amortise one task dispatch (enqueue +
+// wake-up + counter merge, low tens of µs on a loaded pool), so the
+// threshold targets kTargetDonationNs of measured serial work per slice.
+constexpr size_t kCalibrationUnits = 512;
+constexpr uint64_t kTargetDonationNs = 32 * 1000;
+constexpr size_t kMinSpawnThreshold = 16;
+constexpr size_t kMaxSpawnThreshold = 4096;
+constexpr size_t kFallbackSpawnThreshold = 64;
+
+// Times a serial prefix walk of `doc` (at most kCalibrationUnits frontier
+// units) and converts ns/unit into a donation threshold. The walk's
+// counters and any failure it trips are discarded — the real run
+// rediscovers them — so calibration never perturbs the report. Documents
+// too small (or clocks too coarse) to measure fall back to the historical
+// fixed default.
+size_t CalibrateSpawnThreshold(const TypeRelations& rel,
+                               const xml::Document& doc, bool use_symbols,
+                               bool use_immediate) {
+  ValidationReport scratch;
+  CastUnit root;
+  if (!internal::ResolveRootUnit(rel, doc, use_symbols, &scratch, &root)) {
+    return kFallbackSpawnThreshold;
+  }
+  internal::CastWalk walk{rel,           rel.source(), rel.target(),
+                          doc,           use_immediate, use_symbols};
+  walk.prune_subsumed_at_push = true;
+  std::string simple_value;
+  walk.simple_value = &simple_value;
+  std::vector<CastUnit> stack{root};
+  size_t processed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (!stack.empty() && processed < kCalibrationUnits) {
+    CastUnit unit = stack.back();
+    stack.pop_back();
+    if (!walk.ProcessUnit(unit, &stack)) break;
+    ++processed;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  if (processed < kMinSpawnThreshold || elapsed <= 0) {
+    return kFallbackSpawnThreshold;
+  }
+  const double ns_per_unit =
+      static_cast<double>(elapsed) / static_cast<double>(processed);
+  const auto target =
+      static_cast<size_t>(static_cast<double>(kTargetDonationNs) / ns_per_unit);
+  return std::clamp(target, kMinSpawnThreshold, kMaxSpawnThreshold);
+}
 
 // State shared by every task of one Validate call. Owned via shared_ptr:
 // the last finishing task (or the waiting caller) releases it.
@@ -138,6 +190,7 @@ void RunTask(const std::shared_ptr<SharedRun>& run,
   while (!stack.empty()) {
     CastUnit unit = stack.back();
     stack.pop_back();
+    if (!stack.empty()) walk.hv.PrefetchRow(stack.back().node);
     if (run->Cancelled(unit.node)) continue;
     if (!walk.ProcessUnit(unit, &stack)) {
       run->RecordFailure(unit.node, walk.fail_node,
@@ -175,6 +228,17 @@ ParallelCastValidator::ParallelCastValidator(const TypeRelations* relations,
                  "ParallelCastValidator requires an executor");
 }
 
+size_t ParallelCastValidator::EffectiveThreshold(const xml::Document& doc,
+                                                 bool use_symbols) const {
+  if (options_.spawn_threshold != 0) return options_.spawn_threshold;
+  size_t cached = calibrated_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  size_t calibrated = CalibrateSpawnThreshold(
+      *relations_, doc, use_symbols, options_.cast.use_immediate_content);
+  calibrated_.store(calibrated, std::memory_order_relaxed);
+  return calibrated;
+}
+
 ValidationReport ParallelCastValidator::Validate(const xml::Document& doc,
                                                  RunStats* stats) const {
   obs::Span span("cast.traverse");
@@ -187,14 +251,17 @@ ValidationReport ParallelCastValidator::Validate(const xml::Document& doc,
     return report;
   }
 
-  auto run = std::make_shared<SharedRun>(
-      relations_, &doc, executor_, use_symbols,
-      options_.cast.use_immediate_content, options_.spawn_threshold);
+  const size_t threshold = EffectiveThreshold(doc, use_symbols);
+  auto run = std::make_shared<SharedRun>(relations_, &doc, executor_,
+                                         use_symbols,
+                                         options_.cast.use_immediate_content,
+                                         threshold);
   run->group.Spawn([run, root] { RunTask(run, {root}); });
   run->group.Wait();
 
   if (stats != nullptr) {
     stats->tasks = run->tasks.load(std::memory_order_relaxed);
+    stats->spawn_threshold = threshold;
     stats->replayed = run->failed;
     stats->tracked_failure = run->failed;
     stats->tracked_unit_path = run->min_unit_path;

@@ -33,6 +33,8 @@
 #ifndef XMLREVAL_CORE_PARALLEL_CAST_VALIDATOR_H_
 #define XMLREVAL_CORE_PARALLEL_CAST_VALIDATOR_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -52,12 +54,22 @@ class ParallelCastValidator {
     /// Donate the bottom half of a task's frontier when it holds at least
     /// this many pending units (and a worker is idle). Smaller = finer
     /// load balancing, more task traffic; bench_parallel ablates it.
-    size_t spawn_threshold = 64;
+    ///
+    /// 0 (the default) means ADAPTIVE: the first Validate call times a
+    /// bounded serial prefix walk of its document, derives ns/unit, and
+    /// picks the threshold so a donated half-frontier is worth roughly one
+    /// task dispatch's overhead (clamped to [16, 4096]). The calibrated
+    /// value is cached for the validator's lifetime; calibration counters
+    /// are discarded, so reports stay bit-identical to CastValidator.
+    size_t spawn_threshold = 0;
   };
 
   /// Introspection for tests and benchmarks (not part of the report).
   struct RunStats {
     uint64_t tasks = 0;     // tasks actually executed (1 = no splitting)
+    /// Threshold the run actually used: the fixed Options value, or the
+    /// calibrated one when Options::spawn_threshold == 0.
+    size_t spawn_threshold = 0;
     bool replayed = false;  // failure path: serial replay produced report
     bool tracked_failure = false;
     /// Document-order key of the first failing frontier unit; with
@@ -83,9 +95,16 @@ class ParallelCastValidator {
                             RunStats* stats = nullptr) const;
 
  private:
+  /// Resolves Options::spawn_threshold == 0 to a calibrated value (cached
+  /// after the first call); returns the fixed value otherwise.
+  size_t EffectiveThreshold(const xml::Document& doc, bool use_symbols) const;
+
   const TypeRelations* relations_;
   common::Executor* executor_;
   Options options_;
+  /// 0 = not yet calibrated. Concurrent first Validates may both
+  /// calibrate; either result is valid and one simply wins the store.
+  mutable std::atomic<size_t> calibrated_{0};
 };
 
 }  // namespace xmlreval::core

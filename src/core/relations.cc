@@ -251,6 +251,11 @@ void TypeRelations::BuildDenseTables() {
   for (const auto& [t, dfa] : reverse_single_automata_) {
     reverse_single_dense_[t] = &dfa;
   }
+  rel_bits_.assign(sub_.size(), 0);
+  for (size_t i = 0; i < sub_.size(); ++i) {
+    rel_bits_[i] = (sub_[i] ? kSubsumedBit : 0) |
+                   (nondis_[i] ? kNonDisjointBit : 0);
+  }
 }
 
 size_t TypeRelations::CountSubsumed() const {

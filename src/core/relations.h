@@ -23,6 +23,7 @@
 #ifndef XMLREVAL_CORE_RELATIONS_H_
 #define XMLREVAL_CORE_RELATIONS_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -64,10 +65,17 @@ class TypeRelations {
   }
 
   /// τ ≤ τ' — every tree valid for source type s is valid for target t.
-  bool Subsumed(TypeId s, TypeId t) const { return sub_[Index(s, t)]; }
+  /// Both relations read one shared byte per pair (packed by
+  /// BuildDenseTables) so the validator's back-to-back Subsumed/Disjoint
+  /// probes touch a single cache line entry, not two bit-vectors.
+  bool Subsumed(TypeId s, TypeId t) const {
+    return (rel_bits_[Index(s, t)] & kSubsumedBit) != 0;
+  }
 
   /// τ ⊘ τ' — no tree is valid for both.
-  bool Disjoint(TypeId s, TypeId t) const { return !nondis_[Index(s, t)]; }
+  bool Disjoint(TypeId s, TypeId t) const {
+    return (rel_bits_[Index(s, t)] & kNonDisjointBit) == 0;
+  }
 
   /// c_immed for a complex (source, target) pair, or nullptr when the pair
   /// is subsumed/disjoint/not prebuilt. States encode (source, target) DFA
@@ -140,8 +148,13 @@ class TypeRelations {
   const Schema* source_ = nullptr;
   const Schema* target_ = nullptr;
   size_t num_target_ = 0;
+  static constexpr uint8_t kSubsumedBit = 1;
+  static constexpr uint8_t kNonDisjointBit = 2;
+  // Working arrays for the fixpoint computations; packed into rel_bits_
+  // once stable.
   std::vector<bool> sub_;     // |T| x |T'|
   std::vector<bool> nondis_;  // |T| x |T'|
+  std::vector<uint8_t> rel_bits_;  // kSubsumedBit | kNonDisjointBit per pair
   std::vector<std::optional<automata::Dfa>> source_dfas_;
   std::vector<std::optional<automata::Dfa>> target_dfas_;
   std::unordered_map<size_t, automata::ImmediateDfa> pair_automata_;

@@ -10,7 +10,7 @@
 namespace xmlreval::schema {
 
 namespace {
-constexpr int64_t kScale = 1000000000;  // decimal values are value * 10^9
+constexpr int64_t kScale = kDecimalScale;  // decimal values are value * 10^9
 }
 
 std::string_view AtomicKindName(AtomicKind kind) {
@@ -140,8 +140,16 @@ bool EffectiveNumericRange(const SimpleType& type, NumericRange* out) {
 }
 
 Status ValidateSimpleValue(const SimpleType& type, std::string_view value) {
-  std::string_view trimmed = TrimWhitespace(value);
   const Facets& f = type.facets;
+  // Unrestricted string: every literal is in the lexical space and no facet
+  // can reject it (range facets never apply to kString; length/enumeration
+  // are absent). This is the hottest shape in document corpora — bail out
+  // before paying for the trim.
+  if (type.kind == AtomicKind::kString && !f.length && !f.min_length &&
+      !f.max_length && f.enumeration.empty()) {
+    return Status::OK();
+  }
+  std::string_view trimmed = TrimWhitespace(value);
 
   auto fail = [&](std::string_view why) {
     return Status::InvalidArgument("value '" + std::string(trimmed) +

@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/string_util.h"
 
 namespace xmlreval::schema {
 
@@ -76,6 +77,71 @@ struct SimpleType {
 /// Checks `value` against the type's lexical space and facets.
 /// OK = valid; kInvalidArgument with a diagnostic = invalid.
 Status ValidateSimpleValue(const SimpleType& type, std::string_view value);
+
+/// Decimal facet values and ProbeSimpleValue's scaled arithmetic use this
+/// fixed-point scale (see ParseDecimalScaled).
+inline constexpr int64_t kDecimalScale = 1000000000;  // 10^9
+
+/// Branch-light validity probe for the hot simple-value shapes, inlinable
+/// into validator walks: +1 = provably valid, -1 = provably invalid, 0 =
+/// undecided (run the full ValidateSimpleValue). Decisions agree exactly
+/// with ValidateSimpleValue; the full check is still the only source of
+/// diagnostics, so failure paths call it anyway. Covers unrestricted
+/// strings and the integral kinds with pure range facets; everything else
+/// (boolean, date, decimal, enumerations, length facets, ≥10-digit
+/// literals) returns 0.
+inline int ProbeSimpleValue(const SimpleType& type, std::string_view value) {
+  const Facets& f = type.facets;
+  switch (type.kind) {
+    case AtomicKind::kString:
+      // Range facets never bind for strings; only length/enumeration can
+      // reject, and their absence makes every literal valid.
+      return (!f.length && !f.min_length && !f.max_length &&
+              f.enumeration.empty())
+                 ? 1
+                 : 0;
+    case AtomicKind::kInteger:
+    case AtomicKind::kNonNegativeInteger:
+    case AtomicKind::kPositiveInteger: {
+      if (f.length || f.min_length || f.max_length || !f.enumeration.empty()) {
+        return 0;  // lexical-form facets: defer to the full check
+      }
+      size_t b = 0, e = value.size();
+      while (b < e && IsXmlWhitespace(value[b])) ++b;
+      while (e > b && IsXmlWhitespace(value[e - 1])) --e;
+      if (b == e) return -1;  // empty literal
+      bool negative = false;
+      if (value[b] == '-' || value[b] == '+') {
+        negative = value[b] == '-';
+        ++b;
+      }
+      if (b == e) return -1;  // sign without digits
+      if (e - b > 9) return 0;  // near int64 range: defer to the full check
+      int64_t v = 0;
+      for (size_t i = b; i < e; ++i) {
+        const unsigned digit = static_cast<unsigned>(value[i]) - '0';
+        if (digit > 9) return -1;  // non-digit
+        v = v * 10 + static_cast<int64_t>(digit);
+      }
+      // ≤ 9 digits: |v| < 10^9, so the scaled value fits int64 exactly.
+      const int64_t scaled = (negative ? -v : v) * kDecimalScale;
+      if (type.kind == AtomicKind::kNonNegativeInteger && scaled < 0) {
+        return -1;
+      }
+      if (type.kind == AtomicKind::kPositiveInteger &&
+          scaled < kDecimalScale) {
+        return -1;
+      }
+      if (f.min_inclusive && scaled < *f.min_inclusive) return -1;
+      if (f.max_inclusive && scaled > *f.max_inclusive) return -1;
+      if (f.min_exclusive && scaled <= *f.min_exclusive) return -1;
+      if (f.max_exclusive && scaled >= *f.max_exclusive) return -1;
+      return 1;
+    }
+    default:
+      return 0;
+  }
+}
 
 /// Sound subsumption: true ⟹ every value valid for `a` is valid for `b`.
 bool SimpleSubsumed(const SimpleType& a, const SimpleType& b);

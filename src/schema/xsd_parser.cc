@@ -87,7 +87,8 @@ class XsdCompiler {
 
  private:
   Status Err(NodeId node, std::string msg) const {
-    return Status::InvalidSchema("<" + doc_.label(node) + ">: " + msg);
+    return Status::InvalidSchema("<" + std::string(doc_.label(node)) +
+                                 ">: " + msg);
   }
 
   // ---- simple types -------------------------------------------------------

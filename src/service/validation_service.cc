@@ -64,6 +64,8 @@ ValidationService::ValidationService(const Options& options)
                                       {{"executor", "batch"}});
   intra_queue_depth_ = metrics_.gauge("xmlreval_executor_queue_depth",
                                       {{"executor", "intra_doc"}});
+  doc_bytes_ = metrics_.gauge("xmlreval_doc_bytes");
+  doc_bytes_per_node_ = metrics_.gauge("xmlreval_doc_bytes_per_node");
 }
 
 ValidationService::~ValidationService() {
@@ -147,9 +149,17 @@ Status ValidationService::BindDocument(xml::Document* doc) const {
   return doc->Bind(registry_.alphabet());
 }
 
+void ValidationService::ObserveDocFootprint(const xml::Document& doc) {
+  if (doc.NodeCount() == 0) return;
+  const size_t bytes = doc.MemoryUsage().total();
+  doc_bytes_->Set(static_cast<int64_t>(bytes));
+  doc_bytes_per_node_->Set(static_cast<int64_t>(bytes / doc.NodeCount()));
+}
+
 Result<core::ValidationReport> ValidationService::Validate(
     SchemaHandle schema, const xml::Document& doc) {
   obs::Span span("svc.validate");
+  ObserveDocFootprint(doc);
   const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
     std::shared_ptr<const schema::Schema> target = registry_.schema(schema);
@@ -168,6 +178,7 @@ Result<core::ValidationReport> ValidationService::Validate(
 Result<core::ValidationReport> ValidationService::Cast(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc) {
   obs::Span span("svc.cast");
+  ObserveDocFootprint(doc);
   const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
     ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));

@@ -98,8 +98,9 @@ class ValidationService {
     size_t intra_doc_threads = 0;
     size_t intra_doc_min_nodes = 4096;
     /// Frontier size at which a cast task donates half its pending work
-    /// (ParallelCastValidator::Options::spawn_threshold).
-    size_t intra_doc_spawn_threshold = 64;
+    /// (ParallelCastValidator::Options::spawn_threshold). 0 = adaptive:
+    /// calibrated from a timed serial prefix walk at first use.
+    size_t intra_doc_spawn_threshold = 0;
     /// Enforce the §3.2 precondition on Cast: full-validate against the
     /// SOURCE schema first; a source-invalid document fails with
     /// kFailedPrecondition instead of an arbitrary verdict. Off by default
@@ -266,6 +267,8 @@ class ValidationService {
   /// never starve intra-document tasks into a deadlock (and vice versa).
   common::Executor& BatchExecutor();
   common::Executor& IntraExecutor();
+  /// Publishes `doc`'s MemoryUsage into the footprint gauges.
+  void ObserveDocFootprint(const xml::Document& doc);
 
   Options options_;
   // Declared before cache_: the cache publishes into this registry.
@@ -321,6 +324,11 @@ class ValidationService {
   // {executor="batch"|"intra_doc"}.
   obs::Gauge* batch_queue_depth_;
   obs::Gauge* intra_queue_depth_;
+  // Resident footprint of the most recently served document
+  // (Document::MemoryUsage: SoA topology columns + payload refs + string
+  // arena + attribute side table), total and amortised per node.
+  obs::Gauge* doc_bytes_;
+  obs::Gauge* doc_bytes_per_node_;
 
   mutable std::shared_mutex pair_mutex_;
   std::unordered_map<uint64_t, obs::Histogram*> pair_latency_;

@@ -129,7 +129,8 @@ Result<std::vector<AppliedUpdate>> ApplyRandomUpdates(
     detail::NodePools pools = detail::CollectPools(*doc, deleted);
     std::unordered_set<std::string> seen;
     for (xml::NodeId e : pools.elements) {
-      if (seen.insert(doc->label(e)).second) labels.push_back(doc->label(e));
+      std::string label(doc->label(e));
+      if (seen.insert(label).second) labels.push_back(std::move(label));
     }
   }
   const bool pooled_renames = !options.rename_safe_labels.empty() ||

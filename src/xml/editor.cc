@@ -8,7 +8,7 @@ namespace xmlreval::xml {
 std::optional<std::string> ModificationIndex::OldLabel(const Document& doc,
                                                        NodeId node) const {
   auto it = deltas_.find(node);
-  if (it == deltas_.end()) return doc.label(node);
+  if (it == deltas_.end()) return std::string(doc.label(node));
   const Delta& d = it->second;
   switch (d.kind) {
     case DeltaKind::kInserted:
@@ -17,9 +17,9 @@ std::optional<std::string> ModificationIndex::OldLabel(const Document& doc,
       return d.old_label;
     case DeltaKind::kDeleted:
       if (d.never_existed) return std::nullopt;
-      return d.old_label.empty() ? doc.label(node) : d.old_label;
+      return d.old_label.empty() ? std::string(doc.label(node)) : d.old_label;
     default:
-      return doc.label(node);
+      return std::string(doc.label(node));
   }
 }
 
@@ -29,7 +29,7 @@ std::optional<std::string> ModificationIndex::NewLabel(const Document& doc,
   if (it != deltas_.end() && it->second.kind == DeltaKind::kDeleted) {
     return std::nullopt;  // ε: absent from T'
   }
-  return doc.label(node);
+  return std::string(doc.label(node));
 }
 
 std::optional<automata::Symbol> ModificationIndex::OldSymbol(
@@ -105,7 +105,7 @@ Status DocumentEditor::RenameElement(NodeId node, std::string_view new_label) {
   if (index_.IsDeleted(node)) {
     return Status::FailedPrecondition("cannot rename a deleted node");
   }
-  std::string old_label = doc_->label(node);
+  std::string old_label(doc_->label(node));
   automata::Symbol old_symbol = doc_->symbol(node);
   RETURN_IF_ERROR(doc_->Rename(node, new_label));
   return MarkTouched(node, DeltaKind::kRenamed, std::move(old_label),

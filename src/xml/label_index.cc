@@ -14,7 +14,12 @@ LabelIndex LabelIndex::Build(const Document& doc) {
     NodeId node = stack.back();
     stack.pop_back();
     if (doc.IsElement(node)) {
-      index.index_[doc.label(node)].push_back(node);
+      auto it = index.index_.find(doc.label(node));
+      if (it == index.index_.end()) {
+        it = index.index_.emplace(std::string(doc.label(node)),
+                                  std::vector<NodeId>()).first;
+      }
+      it->second.push_back(node);
       automata::Symbol sym = doc.symbol(node);
       if (sym < index.by_symbol_.size()) {
         index.by_symbol_[sym].push_back(node);

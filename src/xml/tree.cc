@@ -1,33 +1,120 @@
 #include "xml/tree.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
 namespace xmlreval::xml {
 
+namespace internal {
+
+uint32_t NodeColumns::PushRow(uint8_t flags, automata::Symbol symbol) {
+  if (size_ == capacity_) Grow(size_ + 1);
+  const uint32_t id = static_cast<uint32_t>(size_++);
+  parent_[id] = kInvalidNode;
+  first_child_[id] = kInvalidNode;
+  last_child_[id] = kInvalidNode;
+  next_sibling_[id] = kInvalidNode;
+  prev_sibling_[id] = kInvalidNode;
+  symbol_[id] = symbol;
+  flags_[id] = flags;
+  return id;
+}
+
+void NodeColumns::Grow(size_t min_capacity) {
+  size_t cap = capacity_ == 0 ? 64 : capacity_ * 2;
+  if (cap < min_capacity) cap = min_capacity;
+  // One block, seven column slices. The five link columns and the symbol
+  // column are uint32-aligned by construction (they come first); flags
+  // trail as raw bytes.
+  auto block = std::make_unique<unsigned char[]>(cap * kBytesPerRow);
+  NodeId* parent = reinterpret_cast<NodeId*>(block.get());
+  NodeId* first_child = parent + cap;
+  NodeId* last_child = first_child + cap;
+  NodeId* next_sibling = last_child + cap;
+  NodeId* prev_sibling = next_sibling + cap;
+  automata::Symbol* symbol =
+      reinterpret_cast<automata::Symbol*>(prev_sibling + cap);
+  uint8_t* flags = reinterpret_cast<uint8_t*>(symbol + cap);
+  if (size_ != 0) {
+    std::memcpy(parent, parent_, size_ * sizeof(NodeId));
+    std::memcpy(first_child, first_child_, size_ * sizeof(NodeId));
+    std::memcpy(last_child, last_child_, size_ * sizeof(NodeId));
+    std::memcpy(next_sibling, next_sibling_, size_ * sizeof(NodeId));
+    std::memcpy(prev_sibling, prev_sibling_, size_ * sizeof(NodeId));
+    std::memcpy(symbol, symbol_, size_ * sizeof(automata::Symbol));
+    std::memcpy(flags, flags_, size_ * sizeof(uint8_t));
+  }
+  block_ = std::move(block);
+  capacity_ = cap;
+  parent_ = parent;
+  first_child_ = first_child;
+  last_child_ = last_child;
+  next_sibling_ = next_sibling;
+  prev_sibling_ = prev_sibling;
+  symbol_ = symbol;
+  flags_ = flags;
+}
+
+void NodeColumns::MoveFrom(NodeColumns& o) {
+  block_ = std::move(o.block_);
+  size_ = o.size_;
+  capacity_ = o.capacity_;
+  parent_ = o.parent_;
+  first_child_ = o.first_child_;
+  last_child_ = o.last_child_;
+  next_sibling_ = o.next_sibling_;
+  prev_sibling_ = o.prev_sibling_;
+  symbol_ = o.symbol_;
+  flags_ = o.flags_;
+  o.size_ = o.capacity_ = 0;
+  o.parent_ = o.first_child_ = o.last_child_ = nullptr;
+  o.next_sibling_ = o.prev_sibling_ = nullptr;
+  o.symbol_ = nullptr;
+  o.flags_ = nullptr;
+}
+
+std::string_view StringArena::Add(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  if (s.size() > last_capacity_ - last_used_) {
+    size_t chunk = std::max(s.size(), kChunkSize);
+    chunks_.push_back(std::make_unique<char[]>(chunk));
+    last_capacity_ = chunk;
+    last_used_ = 0;
+    allocated_ += chunk;
+  }
+  char* dst = chunks_.back().get() + last_used_;
+  std::memcpy(dst, s.data(), s.size());
+  last_used_ += s.size();
+  used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+}  // namespace internal
+
 NodeId Document::CreateElement(std::string_view label) {
-  Node n;
-  n.kind = NodeKind::kElement;
-  n.label.assign(label);
-  n.symbol = ResolveSymbol(label);
-  nodes_.push_back(std::move(n));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  uint32_t id =
+      cols_.PushRow(internal::kFlagAlive, ResolveSymbol(label));
+  payload_.push_back(strings_.Add(label));
+  attr_slot_.push_back(kNoAttrSlot);
+  return static_cast<NodeId>(id);
 }
 
 NodeId Document::CreateText(std::string_view text) {
-  Node n;
-  n.kind = NodeKind::kText;
-  n.text.assign(text);
-  nodes_.push_back(std::move(n));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  uint32_t id = cols_.PushRow(internal::kFlagAlive | internal::kFlagText,
+                              automata::kUnboundSymbol);
+  payload_.push_back(strings_.Add(text));
+  attr_slot_.push_back(kNoAttrSlot);
+  return static_cast<NodeId>(id);
 }
 
 Status Document::CheckAttachable(NodeId node) const {
   if (!IsValidId(node)) return Status::InvalidArgument("invalid node id");
-  if (!nodes_[node].alive) {
+  if (!IsAlive(node)) {
     return Status::FailedPrecondition("node has been deleted");
   }
-  if (nodes_[node].parent != kInvalidNode || node == root_) {
+  if (parent(node) != kInvalidNode || node == root_) {
     return Status::FailedPrecondition("node is already attached");
   }
   return Status::OK();
@@ -50,17 +137,21 @@ Status Document::AppendChild(NodeId parent, NodeId child) {
     return Status::InvalidArgument("parent must be a live element");
   }
   RETURN_IF_ERROR(CheckAttachable(child));
-  Node& p = nodes_[parent];
-  Node& c = nodes_[child];
-  c.parent = parent;
-  c.prev_sibling = p.last_child;
-  c.next_sibling = kInvalidNode;
-  if (p.last_child != kInvalidNode) {
-    nodes_[p.last_child].next_sibling = child;
+  NodeId* parents = cols_.parent();
+  NodeId* firsts = cols_.first_child();
+  NodeId* lasts = cols_.last_child();
+  NodeId* nexts = cols_.next_sibling();
+  NodeId* prevs = cols_.prev_sibling();
+  const NodeId tail = lasts[parent];
+  parents[child] = parent;
+  prevs[child] = tail;
+  nexts[child] = kInvalidNode;
+  if (tail != kInvalidNode) {
+    nexts[tail] = child;
   } else {
-    p.first_child = child;
+    firsts[parent] = child;
   }
-  p.last_child = child;
+  lasts[parent] = child;
   return Status::OK();
 }
 
@@ -68,22 +159,25 @@ Status Document::InsertBefore(NodeId reference, NodeId node) {
   if (!IsAlive(reference)) {
     return Status::InvalidArgument("reference node is not live");
   }
-  NodeId parent = nodes_[reference].parent;
+  NodeId parent = cols_.parent()[reference];
   if (parent == kInvalidNode) {
     return Status::FailedPrecondition("reference node has no parent");
   }
   RETURN_IF_ERROR(CheckAttachable(node));
-  Node& r = nodes_[reference];
-  Node& n = nodes_[node];
-  n.parent = parent;
-  n.next_sibling = reference;
-  n.prev_sibling = r.prev_sibling;
-  if (r.prev_sibling != kInvalidNode) {
-    nodes_[r.prev_sibling].next_sibling = node;
+  NodeId* parents = cols_.parent();
+  NodeId* firsts = cols_.first_child();
+  NodeId* nexts = cols_.next_sibling();
+  NodeId* prevs = cols_.prev_sibling();
+  const NodeId before = prevs[reference];
+  parents[node] = parent;
+  nexts[node] = reference;
+  prevs[node] = before;
+  if (before != kInvalidNode) {
+    nexts[before] = node;
   } else {
-    nodes_[parent].first_child = node;
+    firsts[parent] = node;
   }
-  r.prev_sibling = node;
+  prevs[reference] = node;
   return Status::OK();
 }
 
@@ -91,22 +185,25 @@ Status Document::InsertAfter(NodeId reference, NodeId node) {
   if (!IsAlive(reference)) {
     return Status::InvalidArgument("reference node is not live");
   }
-  NodeId parent = nodes_[reference].parent;
+  NodeId parent = cols_.parent()[reference];
   if (parent == kInvalidNode) {
     return Status::FailedPrecondition("reference node has no parent");
   }
   RETURN_IF_ERROR(CheckAttachable(node));
-  Node& r = nodes_[reference];
-  Node& n = nodes_[node];
-  n.parent = parent;
-  n.prev_sibling = reference;
-  n.next_sibling = r.next_sibling;
-  if (r.next_sibling != kInvalidNode) {
-    nodes_[r.next_sibling].prev_sibling = node;
+  NodeId* parents = cols_.parent();
+  NodeId* lasts = cols_.last_child();
+  NodeId* nexts = cols_.next_sibling();
+  NodeId* prevs = cols_.prev_sibling();
+  const NodeId after = nexts[reference];
+  parents[node] = parent;
+  prevs[node] = reference;
+  nexts[node] = after;
+  if (after != kInvalidNode) {
+    prevs[after] = node;
   } else {
-    nodes_[parent].last_child = node;
+    lasts[parent] = node;
   }
-  r.next_sibling = node;
+  nexts[reference] = node;
   return Status::OK();
 }
 
@@ -114,31 +211,38 @@ Status Document::InsertFirstChild(NodeId parent, NodeId node) {
   if (!IsValidId(parent) || !IsElement(parent)) {
     return Status::InvalidArgument("parent must be a live element");
   }
-  if (nodes_[parent].first_child != kInvalidNode) {
-    return InsertBefore(nodes_[parent].first_child, node);
+  if (cols_.first_child()[parent] != kInvalidNode) {
+    return InsertBefore(cols_.first_child()[parent], node);
   }
   return AppendChild(parent, node);
 }
 
 Status Document::RemoveLeaf(NodeId node) {
   if (!IsAlive(node)) return Status::InvalidArgument("node is not live");
-  if (nodes_[node].first_child != kInvalidNode) {
+  if (cols_.first_child()[node] != kInvalidNode) {
     return Status::FailedPrecondition("RemoveLeaf requires a leaf node");
   }
-  Node& n = nodes_[node];
-  if (n.prev_sibling != kInvalidNode) {
-    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
-  } else if (n.parent != kInvalidNode) {
-    nodes_[n.parent].first_child = n.next_sibling;
+  NodeId* parents = cols_.parent();
+  NodeId* firsts = cols_.first_child();
+  NodeId* lasts = cols_.last_child();
+  NodeId* nexts = cols_.next_sibling();
+  NodeId* prevs = cols_.prev_sibling();
+  const NodeId p = parents[node];
+  const NodeId prev = prevs[node];
+  const NodeId next = nexts[node];
+  if (prev != kInvalidNode) {
+    nexts[prev] = next;
+  } else if (p != kInvalidNode) {
+    firsts[p] = next;
   }
-  if (n.next_sibling != kInvalidNode) {
-    nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
-  } else if (n.parent != kInvalidNode) {
-    nodes_[n.parent].last_child = n.prev_sibling;
+  if (next != kInvalidNode) {
+    prevs[next] = prev;
+  } else if (p != kInvalidNode) {
+    lasts[p] = prev;
   }
   if (node == root_) root_ = kInvalidNode;
-  n.parent = n.prev_sibling = n.next_sibling = kInvalidNode;
-  n.alive = false;
+  parents[node] = prevs[node] = nexts[node] = kInvalidNode;
+  cols_.flags()[node] &= ~internal::kFlagAlive;
   return Status::OK();
 }
 
@@ -151,9 +255,23 @@ Status Document::Rename(NodeId node, std::string_view new_label) {
     return Status::InvalidArgument("invalid XML name: '" +
                                    std::string(new_label) + "'");
   }
-  nodes_[node].label.assign(new_label);
-  nodes_[node].symbol = ResolveSymbol(new_label);
+  ReplacePayload(node, new_label);
+  cols_.symbol()[node] = ResolveSymbol(new_label);
   return Status::OK();
+}
+
+void Document::ReplacePayload(NodeId id, std::string_view bytes) {
+  std::string_view current = payload_[id];
+  if (bytes.size() <= current.size() && !current.empty()) {
+    // Shrinking (or equal-size) edits reuse the node's existing arena
+    // range; the bytes are exclusively this node's, so the overwrite is
+    // invisible to every other payload.
+    char* dst = const_cast<char*>(current.data());
+    std::memcpy(dst, bytes.data(), bytes.size());
+    payload_[id] = std::string_view(dst, bytes.size());
+    return;
+  }
+  payload_[id] = strings_.Add(bytes);
 }
 
 automata::Symbol Document::ResolveSymbol(std::string_view label) {
@@ -169,10 +287,12 @@ Status Document::Bind(std::shared_ptr<const automata::Alphabet> alphabet) {
   if (alphabet == nullptr) return Status::InvalidArgument("null alphabet");
   intern_alphabet_ = nullptr;
   bound_alphabet_ = std::move(alphabet);
-  for (Node& n : nodes_) {
-    if (n.kind != NodeKind::kElement || !n.alive) continue;
-    auto sym = bound_alphabet_->Find(n.label);
-    n.symbol = sym ? *sym : automata::kUnboundSymbol;
+  const uint8_t* flags = cols_.flags();
+  automata::Symbol* symbols = cols_.symbol();
+  for (size_t id = 0; id < cols_.size(); ++id) {
+    if (flags[id] != internal::kFlagAlive) continue;  // element + alive
+    auto sym = bound_alphabet_->Find(payload_[id]);
+    symbols[id] = sym ? *sym : automata::kUnboundSymbol;
   }
   return Status::OK();
 }
@@ -181,9 +301,11 @@ Status Document::BindInterning(std::shared_ptr<automata::Alphabet> alphabet) {
   if (alphabet == nullptr) return Status::InvalidArgument("null alphabet");
   intern_alphabet_ = std::move(alphabet);
   bound_alphabet_ = intern_alphabet_;
-  for (Node& n : nodes_) {
-    if (n.kind != NodeKind::kElement || !n.alive) continue;
-    n.symbol = intern_alphabet_->Intern(n.label);
+  const uint8_t* flags = cols_.flags();
+  automata::Symbol* symbols = cols_.symbol();
+  for (size_t id = 0; id < cols_.size(); ++id) {
+    if (flags[id] != internal::kFlagAlive) continue;
+    symbols[id] = intern_alphabet_->Intern(payload_[id]);
   }
   return Status::OK();
 }
@@ -191,7 +313,10 @@ Status Document::BindInterning(std::shared_ptr<automata::Alphabet> alphabet) {
 void Document::Unbind() {
   bound_alphabet_ = nullptr;
   intern_alphabet_ = nullptr;
-  for (Node& n : nodes_) n.symbol = automata::kUnboundSymbol;
+  automata::Symbol* symbols = cols_.symbol();
+  for (size_t id = 0; id < cols_.size(); ++id) {
+    symbols[id] = automata::kUnboundSymbol;
+  }
 }
 
 Status Document::SetText(NodeId node, std::string_view text) {
@@ -199,7 +324,7 @@ Status Document::SetText(NodeId node, std::string_view text) {
   if (!IsText(node)) {
     return Status::InvalidArgument("SetText requires a text node");
   }
-  nodes_[node].text.assign(text);
+  ReplacePayload(node, text);
   return Status::OK();
 }
 
@@ -217,12 +342,22 @@ std::vector<NodeId> Document::Children(NodeId id) const {
   return out;
 }
 
+std::vector<Attribute>& Document::MutableAttributes(NodeId id) {
+  uint32_t slot = attr_slot_[id];
+  if (slot == kNoAttrSlot) {
+    slot = static_cast<uint32_t>(attr_slots_.size());
+    attr_slots_.emplace_back();
+    attr_slot_[id] = slot;
+  }
+  return attr_slots_[slot];
+}
+
 Status Document::AddAttribute(NodeId id, std::string_view name,
                               std::string_view value) {
   if (!IsAlive(id) || !IsElement(id)) {
     return Status::InvalidArgument("attributes require a live element");
   }
-  nodes_[id].attributes.push_back(
+  MutableAttributes(id).push_back(
       Attribute{std::string(name), std::string(value)});
   return Status::OK();
 }
@@ -236,14 +371,14 @@ Status Document::SetAttribute(NodeId id, std::string_view name,
     return Status::InvalidArgument("invalid attribute name '" +
                                    std::string(name) + "'");
   }
-  for (Attribute& a : nodes_[id].attributes) {
+  std::vector<Attribute>& attrs = MutableAttributes(id);
+  for (Attribute& a : attrs) {
     if (a.name == name) {
       a.value.assign(value);
       return Status::OK();
     }
   }
-  nodes_[id].attributes.push_back(
-      Attribute{std::string(name), std::string(value)});
+  attrs.push_back(Attribute{std::string(name), std::string(value)});
   return Status::OK();
 }
 
@@ -251,7 +386,9 @@ Status Document::RemoveAttribute(NodeId id, std::string_view name) {
   if (!IsAlive(id) || !IsElement(id)) {
     return Status::InvalidArgument("attributes require a live element");
   }
-  auto& attrs = nodes_[id].attributes;
+  uint32_t slot = attr_slot_[id];
+  if (slot == kNoAttrSlot) return Status::OK();
+  auto& attrs = attr_slots_[slot];
   for (auto it = attrs.begin(); it != attrs.end(); ++it) {
     if (it->name == name) {
       attrs.erase(it);
@@ -263,7 +400,7 @@ Status Document::RemoveAttribute(NodeId id, std::string_view name) {
 
 const std::string* Document::FindAttribute(NodeId id,
                                            std::string_view name) const {
-  for (const Attribute& a : nodes_[id].attributes) {
+  for (const Attribute& a : attributes(id)) {
     if (a.name == name) return &a.value;
   }
   return nullptr;
@@ -287,9 +424,25 @@ size_t Document::SubtreeSize(NodeId id) const {
 
 bool Document::HasOnlyWhitespaceText(NodeId id) const {
   for (NodeId c = first_child(id); c != kInvalidNode; c = next_sibling(c)) {
-    if (IsText(c) && !TrimWhitespace(text(c)).empty()) return false;
+    if (IsText(c) && !IsAllXmlWhitespace(text(c))) return false;
   }
   return true;
+}
+
+Document::MemoryStats Document::MemoryUsage() const {
+  MemoryStats stats;
+  stats.topology_bytes = cols_.arena_bytes();
+  stats.payload_ref_bytes = payload_.capacity() * sizeof(std::string_view) +
+                            attr_slot_.capacity() * sizeof(uint32_t);
+  stats.string_arena_bytes = strings_.allocated_bytes();
+  stats.attribute_bytes = attr_slots_.capacity() * sizeof(attr_slots_[0]);
+  for (const auto& slot : attr_slots_) {
+    stats.attribute_bytes += slot.capacity() * sizeof(Attribute);
+    for (const Attribute& a : slot) {
+      stats.attribute_bytes += a.name.capacity() + a.value.capacity();
+    }
+  }
+  return stats;
 }
 
 std::vector<NodeId> ElementChildren(const Document& doc, NodeId id) {

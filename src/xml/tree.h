@@ -1,11 +1,24 @@
 // Ordered labeled trees (the paper's document abstraction, Section 3).
 //
-// A Document owns its nodes in a contiguous arena; a NodeId is an index into
-// that arena. Nodes are linked first-child / last-child / next-sibling /
-// prev-sibling / parent, so all the traversals the validators need are O(1)
-// per step and structural edits are O(1) pointer splices. NodeIds remain
-// stable across edits (deleted nodes are tombstoned, never reused), which is
-// what lets the update log of Section 3.3 refer to nodes safely.
+// A Document owns its nodes in structure-of-arrays storage; a NodeId is a
+// row index. The HOT topology data the validators' cast walk touches —
+// flags (alive/kind), interned symbol, and the five structural links
+// (parent / first-child / last-child / next-sibling / prev-sibling) — live
+// as parallel dense columns inside ONE contiguous arena, so a preorder
+// walk streams over contiguous int32 arrays instead of striding through
+// ~120-byte heterogeneous records. COLD per-node data is split out of the
+// traversal path entirely: label/text payloads are byte ranges in a
+// chunked string arena (stable — chunks never move or shrink), and
+// attributes live in a side table reached through a per-node slot index.
+//
+// Nodes are linked first-child / last-child / next-sibling / prev-sibling
+// / parent, so all the traversals the validators need are O(1) per step
+// and structural edits are O(1) pointer splices. NodeIds remain stable
+// across edits (deleted nodes are tombstoned, never reused), which is what
+// lets the update log of Section 3.3 refer to nodes safely. Payload bytes
+// are likewise append-only: Rename/SetText write a new arena range (or
+// overwrite in place when the new payload fits), so string_views handed
+// out earlier never dangle.
 //
 // Element nodes carry a label (tag) and attributes; text nodes carry
 // character data and correspond to the paper's chi-labeled leaves.
@@ -15,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -42,6 +56,97 @@ struct Attribute {
   std::string name;
   std::string value;
 };
+
+namespace internal {
+
+// Bits of the per-node flags column. A node with neither bit set is a
+// tombstoned element; kFlagText without kFlagAlive is a tombstoned text
+// node. Kind never changes over a node's lifetime.
+inline constexpr uint8_t kFlagAlive = 0x1;
+inline constexpr uint8_t kFlagText = 0x2;
+
+/// The hot columns: one malloc'd block sliced into seven parallel arrays
+/// (5 × NodeId links, 1 × Symbol, 1 × uint8 flags — 25 bytes/node, vs the
+/// ~120-byte AoS node this replaced). Growth copies column-by-column so
+/// each array stays dense and contiguous.
+class NodeColumns {
+ public:
+  NodeColumns() = default;
+  NodeColumns(NodeColumns&& o) noexcept { MoveFrom(o); }
+  NodeColumns& operator=(NodeColumns&& o) noexcept {
+    if (this != &o) MoveFrom(o);
+    return *this;
+  }
+  NodeColumns(const NodeColumns&) = delete;
+  NodeColumns& operator=(const NodeColumns&) = delete;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Appends one row with all links kInvalidNode; returns its index.
+  uint32_t PushRow(uint8_t flags, automata::Symbol symbol);
+
+  // Column base pointers (valid until the next PushRow).
+  NodeId* parent() { return parent_; }
+  NodeId* first_child() { return first_child_; }
+  NodeId* last_child() { return last_child_; }
+  NodeId* next_sibling() { return next_sibling_; }
+  NodeId* prev_sibling() { return prev_sibling_; }
+  automata::Symbol* symbol() { return symbol_; }
+  uint8_t* flags() { return flags_; }
+  const NodeId* parent() const { return parent_; }
+  const NodeId* first_child() const { return first_child_; }
+  const NodeId* last_child() const { return last_child_; }
+  const NodeId* next_sibling() const { return next_sibling_; }
+  const NodeId* prev_sibling() const { return prev_sibling_; }
+  const automata::Symbol* symbol() const { return symbol_; }
+  const uint8_t* flags() const { return flags_; }
+
+  /// Bytes of the arena block (the hot footprint MemoryUsage reports).
+  size_t arena_bytes() const { return capacity_ * kBytesPerRow; }
+
+ private:
+  static constexpr size_t kBytesPerRow =
+      5 * sizeof(NodeId) + sizeof(automata::Symbol) + sizeof(uint8_t);
+
+  void Grow(size_t min_capacity);
+  void MoveFrom(NodeColumns& o);
+
+  std::unique_ptr<unsigned char[]> block_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  NodeId* parent_ = nullptr;
+  NodeId* first_child_ = nullptr;
+  NodeId* last_child_ = nullptr;
+  NodeId* next_sibling_ = nullptr;
+  NodeId* prev_sibling_ = nullptr;
+  automata::Symbol* symbol_ = nullptr;
+  uint8_t* flags_ = nullptr;
+};
+
+/// Chunked append-only byte arena for label/text payloads. Chunks never
+/// move once allocated, so the string_views handed out stay valid for the
+/// arena's lifetime (including across Document moves). Oversized payloads
+/// get a dedicated chunk.
+class StringArena {
+ public:
+  /// Copies `s` into the arena; the returned view is stable forever.
+  std::string_view Add(std::string_view s);
+
+  size_t allocated_bytes() const { return allocated_; }
+  size_t used_bytes() const { return used_; }
+
+ private:
+  static constexpr size_t kChunkSize = 1 << 16;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t last_used_ = 0;      // bytes consumed in chunks_.back()
+  size_t last_capacity_ = 0;  // size of chunks_.back()
+  size_t allocated_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace internal
 
 /// A mutable XML document: an ordered labeled tree plus attributes.
 class Document {
@@ -135,36 +240,51 @@ class Document {
   /// Interned symbol of an element node: alphabet.Find(label) at binding /
   /// creation / rename time, kUnboundSymbol for unbound documents, out-of-Σ
   /// labels, and text nodes.
-  automata::Symbol symbol(NodeId id) const { return nodes_[id].symbol; }
+  automata::Symbol symbol(NodeId id) const { return cols_.symbol()[id]; }
 
   // -- Accessors -----------------------------------------------------------
 
   NodeId root() const { return root_; }
   bool has_root() const { return root_ != kInvalidNode; }
 
-  bool IsValidId(NodeId id) const { return id < nodes_.size(); }
-  bool IsAlive(NodeId id) const { return IsValidId(id) && nodes_[id].alive; }
-
-  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
-  bool IsElement(NodeId id) const {
-    return nodes_[id].kind == NodeKind::kElement;
+  bool IsValidId(NodeId id) const { return id < cols_.size(); }
+  bool IsAlive(NodeId id) const {
+    return IsValidId(id) && (cols_.flags()[id] & internal::kFlagAlive) != 0;
   }
-  bool IsText(NodeId id) const { return nodes_[id].kind == NodeKind::kText; }
 
-  /// Tag of an element node, or empty for text nodes.
-  const std::string& label(NodeId id) const { return nodes_[id].label; }
+  NodeKind kind(NodeId id) const {
+    return (cols_.flags()[id] & internal::kFlagText) != 0 ? NodeKind::kText
+                                                          : NodeKind::kElement;
+  }
+  bool IsElement(NodeId id) const {
+    return (cols_.flags()[id] & internal::kFlagText) == 0;
+  }
+  bool IsText(NodeId id) const {
+    return (cols_.flags()[id] & internal::kFlagText) != 0;
+  }
 
-  /// Character data of a text node, or empty for elements.
-  const std::string& text(NodeId id) const { return nodes_[id].text; }
+  /// Tag of an element node, or empty for text nodes. The view points into
+  /// the document's string arena: stable across edits and moves (arena
+  /// chunks never move or shrink).
+  std::string_view label(NodeId id) const {
+    return IsElement(id) ? payload_[id] : std::string_view();
+  }
 
-  NodeId parent(NodeId id) const { return nodes_[id].parent; }
-  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
-  NodeId last_child(NodeId id) const { return nodes_[id].last_child; }
-  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
-  NodeId prev_sibling(NodeId id) const { return nodes_[id].prev_sibling; }
+  /// Character data of a text node, or empty for elements. Stability as
+  /// for label(), EXCEPT that SetText may overwrite the bytes in place —
+  /// don't cache text views across text edits to the same node.
+  std::string_view text(NodeId id) const {
+    return IsText(id) ? payload_[id] : std::string_view();
+  }
+
+  NodeId parent(NodeId id) const { return cols_.parent()[id]; }
+  NodeId first_child(NodeId id) const { return cols_.first_child()[id]; }
+  NodeId last_child(NodeId id) const { return cols_.last_child()[id]; }
+  NodeId next_sibling(NodeId id) const { return cols_.next_sibling()[id]; }
+  NodeId prev_sibling(NodeId id) const { return cols_.prev_sibling()[id]; }
 
   bool HasChildren(NodeId id) const {
-    return nodes_[id].first_child != kInvalidNode;
+    return cols_.first_child()[id] != kInvalidNode;
   }
 
   /// Number of children of `id` (O(children)).
@@ -175,7 +295,8 @@ class Document {
 
   /// Attributes of an element node.
   const std::vector<Attribute>& attributes(NodeId id) const {
-    return nodes_[id].attributes;
+    uint32_t slot = attr_slot_[id];
+    return slot == kNoAttrSlot ? EmptyAttributes() : attr_slots_[slot];
   }
 
   /// Adds an attribute to an element node (no duplicate-name check; the
@@ -197,7 +318,7 @@ class Document {
   std::string SimpleContent(NodeId id) const;
 
   /// Total nodes ever created (tombstones included).
-  size_t NodeCount() const { return nodes_.size(); }
+  size_t NodeCount() const { return cols_.size(); }
 
   /// Number of live nodes in the subtree rooted at `id` (O(subtree)).
   size_t SubtreeSize(NodeId id) const;
@@ -206,27 +327,94 @@ class Document {
   /// validators to decide whether mixed text is ignorable.
   bool HasOnlyWhitespaceText(NodeId id) const;
 
- private:
-  struct Node {
-    NodeKind kind = NodeKind::kElement;
-    bool alive = true;
-    automata::Symbol symbol = automata::kUnboundSymbol;
-    std::string label;  // element tag; empty for text nodes
-    std::string text;   // character data; empty for elements
-    NodeId parent = kInvalidNode;
-    NodeId first_child = kInvalidNode;
-    NodeId last_child = kInvalidNode;
-    NodeId next_sibling = kInvalidNode;
-    NodeId prev_sibling = kInvalidNode;
-    std::vector<Attribute> attributes;
+  // -- Hot view ------------------------------------------------------------
+
+  /// Raw column pointers for the validators' traversal hot loops: one load
+  /// per step straight off a dense array, no Document indirection, plus
+  /// software prefetch of the next row. Pointers are invalidated by node
+  /// creation (column growth); re-fetch after any CreateElement/CreateText.
+  /// Structural edits (splices, renames, deletes) do NOT invalidate it.
+  struct HotView {
+    const uint8_t* flags;
+    const automata::Symbol* symbol;
+    const NodeId* parent;
+    const NodeId* first_child;
+    const NodeId* last_child;
+    const NodeId* next_sibling;
+    const NodeId* prev_sibling;
+
+    bool IsElement(NodeId id) const {
+      return (flags[id] & internal::kFlagText) == 0;
+    }
+    bool IsText(NodeId id) const {
+      return (flags[id] & internal::kFlagText) != 0;
+    }
+
+    /// Hints the row of `id` into cache: the columns a frontier walk reads
+    /// next (links + symbol). No-op when `id` is kInvalidNode.
+    void PrefetchRow(NodeId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+      if (id == kInvalidNode) return;
+      __builtin_prefetch(&next_sibling[id]);
+      __builtin_prefetch(&first_child[id]);
+      __builtin_prefetch(&symbol[id]);
+#else
+      (void)id;
+#endif
+    }
   };
+
+  HotView hot_view() const {
+    return HotView{cols_.flags(),        cols_.symbol(),
+                   cols_.parent(),       cols_.first_child(),
+                   cols_.last_child(),   cols_.next_sibling(),
+                   cols_.prev_sibling()};
+  }
+
+  // -- Memory accounting ---------------------------------------------------
+
+  /// Per-document footprint of the SoA storage, split by region. Costs
+  /// O(attribute slots); meant for gauges and bench stamps, not hot paths.
+  struct MemoryStats {
+    size_t topology_bytes = 0;      // hot column arena (flags..siblings)
+    size_t payload_ref_bytes = 0;   // cold per-node payload views
+    size_t string_arena_bytes = 0;  // label/text byte chunks (allocated)
+    size_t attribute_bytes = 0;     // side table incl. string capacities
+    size_t total() const {
+      return topology_bytes + payload_ref_bytes + string_arena_bytes +
+             attribute_bytes;
+    }
+  };
+  MemoryStats MemoryUsage() const;
+
+ private:
+  static constexpr uint32_t kNoAttrSlot = 0xFFFFFFFFu;
+
+  static const std::vector<Attribute>& EmptyAttributes() {
+    static const std::vector<Attribute> empty;
+    return empty;
+  }
 
   Status CheckAttachable(NodeId node) const;
 
   /// Resolves `label` through the current binding (intern or find).
   automata::Symbol ResolveSymbol(std::string_view label);
 
-  std::vector<Node> nodes_;
+  /// Rebinds node `id`'s payload to `bytes`, overwriting in place when the
+  /// new payload fits in the old range (no arena growth on shrinking
+  /// edits); otherwise appends a fresh range.
+  void ReplacePayload(NodeId id, std::string_view bytes);
+
+  /// The attribute vector of `id`, creating its side-table slot on demand.
+  std::vector<Attribute>& MutableAttributes(NodeId id);
+
+  internal::NodeColumns cols_;
+  internal::StringArena strings_;
+  // Cold per-node columns (never touched by the traversal loops).
+  std::vector<std::string_view> payload_;  // label (element) / text (text)
+  std::vector<uint32_t> attr_slot_;        // kNoAttrSlot when attribute-free
+  std::vector<std::vector<Attribute>> attr_slots_;
+
   NodeId root_ = kInvalidNode;
 
   // bound_alphabet_ is the read view; intern_alphabet_ is non-null only

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <vector>
 
 #include "core/cast_validator.h"
 #include "core/relations.h"
@@ -147,6 +148,74 @@ TEST(BindingAllocTest, MultiChunkSimpleValueReusesScratchBuffer) {
   size_t allocs = AllocsDuringValidate(validator, doc, &scratch);
   EXPECT_EQ(allocs, 0u)
       << "multi-chunk simple value allocated despite warmed scratch";
+}
+
+// The SoA accessor surface itself: a raw HotView preorder walk over the
+// whole document — kind checks, symbol reads, link chasing, prefetches —
+// touches only the parallel columns and must never materialize a string
+// or any other heap block. This is the layer the cast frontier loop sits
+// on; if it allocates, "zero allocations per node" is unrecoverable above.
+TEST(BindingAllocTest, HotViewPreorderWalkIsZeroAllocation) {
+  Fixture f = MakeFixture();
+  workload::PoGeneratorOptions opts;
+  opts.item_count = 1000;
+  xml::Document doc = workload::GeneratePurchaseOrder(opts);
+  ASSERT_OK(doc.Bind(f.alphabet));
+
+  std::vector<xml::NodeId> stack;
+  stack.reserve(doc.NodeCount());  // pre-size outside the counted region
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  const xml::Document::HotView hv = doc.hot_view();
+  size_t elements = 0, texts = 0;
+  uint64_t symbol_sum = 0;
+  stack.push_back(doc.root());
+  while (!stack.empty()) {
+    xml::NodeId node = stack.back();
+    stack.pop_back();
+    if (!stack.empty()) hv.PrefetchRow(stack.back());
+    if (hv.IsText(node)) {
+      ++texts;
+      continue;
+    }
+    ++elements;
+    symbol_sum += hv.symbol[node];
+    for (xml::NodeId c = hv.last_child[node]; c != xml::kInvalidNode;
+         c = hv.prev_sibling[c]) {
+      stack.push_back(c);
+    }
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(elements + texts, doc.NodeCount());
+  EXPECT_GT(symbol_sum, 0u);  // bound symbols actually read
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "HotView column walk allocated";
+}
+
+// Shrinking payload edits overwrite the string arena in place: renaming
+// to a shorter label and rewriting a text node with shorter content must
+// not touch the heap (growing edits may append to the arena).
+TEST(BindingAllocTest, ShrinkingRenameAndSetTextAreZeroAllocation) {
+  xml::Document doc;
+  xml::NodeId root = doc.CreateElement("purchaseOrder");
+  ASSERT_OK(doc.SetRoot(root));
+  xml::NodeId t = doc.CreateText("0123456789");
+  ASSERT_OK(doc.AppendChild(root, t));
+
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  Status rename_status = doc.Rename(root, "po");
+  Status text_status = doc.SetText(t, "42");
+  g_counting.store(false, std::memory_order_relaxed);
+
+  ASSERT_OK(rename_status);
+  ASSERT_OK(text_status);
+  EXPECT_EQ(doc.label(root), "po");
+  EXPECT_EQ(doc.text(t), "42");
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "shrinking payload edits should reuse the arena bytes in place";
 }
 
 // The observability layer must not change the hot loop's allocation

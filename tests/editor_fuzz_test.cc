@@ -1,0 +1,221 @@
+// Randomized splice hammer for the SoA Document storage.
+//
+// Thousands of random edits — insert element/text (before / after / first
+// child), leaf deletion, rename, text rewrite — applied in lockstep to an
+// xml::Document and to a naive pointer-based reference tree. After every
+// batch the two are compared structurally, the SoA link columns (parent /
+// first_child / last_child / next_sibling / prev_sibling) are checked for
+// mutual consistency, and the document is serializer round-tripped
+// (serialize → parse → serialize must be a fixed point). Any divergence —
+// a mis-spliced sibling chain, a stale payload view after arena growth, a
+// tombstone resurfacing — fails with the seed and op index.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/tree.h"
+
+namespace xmlreval::xml {
+namespace {
+
+struct RefNode {
+  bool is_text = false;
+  std::string payload;  // label for elements, content for text nodes
+  RefNode* parent = nullptr;
+  std::vector<RefNode*> children;
+};
+
+// The mirrored pair: every mutation goes through both sides.
+struct Mirror {
+  Document doc;
+  std::deque<RefNode> storage;  // stable addresses; tombstoned, never freed
+  std::unordered_map<NodeId, RefNode*> ref_of;
+  std::vector<NodeId> attached;  // sampling pool, swap-erased on delete
+  size_t created = 1;            // the root; bumped by every NewRef
+
+  RefNode* NewRef(NodeId id, bool is_text, std::string payload,
+                  RefNode* parent) {
+    storage.push_back(RefNode{is_text, std::move(payload), parent, {}});
+    if (parent != nullptr) ++created;  // root is pre-counted
+    RefNode* ref = &storage.back();
+    ref_of[id] = ref;
+    attached.push_back(id);
+    return ref;
+  }
+
+  static size_t IndexIn(const std::vector<RefNode*>& children, RefNode* ref) {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == ref) return i;
+    }
+    ADD_FAILURE() << "reference child not found under its parent";
+    return children.size();
+  }
+};
+
+std::string RandomLabel(std::mt19937_64& rng) {
+  static const char* kLabels[] = {"item", "note", "meta", "part", "row",
+                                  "name", "qty",  "sku",  "tag"};
+  return kLabels[rng() % (sizeof(kLabels) / sizeof(kLabels[0]))];
+}
+
+std::string RandomText(std::mt19937_64& rng) {
+  // Non-empty, no leading/trailing whitespace, no markup: survives a
+  // parse round-trip byte-for-byte (whitespace-only runs and adjacent
+  // text coalescing are the parser's business, not this test's).
+  return "t" + std::to_string(rng() % 100000);
+}
+
+// Deep-compares the document subtree against the reference subtree AND
+// checks the doubly-linked sibling columns agree with each other.
+void ExpectMirrored(const Document& doc, NodeId node, const RefNode* ref,
+                    const std::string& context) {
+  ASSERT_TRUE(doc.IsAlive(node)) << context;
+  ASSERT_EQ(doc.IsText(node), ref->is_text) << context;
+  if (ref->is_text) {
+    EXPECT_EQ(doc.text(node), ref->payload) << context;
+    return;
+  }
+  EXPECT_EQ(doc.label(node), ref->payload) << context;
+
+  // Forward chain must mirror ref->children in order, with back-links and
+  // parent pointers consistent at every hop.
+  size_t i = 0;
+  NodeId prev = kInvalidNode;
+  for (NodeId c = doc.first_child(node); c != kInvalidNode;
+       c = doc.next_sibling(c), ++i) {
+    ASSERT_LT(i, ref->children.size()) << context << ": extra child " << i;
+    EXPECT_EQ(doc.parent(c), node) << context << ": child " << i;
+    EXPECT_EQ(doc.prev_sibling(c), prev) << context << ": child " << i;
+    ExpectMirrored(doc, c, ref->children[i],
+                   context + "/" + std::to_string(i));
+    prev = c;
+  }
+  EXPECT_EQ(i, ref->children.size()) << context << ": missing children";
+  EXPECT_EQ(doc.last_child(node), prev) << context;
+}
+
+// serialize → parse → serialize is a fixed point (payloads are chosen so
+// the parser cannot legally alter them beyond text coalescing, which
+// serialization already flattened).
+void ExpectSerializerRoundTrip(const Document& doc,
+                               const std::string& context) {
+  SerializeOptions options;
+  options.pretty = false;
+  options.xml_declaration = false;
+  std::string first = Serialize(doc, options);
+  auto reparsed = ParseXml(first);
+  ASSERT_TRUE(reparsed.ok()) << context << ": " << reparsed.status().ToString();
+  EXPECT_EQ(Serialize(*reparsed, options), first) << context;
+}
+
+TEST(EditorFuzzTest, RandomSplicesKeepDocumentAndReferenceInLockstep) {
+  constexpr uint64_t kSeeds[] = {7, 104729, 982451653};
+  constexpr size_t kOpsPerSeed = 4000;  // 3 seeds × 4000 = 12k splices
+  constexpr size_t kCheckEvery = 1000;
+  constexpr size_t kMaxNodes = 2500;
+
+  for (uint64_t seed : kSeeds) {
+    std::mt19937_64 rng(seed);
+    Mirror m;
+    NodeId root = m.doc.CreateElement("root");
+    ASSERT_OK(m.doc.SetRoot(root));
+    RefNode* ref_root = m.NewRef(root, false, "root", nullptr);
+
+    for (size_t op = 0; op < kOpsPerSeed; ++op) {
+      const std::string context =
+          "seed=" + std::to_string(seed) + " op=" + std::to_string(op);
+      NodeId target = m.attached[rng() % m.attached.size()];
+      RefNode* ref = m.ref_of.at(target);
+
+      // Bias toward deletion once the tree is large so the walk stays fast
+      // and tombstone reuse paths get exercised under sustained churn.
+      const bool crowded = m.attached.size() > kMaxNodes;
+      switch (crowded ? 6 + rng() % 2 : rng() % 8) {
+        case 0:    // insert element as first child (elements only)
+        case 1: {  // insert text as first child
+          if (ref->is_text) break;
+          const bool text = (rng() & 1) != 0;
+          std::string payload = text ? RandomText(rng) : RandomLabel(rng);
+          NodeId fresh = text ? m.doc.CreateText(payload)
+                              : m.doc.CreateElement(payload);
+          ASSERT_OK(m.doc.InsertFirstChild(target, fresh));
+          RefNode* fresh_ref = m.NewRef(fresh, text, payload, ref);
+          ref->children.insert(ref->children.begin(), fresh_ref);
+          break;
+        }
+        case 2:    // insert element before a non-root node
+        case 3: {  // insert element after a non-root node
+          if (target == root) break;
+          const bool after = (rng() & 1) != 0;
+          const bool text = (rng() & 1) != 0;
+          std::string payload = text ? RandomText(rng) : RandomLabel(rng);
+          NodeId fresh = text ? m.doc.CreateText(payload)
+                              : m.doc.CreateElement(payload);
+          ASSERT_OK(after ? m.doc.InsertAfter(target, fresh)
+                          : m.doc.InsertBefore(target, fresh));
+          RefNode* fresh_ref = m.NewRef(fresh, text, payload, ref->parent);
+          std::vector<RefNode*>& siblings = ref->parent->children;
+          size_t at = Mirror::IndexIn(siblings, ref) + (after ? 1 : 0);
+          siblings.insert(siblings.begin() + at, fresh_ref);
+          break;
+        }
+        case 4: {  // rename an element
+          if (ref->is_text) break;
+          std::string label = RandomLabel(rng);
+          ASSERT_OK(m.doc.Rename(target, label));
+          ref->payload = label;
+          break;
+        }
+        case 5: {  // rewrite a text node (exercises in-place shrink too)
+          if (!ref->is_text) break;
+          std::string text = RandomText(rng);
+          ASSERT_OK(m.doc.SetText(target, text));
+          ref->payload = text;
+          break;
+        }
+        default: {  // delete a leaf (cases 6, 7)
+          if (target == root || !ref->children.empty()) break;
+          ASSERT_OK(m.doc.RemoveLeaf(target));
+          EXPECT_FALSE(m.doc.IsAlive(target)) << context;
+          std::vector<RefNode*>& siblings = ref->parent->children;
+          siblings.erase(siblings.begin() + Mirror::IndexIn(siblings, ref));
+          m.ref_of.erase(target);
+          for (size_t i = 0; i < m.attached.size(); ++i) {
+            if (m.attached[i] == target) {
+              m.attached[i] = m.attached.back();
+              m.attached.pop_back();
+              break;
+            }
+          }
+          break;
+        }
+      }
+
+      if ((op + 1) % kCheckEvery == 0) {
+        ExpectMirrored(m.doc, root, ref_root, context);
+        ExpectSerializerRoundTrip(m.doc, context);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+
+    const std::string context = "seed=" + std::to_string(seed) + " final";
+    ExpectMirrored(m.doc, root, ref_root, context);
+    ExpectSerializerRoundTrip(m.doc, context);
+    // Tombstones accumulate by design: the id space (NodeCount) counts
+    // every node ever created; deletions never shrink or reuse it.
+    EXPECT_EQ(m.doc.NodeCount(), m.created) << context;
+    EXPECT_LE(m.attached.size(), m.created) << context;
+  }
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

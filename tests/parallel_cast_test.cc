@@ -251,7 +251,7 @@ TEST(ParallelCastTest, FirstFailureIsDeterministicUnderCancellation) {
 // ------------------------------------------------------------ edge cases
 
 // One worker: no idle peer ever exists, so the run never donates — a
-// single task walks the whole document (the within-5%-of-serial bench
+// single task walks the whole document (the within-10%-of-serial bench
 // guarantee rests on this).
 TEST(ParallelCastTest, SingleThreadRunsAsOneTask) {
   DtdPair p;
@@ -297,6 +297,46 @@ TEST(ParallelCastTest, SubsumedRootShortCircuitsWithoutFanOut) {
 
   CastValidator serial(p.relations.get());
   ExpectSameReport(serial.Validate(*doc), par, "subsumed root");
+}
+
+// Adaptive threshold (Options::spawn_threshold == 0, the default): the
+// first Validate calibrates from a timed prefix walk, the result lands in
+// [16, 4096], is cached across calls, and — because calibration counters
+// are discarded — the report stays bit-identical to the serial engine's.
+TEST(ParallelCastTest, AdaptiveThresholdCalibratesOnceAndMatchesSerial) {
+  DtdPair p;
+  p.Load("<!ELEMENT r (a*)><!ELEMENT a (b?)><!ELEMENT b EMPTY>",
+         "<!ELEMENT r (a*)><!ELEMENT a (b*)><!ELEMENT b EMPTY>");
+  std::string text = "<r>";
+  for (int i = 0; i < 2000; ++i) text += "<a><b/></a>";
+  text += "</r>";
+  auto doc = xml::ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+
+  CastValidator serial(p.relations.get());
+  ValidationReport s = serial.Validate(*doc);
+  ASSERT_TRUE(s.valid);
+
+  common::Executor executor(common::Executor::Options{.threads = 2});
+  ParallelCastValidator parallel(p.relations.get(), &executor);  // default opts
+  ParallelCastValidator::RunStats stats1;
+  ValidationReport par = parallel.Validate(*doc, &stats1);
+  ExpectSameReport(s, par, "adaptive, first call");
+  EXPECT_GE(stats1.spawn_threshold, 16u);
+  EXPECT_LE(stats1.spawn_threshold, 4096u);
+
+  ParallelCastValidator::RunStats stats2;
+  ValidationReport par2 = parallel.Validate(*doc, &stats2);
+  ExpectSameReport(s, par2, "adaptive, cached call");
+  EXPECT_EQ(stats2.spawn_threshold, stats1.spawn_threshold);
+
+  // A fixed threshold is passed through untouched.
+  ParallelCastValidator::Options fixed;
+  fixed.spawn_threshold = 128;
+  ParallelCastValidator parallel_fixed(p.relations.get(), &executor, fixed);
+  ParallelCastValidator::RunStats stats3;
+  ExpectSameReport(s, parallel_fixed.Validate(*doc, &stats3), "fixed");
+  EXPECT_EQ(stats3.spawn_threshold, 128u);
 }
 
 // Root-level prologue failures (no root, undeclared labels) never reach

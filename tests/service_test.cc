@@ -529,6 +529,20 @@ TEST_F(ValidationServiceTest, MetricsReconcileWithRequestCounters) {
     ASSERT_NE(depth, nullptr) << executor;
     EXPECT_EQ(depth->value, 0) << executor;
   }
+  // Document-footprint gauges track the last served document's
+  // MemoryUsage (SoA columns + string arena + attributes).
+  const obs::GaugeSnapshot* doc_bytes =
+      snapshot.FindGauge("xmlreval_doc_bytes");
+  const obs::GaugeSnapshot* doc_bytes_per_node =
+      snapshot.FindGauge("xmlreval_doc_bytes_per_node");
+  ASSERT_NE(doc_bytes, nullptr);
+  ASSERT_NE(doc_bytes_per_node, nullptr);
+  EXPECT_GT(doc_bytes->value, 0);
+  EXPECT_GT(doc_bytes_per_node->value, 0);
+  // The flag+link columns alone are 25 bytes/row, so anything below that
+  // means MemoryUsage is lying. No upper bound: on tiny documents the
+  // fixed 64 KiB string-arena chunk dominates the per-node amortisation.
+  EXPECT_GE(doc_bytes_per_node->value, 25);
 }
 
 // PR 1's counters() read one atomic at a time, so a snapshot taken during

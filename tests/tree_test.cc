@@ -46,7 +46,7 @@ TEST(DocumentTest, InsertBeforeAfterFirstChild) {
   ASSERT_OK(doc.InsertFirstChild(root, zero));
 
   std::vector<std::string> labels;
-  for (NodeId n : doc.Children(root)) labels.push_back(doc.label(n));
+  for (NodeId n : doc.Children(root)) labels.emplace_back(doc.label(n));
   EXPECT_EQ(labels, (std::vector<std::string>{"zero", "a", "b", "c"}));
 }
 

@@ -607,8 +607,9 @@ int CmdAnalyzeUpdates(int argc, char** argv) {
         xml::NodeId node = stack.back();
         stack.pop_back();
         if (scratch->IsElement(node)) {
-          if (seen.insert(scratch->label(node)).second) {
-            doc_labels.push_back(scratch->label(node));
+          std::string label(scratch->label(node));
+          if (seen.insert(label).second) {
+            doc_labels.push_back(std::move(label));
           }
           for (xml::NodeId c = scratch->first_child(node);
                c != xml::kInvalidNode; c = scratch->next_sibling(c)) {
