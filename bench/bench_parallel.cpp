@@ -23,10 +23,14 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+#include <fstream>
+
 #include "bench/bench_util.h"
 #include "common/executor.h"
 #include "core/cast_validator.h"
 #include "core/parallel_cast_validator.h"
+#include "obs/trace.h"
 #include "workload/po_generator.h"
 #include "xml/tree.h"
 
@@ -58,6 +62,20 @@ double MedianNs(F&& run) {
 
 int main(int argc, char** argv) {
   bench::ConsumeForceFlag(&argc, argv);
+  // --trace-out F: after the timed grid, run ONE traced 4-thread
+  // validation and write its Chrome trace-event JSON to F. Kept out of
+  // the timed loops so tracing overhead never touches the numbers; the
+  // CI obs-smoke job checks every cast.task span in it is flow-linked to
+  // its spawner.
+  std::string trace_out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   bench::SchemaPair& pair = bench::Experiment2Pair();
   core::CastValidator serial(pair.relations.get());
 
@@ -159,6 +177,39 @@ int main(int argc, char** argv) {
         std::printf("  threshold %-4zu %.1f us\n", threshold, ns / 1000.0);
       }
     }
+  }
+
+  if (!trace_out.empty()) {
+#ifndef XMLREVAL_OBS_DISABLED
+    workload::PoGeneratorOptions options;
+    options.item_count = 1000;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    if (!doc.Bind(pair.alphabet).ok()) return 1;
+    common::Executor executor(common::Executor::Options{.threads = 4});
+    // Force eager donation so the traced run actually fans out (the
+    // adaptive threshold can swallow a 1000-item doc whole on a fast
+    // machine, leaving a single cast.task and nothing to flow-link).
+    core::ParallelCastValidator::Options parallel_options;
+    parallel_options.spawn_threshold = 64;
+    core::ParallelCastValidator parallel(pair.relations.get(), &executor,
+                                         parallel_options);
+    obs::TraceSink::Global().Clear();
+    obs::SetTraceEnabled(true);
+    core::ValidationReport report = parallel.Validate(doc);
+    obs::SetTraceEnabled(false);
+    if (!report.valid) return 1;
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    out << obs::TraceSink::Global().ExportChromeJson();
+    std::printf("wrote %s (traced t=4 run, 1000 items)\n",
+                trace_out.c_str());
+#else
+    std::fprintf(stderr,
+                 "--trace-out ignored: XMLREVAL_OBS_DISABLED build\n");
+#endif
   }
 
   bench::WriteBenchJson("BENCH_parallel.json", "parallel", metrics);

@@ -21,7 +21,9 @@ thread_local size_t tls_worker_index = 0;
 }  // namespace
 
 Executor::Executor(const Options& options)
-    : depth_hook_(options.depth_hook), injection_(options.queue_capacity) {
+    : depth_hook_(options.depth_hook),
+      task_wrapper_(options.task_wrapper),
+      injection_(options.queue_capacity) {
   size_t threads = ResolveThreads(options.threads);
   deques_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
@@ -49,6 +51,9 @@ void Executor::OnPicked() {
 }
 
 bool Executor::Submit(Task task) {
+  // Wrap on the submitting thread, so the wrapper can capture this
+  // thread's context before the task crosses to a worker.
+  if (task_wrapper_) task = task_wrapper_(std::move(task));
   if (tls_executor == this) {
     WorkerDeque& own = *deques_[tls_worker_index];
     {

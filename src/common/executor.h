@@ -61,6 +61,13 @@ class Executor {
     /// up; lets the owner mirror QueueDepth() into a metrics gauge without
     /// the executor depending on the obs layer. Must be thread-safe.
     std::function<void(int64_t)> depth_hook;
+    /// Applied to every task at Submit time, ON THE SUBMITTING thread:
+    /// the task actually enqueued is task_wrapper(task). Lets the owner
+    /// capture submission-side context (e.g. the obs TraceContext) and
+    /// reinstall it around execution on whichever worker runs the task,
+    /// without the executor depending on the obs layer. Must be
+    /// thread-safe; null means tasks are enqueued as submitted.
+    std::function<Task(Task)> task_wrapper;
   };
 
   /// Cumulative scheduling counters (relaxed; read for tests/diagnostics).
@@ -119,6 +126,7 @@ class Executor {
   void OnPicked();
 
   const std::function<void(int64_t)> depth_hook_;
+  const std::function<Task(Task)> task_wrapper_;
   BoundedQueue<Task> injection_;
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
   std::vector<std::thread> workers_;

@@ -205,8 +205,12 @@ void RunTask(const std::shared_ptr<SharedRun>& run,
       const size_t half = stack.size() / 2;
       std::vector<CastUnit> donated(stack.begin(), stack.begin() + half);
       stack.erase(stack.begin(), stack.begin() + half);
+      // The flow edge starts inside THIS cast.task span and terminates on
+      // the donated task's cast.task span, wherever it gets stolen to.
+      obs::TraceContext ctx = obs::ForkFlow("cast.flow");
       run->group.Spawn(
-          [run, donated = std::move(donated)]() mutable {
+          [run, ctx, donated = std::move(donated)]() mutable {
+            obs::ScopedTraceContext scoped(ctx);
             RunTask(run, std::move(donated));
           });
     }
@@ -241,6 +245,9 @@ size_t ParallelCastValidator::EffectiveThreshold(const xml::Document& doc,
 
 ValidationReport ParallelCastValidator::Validate(const xml::Document& doc,
                                                  RunStats* stats) const {
+  // Adopts the service's request id when called through it; direct
+  // callers (benches, tests) get their own, kept unconditionally.
+  obs::RequestScope request_scope;
   obs::Span span("cast.traverse");
   const bool use_symbols = doc.BoundTo(*relations_->source().alphabet());
   ValidationReport report;
@@ -256,7 +263,11 @@ ValidationReport ParallelCastValidator::Validate(const xml::Document& doc,
                                          use_symbols,
                                          options_.cast.use_immediate_content,
                                          threshold);
-  run->group.Spawn([run, root] { RunTask(run, {root}); });
+  obs::TraceContext root_ctx = obs::ForkFlow("cast.flow");
+  run->group.Spawn([run, root, root_ctx] {
+    obs::ScopedTraceContext scoped(root_ctx);
+    RunTask(run, {root});
+  });
   run->group.Wait();
 
   if (stats != nullptr) {

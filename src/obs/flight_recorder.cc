@@ -1,0 +1,281 @@
+#include "obs/flight_recorder.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlreval::obs {
+
+namespace {
+
+// Buffered async-signal-safe writer: write(2) + hand-rolled formatting.
+// Nothing here allocates, locks, or calls into stdio.
+struct SafeWriter {
+  int fd;
+  char buf[512];
+  size_t len = 0;
+  bool ok = true;
+
+  explicit SafeWriter(int fd) : fd(fd) {}
+
+  void Flush() {
+    size_t off = 0;
+    while (ok && off < len) {
+      ssize_t n = ::write(fd, buf + off, len - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    len = 0;
+  }
+
+  void Char(char c) {
+    if (len == sizeof(buf)) Flush();
+    buf[len++] = c;
+  }
+
+  void Raw(const char* s) {
+    for (; *s; ++s) Char(*s);
+  }
+
+  /// JSON string literal. Names here are compile-time literals, but
+  /// escape defensively — the cost is per-character anyway.
+  void Str(const char* s) {
+    Char('"');
+    for (; s && *s; ++s) {
+      unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        Char('\\');
+        Char(static_cast<char>(c));
+      } else if (c < 0x20) {
+        Char('\\');
+        Char('u');
+        Char('0');
+        Char('0');
+        const char* hex = "0123456789abcdef";
+        Char(hex[c >> 4]);
+        Char(hex[c & 0xf]);
+      } else {
+        Char(static_cast<char>(c));
+      }
+    }
+    Char('"');
+  }
+
+  void U64(uint64_t v) {
+    char digits[20];
+    size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) Char(digits[--n]);
+  }
+};
+
+char g_dump_path[256] = "flight_recorder.json";
+
+void CrashHandler(int sig) {
+  const char* reason = sig == SIGSEGV  ? "SIGSEGV"
+                       : sig == SIGABRT ? "SIGABRT"
+                                        : "signal";
+  FlightRecorder::Global().DumpToFile(g_dump_path, reason);
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // process dies with the original signal (exit status, core dump).
+  raise(sig);
+}
+
+void OnDemandHandler(int) {
+  FlightRecorder::Global().DumpToFile(g_dump_path, "SIGUSR2");
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Enable(size_t per_thread_capacity) {
+  if (per_thread_capacity == 0) per_thread_capacity = 1;
+  if (records_.load(std::memory_order_acquire) == nullptr) {
+    Record* records = new Record[kMaxThreads * per_thread_capacity]();
+    capacity_.store(per_thread_capacity, std::memory_order_relaxed);
+    records_.store(records, std::memory_order_release);
+  }
+  internal::SetSpanMaskBit(kSpanFlightBit, true);
+}
+
+void FlightRecorder::Disable() {
+  internal::SetSpanMaskBit(kSpanFlightBit, false);
+}
+
+bool FlightRecorder::enabled() const {
+  return (SpanMask() & kSpanFlightBit) != 0;
+}
+
+void FlightRecorder::RecordSpan(const char* name, uint64_t ts_us,
+                                uint64_t dur_us, uint64_t trace_id) {
+  Record* records = records_.load(std::memory_order_acquire);
+  if (records == nullptr) return;
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  size_t slot = TraceSink::CurrentThreadId() % kMaxThreads;
+  uint64_t index =
+      heads_[slot].fetch_add(1, std::memory_order_relaxed) % capacity;
+  Record& record = records[slot * capacity + index];
+  record.name.store(name, std::memory_order_relaxed);
+  record.ts_us.store(ts_us, std::memory_order_relaxed);
+  record.dur_us.store(dur_us, std::memory_order_relaxed);
+  record.trace_id.store(trace_id, std::memory_order_relaxed);
+  record.tid.store(TraceSink::CurrentThreadId(), std::memory_order_relaxed);
+}
+
+void FlightRecorder::RegisterCounter(const char* name, const Counter* counter) {
+  size_t index = num_counters_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxCounters) return;
+  counters_[index].counter.store(counter, std::memory_order_relaxed);
+  // Name last: a nonnull name marks the entry live for dumpers.
+  counters_[index].name.store(name, std::memory_order_release);
+}
+
+size_t FlightRecorder::SlotOccupancy(size_t slot) const {
+  if (slot >= kMaxThreads) return 0;
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (capacity == 0) return 0;
+  uint64_t head = heads_[slot].load(std::memory_order_relaxed);
+  return head < capacity ? static_cast<size_t>(head) : capacity;
+}
+
+size_t FlightRecorder::per_thread_capacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::dump_count() const {
+  return dump_count_.load(std::memory_order_relaxed);
+}
+
+bool FlightRecorder::DumpToFd(int fd, const char* reason) const {
+  SafeWriter w(fd);
+  w.Raw("{\"flight_recorder\":{\"reason\":");
+  w.Str(reason);
+  w.Raw(",\"ts_us\":");
+  w.U64(TraceNowMicros());
+  w.Raw(",\"counters\":[");
+  size_t num_counters = num_counters_.load(std::memory_order_relaxed);
+  if (num_counters > kMaxCounters) num_counters = kMaxCounters;
+  bool first = true;
+  for (size_t i = 0; i < num_counters; ++i) {
+    const char* name = counters_[i].name.load(std::memory_order_acquire);
+    const Counter* counter =
+        counters_[i].counter.load(std::memory_order_relaxed);
+    if (name == nullptr || counter == nullptr) continue;
+    if (!first) w.Char(',');
+    first = false;
+    w.Raw("{\"name\":");
+    w.Str(name);
+    w.Raw(",\"value\":");
+    w.U64(counter->Value());
+    w.Char('}');
+  }
+  // Open spans of the DUMPING thread (the crashing one, in a handler):
+  // what the in-flight request was doing at the moment of death.
+  w.Raw("],\"active_spans\":[");
+  ActiveSpanInfo active[32];
+  size_t num_active = SnapshotActiveSpans(active, 32);
+  for (size_t i = 0; i < num_active; ++i) {
+    if (i != 0) w.Char(',');
+    w.Raw("{\"name\":");
+    w.Str(active[i].name);
+    w.Raw(",\"ts_us\":");
+    w.U64(active[i].ts_us);
+    w.Raw(",\"trace_id\":");
+    w.U64(active[i].trace_id);
+    w.Char('}');
+  }
+  w.Raw("],\"threads\":[");
+  Record* records = records_.load(std::memory_order_acquire);
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  bool first_slot = true;
+  for (size_t slot = 0; records != nullptr && slot < kMaxThreads; ++slot) {
+    uint64_t head = heads_[slot].load(std::memory_order_relaxed);
+    if (head == 0) continue;
+    if (!first_slot) w.Char(',');
+    first_slot = false;
+    w.Raw("{\"slot\":");
+    w.U64(slot);
+    w.Raw(",\"events\":[");
+    uint64_t count = head < capacity ? head : capacity;
+    uint64_t start = head < capacity ? 0 : head % capacity;
+    for (uint64_t i = 0; i < count; ++i) {
+      const Record& record =
+          records[slot * capacity + (start + i) % capacity];
+      const char* name = record.name.load(std::memory_order_relaxed);
+      if (i != 0) w.Char(',');
+      w.Raw("{\"name\":");
+      w.Str(name != nullptr ? name : "?");
+      w.Raw(",\"ts_us\":");
+      w.U64(record.ts_us.load(std::memory_order_relaxed));
+      w.Raw(",\"dur_us\":");
+      w.U64(record.dur_us.load(std::memory_order_relaxed));
+      w.Raw(",\"trace_id\":");
+      w.U64(record.trace_id.load(std::memory_order_relaxed));
+      w.Raw(",\"tid\":");
+      w.U64(record.tid.load(std::memory_order_relaxed));
+      w.Char('}');
+    }
+    w.Raw("]}");
+  }
+  w.Raw("]}}\n");
+  w.Flush();
+  if (w.ok) dump_count_.fetch_add(1, std::memory_order_relaxed);
+  return w.ok;
+}
+
+bool FlightRecorder::DumpToFile(const char* path, const char* reason) const {
+  int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = DumpToFd(fd, reason);
+  ::close(fd);
+  return ok;
+}
+
+void InstallCrashHandlers(const char* dump_path) {
+  if (dump_path != nullptr) {
+    strncpy(g_dump_path, dump_path, sizeof(g_dump_path) - 1);
+    g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+  }
+  // Touch the singletons now: static-local initialization is not
+  // async-signal-safe, so it must happen before a handler can fire.
+  FlightRecorder::Global();
+  TraceSink::CurrentThreadId();
+
+  struct sigaction fatal;
+  memset(&fatal, 0, sizeof(fatal));
+  fatal.sa_handler = CrashHandler;
+  fatal.sa_flags = SA_RESETHAND;
+  sigemptyset(&fatal.sa_mask);
+  sigaction(SIGSEGV, &fatal, nullptr);
+  sigaction(SIGABRT, &fatal, nullptr);
+
+  struct sigaction on_demand;
+  memset(&on_demand, 0, sizeof(on_demand));
+  on_demand.sa_handler = OnDemandHandler;
+  on_demand.sa_flags = SA_RESTART;
+  sigemptyset(&on_demand.sa_mask);
+  sigaction(SIGUSR2, &on_demand, nullptr);
+}
+
+void FlightRecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
+                      uint64_t trace_id) {
+  FlightRecorder::Global().RecordSpan(name, ts_us, dur_us, trace_id);
+}
+
+}  // namespace xmlreval::obs

@@ -1,0 +1,120 @@
+// Crash-safe flight recorder: a pre-allocated, async-signal-safe ring of
+// the most recent finished spans per thread, plus a registered-counter
+// snapshot, dumpable to a file from SIGSEGV/SIGABRT handlers (and on
+// demand via SIGUSR2 or DumpToFile).
+//
+// The TraceSink answers "what did this request do?" for requests that
+// END; it is useless for the request that takes the process down with it
+// (mutex-guarded ring, heap-allocated staging). The flight recorder is
+// the complement: everything it touches after Enable() is pre-allocated
+// and written/read exclusively through lock-free atomic field stores, so
+// a signal handler can serialize it with nothing but write(2).
+//
+// Recording: when the flight bit of the span mask is set, Span::Finish
+// appends {name, ts, dur, trace_id} to the calling thread's ring (slot =
+// dense thread id mod kMaxThreads; rings are fixed arrays of records with
+// per-field std::atomic, so a handler interrupting a writer sees at worst
+// one half-updated record, never a torn pointer or UB). Span names are
+// string literals, so the pointers stored here are valid in the handler.
+//
+// Dumping is async-signal-safe by construction: open/write/close only, a
+// hand-rolled integer/string JSON writer (no snprintf, no allocation,
+// no locks), counters read via relaxed loads from pointers registered up
+// front, and the crashing thread's open-span stack captured through
+// SnapshotActiveSpans (walks stack-allocated Spans via a thread-local).
+// The resulting file is ordinary JSON — see DESIGN.md §obs for the
+// layout — so post-mortem tooling and tests parse it with any JSON
+// reader.
+//
+// Fatal signals re-raise after dumping (SA_RESETHAND restores the
+// default disposition first), so exit status and core dumps are
+// unchanged; SIGUSR2 dumps and returns.
+
+#ifndef XMLREVAL_OBS_FLIGHT_RECORDER_H_
+#define XMLREVAL_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace xmlreval::obs {
+
+class Counter;
+
+class FlightRecorder {
+ public:
+  /// Rings are indexed by dense thread id modulo this; threads beyond it
+  /// share slots (benign interleaving, never data loss for ≤64 threads).
+  static constexpr size_t kMaxThreads = 64;
+  static constexpr size_t kMaxCounters = 64;
+
+  /// One finished span. Per-field atomics: a handler racing the writer
+  /// reads a consistent-enough record without locks or UB.
+  struct Record {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_us{0};
+    std::atomic<uint64_t> dur_us{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint32_t> tid{0};
+  };
+
+  static FlightRecorder& Global();
+
+  /// Pre-allocates kMaxThreads rings of `per_thread_capacity` records and
+  /// turns the span-mask flight bit on. Idempotent while enabled; the
+  /// ring memory is never freed once published (handlers may race a
+  /// Disable), so capacity is fixed by the first Enable.
+  void Enable(size_t per_thread_capacity = 256);
+  /// Clears the flight bit; rings stay allocated (and dumpable).
+  void Disable();
+  bool enabled() const;
+
+  /// Appends to the calling thread's ring. No-op before Enable.
+  void RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
+                  uint64_t trace_id);
+
+  /// Registers a counter to include in dumps. `name` must be a string
+  /// literal; the counter must outlive the process's last dump. At most
+  /// kMaxCounters; extras are silently ignored.
+  void RegisterCounter(const char* name, const Counter* counter);
+
+  /// Serializes rings + counters + this thread's open spans as JSON.
+  /// Async-signal-safe. Returns false when the fd/path can't be written.
+  bool DumpToFd(int fd, const char* reason) const;
+  bool DumpToFile(const char* path, const char* reason) const;
+
+  /// Records currently held in `slot`'s ring (≤ capacity). For gauges.
+  size_t SlotOccupancy(size_t slot) const;
+  size_t per_thread_capacity() const;
+  /// Dumps completed since Enable (any trigger).
+  uint64_t dump_count() const;
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<Record*> records_{nullptr};  // kMaxThreads * capacity_
+  std::atomic<size_t> capacity_{0};
+  std::atomic<uint64_t> heads_[kMaxThreads] = {};  // monotonic per slot
+
+  struct CounterEntry {
+    // counter is stored before name; a nonnull name marks the entry live.
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const Counter*> counter{nullptr};
+  };
+  CounterEntry counters_[kMaxCounters];
+  std::atomic<size_t> num_counters_{0};
+  mutable std::atomic<uint64_t> dump_count_{0};
+};
+
+/// Installs SIGSEGV/SIGABRT handlers (dump to `dump_path`, then re-raise
+/// with default disposition) and a SIGUSR2 on-demand dump handler.
+/// `dump_path` is copied into a fixed buffer (truncated at 255 bytes).
+void InstallCrashHandlers(const char* dump_path);
+
+/// Span::Finish calls this when the span-mask flight bit is set.
+void FlightRecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
+                      uint64_t trace_id);
+
+}  // namespace xmlreval::obs
+
+#endif  // XMLREVAL_OBS_FLIGHT_RECORDER_H_

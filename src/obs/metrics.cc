@@ -90,6 +90,17 @@ uint64_t Histogram::Count() const {
   return count;
 }
 
+void Histogram::RecordExemplar(uint64_t value, Exemplar exemplar) {
+#ifndef XMLREVAL_OBS_DISABLED
+  if (!Enabled()) return;
+  std::lock_guard lock(exemplar_mutex_);
+  exemplars_[BucketIndex(value)] = std::move(exemplar);
+#else
+  (void)value;
+  (void)exemplar;
+#endif
+}
+
 double HistogramSnapshot::Quantile(double q) const {
   if (count == 0) return 0.0;
   if (q < 0) q = 0;
@@ -244,7 +255,28 @@ std::string MetricsSnapshot::ToJson() const {
                     static_cast<unsigned long long>(h.buckets[i]));
       out += buf;
     }
-    out += "]}";
+    out += ']';
+    if (!h.exemplars.empty()) {
+      out += ",\"exemplars\":[";
+      bool first_exemplar = true;
+      for (const auto& [bucket, exemplar] : h.exemplars) {
+        if (!first_exemplar) out += ',';
+        first_exemplar = false;
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"bucket\":%llu,\"trace_id\":%llu,\"value\":%llu,"
+            "\"node_count\":%llu,",
+            static_cast<unsigned long long>(Histogram::BucketBound(bucket)),
+            static_cast<unsigned long long>(exemplar.trace_id),
+            static_cast<unsigned long long>(exemplar.value),
+            static_cast<unsigned long long>(exemplar.node_count));
+        out += buf;
+        out += "\"pair\":\"" + json::Escape(exemplar.pair) + "\",";
+        out += "\"verdict\":\"" + json::Escape(exemplar.verdict) + "\"}";
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "\n  ]\n}\n";
   return out;
@@ -289,7 +321,22 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   return FindOrCreate(histograms_, name, labels);
 }
 
+void MetricsRegistry::OnSnapshot(std::function<void()> callback) {
+  std::lock_guard lock(callbacks_mutex_);
+  snapshot_callbacks_.push_back(std::move(callback));
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  {
+    // Run publication hooks before reading values, outside the registry
+    // lock (callbacks create/update gauges through the normal API).
+    std::vector<std::function<void()>> callbacks;
+    {
+      std::lock_guard lock(callbacks_mutex_);
+      callbacks = snapshot_callbacks_;
+    }
+    for (const auto& callback : callbacks) callback();
+  }
   MetricsSnapshot snapshot;
   std::shared_lock lock(mutex_);
   for (const auto& [key, counter] : counters_) {
@@ -316,6 +363,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.count = count;
     h.sum = histogram->Sum();
     h.max = histogram->Max();
+    {
+      std::lock_guard exemplar_lock(histogram->exemplar_mutex_);
+      h.exemplars.assign(histogram->exemplars_.begin(),
+                         histogram->exemplars_.end());
+    }
+    std::sort(h.exemplars.begin(), h.exemplars.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     snapshot.histograms.push_back(std::move(h));
   }
   // Deterministic output order for rendering and tests.

@@ -33,7 +33,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -91,6 +93,17 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// A concrete request pinned to the histogram bucket its latency landed
+/// in — p99 becomes clickable: the trace_id resolves to a full trace in
+/// the TraceSink (kept there by tail sampling for exactly these requests).
+struct Exemplar {
+  uint64_t trace_id = 0;
+  uint64_t value = 0;  // the recorded observation (latency, µs)
+  uint64_t node_count = 0;
+  std::string pair;           // schema-pair label, e.g. "po.v1->po.v2"
+  const char* verdict = "";   // string literal: valid/invalid/error
+};
+
 /// Fixed-bucket log₂ histogram. Bucket i counts values whose bit width is
 /// i (bucket 0: value == 0), i.e. values in [2^(i-1), 2^i - 1]; the last
 /// bucket absorbs everything wider. Suited to latencies in microseconds:
@@ -131,12 +144,28 @@ class Histogram {
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
 
+  /// True when `value` lands in the top two occupied log₂ buckets of the
+  /// distribution seen so far (bucket of value + 1 ≥ bucket of max) —
+  /// the tail-sampling keep criterion. Cheap: one relaxed load + two clz.
+  bool IsTailValue(uint64_t value) const {
+    return BucketIndex(value) + 1 >= BucketIndex(Max());
+  }
+
+  /// Pins `exemplar` to the bucket `value` falls in (latest wins; cold
+  /// path, per-histogram mutex). Call only for requests whose trace was
+  /// KEPT, so the trace_id is resolvable.
+  void RecordExemplar(uint64_t value, Exemplar exemplar);
+
  private:
   friend class MetricsRegistry;
   Histogram() = default;
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
+
+  // Exemplar slots, one per bucket, filled lazily (cold path only).
+  mutable std::mutex exemplar_mutex_;
+  std::unordered_map<size_t, Exemplar> exemplars_;
 };
 
 // ---------------------------------------------------------------- snapshot
@@ -160,6 +189,8 @@ struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t max = 0;
+  /// (bucket index, exemplar) sorted by bucket; JSON export only.
+  std::vector<std::pair<size_t, Exemplar>> exemplars;
 
   double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
   /// Quantile estimate (q in [0, 1]), linearly interpolated inside the
@@ -207,6 +238,13 @@ class MetricsRegistry {
   Gauge* gauge(std::string_view name, const Labels& labels = {});
   Histogram* histogram(std::string_view name, const Labels& labels = {});
 
+  /// Registers a callback run at the START of every Snapshot(), before
+  /// values are read — the hook where owners publish derived state
+  /// (queue-depth high-water marks, trace-sink health gauges) so each
+  /// exposition interval sees it fresh. Callbacks must not call
+  /// Snapshot() and never unregister (registry-lifetime).
+  void OnSnapshot(std::function<void()> callback);
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -224,6 +262,9 @@ class MetricsRegistry {
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::unordered_map<const void*, Meta> meta_;
+
+  mutable std::mutex callbacks_mutex_;
+  std::vector<std::function<void()>> snapshot_callbacks_;
 };
 
 }  // namespace xmlreval::obs

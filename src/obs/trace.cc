@@ -5,12 +5,13 @@
 #include <cstdio>
 
 #include "common/json.h"
+#include "obs/flight_recorder.h"
 
 namespace xmlreval::obs {
 
 namespace {
 
-std::atomic<bool> g_trace_enabled{false};
+std::atomic<uint32_t> g_span_mask{0};
 
 using Clock = std::chrono::steady_clock;
 
@@ -24,13 +25,34 @@ Clock::time_point TraceEpoch() {
 thread_local Span* t_active_span = nullptr;
 thread_local uint32_t t_active_depth = 0;
 
+// Thread-local causal context: the request this thread is working for
+// plus the pending inbound flow edge shipped with the current task.
+thread_local uint64_t t_trace_id = 0;
+thread_local uint64_t t_pending_flow = 0;
+thread_local const char* t_pending_flow_name = nullptr;
+
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_flow_id{1};
+
 }  // namespace
 
-bool TraceEnabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+uint32_t SpanMask() { return g_span_mask.load(std::memory_order_relaxed); }
+
+bool TraceEnabled() { return (SpanMask() & kSpanTraceBit) != 0; }
+
+namespace internal {
+void SetSpanMaskBit(uint32_t bit, bool enabled) {
+  if (enabled) {
+    TraceEpoch();  // pin the epoch before the first span
+    g_span_mask.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_span_mask.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
 
 void SetTraceEnabled(bool enabled) {
-  if (enabled) TraceEpoch();  // pin the epoch before the first span
-  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+  internal::SetSpanMaskBit(kSpanTraceBit, enabled);
 }
 
 uint64_t TraceNowMicros() {
@@ -39,6 +61,97 @@ uint64_t TraceNowMicros() {
                                                             TraceEpoch())
           .count());
 }
+
+// ---------------------------------------------------------------- context
+
+uint64_t NewTraceId() {
+  if (SpanMask() == 0) return 0;
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext CurrentTraceContext() { return TraceContext{t_trace_id, 0, nullptr}; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_trace_id_(t_trace_id),
+      saved_flow_id_(t_pending_flow),
+      saved_flow_name_(t_pending_flow_name) {
+  t_trace_id = ctx.trace_id;
+  t_pending_flow = ctx.flow_id;
+  t_pending_flow_name = ctx.flow_name;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_id = saved_trace_id_;
+  t_pending_flow = saved_flow_id_;
+  t_pending_flow_name = saved_flow_name_;
+}
+
+namespace {
+thread_local bool t_keep_hint = false;
+}  // namespace
+
+void HintKeepTrace() { t_keep_hint = true; }
+
+RequestScope::RequestScope() : saved_trace_id_(t_trace_id) {
+  if (saved_trace_id_ != 0) {
+    trace_id_ = saved_trace_id_;  // nested call: same request
+    return;
+  }
+  trace_id_ = NewTraceId();  // 0 when no span consumer is active
+  owns_ = trace_id_ != 0;
+  t_trace_id = trace_id_;
+  if (owns_) t_keep_hint = false;  // fresh request, fresh verdict
+}
+
+RequestScope::RequestScope(const TraceContext& ctx)
+    : saved_trace_id_(t_trace_id) {
+  trace_id_ = ctx.trace_id;
+  owns_ = trace_id_ != 0;
+  t_trace_id = trace_id_;
+  if (owns_) t_keep_hint = false;
+}
+
+RequestScope::~RequestScope() {
+  t_trace_id = saved_trace_id_;
+  // The owner ends the request: settle its staged events (no-op unless
+  // tail sampling staged something under this id). Nested scopes that
+  // wanted the trace kept left a hint on this thread.
+  if (owns_) {
+    bool keep = keep_ || t_keep_hint;
+    t_keep_hint = false;
+    TraceSink::Global().ResolveTrace(trace_id_, keep);
+  }
+}
+
+TraceContext ForkFlow(const char* name) {
+  if (!TraceEnabled()) return TraceContext{};
+  uint64_t flow = g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+  TraceSink::Event event;
+  event.name = name;
+  event.ph = 's';
+  event.flow_id = flow;
+  event.trace_id = t_trace_id;
+  event.tid = TraceSink::CurrentThreadId();
+  event.depth = t_active_depth;
+  event.ts_us = TraceNowMicros();
+  TraceSink::Global().Record(event);
+  return TraceContext{t_trace_id, flow, name};
+}
+
+void FlowStep(const TraceContext& ctx) {
+  if (ctx.flow_id == 0 || !TraceEnabled()) return;
+  TraceSink::Event event;
+  event.name = ctx.flow_name;
+  event.ph = 't';
+  event.flow_id = ctx.flow_id;
+  event.trace_id = ctx.trace_id;
+  event.tid = TraceSink::CurrentThreadId();
+  event.depth = t_active_depth;
+  event.ts_us = TraceNowMicros();
+  TraceSink::Global().Record(event);
+}
+
+// ------------------------------------------------------------------ sink
 
 TraceSink::TraceSink() : capacity_(65536) { ring_.resize(capacity_); }
 
@@ -53,14 +166,53 @@ uint32_t TraceSink::CurrentThreadId() {
   return id;
 }
 
-void TraceSink::Record(const Event& event) {
-  std::lock_guard lock(mutex_);
+void TraceSink::RecordLocked(const Event& event) {
   ring_[head_] = event;
   head_ = (head_ + 1) % capacity_;
   if (count_ < capacity_) {
     ++count_;
   } else {
     ++dropped_;
+  }
+}
+
+void TraceSink::Record(const Event& event) {
+  std::lock_guard lock(mutex_);
+  if (tail_sampling_ && event.trace_id != 0) {
+    if (staged_events_ >= capacity_) {
+      ++tail_dropped_;
+      return;
+    }
+    staged_[event.trace_id].push_back(event);
+    ++staged_events_;
+    return;
+  }
+  RecordLocked(event);
+}
+
+void TraceSink::SetTailSampling(bool enabled) {
+  std::lock_guard lock(mutex_);
+  tail_sampling_ = enabled;
+  staged_.clear();
+  staged_events_ = 0;
+}
+
+bool TraceSink::tail_sampling() const {
+  std::lock_guard lock(mutex_);
+  return tail_sampling_;
+}
+
+void TraceSink::ResolveTrace(uint64_t trace_id, bool keep) {
+  std::lock_guard lock(mutex_);
+  auto it = staged_.find(trace_id);
+  if (it == staged_.end()) return;
+  std::vector<Event> events = std::move(it->second);
+  staged_.erase(it);
+  staged_events_ -= events.size();
+  if (keep) {
+    for (const Event& event : events) RecordLocked(event);
+  } else {
+    tail_dropped_ += events.size();
   }
 }
 
@@ -85,11 +237,24 @@ uint64_t TraceSink::dropped() const {
   return dropped_;
 }
 
+uint64_t TraceSink::tail_dropped() const {
+  std::lock_guard lock(mutex_);
+  return tail_dropped_;
+}
+
+size_t TraceSink::staged() const {
+  std::lock_guard lock(mutex_);
+  return staged_events_;
+}
+
 void TraceSink::Clear() {
   std::lock_guard lock(mutex_);
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
+  staged_.clear();
+  staged_events_ = 0;
+  tail_dropped_ = 0;
 }
 
 void TraceSink::SetCapacity(size_t capacity) {
@@ -99,41 +264,65 @@ void TraceSink::SetCapacity(size_t capacity) {
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
+  staged_.clear();
+  staged_events_ = 0;
+  tail_dropped_ = 0;
 }
 
 std::string TraceSink::ExportChromeJson() const {
   std::vector<Event> events = Events();
   // Sort by start time; ties broken longest-duration-first so enclosing
-  // spans precede the spans they contain.
+  // spans precede the spans they contain (flow events have dur 0, so they
+  // also land after the complete event that encloses them).
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) {
                      if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
                      return a.dur_us > b.dur_us;
                    });
   std::string out = "{\"traceEvents\":[";
-  char buf[192];
+  char buf[224];
   bool first = true;
   for (const Event& event : events) {
     if (!first) out += ',';
     first = false;
     out += "\n{\"name\":\"";
     out += json::Escape(event.name ? event.name : "?");
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"xmlreval\",\"ph\":\"X\",\"ts\":%llu,"
-                  "\"dur\":%llu,\"pid\":1,\"tid\":%u,\"args\":{",
-                  static_cast<unsigned long long>(event.ts_us),
-                  static_cast<unsigned long long>(event.dur_us), event.tid);
-    out += buf;
-    std::snprintf(buf, sizeof(buf), "\"depth\":%u", event.depth);
-    out += buf;
-    for (uint32_t i = 0; i < event.num_args; ++i) {
-      out += ",\"";
-      out += json::Escape(event.arg_keys[i] ? event.arg_keys[i] : "?");
-      std::snprintf(buf, sizeof(buf), "\":%llu",
-                    static_cast<unsigned long long>(event.arg_values[i]));
+    if (event.ph == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"xmlreval\",\"ph\":\"X\",\"ts\":%llu,"
+                    "\"dur\":%llu,\"pid\":1,\"tid\":%u,\"args\":{",
+                    static_cast<unsigned long long>(event.ts_us),
+                    static_cast<unsigned long long>(event.dur_us), event.tid);
+      out += buf;
+      std::snprintf(buf, sizeof(buf), "\"depth\":%u", event.depth);
+      out += buf;
+      if (event.trace_id != 0) {
+        std::snprintf(buf, sizeof(buf), ",\"trace_id\":%llu",
+                      static_cast<unsigned long long>(event.trace_id));
+        out += buf;
+      }
+      for (uint32_t i = 0; i < event.num_args; ++i) {
+        out += ",\"";
+        out += json::Escape(event.arg_keys[i] ? event.arg_keys[i] : "?");
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(event.arg_values[i]));
+        out += buf;
+      }
+      out += "}}";
+    } else {
+      // Flow events: shared id+cat+name bind s/t/f into one arrow chain;
+      // "bp":"e" on the finish attaches it to the enclosing slice.
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"xmlreval\",\"ph\":\"%c\",\"id\":%llu,"
+                    "\"ts\":%llu,\"pid\":1,\"tid\":%u,%s\"args\":{"
+                    "\"trace_id\":%llu}}",
+                    event.ph,
+                    static_cast<unsigned long long>(event.flow_id),
+                    static_cast<unsigned long long>(event.ts_us), event.tid,
+                    event.ph == 'f' ? "\"bp\":\"e\"," : "",
+                    static_cast<unsigned long long>(event.trace_id));
       out += buf;
     }
-    out += "}}";
   }
   out += "\n]}\n";
   return out;
@@ -141,23 +330,62 @@ std::string TraceSink::ExportChromeJson() const {
 
 #ifndef XMLREVAL_OBS_DISABLED
 
-void Span::Start(const char* name) {
-  enabled_ = true;
+void Span::Start(const char* name, uint32_t mask) {
+  mask_ = mask;
   event_.name = name;
   event_.tid = TraceSink::CurrentThreadId();
+  event_.trace_id = t_trace_id;
   parent_ = t_active_span;
   t_active_span = this;
   event_.depth = t_active_depth++;
   event_.ts_us = TraceNowMicros();  // last: exclude stack bookkeeping
+  if ((mask_ & kSpanTraceBit) != 0 && t_pending_flow != 0) {
+    // First span of a spawned task: consume the inbound flow edge so the
+    // arrow terminates on this span. The finish shares the span's start
+    // timestamp — "bp":"e" binds by enclosing slice, and an earlier ts
+    // would land the arrow in the gap before the span.
+    TraceSink::Event flow;
+    flow.name = t_pending_flow_name;
+    flow.ph = 'f';
+    flow.flow_id = t_pending_flow;
+    flow.trace_id = t_trace_id;
+    flow.tid = event_.tid;
+    flow.depth = event_.depth;
+    flow.ts_us = event_.ts_us;
+    TraceSink::Global().Record(flow);
+    t_pending_flow = 0;
+    t_pending_flow_name = nullptr;
+  }
 }
 
 void Span::Finish() {
   event_.dur_us = TraceNowMicros() - event_.ts_us;
   t_active_span = parent_;
   --t_active_depth;
-  TraceSink::Global().Record(event_);
+  if ((mask_ & kSpanTraceBit) != 0) TraceSink::Global().Record(event_);
+  if ((mask_ & kSpanFlightBit) != 0) {
+    FlightRecordSpan(event_.name, event_.ts_us, event_.dur_us,
+                     event_.trace_id);
+  }
 }
 
 #endif  // XMLREVAL_OBS_DISABLED
+
+size_t SnapshotActiveSpans(ActiveSpanInfo* out, size_t max) {
+  size_t n = 0;
+#ifndef XMLREVAL_OBS_DISABLED
+  for (Span* span = t_active_span; span != nullptr && n < max;
+       span = span->parent_) {
+    out[n].name = span->event_.name;
+    out[n].ts_us = span->event_.ts_us;
+    out[n].trace_id = span->event_.trace_id;
+    ++n;
+  }
+#else
+  (void)out;
+  (void)max;
+#endif
+  return n;
+}
 
 }  // namespace xmlreval::obs

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "xml/parser.h"
 
@@ -66,6 +67,43 @@ ValidationService::ValidationService(const Options& options)
                                       {{"executor", "intra_doc"}});
   doc_bytes_ = metrics_.gauge("xmlreval_doc_bytes");
   doc_bytes_per_node_ = metrics_.gauge("xmlreval_doc_bytes_per_node");
+  trace_buffered_events_ = metrics_.gauge("xmlreval_trace_buffered_events");
+  trace_dropped_events_ = metrics_.gauge("xmlreval_trace_dropped_events");
+  trace_tail_dropped_events_ =
+      metrics_.gauge("xmlreval_trace_tail_dropped_events");
+  trace_staged_events_ = metrics_.gauge("xmlreval_trace_staged_events");
+  metrics_.OnSnapshot([this] { PublishObsHealth(); });
+}
+
+void ValidationService::PublishObsHealth() {
+  const obs::TraceSink& sink = obs::TraceSink::Global();
+  trace_buffered_events_->Set(static_cast<int64_t>(sink.size()));
+  trace_dropped_events_->Set(static_cast<int64_t>(sink.dropped()));
+  trace_tail_dropped_events_->Set(static_cast<int64_t>(sink.tail_dropped()));
+  trace_staged_events_->Set(static_cast<int64_t>(sink.staged()));
+
+  const obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (recorder.per_thread_capacity() > 0) {
+    for (size_t slot = 0; slot < obs::FlightRecorder::kMaxThreads; ++slot) {
+      size_t occupancy = recorder.SlotOccupancy(slot);
+      if (occupancy == 0) continue;  // gauges only for slots in use
+      metrics_
+          .gauge("xmlreval_flight_ring_occupancy",
+                 {{"thread", std::to_string(slot)}})
+          ->Set(static_cast<int64_t>(occupancy));
+    }
+  }
+
+  // Queue depth: expose the interval's high-water mark, then re-arm the
+  // mark at the live depth so the next interval starts fresh.
+  auto publish_hwm = [](std::atomic<int64_t>& depth,
+                        std::atomic<int64_t>& hwm, obs::Gauge* gauge) {
+    int64_t current = depth.load(std::memory_order_relaxed);
+    int64_t peak = hwm.exchange(current, std::memory_order_relaxed);
+    gauge->Set(peak > current ? peak : current);
+  };
+  publish_hwm(batch_depth_, batch_depth_hwm_, batch_queue_depth_);
+  publish_hwm(intra_depth_, intra_depth_hwm_, intra_queue_depth_);
 }
 
 ValidationService::~ValidationService() {
@@ -88,25 +126,52 @@ ValidationService::~ValidationService() {
 
 Result<core::ValidationReport> ValidationService::Record(
     Result<core::ValidationReport> result, const OpMetrics& op,
-    Clock::time_point start, obs::Histogram* pair_latency) {
+    Clock::time_point start, const PairEntry* pair, obs::RequestScope* scope,
+    uint64_t node_count) {
   const uint64_t micros = ElapsedMicros(start);
-  // Shared side of the snapshot lock: concurrent requests record in
-  // parallel; counters() excludes them all for one consistent read.
-  std::shared_lock lock(snapshot_mutex_);
-  requests_->Add();
-  op.dispatched->Add();
-  op.latency->Record(micros);
-  if (pair_latency != nullptr) pair_latency->Record(micros);
-  if (!result.ok()) {
-    errors_->Add();
-    return result;
+  const bool failed = !result.ok() || !result->valid;
+  {
+    // Shared side of the snapshot lock: concurrent requests record in
+    // parallel; counters() excludes them all for one consistent read.
+    std::shared_lock lock(snapshot_mutex_);
+    requests_->Add();
+    op.dispatched->Add();
+    op.latency->Record(micros);
+    if (pair != nullptr) pair->latency->Record(micros);
+    if (!result.ok()) {
+      errors_->Add();
+    } else {
+      op.ok->Add();
+      (result->valid ? valid_ : invalid_)->Add();
+      const core::ValidationCounters& c = result->counters;
+      nodes_visited_->Add(c.nodes_visited);
+      dfa_steps_->Add(c.dfa_steps);
+      subtrees_skipped_->Add(c.subtrees_skipped);
+    }
   }
-  op.ok->Add();
-  (result->valid ? valid_ : invalid_)->Add();
-  const core::ValidationCounters& c = result->counters;
-  nodes_visited_->Add(c.nodes_visited);
-  dfa_steps_->Add(c.dfa_steps);
-  subtrees_skipped_->Add(c.subtrees_skipped);
+  // Settle the request's trace: keep failures and tail-bucket latencies,
+  // and pin an exemplar where kept so the histogram's tail is clickable.
+  // trace_id is 0 whenever no span consumer is active, so this whole
+  // block is two branches on the uninstrumented hot path.
+  if (scope != nullptr && scope->trace_id() != 0) {
+    const bool keep = failed || op.latency->IsTailValue(micros);
+    if (scope->owns()) {
+      scope->set_keep(keep);
+    } else if (keep) {
+      obs::HintKeepTrace();  // a batch item's owner resolves later
+    }
+    if (keep) {
+      obs::Exemplar exemplar;
+      exemplar.trace_id = scope->trace_id();
+      exemplar.value = micros;
+      exemplar.node_count = node_count;
+      if (pair != nullptr) exemplar.pair = pair->label;
+      exemplar.verdict =
+          !result.ok() ? "error" : (result->valid ? "valid" : "invalid");
+      op.latency->RecordExemplar(micros, exemplar);
+      if (pair != nullptr) pair->latency->RecordExemplar(micros, exemplar);
+    }
+  }
   return result;
 }
 
@@ -116,14 +181,14 @@ void ValidationService::RecordRejected() {
   errors_->Add();
 }
 
-obs::Histogram* ValidationService::PairLatency(SchemaHandle source,
-                                               SchemaHandle target) {
+const ValidationService::PairEntry* ValidationService::PairLatency(
+    SchemaHandle source, SchemaHandle target) {
   const uint64_t key =
       (static_cast<uint64_t>(source) << 32) | static_cast<uint64_t>(target);
   {
     std::shared_lock lock(pair_mutex_);
     auto it = pair_latency_.find(key);
-    if (it != pair_latency_.end()) return it->second;
+    if (it != pair_latency_.end()) return &it->second;
   }
   // Label with registry keys, "orders.v2->orders.v3"; bad handles get no
   // pair histogram (the request will fail in the cache anyway).
@@ -133,9 +198,10 @@ obs::Histogram* ValidationService::PairLatency(SchemaHandle source,
   std::string pair = src->key + ".v" + std::to_string(src->version) + "->" +
                      tgt->key + ".v" + std::to_string(tgt->version);
   obs::Histogram* hist = metrics_.histogram("xmlreval_pair_request_latency_us",
-                                            {{"pair", std::move(pair)}});
+                                            {{"pair", pair}});
   std::unique_lock lock(pair_mutex_);
-  return pair_latency_.try_emplace(key, hist).first->second;
+  return &pair_latency_.try_emplace(key, PairEntry{hist, std::move(pair)})
+              .first->second;
 }
 
 Status ValidationService::BindDocument(xml::Document* doc) const {
@@ -158,6 +224,7 @@ void ValidationService::ObserveDocFootprint(const xml::Document& doc) {
 
 Result<core::ValidationReport> ValidationService::Validate(
     SchemaHandle schema, const xml::Document& doc) {
+  obs::RequestScope request_scope;
   obs::Span span("svc.validate");
   ObserveDocFootprint(doc);
   const Clock::time_point start = Clock::now();
@@ -172,12 +239,19 @@ Result<core::ValidationReport> ValidationService::Validate(
     auto guard = registry_.ReadGuard();
     return core::FullValidator(target.get()).Validate(doc);
   };
-  return Record(run(), validate_op_, start, nullptr);
+  return Record(run(), validate_op_, start, nullptr, &request_scope,
+                doc.NodeCount());
 }
 
 Result<core::ValidationReport> ValidationService::Cast(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc) {
+  obs::RequestScope request_scope;
   obs::Span span("svc.cast");
+  if (span.enabled()) {
+    span.Arg("src", source);
+    span.Arg("tgt", target);
+    span.Arg("nodes", doc.NodeCount());
+  }
   ObserveDocFootprint(doc);
   const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
@@ -207,12 +281,14 @@ Result<core::ValidationReport> ValidationService::Cast(
     }
     return core::CastValidator(relations.get(), options_.cast).Validate(doc);
   };
-  return Record(run(), cast_op_, start, PairLatency(source, target));
+  return Record(run(), cast_op_, start, PairLatency(source, target),
+                &request_scope, doc.NodeCount());
 }
 
 Result<core::ValidationReport> ValidationService::CastWithMods(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc,
     const xml::ModificationIndex& mods) {
+  obs::RequestScope request_scope;
   obs::Span span("svc.cast_with_mods");
   const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<core::ValidationReport> {
@@ -221,7 +297,8 @@ Result<core::ValidationReport> ValidationService::CastWithMods(
     return core::ModValidator(relations.get(), options_.mods)
         .Validate(doc, mods);
   };
-  return Record(run(), cast_with_mods_op_, start, PairLatency(source, target));
+  return Record(run(), cast_with_mods_op_, start, PairLatency(source, target),
+                &request_scope, doc.NodeCount());
 }
 
 Result<analysis::OpVerdict> ValidationService::AnalyzeUpdate(
@@ -236,6 +313,7 @@ Result<analysis::OpVerdict> ValidationService::AnalyzeUpdate(
 Result<ValidationService::EditStreamResult> ValidationService::SubmitEditStream(
     SchemaHandle source, SchemaHandle target, xml::Document* doc,
     const std::vector<xml::EditOp>& ops) {
+  obs::RequestScope request_scope;
   obs::Span span("svc.edit_stream");
   const Clock::time_point start = Clock::now();
   auto run = [&]() -> Result<EditStreamResult> {
@@ -282,32 +360,54 @@ Result<ValidationService::EditStreamResult> ValidationService::SubmitEditStream(
 
   Result<EditStreamResult> result = run();
   const uint64_t micros = ElapsedMicros(start);
-  obs::Histogram* pair_latency = PairLatency(source, target);
-  std::shared_lock lock(snapshot_mutex_);
-  requests_->Add();
-  edit_stream_op_.dispatched->Add();
-  edit_stream_op_.latency->Record(micros);
-  if (pair_latency != nullptr) pair_latency->Record(micros);
-  if (!result.ok()) {
-    errors_->Add();
-    return result;
+  const PairEntry* pair = PairLatency(source, target);
+  {
+    std::shared_lock lock(snapshot_mutex_);
+    requests_->Add();
+    edit_stream_op_.dispatched->Add();
+    edit_stream_op_.latency->Record(micros);
+    if (pair != nullptr) pair->latency->Record(micros);
+    if (!result.ok()) {
+      errors_->Add();
+    } else {
+      edit_stream_op_.ok->Add();
+      (result->report.valid ? valid_ : invalid_)->Add();
+      const analysis::StreamVerdict& stream = result->stream;
+      edit_ops_safe_->Add(stream.safe_ops);
+      edit_ops_fatal_->Add(stream.fatal_ops);
+      edit_ops_unknown_->Add(stream.unknown_ops);
+      if (result->short_circuited) {
+        (stream.verdict == analysis::Safety::kSafe ? streams_safe_
+                                                   : streams_fatal_)
+            ->Add();
+      } else {
+        streams_fallback_->Add();
+        const core::ValidationCounters& c = result->report.counters;
+        nodes_visited_->Add(c.nodes_visited);
+        dfa_steps_->Add(c.dfa_steps);
+        subtrees_skipped_->Add(c.subtrees_skipped);
+      }
+    }
   }
-  edit_stream_op_.ok->Add();
-  (result->report.valid ? valid_ : invalid_)->Add();
-  const analysis::StreamVerdict& stream = result->stream;
-  edit_ops_safe_->Add(stream.safe_ops);
-  edit_ops_fatal_->Add(stream.fatal_ops);
-  edit_ops_unknown_->Add(stream.unknown_ops);
-  if (result->short_circuited) {
-    (stream.verdict == analysis::Safety::kSafe ? streams_safe_
-                                               : streams_fatal_)
-        ->Add();
-  } else {
-    streams_fallback_->Add();
-    const core::ValidationCounters& c = result->report.counters;
-    nodes_visited_->Add(c.nodes_visited);
-    dfa_steps_->Add(c.dfa_steps);
-    subtrees_skipped_->Add(c.subtrees_skipped);
+  if (request_scope.trace_id() != 0) {
+    const bool failed = !result.ok() || !result->report.valid;
+    const bool keep = failed || edit_stream_op_.latency->IsTailValue(micros);
+    if (request_scope.owns()) {
+      request_scope.set_keep(keep);
+    } else if (keep) {
+      obs::HintKeepTrace();
+    }
+    if (keep) {
+      obs::Exemplar exemplar;
+      exemplar.trace_id = request_scope.trace_id();
+      exemplar.value = micros;
+      exemplar.node_count = doc != nullptr ? doc->NodeCount() : 0;
+      if (pair != nullptr) exemplar.pair = pair->label;
+      exemplar.verdict =
+          !result.ok() ? "error" : (result->report.valid ? "valid" : "invalid");
+      edit_stream_op_.latency->RecordExemplar(micros, exemplar);
+      if (pair != nullptr) pair->latency->RecordExemplar(micros, exemplar);
+    }
   }
   return result;
 }
@@ -324,8 +424,24 @@ common::Executor& ValidationService::BatchExecutor() {
     common::Executor::Options options;
     options.threads = options_.batch_threads;
     options.queue_capacity = options_.batch_queue_capacity;
-    options.depth_hook = [gauge = batch_queue_depth_](int64_t delta) {
-      gauge->Add(delta);
+    options.depth_hook = [this](int64_t delta) {
+      // Live depth + running max; PublishObsHealth turns the max into the
+      // gauge each snapshot (bursts between snapshots stay visible).
+      int64_t now =
+          batch_depth_.fetch_add(delta, std::memory_order_relaxed) + delta;
+      int64_t seen = batch_depth_hwm_.load(std::memory_order_relaxed);
+      while (now > seen && !batch_depth_hwm_.compare_exchange_weak(
+                               seen, now, std::memory_order_relaxed)) {
+      }
+    };
+    options.task_wrapper = [](common::Executor::Task task) {
+      // Capture the submitting thread's causal context and re-install it
+      // around execution on whichever worker picks the task up.
+      obs::TraceContext ctx = obs::CurrentTraceContext();
+      return common::Executor::Task([ctx, task = std::move(task)] {
+        obs::ScopedTraceContext scoped(ctx);
+        task();
+      });
     };
     batch_executor_ = std::make_unique<common::Executor>(options);
     batch_executor_ptr_.store(batch_executor_.get(),
@@ -346,8 +462,13 @@ common::Executor& ValidationService::IntraExecutor() {
     // Donated subtree tasks come from worker threads (own deques); the
     // injection queue only ever carries each document's root task.
     options.queue_capacity = 64;
-    options.depth_hook = [gauge = intra_queue_depth_](int64_t delta) {
-      gauge->Add(delta);
+    options.depth_hook = [this](int64_t delta) {
+      int64_t now =
+          intra_depth_.fetch_add(delta, std::memory_order_relaxed) + delta;
+      int64_t seen = intra_depth_hwm_.load(std::memory_order_relaxed);
+      while (now > seen && !intra_depth_hwm_.compare_exchange_weak(
+                               seen, now, std::memory_order_relaxed)) {
+      }
     };
     intra_executor_ = std::make_unique<common::Executor>(options);
     intra_executor_ptr_.store(intra_executor_.get(),
@@ -426,21 +547,41 @@ ValidationService::SubmitBatch(std::vector<BatchItem> items) {
   }
 
   common::Executor& pool = BatchExecutor();
+  obs::Span submit_span("batch.submit");
   for (size_t i = 0; i < state->items.size(); ++i) {
+    // Each item is its own request: mint its trace id on the submitting
+    // thread and fork a flow edge under it, so the Chrome trace draws an
+    // arrow from this batch.submit span to the item's batch.item span on
+    // whichever worker runs it. All-zero when tracing is off.
+    obs::TraceContext item_ctx;
+    {
+      obs::ScopedTraceContext minted(
+          obs::TraceContext{obs::NewTraceId(), 0, nullptr});
+      item_ctx = obs::ForkFlow("batch.flow");
+      item_ctx.trace_id = obs::CurrentTraceContext().trace_id;
+    }
     // Trace-epoch timestamp doubles as the queue-wait baseline, so the
     // histogram sample and the "queue.wait" trace event agree exactly.
     const uint64_t enqueued_us = obs::TraceNowMicros();
-    auto task = [this, state, i, enqueued_us] {
+    auto task = [this, state, i, enqueued_us, item_ctx] {
+      // This scope OWNS the item's trace: it minted above, and everything
+      // the item does (parse, bind, nested Cast/Validate, intra-doc
+      // fan-out) runs below it, so its destructor resolves tail sampling
+      // after the last span of the item has been staged.
+      obs::RequestScope request_scope(item_ctx);
+      obs::ScopedTraceContext scoped(item_ctx);
       const uint64_t picked_up_us = obs::TraceNowMicros();
       const uint64_t wait_us =
           picked_up_us > enqueued_us ? picked_up_us - enqueued_us : 0;
       queue_wait_us_->Record(wait_us);
       if (obs::TraceEnabled()) {
+        obs::FlowStep(item_ctx);  // flow touches down at queue pickup
         // Manual event: the wait has no RAII scope (it spans two threads).
         obs::TraceSink::Event event;
         event.name = "queue.wait";
         event.ts_us = enqueued_us;
         event.dur_us = wait_us;
+        event.trace_id = item_ctx.trace_id;
         event.tid = obs::TraceSink::CurrentThreadId();
         obs::TraceSink::Global().Record(event);
       }

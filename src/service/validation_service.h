@@ -35,7 +35,14 @@
 //   xmlreval_batch_queue_wait_us           enqueue → worker pickup
 //   xmlreval_batch_service_us              worker parse+bind+validate
 //   xmlreval_batch_inflight                items currently in the pipeline
-//   xmlreval_executor_queue_depth{executor} tasks queued, batch / intra_doc
+//   xmlreval_executor_queue_depth{executor} HIGH-WATER queue depth since
+//                                          the previous snapshot,
+//                                          batch / intra_doc
+//   xmlreval_trace_buffered_events         TraceSink ring fill
+//   xmlreval_trace_dropped_events          ring overwrites since Clear
+//   xmlreval_trace_tail_dropped_events     events tail sampling discarded
+//   xmlreval_trace_staged_events           events staged, unresolved
+//   xmlreval_flight_ring_occupancy{thread} flight-recorder ring fill
 //   xmlreval_edit_ops_total{verdict=...}   stream ops after composition
 //   xmlreval_edit_streams_total{path=...}  short_circuit_safe / _fatal /
 //                                          fallback
@@ -250,17 +257,34 @@ class ValidationService {
 
   using Clock = std::chrono::steady_clock;
 
+  /// Cached per-(S, S') pair handles: the latency histogram plus the
+  /// human-readable pair label exemplars carry.
+  struct PairEntry {
+    obs::Histogram* latency;
+    std::string label;  // "key.vN->key.vM"
+  };
+
   BatchItemResult ProcessItem(const BatchItem& item);
+  /// Books a finished request into the counters/histograms, then settles
+  /// its trace: decides tail-sampling keep (failed or tail-bucket
+  /// latency), pins an exemplar to the op + pair histograms for kept
+  /// requests, and hints non-owned scopes upward.
   Result<core::ValidationReport> Record(Result<core::ValidationReport> result,
                                         const OpMetrics& op,
                                         Clock::time_point start,
-                                        obs::Histogram* pair_latency);
+                                        const PairEntry* pair,
+                                        obs::RequestScope* scope,
+                                        uint64_t node_count);
   /// A request that failed before reaching any validator (batch parse or
   /// bind failure): counts as a request + error, no op.
   void RecordRejected();
-  /// Latency histogram for an (S, S') pair, labeled "key.vN->key.vM";
-  /// created on first use, cached thereafter.
-  obs::Histogram* PairLatency(SchemaHandle source, SchemaHandle target);
+  /// Latency histogram + label for an (S, S') pair; created on first use,
+  /// cached thereafter (pointer stable for the service's lifetime).
+  const PairEntry* PairLatency(SchemaHandle source, SchemaHandle target);
+  /// OnSnapshot hook: publishes trace-sink health, flight-recorder ring
+  /// occupancy, and the per-interval executor queue-depth high-water
+  /// marks, so every exposition interval reads them fresh.
+  void PublishObsHealth();
   /// Lazily-started executors. The batch executor fans SubmitBatch items
   /// out across documents; the intra-doc executor fans ONE document's cast
   /// across subtrees. They are separate pools so a saturated batch can
@@ -320,10 +344,23 @@ class ValidationService {
   obs::Histogram* queue_wait_us_;
   obs::Histogram* batch_service_us_;
   obs::Gauge* batch_inflight_;
-  // Mirrors Executor::QueueDepth via the executors' depth hooks, labeled
-  // {executor="batch"|"intra_doc"}.
+  // Queue-depth gauges expose the HIGH-WATER mark since the previous
+  // snapshot (not a last-write-wins sample): the depth hooks maintain the
+  // live depth + running max below, and PublishObsHealth sets the gauge
+  // to max(high-water, current) and re-arms the max at the current depth,
+  // so a burst that drained between expositions is still visible.
+  // Labeled {executor="batch"|"intra_doc"}.
   obs::Gauge* batch_queue_depth_;
   obs::Gauge* intra_queue_depth_;
+  std::atomic<int64_t> batch_depth_{0};
+  std::atomic<int64_t> batch_depth_hwm_{0};
+  std::atomic<int64_t> intra_depth_{0};
+  std::atomic<int64_t> intra_depth_hwm_{0};
+  // TraceSink health (set by PublishObsHealth each snapshot).
+  obs::Gauge* trace_buffered_events_;
+  obs::Gauge* trace_dropped_events_;
+  obs::Gauge* trace_tail_dropped_events_;
+  obs::Gauge* trace_staged_events_;
   // Resident footprint of the most recently served document
   // (Document::MemoryUsage: SoA topology columns + payload refs + string
   // arena + attribute side table), total and amortised per node.
@@ -331,7 +368,8 @@ class ValidationService {
   obs::Gauge* doc_bytes_per_node_;
 
   mutable std::shared_mutex pair_mutex_;
-  std::unordered_map<uint64_t, obs::Histogram*> pair_latency_;
+  // Values are stable pointers (node-based map) handed out by PairLatency.
+  std::unordered_map<uint64_t, PairEntry> pair_latency_;
 };
 
 }  // namespace xmlreval::service

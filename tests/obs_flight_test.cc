@@ -1,0 +1,197 @@
+// Crash-safe flight recorder: a fork()ed child enables the recorder,
+// installs the fatal-signal handlers, runs a real validation, and raises
+// SIGSEGV with a request span still open. The parent checks the child
+// died by the signal AND left a parseable dump containing the in-flight
+// request's spans. Also covers the cheap non-crash paths: ring occupancy,
+// counter snapshots, on-demand dumps to an fd.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schema/dtd_parser.h"
+#include "core/cast_validator.h"
+#include "core/relations.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+#ifdef XMLREVAL_OBS_DISABLED
+#define SKIP_IF_OBS_COMPILED_OUT() \
+  GTEST_SKIP() << "instrumentation compiled out (XMLREVAL_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_COMPILED_OUT() (void)0
+#endif
+
+// Sanitizers intercept SIGSEGV for their own reporting and do not compose
+// with fork()+re-raise; the crash test is a plain-build-only check.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define XMLREVAL_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define XMLREVAL_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace xmlreval::obs {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::string out;
+  char buffer[4096];
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return out;
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof buffer)) > 0) out.append(buffer, n);
+  ::close(fd);
+  return out;
+}
+
+// Runs one real cast validation so the child's ring holds genuine spans.
+void RunOneValidation() {
+  auto alphabet = std::make_shared<schema::Alphabet>();
+  auto src = schema::ParseDtd(
+      "<!ELEMENT feed (entry*)><!ELEMENT entry (#PCDATA)>", alphabet);
+  auto tgt = schema::ParseDtd(
+      "<!ELEMENT feed ((entry|note)*)><!ELEMENT entry (#PCDATA)>"
+      "<!ELEMENT note (#PCDATA)>",
+      alphabet);
+  if (!src.ok() || !tgt.ok()) _exit(10);
+  auto relations = core::TypeRelations::Compute(&*src, &*tgt);
+  if (!relations.ok()) _exit(11);
+  auto doc = xml::ParseXml("<feed><entry>a</entry><entry>b</entry></feed>");
+  if (!doc.ok()) _exit(12);
+  core::ValidationReport report =
+      core::CastValidator(&*relations).Validate(*doc);
+  if (!report.valid) _exit(13);
+}
+
+TEST(ObsFlightTest, SigsegvMidValidationLeavesParseableDump) {
+  SKIP_IF_OBS_COMPILED_OUT();
+#ifdef XMLREVAL_UNDER_SANITIZER
+  GTEST_SKIP() << "fatal-signal re-raise does not compose with sanitizers";
+#else
+  const std::string dump = ::testing::TempDir() + "obs_flight_crash.json";
+  ::unlink(dump.c_str());
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: never returns. gtest machinery must not run here — every
+    // exit path is _exit or a fatal signal.
+    FlightRecorder::Global().Enable(128);
+    InstallCrashHandlers(dump.c_str());
+    SetTraceEnabled(true);
+    RunOneValidation();
+    RequestScope request;
+    Span span("crash.zone");
+    raise(SIGSEGV);  // handler dumps, resets, re-raises → child dies
+    _exit(14);       // unreachable if the handler chain works
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited normally (code " << WEXITSTATUS(status)
+      << ") instead of dying by signal";
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::string text = Slurp(dump);
+  ASSERT_FALSE(text.empty()) << "no crash dump at " << dump;
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* recorder = parsed->Find("flight_recorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->Find("reason")->AsString(), "SIGSEGV");
+
+  // The in-flight request's open span made it into the dump.
+  const json::Value* active = recorder->Find("active_spans");
+  ASSERT_NE(active, nullptr);
+  ASSERT_TRUE(active->is_array());
+  bool saw_crash_zone = false;
+  for (const json::Value& s : active->AsArray()) {
+    if (s.Find("name")->AsString() == "crash.zone") saw_crash_zone = true;
+  }
+  EXPECT_TRUE(saw_crash_zone);
+
+  // The validation that ran BEFORE the crash left completed spans in the
+  // per-thread ring.
+  const json::Value* threads = recorder->Find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_TRUE(threads->is_array());
+  bool saw_traverse = false;
+  for (const json::Value& t : threads->AsArray()) {
+    for (const json::Value& e : t.Find("events")->AsArray()) {
+      if (e.Find("name")->AsString() == "cast.traverse") saw_traverse = true;
+    }
+  }
+  EXPECT_TRUE(saw_traverse);
+  ::unlink(dump.c_str());
+#endif
+}
+
+TEST(ObsFlightTest, OnDemandDumpCarriesRegisteredCounters) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Enable(128);
+  Counter* counter = MetricsRegistry::Default().counter(
+      "xmlreval_flight_test_counter");
+  counter->Add(41);
+  recorder.RegisterCounter("xmlreval_flight_test_counter", counter);
+  counter->Add(1);
+
+  { Span span("flight.work"); }
+
+  const std::string path = ::testing::TempDir() + "obs_flight_demand.json";
+  ASSERT_TRUE(recorder.DumpToFile(path.c_str(), "on-demand"));
+  auto parsed = json::Parse(Slurp(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* fr = parsed->Find("flight_recorder");
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->Find("reason")->AsString(), "on-demand");
+  bool saw_counter = false;
+  for (const json::Value& c : fr->Find("counters")->AsArray()) {
+    if (c.Find("name")->AsString() == "xmlreval_flight_test_counter") {
+      saw_counter = true;
+      EXPECT_EQ(c.Find("value")->AsNumber(), 42.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  bool saw_work = false;
+  for (const json::Value& t : fr->Find("threads")->AsArray()) {
+    for (const json::Value& e : t.Find("events")->AsArray()) {
+      if (e.Find("name")->AsString() == "flight.work") saw_work = true;
+    }
+  }
+  EXPECT_TRUE(saw_work);
+  EXPECT_GE(recorder.dump_count(), 1u);
+  ::unlink(path.c_str());
+  recorder.Disable();
+}
+
+TEST(ObsFlightTest, OccupancyGaugeSeesRecordedSpans) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Enable(128);
+  { Span span("occupancy.probe"); }
+  size_t total = 0;
+  for (size_t slot = 0; slot < FlightRecorder::kMaxThreads; ++slot) {
+    total += recorder.SlotOccupancy(slot);
+  }
+  EXPECT_GT(total, 0u);
+  recorder.Disable();
+}
+
+}  // namespace
+}  // namespace xmlreval::obs

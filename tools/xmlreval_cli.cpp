@@ -7,20 +7,24 @@
 //   xmlreval relations   <source> <target>             dump R_sub / R_dis
 //   xmlreval serve-batch <source> <target> <doc.xml...> [--threads N]
 //                        [--repeat N] [--metrics-out F] [--metrics-interval S]
-//                        [--trace-out F]                batch pipeline
+//                        [--trace-out F] [--tail-sample]
+//                        [--flight-recorder F]          batch pipeline
 //   xmlreval stats       <metrics.json>                 pretty-print a dump
+//   xmlreval trace-report <trace.json>                  latency decomposition
 //
 // Schemas are loaded by extension: *.dtd through the DTD front end,
 // anything else through the XSD front end. Exit status: 0 = valid /
 // success, 1 = invalid document, 2 = usage or input error. Unknown
 // subcommands print the usage message and exit 2.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -29,6 +33,7 @@
 
 #include "common/json.h"
 #include "common/macros.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "core/cast_validator.h"
@@ -64,7 +69,10 @@ int Usage() {
                " [--metrics-out F]\n"
                "                       [--metrics-interval S]"
                " [--trace-out F]\n"
+               "                       [--tail-sample]"
+               " [--flight-recorder F]\n"
                "  xmlreval stats <metrics.json>\n"
+               "  xmlreval trace-report <trace.json>\n"
                "  xmlreval analyze-updates <source> <target> <doc.xml>"
                " [--edits N] [--seed N]\n"
                "                       [--safe-percent P] [--metrics-out F]\n"
@@ -82,7 +90,14 @@ int Usage() {
                "or --metrics-interval S rewrite it while serving. \n"
                "--trace-out enables span tracing and writes Chrome\n"
                "trace-event JSON (open in Perfetto / chrome://tracing).\n"
+               "--tail-sample keeps only slow/failed requests' traces\n"
+               "(tail-latency exemplars in the metrics dump link to them);\n"
+               "--flight-recorder F arms the crash-safe flight recorder:\n"
+               "recent spans + counters are dumped to F from fatal signals\n"
+               "(SIGSEGV/SIGABRT) and on demand via SIGUSR2.\n"
                "stats pretty-prints a JSON metrics dump.\n"
+               "trace-report decomposes a --trace-out file per request:\n"
+               "queue wait / parse / bind / fixpoint / analyze / traverse.\n"
                "analyze-updates generates --edits random edits (--seed) on\n"
                "<doc.xml> and submits them as one edit stream: the static\n"
                "update-safety analyzer accepts/rejects schema-decidable\n"
@@ -353,9 +368,8 @@ extern "C" void OnMetricsFlushSignal(int) {
 // rendering (the `stats` subcommand's input), anything else Prometheus
 // text exposition. Written atomically enough for a scraper: truncate +
 // full rewrite.
-bool WriteMetricsFile(const service::ValidationService& service,
-                      const std::string& path) {
-  obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
+bool WriteSnapshotFile(const obs::MetricsSnapshot& snapshot,
+                       const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
@@ -364,6 +378,11 @@ bool WriteMetricsFile(const service::ValidationService& service,
   out << (HasSuffix(path, ".json") ? snapshot.ToJson()
                                    : snapshot.ToPrometheusText());
   return true;
+}
+
+bool WriteMetricsFile(const service::ValidationService& service,
+                      const std::string& path) {
+  return WriteSnapshotFile(service.metrics().Snapshot(), path);
 }
 
 // Batch serving through the src/service/ layer: register both schemas
@@ -377,6 +396,8 @@ int CmdServeBatch(int argc, char** argv) {
   size_t metrics_interval = 0;  // seconds; 0 = only on signal/exit
   std::string metrics_out;
   std::string trace_out;
+  std::string flight_out;
+  bool tail_sample = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::strtoull(argv[++i], nullptr, 10);
@@ -392,6 +413,11 @@ int CmdServeBatch(int argc, char** argv) {
       metrics_interval = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--tail-sample") == 0) {
+      tail_sample = true;
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0 &&
+               i + 1 < argc) {
+      flight_out = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage();
     } else {
@@ -399,12 +425,38 @@ int CmdServeBatch(int argc, char** argv) {
     }
   }
   if (positional.size() < 3 || repeat == 0) return Usage();
-  if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  if (!trace_out.empty() || tail_sample) obs::SetTraceEnabled(true);
+  if (tail_sample) obs::TraceSink::Global().SetTailSampling(true);
+  if (!flight_out.empty()) {
+    obs::FlightRecorder::Global().Enable();
+    obs::InstallCrashHandlers(flight_out.c_str());
+  }
 
   service::ValidationService::Options options;
   options.batch_threads = threads;
   options.intra_doc_threads = intra_doc_threads;
   service::ValidationService service(options);
+  if (!flight_out.empty()) {
+    // The crash dump carries the service's headline counters so a
+    // post-mortem shows how far the batch got. The registry hands back
+    // stable pointers; the recorder reads them with plain loads (atomic
+    // underneath, so async-signal-safe).
+    auto& recorder = obs::FlightRecorder::Global();
+    obs::MetricsRegistry& metrics = service.metrics();
+    recorder.RegisterCounter("xmlreval_requests_total",
+                             metrics.counter("xmlreval_requests_total"));
+    recorder.RegisterCounter(
+        "xmlreval_verdicts_total{verdict=valid}",
+        metrics.counter("xmlreval_verdicts_total", {{"verdict", "valid"}}));
+    recorder.RegisterCounter(
+        "xmlreval_verdicts_total{verdict=invalid}",
+        metrics.counter("xmlreval_verdicts_total", {{"verdict", "invalid"}}));
+    recorder.RegisterCounter(
+        "xmlreval_verdicts_total{verdict=error}",
+        metrics.counter("xmlreval_verdicts_total", {{"verdict", "error"}}));
+    recorder.RegisterCounter("xmlreval_nodes_visited_total",
+                             metrics.counter("xmlreval_nodes_visited_total"));
+  }
 
   // Periodic / signal-driven metrics exposition while the batch runs.
   std::atomic<bool> flusher_done{false};
@@ -505,6 +557,13 @@ int CmdServeBatch(int argc, char** argv) {
       (unsigned long long)cache.misses,
       (unsigned long long)cache.computations,
       (unsigned long long)cache.compute_micros);
+  if (flusher.joinable()) {
+    flusher_done.store(true, std::memory_order_relaxed);
+    flusher.join();
+  }
+  // One snapshot serves both the stats print and the final metrics file:
+  // snapshots consume the queue-depth high-water gauges (re-armed to live
+  // depth), so a separate peek here would zero them in the dump.
   obs::MetricsSnapshot snapshot = service.metrics().Snapshot();
   const obs::HistogramSnapshot* wait =
       snapshot.FindHistogram("xmlreval_batch_queue_wait_us");
@@ -517,12 +576,7 @@ int CmdServeBatch(int argc, char** argv) {
         wait->Quantile(0.50), wait->Quantile(0.99), svc->Quantile(0.50),
         svc->Quantile(0.99));
   }
-
-  if (flusher.joinable()) {
-    flusher_done.store(true, std::memory_order_relaxed);
-    flusher.join();
-  }
-  if (!metrics_out.empty() && !WriteMetricsFile(service, metrics_out)) {
+  if (!metrics_out.empty() && !WriteSnapshotFile(snapshot, metrics_out)) {
     exit_code = 2;
   }
   if (!trace_out.empty()) {
@@ -744,6 +798,174 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Decomposes a --trace-out Chrome trace into per-request latency. Spans
+// carry args.trace_id (stamped by the service's RequestScope), so all of
+// one request's work — across threads, including stolen cast.task slices —
+// folds back onto one row. Phases follow the batch pipeline: queue wait,
+// parse, bind, relations fixpoint, update analysis, cast traversal (wall
+// clock of cast.traverse; cast.task CPU is reported separately because
+// parallel slices overlap). Aggregates group by the (src, tgt) schema-pair
+// args on svc.cast spans.
+int CmdTraceReport(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto text = ReadFile(argv[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  auto parsed = json::Parse(*text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const json::Value* events = parsed->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", argv[0]);
+    return 2;
+  }
+
+  struct RequestRow {
+    uint64_t queue_us = 0;      // queue.wait
+    uint64_t parse_us = 0;      // item.parse
+    uint64_t bind_us = 0;       // item.bind
+    uint64_t fixpoint_us = 0;   // relations.fixpoint
+    uint64_t analyze_us = 0;    // analysis.compile / analysis.classify
+    uint64_t traverse_us = 0;   // cast.traverse wall clock
+    uint64_t task_cpu_us = 0;   // cast.task, summed across workers
+    uint64_t service_us = 0;    // widest request-level span (post-dequeue)
+    uint64_t total_us = 0;      // queue wait + service
+    uint64_t tasks = 0;
+    std::string pair;           // "src->tgt" schema handles (svc.cast args)
+  };
+  std::map<uint64_t, RequestRow> rows;  // keyed by trace_id, stable order
+
+  auto arg_of = [](const json::Value& e, const char* key) -> uint64_t {
+    const json::Value* value = nullptr;
+    const json::Value* arguments = e.Find("args");
+    if (arguments != nullptr) value = arguments->Find(key);
+    return value != nullptr && value->is_number()
+               ? static_cast<uint64_t>(value->AsNumber())
+               : 0;
+  };
+
+  for (const json::Value& e : events->AsArray()) {
+    const json::Value* ph = e.Find("ph");
+    const json::Value* name = e.Find("name");
+    const json::Value* dur = e.Find("dur");
+    if (ph == nullptr || !ph->is_string() || ph->AsString() != "X" ||
+        name == nullptr || !name->is_string() || dur == nullptr ||
+        !dur->is_number()) {
+      continue;  // flow events and metadata carry no duration
+    }
+    uint64_t trace_id = arg_of(e, "trace_id");
+    if (trace_id == 0) continue;  // span outside any request scope
+    RequestRow& row = rows[trace_id];
+    const std::string& span = name->AsString();
+    const auto micros = static_cast<uint64_t>(dur->AsNumber());
+    if (span == "queue.wait") {
+      row.queue_us += micros;
+    } else if (span == "item.parse") {
+      row.parse_us += micros;
+    } else if (span == "item.bind") {
+      row.bind_us += micros;
+    } else if (span == "relations.fixpoint") {
+      row.fixpoint_us += micros;
+    } else if (span == "analysis.compile" || span == "analysis.classify") {
+      row.analyze_us += micros;
+    } else if (span == "cast.traverse") {
+      row.traverse_us += micros;
+    } else if (span == "cast.task") {
+      row.task_cpu_us += micros;
+      ++row.tasks;
+    }
+    // The request-level span (batch.item for batch work, the svc.* entry
+    // span for direct calls) starts at dequeue, so queue wait is added on
+    // top afterwards to get end-to-end latency.
+    if (micros > row.service_us &&
+        (span == "batch.item" || span.rfind("svc.", 0) == 0)) {
+      row.service_us = micros;
+    }
+    if (span == "svc.cast") {
+      uint64_t src = arg_of(e, "src");
+      uint64_t tgt = arg_of(e, "tgt");
+      if (row.pair.empty() && (src != 0 || tgt != 0)) {
+        row.pair = std::to_string(src) + "->" + std::to_string(tgt);
+      }
+    }
+  }
+  if (rows.empty()) {
+    std::printf("no request-scoped spans in %s (was tracing enabled?)\n",
+                argv[0]);
+    return 0;
+  }
+
+  // End-to-end = queue wait + the request-level span. A request with no
+  // request-level span (tracing caught only fragments) still reports:
+  // fall back to the phase sum so the row is comparable.
+  for (auto& [id, row] : rows) {
+    uint64_t phase_sum = row.queue_us + row.parse_us + row.bind_us +
+                         row.fixpoint_us + row.analyze_us + row.traverse_us;
+    row.total_us =
+        row.service_us > 0 ? row.queue_us + row.service_us : phase_sum;
+  }
+
+  std::printf("%zu request(s) in %s\n\n", rows.size(), argv[0]);
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s %8s %9s %6s  %s\n", "trace_id",
+              "total", "queue", "parse", "bind", "fixpnt", "analyze",
+              "travrs", "task_cpu", "tasks", "pair");
+  std::vector<const std::pair<const uint64_t, RequestRow>*> order;
+  order.reserve(rows.size());
+  for (const auto& entry : rows) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->second.total_us > b->second.total_us;
+  });
+  struct PairAgg {
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+    uint64_t queue_us = 0;
+    uint64_t traverse_us = 0;
+  };
+  std::map<std::string, PairAgg> pairs;
+  constexpr size_t kMaxRows = 20;  // slowest first; the tail is noise
+  for (size_t i = 0; i < order.size(); ++i) {
+    const auto& [id, row] = *order[i];
+    if (i < kMaxRows) {
+      std::printf("%-18llu %8llu %8llu %8llu %8llu %8llu %8llu %8llu "
+                  "%9llu %6llu  %s\n",
+                  (unsigned long long)id, (unsigned long long)row.total_us,
+                  (unsigned long long)row.queue_us,
+                  (unsigned long long)row.parse_us,
+                  (unsigned long long)row.bind_us,
+                  (unsigned long long)row.fixpoint_us,
+                  (unsigned long long)row.analyze_us,
+                  (unsigned long long)row.traverse_us,
+                  (unsigned long long)row.task_cpu_us,
+                  (unsigned long long)row.tasks, row.pair.c_str());
+    }
+    PairAgg& agg = pairs[row.pair.empty() ? "(direct)" : row.pair];
+    ++agg.count;
+    agg.total_us += row.total_us;
+    agg.queue_us += row.queue_us;
+    agg.traverse_us += row.traverse_us;
+  }
+  if (order.size() > kMaxRows) {
+    std::printf("... %zu more (slowest %zu shown)\n", order.size() - kMaxRows,
+                kMaxRows);
+  }
+  std::printf("\nper schema pair (means, us):\n");
+  std::printf("  %-20s %8s %10s %10s %10s\n", "pair", "count", "total",
+              "queue", "traverse");
+  for (const auto& [pair, agg] : pairs) {
+    std::printf("  %-20s %8llu %10.1f %10.1f %10.1f\n", pair.c_str(),
+                (unsigned long long)agg.count,
+                double(agg.total_us) / double(agg.count),
+                double(agg.queue_us) / double(agg.count),
+                double(agg.traverse_us) / double(agg.count));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -772,5 +994,8 @@ int main(int argc, char** argv) {
     return CmdAnalyzeUpdates(argc - 2, argv + 2);
   }
   if (std::strcmp(command, "stats") == 0) return CmdStats(argc - 2, argv + 2);
+  if (std::strcmp(command, "trace-report") == 0) {
+    return CmdTraceReport(argc - 2, argv + 2);
+  }
   return Usage();  // unknown subcommand: usage message, exit 2
 }
