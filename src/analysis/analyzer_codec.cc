@@ -1,0 +1,90 @@
+#include "analysis/analyzer_codec.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xmlreval::analysis {
+
+namespace {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+Status Corrupt(const char* what) {
+  return Status::DataLoss(std::string("plan artifact: ") + what);
+}
+
+void EncodeBoolVec(const std::vector<bool>& v, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (bool b : v) w->U8(b ? 1 : 0);
+}
+
+Status DecodeBoolVec(ByteReader* r, size_t max_size, std::vector<bool>* out) {
+  uint32_t n = r->U32();
+  if (!r->ok() || n > max_size) return Corrupt("implausible safety table");
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t b = r->U8();
+    if (b > 1) return Corrupt("malformed safety table");
+    (*out)[i] = b != 0;
+  }
+  return r->ok() ? Status::OK() : Corrupt("truncated safety table");
+}
+
+}  // namespace
+
+void AnalyzerCodec::Encode(const UpdateAnalyzer& analyzer, ByteWriter* w) {
+  const auto& tables = analyzer.tables_;
+  w->U32(static_cast<uint32_t>(tables.size()));
+  for (const auto& t : tables) {
+    w->U8(t.valid ? 1 : 0);
+    if (!t.valid) continue;
+    EncodeBoolVec(t.neutral, w);
+    EncodeBoolVec(t.doomed, w);
+    EncodeBoolVec(t.empty_ok, w);
+    w->U32(static_cast<uint32_t>(t.sym_class.size()));
+    w->AlignTo(4);
+    for (uint32_t c : t.sym_class) w->U32(c);
+  }
+  w->AlignTo(8);
+}
+
+Result<UpdateAnalyzer> AnalyzerCodec::Decode(
+    ByteReader* r, std::shared_ptr<const core::TypeRelations> relations) {
+  if (!relations) {
+    return Status::InvalidArgument("AnalyzerCodec::Decode: null relations");
+  }
+  UpdateAnalyzer analyzer;
+  analyzer.alphabet_ = relations->source().alphabet().get();
+  const size_t nt = relations->target().num_types();
+  const size_t sigma = analyzer.alphabet_->size();
+  analyzer.relations_ = std::move(relations);
+
+  uint32_t n = r->U32();
+  if (!r->ok() || n != nt) {
+    return Corrupt("analyzer table count does not match the target schema");
+  }
+  analyzer.tables_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& t = analyzer.tables_[i];
+    uint8_t valid = r->U8();
+    if (!r->ok() || valid > 1) return Corrupt("malformed analyzer record");
+    t.valid = valid != 0;
+    if (!t.valid) continue;
+    RETURN_IF_ERROR(DecodeBoolVec(r, sigma, &t.neutral));
+    RETURN_IF_ERROR(DecodeBoolVec(r, sigma, &t.doomed));
+    RETURN_IF_ERROR(DecodeBoolVec(r, sigma, &t.empty_ok));
+    uint32_t nc = r->U32();
+    if (!r->ok() || nc > sigma) return Corrupt("implausible sym_class table");
+    r->AlignTo(4);
+    t.sym_class.resize(nc);
+    for (uint32_t j = 0; j < nc; ++j) t.sym_class[j] = r->U32();
+    if (!r->ok()) return Corrupt("truncated sym_class table");
+  }
+  r->AlignTo(8);
+  if (!r->ok()) return Corrupt("truncated analyzer tables");
+  return analyzer;
+}
+
+}  // namespace xmlreval::analysis

@@ -1,0 +1,35 @@
+// Binary round-trip for UpdateAnalyzer safety tables (plan-cache payload).
+//
+// The analyzer's per-(target type, symbol) tables — neutral, doomed,
+// empty_ok, sym_class — are pure functions of the schema pair, so the plan
+// stores them instead of recompiling the reachability analyses on every
+// warm start. The tables are small (bits/ints per symbol) and are decoded
+// as owned memory; only the DFA/relation tables of the plan stay mmap'd.
+//
+// Decode rebuilds a full UpdateAnalyzer around an already-decoded
+// TypeRelations; the analyzer shares ownership exactly as
+// UpdateAnalyzer::Compile would.
+
+#ifndef XMLREVAL_ANALYSIS_ANALYZER_CODEC_H_
+#define XMLREVAL_ANALYSIS_ANALYZER_CODEC_H_
+
+#include <memory>
+
+#include "analysis/update_analyzer.h"
+#include "common/result.h"
+#include "common/serde.h"
+
+namespace xmlreval::analysis {
+
+class AnalyzerCodec {
+ public:
+  static void Encode(const UpdateAnalyzer& analyzer, common::ByteWriter* w);
+
+  static Result<UpdateAnalyzer> Decode(
+      common::ByteReader* r,
+      std::shared_ptr<const core::TypeRelations> relations);
+};
+
+}  // namespace xmlreval::analysis
+
+#endif  // XMLREVAL_ANALYSIS_ANALYZER_CODEC_H_

@@ -140,6 +140,8 @@ class UpdateAnalyzer {
     std::vector<uint32_t> sym_class;
   };
 
+  friend class AnalyzerCodec;
+
   UpdateAnalyzer() = default;
 
   /// The node's symbol through the pair's shared alphabet: the bound symbol

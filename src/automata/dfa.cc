@@ -12,6 +12,18 @@
 
 namespace xmlreval::automata {
 
+Dfa Dfa::FromExternal(size_t num_states, size_t alphabet_size,
+                      StateId start_state, const StateId* transitions,
+                      const uint8_t* accepting) {
+  Dfa dfa(0, alphabet_size);
+  dfa.num_states_ = num_states;
+  dfa.start_ = start_state;
+  dfa.borrowed_ = true;
+  dfa.transitions_ = transitions;
+  dfa.accepting_ = accepting;
+  return dfa;
+}
+
 bool Dfa::IsEmptyLanguage() const {
   std::vector<bool> reachable = ReachableStates();
   for (StateId q = 0; q < num_states(); ++q) {

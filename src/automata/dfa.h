@@ -11,6 +11,14 @@
 //   * dead states (§4.1: unreachable, or no final state reachable),
 //   * universal states (L(q) = Σ*, the IA set of Definition 6),
 //   * reversal to an NFA (§4.3's reverse-scan optimization).
+//
+// Storage: the hot tables (transitions, accepting flags) are read through
+// raw const pointers. A Dfa normally OWNS its tables in vectors and the
+// pointers alias them; FromExternal() builds a BORROWED Dfa whose pointers
+// alias caller-managed memory — an mmap'd plan-cache artifact — so a
+// warm-started process steps the very bytes on disk with zero copies.
+// Borrowed DFAs are immutable; the backing storage must outlive the Dfa
+// and every copy made of it.
 
 #ifndef XMLREVAL_AUTOMATA_DFA_H_
 #define XMLREVAL_AUTOMATA_DFA_H_
@@ -21,6 +29,7 @@
 
 #include "automata/nfa.h"
 #include "automata/regex.h"
+#include "common/macros.h"
 #include "common/result.h"
 
 namespace xmlreval::automata {
@@ -32,26 +41,72 @@ class Dfa {
   /// (construction helpers below always do).
   Dfa(size_t num_states, size_t alphabet_size)
       : alphabet_size_(alphabet_size),
-        transitions_(num_states * alphabet_size, 0),
-        accepting_(num_states, false) {}
+        num_states_(num_states),
+        transitions_store_(num_states * alphabet_size, 0),
+        accepting_store_(num_states, 0) {
+    Rebind();
+  }
 
-  size_t num_states() const { return accepting_.size(); }
+  /// Borrowed-storage factory (plan cache): the DFA reads `transitions`
+  /// (row-major num_states × alphabet_size) and `accepting` (one byte per
+  /// state) in place, without copying. The caller keeps the storage alive
+  /// and unchanged for the lifetime of the Dfa and all its copies; the
+  /// pointers must satisfy the types' natural alignment.
+  static Dfa FromExternal(size_t num_states, size_t alphabet_size,
+                          StateId start_state, const StateId* transitions,
+                          const uint8_t* accepting);
+
+  Dfa(const Dfa& other) { *this = other; }
+  Dfa& operator=(const Dfa& other) {
+    if (this == &other) return *this;
+    alphabet_size_ = other.alphabet_size_;
+    num_states_ = other.num_states_;
+    start_ = other.start_;
+    borrowed_ = other.borrowed_;
+    if (borrowed_) {
+      // Copies of a borrowed DFA stay borrowed: the external storage
+      // outlives them by contract.
+      transitions_store_.clear();
+      accepting_store_.clear();
+      transitions_ = other.transitions_;
+      accepting_ = other.accepting_;
+    } else {
+      transitions_store_ = other.transitions_store_;
+      accepting_store_ = other.accepting_store_;
+      Rebind();
+    }
+    return *this;
+  }
+  // Moving a vector keeps its heap buffer, so the raw views stay valid.
+  Dfa(Dfa&&) noexcept = default;
+  Dfa& operator=(Dfa&&) noexcept = default;
+
+  size_t num_states() const { return num_states_; }
   size_t alphabet_size() const { return alphabet_size_; }
+
+  /// True when the tables alias caller-managed memory (FromExternal).
+  bool borrows_storage() const { return borrowed_; }
 
   StateId start_state() const { return start_; }
   void set_start_state(StateId s) { start_ = s; }
 
-  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  bool IsAccepting(StateId s) const { return accepting_[s] != 0; }
   void SetAccepting(StateId s, bool accepting = true) {
-    accepting_[s] = accepting;
+    XMLREVAL_CHECK(!borrowed_, "borrowed Dfa is immutable");
+    accepting_store_[s] = accepting ? 1 : 0;
   }
 
   StateId Next(StateId state, Symbol symbol) const {
     return transitions_[state * alphabet_size_ + symbol];
   }
   void SetTransition(StateId state, Symbol symbol, StateId target) {
-    transitions_[state * alphabet_size_ + symbol] = target;
+    XMLREVAL_CHECK(!borrowed_, "borrowed Dfa is immutable");
+    transitions_store_[state * alphabet_size_ + symbol] = target;
   }
+
+  /// Raw table views (serialization).
+  const StateId* transitions_data() const { return transitions_; }
+  const uint8_t* accepting_data() const { return accepting_; }
 
   /// Runs the DFA on a symbol string from `from` (default: start state).
   StateId Run(std::span<const Symbol> input, StateId from) const {
@@ -131,10 +186,21 @@ class Dfa {
   size_t CountAccepting() const;
 
  private:
-  size_t alphabet_size_;
+  void Rebind() {
+    transitions_ = transitions_store_.data();
+    accepting_ = accepting_store_.data();
+  }
+
+  size_t alphabet_size_ = 0;
+  size_t num_states_ = 0;
   StateId start_ = 0;
-  std::vector<StateId> transitions_;  // row-major [state][symbol]
-  std::vector<bool> accepting_;
+  bool borrowed_ = false;
+  // Owning storage; empty for borrowed DFAs.
+  std::vector<StateId> transitions_store_;
+  std::vector<uint8_t> accepting_store_;
+  // Read views: alias the owning vectors, or external (mmap'd) memory.
+  const StateId* transitions_ = nullptr;  // row-major [state][symbol]
+  const uint8_t* accepting_ = nullptr;    // one byte per state
 };
 
 /// Subset construction; the result is complete (the empty subset acts as

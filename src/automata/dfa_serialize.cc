@@ -1,0 +1,217 @@
+#include "automata/dfa_serialize.h"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace xmlreval::automata {
+
+namespace {
+
+// Decoders cap counts so corrupt headers cannot drive multi-gigabyte
+// allocations before the bounds checks kick in. Real content-model DFAs
+// are tens of states over alphabets of at most a few thousand labels.
+constexpr uint64_t kMaxStates = 1u << 24;
+constexpr uint64_t kMaxAlphabet = 1u << 22;
+constexpr uint64_t kMaxTableBytes = 1ull << 32;
+
+Status Corrupt(const char* what) {
+  return Status::DataLoss(std::string("plan artifact: ") + what);
+}
+
+}  // namespace
+
+void DfaCodec::Encode(const Dfa& dfa, common::ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(dfa.num_states()));
+  w->U32(static_cast<uint32_t>(dfa.alphabet_size()));
+  w->U32(dfa.start_state());
+  w->AlignTo(8);
+  w->Bytes(dfa.transitions_data(),
+           dfa.num_states() * dfa.alphabet_size() * sizeof(StateId));
+  // Accepting flags are normalized to 0/1 so encodings are byte-stable.
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    w->U8(dfa.IsAccepting(q) ? 1 : 0);
+  }
+  w->AlignTo(8);
+}
+
+Result<Dfa> DfaCodec::Decode(common::ByteReader* r, bool borrow) {
+  uint64_t num_states = r->U32();
+  uint64_t alphabet_size = r->U32();
+  StateId start = r->U32();
+  if (!r->ok()) return Corrupt("truncated DFA header");
+  if (num_states == 0 || num_states > kMaxStates ||
+      alphabet_size > kMaxAlphabet ||
+      num_states * alphabet_size * sizeof(StateId) > kMaxTableBytes) {
+    return Corrupt("implausible DFA dimensions");
+  }
+  if (start >= num_states) return Corrupt("DFA start state out of range");
+  r->AlignTo(8);
+  const size_t table = num_states * alphabet_size;
+  const uint8_t* transitions_raw = r->Raw(table * sizeof(StateId));
+  const uint8_t* accepting_raw = r->Raw(num_states);
+  r->AlignTo(8);
+  if (!r->ok()) return Corrupt("truncated DFA tables");
+
+  const StateId* transitions =
+      reinterpret_cast<const StateId*>(transitions_raw);
+  // Every target must be a real state — a bit flip in the table must never
+  // become an out-of-bounds Next(). A linear pass over bytes that are about
+  // to be page-cache-resident anyway; no per-process table copy is built.
+  for (size_t i = 0; i < table; ++i) {
+    if (transitions[i] >= num_states) {
+      return Corrupt("DFA transition target out of range");
+    }
+  }
+  for (size_t q = 0; q < num_states; ++q) {
+    if (accepting_raw[q] > 1) return Corrupt("DFA accepting flag not 0/1");
+  }
+
+  if (borrow) {
+    return Dfa::FromExternal(num_states, alphabet_size, start, transitions,
+                             accepting_raw);
+  }
+  Dfa dfa(num_states, alphabet_size);
+  dfa.set_start_state(start);
+  for (StateId q = 0; q < num_states; ++q) {
+    dfa.SetAccepting(q, accepting_raw[q] != 0);
+    for (Symbol s = 0; s < alphabet_size; ++s) {
+      dfa.SetTransition(q, s, transitions[q * alphabet_size + s]);
+    }
+  }
+  return dfa;
+}
+
+void ImmediateDfaCodec::Encode(const ImmediateDfa& dfa,
+                               common::ByteWriter* w) {
+  DfaCodec::Encode(dfa.dfa(), w);
+  w->U64(dfa.pair_encoding().nb);
+  w->Bytes(dfa.classes_data(), dfa.dfa().num_states());
+  w->AlignTo(8);
+}
+
+Result<ImmediateDfa> ImmediateDfaCodec::Decode(common::ByteReader* r,
+                                               bool borrow) {
+  ASSIGN_OR_RETURN(Dfa dfa, DfaCodec::Decode(r, borrow));
+  uint64_t nb = r->U64();
+  const uint8_t* classes_raw = r->Raw(dfa.num_states());
+  r->AlignTo(8);
+  if (!r->ok()) return Corrupt("truncated immediate-DFA classes");
+  if (nb > kMaxStates) return Corrupt("pair encoding out of range");
+  for (size_t q = 0; q < dfa.num_states(); ++q) {
+    if (classes_raw[q] > static_cast<uint8_t>(StateClass::kImmediateReject)) {
+      return Corrupt("invalid immediate state class");
+    }
+  }
+  PairEncoding enc{static_cast<size_t>(nb)};
+  if (borrow) {
+    return ImmediateDfa(std::move(dfa),
+                        reinterpret_cast<const StateClass*>(classes_raw),
+                        enc);
+  }
+  std::vector<StateClass> classes(dfa.num_states());
+  std::memcpy(classes.data(), classes_raw, classes.size());
+  return ImmediateDfa(std::move(dfa), std::move(classes), enc);
+}
+
+void RegexCodec::Encode(const RegexPtr& regex, common::ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(regex->kind()));
+  switch (regex->kind()) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      break;
+    case RegexKind::kSymbol:
+      w->U32(regex->symbol());
+      break;
+    case RegexKind::kConcat:
+    case RegexKind::kAlternate:
+      w->U32(static_cast<uint32_t>(regex->children().size()));
+      for (const RegexPtr& child : regex->children()) Encode(child, w);
+      break;
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional:
+      Encode(regex->child(), w);
+      break;
+    case RegexKind::kRepeat:
+      w->U32(regex->min());
+      w->U32(regex->max());
+      Encode(regex->child(), w);
+      break;
+  }
+}
+
+namespace {
+
+constexpr int kMaxRegexDepth = 512;
+constexpr uint32_t kMaxRegexChildren = 1u << 20;
+
+Result<RegexPtr> DecodeRegexNode(common::ByteReader* r, size_t alphabet_size,
+                                 int depth) {
+  if (depth > kMaxRegexDepth) return Corrupt("regex nesting too deep");
+  uint8_t kind = r->U8();
+  if (!r->ok()) return Corrupt("truncated regex");
+  switch (static_cast<RegexKind>(kind)) {
+    case RegexKind::kEmptySet:
+      return Regex::EmptySet();
+    case RegexKind::kEpsilon:
+      return Regex::Epsilon();
+    case RegexKind::kSymbol: {
+      Symbol s = r->U32();
+      if (!r->ok() || s >= alphabet_size) {
+        return Corrupt("regex symbol out of range");
+      }
+      return Regex::Sym(s);
+    }
+    case RegexKind::kConcat:
+    case RegexKind::kAlternate: {
+      uint32_t n = r->U32();
+      if (!r->ok() || n > kMaxRegexChildren) {
+        return Corrupt("implausible regex arity");
+      }
+      std::vector<RegexPtr> children;
+      children.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSIGN_OR_RETURN(RegexPtr child,
+                         DecodeRegexNode(r, alphabet_size, depth + 1));
+        children.push_back(std::move(child));
+      }
+      return static_cast<RegexKind>(kind) == RegexKind::kConcat
+                 ? Regex::Concat(std::move(children))
+                 : Regex::Alternate(std::move(children));
+    }
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOptional: {
+      ASSIGN_OR_RETURN(RegexPtr child,
+                       DecodeRegexNode(r, alphabet_size, depth + 1));
+      switch (static_cast<RegexKind>(kind)) {
+        case RegexKind::kStar:
+          return Regex::Star(std::move(child));
+        case RegexKind::kPlus:
+          return Regex::Plus(std::move(child));
+        default:
+          return Regex::Optional(std::move(child));
+      }
+    }
+    case RegexKind::kRepeat: {
+      uint32_t min = r->U32();
+      uint32_t max = r->U32();
+      if (!r->ok()) return Corrupt("truncated regex repeat bounds");
+      ASSIGN_OR_RETURN(RegexPtr child,
+                       DecodeRegexNode(r, alphabet_size, depth + 1));
+      return Regex::Repeat(std::move(child), min, max);
+    }
+  }
+  return Corrupt("unknown regex node kind");
+}
+
+}  // namespace
+
+Result<RegexPtr> RegexCodec::Decode(common::ByteReader* r,
+                                    size_t alphabet_size) {
+  return DecodeRegexNode(r, alphabet_size, 0);
+}
+
+}  // namespace xmlreval::automata

@@ -1,0 +1,49 @@
+// Binary round-trips for automata: Dfa, ImmediateDfa, and Regex trees.
+//
+// Encoders append to a common::ByteWriter; decoders consume a
+// common::ByteReader and validate EVERYTHING they read — state counts,
+// start states, every transition target, class bytes — so a truncated or
+// bit-flipped plan artifact yields a clean kDataLoss error, never an
+// out-of-bounds table. Decoding with `borrow = true` hands the table bytes
+// of the reader's buffer straight to Dfa::FromExternal (zero-copy over an
+// mmap'd plan); the buffer must then outlive the decoded automaton.
+// Table sections are 8-byte aligned relative to the buffer start so the
+// borrowed uint32 views are naturally aligned.
+
+#ifndef XMLREVAL_AUTOMATA_DFA_SERIALIZE_H_
+#define XMLREVAL_AUTOMATA_DFA_SERIALIZE_H_
+
+#include "automata/dfa.h"
+#include "automata/immediate.h"
+#include "automata/regex.h"
+#include "common/result.h"
+#include "common/serde.h"
+
+namespace xmlreval::automata {
+
+class DfaCodec {
+ public:
+  static void Encode(const Dfa& dfa, common::ByteWriter* w);
+  /// `borrow`: alias the reader's buffer for the transition/accepting
+  /// tables instead of copying them (see header comment).
+  static Result<Dfa> Decode(common::ByteReader* r, bool borrow);
+};
+
+class ImmediateDfaCodec {
+ public:
+  static void Encode(const ImmediateDfa& dfa, common::ByteWriter* w);
+  static Result<ImmediateDfa> Decode(common::ByteReader* r, bool borrow);
+};
+
+class RegexCodec {
+ public:
+  static void Encode(const RegexPtr& regex, common::ByteWriter* w);
+  /// `alphabet_size` bounds symbol leaves. Rejects malformed kinds and
+  /// nesting deeper than an internal cap (corrupt input cannot recurse the
+  /// decoder off the stack).
+  static Result<RegexPtr> Decode(common::ByteReader* r, size_t alphabet_size);
+};
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_DFA_SERIALIZE_H_

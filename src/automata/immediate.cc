@@ -57,8 +57,8 @@ ImmediateRunResult ImmediateDfa::Run(std::span<const Symbol> input,
 
 size_t ImmediateDfa::CountClass(StateClass c) const {
   size_t n = 0;
-  for (StateClass cls : classes_) {
-    if (cls == c) ++n;
+  for (size_t q = 0; q < dfa_.num_states(); ++q) {
+    if (classes_[q] == c) ++n;
   }
   return n;
 }

@@ -67,16 +67,48 @@ class ImmediateDfa {
   StateClass Class(StateId q) const { return classes_[q]; }
   size_t CountClass(StateClass c) const;
 
+  /// Raw classification view, one byte per state (serialization).
+  const StateClass* classes_data() const { return classes_; }
+
   /// Pair encoding for FromPair-built automata (nb == 0 for FromSingle).
   const PairEncoding& pair_encoding() const { return encoding_; }
   bool is_pair() const { return encoding_.nb != 0; }
 
+  ImmediateDfa(const ImmediateDfa& other)
+      : dfa_(other.dfa_),
+        classes_store_(other.classes_store_),
+        encoding_(other.encoding_) {
+    classes_ = classes_store_.empty() ? other.classes_ : classes_store_.data();
+  }
+  ImmediateDfa& operator=(const ImmediateDfa& other) {
+    if (this == &other) return *this;
+    dfa_ = other.dfa_;
+    classes_store_ = other.classes_store_;
+    encoding_ = other.encoding_;
+    classes_ = classes_store_.empty() ? other.classes_ : classes_store_.data();
+    return *this;
+  }
+  // Vector moves keep the heap buffer, so the classes_ view stays valid.
+  ImmediateDfa(ImmediateDfa&&) noexcept = default;
+  ImmediateDfa& operator=(ImmediateDfa&&) noexcept = default;
+
  private:
+  friend class ImmediateDfaCodec;
+
   ImmediateDfa(Dfa dfa, std::vector<StateClass> classes, PairEncoding enc)
-      : dfa_(std::move(dfa)), classes_(std::move(classes)), encoding_(enc) {}
+      : dfa_(std::move(dfa)), classes_store_(std::move(classes)),
+        encoding_(enc) {
+    classes_ = classes_store_.data();
+  }
+  /// Borrowed-classification constructor (plan cache): `classes` aliases
+  /// caller-managed memory (one byte per state) that must outlive the
+  /// automaton and all its copies.
+  ImmediateDfa(Dfa dfa, const StateClass* classes, PairEncoding enc)
+      : dfa_(std::move(dfa)), classes_(classes), encoding_(enc) {}
 
   Dfa dfa_;
-  std::vector<StateClass> classes_;
+  std::vector<StateClass> classes_store_;  // empty when borrowed
+  const StateClass* classes_ = nullptr;
   PairEncoding encoding_{0};
 };
 

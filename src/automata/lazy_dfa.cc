@@ -1,0 +1,150 @@
+#include "automata/lazy_dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace xmlreval::automata {
+
+LazyDfa::LazyDfa(Nfa nfa) : nfa_(std::move(nfa)) {
+  // Seed the two fixed states. The sink (empty subset) gets its row
+  // immediately — all self-loops — so Step never expands it.
+  std::unique_lock lock(mu_);
+  StateId sink = InternLocked({});
+  std::vector<StateId> start(nfa_.start_states().begin(),
+                             nfa_.start_states().end());
+  std::sort(start.begin(), start.end());
+  start.erase(std::unique(start.begin(), start.end()), start.end());
+  // An NFA whose start set is empty has the sink as its start; intern
+  // order still assigns it id kStart so the id contract holds.
+  StateId start_id = InternLocked(std::move(start));
+  XMLREVAL_CHECK(sink == kSink && start_id == kStart,
+                 "lazy DFA seed states out of order");
+  rows_[kSink].assign(nfa_.alphabet_size(), kSink);
+  expanded_[kSink] = 1;
+}
+
+void LazyDfa::RestrictTo(std::vector<bool> allowed) {
+  std::unique_lock lock(mu_);
+  XMLREVAL_CHECK(subsets_.size() == 2 && !expanded_[kStart],
+                 "RestrictTo after expansion started");
+  allowed_ = std::move(allowed);
+}
+
+StateId LazyDfa::InternLocked(std::vector<StateId> subset) const {
+  auto it = subset_ids_.find(subset);
+  if (it != subset_ids_.end()) return it->second;
+  StateId id = static_cast<StateId>(subsets_.size());
+  bool accepting = false;
+  for (StateId n : subset) {
+    if (nfa_.IsAccepting(n)) {
+      accepting = true;
+      break;
+    }
+  }
+  subset_ids_.emplace(subset, id);
+  subsets_.push_back(std::move(subset));
+  rows_.emplace_back();
+  expanded_.push_back(0);
+  accepting_.push_back(accepting ? 1 : 0);
+  return id;
+}
+
+void LazyDfa::ExpandLocked(StateId state) const {
+  if (expanded_[state]) return;
+  const size_t k = nfa_.alphabet_size();
+  std::vector<StateId> row(k, kSink);
+  // Copy the subset: InternLocked may reallocate subsets_ mid-loop.
+  const std::vector<StateId> current = subsets_[state];
+  for (Symbol s = 0; s < k; ++s) {
+    if (!allowed_.empty() && (s >= allowed_.size() || !allowed_[s])) {
+      continue;  // pruned symbol → sink
+    }
+    std::vector<StateId> next;
+    for (StateId q : current) {
+      const std::vector<StateId>& targets = nfa_.Targets(q, s);
+      next.insert(next.end(), targets.begin(), targets.end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    row[s] = InternLocked(std::move(next));
+  }
+  rows_[state] = std::move(row);
+  expanded_[state] = 1;
+}
+
+StateId LazyDfa::Step(StateId state, Symbol symbol) const {
+  {
+    std::shared_lock lock(mu_);
+    if (expanded_[state]) return rows_[state][symbol];
+  }
+  std::unique_lock lock(mu_);
+  ExpandLocked(state);
+  return rows_[state][symbol];
+}
+
+bool LazyDfa::IsAccepting(StateId state) const {
+  std::shared_lock lock(mu_);
+  return accepting_[state] != 0;
+}
+
+size_t LazyDfa::num_expanded_states() const {
+  std::shared_lock lock(mu_);
+  return subsets_.size();
+}
+
+const Dfa& LazyDfa::Materialized() const {
+  std::call_once(materialize_once_, [this] {
+    std::unique_lock lock(mu_);
+    // Complete the construction: expand every discovered state until no
+    // unexpanded state remains (expansion discovers more states, so this
+    // is the standard worklist sweep — memoized rows are reused as-is).
+    for (size_t q = 0; q < subsets_.size(); ++q) {
+      ExpandLocked(static_cast<StateId>(q));
+    }
+    const size_t n = subsets_.size();
+    const size_t k = nfa_.alphabet_size();
+    Dfa dfa(n, k);
+    dfa.set_start_state(kStart);
+    for (StateId q = 0; q < n; ++q) {
+      for (Symbol s = 0; s < k; ++s) dfa.SetTransition(q, s, rows_[q][s]);
+      dfa.SetAccepting(q, accepting_[q] != 0);
+    }
+    materialized_ = dfa.Minimize();
+  });
+  return *materialized_;
+}
+
+bool LazyDfa::is_materialized() const {
+  std::shared_lock lock(mu_);
+  return materialized_.has_value();
+}
+
+bool NfaLanguageNonEmptyFiltered(const Nfa& nfa,
+                                 const std::vector<bool>& allowed) {
+  std::vector<bool> visited(nfa.num_states(), false);
+  std::deque<StateId> frontier;
+  for (StateId q : nfa.start_states()) {
+    if (!visited[q]) {
+      if (nfa.IsAccepting(q)) return true;  // ε is always over allowed
+      visited[q] = true;
+      frontier.push_back(q);
+    }
+  }
+  while (!frontier.empty()) {
+    StateId q = frontier.front();
+    frontier.pop_front();
+    for (const auto& [symbol, targets] : nfa.TransitionsFrom(q)) {
+      if (symbol < allowed.size() && !allowed[symbol]) continue;
+      for (StateId t : targets) {
+        if (visited[t]) continue;
+        if (nfa.IsAccepting(t)) return true;
+        visited[t] = true;
+        frontier.push_back(t);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace xmlreval::automata

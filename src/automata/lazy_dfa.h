@@ -1,0 +1,111 @@
+// Lazy subset construction: determinize a Glushkov NFA one state at a time.
+//
+// For content models over very large alphabets, eager subset construction
+// pays num_states × alphabet_size work and memory up front, even though a
+// typical document only ever drives the validator through a handful of
+// (state, symbol) pairs. A LazyDfa performs the same subset construction
+// but expands a state's transition row only when the validator first steps
+// out of that state; rows are memoized, so steady-state stepping is one
+// mutex-free row lookup away from eager-DFA speed.
+//
+// The construction is exactly DeterminizeNfa's: DFA states are interned
+// sorted subsets of NFA states, the empty subset is the (self-looping,
+// rejecting) sink, and a subset accepts iff it contains an accepting NFA
+// state. RestrictTo(allowed) composes the productivity prune of
+// SchemaBuilder into the expansion: symbols outside `allowed` lead every
+// state to the sink, which is equivalent to the eager prune-then-minimize
+// rewrite up to language (Materialized() minimizes, so equal too).
+//
+// Thread safety: Step/IsAccepting/Materialized may race freely; expansion
+// holds an internal mutex. Lazy state ids are interning order and are NOT
+// comparable with the minimized ids of Materialized() — callers hold one
+// kind or the other, never mix.
+
+#ifndef XMLREVAL_AUTOMATA_LAZY_DFA_H_
+#define XMLREVAL_AUTOMATA_LAZY_DFA_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace xmlreval::automata {
+
+class LazyDfa {
+ public:
+  explicit LazyDfa(Nfa nfa);
+
+  /// Routes every symbol with allowed[s] == false to the sink during
+  /// expansion (the productivity rewrite of §3). Must be called before the
+  /// first Step/Materialized; expanded rows are not retrofitted.
+  void RestrictTo(std::vector<bool> allowed);
+
+  size_t alphabet_size() const { return nfa_.alphabet_size(); }
+  StateId start_state() const { return kStart; }
+
+  /// The underlying NFA, for analyses that never need the determinized
+  /// table (e.g. NfaLanguageNonEmptyFiltered in the productivity fixpoint).
+  const Nfa& nfa() const { return nfa_; }
+
+  /// δ(state, symbol), expanding the row on first use. `symbol` must be
+  /// < alphabet_size(); `state` must have come from a previous Step or be
+  /// start_state().
+  StateId Step(StateId state, Symbol symbol) const;
+
+  bool IsAccepting(StateId state) const;
+  bool AcceptsEmpty() const { return IsAccepting(kStart); }
+
+  /// Number of subset states discovered so far (diagnostics / tests).
+  size_t num_expanded_states() const;
+
+  /// Completes the subset construction from whatever rows are already
+  /// memoized, minimizes, and caches the result; later calls are free.
+  /// This is the escape hatch for consumers that need a full table —
+  /// product constructions, relations fixpoints, serialization.
+  const Dfa& Materialized() const;
+
+  /// True once Materialized() has run (plan-save introspection).
+  bool is_materialized() const;
+
+ private:
+  static constexpr StateId kSink = 0;
+  static constexpr StateId kStart = 1;
+
+  // Interns a sorted deduplicated subset; requires lock held. May grow
+  // subsets_/rows_/accepting_.
+  StateId InternLocked(std::vector<StateId> subset) const;
+  // Expands the row for `state` if absent; requires exclusive lock held.
+  void ExpandLocked(StateId state) const;
+
+  Nfa nfa_;
+  std::vector<bool> allowed_;  // empty = all symbols allowed
+
+  mutable std::shared_mutex mu_;
+  // All mutable state below is guarded by mu_. Subsets are sorted unique
+  // NFA-state vectors; subset_ids_ maps them back to lazy ids.
+  mutable std::map<std::vector<StateId>, StateId> subset_ids_;
+  mutable std::vector<std::vector<StateId>> subsets_;
+  // rows_[q] is empty until expanded (alphabet_size entries afterwards);
+  // expanded_[q] distinguishes "unexpanded" from a legitimate row.
+  mutable std::vector<std::vector<StateId>> rows_;
+  mutable std::vector<uint8_t> expanded_;
+  mutable std::vector<uint8_t> accepting_;
+
+  mutable std::once_flag materialize_once_;
+  mutable std::optional<Dfa> materialized_;
+};
+
+/// BFS emptiness test directly on an NFA, restricted to `allowed` symbols:
+/// true iff some string over the allowed subset is accepted. The lazy
+/// counterpart of LanguageNonEmptyFiltered (which needs a full DFA).
+bool NfaLanguageNonEmptyFiltered(const Nfa& nfa,
+                                 const std::vector<bool>& allowed);
+
+}  // namespace xmlreval::automata
+
+#endif  // XMLREVAL_AUTOMATA_LAZY_DFA_H_

@@ -1,0 +1,157 @@
+// Little-endian binary serialization primitives for the plan cache.
+//
+// ByteWriter builds a byte buffer; ByteReader walks one with hard bounds
+// checking — any overrun or malformed field flips a sticky error flag and
+// every subsequent read returns a zero value, so decoders can run to
+// completion on corrupt input and test ok() once (no exceptions, no UB).
+// Raw() returns pointers INTO the reader's buffer, which is what lets the
+// plan loader hand mmap'd table bytes to Dfa::FromExternal without copying;
+// AlignTo keeps those tables naturally aligned relative to the buffer start
+// (the mmap base is page-aligned, so buffer-relative alignment suffices).
+//
+// The format is explicitly little-endian: writers memcpy host-order values
+// (every supported target is LE), and the plan header carries an endianness
+// tag so a big-endian reader rejects the artifact instead of mis-decoding.
+
+#ifndef XMLREVAL_COMMON_SERDE_H_
+#define XMLREVAL_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace xmlreval::common {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Append(&v, sizeof(v)); }
+  void U64(uint64_t v) { Append(&v, sizeof(v)); }
+  void I64(int64_t v) { Append(&v, sizeof(v)); }
+  void Bytes(const void* data, size_t n) { Append(data, n); }
+
+  /// u32 length prefix + raw bytes.
+  void String(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+
+  /// Pads with zero bytes until the buffer offset is a multiple of `a`.
+  void AlignTo(size_t a) {
+    while (buf_.size() % a != 0) buf_.push_back('\0');
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Append(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Extract(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Extract(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Extract(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Extract(&v, sizeof(v));
+    return v;
+  }
+
+  /// View of the next `n` raw bytes, or nullptr (error flagged) on overrun.
+  /// The pointer aliases the reader's buffer and stays valid as long as the
+  /// buffer does — for mmap-backed readers, as long as the mapping.
+  const uint8_t* Raw(size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return nullptr;
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Counterpart of ByteWriter::String. Empty view on error.
+  std::string_view String() {
+    uint32_t n = U32();
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void AlignTo(size_t a) {
+    while (ok_ && pos_ % a != 0) U8();
+  }
+
+  /// Sticky success flag; false after any overrun. Decoders may also call
+  /// Fail() when a decoded VALUE is out of range.
+  bool ok() const { return ok_; }
+  void Fail() { ok_ = false; }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+ private:
+  void Extract(void* out, size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a over a byte range — the plan payload checksum. Not cryptographic;
+/// it guards against truncation and bit rot, not adversaries.
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+inline uint64_t Fnv1a(const void* data, size_t n,
+                      uint64_t seed = kFnv1aOffset) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a(std::string_view s, uint64_t seed = kFnv1aOffset) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+}  // namespace xmlreval::common
+
+#endif  // XMLREVAL_COMMON_SERDE_H_

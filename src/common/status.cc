@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

@@ -35,6 +35,9 @@ enum class StatusCode : int {
   kUnsupported = 6,
   /// Internal invariant violation; indicates a bug in xmlreval itself.
   kInternal = 7,
+  /// Stored data (a plan-cache artifact) is truncated, corrupt, or written
+  /// by an incompatible format version. Always recoverable by recompiling.
+  kDataLoss = 8,
 };
 
 /// Returns the canonical lowercase name of a status code ("parse-error"...).
@@ -78,6 +81,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -80,8 +80,16 @@ struct FullValidator::Walk {
 
     // Complex content: text children must be ignorable whitespace; the
     // child-label string must be in L(regexp_τ); children recurse.
-    const automata::Dfa& dfa = schema.ContentDfa(type);
-    automata::StateId q = dfa.start_state();
+    // Lazily-determinized content models are stepped directly — each row
+    // expands on first use and never forces the full subset construction;
+    // eager models read the minimized table.
+    const automata::LazyDfa* lazy = schema.LazyContentDfa(type);
+    const automata::Dfa* dfa = lazy == nullptr ? &schema.ContentDfa(type)
+                                               : nullptr;
+    automata::StateId q =
+        lazy != nullptr ? lazy->start_state() : dfa->start_state();
+    const size_t sigma =
+        lazy != nullptr ? lazy->alphabet_size() : dfa->alphabet_size();
     uint32_t ordinal = 0;
     for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
          c = doc.next_sibling(c), ++ordinal) {
@@ -99,8 +107,7 @@ struct FullValidator::Walk {
         continue;
       }
       Symbol sym = SymbolOf(c);
-      if (sym >= dfa.alphabet_size() ||
-          schema.ChildType(type, sym) == kInvalidType) {
+      if (sym >= sigma || schema.ChildType(type, sym) == kInvalidType) {
         path.push_back(ordinal);
         Fail(StrCat("element '", doc.label(c),
                     "' not allowed by the content model of type '",
@@ -108,10 +115,10 @@ struct FullValidator::Walk {
         path.pop_back();
         return false;
       }
-      q = dfa.Next(q, sym);
+      q = lazy != nullptr ? lazy->Step(q, sym) : dfa->Next(q, sym);
       ++report.counters.dfa_steps;
     }
-    if (!dfa.IsAccepting(q)) {
+    if (lazy != nullptr ? !lazy->IsAccepting(q) : !dfa->IsAccepting(q)) {
       Fail(StrCat("children of '", doc.label(node),
                   "' do not match the content model of type '",
                   schema.TypeName(type), "'"));

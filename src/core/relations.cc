@@ -233,8 +233,18 @@ Result<TypeRelations> TypeRelations::Compute(const Schema* source,
     }
   }
 
+  rel.PackRelBits();
   rel.BuildDenseTables();
   return rel;
+}
+
+void TypeRelations::PackRelBits() {
+  rel_bits_.assign(sub_.size(), 0);
+  for (size_t i = 0; i < sub_.size(); ++i) {
+    rel_bits_[i] = (sub_[i] ? kSubsumedBit : 0) |
+                   (nondis_[i] ? kNonDisjointBit : 0);
+  }
+  rel_view_ = rel_bits_.data();
 }
 
 void TypeRelations::BuildDenseTables() {
@@ -251,22 +261,21 @@ void TypeRelations::BuildDenseTables() {
   for (const auto& [t, dfa] : reverse_single_automata_) {
     reverse_single_dense_[t] = &dfa;
   }
-  rel_bits_.assign(sub_.size(), 0);
-  for (size_t i = 0; i < sub_.size(); ++i) {
-    rel_bits_[i] = (sub_[i] ? kSubsumedBit : 0) |
-                   (nondis_[i] ? kNonDisjointBit : 0);
-  }
 }
 
 size_t TypeRelations::CountSubsumed() const {
   size_t n = 0;
-  for (bool b : sub_) n += b;
+  for (size_t i = 0, e = NumPairs(); i < e; ++i) {
+    n += (rel_view_[i] & kSubsumedBit) != 0;
+  }
   return n;
 }
 
 size_t TypeRelations::CountNonDisjoint() const {
   size_t n = 0;
-  for (bool b : nondis_) n += b;
+  for (size_t i = 0, e = NumPairs(); i < e; ++i) {
+    n += (rel_view_[i] & kNonDisjointBit) != 0;
+  }
   return n;
 }
 
@@ -276,7 +285,7 @@ bool TypeRelations::TargetAcceptsEmptyElement(TypeId t) const {
     return schema::ValidateSimpleValue(target_->simple_type(t), "").ok();
   }
   const schema::ComplexType& ct = target_->complex_type(t);
-  if (!ct.dfa || !ct.dfa->AcceptsEmpty()) return false;
+  if (!target_->ContentAcceptsEmpty(t)) return false;
   if (ct.open_attributes) return true;
   for (const auto& [name, decl] : ct.attributes) {
     if (decl.required) return false;

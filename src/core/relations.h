@@ -69,12 +69,12 @@ class TypeRelations {
   /// BuildDenseTables) so the validator's back-to-back Subsumed/Disjoint
   /// probes touch a single cache line entry, not two bit-vectors.
   bool Subsumed(TypeId s, TypeId t) const {
-    return (rel_bits_[Index(s, t)] & kSubsumedBit) != 0;
+    return (rel_view_[Index(s, t)] & kSubsumedBit) != 0;
   }
 
   /// τ ⊘ τ' — no tree is valid for both.
   bool Disjoint(TypeId s, TypeId t) const {
-    return (rel_bits_[Index(s, t)] & kNonDisjointBit) == 0;
+    return (rel_view_[Index(s, t)] & kNonDisjointBit) == 0;
   }
 
   /// c_immed for a complex (source, target) pair, or nullptr when the pair
@@ -135,14 +135,23 @@ class TypeRelations {
   TypeRelations& operator=(TypeRelations&&) = default;
 
  private:
+  friend class RelationsCodec;
+
   TypeRelations() = default;
 
   size_t Index(TypeId s, TypeId t) const { return s * num_target_ + t; }
+  size_t NumPairs() const { return source_->num_types() * num_target_; }
+
+  /// Packs the fixpoint working arrays sub_/nondis_ into rel_bits_ and
+  /// points rel_view_ at it. The plan-cache decoder skips this and aims
+  /// rel_view_ at the mmap'd bytes instead.
+  void PackRelBits();
 
   /// Fills the dense pointer tables below from the automata maps. Safe to
-  /// call once at the end of Compute(): unordered_map guarantees reference
-  /// stability, and moving the map (when the TypeRelations is returned or
-  /// cached) leaves its nodes in place, so the pointers survive.
+  /// call once at the end of Compute() (or decode): unordered_map
+  /// guarantees reference stability, and moving the map (when the
+  /// TypeRelations is returned or cached) leaves its nodes in place, so the
+  /// pointers survive.
   void BuildDenseTables();
 
   const Schema* source_ = nullptr;
@@ -154,7 +163,12 @@ class TypeRelations {
   // once stable.
   std::vector<bool> sub_;     // |T| x |T'|
   std::vector<bool> nondis_;  // |T| x |T'|
-  std::vector<uint8_t> rel_bits_;  // kSubsumedBit | kNonDisjointBit per pair
+  // kSubsumedBit | kNonDisjointBit per pair. rel_view_ is the hot read
+  // path: it aliases rel_bits_ for computed relations, or mmap'd
+  // plan-artifact bytes for loaded ones (rel_bits_ then stays empty).
+  // Vector moves keep the heap buffer, so the view survives moves.
+  std::vector<uint8_t> rel_bits_;
+  const uint8_t* rel_view_ = nullptr;
   std::vector<std::optional<automata::Dfa>> source_dfas_;
   std::vector<std::optional<automata::Dfa>> target_dfas_;
   std::unordered_map<size_t, automata::ImmediateDfa> pair_automata_;

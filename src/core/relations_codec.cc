@@ -1,0 +1,182 @@
+#include "core/relations_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa_serialize.h"
+
+namespace xmlreval::core {
+
+namespace {
+
+using automata::DfaCodec;
+using automata::ImmediateDfa;
+using automata::ImmediateDfaCodec;
+using common::ByteReader;
+using common::ByteWriter;
+
+Status Corrupt(const char* what) {
+  return Status::DataLoss(std::string("plan artifact: ") + what);
+}
+
+void EncodeOptionalDfas(
+    const std::vector<std::optional<automata::Dfa>>& dfas, ByteWriter* w) {
+  for (const auto& dfa : dfas) {
+    w->U8(dfa ? 1 : 0);
+    if (dfa) {
+      w->AlignTo(8);
+      DfaCodec::Encode(*dfa, w);
+    }
+  }
+  w->AlignTo(8);
+}
+
+Status DecodeOptionalDfas(ByteReader* r, size_t n, bool borrow,
+                          std::vector<std::optional<automata::Dfa>>* out) {
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t present = r->U8();
+    if (!r->ok() || present > 1) return Corrupt("malformed DFA table entry");
+    if (!present) continue;
+    r->AlignTo(8);
+    auto dfa = DfaCodec::Decode(r, borrow);
+    if (!dfa.ok()) return dfa.status();
+    (*out)[i] = std::move(dfa).value();
+  }
+  r->AlignTo(8);
+  return Status::OK();
+}
+
+// Keyed immediate-automaton maps, encoded in sorted key order so identical
+// relations produce identical bytes.
+template <typename Key>
+void EncodeImmediateMap(const std::unordered_map<Key, ImmediateDfa>& map,
+                        ByteWriter* w) {
+  std::vector<Key> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  w->U32(static_cast<uint32_t>(keys.size()));
+  for (Key k : keys) {
+    w->U64(static_cast<uint64_t>(k));
+    w->AlignTo(8);
+    ImmediateDfaCodec::Encode(map.at(k), w);
+  }
+  w->AlignTo(8);
+}
+
+template <typename Key>
+Status DecodeImmediateMap(ByteReader* r, uint64_t max_key, bool borrow,
+                          std::unordered_map<Key, ImmediateDfa>* out) {
+  uint32_t n = r->U32();
+  if (!r->ok() || n > r->remaining()) {
+    return Corrupt("implausible automaton count");
+  }
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t key = r->U64();
+    if (!r->ok() || key >= max_key) {
+      return Corrupt("automaton key out of range");
+    }
+    r->AlignTo(8);
+    auto dfa = ImmediateDfaCodec::Decode(r, borrow);
+    if (!dfa.ok()) return dfa.status();
+    if (!out->emplace(static_cast<Key>(key), std::move(dfa).value()).second) {
+      return Corrupt("duplicate automaton key");
+    }
+  }
+  r->AlignTo(8);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RelationsCodec::Encode(const TypeRelations& rel, ByteWriter* w) {
+  const size_t ns = rel.source_->num_types();
+  const size_t nt = rel.num_target_;
+  w->U32(static_cast<uint32_t>(ns));
+  w->U32(static_cast<uint32_t>(nt));
+  w->AlignTo(8);
+  w->Bytes(rel.rel_view_, ns * nt);
+  w->AlignTo(8);
+  EncodeOptionalDfas(rel.source_dfas_, w);
+  EncodeOptionalDfas(rel.target_dfas_, w);
+  EncodeImmediateMap(rel.pair_automata_, w);
+  EncodeImmediateMap(rel.single_automata_, w);
+  const bool reverse = !rel.reverse_source_dfas_.empty();
+  w->U8(reverse ? 1 : 0);
+  if (reverse) {
+    EncodeOptionalDfas(rel.reverse_source_dfas_, w);
+    EncodeImmediateMap(rel.reverse_pair_automata_, w);
+    EncodeImmediateMap(rel.reverse_single_automata_, w);
+  }
+  w->AlignTo(8);
+}
+
+Result<TypeRelations> RelationsCodec::Decode(ByteReader* r,
+                                             const Schema* source,
+                                             const Schema* target,
+                                             bool borrow) {
+  uint32_t ns = r->U32();
+  uint32_t nt = r->U32();
+  if (!r->ok()) return Corrupt("truncated relations header");
+  if (ns != source->num_types() || nt != target->num_types()) {
+    return Corrupt("relations shape does not match the schemas");
+  }
+  TypeRelations rel;
+  rel.source_ = source;
+  rel.target_ = target;
+  rel.num_target_ = nt;
+  r->AlignTo(8);
+  const size_t pairs = static_cast<size_t>(ns) * nt;
+  const uint8_t* bits = r->Raw(pairs);
+  if (!r->ok()) return Corrupt("truncated relation bits");
+  for (size_t i = 0; i < pairs; ++i) {
+    if (bits[i] > 3) return Corrupt("invalid relation bits");
+  }
+  if (borrow) {
+    rel.rel_view_ = bits;
+  } else {
+    rel.rel_bits_.resize(pairs);
+    std::memcpy(rel.rel_bits_.data(), bits, pairs);
+    rel.rel_view_ = rel.rel_bits_.data();
+  }
+  r->AlignTo(8);
+  RETURN_IF_ERROR(DecodeOptionalDfas(r, ns, borrow, &rel.source_dfas_));
+  RETURN_IF_ERROR(DecodeOptionalDfas(r, nt, borrow, &rel.target_dfas_));
+  RETURN_IF_ERROR(DecodeImmediateMap<size_t>(r, pairs, borrow,
+                                             &rel.pair_automata_));
+  RETURN_IF_ERROR(
+      DecodeImmediateMap<TypeId>(r, nt, borrow, &rel.single_automata_));
+  uint8_t reverse = r->U8();
+  if (!r->ok() || reverse > 1) return Corrupt("malformed reverse flag");
+  if (reverse) {
+    RETURN_IF_ERROR(
+        DecodeOptionalDfas(r, ns, borrow, &rel.reverse_source_dfas_));
+    RETURN_IF_ERROR(DecodeImmediateMap<size_t>(r, pairs, borrow,
+                                               &rel.reverse_pair_automata_));
+    RETURN_IF_ERROR(DecodeImmediateMap<TypeId>(
+        r, nt, borrow, &rel.reverse_single_automata_));
+  }
+  r->AlignTo(8);
+  if (!r->ok()) return Corrupt("truncated relations");
+  // The optional-DFA presence flags must line up with the schemas: the
+  // validators index these tables by every complex TypeId unconditionally.
+  for (TypeId s = 0; s < ns; ++s) {
+    if (source->IsComplex(s) != rel.source_dfas_[s].has_value()) {
+      return Corrupt("source DFA table does not match the schema");
+    }
+  }
+  for (TypeId t = 0; t < nt; ++t) {
+    if (target->IsComplex(t) != rel.target_dfas_[t].has_value()) {
+      return Corrupt("target DFA table does not match the schema");
+    }
+  }
+  rel.BuildDenseTables();
+  return rel;
+}
+
+}  // namespace xmlreval::core

@@ -1,0 +1,36 @@
+// Binary round-trip for TypeRelations (the plan-cache payload).
+//
+// Encodes the packed R_sub/R_nondis byte table, the padded source/target
+// content DFAs, and every prebuilt immediate decision automaton (c_immed /
+// b_immed, forward and reverse). Decode(borrow = true) aliases the relation
+// bytes and all DFA tables in the reader's buffer — with an mmap'd plan,
+// the cast validator's per-node Subsumed/Disjoint probes and automaton
+// steps read the file's pages directly.
+//
+// The decoded TypeRelations points at the caller's source/target Schema
+// objects, which must outlive it (the plan loader keeps everything alive
+// in one artifact bundle — see service/plan_cache.h).
+
+#ifndef XMLREVAL_CORE_RELATIONS_CODEC_H_
+#define XMLREVAL_CORE_RELATIONS_CODEC_H_
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "core/relations.h"
+
+namespace xmlreval::core {
+
+class RelationsCodec {
+ public:
+  static void Encode(const TypeRelations& rel, common::ByteWriter* w);
+
+  /// `source`/`target` are the decoded schemas of the same plan; the
+  /// type counts in the artifact are validated against them.
+  static Result<TypeRelations> Decode(common::ByteReader* r,
+                                      const Schema* source,
+                                      const Schema* target, bool borrow);
+};
+
+}  // namespace xmlreval::core
+
+#endif  // XMLREVAL_CORE_RELATIONS_CODEC_H_

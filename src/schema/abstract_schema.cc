@@ -1,5 +1,6 @@
 #include "schema/abstract_schema.h"
 
+#include "automata/glushkov.h"
 #include "automata/product.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -215,7 +216,32 @@ Result<Schema> SchemaBuilder::Build(const BuildOptions& options) {
             "' appears in the content model but has no child type (types_τ)");
       }
     }
-    if (ct.content_model) {
+    bool lazy = options.lazy_dfa_min_alphabet != 0 &&
+                alphabet_size >= options.lazy_dfa_min_alphabet &&
+                ct.content_model != nullptr;
+    if (lazy) {
+      // Large alphabet: keep the Glushkov NFA and defer subset
+      // construction to first use (automata/lazy_dfa.h). The determinism
+      // check is on the expression, so it needs no DFA.
+      Result<automata::RegexPtr> expanded =
+          automata::ExpandRepeats(ct.content_model);
+      if (!expanded.ok()) {
+        return expanded.status().WithContext("type '" + s.TypeName(t) + "'");
+      }
+      Result<automata::GlushkovResult> glushkov =
+          automata::BuildGlushkov(*expanded, alphabet_size);
+      if (!glushkov.ok()) {
+        return glushkov.status().WithContext("type '" + s.TypeName(t) + "'");
+      }
+      if (options.require_deterministic && !glushkov->one_unambiguous) {
+        return Status::InvalidSchema(
+            "type '" + s.TypeName(t) +
+            "': content model is not deterministic (violates unique "
+            "particle attribution)");
+      }
+      ct.lazy_dfa = std::make_shared<automata::LazyDfa>(
+          std::move(glushkov->nfa));
+    } else if (ct.content_model) {
       Result<automata::Dfa> dfa =
           automata::CompileRegex(ct.content_model, alphabet_size,
                                  options.require_deterministic);
@@ -246,7 +272,11 @@ Result<Schema> SchemaBuilder::Build(const BuildOptions& options) {
       for (const auto& [sym, child] : ct.child_types) {
         if (s.productive_[child]) allowed[sym] = true;
       }
-      if (automata::LanguageNonEmptyFiltered(*ct.dfa, allowed)) {
+      bool nonempty =
+          ct.dfa ? automata::LanguageNonEmptyFiltered(*ct.dfa, allowed)
+                 : automata::NfaLanguageNonEmptyFiltered(ct.lazy_dfa->nfa(),
+                                                         allowed);
+      if (nonempty) {
         s.productive_[t] = true;
         changed = true;
       }
@@ -266,6 +296,19 @@ Result<Schema> SchemaBuilder::Build(const BuildOptions& options) {
         if (s.productive_[child]) {
           allowed[sym] = true;
         }
+      }
+      if (ct.lazy_dfa) {
+        // The lazy rewrite: disallowed symbols route to the sink during
+        // row expansion. Symbols outside Σ_τ have no NFA transitions and
+        // land in the sink either way, so one mask covers both cases.
+        for (const auto& [sym, child] : ct.child_types) {
+          if (!s.productive_[child]) {
+            any_disallowed = true;
+            break;
+          }
+        }
+        if (any_disallowed) ct.lazy_dfa->RestrictTo(std::move(allowed));
+        continue;
       }
       const automata::Dfa& old = *ct.dfa;
       for (automata::StateId q = 0; q < old.num_states() && !any_disallowed;

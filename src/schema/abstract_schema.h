@@ -28,6 +28,7 @@
 
 #include "automata/alphabet.h"
 #include "automata/dfa.h"
+#include "automata/lazy_dfa.h"
 #include "automata/regex.h"
 #include "common/result.h"
 #include "schema/simple_types.h"
@@ -58,7 +59,14 @@ struct ComplexType {
   /// Compiled, minimized, complete DFA for L(regexp_τ) over the full shared
   /// alphabet (labels outside Σ_τ lead to a rejecting sink). After the
   /// productivity rewrite this recognizes L(regexp_τ) ∩ ProdLabels_τ*.
+  /// Unset when the type compiled lazily — see `lazy_dfa`.
   std::optional<automata::Dfa> dfa;
+  /// Lazily-determinized content model, used instead of `dfa` when the
+  /// builder ran with lazy_dfa_min_alphabet and the alphabet crossed the
+  /// threshold. Shared so Schema copies reuse one memoized construction;
+  /// consumers needing a full table call Schema::ContentDfa, which
+  /// materializes (and minimizes) on first use.
+  std::shared_ptr<automata::LazyDfa> lazy_dfa;
   /// types_τ : Σ_τ → T.
   std::unordered_map<Symbol, TypeId> child_types;
   /// Dense types_τ table filled by SchemaBuilder::Build(): indexed by
@@ -101,8 +109,26 @@ class Schema {
   const SimpleType& simple_type(TypeId t) const { return *simple_[t]; }
   const ComplexType& complex_type(TypeId t) const { return complex_[t]; }
 
-  /// The compiled content-model DFA of a complex type.
-  const automata::Dfa& ContentDfa(TypeId t) const { return *complex_[t].dfa; }
+  /// The compiled content-model DFA of a complex type. For lazily-compiled
+  /// types this forces (and memoizes) full determinization + minimization.
+  const automata::Dfa& ContentDfa(TypeId t) const {
+    const ComplexType& ct = complex_[t];
+    return ct.dfa ? *ct.dfa : ct.lazy_dfa->Materialized();
+  }
+
+  /// The lazy content model of a complex type, or nullptr when the type was
+  /// compiled eagerly. Validators step this directly (never materializing)
+  /// when present.
+  const automata::LazyDfa* LazyContentDfa(TypeId t) const {
+    return complex_[t].lazy_dfa.get();
+  }
+
+  /// ε ∈ L(regexp_τ)? Cheap for both eager and lazy types (never forces
+  /// materialization).
+  bool ContentAcceptsEmpty(TypeId t) const {
+    const ComplexType& ct = complex_[t];
+    return ct.dfa ? ct.dfa->AcceptsEmpty() : ct.lazy_dfa->AcceptsEmpty();
+  }
 
   /// types_τ(σ), or kInvalidType when σ ∉ Σ_τ. A dense array read — the
   /// validators call this once per element visit.
@@ -123,6 +149,7 @@ class Schema {
 
  private:
   friend class SchemaBuilder;
+  friend class SchemaCodec;
 
   std::shared_ptr<Alphabet> alphabet_;
   std::vector<std::string> names_;
@@ -183,6 +210,12 @@ class SchemaBuilder {
     /// Apply the §3 rewrite restricting each content model to productive
     /// labels. When off, non-productive types are only flagged.
     bool prune_nonproductive = true;
+    /// When non-zero and the shared alphabet has at least this many symbols
+    /// at Build() time, regex content models are determinized LAZILY: the
+    /// Glushkov NFA is kept and subset-construction rows are expanded only
+    /// as the validator reaches them (automata/lazy_dfa.h). 0 disables.
+    /// Preset-DFA content models (<all> groups) always compile eagerly.
+    size_t lazy_dfa_min_alphabet = 0;
   };
 
   /// Validates the declarations, compiles all content models, runs the

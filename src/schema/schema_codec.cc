@@ -1,0 +1,278 @@
+#include "schema/schema_codec.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa_serialize.h"
+
+namespace xmlreval::schema {
+
+namespace {
+
+using automata::DfaCodec;
+using automata::RegexCodec;
+using common::ByteReader;
+using common::ByteWriter;
+
+Status Corrupt(const char* what) {
+  return Status::DataLoss(std::string("plan artifact: ") + what);
+}
+
+// Facets: presence bitmask, then the present values in field order.
+enum FacetBit : uint8_t {
+  kMinInclusive = 1u << 0,
+  kMaxInclusive = 1u << 1,
+  kMinExclusive = 1u << 2,
+  kMaxExclusive = 1u << 3,
+  kLength = 1u << 4,
+  kMinLength = 1u << 5,
+  kMaxLength = 1u << 6,
+};
+
+void EncodeSimpleType(const SimpleType& t, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(t.kind));
+  const Facets& f = t.facets;
+  uint8_t bits = 0;
+  if (f.min_inclusive) bits |= kMinInclusive;
+  if (f.max_inclusive) bits |= kMaxInclusive;
+  if (f.min_exclusive) bits |= kMinExclusive;
+  if (f.max_exclusive) bits |= kMaxExclusive;
+  if (f.length) bits |= kLength;
+  if (f.min_length) bits |= kMinLength;
+  if (f.max_length) bits |= kMaxLength;
+  w->U8(bits);
+  if (f.min_inclusive) w->I64(*f.min_inclusive);
+  if (f.max_inclusive) w->I64(*f.max_inclusive);
+  if (f.min_exclusive) w->I64(*f.min_exclusive);
+  if (f.max_exclusive) w->I64(*f.max_exclusive);
+  if (f.length) w->U32(*f.length);
+  if (f.min_length) w->U32(*f.min_length);
+  if (f.max_length) w->U32(*f.max_length);
+  w->U32(static_cast<uint32_t>(f.enumeration.size()));
+  for (const std::string& v : f.enumeration) w->String(v);
+}
+
+Result<SimpleType> DecodeSimpleType(ByteReader* r) {
+  SimpleType t;
+  uint8_t kind = r->U8();
+  if (!r->ok() || kind > static_cast<uint8_t>(AtomicKind::kDate)) {
+    return Corrupt("invalid atomic kind");
+  }
+  t.kind = static_cast<AtomicKind>(kind);
+  uint8_t bits = r->U8();
+  Facets& f = t.facets;
+  if (bits & kMinInclusive) f.min_inclusive = r->I64();
+  if (bits & kMaxInclusive) f.max_inclusive = r->I64();
+  if (bits & kMinExclusive) f.min_exclusive = r->I64();
+  if (bits & kMaxExclusive) f.max_exclusive = r->I64();
+  if (bits & kLength) f.length = r->U32();
+  if (bits & kMinLength) f.min_length = r->U32();
+  if (bits & kMaxLength) f.max_length = r->U32();
+  uint32_t n_enum = r->U32();
+  if (!r->ok() || n_enum > r->remaining()) {
+    return Corrupt("truncated simple type");
+  }
+  f.enumeration.reserve(n_enum);
+  for (uint32_t i = 0; i < n_enum; ++i) {
+    f.enumeration.emplace_back(r->String());
+  }
+  if (!r->ok()) return Corrupt("truncated enumeration facet");
+  return t;
+}
+
+}  // namespace
+
+void SchemaCodec::Encode(const Schema& schema, ByteWriter* w) {
+  const size_t n = schema.num_types();
+  w->U32(static_cast<uint32_t>(n));
+  for (TypeId t = 0; t < n; ++t) {
+    w->String(schema.TypeName(t));
+    if (schema.IsSimple(t)) {
+      w->U8(0);
+      EncodeSimpleType(schema.simple_type(t), w);
+      continue;
+    }
+    w->U8(1);
+    const ComplexType& ct = schema.complex_type(t);
+    w->U8(ct.content_model ? 1 : 0);
+    if (ct.content_model) RegexCodec::Encode(ct.content_model, w);
+    // ContentDfa materializes lazily-compiled types, so the plan always
+    // carries the full minimized table.
+    w->AlignTo(8);
+    DfaCodec::Encode(schema.ContentDfa(t), w);
+    // Hash maps iterate in unspecified order; sort so identical schemas
+    // encode to identical bytes (plan files are content-comparable).
+    std::vector<std::pair<Symbol, TypeId>> children(ct.child_types.begin(),
+                                                    ct.child_types.end());
+    std::sort(children.begin(), children.end());
+    w->U32(static_cast<uint32_t>(children.size()));
+    for (const auto& [sym, child] : children) {
+      w->U32(sym);
+      w->U32(child);
+    }
+    w->U32(static_cast<uint32_t>(ct.child_types_dense.size()));
+    w->AlignTo(8);
+    w->Bytes(ct.child_types_dense.data(),
+             ct.child_types_dense.size() * sizeof(TypeId));
+    w->U32(static_cast<uint32_t>(ct.preset_symbols.size()));
+    for (Symbol s : ct.preset_symbols) w->U32(s);
+    std::vector<const std::string*> attr_names;
+    attr_names.reserve(ct.attributes.size());
+    for (const auto& [name, decl] : ct.attributes) attr_names.push_back(&name);
+    std::sort(attr_names.begin(), attr_names.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    w->U32(static_cast<uint32_t>(attr_names.size()));
+    for (const std::string* name : attr_names) {
+      const AttributeDecl& decl = ct.attributes.at(*name);
+      w->String(*name);
+      EncodeSimpleType(decl.type, w);
+      w->U8(decl.required ? 1 : 0);
+      w->U8(decl.fixed ? 1 : 0);
+      if (decl.fixed) w->String(*decl.fixed);
+    }
+    w->U8(ct.open_attributes ? 1 : 0);
+  }
+  std::vector<std::pair<Symbol, TypeId>> roots(schema.roots().begin(),
+                                               schema.roots().end());
+  std::sort(roots.begin(), roots.end());
+  w->U32(static_cast<uint32_t>(roots.size()));
+  for (const auto& [sym, t] : roots) {
+    w->U32(sym);
+    w->U32(t);
+  }
+  for (TypeId t = 0; t < n; ++t) w->U8(schema.IsProductive(t) ? 1 : 0);
+  w->AlignTo(8);
+}
+
+Result<Schema> SchemaCodec::Decode(ByteReader* r,
+                                   std::shared_ptr<Alphabet> alphabet,
+                                   bool borrow) {
+  const size_t alphabet_size = alphabet->size();
+  Schema schema;
+  schema.alphabet_ = std::move(alphabet);
+
+  uint32_t n = r->U32();
+  if (!r->ok() || n > r->remaining()) return Corrupt("implausible type count");
+  schema.names_.reserve(n);
+  schema.simple_.reserve(n);
+  schema.complex_.reserve(n);
+  for (TypeId t = 0; t < n; ++t) {
+    std::string name(r->String());
+    uint8_t tag = r->U8();
+    if (!r->ok() || tag > 1 || name.empty()) {
+      return Corrupt("malformed type record");
+    }
+    if (!schema.types_by_name_.emplace(name, t).second) {
+      return Corrupt("duplicate type name");
+    }
+    schema.names_.push_back(std::move(name));
+    schema.simple_.emplace_back();
+    schema.complex_.emplace_back();
+    if (tag == 0) {
+      ASSIGN_OR_RETURN(SimpleType st, DecodeSimpleType(r));
+      schema.simple_[t] = std::move(st);
+      continue;
+    }
+    ComplexType& ct = schema.complex_[t];
+    uint8_t has_regex = r->U8();
+    if (!r->ok() || has_regex > 1) return Corrupt("malformed content model");
+    if (has_regex) {
+      ASSIGN_OR_RETURN(ct.content_model, RegexCodec::Decode(r, alphabet_size));
+    }
+    r->AlignTo(8);
+    ASSIGN_OR_RETURN(automata::Dfa dfa, DfaCodec::Decode(r, borrow));
+    if (dfa.alphabet_size() > alphabet_size) {
+      return Corrupt("content DFA wider than the alphabet");
+    }
+    ct.dfa = std::move(dfa);
+    uint32_t n_children = r->U32();
+    if (!r->ok() || n_children > r->remaining() / 8) {
+      return Corrupt("truncated child typing");
+    }
+    for (uint32_t i = 0; i < n_children; ++i) {
+      Symbol sym = r->U32();
+      TypeId child = r->U32();
+      if (!r->ok() || sym >= alphabet_size || child >= n) {
+        return Corrupt("child typing out of range");
+      }
+      ct.child_types.emplace(sym, child);
+    }
+    uint32_t dense_size = r->U32();
+    if (!r->ok() || dense_size > alphabet_size) {
+      return Corrupt("implausible dense child table");
+    }
+    r->AlignTo(8);
+    const uint8_t* dense_raw = r->Raw(dense_size * sizeof(TypeId));
+    if (!r->ok()) return Corrupt("truncated dense child table");
+    ct.child_types_dense.resize(dense_size);
+    std::memcpy(ct.child_types_dense.data(), dense_raw,
+                dense_size * sizeof(TypeId));
+    for (TypeId id : ct.child_types_dense) {
+      if (id != kInvalidType && id >= n) {
+        return Corrupt("dense child type out of range");
+      }
+    }
+    uint32_t n_preset = r->U32();
+    if (!r->ok() || n_preset > alphabet_size) {
+      return Corrupt("implausible preset symbol list");
+    }
+    for (uint32_t i = 0; i < n_preset; ++i) {
+      Symbol s = r->U32();
+      if (!r->ok() || s >= alphabet_size) {
+        return Corrupt("preset symbol out of range");
+      }
+      ct.preset_symbols.push_back(s);
+    }
+    uint32_t n_attrs = r->U32();
+    if (!r->ok() || n_attrs > r->remaining()) {
+      return Corrupt("truncated attribute list");
+    }
+    for (uint32_t i = 0; i < n_attrs; ++i) {
+      std::string attr_name(r->String());
+      ASSIGN_OR_RETURN(SimpleType attr_type, DecodeSimpleType(r));
+      uint8_t required = r->U8();
+      uint8_t has_fixed = r->U8();
+      if (!r->ok() || required > 1 || has_fixed > 1 || attr_name.empty()) {
+        return Corrupt("malformed attribute record");
+      }
+      AttributeDecl decl{std::move(attr_type), required != 0, std::nullopt};
+      if (has_fixed) {
+        decl.fixed = std::string(r->String());
+        if (!r->ok()) return Corrupt("truncated attribute record");
+      }
+      if (!ct.attributes.emplace(std::move(attr_name), std::move(decl))
+               .second) {
+        return Corrupt("duplicate attribute");
+      }
+    }
+    uint8_t open = r->U8();
+    if (!r->ok() || open > 1) return Corrupt("malformed attribute policy");
+    ct.open_attributes = open != 0;
+  }
+
+  uint32_t n_roots = r->U32();
+  if (!r->ok() || n_roots > r->remaining() / 8) {
+    return Corrupt("truncated root map");
+  }
+  for (uint32_t i = 0; i < n_roots; ++i) {
+    Symbol sym = r->U32();
+    TypeId t = r->U32();
+    if (!r->ok() || sym >= alphabet_size || t >= n) {
+      return Corrupt("root mapping out of range");
+    }
+    schema.roots_.emplace(sym, t);
+  }
+  schema.productive_.resize(n);
+  for (TypeId t = 0; t < n; ++t) {
+    uint8_t p = r->U8();
+    if (!r->ok() || p > 1) return Corrupt("malformed productivity flags");
+    schema.productive_[t] = p != 0;
+  }
+  r->AlignTo(8);
+  if (!r->ok()) return Corrupt("truncated schema");
+  return schema;
+}
+
+}  // namespace xmlreval::schema

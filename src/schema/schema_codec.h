@@ -1,0 +1,43 @@
+// Binary round-trip for compiled schemas (the plan-cache payload).
+//
+// Encodes a BUILT Schema — names, simple types with facets, complex types
+// with their compiled content-model DFAs, child typings, attributes, roots,
+// productivity flags — against an alphabet that is serialized separately at
+// the plan level (source and target schemas of a cast share one Alphabet,
+// and the plan encodes it once). Lazily-determinized content models are
+// materialized by Encode, so a warm-started process gets the full minimized
+// table for free.
+//
+// Decode(borrow = true) aliases the DFA transition tables in the reader's
+// buffer (mmap zero-copy); everything else — name maps, child typings,
+// facets — is rebuilt as owned memory, since those are cold, small, and
+// pointer-rich. All ids and symbols are validated against the decoded
+// counts, so corrupt artifacts fail with kDataLoss instead of loading
+// garbage.
+
+#ifndef XMLREVAL_SCHEMA_SCHEMA_CODEC_H_
+#define XMLREVAL_SCHEMA_SCHEMA_CODEC_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::schema {
+
+class SchemaCodec {
+ public:
+  static void Encode(const Schema& schema, common::ByteWriter* w);
+
+  /// `alphabet` is the already-decoded shared alphabet of the plan; symbol
+  /// fields are validated against its size. See header comment for
+  /// `borrow`.
+  static Result<Schema> Decode(common::ByteReader* r,
+                               std::shared_ptr<Alphabet> alphabet,
+                               bool borrow);
+};
+
+}  // namespace xmlreval::schema
+
+#endif  // XMLREVAL_SCHEMA_SCHEMA_CODEC_H_

@@ -1,0 +1,383 @@
+#include "service/plan_cache.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <utility>
+
+#include "analysis/analyzer_codec.h"
+#include "common/macros.h"
+#include "common/serde.h"
+#include "core/relations_codec.h"
+#include "schema/schema_codec.h"
+
+namespace xmlreval::service {
+
+namespace {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+// "XRVLPLAN" read as a little-endian u64.
+constexpr uint64_t kPlanMagic = 0x4e414c504c565258ull;
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr size_t kHeaderSize = 48;
+constexpr uint32_t kFlagHasAnalyzer = 1u << 0;
+constexpr uint32_t kFlagReverse = 1u << 1;
+// A plan artifact larger than this is implausible and rejected before any
+// decode work (guards mmap of a corrupt multi-terabyte sparse file).
+constexpr uint64_t kMaxPlanBytes = 1ull << 34;  // 16 GiB
+
+Status Corrupt(const char* what) {
+  return Status::DataLoss(std::string("plan artifact: ") + what);
+}
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::Internal(std::string(what) + " '" + path +
+                          "': " + std::strerror(errno));
+}
+
+std::string HashHex(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* SchemaFormatName(SchemaFormat format) {
+  switch (format) {
+    case SchemaFormat::kXsd:
+      return "xsd";
+    case SchemaFormat::kDtd:
+      return "dtd";
+  }
+  return "unknown";
+}
+
+uint64_t PlanContentHash(const PlanKey& key) {
+  // Length-prefix each field so concatenation ambiguity cannot collide
+  // distinct keys. The format version participates: bumping it silently
+  // retires every existing artifact (the invalidation rule).
+  ByteWriter w;
+  w.U32(kPlanFormatVersion);
+  w.U8(static_cast<uint8_t>(key.source_format));
+  w.String(key.source_text);
+  w.U8(static_cast<uint8_t>(key.target_format));
+  w.String(key.target_text);
+  w.U8(key.reverse_automata ? 1 : 0);
+  return common::Fnv1a(w.buffer());
+}
+
+// ---------------------------------------------------------------- MappedPlan
+
+Result<MappedPlan> MappedPlan::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no plan artifact at '" + path + "'");
+    }
+    return Errno("cannot open plan", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("cannot stat plan", path);
+  }
+  if (st.st_size <= 0 || static_cast<uint64_t>(st.st_size) > kMaxPlanBytes) {
+    ::close(fd);
+    return Corrupt("implausible file size");
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                     MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the fd is done.
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Errno("cannot mmap plan", path);
+  }
+  MappedPlan plan;
+  plan.data_ = static_cast<const uint8_t*>(map);
+  plan.size_ = static_cast<size_t>(st.st_size);
+  return plan;
+}
+
+MappedPlan& MappedPlan::operator=(MappedPlan&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedPlan::~MappedPlan() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+// ------------------------------------------------------------ ScopedPlanLock
+
+ScopedPlanLock& ScopedPlanLock::operator=(ScopedPlanLock&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);  // close releases the flock
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+ScopedPlanLock::~ScopedPlanLock() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+// --------------------------------------------------------------- PlanCache
+
+PlanCache::PlanCache(std::string dir, obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)) {
+  XMLREVAL_CHECK(metrics != nullptr, "PlanCache requires a metrics registry");
+  ::mkdir(dir_.c_str(), 0777);  // EEXIST is fine; real failures surface on use
+  hits_ = metrics->counter("xmlreval_plan_cache_hits_total");
+  misses_ = metrics->counter("xmlreval_plan_cache_misses_total");
+  corrupt_ = metrics->counter("xmlreval_plan_cache_corrupt_total");
+  saves_ = metrics->counter("xmlreval_plan_cache_saves_total");
+  bypass_ = metrics->counter("xmlreval_plan_cache_bypass_total");
+  load_ns_ = metrics->histogram("xmlreval_plan_cache_load_ns");
+  compile_ns_ = metrics->histogram("xmlreval_plan_cache_compile_ns");
+  bytes_mapped_ = metrics->gauge("xmlreval_plan_cache_bytes_mapped");
+}
+
+std::string PlanCache::PlanPath(const PlanKey& key) const {
+  return dir_ + "/plan_" + HashHex(PlanContentHash(key)) + ".xrp";
+}
+
+std::string PlanCache::LockPath(const PlanKey& key) const {
+  return dir_ + "/plan_" + HashHex(PlanContentHash(key)) + ".lock";
+}
+
+namespace {
+
+/// Header check + payload decode, separated from Load so corruption exits
+/// funnel through one place. On success `*out` is fully populated.
+Result<PlanBundle> DecodePlan(MappedPlan mapping, uint64_t expected_hash) {
+  if (mapping.size() < kHeaderSize) return Corrupt("shorter than the header");
+  ByteReader header(mapping.data(), kHeaderSize);
+  if (header.U64() != kPlanMagic) return Corrupt("bad magic");
+  if (header.U32() != kEndianTag) return Corrupt("wrong endianness");
+  if (header.U32() != kPlanFormatVersion) {
+    return Corrupt("format version mismatch");
+  }
+  if (header.U64() != expected_hash) return Corrupt("content hash mismatch");
+  uint32_t flags = header.U32();
+  header.U32();  // reserved
+  uint64_t payload_size = header.U64();
+  uint64_t payload_sum = header.U64();
+  if (payload_size != mapping.size() - kHeaderSize) {
+    return Corrupt("payload size mismatch (truncated?)");
+  }
+  const uint8_t* payload = mapping.data() + kHeaderSize;
+  if (common::Fnv1a(payload, payload_size) != payload_sum) {
+    return Corrupt("checksum mismatch");
+  }
+
+  ByteReader r(payload, payload_size);
+  // Alphabet: names in id order.
+  uint32_t n_symbols = r.U32();
+  if (!r.ok() || n_symbols > r.remaining()) {
+    return Corrupt("implausible alphabet");
+  }
+  auto alphabet = std::make_shared<automata::Alphabet>();
+  for (uint32_t i = 0; i < n_symbols; ++i) {
+    std::string_view name = r.String();
+    if (!r.ok() || name.empty()) return Corrupt("malformed alphabet entry");
+    if (alphabet->Intern(name) != i) return Corrupt("duplicate alphabet entry");
+  }
+  r.AlignTo(8);
+
+  // The holder gives the borrowed views stable addresses: schemas and
+  // relations are decoded directly into it, and the shared_ptrs handed out
+  // below alias it.
+  auto holder = std::make_shared<PlanArtifacts>();
+  holder->mapping = std::move(mapping);
+  holder->alphabet = alphabet;
+  {
+    ASSIGN_OR_RETURN(schema::Schema s,
+                     schema::SchemaCodec::Decode(&r, alphabet, true));
+    holder->source.emplace(std::move(s));
+  }
+  {
+    ASSIGN_OR_RETURN(schema::Schema t,
+                     schema::SchemaCodec::Decode(&r, alphabet, true));
+    holder->target.emplace(std::move(t));
+  }
+  {
+    ASSIGN_OR_RETURN(core::TypeRelations rel,
+                     core::RelationsCodec::Decode(&r, &*holder->source,
+                                                  &*holder->target, true));
+    holder->relations.emplace(std::move(rel));
+  }
+
+  PlanBundle bundle;
+  bundle.alphabet = alphabet;
+  bundle.source =
+      std::shared_ptr<const schema::Schema>(holder, &*holder->source);
+  bundle.target =
+      std::shared_ptr<const schema::Schema>(holder, &*holder->target);
+  bundle.relations = std::shared_ptr<const core::TypeRelations>(
+      holder, &*holder->relations);
+  bundle.bytes_mapped = holder->mapping.size();
+
+  uint8_t has_analyzer = r.U8();
+  if (!r.ok() || has_analyzer > 1 ||
+      (has_analyzer != 0) != ((flags & kFlagHasAnalyzer) != 0)) {
+    return Corrupt("analyzer flag mismatch");
+  }
+  if (has_analyzer) {
+    r.AlignTo(8);
+    // The analyzer lives OUTSIDE the holder: its relations_ member aliases
+    // the holder, which would be a reference cycle if the holder also
+    // owned the analyzer.
+    ASSIGN_OR_RETURN(analysis::UpdateAnalyzer analyzer,
+                     analysis::AnalyzerCodec::Decode(&r, bundle.relations));
+    bundle.analyzer = std::make_shared<const analysis::UpdateAnalyzer>(
+        std::move(analyzer));
+  }
+  r.AlignTo(8);
+  if (!r.ok() || r.remaining() != 0) return Corrupt("trailing payload bytes");
+  (void)flags;
+  return bundle;
+}
+
+uint64_t NowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+Result<PlanBundle> PlanCache::Load(const PlanKey& key) {
+  const uint64_t start = NowNs();
+  const std::string path = PlanPath(key);
+  Result<MappedPlan> mapping = MappedPlan::Open(path);
+  if (!mapping.ok()) {
+    if (mapping.status().code() == StatusCode::kNotFound) {
+      misses_->Add();
+    } else {
+      corrupt_->Add();
+    }
+    return mapping.status();
+  }
+  Result<PlanBundle> bundle =
+      DecodePlan(std::move(mapping).value(), PlanContentHash(key));
+  if (!bundle.ok()) {
+    corrupt_->Add();
+    return bundle.status().WithContext("loading '" + path + "'");
+  }
+  hits_->Add();
+  load_ns_->Record(NowNs() - start);
+  bytes_mapped_->Add(static_cast<int64_t>(bundle->bytes_mapped));
+  return bundle;
+}
+
+Status PlanCache::Save(const PlanKey& key, const schema::Schema& source,
+                       const schema::Schema& target,
+                       const core::TypeRelations& relations,
+                       const analysis::UpdateAnalyzer* analyzer) {
+  const automata::Alphabet& alphabet = *source.alphabet();
+  ByteWriter payload;
+  payload.U32(static_cast<uint32_t>(alphabet.size()));
+  for (automata::Symbol s = 0; s < alphabet.size(); ++s) {
+    payload.String(alphabet.Name(s));
+  }
+  payload.AlignTo(8);
+  schema::SchemaCodec::Encode(source, &payload);
+  schema::SchemaCodec::Encode(target, &payload);
+  core::RelationsCodec::Encode(relations, &payload);
+  payload.U8(analyzer != nullptr ? 1 : 0);
+  if (analyzer != nullptr) {
+    payload.AlignTo(8);
+    analysis::AnalyzerCodec::Encode(*analyzer, &payload);
+  }
+  payload.AlignTo(8);
+
+  uint32_t flags = 0;
+  if (analyzer != nullptr) flags |= kFlagHasAnalyzer;
+  if (key.reverse_automata) flags |= kFlagReverse;
+  ByteWriter file;
+  file.U64(kPlanMagic);
+  file.U32(kEndianTag);
+  file.U32(kPlanFormatVersion);
+  file.U64(PlanContentHash(key));
+  file.U32(flags);
+  file.U32(0);  // reserved
+  file.U64(payload.size());
+  file.U64(common::Fnv1a(payload.buffer()));
+  XMLREVAL_CHECK(file.size() == kHeaderSize, "plan header layout drifted");
+  file.Bytes(payload.buffer().data(), payload.size());
+
+  const std::string path = PlanPath(key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot create plan temp file", tmp);
+  const std::string& bytes = file.buffer();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Errno("cannot write plan", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync BEFORE rename: the artifact must be durable before it becomes
+  // visible, or a crash could publish a truncated plan.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Errno("cannot fsync plan", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("cannot publish plan", path);
+  }
+  saves_->Add();
+  return Status::OK();
+}
+
+Result<ScopedPlanLock> PlanCache::AcquireLock(const PlanKey& key) {
+  const std::string path = LockPath(key);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open plan lock", path);
+  while (::flock(fd, LOCK_EX) != 0) {
+    if (errno != EINTR) {
+      ::close(fd);
+      return Errno("cannot lock plan", path);
+    }
+  }
+  ScopedPlanLock lock;
+  lock.fd_ = fd;
+  return lock;
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  return Stats{hits_->Value(), misses_->Value(), corrupt_->Value(),
+               saves_->Value(), bypass_->Value()};
+}
+
+}  // namespace xmlreval::service

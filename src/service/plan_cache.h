@@ -1,0 +1,205 @@
+// Persistent compiled cast plans: the warm-start cache.
+//
+// Compiling a (source, target) cast — parse both schemas, build Glushkov
+// DFAs, run the R_sub/R_nondis fixpoints, derive the immediate decision
+// automata and update-safety tables — dominates time-to-first-validation
+// for short-lived processes. A PlanCache serializes all of it once into a
+// versioned binary artifact ("plan") keyed by a content hash of the schema
+// texts, and later processes mmap the artifact read-only: the DFA
+// transition tables and the packed relation bytes are used IN PLACE
+// (automata::Dfa::FromExternal / TypeRelations' borrowed rel view), so N
+// concurrent processes share one page-cache copy with no per-process
+// deserialization of the hot tables.
+//
+// Artifact layout (little-endian; all table sections 8-byte aligned
+// relative to the file start — see DESIGN.md "Plan artifact format"):
+//
+//   header (48 bytes):
+//     u64 magic "XRVLPLAN"      u32 endian tag 0x01020304
+//     u32 format version        u64 content hash (key echo)
+//     u32 flags                 u32 reserved
+//     u64 payload size          u64 payload FNV-1a
+//   payload:
+//     alphabet names | source Schema | target Schema | TypeRelations |
+//     analyzer flag + UpdateAnalyzer tables
+//
+// Every load validates the full header, the checksum, and every id/offset
+// in the payload; a truncated, bit-flipped, wrong-version, or
+// wrong-endianness file yields kDataLoss and the caller falls through to a
+// cold compile (never a crash, never silently loaded garbage).
+//
+// Concurrency: writers publish via temp file + fsync + atomic rename, so
+// readers only ever see complete artifacts. Cold-start stampedes are
+// single-flighted with a blocking flock(2) on a sibling .lock file —
+// flock serializes BOTH processes and threads (each open() creates its own
+// file description), so exactly one compiler runs per plan per machine.
+
+#ifndef XMLREVAL_SERVICE_PLAN_CACHE_H_
+#define XMLREVAL_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/update_analyzer.h"
+#include "common/result.h"
+#include "core/relations.h"
+#include "obs/metrics.h"
+#include "schema/abstract_schema.h"
+
+namespace xmlreval::service {
+
+/// Bumped on ANY change to the artifact encoding; part of the content hash,
+/// so old artifacts are simply never looked up by newer binaries.
+inline constexpr uint32_t kPlanFormatVersion = 1;
+
+enum class SchemaFormat : uint8_t { kXsd, kDtd };
+const char* SchemaFormatName(SchemaFormat format);
+
+/// Identity of a compiled plan: the schema texts (not file paths — content
+/// moves, content hashes don't) plus every option that changes the
+/// artifact.
+struct PlanKey {
+  SchemaFormat source_format = SchemaFormat::kXsd;
+  std::string source_text;
+  SchemaFormat target_format = SchemaFormat::kXsd;
+  std::string target_text;
+  /// TypeRelations::Options::build_reverse_automata of the compile.
+  bool reverse_automata = false;
+};
+
+/// FNV-1a over the format version, formats, texts, and options. This is
+/// the cache key AND the invalidation rule: any input change moves the
+/// key, stale artifacts are just never addressed again.
+uint64_t PlanContentHash(const PlanKey& key);
+
+/// A read-only mmap of one artifact file. Movable; unmaps on destruction.
+class MappedPlan {
+ public:
+  /// Empty mapping (data() == nullptr) — assign a real one via Open.
+  MappedPlan() = default;
+
+  /// kNotFound when the file does not exist; kDataLoss on an unreadable or
+  /// empty file.
+  static Result<MappedPlan> Open(const std::string& path);
+
+  MappedPlan(MappedPlan&& other) noexcept { *this = std::move(other); }
+  MappedPlan& operator=(MappedPlan&& other) noexcept;
+  MappedPlan(const MappedPlan&) = delete;
+  MappedPlan& operator=(const MappedPlan&) = delete;
+  ~MappedPlan();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Everything decoded from one artifact, held together so the borrowed
+/// table views stay valid: the mapping is declared first and therefore
+/// destroyed LAST, after every schema/relations that points into it.
+/// Heap-allocated by PlanCache::Load; the PlanBundle's shared_ptrs alias
+/// into it.
+struct PlanArtifacts {
+  MappedPlan mapping;
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::optional<schema::Schema> source;
+  std::optional<schema::Schema> target;
+  std::optional<core::TypeRelations> relations;
+};
+
+/// A loaded plan, ready for registration with a ValidationService. The
+/// schema/relations pointers alias one shared PlanArtifacts holder (and the
+/// analyzer's internal relations pointer does too), so the mmap lives
+/// exactly as long as any consumer.
+struct PlanBundle {
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::shared_ptr<const schema::Schema> source;
+  std::shared_ptr<const schema::Schema> target;
+  std::shared_ptr<const core::TypeRelations> relations;
+  /// Null when the plan was saved without analyzer tables.
+  std::shared_ptr<const analysis::UpdateAnalyzer> analyzer;
+  size_t bytes_mapped = 0;
+};
+
+/// Blocking exclusive flock on a plan's .lock file; released on
+/// destruction. Serializes cold compiles across processes AND threads.
+class ScopedPlanLock {
+ public:
+  ScopedPlanLock() = default;
+  ScopedPlanLock(ScopedPlanLock&& other) noexcept { *this = std::move(other); }
+  ScopedPlanLock& operator=(ScopedPlanLock&& other) noexcept;
+  ScopedPlanLock(const ScopedPlanLock&) = delete;
+  ScopedPlanLock& operator=(const ScopedPlanLock&) = delete;
+  ~ScopedPlanLock();
+
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  friend class PlanCache;
+  int fd_ = -1;
+};
+
+class PlanCache {
+ public:
+  /// `dir` is created if missing. `metrics` must outlive the cache; pass
+  /// the owning service's registry so plan counters land beside its
+  /// validation metrics.
+  PlanCache(std::string dir, obs::MetricsRegistry* metrics);
+
+  const std::string& dir() const { return dir_; }
+  std::string PlanPath(const PlanKey& key) const;
+  std::string LockPath(const PlanKey& key) const;
+
+  /// Loads and fully decodes the plan for `key`. kNotFound = cache miss;
+  /// kDataLoss = artifact rejected (truncated/corrupt/version mismatch),
+  /// which callers treat exactly like a miss. Counters and the load-time
+  /// histogram are recorded here.
+  Result<PlanBundle> Load(const PlanKey& key);
+
+  /// Serializes a compiled plan and publishes it atomically (temp file +
+  /// fsync + rename). `analyzer` may be null. Lazily-determinized content
+  /// models are materialized into the artifact.
+  Status Save(const PlanKey& key, const schema::Schema& source,
+              const schema::Schema& target,
+              const core::TypeRelations& relations,
+              const analysis::UpdateAnalyzer* analyzer);
+
+  /// Blocks until this process+thread holds the exclusive compile lock for
+  /// `key`. Callers re-probe Load() after acquiring (another flight may
+  /// have published while we waited).
+  Result<ScopedPlanLock> AcquireLock(const PlanKey& key);
+
+  /// Cold-compile duration, for the cache's compile_ns histogram.
+  void RecordCompileNs(uint64_t ns) { compile_ns_->Record(ns); }
+  /// A registration that could not use the cache (e.g. the registry
+  /// already held schemas, so adopting the plan's alphabet was unsafe).
+  void RecordBypass() { bypass_->Add(); }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t corrupt = 0;
+    uint64_t saves = 0;
+    uint64_t bypass = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  std::string dir_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* corrupt_;
+  obs::Counter* saves_;
+  obs::Counter* bypass_;
+  obs::Histogram* load_ns_;
+  obs::Histogram* compile_ns_;
+  obs::Gauge* bytes_mapped_;
+};
+
+}  // namespace xmlreval::service
+
+#endif  // XMLREVAL_SERVICE_PLAN_CACHE_H_

@@ -162,6 +162,39 @@ Result<AnalyzerPtr> RelationsCache::GetAnalyzer(SchemaHandle source,
   return result;
 }
 
+void RelationsCache::Seed(SchemaHandle source, SchemaHandle target,
+                          RelationsPtr relations, AnalyzerPtr analyzer) {
+  if (!relations) return;
+  const uint64_t key = Key(source, target);
+  {
+    std::promise<Result<RelationsPtr>> promise;
+    promise.set_value(std::move(relations));
+    std::unique_lock lock(mutex_);
+    if (entries_.find(key) == entries_.end()) {
+      auto entry = std::make_shared<Entry>();
+      entry->future = promise.get_future().share();
+      entry->ready.store(true, std::memory_order_release);
+      entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+      entries_.emplace(key, std::move(entry));
+      EvictIfOver();
+    }
+  }
+  if (!analyzer) return;
+  std::promise<Result<AnalyzerPtr>> promise;
+  promise.set_value(std::move(analyzer));
+  std::unique_lock lock(analyzer_mutex_);
+  if (analyzer_entries_.find(key) == analyzer_entries_.end()) {
+    auto entry = std::make_shared<AnalyzerEntry>();
+    entry->future = promise.get_future().share();
+    entry->ready.store(true, std::memory_order_release);
+    entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+    analyzer_entries_.emplace(key, std::move(entry));
+    EvictAnalyzersIfOver();
+  }
+}
+
 Result<AnalyzerPtr> RelationsCache::CompileAnalyzer(SchemaHandle source,
                                                     SchemaHandle target) {
   // The relations computation (or cached entry) comes first; the analyzer

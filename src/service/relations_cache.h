@@ -101,6 +101,14 @@ class RelationsCache {
   /// cached TypeRelations. Same threading contract as Get().
   Result<AnalyzerPtr> GetAnalyzer(SchemaHandle source, SchemaHandle target);
 
+  /// Installs pre-computed results for (source, target) — the warm-start
+  /// path for relations/analyzers decoded from a plan artifact, so the
+  /// first Get() is a hit instead of a fixpoint run. `analyzer` may be null
+  /// (plan saved without analyzer tables). No-op if the pair already has an
+  /// entry (a racing Get() owns it). Thread-safe.
+  void Seed(SchemaHandle source, SchemaHandle target, RelationsPtr relations,
+            AnalyzerPtr analyzer);
+
   Stats stats() const;
   /// Completed + in-flight entries currently held.
   size_t size() const;

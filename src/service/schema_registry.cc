@@ -28,7 +28,8 @@ Result<SchemaHandle> SchemaRegistry::RegisterParsed(std::string_view key,
     }
   }
   ASSIGN_OR_RETURN(schema::Schema parsed, parse());
-  return Insert(key, text, std::move(parsed));
+  return Insert(key, text,
+                std::make_shared<const schema::Schema>(std::move(parsed)));
 }
 
 Result<SchemaHandle> SchemaRegistry::RegisterXsd(
@@ -57,19 +58,61 @@ Result<SchemaHandle> SchemaRegistry::RegisterSchema(std::string_view key,
         "registry.alphabet()");
   }
   std::unique_lock lock(mutex_);
-  return Insert(key, /*text=*/"", std::move(schema));
+  return Insert(key, /*text=*/"",
+                std::make_shared<const schema::Schema>(std::move(schema)));
 }
 
-SchemaHandle SchemaRegistry::Insert(std::string_view key,
-                                    std::string_view text,
-                                    schema::Schema schema) {
+Result<SchemaHandle> SchemaRegistry::RegisterCompiled(
+    std::string_view key, std::string_view text,
+    std::shared_ptr<const schema::Schema> schema) {
+  if (key.empty()) {
+    return Status::InvalidArgument("schema key must be non-empty");
+  }
+  if (!schema) {
+    return Status::InvalidArgument("RegisterCompiled: null schema");
+  }
+  if (schema->alphabet() != alphabet_) {
+    return Status::InvalidArgument(
+        "compiled schema '" + std::string(key) +
+        "' does not share the registry's alphabet; AdoptAlphabet the plan's "
+        "alphabet into a fresh registry first");
+  }
+  std::unique_lock lock(mutex_);
+  auto it = versions_.find(std::string(key));
+  if (it != versions_.end()) {
+    const Entry& latest = entries_[it->second.back()];
+    if (!latest.text.empty() && latest.text == text) {
+      return it->second.back();  // idempotent re-registration
+    }
+  }
+  return Insert(key, text, std::move(schema));
+}
+
+Status SchemaRegistry::AdoptAlphabet(
+    std::shared_ptr<automata::Alphabet> alphabet) {
+  if (!alphabet) {
+    return Status::InvalidArgument("AdoptAlphabet: null alphabet");
+  }
+  std::unique_lock lock(mutex_);
+  if (!entries_.empty()) {
+    return Status::FailedPrecondition(
+        "AdoptAlphabet: registry already holds schemas bound to its current "
+        "alphabet");
+  }
+  alphabet_ = std::move(alphabet);
+  return Status::OK();
+}
+
+SchemaHandle SchemaRegistry::Insert(
+    std::string_view key, std::string_view text,
+    std::shared_ptr<const schema::Schema> schema) {
   SchemaHandle handle = static_cast<SchemaHandle>(entries_.size());
   std::vector<SchemaHandle>& chain = versions_[std::string(key)];
   Entry entry;
   entry.key = std::string(key);
   entry.version = static_cast<uint32_t>(chain.size()) + 1;
   entry.text = std::string(text);
-  entry.schema = std::make_shared<const schema::Schema>(std::move(schema));
+  entry.schema = std::move(schema);
   entries_.push_back(std::move(entry));
   chain.push_back(handle);
   return handle;

@@ -67,6 +67,22 @@ class SchemaRegistry {
   Result<SchemaHandle> RegisterSchema(std::string_view key,
                                       schema::Schema schema);
 
+  /// Registers a schema decoded from a plan artifact. Unlike
+  /// RegisterSchema, the shared_ptr is stored as-is (plan schemas alias an
+  /// mmap'd artifact bundle and must not be copied out of it), and `text`
+  /// participates in latest-version dedup so a later RegisterXsd/Dtd of
+  /// the same bytes resolves to this handle without reparsing.
+  Result<SchemaHandle> RegisterCompiled(
+      std::string_view key, std::string_view text,
+      std::shared_ptr<const schema::Schema> schema);
+
+  /// Replaces the registry's (empty) shared Alphabet with one decoded from
+  /// a plan artifact, so plan schemas can register without re-interning.
+  /// Only legal before any schema is registered; fails with
+  /// kFailedPrecondition once entries exist (their symbols are bound to
+  /// the old instance).
+  Status AdoptAlphabet(std::shared_ptr<automata::Alphabet> alphabet);
+
   /// Latest version of `key`, or kNotFound.
   Result<SchemaHandle> Resolve(std::string_view key) const;
   /// Specific 1-based version of `key`, or kNotFound.
@@ -110,7 +126,8 @@ class SchemaRegistry {
   Result<SchemaHandle> RegisterParsed(std::string_view key,
                                       std::string_view text, ParseFn&& parse);
   SchemaHandle Insert(std::string_view key, std::string_view text,
-                      schema::Schema schema);  // requires exclusive mutex_
+                      std::shared_ptr<const schema::Schema> schema);
+  // ^ requires exclusive mutex_
 
   mutable std::shared_mutex mutex_;
   std::shared_ptr<automata::Alphabet> alphabet_;

@@ -25,6 +25,10 @@ ValidationService::ValidationService(const Options& options)
       metrics_(),
       registry_(),
       cache_(&registry_, options.cache, &metrics_) {
+  if (!options_.plan_cache_dir.empty()) {
+    plan_cache_ =
+        std::make_unique<PlanCache>(options_.plan_cache_dir, &metrics_);
+  }
   requests_ = metrics_.counter("xmlreval_requests_total");
   valid_ = metrics_.counter("xmlreval_verdicts_total", {{"verdict", "valid"}});
   invalid_ =
@@ -122,6 +126,114 @@ ValidationService::~ValidationService() {
           intra_executor_ptr_.load(std::memory_order_acquire)) {
     intra->Shutdown();
   }
+}
+
+Result<SchemaHandle> ValidationService::RegisterText(const std::string& key,
+                                                     SchemaFormat format,
+                                                     const std::string& text) {
+  switch (format) {
+    case SchemaFormat::kXsd:
+      return registry_.RegisterXsd(key, text);
+    case SchemaFormat::kDtd:
+      return registry_.RegisterDtd(key, text);
+  }
+  return Status::InvalidArgument("unknown schema format");
+}
+
+Result<ValidationService::PlanPairHandles> ValidationService::ColdCompilePair(
+    const PlanPairSpec& spec, const PlanKey* save_key) {
+  const auto t0 = Clock::now();
+  ASSIGN_OR_RETURN(SchemaHandle source,
+                   RegisterText(spec.source_key, spec.source_format,
+                                spec.source_text));
+  ASSIGN_OR_RETURN(SchemaHandle target,
+                   RegisterText(spec.target_key, spec.target_format,
+                                spec.target_text));
+  // Run the pair's full preprocessing eagerly — the fixpoints AND the
+  // analyzer tables — so the plan captures everything a warm start skips.
+  ASSIGN_OR_RETURN(RelationsPtr relations, cache_.Get(source, target));
+  // Some pairs have no analyzer (compile failure); the plan simply omits
+  // the tables and warm starts recompute nothing (there is nothing to).
+  Result<AnalyzerPtr> analyzer = cache_.GetAnalyzer(source, target);
+  if (plan_cache_ != nullptr) {
+    plan_cache_->RecordCompileNs(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count()));
+  }
+  if (save_key != nullptr && plan_cache_ != nullptr) {
+    std::shared_ptr<const schema::Schema> src = registry_.schema(source);
+    std::shared_ptr<const schema::Schema> tgt = registry_.schema(target);
+    const analysis::UpdateAnalyzer* az =
+        analyzer.ok() ? analyzer.value().get() : nullptr;
+    // A failed save is non-fatal: this process serves from memory and the
+    // next cold process recompiles.
+    (void)plan_cache_->Save(*save_key, *src, *tgt, *relations, az);
+  }
+  return PlanPairHandles{source, target, /*warm=*/false};
+}
+
+Result<ValidationService::PlanPairHandles> ValidationService::AdoptPlan(
+    const PlanPairSpec& spec, PlanBundle bundle) {
+  Status adopted = registry_.AdoptAlphabet(bundle.alphabet);
+  if (!adopted.ok()) {
+    // A registration slipped in since the emptiness check; the plan's
+    // symbol ids no longer line up with the registry's alphabet.
+    plan_cache_->RecordBypass();
+    return ColdCompilePair(spec, /*save_key=*/nullptr);
+  }
+  ASSIGN_OR_RETURN(
+      SchemaHandle source,
+      registry_.RegisterCompiled(spec.source_key, spec.source_text,
+                                 bundle.source));
+  ASSIGN_OR_RETURN(
+      SchemaHandle target,
+      registry_.RegisterCompiled(spec.target_key, spec.target_text,
+                                 bundle.target));
+  cache_.Seed(source, target, bundle.relations, bundle.analyzer);
+  return PlanPairHandles{source, target, /*warm=*/true};
+}
+
+Result<ValidationService::PlanPairHandles> ValidationService::RegisterPlanPair(
+    const PlanPairSpec& spec) {
+  if (plan_cache_ == nullptr) {
+    return ColdCompilePair(spec, /*save_key=*/nullptr);
+  }
+
+  PlanKey key;
+  key.source_format = spec.source_format;
+  key.source_text = spec.source_text;
+  key.target_format = spec.target_format;
+  key.target_text = spec.target_text;
+  key.reverse_automata = options_.cache.relations.build_reverse_automata;
+
+  if (registry_.size() != 0) {
+    // A plan's alphabet can only be adopted into an empty registry; with
+    // schemas already bound to the current Σ the plan's symbol ids would
+    // not line up. Compile cold (and don't save — the artifact on disk,
+    // if any, is still the authoritative one).
+    plan_cache_->RecordBypass();
+    return ColdCompilePair(spec, /*save_key=*/nullptr);
+  }
+
+  Result<PlanBundle> loaded = plan_cache_->Load(key);
+  if (loaded.ok()) return AdoptPlan(spec, std::move(loaded).value());
+  if (loaded.status().code() != StatusCode::kNotFound &&
+      loaded.status().code() != StatusCode::kDataLoss) {
+    return loaded.status();
+  }
+
+  // Miss (or rejected artifact): single-flight the compile behind the
+  // per-plan flock, then re-probe — another process/thread may have
+  // published while we waited.
+  Result<ScopedPlanLock> lock = plan_cache_->AcquireLock(key);
+  if (!lock.ok()) {
+    // Lock file unusable (read-only dir?): still serve, just without
+    // cross-process stampede protection.
+    return ColdCompilePair(spec, &key);
+  }
+  loaded = plan_cache_->Load(key);
+  if (loaded.ok()) return AdoptPlan(spec, std::move(loaded).value());
+  return ColdCompilePair(spec, &key);
 }
 
 Result<core::ValidationReport> ValidationService::Record(

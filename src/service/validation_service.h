@@ -80,6 +80,7 @@
 #include "core/parallel_cast_validator.h"
 #include "core/report.h"
 #include "obs/metrics.h"
+#include "service/plan_cache.h"
 #include "service/relations_cache.h"
 #include "service/schema_registry.h"
 #include "xml/editor.h"
@@ -114,6 +115,10 @@ class ValidationService {
     /// — the broker regime trusts producers, and the check costs a full
     /// traversal, exactly what casting is meant to avoid.
     bool check_cast_precondition = false;
+    /// Directory of persistent compiled cast plans (service/plan_cache.h).
+    /// Empty = no plan cache: RegisterPlanPair always compiles cold and
+    /// never touches disk.
+    std::string plan_cache_dir;
   };
 
   /// Service-level request counters (cache internals live in
@@ -215,6 +220,47 @@ class ValidationService {
                                             const std::vector<xml::EditOp>& ops);
 
   // ------------------------------------------------------------------
+  // Persistent compiled cast plans (warm start)
+  // ------------------------------------------------------------------
+
+  /// One (source, target) cast pair by schema text, the unit the plan
+  /// cache stores. Texts are parsed with default parser options; the plan
+  /// key covers the texts + formats, so any byte change recompiles.
+  struct PlanPairSpec {
+    std::string source_key;
+    SchemaFormat source_format = SchemaFormat::kXsd;
+    std::string source_text;
+    std::string target_key;
+    SchemaFormat target_format = SchemaFormat::kXsd;
+    std::string target_text;
+  };
+
+  struct PlanPairHandles {
+    SchemaHandle source = kInvalidSchemaHandle;
+    SchemaHandle target = kInvalidSchemaHandle;
+    /// True when the pair was loaded from a plan artifact (warm start);
+    /// false on a cold compile, a disabled cache, or a bypass.
+    bool warm = false;
+  };
+
+  /// Registers a cast pair, warm-starting from the plan cache when
+  /// possible:
+  ///   * cache disabled → parse + fixpoint compile, as if by RegisterXsd /
+  ///     RegisterDtd + Cast-on-first-use.
+  ///   * registry already holds schemas → plan alphabets cannot be adopted;
+  ///     counts a bypass and compiles cold.
+  ///   * cache hit → mmap the artifact, adopt its alphabet, register both
+  ///     schemas, and seed the relations cache — no parse, no fixpoint.
+  ///   * cache miss/corrupt → take the per-plan flock (single-flight across
+  ///     processes AND threads), re-probe, then compile cold, eagerly
+  ///     compute relations + analyzer, and publish the artifact.
+  /// Either way the returned handles are ready for Cast/CastWithMods.
+  Result<PlanPairHandles> RegisterPlanPair(const PlanPairSpec& spec);
+
+  /// The plan cache, or nullptr when Options::plan_cache_dir is empty.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  // ------------------------------------------------------------------
   // Batch pipeline
   // ------------------------------------------------------------------
 
@@ -265,6 +311,20 @@ class ValidationService {
   };
 
   BatchItemResult ProcessItem(const BatchItem& item);
+  /// Parses and registers one schema text cold (no plan involvement).
+  Result<SchemaHandle> RegisterText(const std::string& key,
+                                    SchemaFormat format,
+                                    const std::string& text);
+  /// The cold path of RegisterPlanPair: parse both texts, run the
+  /// relations fixpoint + analyzer eagerly, and — when `save_key` is
+  /// non-null — publish the compiled plan to the cache.
+  Result<PlanPairHandles> ColdCompilePair(const PlanPairSpec& spec,
+                                          const PlanKey* save_key);
+  /// The warm path: adopt the plan's alphabet, register its schemas, and
+  /// seed the relations cache. Falls back to a cold compile (without
+  /// re-saving) if the alphabet can no longer be adopted.
+  Result<PlanPairHandles> AdoptPlan(const PlanPairSpec& spec,
+                                    PlanBundle bundle);
   /// Books a finished request into the counters/histograms, then settles
   /// its trace: decides tail-sampling keep (failed or tail-bucket
   /// latency), pins an exemplar to the op + pair histograms for kept
@@ -299,6 +359,8 @@ class ValidationService {
   obs::MetricsRegistry metrics_;
   SchemaRegistry registry_;
   RelationsCache cache_;
+  // Null unless Options::plan_cache_dir is set; publishes into metrics_.
+  std::unique_ptr<PlanCache> plan_cache_;
 
   // executors_mutex_ serializes lazy creation ONLY. After an executor is
   // built its raw pointer is published through the atomic, and every later

@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <set>
+#include <string>
 
+#include "automata/dfa_serialize.h"
 #include "automata/glushkov.h"
 #include "automata/regex_parser.h"
+#include "common/serde.h"
 #include "tests/test_util.h"
 
 namespace xmlreval::automata {
@@ -231,6 +236,146 @@ INSTANTIATE_TEST_SUITE_P(
                       "((a,b)|(a,c))", "((a|b),(a|b),(a|b))", "(a,b?,c*)",
                       "(a+,b+)", "a{2,4}", "(a,(b,c){0,2})", "((a,b)+|c)",
                       "((a|b)*,c)", "(a*,b*)", "((a,a)|(b,b))*"));
+
+// ---------------------------------------------------------------------
+// DfaCodec round trips over random regexes (plan-cache serialization)
+// ---------------------------------------------------------------------
+
+// Uniform random regex tree over `k` symbols; depth-bounded so the
+// expression stays small but exercises every node kind.
+RegexPtr RandomRegex(std::mt19937* rng, size_t k, int depth) {
+  auto pick = [&](int n) { return int((*rng)() % n); };
+  if (depth <= 0 || pick(4) == 0) {
+    return Regex::Sym(Symbol(pick(int(k))));
+  }
+  switch (pick(6)) {
+    case 0: {
+      std::vector<RegexPtr> parts;
+      for (int i = 0, n = 2 + pick(2); i < n; ++i) {
+        parts.push_back(RandomRegex(rng, k, depth - 1));
+      }
+      return Regex::Concat(std::move(parts));
+    }
+    case 1: {
+      std::vector<RegexPtr> parts;
+      for (int i = 0, n = 2 + pick(2); i < n; ++i) {
+        parts.push_back(RandomRegex(rng, k, depth - 1));
+      }
+      return Regex::Alternate(std::move(parts));
+    }
+    case 2:
+      return Regex::Star(RandomRegex(rng, k, depth - 1));
+    case 3:
+      return Regex::Plus(RandomRegex(rng, k, depth - 1));
+    case 4:
+      return Regex::Optional(RandomRegex(rng, k, depth - 1));
+    default:
+      return Regex::Sym(Symbol(pick(int(k))));
+  }
+}
+
+// One serialize → deserialize → equivalence check; `borrow` selects the
+// zero-copy decode path (table views aliasing the encoded buffer).
+void CheckDfaRoundTrip(const Dfa& dfa, size_t alphabet_size, bool borrow,
+                       const char* what) {
+  common::ByteWriter w;
+  DfaCodec::Encode(dfa, &w);
+  std::string bytes = w.Take();
+  common::ByteReader r(bytes.data(), bytes.size());
+  auto decoded = DfaCodec::Decode(&r, borrow);
+  ASSERT_TRUE(decoded.ok()) << what << ": " << decoded.status().ToString();
+  ASSERT_EQ(decoded->num_states(), dfa.num_states()) << what;
+  ASSERT_EQ(decoded->alphabet_size(), dfa.alphabet_size()) << what;
+  ASSERT_EQ(decoded->start_state(), dfa.start_state()) << what;
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    ASSERT_EQ(decoded->IsAccepting(q), dfa.IsAccepting(q)) << what;
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      ASSERT_EQ(decoded->Next(q, s), dfa.Next(q, s)) << what;
+    }
+  }
+  // Deterministic encoding: re-encoding the decoded DFA is byte-identical.
+  common::ByteWriter w2;
+  DfaCodec::Encode(*decoded, &w2);
+  ASSERT_EQ(w2.buffer(), bytes) << what << ": encode is not deterministic";
+  // Language agreement on short words (cheap smoke on top of the
+  // table-identity check above).
+  ForAllWords(std::min<size_t>(alphabet_size, 3), 4,
+              [&](const std::vector<Symbol>& word) {
+                ASSERT_EQ(decoded->Accepts(word), dfa.Accepts(word)) << what;
+              });
+}
+
+TEST(DfaCodecTest, RandomRegexRoundTrips) {
+  // ≥1k random regex DFAs through the codec, both decode modes.
+  std::mt19937 rng(20260809);
+  int compiled = 0;
+  for (int i = 0; compiled < 1000 && i < 4000; ++i) {
+    const size_t k = 1 + rng() % 3;
+    RegexPtr regex = RandomRegex(&rng, k, 3);
+    auto dfa = CompileRegex(regex, k, /*require_deterministic=*/false);
+    ASSERT_TRUE(dfa.ok()) << dfa.status().ToString();
+    ++compiled;
+    CheckDfaRoundTrip(*dfa, k, /*borrow=*/false, "owned");
+    CheckDfaRoundTrip(*dfa, k, /*borrow=*/true, "borrowed");
+  }
+  EXPECT_GE(compiled, 1000);
+}
+
+TEST(DfaCodecTest, BorrowedDecodeAliasesBufferAndCopiesOnCopy) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("(a,(b|c)*,d?)", &alphabet);
+  common::ByteWriter w;
+  DfaCodec::Encode(dfa, &w);
+  std::string bytes = w.Take();
+  common::ByteReader r(bytes.data(), bytes.size());
+  ASSERT_OK_AND_ASSIGN(Dfa borrowed, DfaCodec::Decode(&r, /*borrow=*/true));
+  // Copying a borrowed DFA must not extend the buffer's lifetime
+  // requirements onto the copy's users: the copy owns its tables.
+  Dfa copy = borrowed;
+  std::string moved_away = std::move(bytes);
+  bytes.assign(moved_away.size(), '\0');  // scramble the old storage
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    for (Symbol s = 0; s < dfa.alphabet_size(); ++s) {
+      EXPECT_EQ(copy.Next(q, s), dfa.Next(q, s));
+    }
+  }
+}
+
+TEST(DfaCodecTest, TruncationAndBitFlipsRejectCleanly) {
+  Alphabet alphabet;
+  Dfa dfa = CompileOrDie("((a,b)|(a,c))*", &alphabet);
+  common::ByteWriter w;
+  DfaCodec::Encode(dfa, &w);
+  const std::string bytes = w.Take();
+  // Every truncation point either fails cleanly or (for pure padding
+  // suffixes) yields an equivalent DFA — never crashes or UB.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    common::ByteReader r(bytes.data(), n);
+    auto decoded = DfaCodec::Decode(&r, /*borrow=*/false);
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->num_states(), dfa.num_states());
+    } else {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+  // Bit flips in the header fields (first 12 bytes: counts + start) must
+  // never produce an out-of-bounds table — decode either fails or yields
+  // a structurally valid DFA.
+  for (size_t byte = 0; byte < 12 && byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[byte] = char(mutated[byte] ^ (1 << bit));
+      common::ByteReader r(mutated.data(), mutated.size());
+      auto decoded = DfaCodec::Decode(&r, /*borrow=*/false);
+      if (!decoded.ok()) continue;
+      for (StateId q = 0; q < decoded->num_states(); ++q) {
+        for (Symbol s = 0; s < decoded->alphabet_size(); ++s) {
+          ASSERT_LT(decoded->Next(q, s), decoded->num_states());
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace xmlreval::automata

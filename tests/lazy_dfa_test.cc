@@ -1,0 +1,175 @@
+#include "automata/lazy_dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/glushkov.h"
+#include "automata/regex_parser.h"
+#include "tests/test_util.h"
+
+namespace xmlreval::automata {
+namespace {
+
+using testutil::CompileOrDie;
+using testutil::ForAllWords;
+using testutil::Word;
+
+// Builds a LazyDfa for the same Glushkov NFA CompileRegex determinizes.
+LazyDfa LazyOf(const std::string& regex, Alphabet* alphabet) {
+  auto parsed = ParseRegex(regex, alphabet);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto expanded = ExpandRepeats(*parsed);
+  EXPECT_TRUE(expanded.ok());
+  auto g = BuildGlushkov(*expanded, alphabet->size());
+  EXPECT_TRUE(g.ok());
+  return LazyDfa(std::move(g->nfa));
+}
+
+bool LazyAccepts(const LazyDfa& lazy, const std::vector<Symbol>& word) {
+  StateId q = lazy.start_state();
+  for (Symbol s : word) q = lazy.Step(q, s);
+  return lazy.IsAccepting(q);
+}
+
+TEST(LazyDfaTest, AgreesWithEagerOnAllShortWords) {
+  const char* kExprs[] = {"a",          "(a,b,c)",       "(a|b|c)",
+                          "(a,b)*",     "(a?,b)",        "((a,b)|(a,c))",
+                          "(a,b?,c*)",  "(a+,b+)",       "((a|b)*,c)",
+                          "((a,a)|(b,b))*"};
+  for (const char* expr : kExprs) {
+    Alphabet alphabet;
+    Dfa eager = CompileOrDie(expr, &alphabet);
+    Alphabet lazy_alphabet;
+    LazyDfa lazy = LazyOf(expr, &lazy_alphabet);
+    ASSERT_EQ(alphabet.size(), lazy_alphabet.size());
+    ForAllWords(alphabet.size(), 5, [&](const std::vector<Symbol>& word) {
+      ASSERT_EQ(eager.Accepts(word), LazyAccepts(lazy, word))
+          << expr << " disagrees on a word of length " << word.size();
+    });
+    EXPECT_EQ(eager.AcceptsEmpty(), lazy.AcceptsEmpty()) << expr;
+  }
+}
+
+TEST(LazyDfaTest, ExpandsOnlyVisitedStates) {
+  // A deep concat has ~n live subsets; stepping one prefix must not expand
+  // the whole chain.
+  Alphabet alphabet;
+  LazyDfa lazy = LazyOf("(a,b,c,d,e,f,g,h)", &alphabet);
+  size_t before = lazy.num_expanded_states();
+  StateId q = lazy.Step(lazy.start_state(), alphabet.Intern("a"));
+  q = lazy.Step(q, alphabet.Intern("b"));
+  (void)q;
+  size_t after = lazy.num_expanded_states();
+  EXPECT_GT(after, before);
+  // 8-symbol chain → 9+ subsets total; two steps expand ≤ 4 states
+  // (sink + start + the two stepped-from states).
+  EXPECT_LE(after, 4u);
+}
+
+TEST(LazyDfaTest, RestrictToRoutesPrunedSymbolsToSink) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("a");
+  Symbol b = alphabet.Intern("b");
+  LazyDfa lazy = LazyOf("((a|b),a)", &alphabet);
+  // Prune b: the language restricted to {a} is exactly "aa".
+  std::vector<bool> allowed(alphabet.size(), true);
+  allowed[b] = false;
+  lazy.RestrictTo(allowed);
+  EXPECT_TRUE(LazyAccepts(lazy, {a, a}));
+  EXPECT_FALSE(LazyAccepts(lazy, {b, a}));
+  EXPECT_FALSE(LazyAccepts(lazy, {a}));
+  // Once in the sink, no word escapes.
+  StateId q = lazy.Step(lazy.start_state(), b);
+  q = lazy.Step(q, a);
+  q = lazy.Step(q, a);
+  EXPECT_FALSE(lazy.IsAccepting(q));
+}
+
+TEST(LazyDfaTest, MaterializedMatchesEagerPipeline) {
+  const char* kExprs[] = {"(a,(b|c)*,d?)", "((a,b)+|c)", "(a*,b*)"};
+  for (const char* expr : kExprs) {
+    Alphabet alphabet;
+    Dfa eager = CompileOrDie(expr, &alphabet);
+    Alphabet lazy_alphabet;
+    LazyDfa lazy = LazyOf(expr, &lazy_alphabet);
+    // Partially expand first — materialization must complete the sweep.
+    (void)lazy.Step(lazy.start_state(), 0);
+    const Dfa& materialized = lazy.Materialized();
+    EXPECT_TRUE(lazy.is_materialized());
+    // Minimized on both sides → identical state counts and language.
+    EXPECT_EQ(materialized.num_states(), eager.num_states()) << expr;
+    ForAllWords(alphabet.size(), 5, [&](const std::vector<Symbol>& word) {
+      ASSERT_EQ(eager.Accepts(word), materialized.Accepts(word)) << expr;
+    });
+  }
+}
+
+TEST(LazyDfaTest, MaterializedIsStableAcrossCalls) {
+  Alphabet alphabet;
+  LazyDfa lazy = LazyOf("(a,b)*", &alphabet);
+  const Dfa& first = lazy.Materialized();
+  const Dfa& second = lazy.Materialized();
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(LazyDfaTest, ConcurrentSteppingIsRaceFree) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("a");
+  Symbol b = alphabet.Intern("b");
+  LazyDfa lazy = LazyOf("((a,b)|(a,a))*", &alphabet);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> accepted(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      for (int i = 0; i < 500; ++i) {
+        StateId q = lazy.start_state();
+        int len = int(rng() % 8);
+        for (int j = 0; j < len; ++j) {
+          q = lazy.Step(q, rng() % 2 == 0 ? a : b);
+        }
+        accepted[t] += lazy.IsAccepting(q) ? 1 : 0;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread saw SOME accepting states (the empty word accepts).
+  for (int t = 0; t < kThreads; ++t) EXPECT_GT(accepted[t], 0);
+}
+
+TEST(NfaEmptinessTest, FilteredEmptinessMatchesRestrictedLanguage) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("a");
+  Symbol b = alphabet.Intern("b");
+  (void)a;
+  auto parsed = ParseRegex("((a|b),b)", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  auto g = BuildGlushkov(*parsed, alphabet.size());
+  ASSERT_TRUE(g.ok());
+  std::vector<bool> all(alphabet.size(), true);
+  EXPECT_TRUE(NfaLanguageNonEmptyFiltered(g->nfa, all));
+  // Without b no word completes ((a|b),b).
+  std::vector<bool> no_b(alphabet.size(), true);
+  no_b[b] = false;
+  EXPECT_FALSE(NfaLanguageNonEmptyFiltered(g->nfa, no_b));
+}
+
+TEST(NfaEmptinessTest, EmptyWordCountsWithoutAnySymbols) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  auto parsed = ParseRegex("a*", &alphabet);
+  ASSERT_TRUE(parsed.ok());
+  auto g = BuildGlushkov(*parsed, alphabet.size());
+  ASSERT_TRUE(g.ok());
+  std::vector<bool> none(alphabet.size(), false);
+  // ε ∈ L(a*) even with every symbol pruned.
+  EXPECT_TRUE(NfaLanguageNonEmptyFiltered(g->nfa, none));
+}
+
+}  // namespace
+}  // namespace xmlreval::automata

@@ -1,0 +1,285 @@
+// Plan cache robustness: corrupt artifacts (truncated, bit-flipped, wrong
+// magic/version/endianness/hash) must be rejected with kDataLoss — never a
+// crash, never a silently-wrong plan — and the service must fall through
+// to a cold compile that re-publishes a good artifact.
+
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/validation_service.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::service {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/xmlreval_plan_cache_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string("/tmp") : std::string(dir);
+}
+
+ValidationService::PlanPairSpec Spec() {
+  ValidationService::PlanPairSpec spec;
+  spec.source_key = "src";
+  spec.source_text = workload::kRelaxedQuantityXsd;
+  spec.target_key = "tgt";
+  spec.target_text = workload::kTargetXsd;
+  return spec;
+}
+
+PlanKey KeyOf(const ValidationService::PlanPairSpec& spec) {
+  PlanKey key;
+  key.source_format = spec.source_format;
+  key.source_text = spec.source_text;
+  key.target_format = spec.target_format;
+  key.target_text = spec.target_text;
+  return key;
+}
+
+// Publishes a good artifact into `dir` and returns its bytes.
+std::string PublishGoodPlan(const std::string& dir) {
+  ValidationService::Options options;
+  options.plan_cache_dir = dir;
+  ValidationService svc(options);
+  auto handles = svc.RegisterPlanPair(Spec());
+  EXPECT_TRUE(handles.ok());
+  EXPECT_FALSE(handles->warm);
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  std::ifstream in(cache.PlanPath(KeyOf(Spec())), std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteArtifact(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+void CleanDir(const std::string& dir) {
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  PlanKey key = KeyOf(Spec());
+  std::remove(cache.PlanPath(key).c_str());
+  std::remove(cache.LockPath(key).c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(PlanCacheTest, MissingArtifactIsNotFound) {
+  const std::string dir = MakeTempDir();
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  auto bundle = cache.Load(KeyOf(Spec()));
+  EXPECT_EQ(bundle.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.GetStats().misses, 1u);
+  EXPECT_EQ(cache.GetStats().corrupt, 0u);
+  CleanDir(dir);
+}
+
+TEST(PlanCacheTest, EveryTruncationIsRejectedCleanly) {
+  const std::string dir = MakeTempDir();
+  const std::string good = PublishGoodPlan(dir);
+  ASSERT_GT(good.size(), 48u);
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  const PlanKey key = KeyOf(Spec());
+  const std::string path = cache.PlanPath(key);
+
+  // Dense near the ends (header, payload tail), strided in the middle.
+  std::vector<size_t> lengths;
+  for (size_t n = 0; n < 64 && n < good.size(); ++n) lengths.push_back(n);
+  for (size_t n = 64; n + 64 < good.size(); n += 97) lengths.push_back(n);
+  for (size_t n = good.size() > 64 ? good.size() - 64 : 64; n < good.size();
+       ++n) {
+    lengths.push_back(n);
+  }
+  for (size_t n : lengths) {
+    SCOPED_TRACE("truncated to " + std::to_string(n));
+    WriteArtifact(path, good.substr(0, n));
+    auto bundle = cache.Load(key);
+    ASSERT_FALSE(bundle.ok());
+    EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss)
+        << bundle.status().ToString();
+  }
+  CleanDir(dir);
+}
+
+TEST(PlanCacheTest, BitFlipsNeverYieldAWrongPlan) {
+  const std::string dir = MakeTempDir();
+  const std::string good = PublishGoodPlan(dir);
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  const PlanKey key = KeyOf(Spec());
+  const std::string path = cache.PlanPath(key);
+
+  std::mt19937 rng(20260809);
+  // Every header byte, plus a spread of payload positions.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 48 && i < good.size(); ++i) positions.push_back(i);
+  for (int i = 0; i < 200; ++i) positions.push_back(rng() % good.size());
+
+  for (size_t pos : positions) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(pos));
+    std::string mutated = good;
+    mutated[pos] = char(mutated[pos] ^ (1u << (rng() % 8)));
+    WriteArtifact(path, mutated);
+    auto bundle = cache.Load(key);
+    if (bundle.ok()) {
+      // Only flips in ignored header bytes (the reserved field) may pass;
+      // the loaded plan must still be fully usable and correct.
+      ASSERT_LT(pos, 48u);
+      ASSERT_NE(bundle->relations, nullptr);
+      EXPECT_GT(bundle->source->num_types(), 0u);
+      EXPECT_GT(bundle->target->num_types(), 0u);
+    } else {
+      EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss)
+          << bundle.status().ToString();
+    }
+  }
+  CleanDir(dir);
+}
+
+TEST(PlanCacheTest, WrongVersionEndianMagicAndHashAreRejected) {
+  const std::string dir = MakeTempDir();
+  const std::string good = PublishGoodPlan(dir);
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  const PlanKey key = KeyOf(Spec());
+  const std::string path = cache.PlanPath(key);
+
+  auto expect_data_loss = [&](std::string mutated, const char* what) {
+    SCOPED_TRACE(what);
+    WriteArtifact(path, std::move(mutated));
+    auto bundle = cache.Load(key);
+    ASSERT_FALSE(bundle.ok());
+    EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+  };
+
+  {  // Magic: zero the first 8 bytes.
+    std::string m = good;
+    for (int i = 0; i < 8; ++i) m[i] = 0;
+    expect_data_loss(std::move(m), "bad magic");
+  }
+  {  // Endianness tag at offset 8 (u32): byte-swap it.
+    std::string m = good;
+    std::swap(m[8], m[11]);
+    std::swap(m[9], m[10]);
+    expect_data_loss(std::move(m), "wrong endianness");
+  }
+  {  // Version at offset 12 (u32): bump it.
+    std::string m = good;
+    m[12] = char(m[12] + 1);
+    expect_data_loss(std::move(m), "future version");
+  }
+  {  // Content-hash echo at offset 16 (u64): flip its low byte.
+    std::string m = good;
+    m[16] = char(m[16] ^ 0xff);
+    expect_data_loss(std::move(m), "foreign content hash");
+  }
+  {  // Payload checksum: flip a payload byte without fixing the sum.
+    std::string m = good;
+    m[good.size() / 2] = char(m[good.size() / 2] ^ 0x01);
+    expect_data_loss(std::move(m), "payload checksum");
+  }
+  EXPECT_GE(cache.GetStats().corrupt, 5u);
+  CleanDir(dir);
+}
+
+TEST(PlanCacheTest, ServiceFallsThroughCorruptionAndRepublishes) {
+  const std::string dir = MakeTempDir();
+  const std::string good = PublishGoodPlan(dir);
+  {
+    obs::MetricsRegistry metrics;
+    PlanCache cache(dir, &metrics);
+    // Corrupt the artifact in place.
+    std::string bad = good;
+    bad[bad.size() - 1] = char(bad[bad.size() - 1] ^ 0x10);
+    WriteArtifact(cache.PlanPath(KeyOf(Spec())), bad);
+  }
+
+  workload::PoGeneratorOptions doc_options;
+  doc_options.item_count = 8;
+  xml::Document doc = workload::GeneratePurchaseOrder(doc_options);
+
+  ValidationService::Options options;
+  options.plan_cache_dir = dir;
+  ValidationService svc(options);
+  ASSERT_OK_AND_ASSIGN(auto handles, svc.RegisterPlanPair(Spec()));
+  // Corruption → treated as a miss → cold compile, still fully serviceable.
+  EXPECT_FALSE(handles.warm);
+  ASSERT_OK_AND_ASSIGN(auto report,
+                       svc.Cast(handles.source, handles.target, doc));
+  EXPECT_TRUE(report.valid);
+  PlanCache::Stats stats = svc.plan_cache()->GetStats();
+  // Both load attempts (pre-lock probe and post-lock recheck) observe the
+  // corrupt artifact before the cold compile replaces it.
+  EXPECT_EQ(stats.corrupt, 2u);
+  EXPECT_EQ(stats.saves, 1u);
+
+  // The republished artifact is good again: a second service warm-starts.
+  ValidationService svc2(options);
+  ASSERT_OK_AND_ASSIGN(auto handles2, svc2.RegisterPlanPair(Spec()));
+  EXPECT_TRUE(handles2.warm);
+  CleanDir(dir);
+}
+
+TEST(PlanCacheTest, ContentHashMovesWithTextVersionAndFlags) {
+  PlanKey base = KeyOf(Spec());
+
+  PlanKey text_changed = base;
+  text_changed.target_text += " ";
+  EXPECT_NE(PlanContentHash(base), PlanContentHash(text_changed));
+
+  PlanKey format_changed = base;
+  format_changed.source_format = SchemaFormat::kDtd;
+  EXPECT_NE(PlanContentHash(base), PlanContentHash(format_changed));
+
+  PlanKey reverse_changed = base;
+  reverse_changed.reverse_automata = true;
+  EXPECT_NE(PlanContentHash(base), PlanContentHash(reverse_changed));
+
+  PlanKey swapped = base;
+  std::swap(swapped.source_text, swapped.target_text);
+  EXPECT_NE(PlanContentHash(base), PlanContentHash(swapped));
+
+  // Same key → same hash → same path (stable addressing).
+  EXPECT_EQ(PlanContentHash(base), PlanContentHash(KeyOf(Spec())));
+}
+
+TEST(PlanCacheTest, BypassWhenRegistryAlreadyPopulated) {
+  const std::string dir = MakeTempDir();
+  (void)PublishGoodPlan(dir);
+
+  ValidationService::Options options;
+  options.plan_cache_dir = dir;
+  ValidationService svc(options);
+  // Pre-register an unrelated schema: the registry's alphabet is no longer
+  // adoptable, so the plan path must be bypassed, not half-taken.
+  ASSERT_OK(svc.registry().RegisterXsd("other", workload::kSourceXsd).status());
+  ASSERT_OK_AND_ASSIGN(auto handles, svc.RegisterPlanPair(Spec()));
+  EXPECT_FALSE(handles.warm);
+  EXPECT_EQ(svc.plan_cache()->GetStats().bypass, 1u);
+
+  workload::PoGeneratorOptions doc_options;
+  doc_options.item_count = 4;
+  xml::Document doc = workload::GeneratePurchaseOrder(doc_options);
+  ASSERT_OK_AND_ASSIGN(auto report,
+                       svc.Cast(handles.source, handles.target, doc));
+  EXPECT_TRUE(report.valid);
+  CleanDir(dir);
+}
+
+}  // namespace
+}  // namespace xmlreval::service

@@ -1,0 +1,203 @@
+// Single-flight compilation under the plan cache: many services racing
+// cold on one empty cache dir must publish exactly one artifact, compile
+// at most once after the artifact exists, and all end up serviceable.
+// Covers both thread racing (TSan-visible) and fork()-based multi-process
+// racing (the flock path's real target).
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/plan_cache.h"
+#include "service/validation_service.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval::service {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/xmlreval_plan_race_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string("/tmp") : std::string(dir);
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = readdir(d)) {
+      if (std::strcmp(entry->d_name, ".") == 0 ||
+          std::strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      unlink((dir + "/" + entry->d_name).c_str());
+    }
+    closedir(d);
+  }
+  rmdir(dir.c_str());
+}
+
+ValidationService::PlanPairSpec Spec() {
+  ValidationService::PlanPairSpec spec;
+  spec.source_key = "src";
+  spec.source_text = workload::kRelaxedQuantityXsd;
+  spec.target_key = "tgt";
+  spec.target_text = workload::kTargetXsd;
+  return spec;
+}
+
+size_t CountPlanFiles(const std::string& dir) {
+  size_t count = 0;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (dirent* entry = readdir(d)) {
+      std::string name = entry->d_name;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".xrp") == 0) {
+        ++count;
+      }
+    }
+    closedir(d);
+  }
+  return count;
+}
+
+TEST(PlanConcurrencyTest, ThreadsRacingColdCompileOnce) {
+  const std::string dir = MakeTempDir();
+  constexpr int kThreads = 8;
+
+  workload::PoGeneratorOptions doc_options;
+  doc_options.item_count = 4;
+  xml::Document doc = workload::GeneratePurchaseOrder(doc_options);
+
+  std::atomic<int> saves{0};
+  std::atomic<int> warm{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Each thread owns a full service — separate registries, separate
+      // PlanCache instances, shared directory. Exactly what N independent
+      // server processes look like, minus the address-space isolation.
+      ValidationService::Options options;
+      options.plan_cache_dir = dir;
+      ValidationService svc(options);
+      auto handles = svc.RegisterPlanPair(Spec());
+      if (!handles.ok()) {
+        ++failures;
+        return;
+      }
+      auto report = svc.Cast(handles->source, handles->target, doc);
+      if (!report.ok() || !report->valid) ++failures;
+      if (handles->warm) ++warm;
+      saves += int(svc.plan_cache()->GetStats().saves);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The flock single-flight admits exactly one compiler; everyone else
+  // either mapped the artifact it published or recompiled nothing.
+  EXPECT_EQ(saves.load(), 1);
+  EXPECT_EQ(warm.load(), kThreads - 1);
+  EXPECT_EQ(CountPlanFiles(dir), 1u);
+
+  // A fresh service over the now-populated dir warm-starts immediately.
+  ValidationService::Options options;
+  options.plan_cache_dir = dir;
+  ValidationService svc(options);
+  ASSERT_OK_AND_ASSIGN(auto handles, svc.RegisterPlanPair(Spec()));
+  EXPECT_TRUE(handles.warm);
+  RemoveDirRecursive(dir);
+}
+
+TEST(PlanConcurrencyTest, ForkedProcessesRacingColdCompileOnce) {
+  const std::string dir = MakeTempDir();
+  constexpr int kProcs = 6;
+
+  std::vector<pid_t> pids;
+  for (int p = 0; p < kProcs; ++p) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: register the pair through the shared cache dir, cast once,
+      // exit with a code that encodes the outcome.
+      //   0 = cold compile (this child published), 1 = warm, 2 = failure
+      workload::PoGeneratorOptions doc_options;
+      doc_options.item_count = 4;
+      xml::Document doc = workload::GeneratePurchaseOrder(doc_options);
+      ValidationService::Options options;
+      options.plan_cache_dir = dir;
+      ValidationService svc(options);
+      auto handles = svc.RegisterPlanPair(Spec());
+      if (!handles.ok()) _exit(2);
+      auto report = svc.Cast(handles->source, handles->target, doc);
+      if (!report.ok() || !report->valid) _exit(2);
+      if (svc.plan_cache()->GetStats().saves > 1) _exit(2);
+      _exit(handles->warm ? 1 : 0);
+    }
+    pids.push_back(pid);
+  }
+
+  int cold = 0, warm_count = 0, failed = 0;
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child crashed";
+    switch (WEXITSTATUS(status)) {
+      case 0: ++cold; break;
+      case 1: ++warm_count; break;
+      default: ++failed; break;
+    }
+  }
+
+  EXPECT_EQ(failed, 0);
+  // Exactly one process went down the compile-and-publish path; the flock
+  // held everyone else until the artifact appeared, then they mapped it.
+  EXPECT_EQ(cold, 1);
+  EXPECT_EQ(warm_count, kProcs - 1);
+  EXPECT_EQ(CountPlanFiles(dir), 1u);
+  RemoveDirRecursive(dir);
+}
+
+TEST(PlanConcurrencyTest, RepeatedRoundsStayStable) {
+  // Several sequential rounds of racing threads over the SAME dir: round 1
+  // compiles once, every later round is all-warm with zero new saves.
+  const std::string dir = MakeTempDir();
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> saves{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        ValidationService::Options options;
+        options.plan_cache_dir = dir;
+        ValidationService svc(options);
+        auto handles = svc.RegisterPlanPair(Spec());
+        if (!handles.ok()) {
+          ++failures;
+          return;
+        }
+        saves += int(svc.plan_cache()->GetStats().saves);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_EQ(saves.load(), round == 0 ? 1 : 0) << "round " << round;
+  }
+  EXPECT_EQ(CountPlanFiles(dir), 1u);
+  RemoveDirRecursive(dir);
+}
+
+}  // namespace
+}  // namespace xmlreval::service

@@ -1,0 +1,291 @@
+// Plan artifact round trips: serialize → deserialize → the loaded plan is
+// indistinguishable from the cold compile. DFA tables, packed relation
+// bytes, and analyzer safety tables must re-encode byte-identically, and
+// cast verdicts must agree on generated documents.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer_codec.h"
+#include "analysis/update_analyzer.h"
+#include "core/cast_validator.h"
+#include "core/relations_codec.h"
+#include "schema/dtd_parser.h"
+#include "schema/schema_codec.h"
+#include "schema/xsd_parser.h"
+#include "service/plan_cache.h"
+#include "service/validation_service.h"
+#include "tests/test_util.h"
+#include "workload/po_generator.h"
+#include "workload/po_schemas.h"
+
+namespace xmlreval {
+namespace {
+
+using service::PlanBundle;
+using service::PlanCache;
+using service::PlanKey;
+using service::SchemaFormat;
+
+struct CorpusPair {
+  const char* name;
+  SchemaFormat source_format;
+  const char* source_text;
+  SchemaFormat target_format;
+  const char* target_text;
+};
+
+const CorpusPair kCorpus[] = {
+    {"exp1", SchemaFormat::kXsd, workload::kSourceXsd, SchemaFormat::kXsd,
+     workload::kTargetXsd},
+    {"exp2", SchemaFormat::kXsd, workload::kRelaxedQuantityXsd,
+     SchemaFormat::kXsd, workload::kTargetXsd},
+    {"self", SchemaFormat::kXsd, workload::kTargetXsd, SchemaFormat::kXsd,
+     workload::kTargetXsd},
+    {"dtd", SchemaFormat::kDtd, workload::kSourceDtd, SchemaFormat::kDtd,
+     workload::kPurchaseOrderDtd},
+};
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/xmlreval_plan_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string("/tmp") : std::string(dir);
+}
+
+struct ColdPair {
+  std::shared_ptr<automata::Alphabet> alphabet;
+  std::shared_ptr<const schema::Schema> source;
+  std::shared_ptr<const schema::Schema> target;
+  std::shared_ptr<const core::TypeRelations> relations;
+  std::shared_ptr<const analysis::UpdateAnalyzer> analyzer;
+};
+
+ColdPair CompileCold(const CorpusPair& pair) {
+  ColdPair cold;
+  cold.alphabet = std::make_shared<automata::Alphabet>();
+  auto parse = [&](SchemaFormat format,
+                   const char* text) -> Result<schema::Schema> {
+    return format == SchemaFormat::kDtd
+               ? schema::ParseDtd(text, cold.alphabet)
+               : schema::ParseXsd(text, cold.alphabet);
+  };
+  auto source = parse(pair.source_format, pair.source_text);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  cold.source =
+      std::make_shared<const schema::Schema>(std::move(source).value());
+  auto target = parse(pair.target_format, pair.target_text);
+  EXPECT_TRUE(target.ok()) << target.status().ToString();
+  cold.target =
+      std::make_shared<const schema::Schema>(std::move(target).value());
+  auto relations =
+      core::TypeRelations::Compute(cold.source.get(), cold.target.get());
+  EXPECT_TRUE(relations.ok()) << relations.status().ToString();
+  cold.relations = std::make_shared<const core::TypeRelations>(
+      std::move(relations).value());
+  auto analyzer = analysis::UpdateAnalyzer::Compile(cold.relations);
+  if (analyzer.ok()) {
+    cold.analyzer = std::make_shared<const analysis::UpdateAnalyzer>(
+        std::move(analyzer).value());
+  }
+  return cold;
+}
+
+PlanKey KeyOf(const CorpusPair& pair) {
+  PlanKey key;
+  key.source_format = pair.source_format;
+  key.source_text = pair.source_text;
+  key.target_format = pair.target_format;
+  key.target_text = pair.target_text;
+  return key;
+}
+
+std::string EncodeSchema(const schema::Schema& s) {
+  common::ByteWriter w;
+  schema::SchemaCodec::Encode(s, &w);
+  return w.Take();
+}
+
+std::string EncodeRelations(const core::TypeRelations& r) {
+  common::ByteWriter w;
+  core::RelationsCodec::Encode(r, &w);
+  return w.Take();
+}
+
+std::string EncodeAnalyzer(const analysis::UpdateAnalyzer& a) {
+  common::ByteWriter w;
+  analysis::AnalyzerCodec::Encode(a, &w);
+  return w.Take();
+}
+
+TEST(PlanRoundTripTest, SaveLoadIsByteFaithfulForCorpusPairs) {
+  for (const CorpusPair& pair : kCorpus) {
+    SCOPED_TRACE(pair.name);
+    ColdPair cold = CompileCold(pair);
+    ASSERT_NE(cold.relations, nullptr);
+
+    const std::string dir = MakeTempDir();
+    obs::MetricsRegistry metrics;
+    PlanCache cache(dir, &metrics);
+    PlanKey key = KeyOf(pair);
+    ASSERT_OK(cache.Save(key, *cold.source, *cold.target, *cold.relations,
+                         cold.analyzer.get()));
+    ASSERT_OK_AND_ASSIGN(PlanBundle bundle, cache.Load(key));
+    EXPECT_GT(bundle.bytes_mapped, 0u);
+
+    // Schemas: same type universe, and re-encoding the loaded schema is
+    // byte-identical to re-encoding the cold one (covers DFA tables,
+    // child maps, facets, roots, productivity — everything the codec
+    // writes).
+    ASSERT_EQ(bundle.source->num_types(), cold.source->num_types());
+    ASSERT_EQ(bundle.target->num_types(), cold.target->num_types());
+    EXPECT_EQ(EncodeSchema(*bundle.source), EncodeSchema(*cold.source));
+    EXPECT_EQ(EncodeSchema(*bundle.target), EncodeSchema(*cold.target));
+
+    // Content DFA equivalence, table by table.
+    for (schema::TypeId t = 0; t < cold.source->num_types(); ++t) {
+      if (!cold.source->IsComplex(t)) continue;
+      const automata::Dfa& a = cold.source->ContentDfa(t);
+      const automata::Dfa& b = bundle.source->ContentDfa(t);
+      ASSERT_EQ(a.num_states(), b.num_states());
+      ASSERT_EQ(a.start_state(), b.start_state());
+      for (automata::StateId q = 0; q < a.num_states(); ++q) {
+        ASSERT_EQ(a.IsAccepting(q), b.IsAccepting(q));
+        for (automata::Symbol s = 0; s < a.alphabet_size(); ++s) {
+          ASSERT_EQ(a.Next(q, s), b.Next(q, s));
+        }
+      }
+    }
+
+    // Relations: byte-identical re-encode, and identical decisions.
+    EXPECT_EQ(EncodeRelations(*bundle.relations),
+              EncodeRelations(*cold.relations));
+    for (schema::TypeId s = 0; s < cold.source->num_types(); ++s) {
+      for (schema::TypeId t = 0; t < cold.target->num_types(); ++t) {
+        ASSERT_EQ(bundle.relations->Subsumed(s, t),
+                  cold.relations->Subsumed(s, t));
+        ASSERT_EQ(bundle.relations->Disjoint(s, t),
+                  cold.relations->Disjoint(s, t));
+      }
+    }
+
+    // Analyzer tables: byte-identical when present.
+    ASSERT_EQ(bundle.analyzer != nullptr, cold.analyzer != nullptr);
+    if (cold.analyzer != nullptr) {
+      EXPECT_EQ(EncodeAnalyzer(*bundle.analyzer),
+                EncodeAnalyzer(*cold.analyzer));
+    }
+
+    // Cast verdicts agree on a generated document.
+    workload::PoGeneratorOptions options;
+    options.item_count = 8;
+    xml::Document doc = workload::GeneratePurchaseOrder(options);
+    core::CastValidator cold_validator(cold.relations.get());
+    core::CastValidator warm_validator(bundle.relations.get());
+    core::ValidationReport cold_report = cold_validator.Validate(doc);
+    core::ValidationReport warm_report = warm_validator.Validate(doc);
+    EXPECT_EQ(cold_report.valid, warm_report.valid);
+
+    std::remove(cache.PlanPath(key).c_str());
+    std::remove(cache.LockPath(key).c_str());
+    rmdir(dir.c_str());
+  }
+}
+
+TEST(PlanRoundTripTest, ReverseAutomataSurviveTheRoundTrip) {
+  ColdPair cold;
+  cold.alphabet = std::make_shared<automata::Alphabet>();
+  auto source = schema::ParseXsd(workload::kRelaxedQuantityXsd, cold.alphabet);
+  ASSERT_TRUE(source.ok());
+  cold.source =
+      std::make_shared<const schema::Schema>(std::move(source).value());
+  auto target = schema::ParseXsd(workload::kTargetXsd, cold.alphabet);
+  ASSERT_TRUE(target.ok());
+  cold.target =
+      std::make_shared<const schema::Schema>(std::move(target).value());
+  core::TypeRelations::Options options;
+  options.build_reverse_automata = true;
+  auto relations = core::TypeRelations::Compute(cold.source.get(),
+                                                cold.target.get(), options);
+  ASSERT_TRUE(relations.ok());
+  cold.relations = std::make_shared<const core::TypeRelations>(
+      std::move(relations).value());
+
+  const std::string dir = MakeTempDir();
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  PlanKey key;
+  key.source_text = workload::kRelaxedQuantityXsd;
+  key.target_text = workload::kTargetXsd;
+  key.reverse_automata = true;
+  ASSERT_OK(cache.Save(key, *cold.source, *cold.target, *cold.relations,
+                       nullptr));
+  ASSERT_OK_AND_ASSIGN(PlanBundle bundle, cache.Load(key));
+  EXPECT_EQ(bundle.analyzer, nullptr);
+  EXPECT_EQ(EncodeRelations(*bundle.relations),
+            EncodeRelations(*cold.relations));
+
+  std::remove(cache.PlanPath(key).c_str());
+  std::remove(cache.LockPath(key).c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(PlanRoundTripTest, ServiceWarmStartMatchesColdVerdicts) {
+  service::ValidationService::PlanPairSpec spec;
+  spec.source_key = "src";
+  spec.source_text = workload::kRelaxedQuantityXsd;
+  spec.target_key = "tgt";
+  spec.target_text = workload::kTargetXsd;
+
+  const std::string dir = MakeTempDir();
+  workload::PoGeneratorOptions doc_options;
+  doc_options.item_count = 8;
+  xml::Document doc = workload::GeneratePurchaseOrder(doc_options);
+
+  bool cold_valid = false;
+  {
+    service::ValidationService::Options options;
+    options.plan_cache_dir = dir;
+    service::ValidationService svc(options);
+    ASSERT_OK_AND_ASSIGN(auto handles, svc.RegisterPlanPair(spec));
+    EXPECT_FALSE(handles.warm);
+    ASSERT_OK_AND_ASSIGN(auto report,
+                         svc.Cast(handles.source, handles.target, doc));
+    cold_valid = report.valid;
+    EXPECT_EQ(svc.plan_cache()->GetStats().saves, 1u);
+  }
+  {
+    service::ValidationService::Options options;
+    options.plan_cache_dir = dir;
+    service::ValidationService svc(options);
+    ASSERT_OK_AND_ASSIGN(auto handles, svc.RegisterPlanPair(spec));
+    EXPECT_TRUE(handles.warm);
+    ASSERT_OK_AND_ASSIGN(auto report,
+                         svc.Cast(handles.source, handles.target, doc));
+    EXPECT_EQ(report.valid, cold_valid);
+    service::PlanCache::Stats stats = svc.plan_cache()->GetStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    // The relations cache was seeded — the cast above must not have run a
+    // fixpoint.
+    EXPECT_EQ(svc.cache().stats().computations, 0u);
+  }
+
+  // Clean the plan dir.
+  PlanKey key;
+  key.source_text = spec.source_text;
+  key.target_text = spec.target_text;
+  obs::MetricsRegistry metrics;
+  PlanCache cache(dir, &metrics);
+  std::remove(cache.PlanPath(key).c_str());
+  std::remove(cache.LockPath(key).c_str());
+  rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace xmlreval

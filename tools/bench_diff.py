@@ -78,6 +78,19 @@ def main() -> int:
                   f"{fresh_hw} (fresh) — different machine shape, "
                   "regressions reported but NOT gated")
 
+        # A parallel-scaling artifact produced on a single-core runner has
+        # no parallelism to measure: every "speedup" it reports is noise
+        # around 1.0. Call it out loudly so nobody reads it as a baseline,
+        # and never gate on it.
+        parallel_bench = "parallel" in name.lower()
+        for side, hw in (("baseline", base_hw), ("fresh", fresh_hw)):
+            if parallel_bench and isinstance(hw, (int, float)) and hw <= 1:
+                print(f"{name}: WARNING {side} artifact was produced with "
+                      f"hardware_concurrency={hw:g} — parallel numbers from "
+                      "a single-core machine are NOT comparable; regenerate "
+                      "on a multicore runner (CI's perf job does this)")
+                comparable = False
+
         for key, base_value in sorted(baseline.items()):
             if not isinstance(base_value, (int, float)) or base_value <= 0:
                 continue

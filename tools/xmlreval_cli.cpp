@@ -5,10 +5,13 @@
 //   xmlreval correct     <source> <target> <doc.xml> [-o out.xml]
 //   xmlreval sample      <schema> [--root LABEL] [--seed N] [--max-elems N]
 //   xmlreval relations   <source> <target>             dump R_sub / R_dis
+//   xmlreval compile     <source> <target> --plan-cache-dir DIR
+//                                                      precompile a cast plan
 //   xmlreval serve-batch <source> <target> <doc.xml...> [--threads N]
 //                        [--repeat N] [--metrics-out F] [--metrics-interval S]
 //                        [--trace-out F] [--tail-sample]
-//                        [--flight-recorder F]          batch pipeline
+//                        [--flight-recorder F] [--plan-cache-dir DIR]
+//                                                      batch pipeline
 //   xmlreval stats       <metrics.json>                 pretty-print a dump
 //   xmlreval trace-report <trace.json>                  latency decomposition
 //
@@ -63,6 +66,8 @@ int Usage() {
                " [--max-elems N]\n"
                "  xmlreval relations <source> <target>\n"
                "  xmlreval export    <schema>\n"
+               "  xmlreval compile   <source> <target> --plan-cache-dir DIR"
+               " [--reverse]\n"
                "  xmlreval serve-batch <source> <target> <doc.xml...>"
                " [--threads N] [--repeat N]\n"
                "                       [--intra-doc-threads N]"
@@ -71,6 +76,7 @@ int Usage() {
                " [--trace-out F]\n"
                "                       [--tail-sample]"
                " [--flight-recorder F]\n"
+               "                       [--plan-cache-dir DIR]\n"
                "  xmlreval stats <metrics.json>\n"
                "  xmlreval trace-report <trace.json>\n"
                "  xmlreval analyze-updates <source> <target> <doc.xml>"
@@ -95,6 +101,11 @@ int Usage() {
                "--flight-recorder F arms the crash-safe flight recorder:\n"
                "recent spans + counters are dumped to F from fatal signals\n"
                "(SIGSEGV/SIGABRT) and on demand via SIGUSR2.\n"
+               "compile precompiles the (source, target) cast — schemas,\n"
+               "relations fixpoints, analyzer tables — into a plan artifact\n"
+               "under --plan-cache-dir, so later serve-batch runs with the\n"
+               "same flag warm-start by mmap instead of recompiling\n"
+               "(--reverse also builds the §4.3 reverse automata).\n"
                "stats pretty-prints a JSON metrics dump.\n"
                "trace-report decomposes a --trace-out file per request:\n"
                "queue wait / parse / bind / fixpoint / analyze / traverse.\n"
@@ -355,6 +366,86 @@ int CmdRelations(int argc, char** argv) {
   return 0;
 }
 
+// Reads both schema texts into a RegisterPlanPair spec (format sniffed
+// from the extension, keys = the paths).
+Result<service::ValidationService::PlanPairSpec> LoadPairSpec(
+    const std::string& source_path, const std::string& target_path) {
+  service::ValidationService::PlanPairSpec spec;
+  spec.source_key = source_path;
+  spec.source_format = HasSuffix(source_path, ".dtd")
+                           ? service::SchemaFormat::kDtd
+                           : service::SchemaFormat::kXsd;
+  ASSIGN_OR_RETURN(spec.source_text, ReadFile(source_path));
+  spec.target_key = target_path;
+  spec.target_format = HasSuffix(target_path, ".dtd")
+                           ? service::SchemaFormat::kDtd
+                           : service::SchemaFormat::kXsd;
+  ASSIGN_OR_RETURN(spec.target_text, ReadFile(target_path));
+  return spec;
+}
+
+// Precompiles one (source, target) cast plan into the plan cache, so
+// serving processes pointed at the same directory warm-start. Idempotent:
+// a second run finds the artifact and reports "warm".
+int CmdCompile(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string dir;
+  bool reverse = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan-cache-dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--reverse") == 0) {
+      reverse = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2 || dir.empty()) return Usage();
+
+  service::ValidationService::Options options;
+  options.plan_cache_dir = dir;
+  options.cache.relations.build_reverse_automata = reverse;
+  service::ValidationService service(options);
+
+  auto spec = LoadPairSpec(positional[0], positional[1]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  auto handles = service.RegisterPlanPair(*spec);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!handles.ok()) {
+    std::fprintf(stderr, "%s\n", handles.status().ToString().c_str());
+    return 2;
+  }
+  double millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  service::PlanKey key;
+  key.source_format = spec->source_format;
+  key.source_text = spec->source_text;
+  key.target_format = spec->target_format;
+  key.target_text = spec->target_text;
+  key.reverse_automata = reverse;
+  const std::string path = service.plan_cache()->PlanPath(key);
+  service::PlanCache::Stats stats = service.plan_cache()->GetStats();
+  std::printf("%s: %s in %.1f ms\n", path.c_str(),
+              handles->warm ? "already compiled (warm load verified)"
+                            : "compiled and published",
+              millis);
+  std::printf("plan cache: %llu hit(s), %llu miss(es), %llu corrupt, "
+              "%llu save(s)\n",
+              (unsigned long long)stats.hits,
+              (unsigned long long)stats.misses,
+              (unsigned long long)stats.corrupt,
+              (unsigned long long)stats.saves);
+  return 0;
+}
+
 // SIGUSR1 → rewrite the --metrics-out file at the next flusher tick.
 // (An atomic flag is all a signal handler may touch; the flusher thread
 // does the actual snapshot + file IO.)
@@ -397,6 +488,7 @@ int CmdServeBatch(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string flight_out;
+  std::string plan_cache_dir;
   bool tail_sample = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -418,6 +510,8 @@ int CmdServeBatch(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--flight-recorder") == 0 &&
                i + 1 < argc) {
       flight_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--plan-cache-dir") == 0 && i + 1 < argc) {
+      plan_cache_dir = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage();
     } else {
@@ -435,6 +529,7 @@ int CmdServeBatch(int argc, char** argv) {
   service::ValidationService::Options options;
   options.batch_threads = threads;
   options.intra_doc_threads = intra_doc_threads;
+  options.plan_cache_dir = plan_cache_dir;
   service::ValidationService service(options);
   if (!flight_out.empty()) {
     // The crash dump carries the service's headline counters so a
@@ -481,21 +576,42 @@ int CmdServeBatch(int argc, char** argv) {
   }
 
   service::SchemaHandle handles[2];
-  for (int i = 0; i < 2; ++i) {
-    auto text = ReadFile(positional[i]);
-    if (!text.ok()) {
-      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+  if (!plan_cache_dir.empty()) {
+    // Warm-start path: one RegisterPlanPair loads schemas + relations +
+    // analyzer from the mmap'd plan artifact (compiling and publishing it
+    // on a cold miss).
+    auto spec = LoadPairSpec(positional[0], positional[1]);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
       return 2;
     }
-    auto handle =
-        HasSuffix(positional[i], ".dtd")
-            ? service.registry().RegisterDtd(positional[i], *text)
-            : service.registry().RegisterXsd(positional[i], *text);
-    if (!handle.ok()) {
-      std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+    auto pair = service.RegisterPlanPair(*spec);
+    if (!pair.ok()) {
+      std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
       return 2;
     }
-    handles[i] = *handle;
+    handles[0] = pair->source;
+    handles[1] = pair->target;
+    std::fprintf(stderr, "plan cache: %s\n",
+                 pair->warm ? "warm start (artifact mapped)"
+                            : "cold start (compiled and published)");
+  } else {
+    for (int i = 0; i < 2; ++i) {
+      auto text = ReadFile(positional[i]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 2;
+      }
+      auto handle =
+          HasSuffix(positional[i], ".dtd")
+              ? service.registry().RegisterDtd(positional[i], *text)
+              : service.registry().RegisterXsd(positional[i], *text);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "%s\n", handle.status().ToString().c_str());
+        return 2;
+      }
+      handles[i] = *handle;
+    }
   }
 
   std::vector<service::ValidationService::BatchItem> items;
@@ -986,6 +1102,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(command, "export") == 0) {
     return CmdExport(argc - 2, argv + 2);
+  }
+  if (std::strcmp(command, "compile") == 0) {
+    return CmdCompile(argc - 2, argv + 2);
   }
   if (std::strcmp(command, "serve-batch") == 0) {
     return CmdServeBatch(argc - 2, argv + 2);
