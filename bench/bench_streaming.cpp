@@ -1,98 +1,326 @@
-// Ablation A6 — streaming vs DOM validation: the paper's memory argument
-// (§7: memory depends on the schemas, not the document) quantified.
+// Ablation A6 — the streaming cast engine quantified: the paper's memory
+// argument (§7: live state depends on the schemas and document DEPTH, not
+// document SIZE) plus the raw-byte skip-scanner speedup that R_sub
+// subsumption buys.
 //
-// Pipelines compared, from XML TEXT to a verdict (experiment-1 pair, so
-// the cast skips everything under the root):
-//   * StreamingCastValidate      — SAX events, O(depth) live frames
-//   * StreamingValidate          — SAX full validation (baseline)
-//   * DOM parse + CastValidator  — what a DOM-based system pays end to end
-//   * DOM parse + FullValidator
+// Two corpora stress the two axes:
 //
-// The live-memory metric is reported as a counter: live_frames for the
-// streaming validators (peak open-element stack) vs dom_nodes for the DOM
-// pipelines (every node is materialized before validation starts).
+//   * WIDE — high fanout, heavily subsumed: source r(rec*) → target
+//     r(rec+) with identical rec(k,v) declarations, so every rec pair is
+//     in R_sub and the session byte-skips ~all of the payload. This is
+//     where skip-scanning pays: the A/B is
+//       skip_scan   — StreamingCastSession, subsumed subtrees handed to
+//                     the SIMD SkipScanner (never tokenized)
+//       tokenize    — same session with StreamingCastOptions{skip_scan =
+//                     false}: every byte is tokenized, validation is
+//                     merely suppressed inside subsumed subtrees
+//       legacy      — StreamingCastValidate (the pre-session SAX path)
+//     BM_WideSkipSpeedup interleaves skip and tokenize within each
+//     iteration (back to back on the same buffer) so frequency scaling or
+//     cache warm-up cannot favor one side; its `speedup` counter is the
+//     acceptance ratio.
+//
+//   * DEEP — a 100k-deep single chain under a NON-subsumed pair (the
+//     target drops a sibling the source allows, so no subtree can be
+//     skipped and every element opens a frame). max_live_frames == depth
+//     here: the honest worst case for the streaming memory claim.
+//
+// Counters (exported to BENCH_streaming.json by XMLREVAL_BENCH_JSON_MAIN):
+//   ns_per_node           wall ns per document ELEMENT (same denominator —
+//                         the DOM node count — for every pipeline, so
+//                         skip-scan runs aren't flattered by visiting less)
+//   bytes_skipped_pct     % of input bytes the SkipScanner consumed
+//   max_live_frames       peak open-element stack (streaming memory)
+//   stream_live_bytes     max_live_frames * ~frame + peak carry buffer
+//   dom_peak_bytes        Document::MemoryUsage().total() after parse
+//   dom_vs_stream_mem_ratio  dom_peak_bytes / stream_live_bytes
+//   speedup               tokenize-everything ns / skip-scan ns (wide)
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
 
 #include "bench/bench_json_main.h"
 #include "bench/bench_util.h"
 #include "core/cast_validator.h"
-#include "core/full_validator.h"
 #include "core/streaming_validator.h"
-#include "workload/po_generator.h"
+#include "schema/dtd_parser.h"
 #include "xml/parser.h"
-#include "xml/serializer.h"
 
 namespace {
 
 using namespace xmlreval;
 
-std::string MakeText(size_t items) {
-  workload::PoGeneratorOptions options;
-  options.item_count = items;
-  return xml::Serialize(workload::GeneratePurchaseOrder(options));
+// An open frame is {TypeId, Symbol, bool, StateId, std::string}; 64 bytes
+// is a round upper bound for the struct itself (text capacity is counted
+// via peak_carry for the parser side and is empty for complex types).
+constexpr double kFrameBytes = 64.0;
+
+bench::SchemaPair LoadDtdPair(const char* source_dtd, const char* target_dtd,
+                              std::vector<std::string> roots) {
+  bench::SchemaPair pair;
+  pair.alphabet = std::make_shared<automata::Alphabet>();
+  schema::DtdParseOptions options;
+  options.roots = std::move(roots);
+  auto source = schema::ParseDtd(source_dtd, pair.alphabet, options);
+  if (!source.ok()) std::abort();
+  pair.source = std::make_unique<schema::Schema>(std::move(source).value());
+  auto target = schema::ParseDtd(target_dtd, pair.alphabet, options);
+  if (!target.ok()) std::abort();
+  pair.target = std::make_unique<schema::Schema>(std::move(target).value());
+  auto relations =
+      core::TypeRelations::Compute(pair.source.get(), pair.target.get());
+  if (!relations.ok()) std::abort();
+  pair.relations =
+      std::make_unique<core::TypeRelations>(std::move(relations).value());
+  return pair;
 }
 
-void BM_StreamingCast(benchmark::State& state) {
-  bench::SchemaPair& pair = bench::Experiment1Pair();
-  std::string text = MakeText(state.range(0));
-  uint64_t frames = 0;
-  for (auto _ : state) {
-    core::StreamingReport report =
-        core::StreamingCastValidate(text, *pair.relations);
-    benchmark::DoNotOptimize(report.valid);
-    frames = report.max_live_frames;
+/// Wide corpus: every <rec> pair is subsumed (identical declarations), the
+/// root pair is not (rec* vs rec+), so the session validates the root's
+/// content model and byte-skips each rec subtree.
+bench::SchemaPair& WidePair() {
+  static bench::SchemaPair pair = LoadDtdPair(
+      "<!ELEMENT r (rec*)>"
+      "<!ELEMENT rec (k, v+)>"
+      "<!ELEMENT k (#PCDATA)>"
+      "<!ELEMENT v (#PCDATA)>",
+      "<!ELEMENT r (rec+)>"
+      "<!ELEMENT rec (k, v+)>"
+      "<!ELEMENT k (#PCDATA)>"
+      "<!ELEMENT v (#PCDATA)>",
+      {"r"});
+  return pair;
+}
+
+std::string WideText(size_t recs) {
+  std::string text = "<r>";
+  text.reserve(recs * 300 + 8);
+  for (size_t i = 0; i < recs; ++i) {
+    text += "<rec><k>key</k>";
+    for (int v = 0; v < 8; ++v) text += "<v>value-of-record-field</v>";
+    text += "</rec>";
   }
-  state.counters["live_frames"] = static_cast<double>(frames);
-  state.counters["input_bytes"] = static_cast<double>(text.size());
+  text += "</r>";
+  return text;
 }
 
-void BM_StreamingFull(benchmark::State& state) {
-  bench::SchemaPair& pair = bench::Experiment1Pair();
-  std::string text = MakeText(state.range(0));
-  uint64_t frames = 0;
+/// Deep corpus: the target forbids the <pad> sibling the source allows, so
+/// (n, n) is NOT subsumed — every level of the chain opens a live frame.
+bench::SchemaPair& DeepPair() {
+  static bench::SchemaPair pair = LoadDtdPair(
+      "<!ELEMENT n (n?, pad*)>"
+      "<!ELEMENT pad EMPTY>",
+      "<!ELEMENT n (n?)>"
+      "<!ELEMENT pad EMPTY>",
+      {"n"});
+  return pair;
+}
+
+std::string DeepText(size_t depth) {
+  std::string text;
+  text.reserve(depth * 8);
+  for (size_t i = 0; i < depth; ++i) text += "<n>";
+  for (size_t i = 0; i < depth; ++i) text += "</n>";
+  return text;
+}
+
+uint64_t DomNodeCount(const std::string& text) {
+  auto doc = xml::ParseXml(text);
+  if (!doc.ok()) std::abort();
+  return doc.value().NodeCount();
+}
+
+core::StreamingReport RunSession(const core::TypeRelations& relations,
+                                 const std::string& text, bool skip_scan) {
+  core::StreamingCastOptions options;
+  options.skip_scan = skip_scan;
+  core::StreamingCastSession session(relations, options);
+  Status fed = session.Feed(text);
+  (void)fed;
+  return session.Finish();
+}
+
+double StreamLiveBytes(const core::StreamingReport& report) {
+  return static_cast<double>(report.max_live_frames) * kFrameBytes +
+         static_cast<double>(report.peak_carry_bytes);
+}
+
+void SessionCounters(benchmark::State& state, const std::string& text,
+                     const core::StreamingReport& report, uint64_t doc_nodes,
+                     double total_ns) {
+  state.counters["ns_per_node"] =
+      total_ns / (static_cast<double>(state.iterations()) *
+                  static_cast<double>(doc_nodes));
+  state.counters["bytes_skipped_pct"] =
+      100.0 * static_cast<double>(report.bytes_skipped) /
+      static_cast<double>(text.size());
+  state.counters["max_live_frames"] =
+      static_cast<double>(report.max_live_frames);
+  state.counters["stream_live_bytes"] = StreamLiveBytes(report);
+}
+
+void BM_WideSkipScan(benchmark::State& state) {
+  bench::SchemaPair& pair = WidePair();
+  std::string text = WideText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport report;
+  double total_ns = 0;
   for (auto _ : state) {
-    core::StreamingReport report =
-        core::StreamingValidate(text, *pair.target);
+    auto t0 = std::chrono::steady_clock::now();
+    report = RunSession(*pair.relations, text, /*skip_scan=*/true);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
     benchmark::DoNotOptimize(report.valid);
-    frames = report.max_live_frames;
   }
-  state.counters["live_frames"] = static_cast<double>(frames);
+  if (!report.valid) std::abort();
+  SessionCounters(state, text, report, doc_nodes, total_ns);
 }
 
-void BM_DomCast(benchmark::State& state) {
-  bench::SchemaPair& pair = bench::Experiment1Pair();
+void BM_WideTokenizeAll(benchmark::State& state) {
+  bench::SchemaPair& pair = WidePair();
+  std::string text = WideText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport report;
+  double total_ns = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    report = RunSession(*pair.relations, text, /*skip_scan=*/false);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    benchmark::DoNotOptimize(report.valid);
+  }
+  if (!report.valid) std::abort();
+  SessionCounters(state, text, report, doc_nodes, total_ns);
+}
+
+void BM_WideLegacy(benchmark::State& state) {
+  bench::SchemaPair& pair = WidePair();
+  std::string text = WideText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport report;
+  double total_ns = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    report = core::StreamingCastValidate(text, *pair.relations);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    benchmark::DoNotOptimize(report.valid);
+  }
+  if (!report.valid) std::abort();
+  report.bytes_skipped = 0;  // legacy path tokenizes everything
+  SessionCounters(state, text, report, doc_nodes, total_ns);
+}
+
+/// The acceptance A/B: one skip-scan pass and one tokenize-everything pass
+/// back to back inside each iteration, same buffer, alternating — the
+/// `speedup` counter is immune to run-order effects.
+void BM_WideSkipSpeedup(benchmark::State& state) {
+  bench::SchemaPair& pair = WidePair();
+  std::string text = WideText(state.range(0));
+  double skip_ns = 0;
+  double tokenize_ns = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    core::StreamingReport a = RunSession(*pair.relations, text, true);
+    auto t1 = std::chrono::steady_clock::now();
+    core::StreamingReport b = RunSession(*pair.relations, text, false);
+    auto t2 = std::chrono::steady_clock::now();
+    if (a.valid != b.valid) std::abort();
+    skip_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    tokenize_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  state.counters["speedup"] = tokenize_ns / skip_ns;
+}
+
+void BM_WideDom(benchmark::State& state) {
+  bench::SchemaPair& pair = WidePair();
   core::CastValidator validator(pair.relations.get());
-  std::string text = MakeText(state.range(0));
-  uint64_t nodes = 0;
+  std::string text = WideText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport stream =
+      RunSession(*pair.relations, text, /*skip_scan=*/true);
+  double dom_bytes = 0;
+  double total_ns = 0;
   for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
     auto doc = xml::ParseXml(text);
-    core::ValidationReport report = validator.Validate(*doc);
+    core::ValidationReport report = validator.Validate(doc.value());
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
     benchmark::DoNotOptimize(report.valid);
-    nodes = doc->NodeCount();
+    dom_bytes = static_cast<double>(doc.value().MemoryUsage().total());
   }
-  state.counters["dom_nodes"] = static_cast<double>(nodes);
+  state.counters["ns_per_node"] =
+      total_ns / (static_cast<double>(state.iterations()) *
+                  static_cast<double>(doc_nodes));
+  state.counters["dom_peak_bytes"] = dom_bytes;
+  state.counters["dom_vs_stream_mem_ratio"] =
+      dom_bytes / StreamLiveBytes(stream);
 }
 
-void BM_DomFull(benchmark::State& state) {
-  bench::SchemaPair& pair = bench::Experiment1Pair();
-  core::FullValidator validator(pair.target.get());
-  std::string text = MakeText(state.range(0));
-  uint64_t nodes = 0;
+void BM_DeepStreaming(benchmark::State& state) {
+  bench::SchemaPair& pair = DeepPair();
+  std::string text = DeepText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport report;
+  double total_ns = 0;
   for (auto _ : state) {
-    auto doc = xml::ParseXml(text);
-    core::ValidationReport report = validator.Validate(*doc);
+    auto t0 = std::chrono::steady_clock::now();
+    report = RunSession(*pair.relations, text, /*skip_scan=*/true);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
     benchmark::DoNotOptimize(report.valid);
-    nodes = doc->NodeCount();
   }
-  state.counters["dom_nodes"] = static_cast<double>(nodes);
+  if (!report.valid) std::abort();
+  if (report.max_live_frames != static_cast<uint64_t>(state.range(0))) {
+    std::abort();  // the deep pair must not be subsumed
+  }
+  SessionCounters(state, text, report, doc_nodes, total_ns);
 }
 
-#define GRID ->Arg(50)->Arg(500)->Arg(5000)
-BENCHMARK(BM_StreamingCast) GRID;
-BENCHMARK(BM_StreamingFull) GRID;
-BENCHMARK(BM_DomCast) GRID;
-BENCHMARK(BM_DomFull) GRID;
+void BM_DeepDom(benchmark::State& state) {
+  bench::SchemaPair& pair = DeepPair();
+  core::CastValidator validator(pair.relations.get());
+  std::string text = DeepText(state.range(0));
+  uint64_t doc_nodes = DomNodeCount(text);
+  core::StreamingReport stream =
+      RunSession(*pair.relations, text, /*skip_scan=*/true);
+  double dom_bytes = 0;
+  double total_ns = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto doc = xml::ParseXml(text);
+    core::ValidationReport report = validator.Validate(doc.value());
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    benchmark::DoNotOptimize(report.valid);
+    dom_bytes = static_cast<double>(doc.value().MemoryUsage().total());
+  }
+  state.counters["ns_per_node"] =
+      total_ns / (static_cast<double>(state.iterations()) *
+                  static_cast<double>(doc_nodes));
+  state.counters["dom_peak_bytes"] = dom_bytes;
+  state.counters["dom_vs_stream_mem_ratio"] =
+      dom_bytes / StreamLiveBytes(stream);
+}
+
+#define WIDE_GRID ->Arg(1000)->Arg(20000)
+#define DEEP_GRID ->Arg(1000)->Arg(100000)
+BENCHMARK(BM_WideSkipScan) WIDE_GRID;
+BENCHMARK(BM_WideTokenizeAll) WIDE_GRID;
+BENCHMARK(BM_WideLegacy) WIDE_GRID;
+BENCHMARK(BM_WideSkipSpeedup) WIDE_GRID;
+BENCHMARK(BM_WideDom) WIDE_GRID;
+BENCHMARK(BM_DeepStreaming) DEEP_GRID;
+BENCHMARK(BM_DeepDom) DEEP_GRID;
 
 }  // namespace
 

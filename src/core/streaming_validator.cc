@@ -1,10 +1,12 @@
 #include "core/streaming_validator.h"
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "xml/push_parser.h"
 
 namespace xmlreval::core {
 
@@ -19,6 +21,11 @@ namespace {
 // sentinel; the wrappers translate it into report.valid = false. Genuine
 // well-formedness errors keep their parse-error status and message.
 Status Abort() { return Status::InvalidArgument("__xmlreval_invalid__"); }
+
+bool IsAbortStatus(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument &&
+         status.message() == "__xmlreval_invalid__";
+}
 
 // ---- Full validation over events ------------------------------------------
 
@@ -163,6 +170,16 @@ class CastHandler : public xml::SaxHandler {
         target_(rel.target()),
         report_(report) {}
 
+  /// Session mode: subsumed subtrees are handed to `parser`'s raw-byte
+  /// skip scanner instead of being tokenized with validation suppressed.
+  /// When `use_parser_skip` is false the handler keeps the legacy
+  /// skip_depth_ suppression even under a PushParser (the
+  /// tokenize-everything A/B baseline).
+  void AttachParser(xml::PushParser* parser, bool use_parser_skip) {
+    parser_ = parser;
+    use_parser_skip_ = use_parser_skip && parser != nullptr;
+  }
+
   Status StartElement(std::string_view name,
                       const std::vector<xml::SaxAttribute>& attributes)
       override {
@@ -175,6 +192,7 @@ class CastHandler : public xml::SaxHandler {
 
     TypeId s_type = kInvalidType;
     TypeId t_type = kInvalidType;
+    uint32_t ordinal = 0;
     std::optional<Symbol> sym = source_.alphabet()->Find(name);
     if (frames_.empty()) {
       s_type = sym ? source_.RootType(*sym) : kInvalidType;
@@ -182,18 +200,19 @@ class CastHandler : public xml::SaxHandler {
       ++report_->counters.nodes_visited;
       ++report_->counters.elements_visited;
       if (s_type == kInvalidType) {
-        return Fail(StrCat("precondition violated: root '", name,
-                           "' is not declared by the source schema"));
+        return FailParent(StrCat("precondition violated: root '", name,
+                                 "' is not declared by the source schema"));
       }
       if (t_type == kInvalidType) {
-        return Fail(StrCat("root element '", name,
-                           "' is not declared by the target schema"));
+        return FailParent(StrCat("root element '", name,
+                                 "' is not declared by the target schema"));
       }
     } else {
       Frame& parent = frames_.back();
+      ordinal = parent.next_child++;
       if (!sym) {
-        return Fail(StrCat("element '", name,
-                           "' is outside the schemas' alphabet"));
+        return FailParent(StrCat("element '", name,
+                                 "' is outside the schemas' alphabet"));
       }
       ++report_->counters.nodes_visited;
       ++report_->counters.elements_visited;
@@ -221,28 +240,36 @@ class CastHandler : public xml::SaxHandler {
       }
       s_type = source_.ChildType(parent.s_type, *sym);
       if (s_type == kInvalidType) {
-        return Fail(StrCat("precondition violated: source type '",
-                           source_.TypeName(parent.s_type),
-                           "' does not type child label '", name, "'"));
+        return FailParent(StrCat("precondition violated: source type '",
+                                 source_.TypeName(parent.s_type),
+                                 "' does not type child label '", name, "'"));
       }
     }
 
     if (rel_.Subsumed(s_type, t_type)) {
       ++report_->counters.subtrees_skipped;
-      skip_depth_ = 1;
+      if (use_parser_skip_) {
+        // R_sub: any fragment valid under s_type is valid under t_type, so
+        // the subtree's bytes cannot affect the verdict — skip-scan them.
+        parser_->SkipCurrentSubtree();
+      } else {
+        skip_depth_ = 1;
+      }
       return Status::OK();
     }
     if (rel_.Disjoint(s_type, t_type)) {
       ++report_->counters.disjoint_rejects;
-      return Fail(StrCat("element '", name, "': source type '",
-                         source_.TypeName(s_type),
-                         "' is disjoint from target type '",
-                         target_.TypeName(t_type), "'"));
+      return FailSelf(StrCat("element '", name, "': source type '",
+                             source_.TypeName(s_type),
+                             "' is disjoint from target type '",
+                             target_.TypeName(t_type), "'"),
+                      ordinal);
     }
 
     // Frames exist only past the Σ checks above, so the Symbol is enough.
     Frame frame;
     frame.sym = *sym;
+    frame.ordinal = ordinal;
     frame.s_type = s_type;
     frame.t_type = t_type;
     frame.t_simple = target_.IsSimple(t_type);
@@ -257,7 +284,8 @@ class CastHandler : public xml::SaxHandler {
         }
         Status check = schema::ValidateTypeAttributes(t_decl, attr_scratch_);
         if (!check.ok()) {
-          return Fail(StrCat("element '", name, "': ", check.message()));
+          return FailSelf(StrCat("element '", name, "': ", check.message()),
+                          ordinal);
         }
       }
       frame.pair = rel_.PairAutomaton(s_type, t_type);
@@ -306,8 +334,9 @@ class CastHandler : public xml::SaxHandler {
       Status check = schema::ValidateSimpleValue(
           target_.simple_type(frame.t_type), frame.text);
       if (!check.ok()) {
-        return Fail(StrCat("element '", source_.alphabet()->Name(frame.sym),
-                           "': ", check.message()));
+        return FailParent(StrCat("element '",
+                                 source_.alphabet()->Name(frame.sym), "': ",
+                                 check.message()));
       }
     } else if (!frame.decided) {
       bool accepted = frame.pair != nullptr
@@ -323,6 +352,8 @@ class CastHandler : public xml::SaxHandler {
  private:
   struct Frame {
     Symbol sym;  // the element's interned symbol (label for diagnostics)
+    uint32_t ordinal = 0;     // index among the parent's children
+    uint32_t next_child = 0;  // ordinal the next child will get
     TypeId s_type;
     TypeId t_type;
     bool t_simple = false;
@@ -338,7 +369,34 @@ class CastHandler : public xml::SaxHandler {
     return Abort();
   }
 
+  // The Dewey path of frames_.back() — also the path of the PARENT when
+  // the failing child has not been pushed as a frame, which is exactly the
+  // blame convention for content-model, alphabet and precondition
+  // failures (mirrors CastWalk).
+  void SetPathToTopFrame() {
+    report_->violation_path_known = true;
+    report_->violation_path.clear();
+    for (size_t i = 1; i < frames_.size(); ++i) {
+      report_->violation_path.push_back(frames_[i].ordinal);
+    }
+  }
+
+  /// Blames the top frame (or the whole document when no frame exists).
+  Status FailParent(std::string message) {
+    SetPathToTopFrame();
+    return Fail(std::move(message));
+  }
+
+  /// Blames the element being started, which has no frame yet; `ordinal`
+  /// is its index under frames_.back() (ignored at the root: ε).
+  Status FailSelf(std::string message, uint32_t ordinal) {
+    SetPathToTopFrame();
+    if (!frames_.empty()) report_->violation_path.push_back(ordinal);
+    return Fail(std::move(message));
+  }
+
   Status ContentFail(const Frame& frame) {
+    SetPathToTopFrame();
     return Fail(StrCat("children of '", source_.alphabet()->Name(frame.sym),
                        "' do not match the content model of target type '",
                        target_.TypeName(frame.t_type), "'"));
@@ -351,9 +409,11 @@ class CastHandler : public xml::SaxHandler {
   std::vector<Frame> frames_;
   std::vector<xml::Attribute> attr_scratch_;
   size_t skip_depth_ = 0;
+  xml::PushParser* parser_ = nullptr;
+  bool use_parser_skip_ = false;
 };
 
-StreamingReport Finish(StreamingReport report, const Status& status) {
+StreamingReport FinalizeReport(StreamingReport report, const Status& status) {
   if (status.ok()) return report;
   if (!report.valid) return report;  // handler aborted with a violation
   // Well-formedness failure: surface the parse error as the violation.
@@ -368,18 +428,73 @@ StreamingReport StreamingValidate(std::string_view input,
                                   const Schema& schema,
                                   const xml::ParseOptions& options) {
   StreamingReport report;
+  report.bytes_fed = input.size();
   FullHandler handler(schema, &report);
   Status status = xml::ParseXmlEvents(input, &handler, options);
-  return Finish(std::move(report), status);
+  return FinalizeReport(std::move(report), status);
 }
 
 StreamingReport StreamingCastValidate(std::string_view input,
                                       const TypeRelations& relations,
                                       const xml::ParseOptions& options) {
   StreamingReport report;
+  report.bytes_fed = input.size();
   CastHandler handler(relations, &report);
   Status status = xml::ParseXmlEvents(input, &handler, options);
-  return Finish(std::move(report), status);
+  return FinalizeReport(std::move(report), status);
 }
+
+// ---- Incremental session ---------------------------------------------------
+
+struct StreamingCastSession::Impl {
+  StreamingReport report;
+  CastHandler handler;
+  xml::PushParser parser;
+  bool done = false;
+  Status status;  // the deciding status returned by Feed/after done
+
+  Impl(const TypeRelations& relations, const StreamingCastOptions& options)
+      : handler(relations, &report), parser(&handler, options.parse) {
+    handler.AttachParser(&parser, options.skip_scan);
+  }
+
+  void Finalize(const Status& underlying) {
+    done = true;
+    report = FinalizeReport(std::move(report), underlying);
+    report.bytes_fed = parser.bytes_fed();
+    report.bytes_skipped = parser.bytes_skipped();
+    report.peak_carry_bytes = parser.peak_carry_bytes();
+    if (underlying.ok()) {
+      status = Status::OK();
+    } else if (IsAbortStatus(underlying)) {
+      // Surface the violation, not the internal abort sentinel.
+      status = Status::InvalidArgument(report.violation);
+    } else {
+      status = underlying;
+    }
+  }
+};
+
+StreamingCastSession::StreamingCastSession(const TypeRelations& relations,
+                                           const StreamingCastOptions& options)
+    : impl_(std::make_unique<Impl>(relations, options)) {}
+
+StreamingCastSession::~StreamingCastSession() = default;
+
+Status StreamingCastSession::Feed(std::string_view chunk) {
+  if (impl_->done) return impl_->status;
+  Status status = impl_->parser.Feed(chunk);
+  if (!status.ok()) impl_->Finalize(status);
+  return impl_->done ? impl_->status : Status::OK();
+}
+
+const StreamingReport& StreamingCastSession::Finish() {
+  if (!impl_->done) impl_->Finalize(impl_->parser.Finish());
+  return impl_->report;
+}
+
+bool StreamingCastSession::done() const { return impl_->done; }
+
+const Status& StreamingCastSession::status() const { return impl_->status; }
 
 }  // namespace xmlreval::core

@@ -14,16 +14,26 @@
 //     no validation work — no type lookups, no DFA steps, no text
 //     inspection — happens until the subtree closes. Disjoint pairs abort
 //     the parse immediately via the handler-status channel.
+//   * StreamingCastSession — the same §3.2 cast over the incremental
+//     PushParser: chunks are Fed as they arrive (pipe, socket), so a
+//     multi-GB document is validated without ever being resident, and a
+//     subsumed (source, target) pair hands the subtree's bytes to the
+//     raw-byte SkipScanner — not even tokenized. This is the engine behind
+//     ValidationService::CastStream and `xmlreval cast --stream`.
 //
-// Both report the usual counters plus max_live_frames, the peak element
+// All report the usual counters plus max_live_frames, the peak element
 // stack depth — the memory metric benched against DOM validation in
-// bench_streaming.
+// bench_streaming; sessions additionally report byte accounting
+// (bytes_fed / bytes_skipped / peak_carry_bytes).
 
 #ifndef XMLREVAL_CORE_STREAMING_VALIDATOR_H_
 #define XMLREVAL_CORE_STREAMING_VALIDATOR_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/relations.h"
 #include "core/report.h"
@@ -34,10 +44,26 @@ namespace xmlreval::core {
 struct StreamingReport {
   bool valid = true;
   std::string violation;
+  /// Dewey path (0-based child ordinals from the root) of the blamed
+  /// element for cast violations; meaningful only when
+  /// violation_path_known (parse errors have no node to blame). NOTE:
+  /// streaming interleaves content-model steps with descent, so on a
+  /// document with several independent violations the FIRST one found —
+  /// and hence the blamed node — can differ from the DOM CastValidator's,
+  /// whose walk finishes a parent's content pass before expanding
+  /// children. Verdicts always agree.
+  bool violation_path_known = false;
+  std::vector<uint32_t> violation_path;
   ValidationCounters counters;
   /// Peak number of simultaneously open elements tracked — the live-memory
-  /// metric (the DOM equivalent is the total node count).
+  /// metric (the DOM equivalent is the total node count). Subtrees handed
+  /// to the raw-byte skip scanner contribute no frames.
   uint64_t max_live_frames = 0;
+  /// Byte accounting (filled by StreamingCastSession; the whole-buffer
+  /// entry points set bytes_fed only).
+  uint64_t bytes_fed = 0;
+  uint64_t bytes_skipped = 0;
+  uint64_t peak_carry_bytes = 0;
 };
 
 /// Validates XML text against `schema` without building a DOM.
@@ -52,6 +78,58 @@ StreamingReport StreamingValidate(std::string_view input,
 StreamingReport StreamingCastValidate(std::string_view input,
                                       const TypeRelations& relations,
                                       const xml::ParseOptions& options = {});
+
+struct StreamingCastOptions {
+  /// Hand subsumed subtrees to the raw-byte SkipScanner (never tokenized).
+  /// Off = subsumed subtrees are still tokenized with validation
+  /// suppressed — the pre-session behavior, kept as the tokenize-everything
+  /// baseline in bench_streaming's A/B.
+  bool skip_scan = true;
+  /// skip_whitespace_text is honored; text is always coalesced.
+  xml::ParseOptions parse;
+};
+
+/// Incremental schema-cast validation: feed chunks as they arrive. Live
+/// memory is O(document depth) frames + the parser's bounded carry buffer,
+/// independent of document size. The caller must keep `relations` (and
+/// the schemas it references) alive for the session's lifetime.
+///
+///   StreamingCastSession session(relations);
+///   while (read(chunk)) {
+///     if (!session.Feed(chunk).ok()) break;   // verdict already decided
+///   }
+///   const StreamingReport& report = session.Finish();
+class StreamingCastSession {
+ public:
+  explicit StreamingCastSession(const TypeRelations& relations,
+                                const StreamingCastOptions& options = {});
+  ~StreamingCastSession();
+  StreamingCastSession(const StreamingCastSession&) = delete;
+  StreamingCastSession& operator=(const StreamingCastSession&) = delete;
+
+  /// Consumes the next chunk. Returns OK while the verdict is still open;
+  /// once it is decided (violation, disjoint reject, malformed input) the
+  /// deciding status is returned and later Feeds are no-ops returning the
+  /// same status. Callers may stop feeding at the first non-OK.
+  Status Feed(std::string_view chunk);
+
+  /// Ends the input and returns the final report. Idempotent; the
+  /// reference stays valid for the session's lifetime.
+  const StreamingReport& Finish();
+
+  /// True once the verdict is decided (Finish called or early abort).
+  bool done() const;
+
+  /// The deciding status, meaningful once done(): OK for a valid document,
+  /// kInvalidArgument carrying the violation for a cast rejection, the
+  /// parse/unsupported error otherwise. Lets callers distinguish "the
+  /// document is not castable" from "the bytes were not XML".
+  const Status& status() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xmlreval::core
 

@@ -48,6 +48,14 @@ ValidationService::ValidationService(const Options& options)
   };
   validate_op_ = op("validate");
   cast_op_ = op("cast");
+  cast_stream_op_ = op("cast_stream");
+  stream_bytes_total_ = metrics_.counter("xmlreval_stream_bytes_total");
+  stream_bytes_skipped_total_ =
+      metrics_.counter("xmlreval_stream_bytes_skipped_total");
+  stream_bytes_skipped_ = metrics_.gauge("xmlreval_stream_bytes_skipped");
+  stream_max_live_frames_ = metrics_.gauge("xmlreval_stream_max_live_frames");
+  stream_peak_carry_bytes_ =
+      metrics_.gauge("xmlreval_stream_peak_carry_bytes");
   cast_with_mods_op_ = op("cast_with_mods");
   edit_stream_op_ = op("edit_stream");
   edit_ops_safe_ =
@@ -397,6 +405,133 @@ Result<core::ValidationReport> ValidationService::Cast(
                 &request_scope, doc.NodeCount());
 }
 
+// ---------------------------------------------------------------------
+// Streaming cast
+// ---------------------------------------------------------------------
+
+namespace {
+
+core::ValidationReport ToValidationReport(const core::StreamingReport& s) {
+  core::ValidationReport report;
+  report.valid = s.valid;
+  report.violation = s.violation;
+  if (s.violation_path_known) {
+    report.violation_path = xml::DeweyPath(s.violation_path);
+  }
+  report.counters = s.counters;
+  return report;
+}
+
+}  // namespace
+
+struct ValidationService::CastStreamSession::State {
+  ValidationService* service;
+  RelationsPtr relations;  // pins the pair (and its schemas) for the session
+  std::shared_lock<std::shared_mutex> guard;  // registry read guard
+  core::StreamingCastSession engine;
+  const PairEntry* pair;
+  Clock::time_point start;
+  bool finished = false;
+  Result<core::ValidationReport> final_result = core::ValidationReport{};
+
+  State(ValidationService* service_in, RelationsPtr relations_in,
+        std::shared_lock<std::shared_mutex> guard_in, const PairEntry* pair_in)
+      : service(service_in),
+        relations(std::move(relations_in)),
+        guard(std::move(guard_in)),
+        engine(*relations),
+        pair(pair_in),
+        start(Clock::now()) {}
+};
+
+ValidationService::CastStreamSession::CastStreamSession(
+    std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+// An abandoned session (destroyed without Finish) books nothing.
+ValidationService::CastStreamSession::~CastStreamSession() = default;
+
+Status ValidationService::CastStreamSession::Feed(std::string_view chunk) {
+  if (state_->finished) {
+    return Status::FailedPrecondition("cast stream already finished");
+  }
+  return state_->engine.Feed(chunk);
+}
+
+Result<core::ValidationReport> ValidationService::CastStreamSession::Finish() {
+  if (state_->finished) return state_->final_result;
+  state_->finished = true;
+  obs::RequestScope request_scope;
+  obs::Span span("svc.cast_stream");
+  const core::StreamingReport& streamed = state_->engine.Finish();
+  if (span.enabled()) {
+    span.Arg("bytes_fed", streamed.bytes_fed);
+    span.Arg("bytes_skipped", streamed.bytes_skipped);
+    span.Arg("max_live_frames", streamed.max_live_frames);
+  }
+  ValidationService* service = state_->service;
+  {
+    std::shared_lock lock(service->snapshot_mutex_);
+    service->stream_bytes_total_->Add(streamed.bytes_fed);
+    service->stream_bytes_skipped_total_->Add(streamed.bytes_skipped);
+  }
+  service->stream_bytes_skipped_->Set(
+      static_cast<int64_t>(streamed.bytes_skipped));
+  service->stream_max_live_frames_->Set(
+      static_cast<int64_t>(streamed.max_live_frames));
+  service->stream_peak_carry_bytes_->Set(
+      static_cast<int64_t>(streamed.peak_carry_bytes));
+  auto run = [&]() -> Result<core::ValidationReport> {
+    const Status& status = state_->engine.status();
+    // kInvalidArgument here is the engine's cast-rejection channel — that
+    // is a verdict, not an error. Anything else non-OK (malformed bytes,
+    // unsupported entity) is a real error, as a DOM parse failure would be.
+    if (!status.ok() && status.code() != StatusCode::kInvalidArgument) {
+      return status;
+    }
+    return ToValidationReport(streamed);
+  };
+  state_->final_result = service->Record(
+      run(), service->cast_stream_op_, state_->start, state_->pair,
+      &request_scope, streamed.counters.nodes_visited);
+  return state_->final_result;
+}
+
+const core::StreamingReport&
+ValidationService::CastStreamSession::streaming_report() const {
+  return state_->engine.Finish();
+}
+
+Result<std::unique_ptr<ValidationService::CastStreamSession>>
+ValidationService::StartCastStream(SchemaHandle source, SchemaHandle target) {
+  const Clock::time_point start = Clock::now();
+  auto relations = cache_.Get(source, target);
+  if (!relations.ok()) {
+    // Book the failed open so requests == valid + invalid + errors holds
+    // for streaming requests too.
+    obs::RequestScope request_scope;
+    Record(relations.status(), cast_stream_op_, start,
+           PairLatency(source, target), &request_scope, 0);
+    return relations.status();
+  }
+  auto state = std::make_unique<CastStreamSession::State>(
+      this, std::move(relations).value(), registry_.ReadGuard(),
+      PairLatency(source, target));
+  state->start = start;
+  return std::unique_ptr<CastStreamSession>(
+      new CastStreamSession(std::move(state)));
+}
+
+Result<core::ValidationReport> ValidationService::CastStream(
+    SchemaHandle source, SchemaHandle target, std::string_view text) {
+  ASSIGN_OR_RETURN(std::unique_ptr<CastStreamSession> session,
+                   StartCastStream(source, target));
+  // An early-decided verdict just stops the feed; Finish reports it.
+  Status fed = session->Feed(text);
+  (void)fed;
+  return session->Finish();
+}
+
 Result<core::ValidationReport> ValidationService::CastWithMods(
     SchemaHandle source, SchemaHandle target, const xml::Document& doc,
     const xml::ModificationIndex& mods) {
@@ -596,6 +731,19 @@ ValidationService::BatchItemResult ValidationService::ProcessItem(
   const Clock::time_point start = Clock::now();
   BatchItemResult result = [&]() -> BatchItemResult {
     BatchItemResult out;
+    // Large casts stream: the text is consumed incrementally by the
+    // push-parser engine and no DOM is ever materialized on the worker.
+    if (item.op == BatchOp::kCast && options_.stream_threshold_bytes > 0 &&
+        item.xml_text.size() >= options_.stream_threshold_bytes) {
+      Result<core::ValidationReport> report =
+          CastStream(item.source, item.target, item.xml_text);
+      if (!report.ok()) {
+        out.status = report.status().WithContext("batch item");
+        return out;
+      }
+      out.report = std::move(report).value();
+      return out;
+    }
     Result<xml::Document> doc = [&] {
       obs::Span parse_span("item.parse");
       return xml::ParseXml(item.xml_text);
@@ -726,6 +874,9 @@ ValidationService::Counters ValidationService::counters() const {
   counters.full_validations = validate_op_.ok->Value();
   counters.casts = cast_op_.ok->Value();
   counters.casts_with_mods = cast_with_mods_op_.ok->Value();
+  counters.cast_streams = cast_stream_op_.ok->Value();
+  counters.stream_bytes = stream_bytes_total_->Value();
+  counters.stream_bytes_skipped = stream_bytes_skipped_total_->Value();
   counters.batches = batches_->Value();
   counters.batch_items = batch_items_->Value();
   counters.nodes_visited = nodes_visited_->Value();

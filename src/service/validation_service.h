@@ -46,6 +46,10 @@
 //   xmlreval_edit_ops_total{verdict=...}   stream ops after composition
 //   xmlreval_edit_streams_total{path=...}  short_circuit_safe / _fatal /
 //                                          fallback
+//   xmlreval_stream_bytes_total            bytes fed to streaming casts
+//   xmlreval_stream_bytes_skipped_total    bytes the skip scanner bypassed
+//   xmlreval_stream_{bytes_skipped,max_live_frames,peak_carry_bytes}
+//                                          last streaming request's gauges
 //   xmlreval_{nodes_visited,dfa_steps,subtrees_skipped}_total
 //
 // plus the RelationsCache's metrics (same registry). Counter updates for
@@ -79,6 +83,7 @@
 #include "core/mod_validator.h"
 #include "core/parallel_cast_validator.h"
 #include "core/report.h"
+#include "core/streaming_validator.h"
 #include "obs/metrics.h"
 #include "service/plan_cache.h"
 #include "service/relations_cache.h"
@@ -119,6 +124,13 @@ class ValidationService {
     /// Empty = no plan cache: RegisterPlanPair always compiles cold and
     /// never touches disk.
     std::string plan_cache_dir;
+    /// Batch kCast items whose XML text is at least this many bytes are
+    /// served by the incremental streaming cast engine instead of the DOM
+    /// pipeline: no parse, no bind, no tree — live memory is O(depth), and
+    /// subsumed subtrees are byte-skipped without tokenization. 0 disables
+    /// the routing (every batch item builds a DOM). The sync CastStream /
+    /// StartCastStream entry points always stream regardless.
+    size_t stream_threshold_bytes = 0;
   };
 
   /// Service-level request counters (cache internals live in
@@ -142,6 +154,10 @@ class ValidationService {
     uint64_t edit_ops_safe = 0;            // per-op verdicts, post-compose
     uint64_t edit_ops_fatal = 0;
     uint64_t edit_ops_unknown = 0;
+    // Streaming cast path (CastStream / StartCastStream / batch routing).
+    uint64_t cast_streams = 0;          // OK streaming cast requests
+    uint64_t stream_bytes = 0;          // bytes fed to streaming sessions
+    uint64_t stream_bytes_skipped = 0;  // bytes the skip scanner bypassed
   };
 
   explicit ValidationService(const Options& options);
@@ -177,6 +193,55 @@ class ValidationService {
   /// `target` using the cached relations.
   Result<core::ValidationReport> Cast(SchemaHandle source, SchemaHandle target,
                                       const xml::Document& doc);
+
+  // ------------------------------------------------------------------
+  // Streaming cast (no DOM)
+  // ------------------------------------------------------------------
+
+  /// A service-managed incremental cast: obtained from StartCastStream,
+  /// fed chunks as they arrive, finished for the booked report. The
+  /// session pins the pair's relations and holds the registry's read
+  /// guard for its lifetime, so it must not outlive the service and
+  /// should not be kept open across schema registrations. Use from one
+  /// thread at a time.
+  class CastStreamSession {
+   public:
+    ~CastStreamSession();
+    CastStreamSession(const CastStreamSession&) = delete;
+    CastStreamSession& operator=(const CastStreamSession&) = delete;
+
+    /// Consumes the next chunk. Returns OK while the verdict is open;
+    /// once decided, the deciding status (callers may stop feeding).
+    Status Feed(std::string_view chunk);
+
+    /// Ends the input, books the request into the service's counters and
+    /// histograms (exactly once), and returns the report — or the parse
+    /// error for bytes that were not well-formed XML. Idempotent.
+    Result<core::ValidationReport> Finish();
+
+    /// The engine's full report (byte accounting, live-frame peak);
+    /// meaningful after Finish.
+    const core::StreamingReport& streaming_report() const;
+
+   private:
+    friend class ValidationService;
+    struct State;
+    explicit CastStreamSession(std::unique_ptr<State> state);
+    std::unique_ptr<State> state_;
+  };
+
+  /// Opens a streaming cast session for a registered (source, target)
+  /// pair. Fails fast on bad handles or relation-computation errors
+  /// (booked as a cast_stream error).
+  Result<std::unique_ptr<CastStreamSession>> StartCastStream(
+      SchemaHandle source, SchemaHandle target);
+
+  /// One-shot convenience over StartCastStream: streams `text` through
+  /// the incremental engine (still never builds a DOM) and returns the
+  /// booked report.
+  Result<core::ValidationReport> CastStream(SchemaHandle source,
+                                            SchemaHandle target,
+                                            std::string_view text);
 
   /// Cast with modifications (§3.3) over a Δ-encoded document.
   Result<core::ValidationReport> CastWithMods(
@@ -391,8 +456,17 @@ class ValidationService {
   obs::Counter* subtrees_skipped_;
   OpMetrics validate_op_;
   OpMetrics cast_op_;
+  OpMetrics cast_stream_op_;
   OpMetrics cast_with_mods_op_;
   OpMetrics edit_stream_op_;
+  // Streaming cast byte accounting: monotonic totals plus last-request
+  // gauges (xmlreval_stream_bytes_skipped / _max_live_frames /
+  // _peak_carry_bytes) exposing the engine's memory claim per request.
+  obs::Counter* stream_bytes_total_;
+  obs::Counter* stream_bytes_skipped_total_;
+  obs::Gauge* stream_bytes_skipped_;
+  obs::Gauge* stream_max_live_frames_;
+  obs::Gauge* stream_peak_carry_bytes_;
   // Edit-stream observability: per-op verdicts after stream composition
   // (xmlreval_edit_ops_total{verdict=...}) and streams by resolution path
   // (xmlreval_edit_streams_total{path=short_circuit_safe |

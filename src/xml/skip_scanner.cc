@@ -1,0 +1,266 @@
+#include "xml/skip_scanner.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace xmlreval::xml {
+
+const char* FindByteSimd(const char* p, size_t n, char byte) {
+#if defined(__SSE2__)
+  const __m128i needle = _mm_set1_epi8(byte);
+  while (n >= 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle));
+    if (mask != 0) return p + __builtin_ctz(static_cast<unsigned>(mask));
+    p += 16;
+    n -= 16;
+  }
+#elif defined(__aarch64__)
+  const uint8x16_t needle = vdupq_n_u8(static_cast<uint8_t>(byte));
+  while (n >= 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p));
+    uint8x16_t eq = vceqq_u8(v, needle);
+    if (vmaxvq_u8(eq) != 0) {
+      // Narrow the 16 lanes to a 64-bit nibble mask and count zeros.
+      uint64_t nib = vget_lane_u64(
+          vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)), 0);
+      return p + (__builtin_ctzll(nib) >> 2);
+    }
+    p += 16;
+    n -= 16;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] == byte) return p + i;
+  }
+  return nullptr;
+}
+
+namespace {
+constexpr std::string_view kCDataOpen = "<![CDATA[";
+}  // namespace
+
+void SkipScanner::Begin() {
+  state_ = State::kContent;
+  depth_ = 1;
+  prefix_pos_ = 0;
+  quote_ = 0;
+  error_.clear();
+}
+
+SkipScanner::Result SkipScanner::Fail(std::string message) {
+  error_ = std::move(message);
+  return Result::kError;
+}
+
+SkipScanner::Result SkipScanner::Scan(std::string_view data,
+                                      size_t* consumed) {
+  const char* p = data.data();
+  const char* const end = p + data.size();
+  // Every return path sets *consumed from `p` first.
+  auto eaten = [&] { return static_cast<size_t>(p - data.data()); };
+
+  while (p < end) {
+    switch (state_) {
+      case State::kContent: {
+        // The hot state: everything between markup is irrelevant — one
+        // SIMD sweep to the next '<'.
+        const char* lt = FindByteSimd(p, static_cast<size_t>(end - p), '<');
+        if (lt == nullptr) {
+          p = end;
+          break;
+        }
+        p = lt + 1;
+        state_ = State::kLt;
+        break;
+      }
+      case State::kLt: {
+        char c = *p++;
+        if (c == '/') {
+          state_ = State::kEndTagName;
+        } else if (c == '!') {
+          state_ = State::kBang;
+        } else if (c == '?') {
+          state_ = State::kPi;
+        } else if (IsNameStartChar(c)) {
+          state_ = State::kStartTag;
+        } else {
+          *consumed = eaten();
+          return Fail("expected XML name");
+        }
+        break;
+      }
+      case State::kBang: {
+        char c = *p++;
+        if (c == '-') {
+          state_ = State::kBangDash;
+        } else if (c == '[') {
+          state_ = State::kCDataPrefix;
+          prefix_pos_ = 3;  // "<![" already matched
+        } else {
+          *consumed = eaten();
+          return Fail("expected XML name");
+        }
+        break;
+      }
+      case State::kBangDash: {
+        if (*p++ != '-') {
+          *consumed = eaten();
+          return Fail("expected XML name");
+        }
+        state_ = State::kComment;
+        break;
+      }
+      case State::kCDataPrefix: {
+        if (*p++ != kCDataOpen[prefix_pos_]) {
+          *consumed = eaten();
+          return Fail("expected XML name");
+        }
+        if (++prefix_pos_ == kCDataOpen.size()) state_ = State::kCData;
+        break;
+      }
+      case State::kComment: {
+        const char* dash = FindByteSimd(p, static_cast<size_t>(end - p), '-');
+        if (dash == nullptr) {
+          p = end;
+          break;
+        }
+        p = dash + 1;
+        state_ = State::kCommentDash;
+        break;
+      }
+      case State::kCommentDash: {
+        state_ = (*p++ == '-') ? State::kCommentDashDash : State::kComment;
+        break;
+      }
+      case State::kCommentDashDash: {
+        if (*p++ != '>') {
+          *consumed = eaten();
+          return Fail("'--' not allowed inside comment");
+        }
+        state_ = State::kContent;
+        break;
+      }
+      case State::kCData: {
+        const char* br = FindByteSimd(p, static_cast<size_t>(end - p), ']');
+        if (br == nullptr) {
+          p = end;
+          break;
+        }
+        p = br + 1;
+        state_ = State::kCDataBracket;
+        break;
+      }
+      case State::kCDataBracket: {
+        state_ = (*p++ == ']') ? State::kCDataBracketBracket : State::kCData;
+        break;
+      }
+      case State::kCDataBracketBracket: {
+        char c = *p++;
+        if (c == '>') {
+          state_ = State::kContent;
+        } else if (c != ']') {  // "]]]" keeps the two-bracket window open
+          state_ = State::kCData;
+        }
+        break;
+      }
+      case State::kPi: {
+        const char* q = FindByteSimd(p, static_cast<size_t>(end - p), '?');
+        if (q == nullptr) {
+          p = end;
+          break;
+        }
+        p = q + 1;
+        state_ = State::kPiQ;
+        break;
+      }
+      case State::kPiQ: {
+        char c = *p++;
+        if (c == '>') {
+          state_ = State::kContent;
+        } else if (c != '?') {
+          state_ = State::kPi;
+        }
+        break;
+      }
+      case State::kStartTag: {
+        char c = *p++;
+        if (c == '>') {
+          ++depth_;
+          state_ = State::kContent;
+        } else if (c == '"' || c == '\'') {
+          quote_ = c;
+          state_ = State::kStartTagQuote;
+        } else if (c == '/') {
+          state_ = State::kStartTagSlash;
+        } else if (c == '<') {
+          *consumed = eaten();
+          return Fail("'<' not allowed inside a start tag");
+        }
+        break;
+      }
+      case State::kStartTagQuote: {
+        const char* q =
+            FindByteSimd(p, static_cast<size_t>(end - p), quote_);
+        const size_t span =
+            q == nullptr ? static_cast<size_t>(end - p)
+                         : static_cast<size_t>(q - p);
+        if (FindByteSimd(p, span, '<') != nullptr) {
+          p += span;
+          *consumed = eaten();
+          return Fail("'<' not allowed in attribute value");
+        }
+        if (q == nullptr) {
+          p = end;
+          break;
+        }
+        p = q + 1;
+        state_ = State::kStartTag;
+        break;
+      }
+      case State::kStartTagSlash: {
+        if (*p++ != '>') {
+          *consumed = eaten();
+          return Fail("expected '>' after '/'");
+        }
+        // Self-closing: opens and closes at once — depth unchanged.
+        state_ = State::kContent;
+        break;
+      }
+      case State::kEndTagName: {
+        if (!IsNameStartChar(*p)) {
+          *consumed = eaten();
+          return Fail("expected XML name");
+        }
+        ++p;
+        state_ = State::kEndTag;
+        break;
+      }
+      case State::kEndTag: {
+        const char* gt = FindByteSimd(p, static_cast<size_t>(end - p), '>');
+        if (gt == nullptr) {
+          p = end;
+          break;
+        }
+        p = gt + 1;
+        if (--depth_ == 0) {
+          *consumed = eaten();
+          return Result::kDone;
+        }
+        state_ = State::kContent;
+        break;
+      }
+    }
+  }
+  *consumed = eaten();
+  return Result::kNeedMore;
+}
+
+}  // namespace xmlreval::xml

@@ -100,6 +100,58 @@ TEST_F(CliTest, CastChecksPreconditionThenTarget) {
       2);
 }
 
+TEST_F(CliTest, CastStreamVerdictsAndAccounting) {
+  // Valid cast from a file, tiny chunks to force carry across boundaries.
+  EXPECT_EQ(Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("ok.xml") + " --stream --chunk-bytes 3"),
+            0);
+  std::string out = Output();
+  EXPECT_NE(out.find("VALID"), std::string::npos);
+  EXPECT_NE(out.find("stream: bytes_fed="), std::string::npos);
+
+  // Same input from stdin via '-': identical accounting line.
+  EXPECT_EQ(Run("cast " + P("v1.dtd") + " " + P("v2.dtd") +
+                " - --stream --chunk-bytes 3 < " + P("ok.xml")),
+            0);
+  EXPECT_EQ(Output(), out);
+
+  // Invalid under the target → exit 1; stream mode trusts the source
+  // precondition, so the missing <body> surfaces as the violation.
+  EXPECT_EQ(Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("nobody.xml") + " --stream"),
+            1);
+  EXPECT_NE(Output().find("INVALID"), std::string::npos);
+
+  // Truncated input is an input error (exit 2), not a verdict.
+  EXPECT_EQ(Run("cast " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                P("broken.xml") + " --stream"),
+            2);
+}
+
+TEST_F(CliTest, ServeBatchStreamThresholdRoutesCasts) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  EXPECT_EQ(RunTo("serve-batch " + P("v1.dtd") + " " + P("v2.dtd") + " " +
+                      P("ok.xml") + " --stream-threshold-bytes 1" +
+                      " --metrics-out " + P("m.json"),
+                  P("batch.txt")),
+            0);
+  std::ifstream in(P("m.json"));
+  std::string metrics((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // The one cast item is >= 1 byte, so it went through the stream path:
+  // one cast_stream op, zero plain casts, and ok.xml's 51 bytes on the
+  // stream byte counter.
+  EXPECT_NE(metrics.find("{\"op\":\"cast_stream\"},\"value\":1"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("{\"op\":\"cast\"},\"value\":0"), std::string::npos)
+      << metrics;
+  EXPECT_NE(
+      metrics.find("\"xmlreval_stream_bytes_total\",\"labels\":{},\"value\":51"),
+      std::string::npos)
+      << metrics;
+}
+
 TEST_F(CliTest, CorrectWritesRepairedDocument) {
   EXPECT_EQ(Run("correct " + P("v1.dtd") + " " + P("v2.dtd") + " " +
                 P("nobody.xml") + " -o " + P("fixed.xml")),

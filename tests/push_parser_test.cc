@@ -1,0 +1,272 @@
+#include "xml/push_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tests/test_util.h"
+#include "xml/sax.h"
+
+namespace xmlreval::xml {
+namespace {
+
+// Records events as compact strings: "+tag a=v", "-tag", "t:text", "d:name".
+class Recorder : public SaxHandler {
+ public:
+  Status Doctype(std::string_view name, std::string_view subset) override {
+    events.push_back("d:" + std::string(name) + "[" + std::string(subset) +
+                     "]");
+    return Status::OK();
+  }
+  Status StartElement(std::string_view name,
+                      const std::vector<SaxAttribute>& attrs) override {
+    std::string e = "+" + std::string(name);
+    for (const SaxAttribute& a : attrs) {
+      e += " " + std::string(a.name) + "=" + std::string(a.value);
+    }
+    events.push_back(e);
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    events.push_back("-" + std::string(name));
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    events.push_back("t:" + std::string(text));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+struct PushOutcome {
+  Status status = Status::OK();
+  std::vector<std::string> events;
+  uint64_t peak_carry = 0;
+};
+
+PushOutcome RunPush(std::string_view doc, size_t chunk,
+                    const ParseOptions& options = {}) {
+  Recorder recorder;
+  PushParser parser(&recorder, options);
+  PushOutcome out;
+  for (size_t pos = 0; pos < doc.size(); pos += chunk) {
+    Status s = parser.Feed(doc.substr(pos, std::min(chunk, doc.size() - pos)));
+    if (!s.ok()) {
+      out.status = s;
+      break;
+    }
+  }
+  if (out.status.ok()) out.status = parser.Finish();
+  out.events = std::move(recorder.events);
+  out.peak_carry = parser.peak_carry_bytes();
+  return out;
+}
+
+const size_t kChunks[] = {1, 2, 3, 5, 17, 4096};
+
+// For every chunking, the push parser must agree with the one-shot event
+// parser on events and success, and with its own one-shot run byte for
+// byte (including the error message, whose offsets must not depend on
+// chunk boundaries).
+void ExpectParity(std::string_view doc, const ParseOptions& options = {}) {
+  Recorder reference;
+  Status ref_status = ParseXmlEvents(doc, &reference, options);
+  PushOutcome oneshot = RunPush(doc, doc.size() ? doc.size() : 1, options);
+  EXPECT_EQ(oneshot.status.ok(), ref_status.ok()) << doc;
+  if (!ref_status.ok()) {
+    EXPECT_EQ(oneshot.status.code(), ref_status.code()) << doc;
+  } else {
+    EXPECT_EQ(oneshot.events, reference.events) << doc;
+  }
+  for (size_t chunk : kChunks) {
+    PushOutcome chunked = RunPush(doc, chunk, options);
+    EXPECT_EQ(chunked.status.code(), oneshot.status.code())
+        << doc << " chunk=" << chunk;
+    EXPECT_EQ(chunked.status.message(), oneshot.status.message())
+        << doc << " chunk=" << chunk;
+    EXPECT_EQ(chunked.events, oneshot.events) << doc << " chunk=" << chunk;
+  }
+}
+
+TEST(PushParserTest, ValidCorpusParity) {
+  const std::string_view docs[] = {
+      "<a/>",
+      "<a x=\"1\" y='two'><b>hi</b><c/></a>",
+      "<?xml version=\"1.0\"?>\n<!-- head --><root>text</root>\n<!-- tail -->",
+      "<!DOCTYPE note [<!ELEMENT note EMPTY>]><note/>",
+      "<!DOCTYPE r SYSTEM \"some>file.dtd\"><r/>",
+      "<a>one<!-- gap -->two</a>",
+      "<a>pre<![CDATA[ <raw> & stuff ]]>post</a>",
+      "<a>x<?pi data?>y</a>",
+      "<a>&lt;&amp;&gt;&quot;&apos;</a>",
+      "<a>&#65;&#x42;&#x1F600;</a>",
+      "<a attr=\"a&amp;b&#33;\">v</a>",
+      "<a>\n  <b/>\n</a>",
+      "<deep><deep><deep>x</deep></deep></deep>",
+      "<a><![CDATA[]]]></a>",
+      "<a><![CDATA[a]]b]]>c</a>",
+  };
+  for (std::string_view doc : docs) ExpectParity(doc);
+}
+
+TEST(PushParserTest, WhitespaceModeParity) {
+  ParseOptions keep;
+  keep.skip_whitespace_text = false;
+  ExpectParity("<a>\n<b/> </a>", keep);
+  ExpectParity("<a> mixed <b/>\n\t</a>", keep);
+}
+
+TEST(PushParserTest, MalformedCorpusParity) {
+  const std::string_view docs[] = {
+      "<a><b></a></b>",
+      "<a>text",
+      "<a x=\"1\" x=\"2\"/>",
+      "<a x=\"<\"/>",
+      "<a></a><b/>",
+      "<a>tail</a>junk",
+      "<a><!-- -- --></a>",
+      "<a>&undefined;</a>",
+      "<a>&#xZZ;</a>",
+      "<a>&#;</a>",
+      "<a><3/></a>",
+      "text only",
+      "<a x=1/>",
+      "<a x></a>",
+      "</a>",
+      "<a/><!-- ok --><![CDATA[no]]>",
+  };
+  for (std::string_view doc : docs) ExpectParity(doc);
+}
+
+TEST(PushParserTest, EveryPrefixOfValidDocFails) {
+  // No epilog whitespace: only the complete document may succeed.
+  std::string doc =
+      "<!DOCTYPE a [<!ELEMENT a ANY>]>"
+      "<a n=\"&amp;\"><!-- c --><b><![CDATA[x]]>&#65;</b><c/></a>";
+  for (size_t cut = 0; cut < doc.size(); ++cut) {
+    PushOutcome out = RunPush(std::string_view(doc).substr(0, cut), 3);
+    EXPECT_FALSE(out.status.ok()) << "cut=" << cut;
+  }
+  EXPECT_OK(RunPush(doc, 3).status);
+}
+
+TEST(PushParserTest, ErrorOffsetsAreBytePositions) {
+  PushOutcome out = RunPush("<a></b>", 2);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_NE(out.status.message().find("XML parse error at byte 3"),
+            std::string::npos)
+      << out.status.message();
+}
+
+TEST(PushParserTest, CarryStaysBoundedOnTinyChunks) {
+  // One-byte chunks force maximal carrying; the carry buffer must still be
+  // bounded by the longest markup construct, not the document size.
+  std::string doc = "<root>";
+  for (int i = 0; i < 200; ++i) doc += "<item key=\"value\">text</item>";
+  doc += "</root>";
+  PushOutcome out = RunPush(doc, 1);
+  EXPECT_OK(out.status);
+  EXPECT_LE(out.peak_carry, 64u);
+}
+
+// Handler that skips every element named `skip`.
+class Skipper : public Recorder {
+ public:
+  Status StartElement(std::string_view name,
+                      const std::vector<SaxAttribute>& attrs) override {
+    Status s = Recorder::StartElement(name, attrs);
+    if (name == "skip") parser->SkipCurrentSubtree();
+    return s;
+  }
+  PushParser* parser = nullptr;
+};
+
+struct SkipOutcome {
+  Status status = Status::OK();
+  std::vector<std::string> events;
+  uint64_t bytes_skipped = 0;
+  uint64_t bytes_fed = 0;
+};
+
+SkipOutcome RunSkip(std::string_view doc, size_t chunk) {
+  Skipper skipper;
+  PushParser parser(&skipper);
+  skipper.parser = &parser;
+  SkipOutcome out;
+  for (size_t pos = 0; pos < doc.size() && out.status.ok(); pos += chunk) {
+    out.status =
+        parser.Feed(doc.substr(pos, std::min(chunk, doc.size() - pos)));
+  }
+  if (out.status.ok()) out.status = parser.Finish();
+  out.events = std::move(skipper.events);
+  out.bytes_skipped = parser.bytes_skipped();
+  out.bytes_fed = parser.bytes_fed();
+  return out;
+}
+
+TEST(PushParserTest, SkipSuppressesSubtreeEvents) {
+  std::string doc =
+      "<r><keep>a</keep>"
+      "<skip><skip>nested</skip><x y=\"&bad;\">not parsed</x></skip>"
+      "<keep>b</keep></r>";
+  for (size_t chunk : kChunks) {
+    SkipOutcome out = RunSkip(doc, chunk);
+    EXPECT_OK(out.status);
+    // The skipped element's own StartElement fires (that is where the skip
+    // decision is made) but nothing else from the subtree — including its
+    // EndElement — and malformed entities inside are never seen.
+    EXPECT_EQ(out.events,
+              (std::vector<std::string>{"+r", "+keep", "t:a", "-keep",
+                                        "+skip", "+keep", "t:b", "-keep",
+                                        "-r"}))
+        << "chunk=" << chunk;
+    EXPECT_GT(out.bytes_skipped, 0u) << "chunk=" << chunk;
+    EXPECT_EQ(out.bytes_fed, doc.size()) << "chunk=" << chunk;
+  }
+}
+
+TEST(PushParserTest, SelfClosingSkipOnlyDropsEndElement) {
+  SkipOutcome out = RunSkip("<r><skip a=\"1\"/><b/></r>", 2);
+  EXPECT_OK(out.status);
+  EXPECT_EQ(out.events,
+            (std::vector<std::string>{"+r", "+skip a=1", "+b", "-b", "-r"}));
+  EXPECT_EQ(out.bytes_skipped, 0u);  // nothing handed to the byte scanner
+}
+
+TEST(PushParserTest, SkippedRootReachesEpilog) {
+  SkipOutcome out = RunSkip("<skip><a>x</a><b/></skip>\n<!-- tail -->", 3);
+  EXPECT_OK(out.status);
+  EXPECT_EQ(out.events, (std::vector<std::string>{"+skip"}));
+  EXPECT_GT(out.bytes_skipped, 0u);
+}
+
+TEST(PushParserTest, SkipScannerStillChecksStructure) {
+  // Mismatched nesting depth inside a skipped subtree: input truncation is
+  // still detected at Finish.
+  SkipOutcome out = RunSkip("<r><skip><unclosed></skip>", 4);
+  EXPECT_FALSE(out.status.ok());
+}
+
+TEST(PushParserTest, TruncatedMidSkipFails) {
+  std::string doc = "<r><skip><a><![CDATA[big";
+  SkipOutcome out = RunSkip(doc, 5);
+  ASSERT_FALSE(out.status.ok());
+  EXPECT_NE(out.status.message().find("skipped subtree"), std::string::npos)
+      << out.status.message();
+}
+
+TEST(PushParserTest, FeedAfterFinishIsLatched) {
+  Recorder recorder;
+  PushParser parser(&recorder);
+  ASSERT_OK(parser.Feed("<a/>"));
+  ASSERT_OK(parser.Finish());
+  Status again = parser.Feed("<b/>");
+  EXPECT_FALSE(again.ok());
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

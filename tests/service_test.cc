@@ -228,6 +228,93 @@ TEST_F(ValidationServiceTest, CastMatchesBareCastValidator) {
   EXPECT_EQ(service_.cache().stats().computations, 1u);
 }
 
+TEST_F(ValidationServiceTest, CastStreamMatchesDomCast) {
+  for (const char* text : {kFullNote, kBodylessNote}) {
+    auto doc = xml::ParseXml(text);
+    ASSERT_TRUE(doc.ok());
+    auto dom = service_.Cast(v1_, v2_, *doc);
+    ASSERT_TRUE(dom.ok()) << dom.status();
+    auto streamed = service_.CastStream(v1_, v2_, text);
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    EXPECT_EQ(streamed->valid, dom->valid) << text;
+  }
+  ValidationService::Counters counters = service_.counters();
+  EXPECT_EQ(counters.cast_streams, 2u);
+  EXPECT_EQ(counters.stream_bytes,
+            std::string(kFullNote).size() + std::string(kBodylessNote).size());
+  EXPECT_EQ(counters.requests, counters.valid + counters.invalid +
+                                   counters.errors);
+}
+
+TEST_F(ValidationServiceTest, CastStreamParseErrorIsAnError) {
+  auto broken = service_.CastStream(v1_, v2_, "<note><to>a</to");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kParseError);
+
+  // Bad handles are booked too: the counter identity must still hold.
+  EXPECT_FALSE(service_.CastStream(777, v2_, kFullNote).ok());
+  ValidationService::Counters counters = service_.counters();
+  EXPECT_EQ(counters.errors, 2u);
+  EXPECT_EQ(counters.requests, counters.valid + counters.invalid +
+                                   counters.errors);
+}
+
+TEST_F(ValidationServiceTest, CastStreamSessionFeedsIncrementally) {
+  // Identical pair: the root is subsumed, so the engine byte-skips the
+  // document body without tokenizing it.
+  auto session = service_.StartCastStream(v1_, v1_);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::string text = kFullNote;
+  for (size_t pos = 0; pos < text.size(); pos += 7) {
+    Status fed = (*session)->Feed(std::string_view(text).substr(pos, 7));
+    if (!fed.ok()) break;
+  }
+  auto report = (*session)->Finish();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->valid);
+  const core::StreamingReport& streamed = (*session)->streaming_report();
+  EXPECT_EQ(streamed.bytes_fed, text.size());
+  EXPECT_GT(streamed.bytes_skipped, 0u);
+  // Finish is idempotent and books exactly one request.
+  ASSERT_TRUE((*session)->Finish().ok());
+  EXPECT_EQ(service_.counters().cast_streams, 1u);
+}
+
+TEST_F(ValidationServiceTest, BatchRoutesLargeCastsThroughStreaming) {
+  ValidationService::Options options;
+  options.batch_threads = 2;
+  options.stream_threshold_bytes = 1;  // everything streams
+  ValidationService service(options);
+  auto v1 = service.registry().RegisterDtd("v1", kV1Dtd, NoteOptions());
+  auto v2 = service.registry().RegisterDtd("v2", kV2Dtd, NoteOptions());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  std::vector<ValidationService::BatchItem> items(3);
+  items[0].op = ValidationService::BatchOp::kCast;
+  items[0].source = *v1;
+  items[0].target = *v2;
+  items[0].xml_text = kFullNote;
+  items[1] = items[0];
+  items[1].xml_text = kBodylessNote;  // cast-invalid under v2
+  items[2] = items[0];
+  items[2].xml_text = "<note><broken";  // malformed
+
+  auto results = service.SubmitBatch(std::move(items)).get();
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status;
+  EXPECT_TRUE(results[0].report.valid);
+  ASSERT_TRUE(results[1].status.ok()) << results[1].status;
+  EXPECT_FALSE(results[1].report.valid);
+  EXPECT_FALSE(results[2].status.ok());
+
+  ValidationService::Counters counters = service.counters();
+  EXPECT_EQ(counters.cast_streams, 2u);  // the malformed item errored
+  EXPECT_GT(counters.stream_bytes, 0u);
+  EXPECT_EQ(counters.requests, counters.valid + counters.invalid +
+                                   counters.errors);
+}
+
 TEST_F(ValidationServiceTest, CastPreconditionOptionRejectsSourceInvalid) {
   ValidationService::Options options;
   options.check_cast_precondition = true;

@@ -1,0 +1,126 @@
+#include "xml/skip_scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "tests/test_util.h"
+
+namespace xmlreval::xml {
+namespace {
+
+// Runs the scanner over `body` in chunks of `chunk` bytes; returns the
+// result and the total bytes consumed.
+struct ScanOutcome {
+  SkipScanner::Result result = SkipScanner::Result::kNeedMore;
+  size_t consumed = 0;
+  std::string error;
+};
+
+ScanOutcome ScanChunked(std::string_view body, size_t chunk) {
+  SkipScanner scanner;
+  scanner.Begin();
+  ScanOutcome out;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t n = std::min(chunk, body.size() - pos);
+    size_t consumed = 0;
+    out.result = scanner.Scan(body.substr(pos, n), &consumed);
+    out.consumed += consumed;
+    pos += n;
+    if (out.result != SkipScanner::Result::kNeedMore) break;
+  }
+  out.error = scanner.error();
+  return out;
+}
+
+// `body` is everything after the skipped element's start tag '>'. The
+// subtree ends at the matching end tag; TAIL bytes after it must be left
+// unconsumed.
+void ExpectDoneAt(std::string_view body, size_t end_offset) {
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                       body.size()}) {
+    ScanOutcome out = ScanChunked(body, chunk);
+    EXPECT_EQ(out.result, SkipScanner::Result::kDone)
+        << "chunk=" << chunk << " error=" << out.error;
+    EXPECT_EQ(out.consumed, end_offset) << "chunk=" << chunk;
+  }
+}
+
+TEST(SkipScannerTest, FlatSubtree) {
+  std::string_view body = "text</a>tail";
+  ExpectDoneAt(body, body.size() - 4);
+}
+
+TEST(SkipScannerTest, NestedSameName) {
+  // Depth counting, not name matching, finds the right end tag.
+  std::string_view body = "<a><a>x</a></a>junk</a><more/>";
+  ExpectDoneAt(body, 23);
+}
+
+TEST(SkipScannerTest, SelfClosingDoesNotChangeDepth) {
+  std::string_view body = "<b/><c x='1'/></a>t";
+  ExpectDoneAt(body, body.size() - 1);
+}
+
+TEST(SkipScannerTest, MarkupHidingAngleBrackets) {
+  std::string body =
+      "<!-- </a> not an end tag -->"
+      "<![CDATA[ </a> still data ]]>"
+      "<?pi </a> ?>"
+      "<b attr=\"/a> x\">x</b>"
+      "</a>rest";
+  ExpectDoneAt(body, body.size() - 4);
+}
+
+TEST(SkipScannerTest, CDataBracketRuns) {
+  std::string body = "<![CDATA[ ]]] ]]]>]</a>";
+  ExpectDoneAt(body, body.size());
+}
+
+TEST(SkipScannerTest, QuoteWithGt) {
+  std::string body = "<b a='x>y' b=\"1<\"></b></a>";
+  // '<' inside an attribute value is malformed.
+  for (size_t chunk : {size_t{1}, body.size()}) {
+    ScanOutcome out = ScanChunked(body, chunk);
+    EXPECT_EQ(out.result, SkipScanner::Result::kError);
+    EXPECT_EQ(out.error, "'<' not allowed in attribute value");
+  }
+}
+
+TEST(SkipScannerTest, DoubleDashInComment) {
+  ScanOutcome out = ScanChunked("<!-- a -- b --></a>", 1);
+  EXPECT_EQ(out.result, SkipScanner::Result::kError);
+  EXPECT_EQ(out.error, "'--' not allowed inside comment");
+}
+
+TEST(SkipScannerTest, TruncationReportsNeedMore) {
+  std::string body = "<b><!-- c --><![CDATA[x]]></b></a>";
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    ScanOutcome out = ScanChunked(std::string_view(body).substr(0, cut), 3);
+    EXPECT_EQ(out.result, SkipScanner::Result::kNeedMore) << "cut=" << cut;
+  }
+  ExpectDoneAt(body, body.size());
+}
+
+TEST(SkipScannerTest, GarbageAfterLt) {
+  ScanOutcome out = ScanChunked("a <3 b</a>", 2);
+  EXPECT_EQ(out.result, SkipScanner::Result::kError);
+  EXPECT_EQ(out.error, "expected XML name");
+}
+
+TEST(SkipScannerTest, FindByteSimd) {
+  std::string hay(1000, 'x');
+  EXPECT_EQ(FindByteSimd(hay.data(), hay.size(), '<'), nullptr);
+  for (size_t pos : {size_t{0}, size_t{7}, size_t{15}, size_t{16},
+                     size_t{17}, size_t{999}}) {
+    std::string s = hay;
+    s[pos] = '<';
+    EXPECT_EQ(FindByteSimd(s.data(), s.size(), '<'), s.data() + pos)
+        << "pos=" << pos;
+  }
+}
+
+}  // namespace
+}  // namespace xmlreval::xml

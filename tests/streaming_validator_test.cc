@@ -198,5 +198,186 @@ TEST_P(StreamingAgreement, MatchesDomCastValidator) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingAgreement, ::testing::Range(0, 8));
 
+// ---------------------------------------------------------------------------
+// StreamingCastSession: the incremental push API.
+
+// A source/target pair whose `rec` declarations are identical, so every
+// (rec, rec) pair is subsumed and sessions hand rec subtrees to the
+// raw-byte skip scanner.
+struct SubsumedFixture {
+  std::shared_ptr<Alphabet> alphabet = std::make_shared<Alphabet>();
+  std::unique_ptr<Schema> source;
+  std::unique_ptr<Schema> target;
+  std::unique_ptr<TypeRelations> relations;
+
+  void Load() {
+    schema::DtdParseOptions roots;
+    roots.roots = {"r"};
+    auto s = ParseDtd(
+        "<!ELEMENT r (rec*)><!ELEMENT rec (k, v)>"
+        "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+        alphabet, roots);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    source = std::make_unique<Schema>(std::move(s).value());
+    auto t = ParseDtd(
+        "<!ELEMENT r (rec+)><!ELEMENT rec (k, v)>"
+        "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+        alphabet, roots);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    target = std::make_unique<Schema>(std::move(t).value());
+    auto r = TypeRelations::Compute(source.get(), target.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    relations = std::make_unique<TypeRelations>(std::move(r).value());
+  }
+};
+
+StreamingReport FeedSession(const TypeRelations& relations,
+                            std::string_view text, size_t chunk,
+                            const StreamingCastOptions& options = {}) {
+  StreamingCastSession session(relations, options);
+  for (size_t pos = 0; pos < text.size(); pos += chunk) {
+    if (!session.Feed(text.substr(pos, std::min(chunk, text.size() - pos)))
+             .ok()) {
+      break;  // verdict decided early; Finish still yields the report
+    }
+  }
+  return session.Finish();
+}
+
+TEST(StreamingCastSessionTest, MatchesLegacyAcrossChunkSizes) {
+  SubsumedFixture f;
+  f.Load();
+  const char* docs[] = {
+      "<r/>",
+      "<r><rec><k>1</k><v>2</v></rec></r>",
+      "<r><rec><k>1</k><v>2</v></rec><rec><k>3</k><v>4</v></rec></r>",
+      "<r><other/></r>",                     // unbound label
+      "<r><rec><k>1</k><v>2</v></rec>",      // truncated
+  };
+  for (const char* text : docs) {
+    StreamingReport legacy = StreamingCastValidate(text, *f.relations);
+    for (size_t chunk : {size_t{1}, size_t{7}, size_t{4096}}) {
+      StreamingReport session = FeedSession(*f.relations, text, chunk);
+      EXPECT_EQ(session.valid, legacy.valid)
+          << text << " chunk=" << chunk << "\nsession: " << session.violation
+          << "\nlegacy: " << legacy.violation;
+      EXPECT_EQ(session.counters.nodes_visited, legacy.counters.nodes_visited)
+          << text << " chunk=" << chunk;
+      EXPECT_EQ(session.counters.subtrees_skipped,
+                legacy.counters.subtrees_skipped)
+          << text << " chunk=" << chunk;
+      EXPECT_EQ(session.max_live_frames, legacy.max_live_frames)
+          << text << " chunk=" << chunk;
+      // Early aborts stop feeding mid-document; otherwise every byte is
+      // accounted for.
+      EXPECT_LE(session.bytes_fed, std::string_view(text).size());
+      if (legacy.valid) {
+        EXPECT_EQ(session.bytes_fed, std::string_view(text).size());
+      }
+    }
+  }
+}
+
+TEST(StreamingCastSessionTest, SubsumedSubtreesAreByteSkipped) {
+  SubsumedFixture f;
+  f.Load();
+  std::string text = "<r>";
+  for (int i = 0; i < 50; ++i) text += "<rec><k>key</k><v>value</v></rec>";
+  text += "</r>";
+
+  StreamingReport with_skip = FeedSession(*f.relations, text, 97);
+  ASSERT_TRUE(with_skip.valid) << with_skip.violation;
+  EXPECT_EQ(with_skip.counters.subtrees_skipped, 50u);
+  // Each rec body (from after "<rec>" through "</rec>") bypasses the
+  // tokenizer entirely.
+  EXPECT_GT(with_skip.bytes_skipped, 50u * 20u);
+  EXPECT_LT(with_skip.bytes_skipped, text.size());
+  // Skipped subtrees never open frames: only the root is ever live.
+  EXPECT_EQ(with_skip.max_live_frames, 1u);
+
+  StreamingCastOptions no_skip;
+  no_skip.skip_scan = false;
+  StreamingReport tokenized = FeedSession(*f.relations, text, 97, no_skip);
+  ASSERT_TRUE(tokenized.valid) << tokenized.violation;
+  EXPECT_EQ(tokenized.bytes_skipped, 0u);
+  EXPECT_EQ(tokenized.counters.subtrees_skipped, 50u);
+  EXPECT_EQ(tokenized.max_live_frames, with_skip.max_live_frames);
+  EXPECT_EQ(tokenized.counters.nodes_visited, with_skip.counters.nodes_visited);
+}
+
+TEST(StreamingCastSessionTest, MalformedBytesInsideSkippedSubtreeRejected) {
+  SubsumedFixture f;
+  f.Load();
+  // The rec subtree is only byte-scanned, but structural damage (a '<'
+  // inside an attribute value) must still be caught.
+  StreamingReport report = FeedSession(
+      *f.relations, "<r><rec><k a=\"<\">1</k><v>2</v></rec></r>", 5);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.violation.find("parse-error"), std::string::npos)
+      << report.violation;
+}
+
+TEST(StreamingCastSessionTest, ViolationPathMatchesDomValidator) {
+  // Non-subsumed rec pair (source allows v to be absent, target does not),
+  // so rec content is actually checked. Second rec (ordinal 1) is missing
+  // <v>: the blamed element must match the DOM cast validator's Dewey path.
+  auto alphabet = std::make_shared<Alphabet>();
+  schema::DtdParseOptions roots;
+  roots.roots = {"r"};
+  auto s = ParseDtd(
+      "<!ELEMENT r (rec*)><!ELEMENT rec (k, v?)>"
+      "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+      alphabet, roots);
+  ASSERT_TRUE(s.ok());
+  Schema source = std::move(s).value();
+  auto t = ParseDtd(
+      "<!ELEMENT r (rec+)><!ELEMENT rec (k, v)>"
+      "<!ELEMENT k (#PCDATA)><!ELEMENT v (#PCDATA)>",
+      alphabet, roots);
+  ASSERT_TRUE(t.ok());
+  Schema target = std::move(t).value();
+  ASSERT_OK_AND_ASSIGN(TypeRelations relations,
+                       TypeRelations::Compute(&source, &target));
+
+  const char* text =
+      "<r><rec><k>1</k><v>2</v></rec><rec><k>3</k></rec></r>";
+  auto doc = xml::ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  CastValidator dom(&relations);
+  ValidationReport reference = dom.Validate(*doc);
+  ASSERT_FALSE(reference.valid);
+
+  StreamingReport session = FeedSession(relations, text, 3);
+  ASSERT_FALSE(session.valid);
+  ASSERT_TRUE(session.violation_path_known);
+  EXPECT_EQ(xml::DeweyPath(session.violation_path).ToString(),
+            reference.violation_path.ToString());
+}
+
+TEST(StreamingCastSessionTest, EarlyAbortLatchesStatus) {
+  SubsumedFixture f;
+  f.Load();
+  StreamingCastSession session(*f.relations);
+  ASSERT_OK(session.Feed("<r><oo"));  // tag still open: no verdict yet
+  Status decided = session.Feed("ps></oops></r>");
+  EXPECT_FALSE(decided.ok());
+  EXPECT_TRUE(session.done());
+  // Later feeds are no-ops returning the same status.
+  Status again = session.Feed("<ignored/>");
+  EXPECT_EQ(again.code(), decided.code());
+  EXPECT_EQ(again.message(), decided.message());
+  const StreamingReport& report = session.Finish();
+  EXPECT_FALSE(report.valid);
+}
+
+TEST(StreamingCastSessionTest, FinishWithoutInputIsParseError) {
+  SubsumedFixture f;
+  f.Load();
+  StreamingCastSession session(*f.relations);
+  const StreamingReport& report = session.Finish();
+  EXPECT_FALSE(report.valid);
+  EXPECT_EQ(report.bytes_fed, 0u);
+}
+
 }  // namespace
 }  // namespace xmlreval::core

@@ -11,6 +11,11 @@ shape that produced them, so a fresh file whose hardware_concurrency stamp
 differs from the baseline's is reported but never failed — the numbers
 measure different machines, not a regression.
 
+Quarantine: baselines known to be untrustworthy live in bench/quarantine/
+(see its README). A fresh artifact whose only "baseline" is quarantined is
+reported as such and never compared — a quarantined file must not gate
+anything, and silently treating it as "no baseline" would hide why.
+
 Gated metrics default to the binding bench's ns/node numbers (the
 acceptance-tracked hot-path cost); everything else that looks like a
 latency (*_ns, *_ns_per_node, *_us) is reported informationally.
@@ -64,8 +69,15 @@ def main() -> int:
     for fresh_path in fresh_files:
         name = os.path.basename(fresh_path)
         baseline_path = os.path.join(args.baseline_dir, name)
+        quarantine_path = os.path.join(args.baseline_dir, "bench",
+                                       "quarantine", name)
         if not os.path.exists(baseline_path):
-            print(f"{name}: no committed baseline — skipped")
+            if os.path.exists(quarantine_path):
+                print(f"{name}: baseline is QUARANTINED "
+                      f"({quarantine_path}) — see bench/quarantine/"
+                      "README.md; not compared, not gated")
+            else:
+                print(f"{name}: no committed baseline — skipped")
             continue
         fresh = load(fresh_path)
         baseline = load(baseline_path)

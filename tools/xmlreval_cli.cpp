@@ -2,6 +2,9 @@
 //
 //   xmlreval validate    <schema> <doc.xml>            full validation
 //   xmlreval cast        <source> <target> <doc.xml>   schema cast validation
+//                        [--stream [--chunk-bytes N]]  ("-" = stdin) streams
+//                        through the incremental engine: O(depth) memory,
+//                        subsumed subtrees byte-skipped, no DOM
 //   xmlreval correct     <source> <target> <doc.xml> [-o out.xml]
 //   xmlreval sample      <schema> [--root LABEL] [--seed N] [--max-elems N]
 //   xmlreval relations   <source> <target>             dump R_sub / R_dis
@@ -27,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -43,6 +47,7 @@
 #include "core/corrector.h"
 #include "core/full_validator.h"
 #include "core/relations.h"
+#include "core/streaming_validator.h"
 #include "schema/dtd_parser.h"
 #include "schema/xsd_parser.h"
 #include "schema/xsd_writer.h"
@@ -60,7 +65,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  xmlreval validate  <schema> <doc.xml>\n"
-               "  xmlreval cast      <source> <target> <doc.xml>\n"
+               "  xmlreval cast      <source> <target> <doc.xml|->"
+               " [--stream [--chunk-bytes N]]\n"
                "  xmlreval correct   <source> <target> <doc.xml> [-o out]\n"
                "  xmlreval sample    <schema> [--root L] [--seed N]"
                " [--max-elems N]\n"
@@ -76,7 +82,8 @@ int Usage() {
                " [--trace-out F]\n"
                "                       [--tail-sample]"
                " [--flight-recorder F]\n"
-               "                       [--plan-cache-dir DIR]\n"
+               "                       [--plan-cache-dir DIR]"
+               " [--stream-threshold-bytes N]\n"
                "  xmlreval stats <metrics.json>\n"
                "  xmlreval trace-report <trace.json>\n"
                "  xmlreval analyze-updates <source> <target> <doc.xml>"
@@ -84,6 +91,11 @@ int Usage() {
                "                       [--safe-percent P] [--metrics-out F]\n"
                "\nschemas ending in .dtd use the DTD front end; everything\n"
                "else is parsed as XML Schema.\n"
+               "cast --stream feeds the document (file, or stdin for \"-\")\n"
+               "through the incremental push-parser engine in --chunk-bytes\n"
+               "pieces (default 1 MiB): memory stays O(depth) regardless of\n"
+               "document size and subsumed subtrees are byte-skipped. The\n"
+               "DOM source-validity precheck is skipped in this mode.\n"
                "serve-batch fans the documents out over a validation\n"
                "thread pool (--threads, default: hardware concurrency) and\n"
                "casts each from <source> to <target>; --repeat N queues\n"
@@ -91,6 +103,9 @@ int Usage() {
                "--intra-doc-threads N additionally fans EACH large\n"
                "document's cast out over N workers (work-stealing subtree\n"
                "parallelism; 0 = off, the default).\n"
+               "--stream-threshold-bytes N routes cast items of at least N\n"
+               "bytes through the streaming engine — no DOM on the worker\n"
+               "(0 = off, the default).\n"
                "--metrics-out dumps the service metrics snapshot on exit\n"
                "(*.json = JSON, anything else = Prometheus text); SIGUSR1\n"
                "or --metrics-interval S rewrite it while serving. \n"
@@ -204,14 +219,95 @@ Result<LoadedPair> LoadPair(const std::string& source_path,
   return pair;
 }
 
+// cast --stream: feed the document (file or stdin) through the incremental
+// engine chunk by chunk. Never builds a DOM, so a document far larger than
+// RAM validates in O(depth) memory; the greppable "stream:" line reports
+// the byte accounting (reconciled against ground truth by CI's
+// streaming-smoke job).
+int RunStreamingCast(const core::TypeRelations& relations,
+                     const std::string& doc_path, size_t chunk_bytes) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (doc_path != "-") {
+    file.open(doc_path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", doc_path.c_str());
+      return 2;
+    }
+    in = &file;
+  }
+  core::StreamingCastSession session(relations);
+  std::vector<char> buffer(std::max<size_t>(chunk_bytes, 1));
+  while (in->read(buffer.data(), static_cast<std::streamsize>(buffer.size())),
+         in->gcount() > 0) {
+    Status fed = session.Feed(
+        std::string_view(buffer.data(), static_cast<size_t>(in->gcount())));
+    if (!fed.ok()) break;  // verdict decided; stop reading
+  }
+  const core::StreamingReport& report = session.Finish();
+  // Three-way exit mirroring the DOM cast path: a malformed or truncated
+  // stream is an input error (2), not an "invalid" verdict (1). status()
+  // separates the two: kInvalidArgument carries a cast rejection, any
+  // other failure is a real error.
+  const Status& decided = session.status();
+  if (!decided.ok() && decided.code() != StatusCode::kInvalidArgument) {
+    std::fprintf(stderr, "error: %s\n", decided.ToString().c_str());
+    std::printf("stream: bytes_fed=%llu bytes_skipped=%llu "
+                "max_live_frames=%llu peak_carry_bytes=%llu\n",
+                (unsigned long long)report.bytes_fed,
+                (unsigned long long)report.bytes_skipped,
+                (unsigned long long)report.max_live_frames,
+                (unsigned long long)report.peak_carry_bytes);
+    return 2;
+  }
+  if (report.valid) {
+    std::printf("cast: VALID  (visited %llu nodes, skipped %llu subtrees, "
+                "%llu DFA steps)\n",
+                (unsigned long long)report.counters.nodes_visited,
+                (unsigned long long)report.counters.subtrees_skipped,
+                (unsigned long long)report.counters.dfa_steps);
+  } else {
+    std::string where =
+        report.violation_path_known
+            ? xml::DeweyPath(report.violation_path).ToString()
+            : std::string("?");
+    std::printf("cast: INVALID at %s — %s\n", where.c_str(),
+                report.violation.c_str());
+  }
+  std::printf("stream: bytes_fed=%llu bytes_skipped=%llu "
+              "max_live_frames=%llu peak_carry_bytes=%llu\n",
+              (unsigned long long)report.bytes_fed,
+              (unsigned long long)report.bytes_skipped,
+              (unsigned long long)report.max_live_frames,
+              (unsigned long long)report.peak_carry_bytes);
+  return report.valid ? 0 : 1;
+}
+
 int CmdCast(int argc, char** argv) {
-  if (argc != 3) return Usage();
-  auto pair = LoadPair(argv[0], argv[1]);
+  bool stream = false;
+  size_t chunk_bytes = size_t{1} << 20;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
+    } else if (std::strcmp(argv[i], "--chunk-bytes") == 0 && i + 1 < argc) {
+      chunk_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 3) return Usage();
+  auto pair = LoadPair(positional[0], positional[1]);
   if (!pair.ok()) {
     std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
     return 2;
   }
-  auto doc = LoadDocument(argv[2]);
+  if (stream) {
+    return RunStreamingCast(*pair->relations, positional[2], chunk_bytes);
+  }
+  auto doc = LoadDocument(positional[2]);
   if (!doc.ok()) {
     std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
     return 2;
@@ -490,9 +586,13 @@ int CmdServeBatch(int argc, char** argv) {
   std::string flight_out;
   std::string plan_cache_dir;
   bool tail_sample = false;
+  size_t stream_threshold_bytes = 0;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stream-threshold-bytes") == 0 &&
+               i + 1 < argc) {
+      stream_threshold_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--intra-doc-threads") == 0 &&
                i + 1 < argc) {
       intra_doc_threads = std::strtoull(argv[++i], nullptr, 10);
@@ -530,6 +630,7 @@ int CmdServeBatch(int argc, char** argv) {
   options.batch_threads = threads;
   options.intra_doc_threads = intra_doc_threads;
   options.plan_cache_dir = plan_cache_dir;
+  options.stream_threshold_bytes = stream_threshold_bytes;
   service::ValidationService service(options);
   if (!flight_out.empty()) {
     // The crash dump carries the service's headline counters so a
